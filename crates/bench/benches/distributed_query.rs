@@ -1,0 +1,70 @@
+//! Criterion benches for whole distributed queries: the ablation of the
+//! paper's optimization families at a fixed scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skalla_bench::{correlated_query, ExperimentSetup};
+use skalla_core::OptFlags;
+use skalla_planner::plan_query;
+use skalla_tpcr::{CUSTNAME_COL, EXTENDEDPRICE_COL};
+
+fn bench_flag_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_query");
+    group.sample_size(10);
+
+    let setup = ExperimentSetup::new(0.05, 4).expect("setup");
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).expect("query");
+    let dist = setup.distribution_info(CUSTNAME_COL);
+
+    let variants: Vec<(&str, OptFlags)> = vec![
+        ("none", OptFlags::none()),
+        (
+            "site_reduction",
+            OptFlags {
+                site_group_reduction: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "coord_reduction",
+            OptFlags {
+                coord_group_reduction: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "sync_reduction",
+            OptFlags {
+                sync_reduction: true,
+                ..OptFlags::none()
+            },
+        ),
+        ("all", OptFlags::all()),
+    ];
+
+    for (name, flags) in variants {
+        let (plan, _) = plan_query(&expr, &dist, flags).expect("plan");
+        // One warehouse per variant, reused across iterations (launch cost
+        // excluded from the measurement).
+        let wh = setup.launch().expect("launch");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| wh.execute(plan).unwrap())
+        });
+        wh.shutdown().expect("shutdown");
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egil_planning");
+    group.sample_size(20);
+    let setup = ExperimentSetup::new(0.05, 8).expect("setup");
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).expect("query");
+    let dist = setup.distribution_info(CUSTNAME_COL);
+    group.bench_function("all_optimizations", |b| {
+        b.iter(|| plan_query(&expr, &dist, OptFlags::all()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flag_ablation, bench_planner);
+criterion_main!(benches);

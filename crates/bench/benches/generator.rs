@@ -1,0 +1,32 @@
+//! Criterion microbench for the TPCR data generator and partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skalla_tpcr::{generate, partition_by_nation, TpcrConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcr_generate");
+    group.sample_size(10);
+    for &sf in &[0.05f64, 0.2] {
+        let cfg = TpcrConfig::scale(sf);
+        group.throughput(Throughput::Elements(cfg.num_rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(sf), &cfg, |b, cfg| {
+            b.iter(|| generate(cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcr_partition");
+    group.sample_size(10);
+    let table = generate(&TpcrConfig::scale(0.2));
+    for &sites in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &n| {
+            b.iter(|| partition_by_nation(&table, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_partition);
+criterion_main!(benches);

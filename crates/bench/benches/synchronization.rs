@@ -1,0 +1,85 @@
+//! Criterion microbenches for coordinator synchronization (Theorem 1):
+//! merging site fragments into the base-result structure must stay O(|H|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skalla_core::BaseResult;
+use skalla_expr::Expr;
+use skalla_gmdj::AggSpec;
+use skalla_types::{DataType, Field, Relation, Schema, Value};
+
+fn base(groups: usize) -> Relation {
+    let schema = Schema::from_pairs([("k", DataType::Int64)])
+        .unwrap()
+        .into_arc();
+    Relation::new(
+        schema,
+        (0..groups as i64).map(|k| vec![Value::Int(k)]).collect(),
+    )
+    .unwrap()
+}
+
+fn fragment(groups: usize) -> Relation {
+    // k, cnt_state, avg_sum, avg_count
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int64),
+        ("cnt", DataType::Int64),
+        ("a__sum", DataType::Float64),
+        ("a__count", DataType::Int64),
+    ])
+    .unwrap()
+    .into_arc();
+    Relation::new(
+        schema,
+        (0..groups as i64)
+            .map(|k| {
+                vec![
+                    Value::Int(k),
+                    Value::Int(3),
+                    Value::Float(k as f64 * 2.0),
+                    Value::Int(3),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count_star("cnt"),
+        AggSpec::avg(Expr::detail(0), "a").unwrap(),
+    ]
+}
+
+fn output_fields() -> Vec<Field> {
+    vec![
+        Field::new("cnt", DataType::Int64),
+        Field::new("a", DataType::Float64),
+    ]
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synchronize");
+    group.sample_size(20);
+    for &groups in &[1_000usize, 10_000, 50_000] {
+        let b = base(groups);
+        let frag = fragment(groups);
+        group.bench_with_input(
+            BenchmarkId::new("merge_8_fragments", groups),
+            &groups,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut x = BaseResult::from_base(&b, &[0], specs(), output_fields()).unwrap();
+                    for _ in 0..8 {
+                        x.merge_fragment(&frag, false).unwrap();
+                    }
+                    x.finalize().unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

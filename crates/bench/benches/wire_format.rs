@@ -1,0 +1,46 @@
+//! Criterion microbenches for the wire format: encoding and decoding the
+//! base-result relations that cross the network every round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skalla_net::{WireDecode, WireEncode};
+use skalla_types::{DataType, Relation, Schema, Value};
+
+fn relation(rows: usize) -> Relation {
+    let schema = Schema::from_pairs([
+        ("name", DataType::Utf8),
+        ("cnt", DataType::Int64),
+        ("avg", DataType::Float64),
+    ])
+    .unwrap()
+    .into_arc();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::str(format!("Customer#{i:09}")),
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 1.5),
+            ]
+        })
+        .collect();
+    Relation::new(schema, data).unwrap()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_relation");
+    group.sample_size(20);
+    for &rows in &[100usize, 1000, 10_000] {
+        let rel = relation(rows);
+        let bytes = rel.to_wire();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", rows), &rows, |b, _| {
+            b.iter(|| rel.to_wire())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", rows), &rows, |b, _| {
+            b.iter(|| Relation::from_wire(&bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Figure 4 — the synchronization reduction query.
+//!
+//! Reproduces both panels of the paper's Fig. 4: evaluation time of a
+//! *correlated* (non-coalescible) two-GMDJ query with and without
+//! synchronization reduction, for high-cardinality (`custname`) and
+//! low-cardinality (`cityname`) grouping attributes. Both attributes are
+//! functionally dependent on the partitioning, so Proposition 2 and
+//! Corollary 1 apply: the reduced plan evaluates the whole query locally
+//! with a single synchronization.
+//!
+//! Expected shapes (paper §5.2): without the reduction the high-cardinality
+//! curve is quadratic in the number of sites; with it the query runs in a
+//! single round and grows linearly (with the output size). The
+//! low-cardinality gap is smaller and reflects only the synchronization
+//! overhead.
+//!
+//! Usage: `fig4_sync_reduction [--scale S] [--sites N] [--verify]`
+
+use skalla_bench::harness::{arg_f64, arg_flag, arg_usize};
+use skalla_bench::{correlated_query, run_variant, ExperimentSetup, RunRecord};
+use skalla_core::OptFlags;
+use skalla_tpcr::{CITYNAME_COL, CUSTNAME_COL, EXTENDEDPRICE_COL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let per_site_scale = arg_f64(&args, "--scale", 0.05);
+    let max_sites = arg_usize(&args, "--sites", 8);
+    let verify = arg_flag(&args, "--verify");
+    let csv = arg_flag(&args, "--csv");
+
+    let sync_flags = OptFlags {
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+
+    for (panel, group_col) in [
+        ("high-cardinality (custname)", CUSTNAME_COL),
+        ("low-cardinality (cityname)", CITYNAME_COL),
+    ] {
+        println!("# Figure 4 ({panel}): synchronization reduction query");
+        println!(
+            "{}",
+            if csv {
+                RunRecord::csv_header()
+            } else {
+                RunRecord::header()
+            }
+        );
+        let expr = correlated_query(group_col, EXTENDEDPRICE_COL).expect("query builds");
+
+        for n in 1..=max_sites {
+            let setup = ExperimentSetup::new(per_site_scale * n as f64, n).expect("setup");
+            let (r_plain, rec_plain) = run_variant(
+                &setup,
+                &expr,
+                OptFlags::none(),
+                group_col,
+                "no-sync-reduction",
+            )
+            .expect("run");
+            println!(
+                "{}",
+                if csv {
+                    rec_plain.csv_row()
+                } else {
+                    rec_plain.row()
+                }
+            );
+            let (r_sync, rec_sync) =
+                run_variant(&setup, &expr, sync_flags, group_col, "sync-reduction").expect("run");
+            println!(
+                "{}",
+                if csv {
+                    rec_sync.csv_row()
+                } else {
+                    rec_sync.row()
+                }
+            );
+
+            assert_eq!(
+                r_plain.sorted(),
+                r_sync.sorted(),
+                "sync reduction changed the result"
+            );
+            assert_eq!(
+                rec_sync.syncs, 1,
+                "reduced plan must use a single synchronization"
+            );
+            assert_eq!(
+                rec_plain.syncs, 3,
+                "unreduced plan uses three synchronizations"
+            );
+
+            if verify {
+                let cent = skalla_gmdj::eval_expr_centralized(&expr, &setup.full_catalog())
+                    .expect("centralized");
+                assert_eq!(
+                    r_plain.sorted(),
+                    cent.sorted(),
+                    "distributed != centralized"
+                );
+            }
+        }
+        println!();
+    }
+}

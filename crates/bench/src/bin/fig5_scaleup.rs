@@ -1,0 +1,98 @@
+//! Figure 5 — the combined reductions query (scale-up).
+//!
+//! Reproduces both panels of the paper's Fig. 5: four sites, data size
+//! scaled ×1 to ×4, with all optimizations on versus all off. The left
+//! panel is the query evaluation time; the right panel breaks the optimized
+//! run into site computation, coordinator computation, and communication
+//! overhead — all three growing linearly with the data size.
+//!
+//! The paper also repeats the experiment with a *constant* number of groups
+//! as the database grows ("comparable results"); pass `--constant-groups`
+//! to run that variant (row count scales, customer count stays fixed).
+//!
+//! Usage: `fig5_scaleup [--scale S] [--steps K] [--constant-groups] [--verify]`
+
+use skalla_bench::harness::{arg_f64, arg_flag, arg_usize};
+use skalla_bench::queries::TPCR_TABLE;
+use skalla_bench::{correlated_query, run_variant, ExperimentSetup, RunRecord};
+use skalla_core::OptFlags;
+use skalla_tpcr::{generate, partition_by_nation, TpcrConfig, CUSTNAME_COL, EXTENDEDPRICE_COL};
+
+const N_SITES: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let base_scale = arg_f64(&args, "--scale", 0.1);
+    let steps = arg_usize(&args, "--steps", 4);
+    let constant_groups = arg_flag(&args, "--constant-groups");
+    let verify = arg_flag(&args, "--verify");
+    let csv = arg_flag(&args, "--csv");
+
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).expect("query builds");
+    let mode = if constant_groups {
+        "constant groups"
+    } else {
+        "groups scale with data"
+    };
+    println!("# Figure 5: combined reductions query, {N_SITES} sites, size x1..x{steps} ({mode})");
+    println!(
+        "{}",
+        if csv {
+            RunRecord::csv_header()
+        } else {
+            RunRecord::header()
+        }
+    );
+
+    for m in 1..=steps {
+        let scale = base_scale * m as f64;
+        let setup = if constant_groups {
+            // Rows grow, group count stays fixed at the base scale.
+            let mut cfg = TpcrConfig::scale(scale);
+            let base_cfg = TpcrConfig::scale(base_scale);
+            cfg.num_customers = base_cfg.num_customers;
+            cfg.num_cities = base_cfg.num_cities;
+            let table = generate(&cfg);
+            let partitioning = partition_by_nation(&table, N_SITES).expect("partition");
+            ExperimentSetup {
+                table,
+                partitioning,
+                scale,
+            }
+        } else {
+            ExperimentSetup::new(scale, N_SITES).expect("setup")
+        };
+
+        let (r_off, rec_off) =
+            run_variant(&setup, &expr, OptFlags::none(), CUSTNAME_COL, "all-off").expect("run");
+        println!(
+            "{}",
+            if csv {
+                rec_off.csv_row()
+            } else {
+                rec_off.row()
+            }
+        );
+        let (r_on, rec_on) =
+            run_variant(&setup, &expr, OptFlags::all(), CUSTNAME_COL, "all-on").expect("run");
+        println!("{}", if csv { rec_on.csv_row() } else { rec_on.row() });
+
+        assert_eq!(
+            r_off.sorted(),
+            r_on.sorted(),
+            "optimizations changed the result"
+        );
+        if verify {
+            let mut cat = skalla_storage::Catalog::new();
+            cat.register(TPCR_TABLE, setup.table.clone());
+            let cent = skalla_gmdj::eval_expr_centralized(&expr, &cat).expect("centralized");
+            assert_eq!(r_off.sorted(), cent.sorted(), "distributed != centralized");
+        }
+
+        // Right panel: cost breakdown of the optimized run.
+        println!(
+            "#   x{m} breakdown (all-on): site {:.4}s | coordinator {:.4}s | communication {:.4}s",
+            rec_on.site_s, rec_on.coord_s, rec_on.comm_s
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Beyond-paper ablation: coordinator topology (flat vs. two-level tree,
+//! the paper's §6 future work) and row blocking (§3.2), measured on the
+//! correlated TPCR query.
+//!
+//! Usage: `topology_ablation [--scale S] [--sites N]`
+
+use skalla_bench::harness::{arg_f64, arg_usize};
+use skalla_bench::{correlated_query, ExperimentSetup};
+use skalla_core::{DistPlan, TieredWarehouse};
+use skalla_net::CostModel;
+use skalla_tpcr::{CUSTNAME_COL, EXTENDEDPRICE_COL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = arg_f64(&args, "--scale", 0.4);
+    let sites = arg_usize(&args, "--sites", 8);
+
+    let setup = ExperimentSetup::new(scale, sites).expect("setup");
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).expect("query");
+    let plan = DistPlan::unoptimized(expr);
+
+    println!("# Topology & row-blocking ablation ({sites} sites, scale {scale})");
+    println!(
+        "{:<24} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "configuration", "root_rows_up", "bytes_up", "messages", "modeled_s", "wall_s"
+    );
+
+    // Flat topology, whole results and several block sizes.
+    let wh = setup.launch().expect("launch");
+    let mut reference = None;
+    for block in [None, Some(256usize), Some(64), Some(16)] {
+        let p = match block {
+            None => plan.clone(),
+            Some(b) => plan.clone().with_block_rows(b),
+        };
+        let (result, m) = wh.execute(&p).expect("execute");
+        let label = match block {
+            None => "flat".to_string(),
+            Some(b) => format!("flat + block {b}"),
+        };
+        println!(
+            "{:<24} {:>12} {:>12} {:>10} {:>10.4} {:>10.4}",
+            label,
+            m.total_rows_up(),
+            m.total_bytes_up(),
+            m.total_messages(),
+            m.modeled_time_s(),
+            m.wall_s
+        );
+        match &reference {
+            None => reference = Some(result.sorted()),
+            Some(r) => assert_eq!(*r, result.sorted(), "{label} changed the result"),
+        }
+    }
+    wh.shutdown().expect("shutdown");
+
+    // Tree topologies.
+    for fanout in [2usize, 4] {
+        let tw = TieredWarehouse::launch(setup.catalogs(), fanout, CostModel::lan_2002())
+            .expect("tree launch");
+        let (result, m) = tw.execute(&plan).expect("tree execute");
+        println!(
+            "{:<24} {:>12} {:>12} {:>10} {:>10.4} {:>10.4}",
+            format!("tree fanout {fanout} ({} mids)", tw.num_mid_tiers()),
+            m.total_rows_up(),
+            m.total_bytes_up(),
+            m.total_messages(),
+            m.modeled_time_s(),
+            m.wall_s
+        );
+        assert_eq!(
+            reference.as_ref().unwrap(),
+            &result.sorted(),
+            "tree fanout {fanout} changed the result"
+        );
+        tw.shutdown().expect("tree shutdown");
+    }
+    println!("# all configurations produced identical results");
+}

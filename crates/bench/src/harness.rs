@@ -1,0 +1,301 @@
+//! Shared experiment machinery for the figure binaries.
+
+use skalla_core::{DistributedWarehouse, ExecMetrics, OptFlags};
+use skalla_gmdj::GmdjExpr;
+use skalla_net::CostModel;
+use skalla_planner::{plan_query, DistributionInfo, PlanReport};
+use skalla_storage::{Catalog, Partitioning, Table};
+use skalla_tpcr::{generate, partition_by_nation, TpcrConfig};
+use skalla_types::{Relation, Result};
+
+use crate::queries::TPCR_TABLE;
+
+/// A generated, partitioned TPCR warehouse ready to launch.
+pub struct ExperimentSetup {
+    /// The full relation (for centralized cross-checks).
+    pub table: Table,
+    /// Per-site partitions (on `nationkey`).
+    pub partitioning: Partitioning,
+    /// The scale factor used.
+    pub scale: f64,
+}
+
+impl ExperimentSetup {
+    /// Generate TPCR data at `scale` and partition it across `n_sites`
+    /// (paper §5.1: partitioned on NationKey, spread over eight sites).
+    pub fn new(scale: f64, n_sites: usize) -> Result<ExperimentSetup> {
+        let table = generate(&TpcrConfig::scale(scale));
+        let partitioning = partition_by_nation(&table, n_sites)?;
+        Ok(ExperimentSetup {
+            table,
+            partitioning,
+            scale,
+        })
+    }
+
+    /// Like [`ExperimentSetup::new`] but reusing an already generated
+    /// table (saves generation time across site-count sweeps).
+    pub fn from_table(table: Table, scale: f64, n_sites: usize) -> Result<ExperimentSetup> {
+        let partitioning = partition_by_nation(&table, n_sites)?;
+        Ok(ExperimentSetup {
+            table,
+            partitioning,
+            scale,
+        })
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.partitioning.num_sites()
+    }
+
+    /// One catalog per site, with the partition registered as `tpcr`.
+    pub fn catalogs(&self) -> Vec<Catalog> {
+        self.partitioning
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = Catalog::new();
+                c.register(TPCR_TABLE, p.clone());
+                c
+            })
+            .collect()
+    }
+
+    /// Distribution knowledge anchored on `anchor_col` — the grouping
+    /// attribute the query's conditions join on. Because partitioning is on
+    /// `nationkey` and several TPCR attributes are functionally dependent
+    /// on it (custname, cityname, custkey), those attributes are partition
+    /// attributes too; re-anchoring exposes that to the optimizer.
+    pub fn distribution_info(&self, anchor_col: usize) -> DistributionInfo {
+        let reanchored = Partitioning {
+            parts: self.partitioning.parts.clone(),
+            partition_col: Some(anchor_col),
+        };
+        DistributionInfo::from_partitioning(&reanchored)
+    }
+
+    /// Launch the warehouse over a 2002-era LAN cost model.
+    pub fn launch(&self) -> Result<DistributedWarehouse> {
+        DistributedWarehouse::launch(self.catalogs(), CostModel::lan_2002())
+    }
+
+    /// The full relation in a single catalog (centralized reference).
+    pub fn full_catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        c.register(TPCR_TABLE, self.table.clone());
+        c
+    }
+}
+
+/// One measured configuration — a row of a figure's data series.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Variant label (e.g. "no-reduction", "group-reduced").
+    pub label: String,
+    /// Participating sites.
+    pub n_sites: usize,
+    /// Data scale factor.
+    pub scale: f64,
+    /// Bytes coordinator → sites.
+    pub bytes_down: u64,
+    /// Bytes sites → coordinator.
+    pub bytes_up: u64,
+    /// Tuples coordinator → sites (Theorem 2's unit).
+    pub rows_down: u64,
+    /// Tuples sites → coordinator.
+    pub rows_up: u64,
+    /// Modeled response time (communication + parallel site compute +
+    /// coordinator compute), seconds.
+    pub modeled_s: f64,
+    /// Site-compute component (max per round, summed over rounds).
+    pub site_s: f64,
+    /// Coordinator-compute component.
+    pub coord_s: f64,
+    /// Modeled communication component.
+    pub comm_s: f64,
+    /// Measured wall-clock seconds.
+    pub wall_s: f64,
+    /// Result groups.
+    pub groups: usize,
+    /// Synchronizations performed.
+    pub syncs: usize,
+}
+
+impl RunRecord {
+    /// Header line matching [`RunRecord::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<22} {:>5} {:>6} {:>12} {:>12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5}",
+            "variant",
+            "sites",
+            "scale",
+            "bytes_down",
+            "bytes_up",
+            "modeled_s",
+            "site_s",
+            "coord_s",
+            "comm_s",
+            "wall_s",
+            "groups",
+            "syncs"
+        )
+    }
+
+    /// Aligned data row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:>5} {:>6.2} {:>12} {:>12} {:>10.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>8} {:>5}",
+            self.label,
+            self.n_sites,
+            self.scale,
+            self.bytes_down,
+            self.bytes_up,
+            self.modeled_s,
+            self.site_s,
+            self.coord_s,
+            self.comm_s,
+            self.wall_s,
+            self.groups,
+            self.syncs
+        )
+    }
+
+    /// CSV header matching [`RunRecord::csv_row`].
+    pub fn csv_header() -> String {
+        "variant,sites,scale,bytes_down,bytes_up,rows_down,rows_up,modeled_s,site_s,coord_s,comm_s,wall_s,groups,syncs"
+            .to_string()
+    }
+
+    /// Machine-readable CSV row (for replotting the figures).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.label,
+            self.n_sites,
+            self.scale,
+            self.bytes_down,
+            self.bytes_up,
+            self.rows_down,
+            self.rows_up,
+            self.modeled_s,
+            self.site_s,
+            self.coord_s,
+            self.comm_s,
+            self.wall_s,
+            self.groups,
+            self.syncs
+        )
+    }
+
+    /// Build from execution metrics.
+    pub fn from_metrics(
+        label: impl Into<String>,
+        setup: &ExperimentSetup,
+        metrics: &ExecMetrics,
+        report: &PlanReport,
+        groups: usize,
+    ) -> RunRecord {
+        RunRecord {
+            label: label.into(),
+            n_sites: setup.n_sites(),
+            scale: setup.scale,
+            bytes_down: metrics.total_bytes_down(),
+            bytes_up: metrics.total_bytes_up(),
+            rows_down: metrics.total_rows_down(),
+            rows_up: metrics.total_rows_up(),
+            modeled_s: metrics.modeled_time_s(),
+            site_s: metrics.site_compute_s(),
+            coord_s: metrics.coord_compute_s(),
+            comm_s: metrics.comm_s(),
+            wall_s: metrics.wall_s,
+            groups,
+            syncs: report.num_synchronizations,
+        }
+    }
+}
+
+/// Plan `expr` with `flags` against `setup`'s distribution knowledge and
+/// execute it, returning the result relation and the measured record.
+pub fn run_variant(
+    setup: &ExperimentSetup,
+    expr: &GmdjExpr,
+    flags: OptFlags,
+    anchor_col: usize,
+    label: &str,
+) -> Result<(Relation, RunRecord)> {
+    let dist = setup.distribution_info(anchor_col);
+    let (plan, report) = plan_query(expr, &dist, flags)?;
+    let wh = setup.launch()?;
+    let (result, metrics) = wh.execute(&plan)?;
+    wh.shutdown()?;
+    let record = RunRecord::from_metrics(label, setup, &metrics, &report, result.len());
+    Ok((result, record))
+}
+
+/// Parse `--key value` style arguments with a default.
+pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse an integer `--key value` argument with a default.
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` if the flag `--key` is present.
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::correlated_query;
+    use skalla_tpcr::{CUSTNAME_COL, EXTENDEDPRICE_COL};
+
+    #[test]
+    fn setup_and_variant_run_end_to_end() {
+        let setup = ExperimentSetup::new(0.02, 3).unwrap();
+        assert_eq!(setup.n_sites(), 3);
+        let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).unwrap();
+        let (plain, r1) =
+            run_variant(&setup, &expr, OptFlags::none(), CUSTNAME_COL, "none").unwrap();
+        let (optimized, r2) =
+            run_variant(&setup, &expr, OptFlags::all(), CUSTNAME_COL, "all").unwrap();
+        assert_eq!(plain.sorted(), optimized.sorted());
+        // All reductions should cut synchronizations to 1 and move fewer bytes.
+        assert_eq!(r2.syncs, 1);
+        assert!(r1.syncs > r2.syncs);
+        assert!(r2.bytes_down + r2.bytes_up < r1.bytes_down + r1.bytes_up);
+        // Records render.
+        assert!(RunRecord::header().contains("variant"));
+        assert!(r1.row().contains("none"));
+        assert_eq!(
+            RunRecord::csv_header().split(',').count(),
+            r1.csv_row().split(',').count()
+        );
+        assert!(r1.csv_row().starts_with("none,3,"));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "0.5", "--sites", "4", "--verify"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_f64(&args, "--scale", 1.0), 0.5);
+        assert_eq!(arg_usize(&args, "--sites", 8), 4);
+        assert!(arg_flag(&args, "--verify"));
+        assert!(!arg_flag(&args, "--missing"));
+        assert_eq!(arg_f64(&args, "--other", 2.0), 2.0);
+    }
+}

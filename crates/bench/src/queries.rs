@@ -1,0 +1,146 @@
+//! The paper's §5 experiment queries, built over the TPCR schema.
+//!
+//! Every test query "computes a COUNT and an AVG aggregate on each GMDJ
+//! operator" (§5.1), grouped either on the high-cardinality
+//! `Customer.Name`-style attribute or on a low-cardinality attribute.
+
+use skalla_expr::Expr;
+use skalla_gmdj::{AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
+use skalla_types::Result;
+
+/// The detail-table name the experiment queries read.
+pub const TPCR_TABLE: &str = "tpcr";
+
+fn key_theta(group_col: usize) -> Expr {
+    // Base column 0 is the (single) grouping attribute.
+    Expr::base(0).eq(Expr::detail(group_col))
+}
+
+/// A *correlated* two-GMDJ query (the shape of paper Example 1, used for
+/// the group-reduction and synchronization-reduction experiments):
+///
+/// * `MD₁`: `COUNT(*)`, `AVG(measure)` per group;
+/// * `MD₂`: `COUNT(*)` of detail tuples whose measure is at least the
+///   group's `MD₁` average.
+///
+/// `θ₂` references `MD₁`'s outputs, so the two operators **cannot** be
+/// coalesced — evaluating this query unoptimized takes three
+/// synchronizations.
+pub fn correlated_query(group_col: usize, measure_col: usize) -> Result<GmdjExpr> {
+    let md1 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("cnt1"),
+            AggSpec::avg(Expr::detail(measure_col), "avg1")?,
+        ],
+        key_theta(group_col),
+    )]);
+    // Base schema after MD₁: [group, cnt1, avg1] → avg1 is base col 2.
+    let md2 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![AggSpec::count_star("cnt2")],
+        key_theta(group_col).and(Expr::detail(measure_col).ge(Expr::base(2))),
+    )]);
+    GmdjExpr::new(
+        BaseSpec::DistinctProject {
+            cols: vec![group_col],
+        },
+        TPCR_TABLE,
+        vec![md1, md2],
+        vec![0],
+    )
+}
+
+/// A *coalescible* two-GMDJ query (the Fig. 3 experiment): `θ₂` filters on
+/// a detail attribute only, so the optimizer can merge both operators into
+/// one round.
+///
+/// * `MD₁`: `COUNT(*)`, `AVG(measure)` per group;
+/// * `MD₂`: `COUNT(*)`, `AVG(measure)` over detail tuples with
+///   `filter_col > threshold`.
+pub fn coalescible_query(
+    group_col: usize,
+    measure_col: usize,
+    filter_col: usize,
+    threshold: f64,
+) -> Result<GmdjExpr> {
+    let md1 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("cnt1"),
+            AggSpec::avg(Expr::detail(measure_col), "avg1")?,
+        ],
+        key_theta(group_col),
+    )]);
+    let md2 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("cnt2"),
+            AggSpec::avg(Expr::detail(measure_col), "avg2")?,
+        ],
+        key_theta(group_col).and(Expr::detail(filter_col).gt(Expr::lit(threshold))),
+    )]);
+    GmdjExpr::new(
+        BaseSpec::DistinctProject {
+            cols: vec![group_col],
+        },
+        TPCR_TABLE,
+        vec![md1, md2],
+        vec![0],
+    )
+}
+
+/// A single-GMDJ query (`COUNT`, `AVG` per group) — the minimal workload,
+/// used by microbenches and the transfer-bound check.
+pub fn single_gmdj_query(group_col: usize, measure_col: usize) -> Result<GmdjExpr> {
+    let md = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("cnt"),
+            AggSpec::avg(Expr::detail(measure_col), "avg")?,
+        ],
+        key_theta(group_col),
+    )]);
+    GmdjExpr::new(
+        BaseSpec::DistinctProject {
+            cols: vec![group_col],
+        },
+        TPCR_TABLE,
+        vec![md],
+        vec![0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_tpcr::{tpcr_schema, CUSTNAME_COL, EXTENDEDPRICE_COL, QUANTITY_COL};
+
+    #[test]
+    fn queries_validate_against_tpcr_schema() {
+        let schema = tpcr_schema();
+        correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL)
+            .unwrap()
+            .validate(&schema)
+            .unwrap();
+        coalescible_query(CUSTNAME_COL, EXTENDEDPRICE_COL, QUANTITY_COL, 30.0)
+            .unwrap()
+            .validate(&schema)
+            .unwrap();
+        single_gmdj_query(CUSTNAME_COL, EXTENDEDPRICE_COL)
+            .unwrap()
+            .validate(&schema)
+            .unwrap();
+    }
+
+    #[test]
+    fn correlated_query_is_not_coalescible() {
+        let e = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).unwrap();
+        let (c, steps) = skalla_gmdj::coalesce_chain(&e).unwrap();
+        assert_eq!(steps, 0);
+        assert_eq!(c.ops.len(), 2);
+    }
+
+    #[test]
+    fn coalescible_query_coalesces() {
+        let e = coalescible_query(CUSTNAME_COL, EXTENDEDPRICE_COL, QUANTITY_COL, 30.0).unwrap();
+        let (c, steps) = skalla_gmdj::coalesce_chain(&e).unwrap();
+        assert_eq!(steps, 1);
+        assert_eq!(c.ops.len(), 1);
+    }
+}

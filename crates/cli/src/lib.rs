@@ -1,0 +1,527 @@
+#![warn(missing_docs)]
+
+//! # skalla-cli
+//!
+//! The interactive shell behind the `skalla` binary: load a TPCR warehouse,
+//! type GMDJ queries in the textual language, and inspect plans, costs, and
+//! results.
+//!
+//! ```text
+//! skalla> \load 0.05 4
+//! loaded tpcr: 3000 tuples across 4 sites (partitioned on nationkey)
+//! skalla> BASE DISTINCT nationname FROM tpcr;
+//!      -> MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
+//!      ->    WHERE b.nationname = r.nationname;
+//!      ->
+//! nationname | orders | avg_price
+//! ...
+//! ```
+//!
+//! Commands start with `\`; anything else accumulates into the query buffer
+//! and executes on an empty line. The session logic lives in [`Session`] so
+//! it is unit-testable; `main.rs` is a thin stdin loop.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use skalla_core::{DistPlan, DistributedWarehouse, OptFlags};
+use skalla_gmdj::to_sql;
+use skalla_net::CostModel;
+use skalla_planner::{choose_plan, parse_query, plan_query, DistributionInfo};
+use skalla_storage::{Catalog, TableStats};
+use skalla_tpcr::{
+    generate, partition_by_nation, TpcrConfig, CITYNAME_COL, CUSTKEY_COL, CUSTNAME_COL,
+    NATIONKEY_COL,
+};
+use skalla_types::{Relation, Result, Schema, SkallaError};
+
+/// What the shell should do after handling one line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Print this text (possibly empty) and continue.
+    Continue(String),
+    /// The user asked to leave.
+    Quit,
+}
+
+/// Optimizer-flag selection for the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlagMode {
+    None,
+    All,
+    /// Cost-based: pick the cheapest flag combination per query.
+    Auto,
+}
+
+/// An interactive session: a loaded warehouse plus shell state.
+pub struct Session {
+    warehouse: Option<DistributedWarehouse>,
+    dist: Option<DistributionInfo>,
+    stats: Option<TableStats>,
+    schemas: HashMap<String, Arc<Schema>>,
+    flag_mode: FlagMode,
+    explain: bool,
+    buffer: String,
+    /// Rows shown per result (keeps wide groups readable).
+    pub max_rows: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh, unloaded session.
+    pub fn new() -> Session {
+        Session {
+            warehouse: None,
+            dist: None,
+            stats: None,
+            schemas: HashMap::new(),
+            flag_mode: FlagMode::Auto,
+            explain: false,
+            buffer: String::new(),
+            max_rows: 20,
+        }
+    }
+
+    /// `true` while a multi-line query is being accumulated.
+    pub fn in_query(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Handle one input line.
+    pub fn handle_line(&mut self, line: &str) -> Outcome {
+        let trimmed = line.trim();
+        if trimmed.starts_with('\\') {
+            return self.command(trimmed);
+        }
+        if trimmed.is_empty() {
+            if self.buffer.is_empty() {
+                return Outcome::Continue(String::new());
+            }
+            let text = std::mem::take(&mut self.buffer);
+            return Outcome::Continue(match self.run_query(&text) {
+                Ok(out) => out,
+                Err(e) => format!("error: {e}"),
+            });
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        Outcome::Continue(String::new())
+    }
+
+    fn command(&mut self, cmd: &str) -> Outcome {
+        let mut parts = cmd.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let out = match head {
+            "\\q" | "\\quit" | "\\exit" => return Outcome::Quit,
+            "\\help" | "\\?" => Ok(HELP.to_string()),
+            "\\load" => self.cmd_load(&args),
+            "\\tables" => self.cmd_tables(),
+            "\\flags" => self.cmd_flags(&args),
+            "\\explain" => {
+                self.explain = args.first().is_none_or(|a| *a != "off");
+                Ok(format!(
+                    "explain {}",
+                    if self.explain { "on" } else { "off" }
+                ))
+            }
+            "\\sql" => self.cmd_sql(),
+            "\\cost" => self.cmd_cost(),
+            other => Err(SkallaError::parse(format!(
+                "unknown command `{other}` (try \\help)"
+            ))),
+        };
+        Outcome::Continue(match out {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn cmd_load(&mut self, args: &[&str]) -> Result<String> {
+        let scale: f64 = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| SkallaError::parse("usage: \\load <scale> <sites>"))?;
+        let sites: usize = args
+            .get(1)
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| SkallaError::parse("usage: \\load <scale> <sites>"))?;
+        self.load_tpcr(scale, sites)
+    }
+
+    /// Load a TPCR warehouse (also callable programmatically).
+    pub fn load_tpcr(&mut self, scale: f64, sites: usize) -> Result<String> {
+        let table = generate(&TpcrConfig::scale(scale));
+        let rows = table.len();
+        let parts = partition_by_nation(&table, sites)?;
+        self.stats = Some(TableStats::collect(&table));
+        // Distribution knowledge: exact per-site value sets for the whole
+        // nationkey-derived column family, so the optimizer can discover
+        // derived partition attributes (custname, cityname, …).
+        let constraints =
+            parts.site_constraints_for(&[NATIONKEY_COL, CUSTKEY_COL, CUSTNAME_COL, CITYNAME_COL]);
+        self.dist = Some(DistributionInfo::with_constraints(
+            sites,
+            Some(NATIONKEY_COL),
+            true,
+            constraints,
+        )?);
+        self.schemas = HashMap::from([("tpcr".to_string(), table.schema().clone())]);
+        let catalogs: Vec<Catalog> = parts
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = Catalog::new();
+                c.register("tpcr", p.clone());
+                c
+            })
+            .collect();
+        if let Some(old) = self.warehouse.take() {
+            old.shutdown()?;
+        }
+        self.warehouse = Some(DistributedWarehouse::launch(
+            catalogs,
+            CostModel::lan_2002(),
+        )?);
+        Ok(format!(
+            "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey)"
+        ))
+    }
+
+    fn cmd_tables(&self) -> Result<String> {
+        if self.schemas.is_empty() {
+            return Ok("no warehouse loaded (try \\load 0.05 4)".to_string());
+        }
+        let mut out = String::new();
+        for (name, schema) in &self.schemas {
+            let _ = writeln!(out, "{name} {schema}");
+            if let Some(stats) = &self.stats {
+                let _ = writeln!(out, "  rows: {}", stats.rows);
+            }
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_flags(&mut self, args: &[&str]) -> Result<String> {
+        match args.first() {
+            Some(&"none") => self.flag_mode = FlagMode::None,
+            Some(&"all") => self.flag_mode = FlagMode::All,
+            Some(&"auto") => self.flag_mode = FlagMode::Auto,
+            Some(other) => {
+                return Err(SkallaError::parse(format!(
+                    "unknown flag mode `{other}` (none|all|auto)"
+                )))
+            }
+            None => {}
+        }
+        Ok(format!("flags: {:?}", self.flag_mode).to_lowercase())
+    }
+
+    /// Estimate every optimizer-flag combination for the buffered query.
+    fn cmd_cost(&self) -> Result<String> {
+        use skalla_core::OptFlags;
+        use skalla_planner::estimate_plan;
+
+        if self.buffer.trim().is_empty() {
+            return Err(SkallaError::parse(
+                "type a query first, then \\cost before the terminating blank line",
+            ));
+        }
+        let dist = self
+            .dist
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no warehouse loaded (try \\load 0.05 4)"))?;
+        let stats = self.stats.as_ref().expect("loaded with warehouse");
+        let expr = parse_query(&self.buffer, &self.schemas)?;
+        let cost = CostModel::lan_2002();
+
+        let mut out = format!(
+            "{:<42} {:>6} {:>10} {:>10} {:>11}
+",
+            "flags", "syncs", "est_down", "est_up", "est_comm_s"
+        );
+        let mut best: Option<(f64, String)> = None;
+        for bits in 0..16u32 {
+            let flags = OptFlags {
+                coalesce: bits & 1 != 0,
+                site_group_reduction: bits & 2 != 0,
+                coord_group_reduction: bits & 4 != 0,
+                sync_reduction: bits & 8 != 0,
+            };
+            let (plan, _) = skalla_planner::plan_query(&expr, dist, flags)?;
+            let est = estimate_plan(&plan, stats, dist.num_sites, &cost);
+            let mut label = String::new();
+            for (on, name) in [
+                (flags.coalesce, "coalesce"),
+                (flags.site_group_reduction, "site-red"),
+                (flags.coord_group_reduction, "coord-red"),
+                (flags.sync_reduction, "sync-red"),
+            ] {
+                if on {
+                    if !label.is_empty() {
+                        label.push('+');
+                    }
+                    label.push_str(name);
+                }
+            }
+            if label.is_empty() {
+                label = "(none)".to_string();
+            }
+            out.push_str(&format!(
+                "{:<42} {:>6} {:>10} {:>10} {:>11.5}
+",
+                label, est.syncs, est.est_rows_down, est.est_rows_up, est.est_comm_s
+            ));
+            if best.as_ref().is_none_or(|(b, _)| est.est_comm_s < *b) {
+                best = Some((est.est_comm_s, label));
+            }
+        }
+        if let Some((_, label)) = best {
+            out.push_str(&format!("cheapest: {label}"));
+        }
+        Ok(out)
+    }
+
+    fn cmd_sql(&self) -> Result<String> {
+        if self.buffer.trim().is_empty() {
+            return Err(SkallaError::parse(
+                "type a query first, then \\sql before the terminating blank line",
+            ));
+        }
+        let expr = parse_query(&self.buffer, &self.schemas)?;
+        let schema = self
+            .schemas
+            .get(&expr.detail_name)
+            .ok_or_else(|| SkallaError::not_found(format!("table `{}`", expr.detail_name)))?;
+        to_sql(&expr, schema)
+    }
+
+    /// Parse, plan, execute, and render one query.
+    pub fn run_query(&mut self, text: &str) -> Result<String> {
+        let wh = self
+            .warehouse
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no warehouse loaded (try \\load 0.05 4)"))?;
+        let dist = self.dist.as_ref().expect("loaded with warehouse");
+        let expr = parse_query(text, &self.schemas)?;
+
+        let (plan, report): (DistPlan, _) = match self.flag_mode {
+            FlagMode::None => plan_query(&expr, dist, OptFlags::none())?,
+            FlagMode::All => plan_query(&expr, dist, OptFlags::all())?,
+            FlagMode::Auto => {
+                let stats = self.stats.as_ref().expect("loaded with warehouse");
+                let (plan, report, _) = choose_plan(&expr, dist, stats, &CostModel::lan_2002())?;
+                (plan, report)
+            }
+        };
+
+        let mut out = String::new();
+        if self.explain {
+            let _ = writeln!(out, "{}", report.render());
+            let _ = writeln!(out);
+        }
+        let (result, metrics) = wh.execute(&plan)?;
+        let _ = writeln!(out, "{}", render_preview(&result, self.max_rows));
+        if self.explain {
+            let _ = writeln!(out, "{}", metrics.render_rounds());
+        }
+        let _ = write!(out, "-- {} groups | {}", result.len(), metrics.summary());
+        Ok(out)
+    }
+}
+
+/// Render at most `max_rows` rows of a relation (sorted for stability).
+pub fn render_preview(rel: &Relation, max_rows: usize) -> String {
+    let sorted = rel.sorted();
+    if sorted.len() <= max_rows {
+        return sorted.to_string();
+    }
+    let preview = Relation::from_rows_unchecked(
+        sorted.schema().clone(),
+        sorted.rows().iter().take(max_rows).cloned().collect(),
+    );
+    format!("{preview}… ({} more rows)", sorted.len() - max_rows)
+}
+
+const HELP: &str = "\
+commands:
+  \\load <scale> <sites>   generate TPCR data and launch a warehouse
+  \\tables                 list tables and statistics
+  \\flags [none|all|auto]  optimizer flags (auto = cost-based choice)
+  \\explain [on|off]       print the Egil plan report before results
+  \\sql                    show the SQL reduction of the buffered query
+  \\cost                   estimate all 16 flag combinations for the buffered query
+  \\help                   this message
+  \\q                      quit
+queries:
+  type a GMDJ query (BASE … ; MD … ;) across any number of lines and
+  finish with an empty line to execute it.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded() -> Session {
+        let mut s = Session::new();
+        s.load_tpcr(0.02, 2).unwrap();
+        s
+    }
+
+    const QUERY: &str = "BASE DISTINCT nationname FROM tpcr;
+MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
+   WHERE b.nationname = r.nationname;";
+
+    #[test]
+    fn load_and_query_end_to_end() {
+        let mut s = loaded();
+        let out = s.run_query(QUERY).unwrap();
+        assert!(out.contains("nationname"));
+        assert!(out.contains("orders"));
+        assert!(out.contains("groups |"));
+    }
+
+    #[test]
+    fn multi_line_accumulation_and_execution() {
+        let mut s = loaded();
+        for line in QUERY.lines() {
+            assert_eq!(s.handle_line(line), Outcome::Continue(String::new()));
+            assert!(s.in_query());
+        }
+        let Outcome::Continue(out) = s.handle_line("") else {
+            panic!("query should execute");
+        };
+        assert!(out.contains("orders"), "{out}");
+        assert!(!s.in_query());
+    }
+
+    #[test]
+    fn commands_work() {
+        let mut s = loaded();
+        assert!(matches!(s.handle_line("\\help"), Outcome::Continue(h) if h.contains("\\load")));
+        assert!(matches!(s.handle_line("\\q"), Outcome::Quit));
+        assert!(matches!(s.handle_line("\\tables"), Outcome::Continue(t) if t.contains("tpcr")));
+        assert!(
+            matches!(s.handle_line("\\flags none"), Outcome::Continue(f) if f.contains("none"))
+        );
+        assert!(matches!(s.handle_line("\\explain on"), Outcome::Continue(e) if e.contains("on")));
+        assert!(
+            matches!(s.handle_line("\\bogus"), Outcome::Continue(e) if e.contains("unknown command"))
+        );
+    }
+
+    #[test]
+    fn explain_mode_prints_report() {
+        let mut s = loaded();
+        s.handle_line("\\explain on");
+        let out = s.run_query(QUERY).unwrap();
+        assert!(out.contains("synchronizations"), "{out}");
+        // The per-round table is also shown.
+        assert!(out.contains("bytes_down"), "{out}");
+    }
+
+    #[test]
+    fn flag_modes_agree_on_results() {
+        let mut s = loaded();
+        let auto = s.run_query(QUERY).unwrap();
+        s.handle_line("\\flags none");
+        let none = s.run_query(QUERY).unwrap();
+        s.handle_line("\\flags all");
+        let all = s.run_query(QUERY).unwrap();
+        // The rendered table (before the metrics line) must be identical.
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&auto), table(&none));
+        assert_eq!(table(&none), table(&all));
+    }
+
+    #[test]
+    fn sql_rendering_of_buffered_query() {
+        let mut s = loaded();
+        for line in QUERY.lines() {
+            s.handle_line(line);
+        }
+        let Outcome::Continue(out) = s.handle_line("\\sql") else {
+            panic!()
+        };
+        assert!(
+            out.contains("WITH b0 AS (SELECT DISTINCT nationname FROM tpcr)"),
+            "{out}"
+        );
+        // Buffer still intact: the query can still run.
+        let Outcome::Continue(out) = s.handle_line("") else {
+            panic!()
+        };
+        assert!(out.contains("orders"));
+    }
+
+    #[test]
+    fn sync_reduction_discoverable_on_custname() {
+        // The loaded distribution knowledge covers the derived-partitioned
+        // column family, so a custname-grouped correlated query collapses
+        // to a single synchronization under \flags all.
+        let mut s = loaded();
+        s.handle_line("\\flags all");
+        s.handle_line("\\explain on");
+        let out = s
+            .run_query(
+                "BASE DISTINCT custname FROM tpcr;
+                 MD COUNT(*) AS c, AVG(extendedprice) AS a WHERE b.custname = r.custname;
+                 MD COUNT(*) AS hi WHERE b.custname = r.custname AND r.extendedprice >= b.a;",
+            )
+            .unwrap();
+        assert!(out.contains("synchronizations:        1"), "{out}");
+    }
+
+    #[test]
+    fn cost_command_ranks_combinations() {
+        let mut s = loaded();
+        for line in QUERY.lines() {
+            s.handle_line(line);
+        }
+        let Outcome::Continue(out) = s.handle_line("\\cost") else {
+            panic!()
+        };
+        assert!(out.contains("(none)"), "{out}");
+        assert!(out.contains("cheapest:"), "{out}");
+        assert!(out.lines().count() >= 17, "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        // No warehouse yet.
+        let Outcome::Continue(out) = s.handle_line("\\tables") else {
+            panic!()
+        };
+        assert!(out.contains("no warehouse"));
+        s.handle_line("BASE DISTINCT nope FROM missing;");
+        let Outcome::Continue(out) = s.handle_line("") else {
+            panic!()
+        };
+        assert!(out.starts_with("error:"), "{out}");
+        // Still usable afterwards.
+        s.load_tpcr(0.02, 2).unwrap();
+        assert!(s.run_query(QUERY).is_ok());
+    }
+
+    #[test]
+    fn preview_truncates_long_results() {
+        let mut s = loaded();
+        s.max_rows = 3;
+        let out = s.run_query(QUERY).unwrap();
+        assert!(out.contains("more rows"), "{out}");
+    }
+
+    #[test]
+    fn reload_replaces_warehouse() {
+        let mut s = loaded();
+        let msg = s.load_tpcr(0.01, 3).unwrap();
+        assert!(msg.contains("3 sites"));
+        assert!(s.run_query(QUERY).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! The `skalla` interactive shell.
+//!
+//! ```sh
+//! cargo run -p skalla-cli                 # interactive
+//! echo '...' | cargo run -p skalla-cli    # scripted
+//! skalla --load 0.05 4                    # preload a warehouse
+//! ```
+
+use std::io::{self, BufRead, IsTerminal, Write};
+
+use skalla_cli::{Outcome, Session};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = Session::new();
+
+    // Optional --load <scale> <sites> preloads a warehouse.
+    if let Some(i) = args.iter().position(|a| a == "--load") {
+        let scale = args.get(i + 1).and_then(|a| a.parse().ok()).unwrap_or(0.05);
+        let sites = args.get(i + 2).and_then(|a| a.parse().ok()).unwrap_or(4);
+        match session.load_tpcr(scale, sites) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let stdin = io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!("Skalla distributed OLAP shell — \\help for commands");
+    }
+
+    loop {
+        if interactive {
+            let prompt = if session.in_query() {
+                "     -> "
+            } else {
+                "skalla> "
+            };
+            print!("{prompt}");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => {
+                // EOF: flush any pending query, then exit.
+                if session.in_query() {
+                    if let Outcome::Continue(out) = session.handle_line("") {
+                        if !out.is_empty() {
+                            println!("{out}");
+                        }
+                    }
+                }
+                return;
+            }
+            Ok(_) => match session.handle_line(&line) {
+                Outcome::Quit => return,
+                Outcome::Continue(out) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                }
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # skalla-core
+//!
+//! The Skalla distributed runtime: coordinator, warehouse sites, and
+//! **Alg. GMDJDistribEval** (paper §3) with all three optimization families
+//! of §4 wired in as executable plan options:
+//!
+//! * **distribution-independent group reduction** (Proposition 1) — sites
+//!   piggyback a `COUNT(*)` over `θ₁ ∨ … ∨ θₘ` and ship only groups with a
+//!   positive match count;
+//! * **distribution-aware group reduction** (Theorem 4) — the coordinator
+//!   applies a per-site base filter `¬ψᵢ` before shipping groups;
+//! * **synchronization reduction** (Proposition 2, Theorem 5, Corollary 1)
+//!   — runs of GMDJs evaluate entirely locally, with a single final
+//!   synchronization.
+//!
+//! Architecture (paper Fig. 1): a strict coordinator topology. Sites run as
+//! OS threads owning their local [`skalla_storage::Catalog`]; every message
+//! between coordinator and sites crosses the simulated network of
+//! `skalla-net` and is therefore serialized and byte-counted exactly.
+//!
+//! Modules:
+//!
+//! * [`plan`] — [`DistPlan`]: the distributed evaluation plan (rounds,
+//!   reduction flags, synchronization segments).
+//! * [`message`] — the coordinator↔site protocol and its wire encoding.
+//! * [`baseresult`] — the coordinator's key-indexed base-result structure
+//!   `X` and Theorem 1 synchronization.
+//! * [`metrics`] — per-round and per-query cost breakdown (site compute,
+//!   coordinator compute, communication; measured and modeled).
+//! * [`site`] — the site worker loop.
+//! * [`warehouse`] — [`DistributedWarehouse`]: launch sites, execute plans,
+//!   and the ship-all-detail-data baseline used to demonstrate Theorem 2.
+//! * [`tree`] — [`TieredWarehouse`]: the multi-tier coordinator topology
+//!   sketched in the paper's future work (§6).
+
+pub mod baseresult;
+pub mod message;
+pub mod metrics;
+pub mod plan;
+pub mod site;
+pub mod tree;
+pub mod warehouse;
+
+pub use baseresult::BaseResult;
+pub use metrics::{ExecMetrics, RoundMetrics};
+pub use plan::{BaseRound, DistPlan, OptFlags, RoundSpec, Segment};
+pub use tree::TieredWarehouse;
+pub use warehouse::DistributedWarehouse;

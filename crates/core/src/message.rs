@@ -1,0 +1,798 @@
+//! The coordinator ↔ site protocol and its wire encoding.
+//!
+//! Every message is serialized with the `skalla-net` wire format before it
+//! crosses the simulated network, so the byte counts reported by
+//! [`skalla_net::TransferStats`] are exactly what a real deployment would
+//! ship. Plans (including their expressions) are encoded here as well —
+//! Skalla "translates OLAP queries into distributed evaluation plans which
+//! are shipped to individual sites" (paper abstract).
+//!
+//! Encoding of the `skalla-expr` / `skalla-gmdj` types lives here as free
+//! functions (the orphan rule prevents implementing `skalla-net`'s traits
+//! on those crates' types from the outside).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use skalla_expr::{BinOp, Expr, UnOp};
+use skalla_gmdj::{AggFunc, AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
+use skalla_net::wire::{put_str, put_varint};
+use skalla_net::{WireDecode, WireEncode, WireReader};
+use skalla_types::{Relation, Result, SkallaError, Value};
+
+use crate::plan::{BaseRound, DistPlan, OptFlags, RoundSpec};
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Ship the evaluation plan to a site (sent once per query).
+    Plan(DistPlan),
+    /// Ask a site to compute its local `B₀ᵢ` fragment.
+    ComputeBase,
+    /// A site's base fragment plus its measured compute time.
+    BaseFragment {
+        /// The local distinct projection.
+        rel: Relation,
+        /// Site compute seconds.
+        compute_s: f64,
+    },
+    /// Evaluate operator `op_idx` against the shipped base (standard
+    /// round).
+    Round {
+        /// Operator index.
+        op_idx: u32,
+        /// The base(-fragment) relation to aggregate against.
+        base: Relation,
+    },
+    /// A site's sub-aggregate relation `Hᵢ` for a standard round —
+    /// possibly one of several row-blocked chunks.
+    RoundResult {
+        /// Operator index.
+        op_idx: u32,
+        /// Base columns ++ sub-aggregate state columns.
+        h: Relation,
+        /// Site compute seconds (reported on the final chunk).
+        compute_s: f64,
+        /// `false` while more chunks follow (row blocking).
+        last: bool,
+    },
+    /// Evaluate operators `start..=end` locally without intermediate
+    /// synchronization (synchronization reduction).
+    LocalRun {
+        /// First operator index.
+        start: u32,
+        /// Last operator index (inclusive).
+        end: u32,
+        /// The base to start from; `None` means compute `B₀ᵢ` locally
+        /// (Proposition 2).
+        base: Option<Relation>,
+    },
+    /// A site's combined sub-aggregate relation for a local run —
+    /// possibly one of several row-blocked chunks.
+    LocalRunResult {
+        /// Last operator index of the run.
+        end: u32,
+        /// Base columns ++ state columns of every operator in the run.
+        ship: Relation,
+        /// Site compute seconds (reported on the final chunk).
+        compute_s: f64,
+        /// `false` while more chunks follow (row blocking).
+        last: bool,
+    },
+    /// Baseline only: ship the named raw detail table to the coordinator
+    /// (what Skalla never does — used to demonstrate Theorem 2).
+    ShipAllRequest {
+        /// Table to ship.
+        table: String,
+    },
+    /// The raw detail data (baseline only).
+    ShipAllData {
+        /// The site's full partition, as rows.
+        rel: Relation,
+        /// Site compute seconds.
+        compute_s: f64,
+    },
+    /// Terminate the site worker.
+    Shutdown,
+    /// A site-side failure, reported back to the coordinator.
+    Error {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl Message {
+    /// Serialize to wire bytes.
+    pub fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        encode_message(self, &mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialize from wire bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<Message> {
+        let mut r = WireReader::new(bytes);
+        let m = decode_message(&mut r)?;
+        if !r.is_empty() {
+            return Err(SkallaError::net("trailing bytes after message"));
+        }
+        Ok(m)
+    }
+
+    /// Serialize with a query-epoch prefix.
+    ///
+    /// When a query aborts mid-round (a site error fails the execution
+    /// fast), slower sites may still be computing; their replies arrive
+    /// during the *next* query. The coordinator stamps every request with
+    /// an epoch, sites echo it, and stale-epoch replies are discarded.
+    pub fn to_wire_with_epoch(&self, epoch: u64) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, epoch);
+        encode_message(self, &mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialize an epoch-prefixed message.
+    pub fn from_wire_with_epoch(bytes: &[u8]) -> Result<(u64, Message)> {
+        let mut r = WireReader::new(bytes);
+        let epoch = r.varint()?;
+        let m = decode_message(&mut r)?;
+        if !r.is_empty() {
+            return Err(SkallaError::net("trailing bytes after message"));
+        }
+        Ok((epoch, m))
+    }
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn encode_message(m: &Message, buf: &mut BytesMut) {
+    match m {
+        Message::Plan(p) => {
+            buf.put_u8(0);
+            encode_plan(p, buf);
+        }
+        Message::ComputeBase => buf.put_u8(1),
+        Message::BaseFragment { rel, compute_s } => {
+            buf.put_u8(2);
+            rel.encode(buf);
+            put_f64(buf, *compute_s);
+        }
+        Message::Round { op_idx, base } => {
+            buf.put_u8(3);
+            put_varint(buf, u64::from(*op_idx));
+            base.encode(buf);
+        }
+        Message::RoundResult {
+            op_idx,
+            h,
+            compute_s,
+            last,
+        } => {
+            buf.put_u8(4);
+            put_varint(buf, u64::from(*op_idx));
+            h.encode(buf);
+            put_f64(buf, *compute_s);
+            last.encode(buf);
+        }
+        Message::LocalRun { start, end, base } => {
+            buf.put_u8(5);
+            put_varint(buf, u64::from(*start));
+            put_varint(buf, u64::from(*end));
+            base.encode(buf);
+        }
+        Message::LocalRunResult {
+            end,
+            ship,
+            compute_s,
+            last,
+        } => {
+            buf.put_u8(6);
+            put_varint(buf, u64::from(*end));
+            ship.encode(buf);
+            put_f64(buf, *compute_s);
+            last.encode(buf);
+        }
+        Message::ShipAllRequest { table } => {
+            buf.put_u8(7);
+            put_str(buf, table);
+        }
+        Message::ShipAllData { rel, compute_s } => {
+            buf.put_u8(8);
+            rel.encode(buf);
+            put_f64(buf, *compute_s);
+        }
+        Message::Shutdown => buf.put_u8(9),
+        Message::Error { msg } => {
+            buf.put_u8(10);
+            put_str(buf, msg);
+        }
+    }
+}
+
+fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
+    match r.u8()? {
+        0 => Ok(Message::Plan(decode_plan(r)?)),
+        1 => Ok(Message::ComputeBase),
+        2 => Ok(Message::BaseFragment {
+            rel: Relation::decode(r)?,
+            compute_s: r.f64()?,
+        }),
+        3 => Ok(Message::Round {
+            op_idx: r.varint()? as u32,
+            base: Relation::decode(r)?,
+        }),
+        4 => Ok(Message::RoundResult {
+            op_idx: r.varint()? as u32,
+            h: Relation::decode(r)?,
+            compute_s: r.f64()?,
+            last: bool::decode(r)?,
+        }),
+        5 => Ok(Message::LocalRun {
+            start: r.varint()? as u32,
+            end: r.varint()? as u32,
+            base: Option::<Relation>::decode(r)?,
+        }),
+        6 => Ok(Message::LocalRunResult {
+            end: r.varint()? as u32,
+            ship: Relation::decode(r)?,
+            compute_s: r.f64()?,
+            last: bool::decode(r)?,
+        }),
+        7 => Ok(Message::ShipAllRequest { table: r.string()? }),
+        8 => Ok(Message::ShipAllData {
+            rel: Relation::decode(r)?,
+            compute_s: r.f64()?,
+        }),
+        9 => Ok(Message::Shutdown),
+        10 => Ok(Message::Error { msg: r.string()? }),
+        other => Err(SkallaError::net(format!("invalid message tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression encoding
+// ---------------------------------------------------------------------------
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn binop_from_tag(t: u8) -> Result<BinOp> {
+    Ok(match t {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        other => return Err(SkallaError::net(format!("invalid binop tag {other}"))),
+    })
+}
+
+fn unop_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+        UnOp::IsNull => 2,
+    }
+}
+
+fn unop_from_tag(t: u8) -> Result<UnOp> {
+    Ok(match t {
+        0 => UnOp::Neg,
+        1 => UnOp::Not,
+        2 => UnOp::IsNull,
+        other => return Err(SkallaError::net(format!("invalid unop tag {other}"))),
+    })
+}
+
+/// Encode an expression tree.
+pub fn encode_expr(e: &Expr, buf: &mut BytesMut) {
+    match e {
+        Expr::Lit(v) => {
+            buf.put_u8(0);
+            v.encode(buf);
+        }
+        Expr::BaseCol(i) => {
+            buf.put_u8(1);
+            put_varint(buf, *i as u64);
+        }
+        Expr::DetailCol(i) => {
+            buf.put_u8(2);
+            put_varint(buf, *i as u64);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            buf.put_u8(3);
+            buf.put_u8(binop_tag(*op));
+            encode_expr(lhs, buf);
+            encode_expr(rhs, buf);
+        }
+        Expr::Unary { op, expr } => {
+            buf.put_u8(4);
+            buf.put_u8(unop_tag(*op));
+            encode_expr(expr, buf);
+        }
+        Expr::InSet { expr, set } => {
+            buf.put_u8(5);
+            encode_expr(expr, buf);
+            put_varint(buf, set.len() as u64);
+            for v in set {
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+/// Decode an expression tree.
+pub fn decode_expr(r: &mut WireReader<'_>) -> Result<Expr> {
+    match r.u8()? {
+        0 => Ok(Expr::Lit(Value::decode(r)?)),
+        1 => Ok(Expr::BaseCol(r.varint()? as usize)),
+        2 => Ok(Expr::DetailCol(r.varint()? as usize)),
+        3 => {
+            let op = binop_from_tag(r.u8()?)?;
+            let lhs = decode_expr(r)?;
+            let rhs = decode_expr(r)?;
+            Ok(Expr::binary(op, lhs, rhs))
+        }
+        4 => {
+            let op = unop_from_tag(r.u8()?)?;
+            let expr = decode_expr(r)?;
+            Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            })
+        }
+        5 => {
+            let expr = decode_expr(r)?;
+            let n = r.varint()? as usize;
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                set.insert(Value::decode(r)?);
+            }
+            Ok(Expr::InSet {
+                expr: Box::new(expr),
+                set,
+            })
+        }
+        other => Err(SkallaError::net(format!("invalid expr tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GMDJ / plan encoding
+// ---------------------------------------------------------------------------
+
+fn aggfunc_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Avg => 2,
+        AggFunc::Min => 3,
+        AggFunc::Max => 4,
+    }
+}
+
+fn aggfunc_from_tag(t: u8) -> Result<AggFunc> {
+    Ok(match t {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Avg,
+        3 => AggFunc::Min,
+        4 => AggFunc::Max,
+        other => return Err(SkallaError::net(format!("invalid aggfunc tag {other}"))),
+    })
+}
+
+fn encode_agg(a: &AggSpec, buf: &mut BytesMut) {
+    buf.put_u8(aggfunc_tag(a.func));
+    match &a.arg {
+        None => buf.put_u8(0),
+        Some(e) => {
+            buf.put_u8(1);
+            encode_expr(e, buf);
+        }
+    }
+    put_str(buf, &a.name);
+}
+
+fn decode_agg(r: &mut WireReader<'_>) -> Result<AggSpec> {
+    let func = aggfunc_from_tag(r.u8()?)?;
+    let arg = match r.u8()? {
+        0 => None,
+        1 => Some(decode_expr(r)?),
+        other => return Err(SkallaError::net(format!("invalid agg-arg byte {other}"))),
+    };
+    let name = r.string()?;
+    Ok(AggSpec { func, arg, name })
+}
+
+fn encode_op(op: &GmdjOp, buf: &mut BytesMut) {
+    put_varint(buf, op.blocks.len() as u64);
+    for b in &op.blocks {
+        put_varint(buf, b.aggs.len() as u64);
+        for a in &b.aggs {
+            encode_agg(a, buf);
+        }
+        encode_expr(&b.theta, buf);
+    }
+    match &op.detail_name {
+        None => buf.put_u8(0),
+        Some(n) => {
+            buf.put_u8(1);
+            put_str(buf, n);
+        }
+    }
+}
+
+fn decode_op(r: &mut WireReader<'_>) -> Result<GmdjOp> {
+    let nb = r.varint()? as usize;
+    let mut blocks = Vec::with_capacity(nb.min(256));
+    for _ in 0..nb {
+        let na = r.varint()? as usize;
+        let mut aggs = Vec::with_capacity(na.min(256));
+        for _ in 0..na {
+            aggs.push(decode_agg(r)?);
+        }
+        let theta = decode_expr(r)?;
+        blocks.push(GmdjBlock::new(aggs, theta));
+    }
+    let detail_name = match r.u8()? {
+        0 => None,
+        1 => Some(r.string()?),
+        other => {
+            return Err(SkallaError::net(format!(
+                "invalid detail-name byte {other}"
+            )))
+        }
+    };
+    Ok(GmdjOp {
+        blocks,
+        detail_name,
+    })
+}
+
+/// Encode a whole GMDJ expression.
+pub fn encode_gmdj_expr(e: &GmdjExpr, buf: &mut BytesMut) {
+    match &e.base {
+        BaseSpec::DistinctProject { cols } => {
+            buf.put_u8(0);
+            cols.encode(buf);
+        }
+        BaseSpec::Relation(rel) => {
+            buf.put_u8(1);
+            rel.encode(buf);
+        }
+    }
+    put_str(buf, &e.detail_name);
+    put_varint(buf, e.ops.len() as u64);
+    for op in &e.ops {
+        encode_op(op, buf);
+    }
+    e.key.encode(buf);
+}
+
+/// Decode a whole GMDJ expression.
+pub fn decode_gmdj_expr(r: &mut WireReader<'_>) -> Result<GmdjExpr> {
+    let base = match r.u8()? {
+        0 => BaseSpec::DistinctProject {
+            cols: Vec::<usize>::decode(r)?,
+        },
+        1 => BaseSpec::Relation(Relation::decode(r)?),
+        other => return Err(SkallaError::net(format!("invalid base-spec tag {other}"))),
+    };
+    let detail_name = r.string()?;
+    let n = r.varint()? as usize;
+    let mut ops = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        ops.push(decode_op(r)?);
+    }
+    let key = Vec::<usize>::decode(r)?;
+    Ok(GmdjExpr {
+        base,
+        detail_name,
+        ops,
+        key,
+    })
+}
+
+fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
+    encode_gmdj_expr(&p.expr, buf);
+    match &p.base_round {
+        BaseRound::Distributed => buf.put_u8(0),
+        BaseRound::LocalOnly => buf.put_u8(1),
+        BaseRound::Coordinator(rel) => {
+            buf.put_u8(2);
+            rel.encode(buf);
+        }
+    }
+    put_varint(buf, p.rounds.len() as u64);
+    for rspec in &p.rounds {
+        rspec.site_group_reduction.encode(buf);
+        match &rspec.coord_filters {
+            None => buf.put_u8(0),
+            Some(fs) => {
+                buf.put_u8(1);
+                put_varint(buf, fs.len() as u64);
+                for f in fs {
+                    encode_expr(f, buf);
+                }
+            }
+        }
+        rspec.local_only.encode(buf);
+    }
+    p.flags.coalesce.encode(buf);
+    p.flags.site_group_reduction.encode(buf);
+    p.flags.coord_group_reduction.encode(buf);
+    p.flags.sync_reduction.encode(buf);
+    match p.block_rows {
+        None => buf.put_u8(0),
+        Some(b) => {
+            buf.put_u8(1);
+            put_varint(buf, b as u64);
+        }
+    }
+    put_varint(buf, p.site_parallelism as u64);
+}
+
+fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
+    let expr = decode_gmdj_expr(r)?;
+    let base_round = match r.u8()? {
+        0 => BaseRound::Distributed,
+        1 => BaseRound::LocalOnly,
+        2 => BaseRound::Coordinator(Relation::decode(r)?),
+        other => return Err(SkallaError::net(format!("invalid base-round tag {other}"))),
+    };
+    let n = r.varint()? as usize;
+    let mut rounds = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let site_group_reduction = bool::decode(r)?;
+        let coord_filters = match r.u8()? {
+            0 => None,
+            1 => {
+                let m = r.varint()? as usize;
+                let mut fs = Vec::with_capacity(m.min(256));
+                for _ in 0..m {
+                    fs.push(decode_expr(r)?);
+                }
+                Some(fs)
+            }
+            other => return Err(SkallaError::net(format!("invalid filters byte {other}"))),
+        };
+        let local_only = bool::decode(r)?;
+        rounds.push(RoundSpec {
+            site_group_reduction,
+            coord_filters,
+            local_only,
+        });
+    }
+    let flags = OptFlags {
+        coalesce: bool::decode(r)?,
+        site_group_reduction: bool::decode(r)?,
+        coord_group_reduction: bool::decode(r)?,
+        sync_reduction: bool::decode(r)?,
+    };
+    let block_rows = match r.u8()? {
+        0 => None,
+        1 => Some(r.varint()? as usize),
+        other => return Err(SkallaError::net(format!("invalid block-rows byte {other}"))),
+    };
+    let site_parallelism = r.varint()? as usize;
+    Ok(DistPlan {
+        expr,
+        base_round,
+        rounds,
+        flags,
+        block_rows,
+        site_parallelism,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema};
+
+    fn example_expr() -> GmdjExpr {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("cnt1"),
+                AggSpec::sum(Expr::detail(2), "sum1").unwrap(),
+                AggSpec::avg(Expr::detail(2), "avg1").unwrap(),
+            ],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1))),
+        )]);
+        let md2 = GmdjOp::with_detail(
+            vec![GmdjBlock::new(
+                vec![AggSpec::count_star("cnt2")],
+                Expr::base(0)
+                    .eq(Expr::detail(0))
+                    .and(Expr::detail(2).ge(Expr::base(3).div(Expr::base(2))))
+                    .and(Expr::base(1).in_set([Value::Int(1), Value::str("x")]))
+                    .or(Expr::detail(1).is_null().not()),
+            )],
+            "flow2",
+        );
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    fn round_trip(m: &Message) {
+        let bytes = m.to_wire();
+        let back = Message::from_wire(&bytes).unwrap();
+        assert_eq!(&back, m);
+    }
+
+    #[test]
+    fn plan_round_trips() {
+        let mut plan = DistPlan::unoptimized(example_expr());
+        plan.rounds[0].site_group_reduction = true;
+        plan.rounds[0].coord_filters = Some(vec![
+            Expr::base(0).in_set([Value::Int(1), Value::Int(2)]),
+            Expr::lit(false),
+        ]);
+        plan.rounds[0].local_only = true;
+        plan.base_round = BaseRound::LocalOnly;
+        plan.flags = OptFlags::all();
+        plan.block_rows = Some(128);
+        plan.site_parallelism = 4;
+        round_trip(&Message::Plan(plan));
+    }
+
+    #[test]
+    fn relation_messages_round_trip() {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(schema, vec![vec![Value::Int(7)]]).unwrap();
+        round_trip(&Message::BaseFragment {
+            rel: rel.clone(),
+            compute_s: 0.125,
+        });
+        round_trip(&Message::Round {
+            op_idx: 3,
+            base: rel.clone(),
+        });
+        round_trip(&Message::RoundResult {
+            op_idx: 3,
+            h: rel.clone(),
+            compute_s: 1.5,
+            last: true,
+        });
+        round_trip(&Message::RoundResult {
+            op_idx: 3,
+            h: rel.clone(),
+            compute_s: 0.0,
+            last: false,
+        });
+        round_trip(&Message::LocalRun {
+            start: 0,
+            end: 2,
+            base: Some(rel.clone()),
+        });
+        round_trip(&Message::LocalRun {
+            start: 0,
+            end: 0,
+            base: None,
+        });
+        round_trip(&Message::LocalRunResult {
+            end: 2,
+            ship: rel.clone(),
+            compute_s: 0.0,
+            last: true,
+        });
+        round_trip(&Message::ShipAllRequest {
+            table: "flow".into(),
+        });
+        round_trip(&Message::ShipAllData {
+            rel,
+            compute_s: 2.0,
+        });
+        round_trip(&Message::ComputeBase);
+        round_trip(&Message::Shutdown);
+        round_trip(&Message::Error { msg: "boom".into() });
+    }
+
+    #[test]
+    fn coordinator_base_round_trips() {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(schema, vec![vec![Value::Int(1)]]).unwrap();
+        let e = GmdjExpr::new(
+            BaseSpec::Relation(rel.clone()),
+            "flow",
+            vec![GmdjOp::new(vec![GmdjBlock::new(
+                vec![AggSpec::count_star("c")],
+                Expr::base(0).eq(Expr::detail(0)),
+            )])],
+            vec![0],
+        )
+        .unwrap();
+        let plan = DistPlan::unoptimized(e);
+        round_trip(&Message::Plan(plan));
+    }
+
+    #[test]
+    fn expr_kinds_round_trip() {
+        let exprs = [
+            Expr::lit(1)
+                .add(Expr::lit(2.5))
+                .sub(Expr::lit(3))
+                .mul(Expr::lit(4)),
+            Expr::base(0).div(Expr::detail(1)).rem(Expr::lit(7)),
+            Expr::base(0)
+                .ne(Expr::lit(1))
+                .or(Expr::base(1).le(Expr::lit(2))),
+            Expr::base(2)
+                .ge(Expr::lit(0))
+                .and(Expr::base(2).lt(Expr::lit(9))),
+            Expr::lit("s").eq(Expr::detail(0)),
+            Expr::base(0).neg().is_null(),
+            Expr::lit(true).not(),
+            Expr::detail(3).in_set([Value::Null, Value::Bool(true), Value::Float(1.5)]),
+        ];
+        for e in &exprs {
+            let mut buf = BytesMut::new();
+            encode_expr(e, &mut buf);
+            let mut r = WireReader::new(&buf);
+            let back = decode_expr(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn epoch_prefix_round_trips() {
+        let m = Message::ComputeBase;
+        let bytes = m.to_wire_with_epoch(42);
+        let (e, back) = Message::from_wire_with_epoch(&bytes).unwrap();
+        assert_eq!(e, 42);
+        assert_eq!(back, m);
+        // Plain from_wire must not accept epoch-prefixed bytes for epoch>0
+        // payloads that shift the tag.
+        assert!(Message::from_wire_with_epoch(&[]).is_err());
+    }
+
+    #[test]
+    fn corrupt_messages_rejected() {
+        assert!(Message::from_wire(&[200]).is_err());
+        assert!(Message::from_wire(&[]).is_err());
+        // Valid message + trailing garbage.
+        let mut bytes = Message::ComputeBase.to_wire().to_vec();
+        bytes.push(0);
+        assert!(Message::from_wire(&bytes).is_err());
+        // Truncated plan.
+        let plan_bytes = Message::Plan(DistPlan::unoptimized(example_expr())).to_wire();
+        assert!(Message::from_wire(&plan_bytes[..plan_bytes.len() / 2]).is_err());
+    }
+}

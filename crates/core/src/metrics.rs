@@ -1,0 +1,223 @@
+//! Execution metrics.
+//!
+//! Fig. 5 (right) of the paper breaks query evaluation time into *site
+//! computation*, *coordinator computation*, and *communication overhead*.
+//! [`ExecMetrics`] reproduces that breakdown: site and coordinator compute
+//! are measured (wall-clock inside the workers), communication is modeled
+//! from exact byte counts via [`skalla_net::CostModel`].
+//!
+//! The modeled response time of a round follows the paper's cost analysis
+//! (§5.2): the coordinator's link serializes transfers, so a round costs
+//! `Σᵢ send(baseᵢ) + maxᵢ computeᵢ + Σᵢ recv(Hᵢ)` plus the coordinator's
+//! synchronization time.
+
+use skalla_net::CostModel;
+
+/// Cost breakdown of one synchronization round (or local-run segment).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundMetrics {
+    /// Human-readable label ("base", "round 1", "local-run 1-2", …).
+    pub label: String,
+    /// Bytes shipped coordinator → sites this round.
+    pub bytes_down: u64,
+    /// Bytes shipped sites → coordinator this round.
+    pub bytes_up: u64,
+    /// Relation tuples shipped coordinator → sites this round (the unit of
+    /// the paper's Theorem 2 transfer bound).
+    pub rows_down: u64,
+    /// Relation tuples shipped sites → coordinator this round.
+    pub rows_up: u64,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Maximum per-site compute seconds (sites run in parallel).
+    pub site_compute_max_s: f64,
+    /// Total site compute seconds (work performed).
+    pub site_compute_total_s: f64,
+    /// Coordinator compute seconds (synchronization, filtering).
+    pub coord_compute_s: f64,
+    /// Modeled communication seconds (serialized at the coordinator link).
+    pub comm_modeled_s: f64,
+    /// Number of participating sites.
+    pub sites: usize,
+    /// Groups (rows) in the synchronized structure after this round.
+    pub groups: usize,
+}
+
+impl RoundMetrics {
+    /// Modeled response time of this round.
+    pub fn modeled_time_s(&self) -> f64 {
+        self.comm_modeled_s + self.site_compute_max_s + self.coord_compute_s
+    }
+}
+
+/// Cost breakdown of a whole query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Per-round metrics, in execution order.
+    pub rounds: Vec<RoundMetrics>,
+    /// Measured wall-clock seconds for the whole execution.
+    pub wall_s: f64,
+    /// The cost model used for the modeled times.
+    pub cost_model: Option<CostModel>,
+}
+
+impl ExecMetrics {
+    /// Total bytes transferred in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_down + r.bytes_up).sum()
+    }
+
+    /// Total bytes coordinator → sites.
+    pub fn total_bytes_down(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_down).sum()
+    }
+
+    /// Total bytes sites → coordinator.
+    pub fn total_bytes_up(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_up).sum()
+    }
+
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Total tuples shipped coordinator → sites.
+    pub fn total_rows_down(&self) -> u64 {
+        self.rounds.iter().map(|r| r.rows_down).sum()
+    }
+
+    /// Total tuples shipped sites → coordinator.
+    pub fn total_rows_up(&self) -> u64 {
+        self.rounds.iter().map(|r| r.rows_up).sum()
+    }
+
+    /// Modeled end-to-end response time (sum of round times — rounds are
+    /// sequential by construction of Alg. GMDJDistribEval).
+    pub fn modeled_time_s(&self) -> f64 {
+        self.rounds.iter().map(RoundMetrics::modeled_time_s).sum()
+    }
+
+    /// Summed site compute (max per round — the parallel critical path).
+    pub fn site_compute_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.site_compute_max_s).sum()
+    }
+
+    /// Summed coordinator compute.
+    pub fn coord_compute_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.coord_compute_s).sum()
+    }
+
+    /// Summed modeled communication time.
+    pub fn comm_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.comm_modeled_s).sum()
+    }
+
+    /// Number of synchronization rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// A per-round table (label, traffic, compute components) — the
+    /// detailed view behind [`ExecMetrics::summary`].
+    pub fn render_rounds(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>7}",
+            "round",
+            "bytes_down",
+            "bytes_up",
+            "rows_dn",
+            "rows_up",
+            "site_max",
+            "coord_s",
+            "comm_s",
+            "groups"
+        );
+        for r in &self.rounds {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>10} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>7}",
+                r.label,
+                r.bytes_down,
+                r.bytes_up,
+                r.rows_down,
+                r.rows_up,
+                r.site_compute_max_s,
+                r.coord_compute_s,
+                r.comm_modeled_s,
+                r.groups
+            );
+        }
+        out.trim_end().to_string()
+    }
+
+    /// A compact single-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rounds | {} B down, {} B up | modeled {:.4}s (site {:.4}s, coord {:.4}s, comm {:.4}s) | wall {:.4}s",
+            self.num_rounds(),
+            self.total_bytes_down(),
+            self.total_bytes_up(),
+            self.modeled_time_s(),
+            self.site_compute_s(),
+            self.coord_compute_s(),
+            self.comm_s(),
+            self.wall_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(down: u64, up: u64, site_max: f64, coord: f64, comm: f64) -> RoundMetrics {
+        RoundMetrics {
+            label: "r".into(),
+            bytes_down: down,
+            bytes_up: up,
+            rows_down: down / 10,
+            rows_up: up / 10,
+            messages: 2,
+            site_compute_max_s: site_max,
+            site_compute_total_s: site_max * 2.0,
+            coord_compute_s: coord,
+            comm_modeled_s: comm,
+            sites: 2,
+            groups: 10,
+        }
+    }
+
+    #[test]
+    fn totals_sum_rounds() {
+        let m = ExecMetrics {
+            rounds: vec![round(100, 50, 0.1, 0.02, 0.3), round(10, 5, 0.2, 0.01, 0.1)],
+            wall_s: 1.0,
+            cost_model: Some(CostModel::free()),
+        };
+        assert_eq!(m.total_bytes_down(), 110);
+        assert_eq!(m.total_bytes_up(), 55);
+        assert_eq!(m.total_bytes(), 165);
+        assert_eq!(m.total_messages(), 4);
+        assert_eq!(m.total_rows_down(), 11);
+        assert_eq!(m.total_rows_up(), 5);
+        assert_eq!(m.num_rounds(), 2);
+        assert!((m.modeled_time_s() - (0.42 + 0.31)).abs() < 1e-12);
+        assert!((m.site_compute_s() - 0.3).abs() < 1e-12);
+        assert!((m.coord_compute_s() - 0.03).abs() < 1e-12);
+        assert!((m.comm_s() - 0.4).abs() < 1e-12);
+        assert!(m.summary().contains("2 rounds"));
+        let table = m.render_rounds();
+        assert!(table.contains("round"));
+        assert_eq!(table.lines().count(), 3); // header + 2 rounds
+    }
+
+    #[test]
+    fn round_modeled_time_components() {
+        let r = round(1, 1, 0.5, 0.25, 0.125);
+        assert!((r.modeled_time_s() - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,336 @@
+//! Distributed evaluation plans.
+//!
+//! A [`DistPlan`] is what the Skalla query generator hands to the mediator
+//! (paper §3.1): the (possibly coalesced) GMDJ expression plus, per round,
+//! which reductions apply. Plans are built either directly (see
+//! [`DistPlan::unoptimized`]) or by the Egil optimizer in `skalla-planner`.
+
+use skalla_expr::Expr;
+use skalla_gmdj::GmdjExpr;
+use skalla_types::{Relation, Result, SkallaError};
+
+/// Which optimizations a plan was built with (informational; execution is
+/// driven by the per-round specs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptFlags {
+    /// GMDJ coalescing (paper §4.3).
+    pub coalesce: bool,
+    /// Distribution-independent (site-side) group reduction (Prop. 1).
+    pub site_group_reduction: bool,
+    /// Distribution-aware (coordinator-side) group reduction (Thm. 4).
+    pub coord_group_reduction: bool,
+    /// Synchronization reduction (Prop. 2 / Thm. 5 / Cor. 1).
+    pub sync_reduction: bool,
+}
+
+impl OptFlags {
+    /// Everything off (the baseline Alg. GMDJDistribEval).
+    pub fn none() -> OptFlags {
+        OptFlags::default()
+    }
+
+    /// Everything on.
+    pub fn all() -> OptFlags {
+        OptFlags {
+            coalesce: true,
+            site_group_reduction: true,
+            coord_group_reduction: true,
+            sync_reduction: true,
+        }
+    }
+}
+
+/// How the initial base-values relation `B₀` is obtained and synchronized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaseRound {
+    /// Sites compute their local `B₀ᵢ` fragments, ship them, and the
+    /// coordinator deduplicates (the default round 0 of
+    /// Alg. GMDJDistribEval).
+    Distributed,
+    /// Proposition 2: the base is computed *locally at each site* and never
+    /// synchronized; the first evaluation segment starts from the local
+    /// fragments.
+    LocalOnly,
+    /// The client supplied an explicit base-values relation held at the
+    /// coordinator; no base round is needed.
+    Coordinator(Relation),
+}
+
+/// Per-GMDJ-operator execution options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSpec {
+    /// Sites ship only groups with `|RNG| > 0` (Proposition 1).
+    pub site_group_reduction: bool,
+    /// Per-site base filters `¬ψᵢ` applied by the coordinator before
+    /// shipping (Theorem 4); `None` disables. A `FALSE` filter excludes the
+    /// site from the round entirely.
+    pub coord_filters: Option<Vec<Expr>>,
+    /// Do **not** synchronize after this operator: the next operator
+    /// consumes each site's local result directly (Theorem 5 / Corollary 1).
+    /// Must be `false` on the last operator.
+    pub local_only: bool,
+}
+
+impl RoundSpec {
+    /// The unoptimized round: full base shipped, full results returned,
+    /// synchronize afterwards.
+    pub fn basic() -> RoundSpec {
+        RoundSpec {
+            site_group_reduction: false,
+            coord_filters: None,
+            local_only: false,
+        }
+    }
+}
+
+/// A maximal execution unit between synchronizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// One operator evaluated with a synchronization after it.
+    Standard {
+        /// Operator index.
+        op: usize,
+    },
+    /// Operators `start..=end` evaluated locally at each site with a single
+    /// synchronization after `end`.
+    LocalRun {
+        /// First operator index.
+        start: usize,
+        /// Last operator index (inclusive).
+        end: usize,
+    },
+}
+
+/// A distributed evaluation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistPlan {
+    /// The (possibly coalesced) expression to evaluate.
+    pub expr: GmdjExpr,
+    /// How `B₀` is produced.
+    pub base_round: BaseRound,
+    /// One spec per operator in `expr.ops`.
+    pub rounds: Vec<RoundSpec>,
+    /// The optimizations that produced this plan.
+    pub flags: OptFlags,
+    /// Row blocking (paper §3.2/§4): sites ship result relations in chunks
+    /// of at most this many rows, letting the coordinator synchronize
+    /// fragments from fast sites while slower sites are still computing.
+    /// `None` ships each result whole.
+    pub block_rows: Option<usize>,
+    /// Threads each site uses for its local GMDJ scans (Theorem 1 applied
+    /// within the site); `0`/`1` evaluates serially.
+    pub site_parallelism: usize,
+}
+
+impl DistPlan {
+    /// The baseline plan: distributed base round, no reductions, one
+    /// synchronization per operator — exactly Alg. GMDJDistribEval.
+    pub fn unoptimized(expr: GmdjExpr) -> DistPlan {
+        let rounds = expr.ops.iter().map(|_| RoundSpec::basic()).collect();
+        let base_round = match &expr.base {
+            skalla_gmdj::BaseSpec::Relation(r) => BaseRound::Coordinator(r.clone()),
+            skalla_gmdj::BaseSpec::DistinctProject { .. } => BaseRound::Distributed,
+        };
+        DistPlan {
+            expr,
+            base_round,
+            rounds,
+            flags: OptFlags::none(),
+            block_rows: None,
+            site_parallelism: 1,
+        }
+    }
+
+    /// Enable row blocking with the given chunk size.
+    pub fn with_block_rows(mut self, rows: usize) -> DistPlan {
+        self.block_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Set the per-site scan parallelism.
+    pub fn with_site_parallelism(mut self, threads: usize) -> DistPlan {
+        self.site_parallelism = threads.max(1);
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.rounds.len() != self.expr.ops.len() {
+            return Err(SkallaError::plan(format!(
+                "{} round specs for {} operators",
+                self.rounds.len(),
+                self.expr.ops.len()
+            )));
+        }
+        if let Some(last) = self.rounds.last() {
+            if last.local_only {
+                return Err(SkallaError::plan(
+                    "last round cannot be local_only (final results must reach the coordinator)",
+                ));
+            }
+        }
+        if matches!(self.base_round, BaseRound::LocalOnly)
+            && matches!(self.expr.base, skalla_gmdj::BaseSpec::Relation(_))
+        {
+            return Err(SkallaError::plan(
+                "LocalOnly base round requires a distinct-project base",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Split the rounds into execution [`Segment`]s: a synchronization
+    /// happens after each segment.
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for (k, r) in self.rounds.iter().enumerate() {
+            if !r.local_only {
+                if k == start && !self.first_segment_forced_local(start) {
+                    out.push(Segment::Standard { op: k });
+                } else {
+                    out.push(Segment::LocalRun { start, end: k });
+                }
+                start = k + 1;
+            }
+        }
+        out
+    }
+
+    /// A `LocalOnly` base round forces the first segment to execute as a
+    /// local run (the base fragments exist only at the sites), even if it
+    /// contains a single operator.
+    fn first_segment_forced_local(&self, seg_start: usize) -> bool {
+        seg_start == 0 && matches!(self.base_round, BaseRound::LocalOnly)
+    }
+
+    /// Number of synchronizations this plan performs (base sync, if any,
+    /// plus one per segment). This is the quantity synchronization
+    /// reduction minimizes (paper Example 5).
+    pub fn num_synchronizations(&self) -> usize {
+        let base = match self.base_round {
+            BaseRound::Distributed => 1,
+            BaseRound::LocalOnly | BaseRound::Coordinator(_) => 0,
+        };
+        base + self.segments().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_expr::Expr;
+    use skalla_gmdj::{AggSpec, BaseSpec, GmdjBlock, GmdjOp};
+
+    fn op(name: &str) -> GmdjOp {
+        GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star(name)],
+            Expr::base(0).eq(Expr::detail(0)),
+        )])
+    }
+
+    fn expr(n_ops: usize) -> GmdjExpr {
+        let ops = (0..n_ops).map(|i| op(&format!("c{i}"))).collect();
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0] },
+            "t",
+            ops,
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unoptimized_plan_has_one_sync_per_round_plus_base() {
+        let p = DistPlan::unoptimized(expr(2));
+        p.validate().unwrap();
+        assert_eq!(p.base_round, BaseRound::Distributed);
+        assert_eq!(
+            p.segments(),
+            vec![Segment::Standard { op: 0 }, Segment::Standard { op: 1 }]
+        );
+        assert_eq!(p.num_synchronizations(), 3); // paper Example 5: "three synchronizations"
+    }
+
+    #[test]
+    fn local_only_rounds_form_runs() {
+        let mut p = DistPlan::unoptimized(expr(3));
+        p.rounds[0].local_only = true;
+        p.rounds[1].local_only = true;
+        p.validate().unwrap();
+        assert_eq!(p.segments(), vec![Segment::LocalRun { start: 0, end: 2 }]);
+        assert_eq!(p.num_synchronizations(), 2); // base + one final
+
+        let mut p = DistPlan::unoptimized(expr(3));
+        p.rounds[0].local_only = true;
+        assert_eq!(
+            p.segments(),
+            vec![
+                Segment::LocalRun { start: 0, end: 1 },
+                Segment::Standard { op: 2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn local_base_forces_local_first_segment() {
+        let mut p = DistPlan::unoptimized(expr(2));
+        p.base_round = BaseRound::LocalOnly;
+        p.validate().unwrap();
+        assert_eq!(
+            p.segments(),
+            vec![
+                Segment::LocalRun { start: 0, end: 0 },
+                Segment::Standard { op: 1 }
+            ]
+        );
+        assert_eq!(p.num_synchronizations(), 2);
+
+        // Full Example 5 shape: local base + local run = single sync.
+        p.rounds[0].local_only = true;
+        assert_eq!(p.segments(), vec![Segment::LocalRun { start: 0, end: 1 }]);
+        assert_eq!(p.num_synchronizations(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = DistPlan::unoptimized(expr(2));
+        p.rounds.pop();
+        assert!(p.validate().is_err());
+
+        let mut p = DistPlan::unoptimized(expr(2));
+        p.rounds[1].local_only = true;
+        assert!(p.validate().is_err());
+
+        let base_rel = Relation::empty(
+            skalla_types::Schema::from_pairs([("k", skalla_types::DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+        );
+        let e = GmdjExpr::new(BaseSpec::Relation(base_rel), "t", vec![op("c")], vec![0]).unwrap();
+        let mut p = DistPlan::unoptimized(e);
+        p.base_round = BaseRound::LocalOnly;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn coordinator_base_round_from_relation_base() {
+        let base_rel = Relation::empty(
+            skalla_types::Schema::from_pairs([("k", skalla_types::DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+        );
+        let e = GmdjExpr::new(BaseSpec::Relation(base_rel), "t", vec![op("c")], vec![0]).unwrap();
+        let p = DistPlan::unoptimized(e);
+        assert!(matches!(p.base_round, BaseRound::Coordinator(_)));
+        assert_eq!(p.num_synchronizations(), 1);
+    }
+
+    #[test]
+    fn flags_presets() {
+        assert_eq!(OptFlags::none(), OptFlags::default());
+        let all = OptFlags::all();
+        assert!(all.coalesce && all.site_group_reduction);
+        assert!(all.coord_group_reduction && all.sync_reduction);
+    }
+}

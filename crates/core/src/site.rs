@@ -1,0 +1,370 @@
+//! The Skalla site worker.
+//!
+//! Each site is an OS thread owning its local [`Catalog`] (its partition of
+//! the warehouse's fact relations) and an [`Endpoint`] into the simulated
+//! network. The worker answers coordinator requests until it receives
+//! [`Message::Shutdown`]. Failures are reported back as [`Message::Error`]
+//! rather than crashing the fabric.
+
+use std::time::Instant;
+
+use skalla_gmdj::{
+    eval_gmdj_dual, eval_gmdj_sub, BaseSpec, EvalOptions, GmdjExpr, MATCH_COUNT_COL,
+};
+use skalla_net::Endpoint;
+use skalla_storage::Catalog;
+use skalla_types::{Relation, Result, Schema, SkallaError, Value};
+
+use crate::message::Message;
+use crate::plan::DistPlan;
+
+/// Run the site worker loop until shutdown. Intended to be the body of a
+/// spawned thread; the coordinator is node 0.
+pub fn run_site(endpoint: Endpoint, catalog: Catalog) {
+    run_site_with_parent(endpoint, catalog, 0)
+}
+
+/// [`run_site`] replying to an arbitrary parent node — used by the
+/// multi-tier topology, where sites report to a mid-tier coordinator.
+pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla_net::NodeId) {
+    let mut state = SiteState {
+        catalog,
+        plan: None,
+    };
+    loop {
+        let env = match endpoint.recv() {
+            Ok(e) => e,
+            Err(_) => return, // fabric torn down
+        };
+        let (epoch, msg) = match Message::from_wire_with_epoch(&env.payload) {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = reply(&endpoint, parent, 0, Message::Error { msg: e.to_string() });
+                continue;
+            }
+        };
+        if matches!(msg, Message::Shutdown) {
+            return;
+        }
+        match state.handle(msg) {
+            Ok(responses) => {
+                for resp in responses {
+                    if reply(&endpoint, parent, epoch, resp).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                if reply(
+                    &endpoint,
+                    parent,
+                    epoch,
+                    Message::Error { msg: e.to_string() },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn reply(endpoint: &Endpoint, parent: skalla_net::NodeId, epoch: u64, msg: Message) -> Result<()> {
+    endpoint.send(parent, msg.to_wire_with_epoch(epoch))
+}
+
+/// Mutable per-site state.
+struct SiteState {
+    catalog: Catalog,
+    plan: Option<DistPlan>,
+}
+
+impl SiteState {
+    fn handle(&mut self, msg: Message) -> Result<Vec<Message>> {
+        match msg {
+            Message::Plan(p) => {
+                self.plan = Some(p);
+                Ok(Vec::new())
+            }
+            Message::ComputeBase => self.compute_base().map(|m| vec![m]),
+            Message::Round { op_idx, base } => self.round(op_idx as usize, base),
+            Message::LocalRun { start, end, base } => {
+                self.local_run(start as usize, end as usize, base)
+            }
+            Message::ShipAllRequest { table } => {
+                let started = Instant::now();
+                let t = self.catalog.get(&table)?;
+                let rel = t.to_relation();
+                Ok(vec![Message::ShipAllData {
+                    rel,
+                    compute_s: started.elapsed().as_secs_f64(),
+                }])
+            }
+            other => Err(SkallaError::exec(format!(
+                "site received unexpected message {other:?}"
+            ))),
+        }
+    }
+
+    fn plan(&self) -> Result<&DistPlan> {
+        self.plan
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no plan installed at site"))
+    }
+
+    fn expr(&self) -> Result<&GmdjExpr> {
+        Ok(&self.plan()?.expr)
+    }
+
+    /// Compute the local `B₀ᵢ` fragment.
+    fn compute_base(&self) -> Result<Message> {
+        let started = Instant::now();
+        let expr = self.expr()?;
+        let rel = self.local_base(expr)?;
+        Ok(Message::BaseFragment {
+            rel,
+            compute_s: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn local_base(&self, expr: &GmdjExpr) -> Result<Relation> {
+        match &expr.base {
+            BaseSpec::DistinctProject { cols } => {
+                let detail = self.catalog.get(&expr.detail_name)?;
+                detail.distinct_project(cols)
+            }
+            BaseSpec::Relation(_) => Err(SkallaError::exec(
+                "coordinator asked a site to compute an explicit base relation",
+            )),
+        }
+    }
+
+    /// One standard round: sub-aggregates for operator `op_idx` over the
+    /// shipped base fragment. Row blocking (if enabled in the plan) splits
+    /// the reply into chunks, all but the last flagged `last: false`.
+    fn round(&self, op_idx: usize, base: Relation) -> Result<Vec<Message>> {
+        let started = Instant::now();
+        let plan = self.plan()?;
+        let op = plan
+            .expr
+            .ops
+            .get(op_idx)
+            .ok_or_else(|| SkallaError::exec(format!("operator {op_idx} out of range")))?;
+        let reduce = plan.rounds[op_idx].site_group_reduction;
+        let detail = self.catalog.get(plan.expr.detail_for_op(op_idx))?;
+        let opts = EvalOptions {
+            with_match_count: reduce,
+            parallelism: plan.site_parallelism,
+            ..Default::default()
+        };
+        let (h, _stats) = eval_gmdj_sub(&base, &*detail, detail.schema(), op, &opts)?;
+        let h = if reduce { strip_unmatched(h)? } else { h };
+        let compute_s = started.elapsed().as_secs_f64();
+        Ok(chunk_relation(h, plan.block_rows)
+            .into_iter()
+            .map(|(chunk, last)| Message::RoundResult {
+                op_idx: op_idx as u32,
+                h: chunk,
+                compute_s: if last { compute_s } else { 0.0 },
+                last,
+            })
+            .collect())
+    }
+
+    /// A synchronization-reduced local run: evaluate operators
+    /// `start..=end` against local data with no intermediate
+    /// synchronization, shipping all sub-aggregate states at the end.
+    fn local_run(&self, start: usize, end: usize, base: Option<Relation>) -> Result<Vec<Message>> {
+        let started = Instant::now();
+        let plan = self.plan()?;
+        let expr = &plan.expr;
+        if end >= expr.ops.len() || start > end {
+            return Err(SkallaError::exec(format!(
+                "local run {start}..={end} out of range"
+            )));
+        }
+        // Site-side group reduction is only sound here when the coordinator
+        // already knows the groups (base was shipped); with a local base the
+        // shipped rows are the only record of the group's existence.
+        let reduce = base.is_some()
+            && plan.rounds[start..=end]
+                .iter()
+                .any(|r| r.site_group_reduction);
+
+        let base_rel = match base {
+            Some(b) => b,
+            None => self.local_base(expr)?,
+        };
+        let n = base_rel.len();
+
+        let mut acc_states: Vec<Vec<Value>> = vec![Vec::new(); n];
+        let mut total_matches = vec![0u64; n];
+        let mut current = base_rel.clone();
+        let mut state_fields = Vec::new();
+
+        for k in start..=end {
+            let op = &expr.ops[k];
+            let detail = self.catalog.get(expr.detail_for_op(k))?;
+            state_fields.extend(op.state_fields(detail.schema())?);
+            let dual = eval_gmdj_dual(
+                &current,
+                &*detail,
+                detail.schema(),
+                op,
+                &EvalOptions {
+                    parallelism: plan.site_parallelism,
+                    ..Default::default()
+                },
+            )?;
+            for (i, st) in dual.states.iter().enumerate() {
+                acc_states[i].extend(st.iter().cloned());
+                total_matches[i] += dual.match_counts[i];
+            }
+            current = dual.full;
+        }
+
+        // Ship: original base part ++ concatenated run states.
+        let mut fields = base_rel.schema().fields().to_vec();
+        fields.extend(state_fields);
+        let schema = std::sync::Arc::new(Schema::new(fields)?);
+        let mut rows = Vec::with_capacity(n);
+        for (i, b) in base_rel.rows().iter().enumerate() {
+            if reduce && total_matches[i] == 0 {
+                continue;
+            }
+            let mut row = b.clone();
+            row.extend(acc_states[i].iter().cloned());
+            rows.push(row);
+        }
+        let ship = Relation::from_rows_unchecked(schema, rows);
+        let compute_s = started.elapsed().as_secs_f64();
+        Ok(chunk_relation(ship, plan.block_rows)
+            .into_iter()
+            .map(|(chunk, last)| Message::LocalRunResult {
+                end: end as u32,
+                ship: chunk,
+                compute_s: if last { compute_s } else { 0.0 },
+                last,
+            })
+            .collect())
+    }
+}
+
+/// Split a relation into `(chunk, is_last)` pieces of at most `block_rows`
+/// rows. With `None` (or an empty relation) a single `last` piece is
+/// returned, so every reply carries exactly one `last: true` message.
+fn chunk_relation(rel: Relation, block_rows: Option<usize>) -> Vec<(Relation, bool)> {
+    let Some(block) = block_rows else {
+        return vec![(rel, true)];
+    };
+    let block = block.max(1);
+    if rel.len() <= block {
+        return vec![(rel, true)];
+    }
+    let schema = rel.schema().clone();
+    let rows = rel.into_rows();
+    let mut out = Vec::with_capacity(rows.len() / block + 1);
+    let mut iter = rows.into_iter().peekable();
+    while iter.peek().is_some() {
+        let chunk: Vec<_> = iter.by_ref().take(block).collect();
+        out.push((Relation::from_rows_unchecked(schema.clone(), chunk), false));
+    }
+    if let Some(last) = out.last_mut() {
+        last.1 = true;
+    }
+    out
+}
+
+/// Drop rows with `__rng_count = 0` and remove the counter column
+/// (Proposition 1's site-side reduction).
+fn strip_unmatched(h: Relation) -> Result<Relation> {
+    let count_idx = h.schema().index_of(MATCH_COUNT_COL)?;
+    let keep: Vec<usize> = (0..h.schema().len()).filter(|&i| i != count_idx).collect();
+    let schema = std::sync::Arc::new(h.schema().project(&keep)?);
+    let rows = h
+        .rows()
+        .iter()
+        .filter(|r| r[count_idx] != Value::Int(0))
+        .map(|r| keep.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    Ok(Relation::from_rows_unchecked(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::DataType;
+
+    #[test]
+    fn strip_unmatched_filters_and_projects() {
+        let schema = Schema::from_pairs([
+            ("k", DataType::Int64),
+            ("cnt", DataType::Int64),
+            (MATCH_COUNT_COL, DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc();
+        let h = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(3), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(0), Value::Int(0)],
+                vec![Value::Int(3), Value::Int(1), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let out = strip_unmatched(h).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().names(), vec!["k", "cnt"]);
+        assert_eq!(out.row(0), &vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(out.row(1), &vec![Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn site_state_requires_plan() {
+        let state = SiteState {
+            catalog: Catalog::new(),
+            plan: None,
+        };
+        assert!(state.plan().is_err());
+        let r = state.round(0, Relation::empty(Schema::empty().into_arc()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn chunking_splits_and_flags_last() {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(
+            schema.clone(),
+            (0..10).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        // No blocking: one last piece.
+        let whole = chunk_relation(rel.clone(), None);
+        assert_eq!(whole.len(), 1);
+        assert!(whole[0].1);
+        assert_eq!(whole[0].0.len(), 10);
+        // Block of 4: 4 + 4 + 2, only final flagged last.
+        let chunks = chunk_relation(rel.clone(), Some(4));
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].0.len(), 4);
+        assert_eq!(chunks[2].0.len(), 2);
+        assert_eq!(
+            chunks.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+        // Rows preserved in order.
+        assert_eq!(chunks[1].0.row(0)[0], Value::Int(4));
+        // Block ≥ len: single last piece. Zero clamps to one row per chunk.
+        assert_eq!(chunk_relation(rel.clone(), Some(100)).len(), 1);
+        assert_eq!(chunk_relation(rel.clone(), Some(0)).len(), 10);
+        // Empty relation: still one last piece.
+        let empty = Relation::empty(schema);
+        let chunks = chunk_relation(empty, Some(4));
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].1);
+    }
+}

@@ -1,0 +1,426 @@
+//! Multi-tier coordinator topology (paper §6 future work).
+//!
+//! The paper's conclusions propose "a multi-tiered coordinator architecture
+//! or spanning-tree networks" as future research. This module implements a
+//! two-level tree: the root coordinator talks to `k` **mid-tier
+//! coordinators**, each of which fronts a cluster of sites. Mid-tiers relay
+//! requests downward and — crucially — *pre-synchronize* their cluster's
+//! fragments before forwarding one merged fragment upward. Sub-aggregate
+//! state merges associatively (Theorem 1), so tiered synchronization is
+//! exact, and the root link carries one fragment per cluster instead of one
+//! per site.
+//!
+//! Limitations (documented, not silent): coordinator-side group-reduction
+//! filters are per-*site* while the root only addresses mid-tiers, so
+//! [`TieredWarehouse::execute`] ignores `coord_filters` (dropping a
+//! reduction is always sound).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skalla_gmdj::AggSpec;
+use skalla_net::{CostModel, Endpoint, NodeId, SimNetwork};
+use skalla_storage::Catalog;
+use skalla_types::{Relation, Result, Schema, SkallaError};
+
+use crate::baseresult::BaseResult;
+use crate::message::Message;
+use crate::metrics::ExecMetrics;
+use crate::plan::DistPlan;
+use crate::site::run_site_with_parent;
+use crate::warehouse::DistributedWarehouse;
+
+/// A two-level warehouse: root coordinator → mid-tier coordinators → sites.
+pub struct TieredWarehouse {
+    root: DistributedWarehouse,
+    num_mid: usize,
+    num_leaf_sites: usize,
+}
+
+impl TieredWarehouse {
+    /// Launch `catalogs.len()` sites clustered under mid-tier coordinators
+    /// of at most `fanout` sites each.
+    ///
+    /// Node ids: root = 0, mid-tiers = 1..=k, sites = k+1..=k+n.
+    pub fn launch(
+        catalogs: Vec<Catalog>,
+        fanout: usize,
+        cost: CostModel,
+    ) -> Result<TieredWarehouse> {
+        let n = catalogs.len();
+        if n == 0 {
+            return Err(SkallaError::plan("warehouse needs at least one site"));
+        }
+        if fanout == 0 {
+            return Err(SkallaError::plan("fanout must be positive"));
+        }
+        let k = n.div_ceil(fanout);
+
+        let mut schemas: HashMap<String, Arc<Schema>> = HashMap::new();
+        for c in &catalogs {
+            for name in c.table_names() {
+                let t = c.get(name)?;
+                schemas
+                    .entry(name.to_string())
+                    .or_insert_with(|| t.schema().clone());
+            }
+        }
+
+        let (net, mut endpoints) = SimNetwork::full_mesh(1 + k + n, cost);
+        let mut site_endpoints: Vec<Endpoint> = endpoints.drain(1 + k..).collect();
+        let mut mid_endpoints: Vec<Endpoint> = endpoints.drain(1..).collect();
+        let coord = endpoints.pop().expect("root endpoint");
+
+        let mut handles = Vec::with_capacity(k + n);
+
+        // Sites report to their mid-tier parent.
+        let mut children_of: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (i, catalog) in catalogs.into_iter().enumerate() {
+            let site_id = (1 + k + i) as NodeId;
+            let mid = i / fanout;
+            children_of[mid].push(site_id);
+            let parent = (1 + mid) as NodeId;
+            let ep = site_endpoints.remove(0);
+            debug_assert_eq!(ep.id(), site_id);
+            handles.push(std::thread::spawn(move || {
+                run_site_with_parent(ep, catalog, parent)
+            }));
+        }
+
+        // Mid-tiers relay between the root and their cluster.
+        for (mid, children) in children_of.into_iter().enumerate() {
+            let ep = mid_endpoints.remove(0);
+            debug_assert_eq!(ep.id(), (1 + mid) as NodeId);
+            handles.push(std::thread::spawn(move || run_midtier(ep, children)));
+        }
+
+        let root = DistributedWarehouse {
+            net,
+            coord,
+            handles,
+            num_sites: k, // the root's children are the mid-tiers
+            schemas,
+            epoch: std::sync::atomic::AtomicU64::new(0),
+        };
+        Ok(TieredWarehouse {
+            root,
+            num_mid: k,
+            num_leaf_sites: n,
+        })
+    }
+
+    /// Number of mid-tier coordinators.
+    pub fn num_mid_tiers(&self) -> usize {
+        self.num_mid
+    }
+
+    /// Number of leaf sites.
+    pub fn num_leaf_sites(&self) -> usize {
+        self.num_leaf_sites
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &SimNetwork {
+        self.root.network()
+    }
+
+    /// Execute a plan through the tree. Coordinator-side filters are
+    /// dropped (see module docs); every other optimization applies.
+    pub fn execute(&self, plan: &DistPlan) -> Result<(Relation, ExecMetrics)> {
+        let mut plan = plan.clone();
+        for r in &mut plan.rounds {
+            r.coord_filters = None;
+        }
+        self.root.execute(&plan)
+    }
+
+    /// The ship-all-detail baseline through the tree: mid-tiers union their
+    /// cluster's raw partitions before forwarding.
+    pub fn execute_ship_all(
+        &self,
+        expr: &skalla_gmdj::GmdjExpr,
+    ) -> Result<(Relation, ExecMetrics)> {
+        self.root.execute_ship_all(expr)
+    }
+
+    /// Shut down mid-tiers (which shut down their sites) and join all
+    /// threads.
+    pub fn shutdown(self) -> Result<()> {
+        self.root.shutdown()
+    }
+}
+
+/// The mid-tier relay loop.
+fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
+    let mut state = MidState {
+        plan: None,
+        epoch: 0,
+    };
+    loop {
+        let env = match endpoint.recv() {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        // Only root messages drive the relay; child replies are collected
+        // synchronously inside each handler.
+        let (epoch, msg) = match Message::from_wire_with_epoch(&env.payload) {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = endpoint.send(
+                    0,
+                    Message::Error { msg: e.to_string() }.to_wire_with_epoch(0),
+                );
+                continue;
+            }
+        };
+        let shutdown = matches!(msg, Message::Shutdown);
+        state.epoch = epoch;
+        match state.handle(&endpoint, &children, msg) {
+            Ok(responses) => {
+                for resp in responses {
+                    if endpoint.send(0, resp.to_wire_with_epoch(epoch)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = endpoint.send(
+                    0,
+                    Message::Error { msg: e.to_string() }.to_wire_with_epoch(epoch),
+                );
+            }
+        }
+        if shutdown {
+            return;
+        }
+    }
+}
+
+struct MidState {
+    plan: Option<DistPlan>,
+    /// Epoch of the request currently being relayed (stamped on downward
+    /// forwards, used to filter child replies).
+    epoch: u64,
+}
+
+impl MidState {
+    fn handle(&mut self, ep: &Endpoint, children: &[NodeId], msg: Message) -> Result<Vec<Message>> {
+        match msg {
+            Message::Plan(p) => {
+                for &c in children {
+                    ep.send(c, Message::Plan(p.clone()).to_wire_with_epoch(self.epoch))?;
+                }
+                self.plan = Some(p);
+                Ok(Vec::new())
+            }
+            Message::Shutdown => {
+                for &c in children {
+                    let _ = ep.send(c, Message::Shutdown.to_wire_with_epoch(self.epoch));
+                }
+                Ok(Vec::new())
+            }
+            Message::ComputeBase => {
+                for &c in children {
+                    ep.send(c, Message::ComputeBase.to_wire_with_epoch(self.epoch))?;
+                }
+                let mut combined: Option<Relation> = None;
+                let mut max_s: f64 = 0.0;
+                for _ in children {
+                    match self.recv(ep)? {
+                        Message::BaseFragment { rel, compute_s } => {
+                            max_s = max_s.max(compute_s);
+                            match &mut combined {
+                                None => combined = Some(rel),
+                                Some(acc) => acc.union_all(rel)?,
+                            }
+                        }
+                        other => {
+                            return Err(SkallaError::exec(format!(
+                                "mid-tier expected BaseFragment, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let rel = combined
+                    .ok_or_else(|| SkallaError::exec("mid-tier cluster is empty"))?
+                    .distinct();
+                Ok(vec![Message::BaseFragment {
+                    rel,
+                    compute_s: max_s,
+                }])
+            }
+            Message::Round { op_idx, base } => {
+                let specs = self.segment_specs(op_idx as usize, op_idx as usize)?;
+                for &c in children {
+                    ep.send(
+                        c,
+                        Message::Round {
+                            op_idx,
+                            base: base.clone(),
+                        }
+                        .to_wire_with_epoch(self.epoch),
+                    )?;
+                }
+                let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
+                Ok(vec![Message::RoundResult {
+                    op_idx,
+                    h: merged,
+                    compute_s: max_s,
+                    last: true,
+                }])
+            }
+            Message::LocalRun { start, end, base } => {
+                let specs = self.segment_specs(start as usize, end as usize)?;
+                for &c in children {
+                    ep.send(
+                        c,
+                        Message::LocalRun {
+                            start,
+                            end,
+                            base: base.clone(),
+                        }
+                        .to_wire_with_epoch(self.epoch),
+                    )?;
+                }
+                let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
+                Ok(vec![Message::LocalRunResult {
+                    end,
+                    ship: merged,
+                    compute_s: max_s,
+                    last: true,
+                }])
+            }
+            Message::ShipAllRequest { table } => {
+                for &c in children {
+                    ep.send(
+                        c,
+                        Message::ShipAllRequest {
+                            table: table.clone(),
+                        }
+                        .to_wire_with_epoch(self.epoch),
+                    )?;
+                }
+                let mut combined: Option<Relation> = None;
+                let mut total_s = 0.0;
+                for _ in children {
+                    match self.recv(ep)? {
+                        Message::ShipAllData { rel, compute_s } => {
+                            total_s += compute_s;
+                            match &mut combined {
+                                None => combined = Some(rel),
+                                Some(acc) => acc.union_all(rel)?,
+                            }
+                        }
+                        other => {
+                            return Err(SkallaError::exec(format!(
+                                "mid-tier expected ShipAllData, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(vec![Message::ShipAllData {
+                    rel: combined.ok_or_else(|| SkallaError::exec("mid-tier cluster is empty"))?,
+                    compute_s: total_s,
+                }])
+            }
+            other => Err(SkallaError::exec(format!(
+                "mid-tier received unexpected message {other:?}"
+            ))),
+        }
+    }
+
+    fn recv(&self, ep: &Endpoint) -> Result<Message> {
+        loop {
+            let env = ep.recv()?;
+            let (epoch, msg) = Message::from_wire_with_epoch(&env.payload)?;
+            if epoch != self.epoch {
+                continue; // straggler from an aborted query
+            }
+            if let Message::Error { msg } = msg {
+                return Err(SkallaError::exec(format!("site {}: {msg}", env.src)));
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Flattened aggregate specs for the segment `start..=end`.
+    fn segment_specs(&self, start: usize, end: usize) -> Result<Vec<AggSpec>> {
+        let plan = self
+            .plan
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no plan installed at mid-tier"))?;
+        if end >= plan.expr.ops.len() || start > end {
+            return Err(SkallaError::exec("segment out of range at mid-tier"));
+        }
+        let mut specs = Vec::new();
+        for op in &plan.expr.ops[start..=end] {
+            specs.extend(op.all_aggs().cloned());
+        }
+        Ok(specs)
+    }
+
+    /// Pre-synchronize the cluster's fragments (handles row-blocked chunks)
+    /// and return the merged state relation plus the slowest child time.
+    fn merge_cluster(
+        &self,
+        ep: &Endpoint,
+        num_children: usize,
+        specs: Vec<AggSpec>,
+    ) -> Result<(Relation, f64)> {
+        let plan = self.plan.as_ref().expect("checked in segment_specs");
+        let key = plan.expr.key.clone();
+        let state_width: usize = specs.iter().map(AggSpec::state_width).sum();
+
+        let mut x: Option<BaseResult> = None;
+        let mut pending = num_children;
+        let mut max_s: f64 = 0.0;
+        while pending > 0 {
+            let (h, compute_s, last) = match self.recv(ep)? {
+                Message::RoundResult {
+                    h, compute_s, last, ..
+                } => (h, compute_s, last),
+                Message::LocalRunResult {
+                    ship,
+                    compute_s,
+                    last,
+                    ..
+                } => (ship, compute_s, last),
+                other => {
+                    return Err(SkallaError::exec(format!(
+                        "mid-tier expected round result, got {other:?}"
+                    )))
+                }
+            };
+            if last {
+                max_s = max_s.max(compute_s);
+                pending -= 1;
+            }
+            let x = match &mut x {
+                Some(x) => x,
+                None => {
+                    // Lazily shape the structure from the first fragment:
+                    // its schema is base columns followed by state columns.
+                    if h.schema().len() < state_width {
+                        return Err(SkallaError::exec("fragment narrower than aggregate state"));
+                    }
+                    let base_width = h.schema().len() - state_width;
+                    let base_cols: Vec<usize> = (0..base_width).collect();
+                    let base_schema = Arc::new(h.schema().project(&base_cols)?);
+                    x = Some(BaseResult::empty(
+                        base_schema,
+                        &key,
+                        specs.clone(),
+                        Vec::new(),
+                    ));
+                    x.as_mut().expect("just set")
+                }
+            };
+            x.merge_fragment(&h, true)?;
+        }
+        let merged = match x {
+            Some(x) => x.to_state_relation()?,
+            None => return Err(SkallaError::exec("mid-tier cluster produced no fragments")),
+        };
+        Ok((merged, max_s))
+    }
+}

@@ -1,0 +1,708 @@
+//! The distributed warehouse: coordinator-side execution of
+//! Alg. GMDJDistribEval.
+//!
+//! [`DistributedWarehouse::launch`] spawns one worker thread per site, each
+//! owning its local catalog, connected through the simulated network.
+//! [`DistributedWarehouse::execute`] then drives a [`DistPlan`] through its
+//! rounds exactly as the paper's Fig. 1 (right) describes: ship base
+//! (fragments) down, evaluate sub-aggregates at the sites, synchronize the
+//! base-result structure at the coordinator, repeat.
+//!
+//! [`DistributedWarehouse::execute_ship_all`] is the anti-baseline: ship all
+//! detail data to the coordinator and evaluate centrally — the strategy
+//! whose transfer volume Theorem 2 shows Skalla never needs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use skalla_expr::{eval_base, Expr};
+use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
+use skalla_net::{CostModel, Endpoint, NodeId, SimNetwork, TransferStats};
+use skalla_storage::Catalog;
+use skalla_types::{Field, Relation, Result, Schema, SkallaError, Value};
+
+use crate::baseresult::BaseResult;
+use crate::message::Message;
+use crate::metrics::{ExecMetrics, RoundMetrics};
+use crate::plan::{BaseRound, DistPlan, Segment};
+use crate::site::run_site;
+
+/// A running distributed data warehouse: `n` site threads plus this
+/// coordinator handle.
+pub struct DistributedWarehouse {
+    pub(crate) net: SimNetwork,
+    pub(crate) coord: Endpoint,
+    pub(crate) handles: Vec<JoinHandle<()>>,
+    pub(crate) num_sites: usize,
+    pub(crate) schemas: HashMap<String, Arc<Schema>>,
+    /// Query epoch: stamped on every request, echoed by sites; replies
+    /// from an aborted earlier query are recognized and dropped.
+    pub(crate) epoch: AtomicU64,
+}
+
+impl DistributedWarehouse {
+    /// Launch one site per catalog. The coordinator records each table's
+    /// schema (global metadata every warehouse coordinator has).
+    pub fn launch(catalogs: Vec<Catalog>, cost: CostModel) -> Result<DistributedWarehouse> {
+        let n = catalogs.len();
+        if n == 0 {
+            return Err(SkallaError::plan("warehouse needs at least one site"));
+        }
+        let mut schemas: HashMap<String, Arc<Schema>> = HashMap::new();
+        for c in &catalogs {
+            for name in c.table_names() {
+                let t = c.get(name)?;
+                match schemas.get(name) {
+                    None => {
+                        schemas.insert(name.to_string(), t.schema().clone());
+                    }
+                    Some(existing) if **existing == **t.schema() => {}
+                    Some(_) => {
+                        return Err(SkallaError::schema(format!(
+                            "table `{name}` has differing schemas across sites"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let (net, mut endpoints) = SimNetwork::full_mesh(n + 1, cost);
+        // endpoints[0] is the coordinator; 1..=n are the sites.
+        let mut handles = Vec::with_capacity(n);
+        // Drain from the back so indices stay valid.
+        let mut site_endpoints: Vec<Endpoint> = endpoints.drain(1..).collect();
+        let coord = endpoints.pop().expect("coordinator endpoint");
+        for catalog in catalogs.into_iter().rev() {
+            let ep = site_endpoints.pop().expect("site endpoint");
+            handles.push(std::thread::spawn(move || run_site(ep, catalog)));
+        }
+        Ok(DistributedWarehouse {
+            net,
+            coord,
+            handles,
+            num_sites: n,
+            schemas,
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The simulated network (for stats inspection).
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Schema of a named detail table.
+    pub fn table_schema(&self, name: &str) -> Result<Arc<Schema>> {
+        self.schemas
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SkallaError::not_found(format!("table `{name}`")))
+    }
+
+    fn send(&self, site: NodeId, msg: &Message) -> Result<()> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.coord.send(site, msg.to_wire_with_epoch(epoch))
+    }
+
+    /// Receive the next message belonging to the current epoch, discarding
+    /// stragglers from aborted queries.
+    fn recv_current(&self) -> Result<(NodeId, Message)> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        loop {
+            let env = self.coord.recv()?;
+            let (e, msg) = Message::from_wire_with_epoch(&env.payload)?;
+            if e == epoch {
+                return Ok((env.src, msg));
+            }
+            // Stale reply from an aborted query: drop it.
+        }
+    }
+
+    fn broadcast(&self, msg: &Message) -> Result<()> {
+        for site in 1..=self.num_sites as NodeId {
+            self.send(site, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Receive exactly `n` current-epoch replies, failing fast on site
+    /// errors.
+    fn collect(&self, n: usize) -> Result<Vec<(NodeId, Message)>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (src, msg) = self.recv_current()?;
+            if let Message::Error { msg } = msg {
+                return Err(SkallaError::exec(format!("site {src}: {msg}")));
+            }
+            out.push((src, msg));
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn round_metrics_from(
+        &self,
+        label: impl Into<String>,
+        before: &TransferStats,
+        site_times: &[f64],
+        coord_compute_s: f64,
+        groups: usize,
+        rows_down: u64,
+        rows_up: u64,
+    ) -> RoundMetrics {
+        let delta = self.net.stats().diff(before);
+        let cost = self.net.cost_model();
+        RoundMetrics {
+            label: label.into(),
+            bytes_down: delta.bytes_from(0),
+            bytes_up: delta.bytes_to(0),
+            rows_down,
+            rows_up,
+            messages: delta.total_messages(),
+            site_compute_max_s: site_times.iter().copied().fold(0.0, f64::max),
+            site_compute_total_s: site_times.iter().sum(),
+            coord_compute_s,
+            comm_modeled_s: delta.serial_time(&cost),
+            sites: site_times.len(),
+            groups,
+        }
+    }
+
+    /// Execute a distributed plan; returns the final relation and the cost
+    /// breakdown.
+    pub fn execute(&self, plan: &DistPlan) -> Result<(Relation, ExecMetrics)> {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        plan.validate()?;
+        let expr = &plan.expr;
+        let default_schema = self.table_schema(&expr.detail_name)?;
+        expr.validate(&default_schema)?;
+
+        let wall_start = Instant::now();
+        let mut metrics = ExecMetrics {
+            rounds: Vec::new(),
+            wall_s: 0.0,
+            cost_model: Some(self.net.cost_model()),
+        };
+
+        // Ship the plan. Coordinator-side group-reduction filters are
+        // applied before shipping bases and never evaluated at the sites,
+        // so they are stripped from the shipped copy (they can embed large
+        // partition-value sets).
+        let before = self.net.stats();
+        let mut site_plan = plan.clone();
+        for r in &mut site_plan.rounds {
+            r.coord_filters = None;
+        }
+        self.broadcast(&Message::Plan(site_plan))?;
+        metrics
+            .rounds
+            .push(self.round_metrics_from("plan", &before, &[], 0.0, 0, 0, 0));
+
+        // Base round.
+        let mut current: Option<Relation> = match &plan.base_round {
+            BaseRound::Coordinator(rel) => Some(rel.clone()),
+            BaseRound::LocalOnly => None,
+            BaseRound::Distributed => {
+                let before = self.net.stats();
+                self.broadcast(&Message::ComputeBase)?;
+                let replies = self.collect(self.num_sites)?;
+                let t = Instant::now();
+                let mut site_times = Vec::with_capacity(replies.len());
+                let mut rows_up = 0u64;
+                let mut combined: Option<Relation> = None;
+                for (_, msg) in replies {
+                    let Message::BaseFragment { rel, compute_s } = msg else {
+                        return Err(SkallaError::exec("expected BaseFragment"));
+                    };
+                    site_times.push(compute_s);
+                    rows_up += rel.len() as u64;
+                    match &mut combined {
+                        None => combined = Some(rel),
+                        Some(acc) => acc.union_all(rel)?,
+                    }
+                }
+                let b0 = combined
+                    .ok_or_else(|| SkallaError::exec("no base fragments received"))?
+                    .distinct();
+                let groups = b0.len();
+                metrics.rounds.push(self.round_metrics_from(
+                    "base",
+                    &before,
+                    &site_times,
+                    t.elapsed().as_secs_f64(),
+                    groups,
+                    0,
+                    rows_up,
+                ));
+                Some(b0)
+            }
+        };
+
+        // Evaluation segments.
+        for seg in plan.segments() {
+            let (start, end, label) = match seg {
+                Segment::Standard { op } => (op, op, format!("round {}", op + 1)),
+                Segment::LocalRun { start, end } => {
+                    (start, end, format!("local-run {}-{}", start + 1, end + 1))
+                }
+            };
+            let local_base = start == 0 && matches!(plan.base_round, BaseRound::LocalOnly);
+            let is_local_run = matches!(seg, Segment::LocalRun { .. });
+
+            // Flattened aggregates + output fields for the segment.
+            let mut specs: Vec<AggSpec> = Vec::new();
+            let mut output_fields: Vec<Field> = Vec::new();
+            for k in start..=end {
+                let schema_k = self.table_schema(expr.detail_for_op(k))?;
+                specs.extend(expr.ops[k].all_aggs().cloned());
+                output_fields.extend(expr.ops[k].output_fields(&schema_k)?);
+            }
+
+            let before = self.net.stats();
+            let t_coord = Instant::now();
+
+            let mut x = if local_base {
+                let b0_schema = Arc::new(expr.base_schema(&default_schema)?);
+                BaseResult::empty(b0_schema, &expr.key, specs, output_fields)
+            } else {
+                let base = current
+                    .as_ref()
+                    .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
+                BaseResult::from_base(base, &expr.key, specs, output_fields)?
+            };
+
+            // Ship requests. For a multi-operator local run, a group must
+            // reach site i if it could contribute to ANY operator in the
+            // run, so per-site filters are the OR across the run's rounds —
+            // and filtering is only possible when every round has filters.
+            let filters: Option<Vec<Expr>> = if start == end {
+                plan.rounds[start].coord_filters.clone()
+            } else {
+                let per_round: Option<Vec<&Vec<Expr>>> = plan.rounds[start..=end]
+                    .iter()
+                    .map(|r| r.coord_filters.as_ref())
+                    .collect();
+                per_round.map(|rounds_filters| {
+                    (0..self.num_sites)
+                        .map(|i| {
+                            skalla_expr::simplify(&Expr::disjunction(
+                                rounds_filters.iter().map(|fs| fs[i].clone()),
+                            ))
+                        })
+                        .collect()
+                })
+            };
+            let filters = filters.as_ref();
+            let mut participating: Vec<NodeId> = Vec::with_capacity(self.num_sites);
+            let mut rows_down = 0u64;
+            for site in 1..=self.num_sites as NodeId {
+                let base_for_site: Option<Relation> = if local_base {
+                    None
+                } else {
+                    let base = current.as_ref().expect("checked above");
+                    let frag = match filters {
+                        Some(fs) => filter_base(base, &fs[site as usize - 1])?,
+                        None => base.clone(),
+                    };
+                    if frag.is_empty() && filters.is_some() {
+                        // This site cannot contribute to any group.
+                        continue;
+                    }
+                    Some(frag)
+                };
+                rows_down += base_for_site.as_ref().map_or(0, |b| b.len() as u64);
+                let msg = if is_local_run || local_base {
+                    Message::LocalRun {
+                        start: start as u32,
+                        end: end as u32,
+                        base: base_for_site,
+                    }
+                } else {
+                    Message::Round {
+                        op_idx: start as u32,
+                        base: base_for_site.expect("standard round ships a base"),
+                    }
+                };
+                self.send(site, &msg)?;
+                participating.push(site);
+            }
+            let coord_prep_s = t_coord.elapsed().as_secs_f64();
+
+            // Collect and synchronize. Fragments merge as they arrive —
+            // with row blocking, chunks from fast sites are folded into X
+            // while slower sites are still computing (paper §3.2).
+            let t_sync = Instant::now();
+            let mut site_times = Vec::with_capacity(participating.len());
+            let mut rows_up = 0u64;
+            let mut pending = participating.len();
+            while pending > 0 {
+                let (src, msg) = self.recv_current()?;
+                let (h, compute_s, last) = match msg {
+                    Message::RoundResult {
+                        h, compute_s, last, ..
+                    } => (h, compute_s, last),
+                    Message::LocalRunResult {
+                        ship,
+                        compute_s,
+                        last,
+                        ..
+                    } => (ship, compute_s, last),
+                    Message::Error { msg } => {
+                        return Err(SkallaError::exec(format!("site {src}: {msg}")))
+                    }
+                    other => {
+                        return Err(SkallaError::exec(format!(
+                            "expected round result, got {other:?}"
+                        )))
+                    }
+                };
+                rows_up += h.len() as u64;
+                x.merge_fragment(&h, local_base)?;
+                if last {
+                    site_times.push(compute_s);
+                    pending -= 1;
+                }
+            }
+            let finalized = x.finalize()?;
+            let groups = finalized.len();
+            current = Some(finalized);
+            metrics.rounds.push(self.round_metrics_from(
+                label,
+                &before,
+                &site_times,
+                coord_prep_s + t_sync.elapsed().as_secs_f64(),
+                groups,
+                rows_down,
+                rows_up,
+            ));
+        }
+
+        metrics.wall_s = wall_start.elapsed().as_secs_f64();
+        let result = current.ok_or_else(|| SkallaError::exec("plan produced no result"))?;
+        Ok((result, metrics))
+    }
+
+    /// The ship-all-detail-data baseline: every site sends its raw
+    /// partition(s) to the coordinator, which evaluates the expression
+    /// centrally. Skalla never does this — Theorem 2 bounds its transfers
+    /// by the *result* size, while this baseline transfers the *fact
+    /// relation*.
+    pub fn execute_ship_all(&self, expr: &GmdjExpr) -> Result<(Relation, ExecMetrics)> {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        let wall_start = Instant::now();
+        let mut names: Vec<&str> = vec![expr.detail_name.as_str()];
+        for op in &expr.ops {
+            if let Some(n) = &op.detail_name {
+                if !names.contains(&n.as_str()) {
+                    names.push(n);
+                }
+            }
+        }
+
+        let before = self.net.stats();
+        let mut catalog = Catalog::new();
+        let mut site_times: Vec<f64> = vec![0.0; self.num_sites];
+        for name in names {
+            self.broadcast(&Message::ShipAllRequest {
+                table: name.to_string(),
+            })?;
+            let replies = self.collect(self.num_sites)?;
+            let schema = self.table_schema(name)?;
+            let mut builder = skalla_storage::TableBuilder::new(schema);
+            for (src, msg) in replies {
+                let Message::ShipAllData { rel, compute_s } = msg else {
+                    return Err(SkallaError::exec("expected ShipAllData"));
+                };
+                site_times[src as usize - 1] += compute_s;
+                for row in rel.rows() {
+                    builder.push_row(row)?;
+                }
+            }
+            catalog.register(name, builder.finish());
+        }
+
+        let rows_shipped: u64 = catalog
+            .table_names()
+            .iter()
+            .map(|n| catalog.get(n).map(|t| t.len() as u64).unwrap_or(0))
+            .sum();
+        let t = Instant::now();
+        let result = eval_expr_centralized(expr, &catalog)?;
+        let groups = result.len();
+        let coord_s = t.elapsed().as_secs_f64();
+
+        let mut metrics = ExecMetrics {
+            rounds: Vec::new(),
+            wall_s: 0.0,
+            cost_model: Some(self.net.cost_model()),
+        };
+        metrics.rounds.push(self.round_metrics_from(
+            "ship-all",
+            &before,
+            &site_times,
+            coord_s,
+            groups,
+            0,
+            rows_shipped,
+        ));
+        metrics.wall_s = wall_start.elapsed().as_secs_f64();
+        Ok((result, metrics))
+    }
+
+    /// Shut down all site threads.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.broadcast(&Message::Shutdown)?;
+        for h in self.handles.drain(..) {
+            h.join()
+                .map_err(|_| SkallaError::exec("site thread panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DistributedWarehouse {
+    fn drop(&mut self) {
+        // Best-effort teardown if the user forgot to call shutdown().
+        let _ = self.broadcast(&Message::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Apply a coordinator-side group-reduction filter to the base relation.
+fn filter_base(base: &Relation, filter: &Expr) -> Result<Relation> {
+    if *filter == Expr::lit(true) {
+        return Ok(base.clone());
+    }
+    if *filter == Expr::lit(false) {
+        return Ok(Relation::empty(base.schema().clone()));
+    }
+    let mut rows = Vec::new();
+    for row in base.rows() {
+        match eval_base(filter, row)? {
+            Value::Bool(true) => rows.push(row.clone()),
+            Value::Bool(false) | Value::Null => {}
+            other => {
+                return Err(SkallaError::type_error(format!(
+                    "group filter evaluated to {other}"
+                )))
+            }
+        }
+    }
+    Ok(Relation::from_rows_unchecked(base.schema().clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_expr::Expr;
+    use skalla_gmdj::{AggSpec, BaseSpec, GmdjBlock, GmdjOp};
+    use skalla_storage::{partition_by_hash, Table};
+    use skalla_types::DataType;
+
+    fn flow_schema() -> Arc<Schema> {
+        Schema::from_pairs([
+            ("sas", DataType::Int64),
+            ("das", DataType::Int64),
+            ("nb", DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc()
+    }
+
+    fn flow_table(rows: usize) -> Table {
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Int((i % 7) as i64),
+                    Value::Int((i % 5) as i64),
+                    Value::Int((i * 13 % 101) as i64),
+                ]
+            })
+            .collect();
+        Table::from_rows(flow_schema(), &data).unwrap()
+    }
+
+    fn warehouse(n_sites: usize, rows: usize) -> (DistributedWarehouse, Catalog) {
+        let t = flow_table(rows);
+        let parts = partition_by_hash(&t, 0, n_sites).unwrap();
+        let catalogs: Vec<Catalog> = parts
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = Catalog::new();
+                c.register("flow", p.clone());
+                c
+            })
+            .collect();
+        let mut full = Catalog::new();
+        full.register("flow", t);
+        (
+            DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap(),
+            full,
+        )
+    }
+
+    /// Example 1-shaped query (correlated: θ₂ references MD₁ outputs).
+    fn example1() -> GmdjExpr {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("cnt1"),
+                AggSpec::sum(Expr::detail(2), "sum1").unwrap(),
+            ],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1))),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("cnt2")],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1)))
+                .and(Expr::detail(2).ge(Expr::base(3).div(Expr::base(2)))),
+        )]);
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let (wh, full) = warehouse(4, 200);
+        let expr = example1();
+        let plan = DistPlan::unoptimized(expr.clone());
+        let (dist, metrics) = wh.execute(&plan).unwrap();
+        let cent = eval_expr_centralized(&expr, &full).unwrap();
+        assert_eq!(dist.sorted(), cent.sorted());
+        // plan + base + 2 rounds
+        assert_eq!(metrics.num_rounds(), 4);
+        assert!(metrics.total_bytes() > 0);
+        wh.shutdown().unwrap();
+    }
+
+    #[test]
+    fn single_site_works() {
+        let (wh, full) = warehouse(1, 50);
+        let expr = example1();
+        let (dist, _) = wh.execute(&DistPlan::unoptimized(expr.clone())).unwrap();
+        let cent = eval_expr_centralized(&expr, &full).unwrap();
+        assert_eq!(dist.sorted(), cent.sorted());
+        wh.shutdown().unwrap();
+    }
+
+    #[test]
+    fn site_group_reduction_preserves_result_and_cuts_traffic() {
+        let (wh, full) = warehouse(4, 300);
+        let expr = example1();
+        let base_plan = DistPlan::unoptimized(expr.clone());
+        let (r1, m1) = wh.execute(&base_plan).unwrap();
+
+        let mut reduced = base_plan.clone();
+        for r in &mut reduced.rounds {
+            r.site_group_reduction = true;
+        }
+        let (r2, m2) = wh.execute(&reduced).unwrap();
+        assert_eq!(r1.sorted(), r2.sorted());
+        assert_eq!(
+            r1.sorted(),
+            eval_expr_centralized(&expr, &full).unwrap().sorted()
+        );
+        // Groups are partitioned on sas (hash), so each site matches only a
+        // fraction: upstream traffic must shrink.
+        assert!(m2.total_bytes_up() < m1.total_bytes_up());
+        wh.shutdown().unwrap();
+    }
+
+    #[test]
+    fn ship_all_baseline_matches_and_ships_more() {
+        let (wh, _full) = warehouse(4, 5000);
+        let expr = example1();
+        let (dist, dm) = wh.execute(&DistPlan::unoptimized(expr.clone())).unwrap();
+        let (ship, sm) = wh.execute_ship_all(&expr).unwrap();
+        assert_eq!(dist.sorted(), ship.sorted());
+        // 5000 detail rows dwarf the 35-group result: Theorem 2 in action.
+        assert!(sm.total_bytes_up() > dm.total_bytes_up());
+        wh.shutdown().unwrap();
+    }
+
+    #[test]
+    fn coordinator_base_relation_plan() {
+        let (wh, full) = warehouse(3, 120);
+        let base = Relation::new(
+            Schema::from_pairs([("sas", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+            (0..7).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::avg(Expr::detail(2), "avg_nb").unwrap()],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let expr = GmdjExpr::new(BaseSpec::Relation(base), "flow", vec![op], vec![0]).unwrap();
+        let (dist, _) = wh.execute(&DistPlan::unoptimized(expr.clone())).unwrap();
+        let cent = eval_expr_centralized(&expr, &full).unwrap();
+        assert_eq!(dist.sorted(), cent.sorted());
+        wh.shutdown().unwrap();
+    }
+
+    #[test]
+    fn filter_base_applies_predicates() {
+        let base = Relation::new(
+            Schema::from_pairs([("k", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+            vec![vec![Value::Int(1)], vec![Value::Int(5)]],
+        )
+        .unwrap();
+        assert_eq!(filter_base(&base, &Expr::lit(true)).unwrap().len(), 2);
+        assert_eq!(filter_base(&base, &Expr::lit(false)).unwrap().len(), 0);
+        let f = Expr::base(0).gt(Expr::lit(2));
+        let out = filter_base(&base, &f).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0)[0], Value::Int(5));
+        assert!(filter_base(&base, &Expr::base(0)).is_err());
+    }
+
+    #[test]
+    fn launch_rejects_empty_and_mismatched() {
+        assert!(DistributedWarehouse::launch(vec![], CostModel::free()).is_err());
+        let mut c1 = Catalog::new();
+        c1.register("t", Table::empty(flow_schema()));
+        let mut c2 = Catalog::new();
+        c2.register(
+            "t",
+            Table::empty(
+                Schema::from_pairs([("x", DataType::Int64)])
+                    .unwrap()
+                    .into_arc(),
+            ),
+        );
+        assert!(DistributedWarehouse::launch(vec![c1, c2], CostModel::free()).is_err());
+    }
+
+    #[test]
+    fn metrics_breakdown_is_consistent() {
+        let (wh, _) = warehouse(2, 100);
+        let (_, m) = wh.execute(&DistPlan::unoptimized(example1())).unwrap();
+        assert!(m.modeled_time_s() >= 0.0);
+        assert!(m.wall_s > 0.0);
+        assert_eq!(m.total_bytes(), m.total_bytes_down() + m.total_bytes_up());
+        // Groups recorded on the final round equal the result size.
+        assert!(m.rounds.last().unwrap().groups > 0);
+        wh.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Structural analyses of GMDJ conditions.
+//!
+//! These analyses drive the paper's optimizations:
+//!
+//! * [`equality_pairs`] extracts the `b.K = r.k` equi-join conjuncts that let
+//!   the local GMDJ evaluator use a hash strategy and let the planner check
+//!   the preconditions of Proposition 2 and Corollary 1.
+//! * [`entails_key_equality`] checks whether a condition θ *entails* equality
+//!   on a set of base key attributes (the `θ entails θ_K` test of
+//!   Proposition 2).
+
+use std::collections::BTreeSet;
+
+use crate::expr::{BinOp, Expr};
+
+/// An equi-join conjunct `b.base_col = r.detail_col` appearing (top-level
+/// conjunctively) in a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EqualityPair {
+    /// Column index in the base schema.
+    pub base_col: usize,
+    /// Column index in the detail schema.
+    pub detail_col: usize,
+}
+
+/// Split a condition into its top-level conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    collect_conjuncts(expr, &mut out);
+    out
+}
+
+fn collect_conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            collect_conjuncts(lhs, out);
+            collect_conjuncts(rhs, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Split a condition into its top-level disjuncts.
+pub fn disjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    collect_disjuncts(expr, &mut out);
+    out
+}
+
+fn collect_disjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        } => {
+            collect_disjuncts(lhs, out);
+            collect_disjuncts(rhs, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// The set of base-column indices referenced by `expr`.
+pub fn base_cols_used(expr: &Expr) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    walk(expr, &mut |e| {
+        if let Expr::BaseCol(i) = e {
+            set.insert(*i);
+        }
+    });
+    set
+}
+
+/// The set of detail-column indices referenced by `expr`.
+pub fn detail_cols_used(expr: &Expr) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    walk(expr, &mut |e| {
+        if let Expr::DetailCol(i) = e {
+            set.insert(*i);
+        }
+    });
+    set
+}
+
+fn walk(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Binary { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
+        Expr::Unary { expr, .. } => walk(expr, f),
+        Expr::InSet { expr, .. } => walk(expr, f),
+        Expr::Lit(_) | Expr::BaseCol(_) | Expr::DetailCol(_) => {}
+    }
+}
+
+/// Extract the equi-join conjuncts `b.i = r.j` (either orientation) from the
+/// top-level conjunction of `theta`.
+pub fn equality_pairs(theta: &Expr) -> Vec<EqualityPair> {
+    let mut out = Vec::new();
+    for c in conjuncts(theta) {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::BaseCol(b), Expr::DetailCol(d)) | (Expr::DetailCol(d), Expr::BaseCol(b)) => {
+                    out.push(EqualityPair {
+                        base_col: *b,
+                        detail_col: *d,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Does `theta` entail equality on every base key column in `key`?
+///
+/// Sound, incomplete test: θ entails `b.k = …` when the top-level
+/// conjunction contains an equi-join conjunct on `k`. Used for the
+/// `θⱼ entails θ_K` precondition of Proposition 2, and (with the returned
+/// detail columns) the partition-attribute precondition of Corollary 1.
+///
+/// Returns `Some(detail_cols)` — the detail column paired with each key
+/// column, in `key` order — when entailment holds, `None` otherwise.
+pub fn entails_key_equality(theta: &Expr, key: &[usize]) -> Option<Vec<usize>> {
+    let pairs = equality_pairs(theta);
+    key.iter()
+        .map(|k| {
+            pairs
+                .iter()
+                .find(|p| p.base_col == *k)
+                .map(|p| p.detail_col)
+        })
+        .collect()
+}
+
+/// Residual of `theta` after removing the equi-join conjuncts in `pairs`
+/// (used by the hash-based GMDJ evaluator: the hash lookup enforces the
+/// equalities, the residual is checked per candidate).
+pub fn residual_without_pairs(theta: &Expr, pairs: &[EqualityPair]) -> Expr {
+    let remaining: Vec<Expr> = conjuncts(theta)
+        .into_iter()
+        .filter(|c| !is_pair_conjunct(c, pairs))
+        .cloned()
+        .collect();
+    Expr::conjunction(remaining)
+}
+
+fn is_pair_conjunct(c: &Expr, pairs: &[EqualityPair]) -> bool {
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    {
+        match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::BaseCol(b), Expr::DetailCol(d)) | (Expr::DetailCol(d), Expr::BaseCol(b)) => {
+                return pairs.iter().any(|p| p.base_col == *b && p.detail_col == *d);
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// θ: b.0 = r.0 AND b.1 = r.1 AND r.2 >= b.2
+    fn example_theta() -> Expr {
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::base(1).eq(Expr::detail(1)))
+            .and(Expr::detail(2).ge(Expr::base(2)))
+    }
+
+    #[test]
+    fn conjunct_splitting_flattens_nested_ands() {
+        let t = example_theta();
+        assert_eq!(conjuncts(&t).len(), 3);
+        // A single non-AND node is its own conjunct.
+        assert_eq!(conjuncts(&Expr::lit(true)).len(), 1);
+    }
+
+    #[test]
+    fn disjunct_splitting() {
+        let t = Expr::lit(true)
+            .or(Expr::lit(false))
+            .or(Expr::base(0).is_null());
+        assert_eq!(disjuncts(&t).len(), 3);
+        assert_eq!(disjuncts(&Expr::lit(true)).len(), 1);
+    }
+
+    #[test]
+    fn column_usage_sets() {
+        let t = example_theta();
+        assert_eq!(base_cols_used(&t), BTreeSet::from([0, 1, 2]));
+        assert_eq!(detail_cols_used(&t), BTreeSet::from([0, 1, 2]));
+        let e = Expr::base(3).in_set([skalla_types::Value::Int(1)]);
+        assert_eq!(base_cols_used(&e), BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn equality_pairs_both_orientations() {
+        let t = Expr::detail(5)
+            .eq(Expr::base(2))
+            .and(Expr::base(0).eq(Expr::detail(1)));
+        let ps = equality_pairs(&t);
+        assert_eq!(
+            ps,
+            vec![
+                EqualityPair {
+                    base_col: 2,
+                    detail_col: 5
+                },
+                EqualityPair {
+                    base_col: 0,
+                    detail_col: 1
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_pairs_ignore_non_joins() {
+        // b.0 = b.1 and r.0 = 5 are not equi-join pairs.
+        let t = Expr::base(0)
+            .eq(Expr::base(1))
+            .and(Expr::detail(0).eq(Expr::lit(5)));
+        assert!(equality_pairs(&t).is_empty());
+        // Pairs under an OR are not top-level conjuncts.
+        let t = Expr::base(0).eq(Expr::detail(0)).or(Expr::lit(true));
+        assert!(equality_pairs(&t).is_empty());
+    }
+
+    #[test]
+    fn key_equality_entailment() {
+        let t = example_theta();
+        assert_eq!(entails_key_equality(&t, &[0, 1]), Some(vec![0, 1]));
+        assert_eq!(entails_key_equality(&t, &[1]), Some(vec![1]));
+        assert_eq!(entails_key_equality(&t, &[0, 1, 2]), None); // b.2 only in >=
+        assert_eq!(entails_key_equality(&t, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn residual_removes_only_listed_pairs() {
+        let t = example_theta();
+        let pairs = vec![EqualityPair {
+            base_col: 0,
+            detail_col: 0,
+        }];
+        let res = residual_without_pairs(&t, &pairs);
+        let cs = conjuncts(&res);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].to_string(), "(b.1 = r.1)");
+
+        let all = equality_pairs(&t);
+        let res = residual_without_pairs(&t, &all);
+        assert_eq!(conjuncts(&res).len(), 1);
+        assert_eq!(res.to_string(), "(r.2 >= b.2)");
+
+        // Removing every conjunct yields TRUE.
+        let only_eq = Expr::base(0).eq(Expr::detail(0));
+        let res = residual_without_pairs(&only_eq, &equality_pairs(&only_eq));
+        assert_eq!(res, Expr::lit(true));
+    }
+}

@@ -1,0 +1,141 @@
+//! Name-resolved expression construction.
+//!
+//! [`ExprBuilder`] binds column names against a base schema and a detail
+//! schema so queries can be written with names (`b("SourceAS")`,
+//! `r("NumBytes")`) instead of raw indices.
+
+use std::sync::Arc;
+
+use skalla_types::{Result, Schema};
+
+use crate::expr::Expr;
+
+/// Resolves column names to [`Expr::BaseCol`] / [`Expr::DetailCol`] indices.
+#[derive(Debug, Clone)]
+pub struct ExprBuilder {
+    base: Arc<Schema>,
+    detail: Arc<Schema>,
+}
+
+impl ExprBuilder {
+    /// Create a builder over the given base and detail schemas.
+    pub fn new(base: Arc<Schema>, detail: Arc<Schema>) -> ExprBuilder {
+        ExprBuilder { base, detail }
+    }
+
+    /// A builder with an empty base schema, for detail-only expressions.
+    pub fn detail_only(detail: Arc<Schema>) -> ExprBuilder {
+        ExprBuilder {
+            base: Schema::empty().into_arc(),
+            detail,
+        }
+    }
+
+    /// A builder with an empty detail schema, for base-only expressions.
+    pub fn base_only(base: Arc<Schema>) -> ExprBuilder {
+        ExprBuilder {
+            base,
+            detail: Schema::empty().into_arc(),
+        }
+    }
+
+    /// The base schema.
+    pub fn base_schema(&self) -> &Arc<Schema> {
+        &self.base
+    }
+
+    /// The detail schema.
+    pub fn detail_schema(&self) -> &Arc<Schema> {
+        &self.detail
+    }
+
+    /// Reference to the base column named `name`.
+    pub fn b(&self, name: &str) -> Result<Expr> {
+        Ok(Expr::BaseCol(self.base.index_of(name)?))
+    }
+
+    /// Reference to the detail column named `name`.
+    pub fn r(&self, name: &str) -> Result<Expr> {
+        Ok(Expr::DetailCol(self.detail.index_of(name)?))
+    }
+
+    /// Convenience: the equi-join condition `b.name = r.name` for each of
+    /// `names`, conjoined. This is the common grouping condition shape of
+    /// the paper's examples (`F.SAS = B.SAS AND F.DAS = B.DAS`).
+    pub fn key_match(&self, names: &[&str]) -> Result<Expr> {
+        let mut preds = Vec::with_capacity(names.len());
+        for n in names {
+            preds.push(self.b(n)?.eq(self.r(n)?));
+        }
+        Ok(Expr::conjunction(preds))
+    }
+
+    /// Convenience: `b.left = r.right` pairs, conjoined.
+    pub fn key_match_renamed(&self, pairs: &[(&str, &str)]) -> Result<Expr> {
+        let mut preds = Vec::with_capacity(pairs.len());
+        for (bn, rn) in pairs {
+            preds.push(self.b(bn)?.eq(self.r(rn)?));
+        }
+        Ok(Expr::conjunction(preds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::DataType;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        let base = Schema::from_pairs([("sas", DataType::Int64), ("das", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let detail = Schema::from_pairs([
+            ("sas", DataType::Int64),
+            ("das", DataType::Int64),
+            ("nb", DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc();
+        (base, detail)
+    }
+
+    #[test]
+    fn resolves_names_to_indices() {
+        let (b, r) = schemas();
+        let eb = ExprBuilder::new(b, r);
+        assert_eq!(eb.b("das").unwrap(), Expr::BaseCol(1));
+        assert_eq!(eb.r("nb").unwrap(), Expr::DetailCol(2));
+        assert!(eb.b("nb").is_err());
+        assert!(eb.r("missing").is_err());
+    }
+
+    #[test]
+    fn key_match_builds_conjunction() {
+        let (b, r) = schemas();
+        let eb = ExprBuilder::new(b, r);
+        let e = eb.key_match(&["sas", "das"]).unwrap();
+        assert_eq!(e.to_string(), "((b.0 = r.0) AND (b.1 = r.1))");
+        assert_eq!(eb.key_match(&[]).unwrap(), Expr::lit(true));
+    }
+
+    #[test]
+    fn key_match_renamed_uses_both_names() {
+        let (b, r) = schemas();
+        let eb = ExprBuilder::new(b, r);
+        let e = eb.key_match_renamed(&[("sas", "nb")]).unwrap();
+        assert_eq!(e.to_string(), "(b.0 = r.2)");
+    }
+
+    #[test]
+    fn single_sided_builders() {
+        let (b, r) = schemas();
+        let eb = ExprBuilder::base_only(b.clone());
+        assert!(eb.r("sas").is_err());
+        assert!(eb.b("sas").is_ok());
+        let ed = ExprBuilder::detail_only(r);
+        assert!(ed.b("sas").is_err());
+        assert!(ed.r("sas").is_ok());
+        assert_eq!(eb.base_schema().len(), 2);
+        assert_eq!(eb.detail_schema().len(), 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Expression evaluation.
+//!
+//! Evaluation follows SQL semantics: any comparison or arithmetic over `NULL`
+//! yields `NULL`; `AND`/`OR` use Kleene three-valued logic; a predicate holds
+//! only when it evaluates to `TRUE` (`NULL` is treated as not-satisfied, as
+//! in a SQL `WHERE` clause).
+
+use skalla_types::{Result, Row, SkallaError, Value};
+
+use crate::expr::{BinOp, Expr, UnOp};
+
+/// Evaluate `expr` against a base tuple `b` and a detail tuple `r`.
+pub fn eval(expr: &Expr, b: &[Value], r: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::BaseCol(i) => b
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SkallaError::exec(format!("base column {i} out of range"))),
+        Expr::DetailCol(i) => r
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SkallaError::exec(format!("detail column {i} out of range"))),
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, b, r),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, b, r)?;
+            eval_unary(*op, v)
+        }
+        Expr::InSet { expr, set } => {
+            let v = eval(expr, b, r)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(set.contains(&v)))
+            }
+        }
+    }
+}
+
+/// Evaluate an expression that references only base columns.
+pub fn eval_base(expr: &Expr, b: &[Value]) -> Result<Value> {
+    eval(expr, b, &[])
+}
+
+/// Evaluate an expression that references only detail columns.
+pub fn eval_detail(expr: &Expr, r: &[Value]) -> Result<Value> {
+    eval(expr, &[], r)
+}
+
+/// Evaluate a predicate: `true` iff the expression evaluates to `TRUE`
+/// (`NULL` and `FALSE` both reject, as in SQL `WHERE`).
+pub fn eval_predicate(expr: &Expr, b: &Row, r: &Row) -> Result<bool> {
+    match eval(expr, b, r)? {
+        Value::Bool(x) => Ok(x),
+        Value::Null => Ok(false),
+        other => Err(SkallaError::type_error(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, b: &[Value], r: &[Value]) -> Result<Value> {
+    // AND/OR need Kleene logic and short-circuiting, handle them first.
+    match op {
+        BinOp::And => {
+            let l = eval(lhs, b, r)?;
+            if l == Value::Bool(false) {
+                return Ok(Value::Bool(false));
+            }
+            let rv = eval(rhs, b, r)?;
+            return kleene_and(l, rv);
+        }
+        BinOp::Or => {
+            let l = eval(lhs, b, r)?;
+            if l == Value::Bool(true) {
+                return Ok(Value::Bool(true));
+            }
+            let rv = eval(rhs, b, r)?;
+            return kleene_or(l, rv);
+        }
+        _ => {}
+    }
+
+    let l = eval(lhs, b, r)?;
+    let rv = eval(rhs, b, r)?;
+    if l.is_null() || rv.is_null() {
+        return Ok(Value::Null);
+    }
+
+    if op.is_comparison() {
+        return eval_comparison(op, &l, &rv);
+    }
+
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => eval_arith(op, &l, &rv),
+        BinOp::Div => {
+            let x = l.as_f64()?;
+            let y = rv.as_f64()?;
+            if y == 0.0 {
+                Err(SkallaError::arithmetic("division by zero"))
+            } else {
+                Ok(Value::Float(x / y))
+            }
+        }
+        BinOp::Mod => {
+            let x = l.as_int()?;
+            let y = rv.as_int()?;
+            if y == 0 {
+                Err(SkallaError::arithmetic("modulo by zero"))
+            } else {
+                Ok(Value::Int(x.rem_euclid(y)))
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        _ => unreachable!("comparison handled above"),
+    }
+}
+
+fn eval_comparison(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Comparisons require compatible kinds: numeric-with-numeric,
+    // string-with-string, bool-with-bool.
+    let compatible = matches!(
+        (l, r),
+        (
+            Value::Int(_) | Value::Float(_),
+            Value::Int(_) | Value::Float(_)
+        ) | (Value::Str(_), Value::Str(_))
+            | (Value::Bool(_), Value::Bool(_))
+    );
+    if !compatible {
+        return Err(SkallaError::type_error(format!(
+            "cannot compare {l} with {r}"
+        )));
+    }
+    let ord = l.cmp(r);
+    let result = match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => ord.is_ne(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    Ok(Value::Bool(result))
+}
+
+fn eval_arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let res = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                _ => unreachable!(),
+            };
+            res.map(Value::Int)
+                .ok_or_else(|| SkallaError::arithmetic(format!("integer overflow in {a} {op} {b}")))
+        }
+        _ => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            let res = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(res))
+        }
+    }
+}
+
+fn kleene_and(l: Value, r: Value) -> Result<Value> {
+    match (to_tri(l)?, to_tri(r)?) {
+        (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+        (Some(true), Some(true)) => Ok(Value::Bool(true)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn kleene_or(l: Value, r: Value) -> Result<Value> {
+    match (to_tri(l)?, to_tri(r)?) {
+        (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+        (Some(false), Some(false)) => Ok(Value::Bool(false)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn to_tri(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(b)),
+        Value::Null => Ok(None),
+        other => Err(SkallaError::type_error(format!(
+            "expected boolean operand, got {other}"
+        ))),
+    }
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| SkallaError::arithmetic("integer overflow in negation")),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SkallaError::type_error(format!("cannot negate {other}"))),
+        },
+        UnOp::Not => match to_tri(v)? {
+            Some(b) => Ok(Value::Bool(!b)),
+            None => Ok(Value::Null),
+        },
+        UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Row {
+        vec![Value::Int(10), Value::str("web"), Value::Null]
+    }
+
+    fn r() -> Row {
+        vec![Value::Int(10), Value::Float(2.5), Value::str("web")]
+    }
+
+    #[test]
+    fn column_references_resolve() {
+        assert_eq!(eval(&Expr::base(0), &b(), &r()).unwrap(), Value::Int(10));
+        assert_eq!(
+            eval(&Expr::detail(1), &b(), &r()).unwrap(),
+            Value::Float(2.5)
+        );
+        assert!(eval(&Expr::base(9), &b(), &r()).is_err());
+        assert!(eval(&Expr::detail(9), &b(), &r()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_mixed_types() {
+        let e = Expr::base(0).add(Expr::detail(1));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Float(12.5));
+        let e = Expr::lit(3).mul(Expr::lit(4));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Int(12));
+        let e = Expr::lit(7).div(Expr::lit(2));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Float(3.5));
+        let e = Expr::lit(-7).rem(Expr::lit(3));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Int(2)); // rem_euclid
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        assert!(matches!(
+            eval(&Expr::lit(1).div(Expr::lit(0)), &[], &[]),
+            Err(SkallaError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            eval(&Expr::lit(1).rem(Expr::lit(0)), &[], &[]),
+            Err(SkallaError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            eval(&Expr::lit(i64::MAX).add(Expr::lit(1)), &[], &[]),
+            Err(SkallaError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            eval(&Expr::lit(i64::MIN).neg(), &[], &[]),
+            Err(SkallaError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic_and_comparison() {
+        let e = Expr::base(2).add(Expr::lit(1));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Null);
+        let e = Expr::base(2).eq(Expr::lit(1));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        let n = Expr::Lit(Value::Null);
+        assert_eq!(
+            eval(&t.clone().and(n.clone()), &[], &[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&f.clone().and(n.clone()), &[], &[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&n.clone().and(f.clone()), &[], &[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&t.clone().or(n.clone()), &[], &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&n.clone().or(t.clone()), &[], &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&f.clone().or(n.clone()), &[], &[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&n.clone().and(n.clone()), &[], &[]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // rhs would divide by zero, but lhs decides the outcome.
+        let e = Expr::lit(false).and(Expr::lit(1).div(Expr::lit(0)).gt(Expr::lit(0)));
+        assert_eq!(eval(&e, &[], &[]).unwrap(), Value::Bool(false));
+        let e = Expr::lit(true).or(Expr::lit(1).div(Expr::lit(0)).gt(Expr::lit(0)));
+        assert_eq!(eval(&e, &[], &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons_between_kinds_rejected() {
+        let e = Expr::lit(1).eq(Expr::lit("x"));
+        assert!(matches!(eval(&e, &[], &[]), Err(SkallaError::Type(_))));
+        let e = Expr::lit(true).lt(Expr::lit(1));
+        assert!(eval(&e, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let e = Expr::base(1).eq(Expr::detail(2));
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Bool(true));
+        let e = Expr::lit("a").lt(Expr::lit("b"));
+        assert_eq!(eval(&e, &[], &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn predicate_semantics_null_rejects() {
+        let e = Expr::base(2).eq(Expr::lit(1)); // NULL = 1 -> NULL
+        assert!(!eval_predicate(&e, &b(), &r()).unwrap());
+        let e = Expr::base(0).eq(Expr::detail(0));
+        assert!(eval_predicate(&e, &b(), &r()).unwrap());
+        assert!(eval_predicate(&Expr::lit(1), &b(), &r()).is_err());
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        assert_eq!(
+            eval(&Expr::base(2).is_null(), &b(), &r()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&Expr::base(0).is_null(), &b(), &r()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&Expr::Lit(Value::Null).not(), &[], &[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&Expr::lit(false).not(), &[], &[]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn in_set_membership() {
+        let e = Expr::base(0).in_set([Value::Int(10), Value::Int(20)]);
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Bool(true));
+        let e = Expr::base(0).in_set([Value::Int(11)]);
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Bool(false));
+        let e = Expr::base(2).in_set([Value::Int(1)]);
+        assert_eq!(eval(&e, &b(), &r()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn float_negation() {
+        assert_eq!(
+            eval(&Expr::lit(2.5).neg(), &[], &[]).unwrap(),
+            Value::Float(-2.5)
+        );
+        assert!(eval(&Expr::lit("x").neg(), &[], &[]).is_err());
+    }
+}

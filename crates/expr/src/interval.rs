@@ -1,0 +1,397 @@
+//! Interval arithmetic over `f64`, with open/closed/unbounded endpoints.
+//!
+//! Used by the group-reduction analysis ([`crate::reduction`]) to propagate
+//! per-site constraints `φᵢ` on detail columns through linear expressions
+//! (paper Theorem 4 and Example 2).
+
+/// One endpoint of an [`Interval`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Unbounded in this direction.
+    Unbounded,
+    /// Finite endpoint; `closed` means the endpoint is attained.
+    Finite {
+        /// The endpoint value.
+        value: f64,
+        /// Whether the endpoint is included.
+        closed: bool,
+    },
+}
+
+impl Bound {
+    /// A closed finite bound.
+    pub fn closed(value: f64) -> Bound {
+        Bound::Finite {
+            value,
+            closed: true,
+        }
+    }
+
+    /// An open finite bound.
+    pub fn open(value: f64) -> Bound {
+        Bound::Finite {
+            value,
+            closed: false,
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Finite { value, .. } => Some(*value),
+        }
+    }
+
+    /// Whether the bound is closed (`false` for unbounded).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Bound::Finite { closed: true, .. })
+    }
+
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (
+                Bound::Finite {
+                    value: a,
+                    closed: ca,
+                },
+                Bound::Finite {
+                    value: b,
+                    closed: cb,
+                },
+            ) => Bound::Finite {
+                value: a + b,
+                closed: ca && cb,
+            },
+            _ => Bound::Unbounded,
+        }
+    }
+
+    fn scale(self, k: f64) -> Bound {
+        match self {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Finite { value, closed } => Bound::Finite {
+                value: value * k,
+                closed,
+            },
+        }
+    }
+}
+
+/// An interval `[lo, hi]` (with each endpoint possibly open or unbounded)
+/// over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: Bound,
+    /// Upper endpoint.
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// The whole real line.
+    pub fn unbounded() -> Interval {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// The closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo: Bound::closed(lo),
+            hi: Bound::closed(hi),
+        }
+    }
+
+    /// The single point `{v}`.
+    pub fn singleton(v: f64) -> Interval {
+        Interval::closed(v, v)
+    }
+
+    /// `[lo, +∞)`.
+    pub fn at_least(lo: f64) -> Interval {
+        Interval {
+            lo: Bound::closed(lo),
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// `(-∞, hi]`.
+    pub fn at_most(hi: f64) -> Interval {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::closed(hi),
+        }
+    }
+
+    /// `(lo, +∞)`.
+    pub fn greater_than(lo: f64) -> Interval {
+        Interval {
+            lo: Bound::open(lo),
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// `(-∞, hi)`.
+    pub fn less_than(hi: f64) -> Interval {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::open(hi),
+        }
+    }
+
+    /// The smallest closed interval containing all `values` (empty input →
+    /// `None`).
+    pub fn hull_of(values: impl IntoIterator<Item = f64>) -> Option<Interval> {
+        let mut it = values.into_iter();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some(Interval::closed(lo, hi))
+    }
+
+    /// `true` if no real number lies in the interval.
+    pub fn is_empty(&self) -> bool {
+        match (self.lo, self.hi) {
+            (
+                Bound::Finite {
+                    value: a,
+                    closed: ca,
+                },
+                Bound::Finite {
+                    value: b,
+                    closed: cb,
+                },
+            ) => a > b || (a == b && !(ca && cb)),
+            _ => false,
+        }
+    }
+
+    /// `true` if `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        let lo_ok = match self.lo {
+            Bound::Unbounded => true,
+            Bound::Finite { value, closed } => {
+                if closed {
+                    x >= value
+                } else {
+                    x > value
+                }
+            }
+        };
+        let hi_ok = match self.hi {
+            Bound::Unbounded => true,
+            Bound::Finite { value, closed } => {
+                if closed {
+                    x <= value
+                } else {
+                    x < value
+                }
+            }
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Minkowski sum: `{a + b | a ∈ self, b ∈ other}`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.add(other.lo),
+            hi: self.hi.add(other.hi),
+        }
+    }
+
+    /// Scale by a constant: `{k·a | a ∈ self}`; flips endpoints for `k < 0`,
+    /// collapses to `{0}` for `k = 0`.
+    pub fn scale(&self, k: f64) -> Interval {
+        if k == 0.0 {
+            return Interval::singleton(0.0);
+        }
+        if k > 0.0 {
+            Interval {
+                lo: self.lo.scale(k),
+                hi: self.hi.scale(k),
+            }
+        } else {
+            Interval {
+                lo: self.hi.scale(k),
+                hi: self.lo.scale(k),
+            }
+        }
+    }
+
+    /// Shift by a constant.
+    pub fn shift(&self, c: f64) -> Interval {
+        self.add(&Interval::singleton(c))
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let lo = match (self.lo, other.lo) {
+            (Bound::Unbounded, b) | (b, Bound::Unbounded) => b,
+            (
+                Bound::Finite {
+                    value: a,
+                    closed: ca,
+                },
+                Bound::Finite {
+                    value: b,
+                    closed: cb,
+                },
+            ) => {
+                if a > b {
+                    Bound::Finite {
+                        value: a,
+                        closed: ca,
+                    }
+                } else if b > a {
+                    Bound::Finite {
+                        value: b,
+                        closed: cb,
+                    }
+                } else {
+                    Bound::Finite {
+                        value: a,
+                        closed: ca && cb,
+                    }
+                }
+            }
+        };
+        let hi = match (self.hi, other.hi) {
+            (Bound::Unbounded, b) | (b, Bound::Unbounded) => b,
+            (
+                Bound::Finite {
+                    value: a,
+                    closed: ca,
+                },
+                Bound::Finite {
+                    value: b,
+                    closed: cb,
+                },
+            ) => {
+                if a < b {
+                    Bound::Finite {
+                        value: a,
+                        closed: ca,
+                    }
+                } else if b < a {
+                    Bound::Finite {
+                        value: b,
+                        closed: cb,
+                    }
+                } else {
+                    Bound::Finite {
+                        value: a,
+                        closed: ca && cb,
+                    }
+                }
+            }
+        };
+        Interval { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_respects_openness() {
+        let i = Interval {
+            lo: Bound::open(1.0),
+            hi: Bound::closed(3.0),
+        };
+        assert!(!i.contains(1.0));
+        assert!(i.contains(1.5));
+        assert!(i.contains(3.0));
+        assert!(!i.contains(3.1));
+        assert!(Interval::unbounded().contains(f64::MAX));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::closed(3.0, 1.0).is_empty());
+        assert!(!Interval::closed(1.0, 1.0).is_empty());
+        assert!(Interval {
+            lo: Bound::open(1.0),
+            hi: Bound::closed(1.0)
+        }
+        .is_empty());
+        assert!(!Interval::unbounded().is_empty());
+    }
+
+    #[test]
+    fn minkowski_add() {
+        let a = Interval::closed(1.0, 2.0);
+        let b = Interval::closed(10.0, 20.0);
+        assert_eq!(a.add(&b), Interval::closed(11.0, 22.0));
+        let u = Interval::at_least(1.0).add(&Interval::closed(1.0, 1.0));
+        assert_eq!(u, Interval::at_least(2.0));
+        // open + closed stays open
+        let o = Interval {
+            lo: Bound::open(0.0),
+            hi: Bound::closed(1.0),
+        };
+        let s = o.add(&Interval::singleton(1.0));
+        assert_eq!(s.lo, Bound::open(1.0));
+        assert_eq!(s.hi, Bound::closed(2.0));
+    }
+
+    #[test]
+    fn scaling_flips_for_negative() {
+        let a = Interval::closed(1.0, 2.0);
+        assert_eq!(a.scale(3.0), Interval::closed(3.0, 6.0));
+        assert_eq!(a.scale(-1.0), Interval::closed(-2.0, -1.0));
+        assert_eq!(a.scale(0.0), Interval::singleton(0.0));
+        assert_eq!(Interval::at_least(1.0).scale(-2.0), Interval::at_most(-2.0));
+    }
+
+    #[test]
+    fn intersection_picks_tighter_bounds() {
+        let a = Interval::closed(0.0, 10.0);
+        let b = Interval::closed(5.0, 20.0);
+        assert_eq!(a.intersect(&b), Interval::closed(5.0, 10.0));
+        let c = Interval::greater_than(5.0);
+        let i = a.intersect(&c);
+        assert_eq!(i.lo, Bound::open(5.0));
+        assert_eq!(i.hi, Bound::closed(10.0));
+        // Equal endpoint values: closedness is the AND of the two.
+        let d = Interval {
+            lo: Bound::open(0.0),
+            hi: Bound::closed(10.0),
+        };
+        assert_eq!(a.intersect(&d).lo, Bound::open(0.0));
+    }
+
+    #[test]
+    fn hull_spans_all_values() {
+        assert_eq!(
+            Interval::hull_of([3.0, 1.0, 2.0]),
+            Some(Interval::closed(1.0, 3.0))
+        );
+        assert_eq!(Interval::hull_of([]), None);
+        assert_eq!(Interval::hull_of([5.0]), Some(Interval::singleton(5.0)));
+    }
+
+    #[test]
+    fn shift_moves_both_ends() {
+        assert_eq!(
+            Interval::closed(1.0, 2.0).shift(10.0),
+            Interval::closed(11.0, 12.0)
+        );
+        assert_eq!(Interval::less_than(0.0).shift(1.0).hi, Bound::open(1.0));
+    }
+
+    #[test]
+    fn bound_accessors() {
+        assert_eq!(Bound::closed(1.0).value(), Some(1.0));
+        assert_eq!(Bound::Unbounded.value(), None);
+        assert!(Bound::closed(1.0).is_closed());
+        assert!(!Bound::open(1.0).is_closed());
+        assert!(!Bound::Unbounded.is_closed());
+    }
+}

@@ -1,0 +1,325 @@
+//! Extraction of linear forms from expressions.
+//!
+//! A [`LinearForm`] represents `Σᵢ aᵢ·b.colᵢ + Σⱼ dⱼ·r.colⱼ + c` with `f64`
+//! coefficients. The group-reduction analysis (paper Theorem 4, Example 2)
+//! rewrites comparison conjuncts of θ into `L(b) + D(r) + c  op  0` and then
+//! bounds the detail part `D(r)` using per-site constraints.
+
+use std::collections::BTreeMap;
+
+use skalla_types::Value;
+
+use crate::expr::{BinOp, Expr, UnOp};
+
+/// A linear combination of base columns, detail columns, and a constant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearForm {
+    /// Base-column coefficients (zero coefficients are never stored).
+    pub base: BTreeMap<usize, f64>,
+    /// Detail-column coefficients (zero coefficients are never stored).
+    pub detail: BTreeMap<usize, f64>,
+    /// Additive constant.
+    pub constant: f64,
+}
+
+impl LinearForm {
+    /// The zero form.
+    pub fn zero() -> LinearForm {
+        LinearForm::default()
+    }
+
+    /// The constant form `c`.
+    pub fn constant(c: f64) -> LinearForm {
+        LinearForm {
+            constant: c,
+            ..Default::default()
+        }
+    }
+
+    /// The single base column `b.i`.
+    pub fn base_col(i: usize) -> LinearForm {
+        let mut f = LinearForm::zero();
+        f.base.insert(i, 1.0);
+        f
+    }
+
+    /// The single detail column `r.j`.
+    pub fn detail_col(j: usize) -> LinearForm {
+        let mut f = LinearForm::zero();
+        f.detail.insert(j, 1.0);
+        f
+    }
+
+    /// Sum of two forms.
+    pub fn add(&self, other: &LinearForm) -> LinearForm {
+        let mut out = self.clone();
+        for (k, v) in &other.base {
+            add_coef(&mut out.base, *k, *v);
+        }
+        for (k, v) in &other.detail {
+            add_coef(&mut out.detail, *k, *v);
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// Difference of two forms.
+    pub fn sub(&self, other: &LinearForm) -> LinearForm {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Scale all coefficients by `k`.
+    pub fn scale(&self, k: f64) -> LinearForm {
+        if k == 0.0 {
+            return LinearForm::zero();
+        }
+        LinearForm {
+            base: self.base.iter().map(|(c, v)| (*c, v * k)).collect(),
+            detail: self.detail.iter().map(|(c, v)| (*c, v * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// `true` if the form has no column terms.
+    pub fn is_constant(&self) -> bool {
+        self.base.is_empty() && self.detail.is_empty()
+    }
+
+    /// `true` if the form references no detail columns.
+    pub fn is_base_only(&self) -> bool {
+        self.detail.is_empty()
+    }
+
+    /// `true` if the form references no base columns.
+    pub fn is_detail_only(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The detail part only (no base terms, no constant).
+    pub fn detail_part(&self) -> LinearForm {
+        LinearForm {
+            base: BTreeMap::new(),
+            detail: self.detail.clone(),
+            constant: 0.0,
+        }
+    }
+
+    /// The base part plus constant (no detail terms).
+    pub fn base_part_with_constant(&self) -> LinearForm {
+        LinearForm {
+            base: self.base.clone(),
+            detail: BTreeMap::new(),
+            constant: self.constant,
+        }
+    }
+
+    /// If the form is exactly `a·col + c` over a single detail column,
+    /// return `(col, a, c)`.
+    pub fn as_single_detail(&self) -> Option<(usize, f64, f64)> {
+        if self.base.is_empty() && self.detail.len() == 1 {
+            let (&col, &a) = self.detail.iter().next().unwrap();
+            Some((col, a, self.constant))
+        } else {
+            None
+        }
+    }
+
+    /// Rebuild an expression for a base-only form: `Σ aᵢ·b.colᵢ + c`.
+    ///
+    /// Panics in debug builds if the form has detail terms.
+    pub fn to_base_expr(&self) -> Expr {
+        debug_assert!(self.detail.is_empty());
+        let mut terms: Vec<Expr> = Vec::with_capacity(self.base.len() + 1);
+        for (&col, &coef) in &self.base {
+            let t = if coef == 1.0 {
+                Expr::base(col)
+            } else {
+                Expr::lit(coef).mul(Expr::base(col))
+            };
+            terms.push(t);
+        }
+        if self.constant != 0.0 || terms.is_empty() {
+            terms.push(Expr::lit(self.constant));
+        }
+        let mut it = terms.into_iter();
+        let first = it.next().expect("at least one term");
+        it.fold(first, |acc, t| acc.add(t))
+    }
+}
+
+fn add_coef(map: &mut BTreeMap<usize, f64>, col: usize, v: f64) {
+    let entry = map.entry(col).or_insert(0.0);
+    *entry += v;
+    if *entry == 0.0 {
+        map.remove(&col);
+    }
+}
+
+/// Extract a [`LinearForm`] from `expr`, or `None` if the expression is not
+/// linear (contains non-numeric literals, products of columns, division by a
+/// non-constant, comparisons, …).
+pub fn extract_linear(expr: &Expr) -> Option<LinearForm> {
+    match expr {
+        Expr::Lit(Value::Int(i)) => Some(LinearForm::constant(*i as f64)),
+        Expr::Lit(Value::Float(f)) => Some(LinearForm::constant(*f)),
+        Expr::Lit(_) => None,
+        Expr::BaseCol(i) => Some(LinearForm::base_col(*i)),
+        Expr::DetailCol(j) => Some(LinearForm::detail_col(*j)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Some(extract_linear(expr)?.scale(-1.0)),
+        Expr::Unary { .. } => None,
+        Expr::Binary { op, lhs, rhs } => {
+            let l = extract_linear(lhs)?;
+            let r = extract_linear(rhs)?;
+            match op {
+                BinOp::Add => Some(l.add(&r)),
+                BinOp::Sub => Some(l.sub(&r)),
+                BinOp::Mul => {
+                    if l.is_constant() {
+                        Some(r.scale(l.constant))
+                    } else if r.is_constant() {
+                        Some(l.scale(r.constant))
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Div => {
+                    if r.is_constant() && r.constant != 0.0 {
+                        Some(l.scale(1.0 / r.constant))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::InSet { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_simple_columns_and_constants() {
+        assert_eq!(
+            extract_linear(&Expr::lit(3)).unwrap(),
+            LinearForm::constant(3.0)
+        );
+        assert_eq!(
+            extract_linear(&Expr::lit(2.5)).unwrap(),
+            LinearForm::constant(2.5)
+        );
+        assert_eq!(
+            extract_linear(&Expr::base(2)).unwrap(),
+            LinearForm::base_col(2)
+        );
+        assert_eq!(
+            extract_linear(&Expr::detail(1)).unwrap(),
+            LinearForm::detail_col(1)
+        );
+        assert!(extract_linear(&Expr::lit("x")).is_none());
+    }
+
+    #[test]
+    fn paper_example_2_form() {
+        // B.DestAS + B.SourceAS - Flow.SourceAS*2   (θ: ... < 0)
+        let e = Expr::base(1)
+            .add(Expr::base(0))
+            .sub(Expr::detail(0).mul(Expr::lit(2)));
+        let f = extract_linear(&e).unwrap();
+        assert_eq!(f.base.get(&0), Some(&1.0));
+        assert_eq!(f.base.get(&1), Some(&1.0));
+        assert_eq!(f.detail.get(&0), Some(&-2.0));
+        assert_eq!(f.constant, 0.0);
+    }
+
+    #[test]
+    fn cancellation_removes_zero_coefficients() {
+        let e = Expr::base(0).sub(Expr::base(0));
+        let f = extract_linear(&e).unwrap();
+        assert!(f.base.is_empty());
+        assert!(f.is_constant());
+    }
+
+    #[test]
+    fn division_by_constant_scales() {
+        let e = Expr::detail(0).div(Expr::lit(4));
+        let f = extract_linear(&e).unwrap();
+        assert_eq!(f.detail.get(&0), Some(&0.25));
+        assert!(extract_linear(&Expr::lit(1).div(Expr::detail(0))).is_none());
+        assert!(extract_linear(&Expr::detail(0).div(Expr::lit(0))).is_none());
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        assert!(extract_linear(&Expr::base(0).mul(Expr::detail(0))).is_none());
+        assert!(extract_linear(&Expr::base(0).eq(Expr::detail(0))).is_none());
+        assert!(extract_linear(&Expr::base(0).is_null()).is_none());
+    }
+
+    #[test]
+    fn negation_scales_by_minus_one() {
+        let f = extract_linear(&Expr::base(0).neg()).unwrap();
+        assert_eq!(f.base.get(&0), Some(&-1.0));
+    }
+
+    #[test]
+    fn single_detail_detection() {
+        let f = extract_linear(&Expr::detail(3).mul(Expr::lit(2)).add(Expr::lit(5))).unwrap();
+        assert_eq!(f.as_single_detail(), Some((3, 2.0, 5.0)));
+        let f = extract_linear(&Expr::detail(0).add(Expr::detail(1))).unwrap();
+        assert_eq!(f.as_single_detail(), None);
+        let f = extract_linear(&Expr::base(0).add(Expr::detail(1))).unwrap();
+        assert_eq!(f.as_single_detail(), None);
+    }
+
+    #[test]
+    fn to_base_expr_round_trips_through_eval() {
+        use crate::eval::eval_base;
+        let f = LinearForm {
+            base: BTreeMap::from([(0, 2.0), (1, 1.0)]),
+            detail: BTreeMap::new(),
+            constant: -3.0,
+        };
+        let e = f.to_base_expr();
+        let row = vec![Value::Int(4), Value::Int(10)];
+        // 2*4 + 10 - 3 = 15
+        assert_eq!(eval_base(&e, &row).unwrap().as_f64().unwrap(), 15.0);
+
+        // Pure-constant form still renders.
+        let c = LinearForm::constant(7.0);
+        assert_eq!(
+            eval_base(&c.to_base_expr(), &[]).unwrap().as_f64().unwrap(),
+            7.0
+        );
+        // Zero form renders as 0.
+        assert_eq!(
+            eval_base(&LinearForm::zero().to_base_expr(), &[])
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn parts_split_correctly() {
+        let e = Expr::base(0).add(Expr::detail(1)).add(Expr::lit(5));
+        let f = extract_linear(&e).unwrap();
+        let d = f.detail_part();
+        assert!(d.base.is_empty());
+        assert_eq!(d.constant, 0.0);
+        assert_eq!(d.detail.get(&1), Some(&1.0));
+        let b = f.base_part_with_constant();
+        assert!(b.detail.is_empty());
+        assert_eq!(b.constant, 5.0);
+        assert!(!f.is_base_only());
+        assert!(!f.is_detail_only());
+        assert!(d.is_detail_only());
+        assert!(b.is_base_only());
+    }
+}

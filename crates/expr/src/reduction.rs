@@ -1,0 +1,635 @@
+//! Distribution-aware group reduction analysis (paper §4.1, Theorem 4).
+//!
+//! Given a per-site predicate `φᵢ` (a [`SiteConstraint`]: what values the
+//! detail columns can take at site `i`) and the GMDJ conditions
+//! `θ₁ ∨ … ∨ θₘ`, this module derives the predicate `¬ψᵢ(b)` — the
+//! *base-only* condition that is `true` exactly when some detail tuple at
+//! site `i` **could** satisfy one of the θs with respect to `b`. The
+//! coordinator then ships site `i` only the base tuples passing `¬ψᵢ`.
+//!
+//! The derivation is *sound*: when a conjunct cannot be analyzed it relaxes
+//! to `TRUE`, so the derived filter never excludes a group the site might
+//! contribute to (this is the correctness condition of Theorem 4).
+//!
+//! The analysis handles the paper's examples and more:
+//!
+//! * equality on a partitioned column (`Example 2`: site 1 holds
+//!   `SourceAS ∈ [1, 25]`, θ has `B.SourceAS = F.SourceAS` ⟹ `¬ψ₁(b)` is
+//!   `b.SourceAS ∈ [1, 25]`),
+//! * general linear-arithmetic comparisons (`B.DestAS + B.SourceAS <
+//!   F.SourceAS * 2` ⟹ `b.DestAS + b.SourceAS < 50`),
+//! * exact membership sets for partition values (including string columns),
+//! * detail-only conjuncts that are unsatisfiable at a site prune the site
+//!   entirely (filter `FALSE`).
+
+use std::collections::{BTreeSet, HashMap};
+
+use skalla_types::Value;
+
+use crate::analysis::{conjuncts, disjuncts};
+use crate::expr::{BinOp, Expr};
+use crate::interval::{Bound, Interval};
+use crate::linear::{extract_linear, LinearForm};
+
+/// What is known about one detail column at a site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnConstraint {
+    /// The column's values lie in this interval (numeric columns).
+    Range(Interval),
+    /// The column's values are among this finite set (any column type).
+    OneOf(BTreeSet<Value>),
+}
+
+impl ColumnConstraint {
+    /// The tightest interval guaranteed to contain the column's values
+    /// (`unbounded` for non-numeric value sets).
+    pub fn to_interval(&self) -> Interval {
+        match self {
+            ColumnConstraint::Range(i) => *i,
+            ColumnConstraint::OneOf(set) => {
+                let nums: Option<Vec<f64>> = set.iter().map(numeric_of).collect();
+                match nums {
+                    Some(ns) => Interval::hull_of(ns).unwrap_or_else(Interval::unbounded),
+                    None => Interval::unbounded(),
+                }
+            }
+        }
+    }
+}
+
+fn numeric_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// The per-site predicate `φᵢ`: constraints on detail columns known to hold
+/// for every tuple stored at the site. Columns without an entry are
+/// unconstrained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteConstraint {
+    cols: HashMap<usize, ColumnConstraint>,
+}
+
+impl SiteConstraint {
+    /// No knowledge: every column unconstrained.
+    pub fn none() -> SiteConstraint {
+        SiteConstraint::default()
+    }
+
+    /// Add a numeric range constraint on detail column `col`.
+    pub fn with_range(mut self, col: usize, interval: Interval) -> SiteConstraint {
+        self.cols.insert(col, ColumnConstraint::Range(interval));
+        self
+    }
+
+    /// Add a finite value-set constraint on detail column `col`.
+    pub fn with_values(
+        mut self,
+        col: usize,
+        values: impl IntoIterator<Item = Value>,
+    ) -> SiteConstraint {
+        self.cols
+            .insert(col, ColumnConstraint::OneOf(values.into_iter().collect()));
+        self
+    }
+
+    /// The constraint on `col`, if any.
+    pub fn get(&self, col: usize) -> Option<&ColumnConstraint> {
+        self.cols.get(&col)
+    }
+
+    /// `true` if no column is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Interval of `col` under this constraint (`unbounded` if unknown).
+    pub fn interval_of(&self, col: usize) -> Interval {
+        self.cols
+            .get(&col)
+            .map(|c| c.to_interval())
+            .unwrap_or_else(Interval::unbounded)
+    }
+
+    /// Interval of a pure-detail linear form under this constraint.
+    pub fn range_of_form(&self, form: &LinearForm) -> Interval {
+        let mut acc = Interval::singleton(form.constant);
+        for (&col, &coef) in &form.detail {
+            acc = acc.add(&self.interval_of(col).scale(coef));
+        }
+        acc
+    }
+}
+
+/// Tri-valued analysis result before rendering into an [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+enum Derived {
+    /// Always possibly satisfiable — no restriction on `b`.
+    True,
+    /// Never satisfiable at this site — no base tuple needed.
+    False,
+    /// Possibly satisfiable exactly when this base-only predicate holds.
+    Pred(Expr),
+}
+
+impl Derived {
+    fn and(self, other: Derived) -> Derived {
+        match (self, other) {
+            (Derived::False, _) | (_, Derived::False) => Derived::False,
+            (Derived::True, x) | (x, Derived::True) => x,
+            (Derived::Pred(a), Derived::Pred(b)) => Derived::Pred(a.and(b)),
+        }
+    }
+
+    fn or(self, other: Derived) -> Derived {
+        match (self, other) {
+            (Derived::True, _) | (_, Derived::True) => Derived::True,
+            (Derived::False, x) | (x, Derived::False) => x,
+            (Derived::Pred(a), Derived::Pred(b)) => Derived::Pred(a.or(b)),
+        }
+    }
+
+    fn into_expr(self) -> Expr {
+        match self {
+            Derived::True => Expr::lit(true),
+            Derived::False => Expr::lit(false),
+            Derived::Pred(e) => e,
+        }
+    }
+}
+
+/// Derive the coordinator-side group-reduction filter `¬ψᵢ(b)` for the
+/// block conditions `θ₁, …, θₘ` of a GMDJ under site constraint `φᵢ`.
+///
+/// The result is a base-only predicate. `TRUE` means "no reduction possible,
+/// ship every group"; `FALSE` means "this site can contribute to no group".
+pub fn derive_group_filter(thetas: &[&Expr], site: &SiteConstraint) -> Expr {
+    let mut acc = Derived::False;
+    for theta in thetas {
+        acc = acc.or(analyze_theta(theta, site));
+        if acc == Derived::True {
+            break;
+        }
+    }
+    acc.into_expr()
+}
+
+/// A single θ: a disjunction of conjunctions (arbitrary nesting deeper than
+/// that relaxes to `TRUE`).
+fn analyze_theta(theta: &Expr, site: &SiteConstraint) -> Derived {
+    let mut acc = Derived::False;
+    for d in disjuncts(theta) {
+        acc = acc.or(analyze_conjunction(d, site));
+        if acc == Derived::True {
+            return acc;
+        }
+    }
+    acc
+}
+
+fn analyze_conjunction(expr: &Expr, site: &SiteConstraint) -> Derived {
+    let mut acc = Derived::True;
+    for c in conjuncts(expr) {
+        acc = acc.and(analyze_conjunct(c, site));
+        if acc == Derived::False {
+            return acc;
+        }
+    }
+    acc
+}
+
+fn analyze_conjunct(c: &Expr, site: &SiteConstraint) -> Derived {
+    match c {
+        Expr::Lit(Value::Bool(true)) => Derived::True,
+        Expr::Lit(Value::Bool(false)) => Derived::False,
+        // A base-only conjunct restricts b directly.
+        e if e.is_base_only() => Derived::Pred(e.clone()),
+        Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
+            analyze_comparison(*op, lhs, rhs, site)
+        }
+        Expr::InSet { expr, set } => analyze_detail_in_set(expr, set, site),
+        // Anything else (detail-only IS NULL, nested boolean structure, …)
+        // relaxes soundly to TRUE.
+        _ => Derived::True,
+    }
+}
+
+/// `r.j IN set` conjuncts: prune the site if its values cannot intersect.
+fn analyze_detail_in_set(needle: &Expr, set: &BTreeSet<Value>, site: &SiteConstraint) -> Derived {
+    if let Expr::DetailCol(j) = needle {
+        match site.get(*j) {
+            Some(ColumnConstraint::OneOf(have)) => {
+                if have.intersection(set).next().is_some() {
+                    Derived::True
+                } else {
+                    Derived::False
+                }
+            }
+            Some(ColumnConstraint::Range(iv)) => {
+                let possible = set.iter().filter_map(numeric_of).any(|x| iv.contains(x));
+                if possible {
+                    Derived::True
+                } else {
+                    Derived::False
+                }
+            }
+            None => Derived::True,
+        }
+    } else {
+        Derived::True
+    }
+}
+
+fn analyze_comparison(op: BinOp, lhs: &Expr, rhs: &Expr, site: &SiteConstraint) -> Derived {
+    // Exact string/value membership special case first: `b.k = r.j` (either
+    // orientation) with a OneOf constraint on r.j.
+    if op == BinOp::Eq {
+        if let Some(d) = exact_membership(lhs, rhs, site) {
+            return d;
+        }
+    }
+
+    // General linear path: diff = lhs - rhs, condition diff op 0.
+    let (Some(l), Some(r)) = (extract_linear(lhs), extract_linear(rhs)) else {
+        return Derived::True;
+    };
+    let diff = l.sub(&r);
+    let detail = diff.detail_part();
+    let base = diff.base_part_with_constant();
+
+    if detail.detail.is_empty() {
+        if base.base.is_empty() {
+            // Pure constant: decide now.
+            return decide_constant(op, base.constant);
+        }
+        // Base-only comparison: keep as a predicate on b.
+        return Derived::Pred(Expr::binary(op, base.to_base_expr(), Expr::lit(0.0)));
+    }
+
+    // Range of the detail part at this site.
+    let d_range = site.range_of_form(&detail);
+    if d_range.is_empty() {
+        return Derived::False;
+    }
+
+    if base.base.is_empty() {
+        // Detail-only conjunct: decide satisfiability at this site.
+        // Exact set check when the detail part is one column with a OneOf.
+        if let (Some((col, a, _)), Some(ColumnConstraint::OneOf(set))) = (
+            detail.as_single_detail(),
+            detail
+                .as_single_detail()
+                .and_then(|(col, _, _)| site.get(col)),
+        ) {
+            let _ = col;
+            let sat = set
+                .iter()
+                .filter_map(numeric_of)
+                .any(|v| holds(op, a * v + base.constant));
+            return if sat { Derived::True } else { Derived::False };
+        }
+        let shifted = d_range.shift(base.constant);
+        return decide_exists(op, &shifted);
+    }
+
+    // Mixed conjunct: condition on T(b) = base(b) + constant.
+    let t_expr = base.to_base_expr();
+    relax_mixed(op, t_expr, &d_range)
+}
+
+/// `b.k = r.j` with `r.j ∈ set`: exact membership filter (valid for strings
+/// as well as numerics).
+fn exact_membership(lhs: &Expr, rhs: &Expr, site: &SiteConstraint) -> Option<Derived> {
+    let (b, r) = match (lhs, rhs) {
+        (Expr::BaseCol(b), Expr::DetailCol(r)) | (Expr::DetailCol(r), Expr::BaseCol(b)) => (*b, *r),
+        _ => return None,
+    };
+    match site.get(r)? {
+        ColumnConstraint::OneOf(set) => Some(Derived::Pred(Expr::base(b).in_set(set.clone()))),
+        ColumnConstraint::Range(iv) => {
+            // b.k = r.j with r.j ∈ iv  ⟹  b.k ∈ iv.
+            Some(interval_to_pred(Expr::base(b), iv))
+        }
+    }
+}
+
+/// The predicate `expr ∈ iv` rendered with comparisons.
+fn interval_to_pred(expr: Expr, iv: &Interval) -> Derived {
+    let mut acc = Derived::True;
+    if let Bound::Finite { value, closed } = iv.lo {
+        let cmp = if closed { BinOp::Ge } else { BinOp::Gt };
+        acc = acc.and(Derived::Pred(Expr::binary(
+            cmp,
+            expr.clone(),
+            Expr::lit(value),
+        )));
+    }
+    if let Bound::Finite { value, closed } = iv.hi {
+        let cmp = if closed { BinOp::Le } else { BinOp::Lt };
+        acc = acc.and(Derived::Pred(Expr::binary(
+            cmp,
+            expr.clone(),
+            Expr::lit(value),
+        )));
+    }
+    acc
+}
+
+/// Does `x op 0` hold for the constant `x`?
+fn holds(op: BinOp, x: f64) -> bool {
+    match op {
+        BinOp::Eq => x == 0.0,
+        BinOp::Ne => x != 0.0,
+        BinOp::Lt => x < 0.0,
+        BinOp::Le => x <= 0.0,
+        BinOp::Gt => x > 0.0,
+        BinOp::Ge => x >= 0.0,
+        _ => unreachable!("non-comparison op"),
+    }
+}
+
+fn decide_constant(op: BinOp, c: f64) -> Derived {
+    if holds(op, c) {
+        Derived::True
+    } else {
+        Derived::False
+    }
+}
+
+/// Does some `x ∈ iv` satisfy `x op 0`?
+fn decide_exists(op: BinOp, iv: &Interval) -> Derived {
+    if iv.is_empty() {
+        return Derived::False;
+    }
+    let sat = match op {
+        BinOp::Eq => iv.contains(0.0),
+        BinOp::Ne => *iv != Interval::singleton(0.0),
+        BinOp::Lt => match iv.lo {
+            Bound::Unbounded => true,
+            Bound::Finite { value, .. } => value < 0.0,
+        },
+        BinOp::Le => match iv.lo {
+            Bound::Unbounded => true,
+            Bound::Finite { value, closed } => value < 0.0 || (value == 0.0 && closed),
+        },
+        BinOp::Gt => match iv.hi {
+            Bound::Unbounded => true,
+            Bound::Finite { value, .. } => value > 0.0,
+        },
+        BinOp::Ge => match iv.hi {
+            Bound::Unbounded => true,
+            Bound::Finite { value, closed } => value > 0.0 || (value == 0.0 && closed),
+        },
+        _ => unreachable!("non-comparison op"),
+    };
+    if sat {
+        Derived::True
+    } else {
+        Derived::False
+    }
+}
+
+/// Relax `T(b) + d  op  0` over `d ∈ d_range` into a predicate on `T(b)`.
+fn relax_mixed(op: BinOp, t: Expr, d_range: &Interval) -> Derived {
+    match op {
+        BinOp::Ne => Derived::True,
+        BinOp::Lt => match d_range.lo {
+            Bound::Unbounded => Derived::True,
+            // ∃d ≥/> lo: T + d < 0  ⟺  T + lo < 0 (strict either way).
+            Bound::Finite { value, .. } => Derived::Pred(t.lt(Expr::lit(-value))),
+        },
+        BinOp::Le => match d_range.lo {
+            Bound::Unbounded => Derived::True,
+            Bound::Finite { value, closed } => {
+                let cmp = if closed { BinOp::Le } else { BinOp::Lt };
+                Derived::Pred(Expr::binary(cmp, t, Expr::lit(-value)))
+            }
+        },
+        BinOp::Gt => match d_range.hi {
+            Bound::Unbounded => Derived::True,
+            Bound::Finite { value, .. } => Derived::Pred(t.gt(Expr::lit(-value))),
+        },
+        BinOp::Ge => match d_range.hi {
+            Bound::Unbounded => Derived::True,
+            Bound::Finite { value, closed } => {
+                let cmp = if closed { BinOp::Ge } else { BinOp::Gt };
+                Derived::Pred(Expr::binary(cmp, t, Expr::lit(-value)))
+            }
+        },
+        // T + d = 0 for some d ∈ range ⟺ -T ∈ range ⟺ T ∈ -range.
+        BinOp::Eq => interval_to_pred(t, &d_range.scale(-1.0)),
+        _ => unreachable!("non-comparison op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_base;
+    use skalla_types::Row;
+
+    fn passes(filter: &Expr, b: &Row) -> bool {
+        match eval_base(filter, b).unwrap() {
+            Value::Bool(x) => x,
+            Value::Null => false,
+            other => panic!("non-boolean filter result {other}"),
+        }
+    }
+
+    /// Paper Example 2: θ contains `Flow.SourceAS = B.SourceAS`, site 1
+    /// holds SourceAS ∈ [1, 25]  ⟹  `¬ψ₁(b)` is `b.SourceAS ∈ [1, 25]`.
+    #[test]
+    fn example_2_equality_on_partitioned_column() {
+        // base: (sas=0, das=1); detail: (sas=0, das=1, nb=2)
+        let theta = Expr::detail(0)
+            .eq(Expr::base(0))
+            .and(Expr::detail(1).eq(Expr::base(1)));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(1), Value::Int(99)]));
+        assert!(passes(&f, &vec![Value::Int(25), Value::Int(0)]));
+        assert!(!passes(&f, &vec![Value::Int(26), Value::Int(0)]));
+        assert!(!passes(&f, &vec![Value::Int(0), Value::Int(0)]));
+    }
+
+    /// Paper §4.1: θ revised to `B.DestAS + B.SourceAS < Flow.SourceAS * 2`
+    /// with SourceAS ∈ [1, 25] becomes `b.DestAS + b.SourceAS < 50`.
+    #[test]
+    fn example_2_linear_arithmetic() {
+        let theta = Expr::base(1)
+            .add(Expr::base(0))
+            .lt(Expr::detail(0).mul(Expr::lit(2)));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        let f = derive_group_filter(&[&theta], &site);
+        // sum 49 < 50 passes, 50 fails.
+        assert!(passes(&f, &vec![Value::Int(24), Value::Int(25)]));
+        assert!(!passes(&f, &vec![Value::Int(25), Value::Int(25)]));
+    }
+
+    #[test]
+    fn string_membership_constraint() {
+        // θ: b.name = r.name; site holds only two names.
+        let theta = Expr::base(0).eq(Expr::detail(0));
+        let site = SiteConstraint::none().with_values(0, [Value::str("alice"), Value::str("bob")]);
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::str("alice")]));
+        assert!(!passes(&f, &vec![Value::str("carol")]));
+    }
+
+    #[test]
+    fn no_knowledge_yields_true() {
+        let theta = Expr::base(0).eq(Expr::detail(0));
+        let f = derive_group_filter(&[&theta], &SiteConstraint::none());
+        assert_eq!(f, Expr::lit(true));
+    }
+
+    #[test]
+    fn unanalyzable_conjunct_relaxes_to_true() {
+        // b.0 * r.0 = 7 is nonlinear.
+        let theta = Expr::base(0).mul(Expr::detail(0)).eq(Expr::lit(7));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(0.0, 1.0));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(true));
+    }
+
+    #[test]
+    fn detail_only_unsatisfiable_prunes_site() {
+        // θ: r.0 = 99 AND b.1 = r.1; site has r.0 ∈ [1, 25].
+        let theta = Expr::detail(0)
+            .eq(Expr::lit(99))
+            .and(Expr::base(1).eq(Expr::detail(1)));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(false));
+    }
+
+    #[test]
+    fn detail_only_satisfiable_is_not_pruned() {
+        let theta = Expr::detail(0).eq(Expr::lit(10));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(true));
+    }
+
+    #[test]
+    fn one_of_exact_satisfiability() {
+        // r.0 = 7 with r.0 ∈ {3, 5}: hull [3,5] would say unsat too, but the
+        // exact check also prunes holes: r.0 = 4 with r.0 ∈ {3, 5}.
+        let theta = Expr::detail(0).eq(Expr::lit(4));
+        let site = SiteConstraint::none().with_values(0, [Value::Int(3), Value::Int(5)]);
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(false));
+        let theta = Expr::detail(0).eq(Expr::lit(5));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(true));
+    }
+
+    #[test]
+    fn disjunction_of_thetas_unions_filters() {
+        // θ₁ matches sas ∈ [1,25]; θ₂ matches das ∈ [100,200].
+        let theta1 = Expr::base(0).eq(Expr::detail(0));
+        let theta2 = Expr::base(1).eq(Expr::detail(1));
+        let site = SiteConstraint::none()
+            .with_range(0, Interval::closed(1.0, 25.0))
+            .with_range(1, Interval::closed(100.0, 200.0));
+        let f = derive_group_filter(&[&theta1, &theta2], &site);
+        assert!(passes(&f, &vec![Value::Int(10), Value::Int(0)])); // θ₁ side
+        assert!(passes(&f, &vec![Value::Int(0), Value::Int(150)])); // θ₂ side
+        assert!(!passes(&f, &vec![Value::Int(0), Value::Int(0)]));
+    }
+
+    #[test]
+    fn or_within_theta_handled() {
+        let theta = Expr::base(0)
+            .eq(Expr::detail(0))
+            .or(Expr::base(0).eq(Expr::lit(0)));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(10)]));
+        assert!(passes(&f, &vec![Value::Int(0)])); // second disjunct
+        assert!(!passes(&f, &vec![Value::Int(30)]));
+    }
+
+    #[test]
+    fn inequality_directions() {
+        // θ: b.0 <= r.0, r.0 ∈ [1, 25] ⟹ b.0 <= 25.
+        let theta = Expr::base(0).le(Expr::detail(0));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(25)]));
+        assert!(!passes(&f, &vec![Value::Int(26)]));
+
+        // θ: b.0 >= r.0 ⟹ b.0 >= 1.
+        let theta = Expr::base(0).ge(Expr::detail(0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(1)]));
+        assert!(!passes(&f, &vec![Value::Int(0)]));
+
+        // Strict: b.0 < r.0 ⟹ b.0 < 25.
+        let theta = Expr::base(0).lt(Expr::detail(0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(24)]));
+        assert!(!passes(&f, &vec![Value::Int(25)]));
+    }
+
+    #[test]
+    fn not_equal_relaxes_to_true() {
+        let theta = Expr::base(0).ne(Expr::detail(0));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(true));
+    }
+
+    #[test]
+    fn base_only_conjuncts_kept() {
+        let theta = Expr::base(0)
+            .gt(Expr::lit(5))
+            .and(Expr::base(1).eq(Expr::detail(0)));
+        let site = SiteConstraint::none().with_range(0, Interval::closed(1.0, 25.0));
+        let f = derive_group_filter(&[&theta], &site);
+        assert!(passes(&f, &vec![Value::Int(6), Value::Int(10)]));
+        assert!(!passes(&f, &vec![Value::Int(5), Value::Int(10)])); // base pred fails
+        assert!(!passes(&f, &vec![Value::Int(6), Value::Int(30)])); // range fails
+    }
+
+    #[test]
+    fn detail_in_set_conjunct_prunes() {
+        let theta = Expr::detail(0)
+            .in_set([Value::Int(1), Value::Int(2)])
+            .and(Expr::base(0).eq(Expr::detail(1)));
+        let site = SiteConstraint::none().with_values(0, [Value::Int(5)]);
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(false));
+
+        let site = SiteConstraint::none().with_values(0, [Value::Int(2)]);
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(true));
+
+        let site = SiteConstraint::none().with_range(0, Interval::closed(0.0, 0.5));
+        assert_eq!(derive_group_filter(&[&theta], &site), Expr::lit(false));
+    }
+
+    #[test]
+    fn empty_theta_list_is_false() {
+        assert_eq!(
+            derive_group_filter(&[], &SiteConstraint::none()),
+            Expr::lit(false)
+        );
+    }
+
+    #[test]
+    fn constraint_interval_conversions() {
+        let c = ColumnConstraint::OneOf([Value::Int(3), Value::Int(9)].into_iter().collect());
+        assert_eq!(c.to_interval(), Interval::closed(3.0, 9.0));
+        let c = ColumnConstraint::OneOf([Value::str("x")].into_iter().collect());
+        assert_eq!(c.to_interval(), Interval::unbounded());
+        let c = ColumnConstraint::Range(Interval::closed(0.0, 1.0));
+        assert_eq!(c.to_interval(), Interval::closed(0.0, 1.0));
+    }
+
+    #[test]
+    fn range_of_form_combines_columns() {
+        let site = SiteConstraint::none()
+            .with_range(0, Interval::closed(1.0, 2.0))
+            .with_range(1, Interval::closed(10.0, 20.0));
+        // f = 2*r.0 - r.1
+        let f = extract_linear(&Expr::detail(0).mul(Expr::lit(2)).sub(Expr::detail(1))).unwrap();
+        let range = site.range_of_form(&f.detail_part());
+        assert_eq!(range, Interval::closed(2.0 - 20.0, 4.0 - 10.0));
+    }
+}

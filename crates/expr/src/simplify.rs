@@ -1,0 +1,300 @@
+//! Expression simplification: constant folding and boolean algebra.
+//!
+//! Egil runs this over conditions before analysis — a folded condition
+//! exposes more equality conjuncts and linear forms to the reduction
+//! analyses, and the sites evaluate fewer nodes per tuple.
+//!
+//! Simplification assumes **well-typed** input (run
+//! [`crate::typecheck::infer_type`] first — Egil does): on ill-typed
+//! expressions, folds like double negation can turn a runtime type error
+//! into a value.
+//!
+//! Simplification is *semantics-preserving under SQL ternary logic*; in
+//! particular `x AND FALSE → FALSE` is valid even when `x` is NULL, but
+//! `x OR x → x` style idempotence is only applied to syntactically equal
+//! sides (no type assumptions). Expressions that would error at runtime
+//! (division by zero) are left unfolded so the error surfaces at the same
+//! point.
+
+use skalla_types::Value;
+
+use crate::eval::eval;
+use crate::expr::{BinOp, Expr, UnOp};
+
+/// Simplify `expr` bottom-up. Idempotent.
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Lit(_) | Expr::BaseCol(_) | Expr::DetailCol(_) => expr.clone(),
+        Expr::Unary { op, expr: inner } => {
+            let inner = simplify(inner);
+            simplify_unary(*op, inner)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = simplify(lhs);
+            let r = simplify(rhs);
+            simplify_binary(*op, l, r)
+        }
+        Expr::InSet { expr: inner, set } => {
+            let inner = simplify(inner);
+            if set.is_empty() {
+                // x IN {} is FALSE unless x is NULL (then NULL); both reject
+                // as predicates, but preserve ternary semantics exactly:
+                // only fold when the needle cannot be NULL (a literal).
+                if let Expr::Lit(v) = &inner {
+                    if !v.is_null() {
+                        return Expr::lit(false);
+                    }
+                }
+            }
+            if let Expr::Lit(v) = &inner {
+                if !v.is_null() {
+                    return Expr::lit(set.contains(v));
+                }
+            }
+            Expr::InSet {
+                expr: Box::new(inner),
+                set: set.clone(),
+            }
+        }
+    }
+}
+
+fn is_lit(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Lit(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn simplify_unary(op: UnOp, inner: Expr) -> Expr {
+    // Double negation.
+    if let Expr::Unary { op: inner_op, expr } = &inner {
+        match (op, inner_op) {
+            (UnOp::Not, UnOp::Not) | (UnOp::Neg, UnOp::Neg) => return (**expr).clone(),
+            _ => {}
+        }
+    }
+    // Constant folding (errors left in place).
+    if is_lit(&inner).is_some() {
+        if let Ok(v) = eval(
+            &Expr::Unary {
+                op,
+                expr: Box::new(inner.clone()),
+            },
+            &[],
+            &[],
+        ) {
+            return Expr::Lit(v);
+        }
+    }
+    Expr::Unary {
+        op,
+        expr: Box::new(inner),
+    }
+}
+
+fn simplify_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    use BinOp::*;
+
+    // Boolean algebra with TRUE/FALSE — valid under Kleene logic.
+    match op {
+        And => {
+            if l == Expr::lit(false) || r == Expr::lit(false) {
+                return Expr::lit(false);
+            }
+            if l == Expr::lit(true) {
+                return r;
+            }
+            if r == Expr::lit(true) {
+                return l;
+            }
+            if l == r {
+                return l; // idempotence (x AND x ≡ x under 3VL)
+            }
+        }
+        Or => {
+            if l == Expr::lit(true) || r == Expr::lit(true) {
+                return Expr::lit(true);
+            }
+            if l == Expr::lit(false) {
+                return r;
+            }
+            if r == Expr::lit(false) {
+                return l;
+            }
+            if l == r {
+                return l;
+            }
+        }
+        _ => {}
+    }
+
+    // Arithmetic identities (NULL-safe: x + 0 ≡ x even for NULL x).
+    match (op, is_lit(&l), is_lit(&r)) {
+        (Add, Some(Value::Int(0)), _) => return r,
+        (Add, _, Some(Value::Int(0))) => return l,
+        (Sub, _, Some(Value::Int(0))) => return l,
+        (Mul, Some(Value::Int(1)), _) => return r,
+        (Mul, _, Some(Value::Int(1))) => return l,
+        (Div, _, Some(Value::Int(1))) => {
+            // x / 1 still coerces to FLOAT64 in our semantics; keep it
+            // unless x is already float-typed — conservatively keep.
+        }
+        _ => {}
+    }
+
+    // Full constant folding when both sides are non-null literals and
+    // evaluation succeeds (division by zero etc. stays unfolded).
+    if let (Some(lv), Some(rv)) = (is_lit(&l), is_lit(&r)) {
+        if !lv.is_null() && !rv.is_null() {
+            let e = Expr::binary(op, l.clone(), r.clone());
+            if let Ok(v) = eval(&e, &[], &[]) {
+                return Expr::Lit(v);
+            }
+        }
+    }
+
+    Expr::binary(op, l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use skalla_types::Row;
+
+    /// Simplification must preserve evaluation on every input we can build.
+    fn assert_equiv(e: &Expr, rows: &[(Row, Row)]) {
+        let s = simplify(e);
+        for (b, r) in rows {
+            let before = eval(e, b, r);
+            let after = eval(&s, b, r);
+            match (before, after) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "{e} vs {s}"),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("{e} -> {x:?} but {s} -> {y:?}"),
+            }
+        }
+    }
+
+    fn sample_rows() -> Vec<(Row, Row)> {
+        vec![
+            (vec![Value::Int(0)], vec![Value::Int(5)]),
+            (vec![Value::Int(-3)], vec![Value::Int(0)]),
+            (vec![Value::Null], vec![Value::Int(1)]),
+            (vec![Value::Int(100)], vec![Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn folds_constants() {
+        assert_eq!(simplify(&Expr::lit(2).add(Expr::lit(3))), Expr::lit(5));
+        assert_eq!(simplify(&Expr::lit(2).lt(Expr::lit(3))), Expr::lit(true));
+        assert_eq!(
+            simplify(&Expr::lit("a").eq(Expr::lit("b"))),
+            Expr::lit(false)
+        );
+        assert_eq!(simplify(&Expr::lit(7).neg()), Expr::lit(-7));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = Expr::lit(1).div(Expr::lit(0));
+        assert_eq!(simplify(&e), e);
+        // Type errors also left in place.
+        let e = Expr::lit(1).add(Expr::lit("x"));
+        assert_eq!(simplify(&e), e);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let x = Expr::base(0).gt(Expr::lit(1));
+        assert_eq!(simplify(&x.clone().and(Expr::lit(true))), x);
+        assert_eq!(simplify(&Expr::lit(true).and(x.clone())), x);
+        assert_eq!(simplify(&x.clone().and(Expr::lit(false))), Expr::lit(false));
+        assert_eq!(simplify(&x.clone().or(Expr::lit(false))), x);
+        assert_eq!(simplify(&x.clone().or(Expr::lit(true))), Expr::lit(true));
+        assert_eq!(simplify(&x.clone().and(x.clone())), x);
+        assert_eq!(simplify(&x.clone().or(x.clone())), x);
+    }
+
+    #[test]
+    fn kleene_safety_of_false_absorption() {
+        // (NULL AND FALSE) is FALSE, so folding x AND FALSE → FALSE is
+        // exact, not approximate.
+        let e = Expr::Lit(Value::Null).and(Expr::lit(false));
+        assert_eq!(simplify(&e), Expr::lit(false));
+        assert_eq!(eval(&e, &[], &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let x = Expr::base(0);
+        assert_eq!(simplify(&x.clone().add(Expr::lit(0))), x);
+        assert_eq!(simplify(&Expr::lit(0).add(x.clone())), x);
+        assert_eq!(simplify(&x.clone().sub(Expr::lit(0))), x);
+        assert_eq!(simplify(&x.clone().mul(Expr::lit(1))), x);
+        assert_eq!(simplify(&Expr::lit(1).mul(x.clone())), x);
+    }
+
+    #[test]
+    fn double_negation() {
+        let x = Expr::base(0).gt(Expr::lit(1));
+        assert_eq!(simplify(&x.clone().not().not()), x);
+        let y = Expr::base(0);
+        assert_eq!(simplify(&y.clone().neg().neg()), y);
+    }
+
+    #[test]
+    fn in_set_folding() {
+        let e = Expr::lit(2).in_set([Value::Int(1), Value::Int(2)]);
+        assert_eq!(simplify(&e), Expr::lit(true));
+        let e = Expr::lit(9).in_set([Value::Int(1)]);
+        assert_eq!(simplify(&e), Expr::lit(false));
+        let e = Expr::base(0).in_set([] as [Value; 0]);
+        // Non-literal needle with empty set: left alone (needle may be NULL).
+        assert!(matches!(simplify(&e), Expr::InSet { .. }));
+        let e = Expr::lit(3).in_set([] as [Value; 0]);
+        assert_eq!(simplify(&e), Expr::lit(false));
+    }
+
+    #[test]
+    fn nested_structures_fold_bottom_up() {
+        // (2 + 3 > 4) AND b.0 = r.0  →  b.0 = r.0
+        let e = Expr::lit(2)
+            .add(Expr::lit(3))
+            .gt(Expr::lit(4))
+            .and(Expr::base(0).eq(Expr::detail(0)));
+        assert_eq!(simplify(&e), Expr::base(0).eq(Expr::detail(0)));
+    }
+
+    #[test]
+    fn semantics_preserved_on_samples() {
+        let exprs = vec![
+            Expr::base(0).add(Expr::lit(0)).mul(Expr::lit(1)),
+            Expr::base(0).gt(Expr::lit(1)).and(Expr::lit(true)),
+            Expr::base(0).is_null().or(Expr::lit(false)),
+            Expr::lit(2).add(Expr::lit(3)).eq(Expr::detail(0)),
+            Expr::base(0).gt(Expr::lit(1)).not().not().is_null(),
+            Expr::base(0).neg().neg().add(Expr::lit(2)),
+            Expr::detail(0).in_set([Value::Int(5), Value::Int(0)]),
+        ];
+        for e in &exprs {
+            assert_equiv(e, &sample_rows());
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let exprs = vec![
+            Expr::lit(2).add(Expr::lit(3)).gt(Expr::base(0)),
+            Expr::base(0).and(Expr::base(1)).or(Expr::lit(false)),
+            Expr::lit(1).div(Expr::lit(0)),
+        ];
+        for e in &exprs {
+            let once = simplify(e);
+            let twice = simplify(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Static type inference for expressions.
+
+use skalla_types::{DataType, Result, Schema, SkallaError};
+
+use crate::expr::{BinOp, Expr, UnOp};
+
+/// Infer the result type of `expr` against the given base and detail
+/// schemas. Nullability is not tracked: every expression may produce `NULL`
+/// at runtime.
+pub fn infer_type(expr: &Expr, base: &Schema, detail: &Schema) -> Result<DataType> {
+    match expr {
+        Expr::Lit(v) => v
+            .data_type()
+            .ok_or_else(|| SkallaError::type_error("cannot infer type of NULL literal")),
+        Expr::BaseCol(i) => base
+            .fields()
+            .get(*i)
+            .map(|f| f.dtype)
+            .ok_or_else(|| SkallaError::schema(format!("base column {i} out of range"))),
+        Expr::DetailCol(i) => detail
+            .fields()
+            .get(*i)
+            .map(|f| f.dtype)
+            .ok_or_else(|| SkallaError::schema(format!("detail column {i} out of range"))),
+        Expr::Binary { op, lhs, rhs } => {
+            let lt = infer_type(lhs, base, detail)?;
+            let rt = infer_type(rhs, base, detail)?;
+            infer_binary(*op, lt, rt)
+        }
+        Expr::Unary { op, expr } => {
+            let t = infer_type(expr, base, detail)?;
+            match op {
+                UnOp::Neg => {
+                    if t.is_numeric() {
+                        Ok(t)
+                    } else {
+                        Err(SkallaError::type_error(format!("cannot negate {t}")))
+                    }
+                }
+                UnOp::Not => {
+                    if t == DataType::Bool {
+                        Ok(DataType::Bool)
+                    } else {
+                        Err(SkallaError::type_error(format!(
+                            "NOT requires BOOL, got {t}"
+                        )))
+                    }
+                }
+                UnOp::IsNull => Ok(DataType::Bool),
+            }
+        }
+        Expr::InSet { expr, .. } => {
+            // The needle must typecheck; membership always yields BOOL.
+            infer_type(expr, base, detail)?;
+            Ok(DataType::Bool)
+        }
+    }
+}
+
+fn infer_binary(op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => lt.numeric_join(rt),
+        BinOp::Div => {
+            lt.numeric_join(rt)?;
+            Ok(DataType::Float64)
+        }
+        BinOp::Mod => {
+            if lt == DataType::Int64 && rt == DataType::Int64 {
+                Ok(DataType::Int64)
+            } else {
+                Err(SkallaError::type_error(format!(
+                    "modulo requires INT64 operands, got {lt} and {rt}"
+                )))
+            }
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let compatible = (lt.is_numeric() && rt.is_numeric()) || lt == rt;
+            if compatible {
+                Ok(DataType::Bool)
+            } else {
+                Err(SkallaError::type_error(format!(
+                    "cannot compare {lt} with {rt}"
+                )))
+            }
+        }
+        BinOp::And | BinOp::Or => {
+            if lt == DataType::Bool && rt == DataType::Bool {
+                Ok(DataType::Bool)
+            } else {
+                Err(SkallaError::type_error(format!(
+                    "{op} requires BOOL operands, got {lt} and {rt}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::from_pairs([("a", DataType::Int64), ("s", DataType::Utf8)]).unwrap(),
+            Schema::from_pairs([("x", DataType::Float64), ("f", DataType::Bool)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn infers_arithmetic_types() {
+        let (b, d) = schemas();
+        let t = infer_type(&Expr::base(0).add(Expr::lit(1)), &b, &d).unwrap();
+        assert_eq!(t, DataType::Int64);
+        let t = infer_type(&Expr::base(0).add(Expr::detail(0)), &b, &d).unwrap();
+        assert_eq!(t, DataType::Float64);
+        let t = infer_type(&Expr::base(0).div(Expr::lit(2)), &b, &d).unwrap();
+        assert_eq!(t, DataType::Float64);
+        let t = infer_type(&Expr::base(0).rem(Expr::lit(2)), &b, &d).unwrap();
+        assert_eq!(t, DataType::Int64);
+    }
+
+    #[test]
+    fn rejects_bad_arithmetic() {
+        let (b, d) = schemas();
+        assert!(infer_type(&Expr::base(1).add(Expr::lit(1)), &b, &d).is_err());
+        assert!(infer_type(&Expr::detail(0).rem(Expr::lit(2)), &b, &d).is_err());
+    }
+
+    #[test]
+    fn comparison_and_logic_yield_bool() {
+        let (b, d) = schemas();
+        let t = infer_type(&Expr::base(0).lt(Expr::detail(0)), &b, &d).unwrap();
+        assert_eq!(t, DataType::Bool);
+        let t = infer_type(&Expr::detail(1).and(Expr::base(0).gt(Expr::lit(1))), &b, &d).unwrap();
+        assert_eq!(t, DataType::Bool);
+        assert!(infer_type(&Expr::base(1).lt(Expr::lit(1)), &b, &d).is_err());
+        assert!(infer_type(&Expr::base(0).and(Expr::detail(1)), &b, &d).is_err());
+    }
+
+    #[test]
+    fn unary_rules() {
+        let (b, d) = schemas();
+        assert_eq!(
+            infer_type(&Expr::base(0).neg(), &b, &d).unwrap(),
+            DataType::Int64
+        );
+        assert!(infer_type(&Expr::base(1).neg(), &b, &d).is_err());
+        assert_eq!(
+            infer_type(&Expr::detail(1).not(), &b, &d).unwrap(),
+            DataType::Bool
+        );
+        assert!(infer_type(&Expr::base(0).not(), &b, &d).is_err());
+        assert_eq!(
+            infer_type(&Expr::base(1).is_null(), &b, &d).unwrap(),
+            DataType::Bool
+        );
+    }
+
+    #[test]
+    fn out_of_range_columns_rejected() {
+        let (b, d) = schemas();
+        assert!(infer_type(&Expr::base(5), &b, &d).is_err());
+        assert!(infer_type(&Expr::detail(5), &b, &d).is_err());
+    }
+
+    #[test]
+    fn null_literal_has_no_type() {
+        let (b, d) = schemas();
+        assert!(infer_type(&Expr::Lit(skalla_types::Value::Null), &b, &d).is_err());
+    }
+
+    #[test]
+    fn in_set_is_bool() {
+        let (b, d) = schemas();
+        let e = Expr::base(0).in_set([skalla_types::Value::Int(1)]);
+        assert_eq!(infer_type(&e, &b, &d).unwrap(), DataType::Bool);
+    }
+}

@@ -1,0 +1,480 @@
+//! Aggregate functions with sub-/super-aggregate decomposition.
+//!
+//! Theorem 1 of the paper decomposes each aggregate `f` into a
+//! *sub-aggregate* `f'` computed at the sites and a *super-aggregate* `f''`
+//! computed at the coordinator (e.g. for `COUNT`, the coordinator sums the
+//! per-site counts). We model this with per-aggregate **state**:
+//!
+//! * a site accumulates state with [`AggSpec::accumulate`] and ships the raw
+//!   state columns (the sub-aggregate values),
+//! * the coordinator merges incoming state with [`AggSpec::merge`] (the
+//!   super-aggregate), and
+//! * the final value is produced by [`AggSpec::finalize`].
+//!
+//! `COUNT`, `SUM`, `MIN`, `MAX` have one state column; `AVG` is *algebraic*
+//! (Gray et al.'s classification) with `(sum, count)` state.
+//!
+//! Null semantics follow SQL: `COUNT(*)` counts rows, `COUNT(e)` counts
+//! non-null values, `SUM`/`MIN`/`MAX`/`AVG` skip nulls and yield `NULL` over
+//! an empty (or all-null) multiset.
+
+use std::fmt;
+
+use skalla_expr::{typecheck::infer_type, Expr};
+use skalla_types::{DataType, Field, Result, Schema, SkallaError, Value};
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` (no argument) or `COUNT(e)` (non-null count).
+    Count,
+    /// `SUM(e)`.
+    Sum,
+    /// `AVG(e)` — algebraic, decomposed into `(SUM, COUNT)`.
+    Avg,
+    /// `MIN(e)`.
+    Min,
+    /// `MAX(e)`.
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One aggregate in a GMDJ block: function, optional (detail-only) argument
+/// expression, and output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression over the detail tuple; `None` only for
+    /// `COUNT(*)`.
+    pub arg: Option<Expr>,
+    /// Output column name (must be unique within the query).
+    pub name: String,
+}
+
+impl AggSpec {
+    /// `COUNT(*) AS name`.
+    pub fn count_star(name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+            name: name.into(),
+        }
+    }
+
+    /// `func(arg) AS name`; `arg` must reference only detail columns.
+    pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> Result<AggSpec> {
+        if !arg.is_detail_only() {
+            return Err(SkallaError::plan(format!(
+                "aggregate argument `{arg}` must reference only the detail relation"
+            )));
+        }
+        Ok(AggSpec {
+            func,
+            arg: Some(arg),
+            name: name.into(),
+        })
+    }
+
+    /// `SUM(arg) AS name`.
+    pub fn sum(arg: Expr, name: impl Into<String>) -> Result<AggSpec> {
+        AggSpec::new(AggFunc::Sum, arg, name)
+    }
+
+    /// `AVG(arg) AS name`.
+    pub fn avg(arg: Expr, name: impl Into<String>) -> Result<AggSpec> {
+        AggSpec::new(AggFunc::Avg, arg, name)
+    }
+
+    /// `MIN(arg) AS name`.
+    pub fn min(arg: Expr, name: impl Into<String>) -> Result<AggSpec> {
+        AggSpec::new(AggFunc::Min, arg, name)
+    }
+
+    /// `MAX(arg) AS name`.
+    pub fn max(arg: Expr, name: impl Into<String>) -> Result<AggSpec> {
+        AggSpec::new(AggFunc::Max, arg, name)
+    }
+
+    /// The type of the argument expression against `detail`, if any.
+    fn arg_type(&self, detail: &Schema) -> Result<Option<DataType>> {
+        match &self.arg {
+            None => Ok(None),
+            Some(e) => infer_type(e, &Schema::empty(), detail).map(Some),
+        }
+    }
+
+    /// The finalized output type.
+    pub fn output_type(&self, detail: &Schema) -> Result<DataType> {
+        let at = self.arg_type(detail)?;
+        match self.func {
+            AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Avg => {
+                let t = at.ok_or_else(|| SkallaError::plan("AVG requires an argument"))?;
+                if !t.is_numeric() {
+                    return Err(SkallaError::type_error(format!("AVG over non-numeric {t}")));
+                }
+                Ok(DataType::Float64)
+            }
+            AggFunc::Sum => {
+                let t = at.ok_or_else(|| SkallaError::plan("SUM requires an argument"))?;
+                if !t.is_numeric() {
+                    return Err(SkallaError::type_error(format!("SUM over non-numeric {t}")));
+                }
+                Ok(t)
+            }
+            AggFunc::Min | AggFunc::Max => {
+                at.ok_or_else(|| SkallaError::plan(format!("{} requires an argument", self.func)))
+            }
+        }
+    }
+
+    /// The output field `name: output_type`.
+    pub fn output_field(&self, detail: &Schema) -> Result<Field> {
+        Ok(Field::new(self.name.clone(), self.output_type(detail)?))
+    }
+
+    /// The sub-aggregate *state* fields shipped between sites and
+    /// coordinator: one field for distributive aggregates, `(sum, count)`
+    /// for `AVG`.
+    pub fn state_fields(&self, detail: &Schema) -> Result<Vec<Field>> {
+        match self.func {
+            AggFunc::Avg => {
+                let t = self
+                    .arg_type(detail)?
+                    .ok_or_else(|| SkallaError::plan("AVG requires an argument"))?;
+                if !t.is_numeric() {
+                    return Err(SkallaError::type_error(format!("AVG over non-numeric {t}")));
+                }
+                Ok(vec![
+                    Field::new(format!("{}__sum", self.name), t),
+                    Field::new(format!("{}__count", self.name), DataType::Int64),
+                ])
+            }
+            _ => Ok(vec![Field::new(
+                self.name.clone(),
+                self.output_type(detail)?,
+            )]),
+        }
+    }
+
+    /// Number of state columns (1, or 2 for `AVG`).
+    pub fn state_width(&self) -> usize {
+        match self.func {
+            AggFunc::Avg => 2,
+            _ => 1,
+        }
+    }
+
+    /// The identity state (value over the empty multiset).
+    pub fn init_state(&self) -> Vec<Value> {
+        match self.func {
+            AggFunc::Count => vec![Value::Int(0)],
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => vec![Value::Null],
+            AggFunc::Avg => vec![Value::Null, Value::Int(0)],
+        }
+    }
+
+    /// Fold one matched detail value into the state. `v` is the evaluated
+    /// argument (ignored for `COUNT(*)`, where any value may be passed).
+    pub fn accumulate(&self, state: &mut [Value], v: &Value) -> Result<()> {
+        match self.func {
+            AggFunc::Count => {
+                if self.arg.is_none() || !v.is_null() {
+                    state[0] = Value::Int(state[0].as_int()? + 1);
+                }
+            }
+            AggFunc::Sum => {
+                if !v.is_null() {
+                    state[0] = add_values(&state[0], v)?;
+                }
+            }
+            AggFunc::Min => {
+                if !v.is_null() && (state[0].is_null() || *v < state[0]) {
+                    state[0] = v.clone();
+                }
+            }
+            AggFunc::Max => {
+                if !v.is_null() && (state[0].is_null() || *v > state[0]) {
+                    state[0] = v.clone();
+                }
+            }
+            AggFunc::Avg => {
+                if !v.is_null() {
+                    state[0] = add_values(&state[0], v)?;
+                    state[1] = Value::Int(state[1].as_int()? + 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another state (the super-aggregate of Theorem 1): `COUNT`s and
+    /// `SUM`s add, `MIN`/`MAX` compare, `AVG` adds component-wise.
+    pub fn merge(&self, state: &mut [Value], incoming: &[Value]) -> Result<()> {
+        match self.func {
+            AggFunc::Count => {
+                state[0] = Value::Int(state[0].as_int()? + incoming[0].as_int()?);
+            }
+            AggFunc::Sum => {
+                if !incoming[0].is_null() {
+                    state[0] = add_values(&state[0], &incoming[0])?;
+                }
+            }
+            AggFunc::Min => {
+                if !incoming[0].is_null() && (state[0].is_null() || incoming[0] < state[0]) {
+                    state[0] = incoming[0].clone();
+                }
+            }
+            AggFunc::Max => {
+                if !incoming[0].is_null() && (state[0].is_null() || incoming[0] > state[0]) {
+                    state[0] = incoming[0].clone();
+                }
+            }
+            AggFunc::Avg => {
+                if !incoming[0].is_null() {
+                    state[0] = add_values(&state[0], &incoming[0])?;
+                }
+                state[1] = Value::Int(state[1].as_int()? + incoming[1].as_int()?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final output value from state.
+    pub fn finalize(&self, state: &[Value]) -> Result<Value> {
+        match self.func {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max => Ok(state[0].clone()),
+            AggFunc::Avg => {
+                let count = state[1].as_int()?;
+                if count == 0 || state[0].is_null() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(state[0].as_f64()? / count as f64))
+                }
+            }
+        }
+    }
+}
+
+/// `a + b` treating `Null` as the additive identity for `a`.
+fn add_values(a: &Value, b: &Value) -> Result<Value> {
+    if a.is_null() {
+        return Ok(b.clone());
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x
+            .checked_add(*y)
+            .map(Value::Int)
+            .ok_or_else(|| SkallaError::arithmetic("SUM overflow")),
+        _ => Ok(Value::Float(a.as_f64()? + b.as_f64()?)),
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*) AS {}", self.func, self.name),
+            Some(a) => write!(f, "{}({a}) AS {}", self.func, self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detail() -> Schema {
+        Schema::from_pairs([("nb", DataType::Int64), ("w", DataType::Float64)]).unwrap()
+    }
+
+    fn run(spec: &AggSpec, values: &[Value]) -> Value {
+        let mut st = spec.init_state();
+        for v in values {
+            spec.accumulate(&mut st, v).unwrap();
+        }
+        spec.finalize(&st).unwrap()
+    }
+
+    /// Accumulating everything on one site must agree with accumulating on
+    /// two sites and merging (Theorem 1 at the single-aggregate level).
+    fn run_split(spec: &AggSpec, values: &[Value], split: usize) -> Value {
+        let mut a = spec.init_state();
+        for v in &values[..split] {
+            spec.accumulate(&mut a, v).unwrap();
+        }
+        let mut b = spec.init_state();
+        for v in &values[split..] {
+            spec.accumulate(&mut b, v).unwrap();
+        }
+        spec.merge(&mut a, &b).unwrap();
+        spec.finalize(&a).unwrap()
+    }
+
+    #[test]
+    fn count_star_counts_rows_including_nulls() {
+        let c = AggSpec::count_star("c");
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(&c, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let c = AggSpec::new(AggFunc::Count, Expr::detail(0), "c").unwrap();
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(&c, &vals), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_empty_is_null() {
+        let s = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        assert_eq!(run(&s, &[]), Value::Null);
+        assert_eq!(
+            run(&s, &[Value::Int(1), Value::Null, Value::Int(4)]),
+            Value::Int(5)
+        );
+        assert_eq!(
+            run(&s, &[Value::Float(0.5), Value::Int(1)]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mn = AggSpec::min(Expr::detail(0), "mn").unwrap();
+        let mx = AggSpec::max(Expr::detail(0), "mx").unwrap();
+        let vals = vec![Value::Int(3), Value::Int(-2), Value::Null, Value::Int(9)];
+        assert_eq!(run(&mn, &vals), Value::Int(-2));
+        assert_eq!(run(&mx, &vals), Value::Int(9));
+        assert_eq!(run(&mn, &[Value::Null]), Value::Null);
+        // Strings compare lexicographically.
+        let mn = AggSpec::min(Expr::detail(0), "mn").unwrap();
+        assert_eq!(
+            run(&mn, &[Value::str("b"), Value::str("a")]),
+            Value::str("a")
+        );
+    }
+
+    #[test]
+    fn avg_is_sum_over_count() {
+        let a = AggSpec::avg(Expr::detail(0), "a").unwrap();
+        assert_eq!(run(&a, &[]), Value::Null);
+        assert_eq!(run(&a, &[Value::Null]), Value::Null);
+        assert_eq!(
+            run(&a, &[Value::Int(1), Value::Int(2), Value::Null]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn split_merge_equals_single_site_for_all_funcs() {
+        let vals = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Int(-1),
+            Value::Int(8),
+            Value::Int(2),
+        ];
+        let specs = vec![
+            AggSpec::count_star("c"),
+            AggSpec::new(AggFunc::Count, Expr::detail(0), "cn").unwrap(),
+            AggSpec::sum(Expr::detail(0), "s").unwrap(),
+            AggSpec::avg(Expr::detail(0), "a").unwrap(),
+            AggSpec::min(Expr::detail(0), "mn").unwrap(),
+            AggSpec::max(Expr::detail(0), "mx").unwrap(),
+        ];
+        for spec in &specs {
+            for split in 0..=vals.len() {
+                assert_eq!(
+                    run(spec, &vals),
+                    run_split(spec, &vals, split),
+                    "{spec} split at {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let s = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let mut st = s.init_state();
+        s.accumulate(&mut st, &Value::Int(7)).unwrap();
+        let empty = s.init_state();
+        let mut merged = st.clone();
+        s.merge(&mut merged, &empty).unwrap();
+        assert_eq!(merged, st);
+        let mut other = empty.clone();
+        s.merge(&mut other, &st).unwrap();
+        assert_eq!(other, st);
+    }
+
+    #[test]
+    fn output_and_state_schemas() {
+        let d = detail();
+        let c = AggSpec::count_star("c");
+        assert_eq!(c.output_type(&d).unwrap(), DataType::Int64);
+        assert_eq!(c.state_fields(&d).unwrap().len(), 1);
+        assert_eq!(c.state_width(), 1);
+
+        let a = AggSpec::avg(Expr::detail(1), "a").unwrap();
+        assert_eq!(a.output_type(&d).unwrap(), DataType::Float64);
+        let sf = a.state_fields(&d).unwrap();
+        assert_eq!(sf.len(), 2);
+        assert_eq!(sf[0].name, "a__sum");
+        assert_eq!(sf[0].dtype, DataType::Float64);
+        assert_eq!(sf[1].name, "a__count");
+        assert_eq!(a.state_width(), 2);
+
+        let s = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        assert_eq!(s.output_type(&d).unwrap(), DataType::Int64);
+        assert_eq!(s.output_field(&d).unwrap().name, "s");
+    }
+
+    #[test]
+    fn non_numeric_sum_avg_rejected() {
+        let d = Schema::from_pairs([("s", DataType::Utf8)]).unwrap();
+        let spec = AggSpec::sum(Expr::detail(0), "x").unwrap();
+        assert!(spec.output_type(&d).is_err());
+        let spec = AggSpec::avg(Expr::detail(0), "x").unwrap();
+        assert!(spec.output_type(&d).is_err());
+        assert!(spec.state_fields(&d).is_err());
+        // MIN over strings is fine.
+        let spec = AggSpec::min(Expr::detail(0), "x").unwrap();
+        assert_eq!(spec.output_type(&d).unwrap(), DataType::Utf8);
+    }
+
+    #[test]
+    fn base_referencing_argument_rejected() {
+        assert!(AggSpec::sum(Expr::base(0), "x").is_err());
+        assert!(AggSpec::new(AggFunc::Min, Expr::base(0).add(Expr::detail(0)), "x").is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AggSpec::count_star("c").to_string(), "COUNT(*) AS c");
+        assert_eq!(
+            AggSpec::sum(Expr::detail(2), "s").unwrap().to_string(),
+            "SUM(r.2) AS s"
+        );
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let s = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let mut st = s.init_state();
+        s.accumulate(&mut st, &Value::Int(i64::MAX)).unwrap();
+        assert!(s.accumulate(&mut st, &Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # skalla-gmdj
+//!
+//! The GMDJ (Generalized Multi-Dimensional Join) operator — the algebraic
+//! workhorse of Skalla (paper §2.2, Definition 1) — together with:
+//!
+//! * [`agg`] — aggregate functions (`COUNT`, `SUM`, `AVG`, `MIN`, `MAX`)
+//!   with the *sub-aggregate / super-aggregate* decomposition of Theorem 1
+//!   (following Gray et al.): sites accumulate sub-aggregate state, the
+//!   coordinator merges state, and final values are produced by `finalize`.
+//! * [`op`] — the [`GmdjBlock`] (one `(lᵢ, θᵢ)` pair), the [`GmdjOp`]
+//!   (one `MD` application), and the chained [`GmdjExpr`]
+//!   (`MDₙ(⋯MD₁(B₀, R, …)⋯)`).
+//! * [`eval`] — local evaluation of one GMDJ over a columnar detail table,
+//!   with a hash strategy for equi-join conditions and a nested-loop
+//!   fallback, in either *sub-aggregate* mode (for distributed rounds) or
+//!   *full* mode (finalized outputs).
+//! * [`centralized`] — a single-site reference evaluator for whole GMDJ
+//!   expressions; the distributed executor is tested for equivalence
+//!   against it (Theorem 3).
+//! * [`coalesce`] — the GMDJ coalescing transformation of §4.3: adjacent
+//!   GMDJs merge into one when the outer conditions do not reference the
+//!   inner operator's outputs.
+
+pub mod agg;
+pub mod centralized;
+pub mod coalesce;
+pub mod eval;
+pub mod olap;
+pub mod op;
+pub mod sql;
+
+pub use agg::{AggFunc, AggSpec};
+pub use centralized::eval_expr_centralized;
+pub use coalesce::{coalesce_chain, try_coalesce};
+pub use eval::{
+    eval_gmdj_dual, eval_gmdj_full, eval_gmdj_sub, DualResult, EvalOptions, EvalStats,
+    LocalStrategy,
+};
+pub use olap::{
+    build_cube_base, build_rollup_base, cube_expr, cube_theta, multi_feature_expr, rollup_expr,
+    unpivot_expr,
+};
+pub use op::{BaseSpec, GmdjBlock, GmdjExpr, GmdjOp, MATCH_COUNT_COL};
+pub use sql::to_sql;

@@ -1,0 +1,335 @@
+//! Reduction of GMDJ expressions to standard SQL.
+//!
+//! The paper's companion work (ref \[2], *"Generalized MD-joins: Evaluation
+//! and reduction to SQL"*) shows every GMDJ expression can be rewritten
+//! into plain SQL; Skalla's local warehouses could therefore be any SQL
+//! DBMS (the paper uses Daytona). This module renders a [`GmdjExpr`] as a
+//! portable SQL statement — one CTE per evaluation stage, with each
+//! aggregate computed by a correlated scalar subquery (the direct
+//! transcription of Definition 1's `f{{t[c] | t ∈ RNG(b, R, θ)}}`):
+//!
+//! ```sql
+//! WITH b0 AS (SELECT DISTINCT sas, das FROM flow),
+//! b1 AS (
+//!   SELECT b.*,
+//!     (SELECT COUNT(*) FROM flow r WHERE (b.sas = r.sas)) AS cnt1
+//!   FROM b0 b
+//! )
+//! SELECT * FROM b1
+//! ```
+//!
+//! The output is valid against SQLite/PostgreSQL-class engines and is used
+//! for interop, debugging, and documentation; Skalla itself evaluates the
+//! algebra natively.
+
+use std::fmt::Write;
+
+use skalla_expr::{BinOp, Expr, UnOp};
+use skalla_types::{Result, Schema, SkallaError, Value};
+
+use crate::agg::{AggFunc, AggSpec};
+use crate::op::{BaseSpec, GmdjExpr};
+
+/// Render a whole GMDJ expression as a SQL statement.
+///
+/// `detail_schema` supplies column names for the detail relation; base
+/// column names evolve with the computed aggregates exactly as in
+/// [`GmdjExpr::base_schema_after`].
+pub fn to_sql(expr: &GmdjExpr, detail_schema: &Schema) -> Result<String> {
+    let mut out = String::new();
+
+    // Stage 0: the base-values relation.
+    let base_schema = expr.base_schema(detail_schema)?;
+    match &expr.base {
+        BaseSpec::DistinctProject { cols } => {
+            let names: Vec<&str> = cols
+                .iter()
+                .map(|&c| detail_schema.field(c).name.as_str())
+                .collect();
+            let _ = write!(
+                out,
+                "WITH b0 AS (SELECT DISTINCT {} FROM {})",
+                names.join(", "),
+                expr.detail_name
+            );
+        }
+        BaseSpec::Relation(rel) => {
+            // Inline the explicit base as a VALUES list.
+            if rel.is_empty() {
+                return Err(SkallaError::plan(
+                    "cannot render an empty explicit base relation as SQL",
+                ));
+            }
+            let cols = rel.schema().names().join(", ");
+            let mut values = Vec::with_capacity(rel.len());
+            for row in rel.rows() {
+                let rendered: Vec<String> = row.iter().map(sql_value).collect();
+                values.push(format!("({})", rendered.join(", ")));
+            }
+            let _ = write!(out, "WITH b0({cols}) AS (VALUES {})", values.join(", "));
+        }
+    }
+
+    // One CTE per GMDJ operator.
+    let mut current = base_schema;
+    for (k, op) in expr.ops.iter().enumerate() {
+        let detail_name = expr.detail_for_op(k);
+        let _ = write!(out, ",\nb{} AS (\n  SELECT b.*", k + 1);
+        for block in &op.blocks {
+            for agg in &block.aggs {
+                let _ = write!(
+                    out,
+                    ",\n    ({}) AS {}",
+                    scalar_subquery(agg, &block.theta, detail_name, &current, detail_schema)?,
+                    agg.name
+                );
+            }
+        }
+        let _ = write!(out, "\n  FROM b{k} b\n)");
+        current = current.extended(&op.output_fields(detail_schema)?)?;
+    }
+
+    let _ = write!(out, "\nSELECT * FROM b{}", expr.ops.len());
+    Ok(out)
+}
+
+fn scalar_subquery(
+    agg: &AggSpec,
+    theta: &Expr,
+    detail_name: &str,
+    base: &Schema,
+    detail: &Schema,
+) -> Result<String> {
+    let func = match agg.func {
+        AggFunc::Count => "COUNT",
+        AggFunc::Sum => "SUM",
+        AggFunc::Avg => "AVG",
+        AggFunc::Min => "MIN",
+        AggFunc::Max => "MAX",
+    };
+    let arg = match &agg.arg {
+        None => "*".to_string(),
+        Some(e) => render_expr(e, base, detail)?,
+    };
+    Ok(format!(
+        "SELECT {func}({arg}) FROM {detail_name} r WHERE {}",
+        render_expr(theta, base, detail)?
+    ))
+}
+
+/// Render a scalar expression with `b.`/`r.` correlation names.
+pub fn render_expr(e: &Expr, base: &Schema, detail: &Schema) -> Result<String> {
+    Ok(match e {
+        Expr::Lit(v) => sql_value(v),
+        Expr::BaseCol(i) => {
+            let f = base
+                .fields()
+                .get(*i)
+                .ok_or_else(|| SkallaError::schema(format!("base column {i} out of range")))?;
+            format!("b.{}", f.name)
+        }
+        Expr::DetailCol(i) => {
+            let f = detail
+                .fields()
+                .get(*i)
+                .ok_or_else(|| SkallaError::schema(format!("detail column {i} out of range")))?;
+            format!("r.{}", f.name)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+            };
+            format!(
+                "({} {o} {})",
+                render_expr(lhs, base, detail)?,
+                render_expr(rhs, base, detail)?
+            )
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("(-{})", render_expr(expr, base, detail)?),
+            UnOp::Not => format!("(NOT {})", render_expr(expr, base, detail)?),
+            UnOp::IsNull => format!("({} IS NULL)", render_expr(expr, base, detail)?),
+        },
+        Expr::InSet { expr, set } => {
+            if set.is_empty() {
+                // SQL has no empty IN list; render the equivalent FALSE
+                // (with NULL propagation preserved by the AND).
+                return Ok(format!(
+                    "({} IS NOT NULL AND 1 = 0)",
+                    render_expr(expr, base, detail)?
+                ));
+            }
+            let items: Vec<String> = set.iter().map(sql_value).collect();
+            format!(
+                "({} IN ({}))",
+                render_expr(expr, base, detail)?,
+                items.join(", ")
+            )
+        }
+    })
+}
+
+fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{GmdjBlock, GmdjOp};
+    use skalla_types::{DataType, Relation};
+    use std::sync::Arc;
+
+    fn detail() -> Schema {
+        Schema::from_pairs([
+            ("sas", DataType::Int64),
+            ("das", DataType::Int64),
+            ("nb", DataType::Int64),
+        ])
+        .unwrap()
+    }
+
+    fn example1() -> GmdjExpr {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("cnt1"),
+                AggSpec::sum(Expr::detail(2), "sum1").unwrap(),
+            ],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1))),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("cnt2")],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1)))
+                .and(Expr::detail(2).ge(Expr::base(3).div(Expr::base(2)))),
+        )]);
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_renders_to_expected_sql() {
+        let sql = to_sql(&example1(), &detail()).unwrap();
+        let expected = "\
+WITH b0 AS (SELECT DISTINCT sas, das FROM flow),
+b1 AS (
+  SELECT b.*,
+    (SELECT COUNT(*) FROM flow r WHERE ((b.sas = r.sas) AND (b.das = r.das))) AS cnt1,
+    (SELECT SUM(r.nb) FROM flow r WHERE ((b.sas = r.sas) AND (b.das = r.das))) AS sum1
+  FROM b0 b
+),
+b2 AS (
+  SELECT b.*,
+    (SELECT COUNT(*) FROM flow r WHERE (((b.sas = r.sas) AND (b.das = r.das)) AND (r.nb >= (b.sum1 / b.cnt1)))) AS cnt2
+  FROM b1 b
+)
+SELECT * FROM b2";
+        assert_eq!(sql, expected);
+    }
+
+    #[test]
+    fn explicit_base_becomes_values() {
+        let base_schema = Schema::from_pairs([("k", DataType::Int64)]).unwrap();
+        let base = Relation::new(
+            Arc::new(base_schema),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c")],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let e = GmdjExpr::new(BaseSpec::Relation(base), "flow", vec![op], vec![0]).unwrap();
+        let sql = to_sql(&e, &detail()).unwrap();
+        assert!(sql.starts_with("WITH b0(k) AS (VALUES (1), (2))"));
+        assert!(sql.contains("(SELECT COUNT(*) FROM flow r WHERE (b.k = r.sas)) AS c"));
+
+        let empty = Relation::empty(
+            Schema::from_pairs([("k", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+        );
+        let e = GmdjExpr::new(
+            BaseSpec::Relation(empty),
+            "flow",
+            vec![GmdjOp::new(vec![GmdjBlock::new(
+                vec![AggSpec::count_star("c")],
+                Expr::lit(true),
+            )])],
+            vec![0],
+        )
+        .unwrap();
+        assert!(to_sql(&e, &detail()).is_err());
+    }
+
+    #[test]
+    fn values_escape_and_render() {
+        assert_eq!(sql_value(&Value::Null), "NULL");
+        assert_eq!(sql_value(&Value::Int(-3)), "-3");
+        assert_eq!(sql_value(&Value::Float(2.5)), "2.5");
+        assert_eq!(sql_value(&Value::Float(4.0)), "4.0");
+        assert_eq!(sql_value(&Value::Bool(true)), "TRUE");
+        assert_eq!(sql_value(&Value::str("it's")), "'it''s'");
+    }
+
+    #[test]
+    fn operators_and_special_forms_render() {
+        let d = detail();
+        let b = Schema::from_pairs([("g", DataType::Int64)]).unwrap();
+        let cases = [
+            (Expr::base(0).ne(Expr::lit(1)), "(b.g <> 1)"),
+            (Expr::detail(2).rem(Expr::lit(2)), "(r.nb % 2)"),
+            (Expr::base(0).is_null(), "(b.g IS NULL)"),
+            (Expr::base(0).not(), "(NOT b.g)"),
+            (Expr::base(0).neg(), "(-b.g)"),
+            (
+                Expr::base(0).in_set([Value::Int(1), Value::str("x")]),
+                "(b.g IN (1, 'x'))",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(render_expr(&e, &b, &d).unwrap(), want);
+        }
+        // Empty IN set.
+        let e = Expr::base(0).in_set([] as [Value; 0]);
+        assert_eq!(
+            render_expr(&e, &b, &d).unwrap(),
+            "(b.g IS NOT NULL AND 1 = 0)"
+        );
+        // Out-of-range columns error.
+        assert!(render_expr(&Expr::base(9), &b, &d).is_err());
+        assert!(render_expr(&Expr::detail(9), &b, &d).is_err());
+    }
+}

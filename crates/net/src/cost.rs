@@ -1,0 +1,280 @@
+//! Communication cost model and transfer accounting.
+//!
+//! The paper's testbed is a real LAN; ours is simulated. We keep the two
+//! quantities that determine every curve in §5 measurable and exact:
+//!
+//! * **bytes transferred** — every message is serialized by `wire`, and its
+//!   exact length is recorded per directed link in [`TransferStats`];
+//! * **communication time** — modeled per message as
+//!   `latency + bytes / bandwidth` by [`CostModel`]. Response-time *shapes*
+//!   (linear vs. quadratic in the number of sites) depend only on byte
+//!   volumes and round counts, which are exact.
+
+use std::collections::HashMap;
+
+use crate::sim::NodeId;
+
+/// Latency/bandwidth model of one (homogeneous) network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl CostModel {
+    /// A model resembling the paper's era: switched 100 Mbit LAN with
+    /// ~1 ms per-message overhead.
+    pub fn lan_2002() -> CostModel {
+        CostModel {
+            latency_s: 1e-3,
+            bandwidth_bytes_per_s: 12.5e6,
+        }
+    }
+
+    /// An idealized infinitely fast network (isolates computation costs).
+    pub fn free() -> CostModel {
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// A slow WAN (sites far from the coordinator): 20 ms latency,
+    /// 10 Mbit/s.
+    pub fn wan() -> CostModel {
+        CostModel {
+            latency_s: 20e-3,
+            bandwidth_bytes_per_s: 1.25e6,
+        }
+    }
+
+    /// Modeled time to move `bytes` across one link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::lan_2002()
+    }
+}
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Transfer counters for the whole network.
+#[derive(Debug, Clone, Default)]
+pub struct TransferStats {
+    per_link: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl TransferStats {
+    /// Empty stats.
+    pub fn new() -> TransferStats {
+        TransferStats::default()
+    }
+
+    /// Record one message of `bytes` payload on `src → dst`.
+    pub fn record(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        let e = self.per_link.entry((src, dst)).or_default();
+        e.messages += 1;
+        e.bytes += bytes;
+    }
+
+    /// Counters for one directed link.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        self.per_link.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_link.values().map(|l| l.bytes).sum()
+    }
+
+    /// Total messages over all links.
+    pub fn total_messages(&self) -> u64 {
+        self.per_link.values().map(|l| l.messages).sum()
+    }
+
+    /// Total bytes sent *from* `node`.
+    pub fn bytes_from(&self, node: NodeId) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((s, _), _)| *s == node)
+            .map(|(_, l)| l.bytes)
+            .sum()
+    }
+
+    /// Total bytes received *by* `node`.
+    pub fn bytes_to(&self, node: NodeId) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((_, d), _)| *d == node)
+            .map(|(_, l)| l.bytes)
+            .sum()
+    }
+
+    /// Modeled *serial* communication time: the sum of per-message transfer
+    /// times over all links (an upper bound; rounds overlap transfers in
+    /// reality).
+    pub fn serial_time(&self, model: &CostModel) -> f64 {
+        self.per_link
+            .values()
+            .map(|l| {
+                l.messages as f64 * model.latency_s + l.bytes as f64 / model.bandwidth_bytes_per_s
+            })
+            .sum()
+    }
+
+    /// Per-link difference `self - earlier` (counters are monotone, so this
+    /// isolates one phase of an execution between two snapshots).
+    pub fn diff(&self, earlier: &TransferStats) -> TransferStats {
+        let mut out = TransferStats::new();
+        for (&k, l) in &self.per_link {
+            let before = earlier.per_link.get(&k).copied().unwrap_or_default();
+            let d = LinkStats {
+                messages: l.messages.saturating_sub(before.messages),
+                bytes: l.bytes.saturating_sub(before.bytes),
+            };
+            if d.messages > 0 || d.bytes > 0 {
+                out.per_link.insert(k, d);
+            }
+        }
+        out
+    }
+
+    /// Merge another stats object into this one.
+    pub fn merge(&mut self, other: &TransferStats) {
+        for (&k, l) in &other.per_link {
+            let e = self.per_link.entry(k).or_default();
+            e.messages += l.messages;
+            e.bytes += l.bytes;
+        }
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        self.per_link.clear();
+    }
+
+    /// Iterate over `(src, dst, stats)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkStats)> + '_ {
+        self.per_link.iter().map(|(&(s, d), &l)| (s, d, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_latency_and_bandwidth() {
+        let m = CostModel {
+            latency_s: 0.5,
+            bandwidth_bytes_per_s: 100.0,
+        };
+        assert_eq!(m.transfer_time(0), 0.5);
+        assert_eq!(m.transfer_time(200), 0.5 + 2.0);
+        assert_eq!(CostModel::free().transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn record_and_query_links() {
+        let mut s = TransferStats::new();
+        s.record(0, 1, 100);
+        s.record(0, 1, 50);
+        s.record(1, 0, 10);
+        assert_eq!(
+            s.link(0, 1),
+            LinkStats {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            s.link(1, 0),
+            LinkStats {
+                messages: 1,
+                bytes: 10
+            }
+        );
+        assert_eq!(s.link(2, 0), LinkStats::default());
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.bytes_from(0), 150);
+        assert_eq!(s.bytes_to(0), 10);
+    }
+
+    #[test]
+    fn serial_time_sums_links() {
+        let mut s = TransferStats::new();
+        s.record(0, 1, 1000);
+        s.record(1, 0, 1000);
+        let m = CostModel {
+            latency_s: 1.0,
+            bandwidth_bytes_per_s: 1000.0,
+        };
+        assert!((s.serial_time(&m) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = TransferStats::new();
+        a.record(0, 1, 5);
+        let mut b = TransferStats::new();
+        b.record(0, 1, 7);
+        b.record(2, 0, 1);
+        a.merge(&b);
+        assert_eq!(a.link(0, 1).bytes, 12);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.iter().count(), 2);
+        a.clear();
+        assert_eq!(a.total_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_isolates_a_phase() {
+        let mut before = TransferStats::new();
+        before.record(0, 1, 100);
+        let mut after = before.clone();
+        after.record(0, 1, 50);
+        after.record(1, 0, 25);
+        let d = after.diff(&before);
+        assert_eq!(
+            d.link(0, 1),
+            LinkStats {
+                messages: 1,
+                bytes: 50
+            }
+        );
+        assert_eq!(
+            d.link(1, 0),
+            LinkStats {
+                messages: 1,
+                bytes: 25
+            }
+        );
+        assert_eq!(d.iter().count(), 2);
+        // Unchanged links are absent from the diff.
+        let same = after.diff(&after);
+        assert_eq!(same.iter().count(), 0);
+    }
+
+    #[test]
+    fn preset_models_are_ordered() {
+        // WAN is slower than LAN for the same payload.
+        let payload = 1_000_000;
+        assert!(
+            CostModel::wan().transfer_time(payload) > CostModel::lan_2002().transfer_time(payload)
+        );
+    }
+}

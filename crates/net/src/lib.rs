@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # skalla-net
+//!
+//! The (simulated) network substrate of Skalla.
+//!
+//! The paper's experiments run on a LAN of eight warehouse sites plus a
+//! coordinator; the quantities it reports are *bytes transferred* (Fig. 2
+//! right) and the communication component of query evaluation time (Fig. 5
+//! right). This crate reproduces both measurably:
+//!
+//! * [`wire`] — a compact binary wire format ([`WireEncode`]/[`WireDecode`])
+//!   for values, schemas, and relations. Every message crossing the
+//!   simulated network is *actually serialized*, so byte counts are exact,
+//!   not estimates.
+//! * [`sim`] — [`SimNetwork`]: a full-mesh message-passing fabric built on
+//!   crossbeam channels. Every send is recorded in [`TransferStats`].
+//! * [`cost`] — [`CostModel`]: latency + bandwidth model converting byte
+//!   counts into modeled transfer seconds, used to report response-time
+//!   *shapes* independently of the host machine.
+
+pub mod cost;
+pub mod sim;
+pub mod wire;
+
+pub use cost::{CostModel, LinkStats, TransferStats};
+pub use sim::{Endpoint, Envelope, NodeId, SimNetwork};
+pub use wire::{WireDecode, WireEncode, WireReader};

@@ -1,0 +1,213 @@
+//! The simulated message-passing fabric.
+//!
+//! [`SimNetwork::full_mesh`] creates `n` [`Endpoint`]s connected pairwise by
+//! unbounded crossbeam channels. Endpoints are `Send` and are moved into the
+//! per-site worker threads by the distributed runtime; the shared
+//! [`TransferStats`] (behind a `parking_lot` mutex) records every message.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use skalla_types::{Result, SkallaError};
+
+use crate::cost::{CostModel, TransferStats};
+
+/// Identifies a node in the simulated network. By convention the
+/// coordinator is node 0 and sites are 1..=n.
+pub type NodeId = u32;
+
+/// One message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+/// A node's connection to the network: senders to every peer and one
+/// receiver for all inbound traffic.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: NodeId,
+    peers: Vec<Option<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    stats: Arc<Mutex<TransferStats>>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send `payload` to `dst`, recording its size.
+    pub fn send(&self, dst: NodeId, payload: Bytes) -> Result<()> {
+        let sender = self
+            .peers
+            .get(dst as usize)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| SkallaError::net(format!("unknown destination node {dst}")))?;
+        self.stats.lock().record(self.id, dst, payload.len() as u64);
+        sender
+            .send(Envelope {
+                src: self.id,
+                dst,
+                payload,
+            })
+            .map_err(|_| SkallaError::net(format!("node {dst} disconnected")))
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Envelope> {
+        self.inbox
+            .recv()
+            .map_err(|_| SkallaError::net("all peers disconnected"))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// The simulated network: construction plus shared accounting.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    stats: Arc<Mutex<TransferStats>>,
+    cost: CostModel,
+    num_nodes: usize,
+}
+
+impl SimNetwork {
+    /// Create a full mesh of `n` nodes; returns the network handle and one
+    /// endpoint per node (index = node id).
+    pub fn full_mesh(n: usize, cost: CostModel) -> (SimNetwork, Vec<Endpoint>) {
+        let stats = Arc::new(Mutex::new(TransferStats::new()));
+        let mut inboxes: Vec<(Sender<Envelope>, Receiver<Envelope>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let mut endpoints = Vec::with_capacity(n);
+        for id in 0..n {
+            let peers: Vec<Option<Sender<Envelope>>> = (0..n)
+                .map(|peer| {
+                    if peer == id {
+                        None // no self-links
+                    } else {
+                        Some(inboxes[peer].0.clone())
+                    }
+                })
+                .collect();
+            let inbox = inboxes[id].1.clone();
+            endpoints.push(Endpoint {
+                id: id as NodeId,
+                peers,
+                inbox,
+                stats: stats.clone(),
+            });
+        }
+        // Drop the original senders so disconnects propagate when endpoints
+        // are dropped.
+        inboxes.clear();
+        (
+            SimNetwork {
+                stats,
+                cost,
+                num_nodes: n,
+            },
+            endpoints,
+        )
+    }
+
+    /// Snapshot of the transfer statistics.
+    pub fn stats(&self) -> TransferStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset transfer statistics.
+    pub fn reset_stats(&self) {
+        self.stats.lock().clear();
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_flow_between_endpoints() {
+        let (net, eps) = SimNetwork::full_mesh(3, CostModel::free());
+        eps[0].send(1, Bytes::from_static(b"hello")).unwrap();
+        eps[2].send(1, Bytes::from_static(b"world!")).unwrap();
+        let a = eps[1].recv().unwrap();
+        let b = eps[1].recv().unwrap();
+        let mut srcs = vec![a.src, b.src];
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![0, 2]);
+        assert_eq!(net.stats().total_bytes(), 11);
+        assert_eq!(net.stats().link(0, 1).messages, 1);
+        assert_eq!(net.num_nodes(), 3);
+    }
+
+    #[test]
+    fn self_send_and_unknown_destination_rejected() {
+        let (_net, eps) = SimNetwork::full_mesh(2, CostModel::free());
+        assert!(eps[0].send(0, Bytes::new()).is_err());
+        assert!(eps[0].send(9, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (_net, eps) = SimNetwork::full_mesh(2, CostModel::free());
+        assert!(eps[1].try_recv().is_none());
+        eps[0].send(1, Bytes::from_static(b"x")).unwrap();
+        assert!(eps[1].try_recv().is_some());
+    }
+
+    #[test]
+    fn stats_reset() {
+        let (net, eps) = SimNetwork::full_mesh(2, CostModel::free());
+        eps[0].send(1, Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(net.stats().total_bytes(), 3);
+        net.reset_stats();
+        assert_eq!(net.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (net, mut eps) = SimNetwork::full_mesh(2, CostModel::lan_2002());
+        let site = eps.pop().unwrap();
+        let coord = eps.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            let env = site.recv().unwrap();
+            site.send(0, env.payload).unwrap(); // echo
+        });
+        coord.send(1, Bytes::from_static(b"ping")).unwrap();
+        let back = coord.recv().unwrap();
+        assert_eq!(&back.payload[..], b"ping");
+        handle.join().unwrap();
+        assert_eq!(net.stats().total_messages(), 2);
+        assert!(net.cost_model().transfer_time(100) > 0.0);
+    }
+
+    #[test]
+    fn recv_errors_after_all_peers_drop() {
+        let (_net, mut eps) = SimNetwork::full_mesh(2, CostModel::free());
+        let e1 = eps.pop().unwrap();
+        drop(eps); // drops endpoint 0 and its cloned sender to e1
+        assert!(e1.recv().is_err());
+    }
+}

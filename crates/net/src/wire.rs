@@ -1,0 +1,543 @@
+//! Binary wire format.
+//!
+//! A small, deterministic, self-describing-enough format:
+//!
+//! * unsigned integers: LEB128 varint,
+//! * signed integers: zigzag + varint,
+//! * floats: 8-byte little-endian IEEE-754,
+//! * strings/bytes: varint length prefix + UTF-8 bytes,
+//! * values: 1-byte tag + payload,
+//! * schemas: field count + (name, type tag) pairs,
+//! * relations: schema + row count + row-major values.
+//!
+//! Exactness matters: Fig. 2 (right) of the paper plots bytes transferred,
+//! and Theorem 2's transfer bound is checked in integration tests against
+//! these counts.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use skalla_types::{DataType, Field, Relation, Result, Schema, SkallaError, Value};
+
+/// Types that can serialize themselves onto a byte buffer.
+pub trait WireEncode {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Exact number of bytes `encode` would append.
+    fn wire_len(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Types that can deserialize themselves from a [`WireReader`].
+pub trait WireDecode: Sized {
+    /// Read one value of `Self`, consuming bytes from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Decode from a complete buffer, requiring full consumption.
+    fn from_wire(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(SkallaError::net(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// A cursor over a byte slice with checked reads.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf }
+    }
+
+    /// Bytes left.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        if self.buf.is_empty() {
+            return Err(SkallaError::net("unexpected end of message"));
+        }
+        let b = self.buf[0];
+        self.buf.advance(1);
+        Ok(b)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(SkallaError::net("varint overflow"));
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a zigzag-encoded signed integer.
+    pub fn zigzag(&mut self) -> Result<i64> {
+        let u = self.varint()?;
+        Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+
+    /// Read an 8-byte little-endian float.
+    pub fn f64(&mut self) -> Result<f64> {
+        if self.buf.len() < 8 {
+            return Err(SkallaError::net("unexpected end of message (f64)"));
+        }
+        let v = f64::from_le_bytes(self.buf[..8].try_into().expect("8 bytes"));
+        self.buf.advance(8);
+        Ok(v)
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.varint()? as usize;
+        if self.buf.len() < len {
+            return Err(SkallaError::net("unexpected end of message (bytes)"));
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| SkallaError::net("invalid UTF-8 in message"))
+    }
+}
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+/// Append a zigzag varint.
+pub fn put_zigzag(buf: &mut BytesMut, v: i64) {
+    put_varint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Append a length-prefixed string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+impl WireEncode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.varint()
+    }
+}
+
+impl WireEncode for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+}
+
+impl WireDecode for u32 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let v = r.varint()?;
+        u32::try_from(v).map_err(|_| SkallaError::net("u32 overflow"))
+    }
+}
+
+impl WireEncode for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self as u64);
+    }
+}
+
+impl WireDecode for usize {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let v = r.varint()?;
+        usize::try_from(v).map_err(|_| SkallaError::net("usize overflow"))
+    }
+}
+
+impl WireEncode for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SkallaError::net(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, self);
+    }
+}
+
+impl WireDecode for String {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.string()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let n = r.varint()? as usize;
+        // Guard against hostile/corrupt lengths: cap the pre-allocation.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(SkallaError::net(format!("invalid option byte {other}"))),
+        }
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+impl WireEncode for Value {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                put_zigzag(buf, *i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                put_str(buf, s);
+            }
+            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        }
+    }
+}
+
+impl WireDecode for Value {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_INT => Ok(Value::Int(r.zigzag()?)),
+            TAG_FLOAT => Ok(Value::Float(r.f64()?)),
+            TAG_STR => Ok(Value::Str(Arc::from(r.string()?.as_str()))),
+            TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+            TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+            other => Err(SkallaError::net(format!("invalid value tag {other}"))),
+        }
+    }
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType> {
+    match t {
+        0 => Ok(DataType::Int64),
+        1 => Ok(DataType::Float64),
+        2 => Ok(DataType::Utf8),
+        3 => Ok(DataType::Bool),
+        other => Err(SkallaError::net(format!("invalid data-type tag {other}"))),
+    }
+}
+
+impl WireEncode for Schema {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        for f in self.fields() {
+            put_str(buf, &f.name);
+            buf.put_u8(dtype_tag(f.dtype));
+        }
+    }
+}
+
+impl WireDecode for Schema {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let n = r.varint()? as usize;
+        let mut fields = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = r.string()?;
+            let dtype = dtype_from_tag(r.u8()?)?;
+            fields.push(Field::new(name, dtype));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl WireEncode for Relation {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.schema().encode(buf);
+        put_varint(buf, self.len() as u64);
+        for row in self.rows() {
+            for v in row {
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for Relation {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let schema = Arc::new(Schema::decode(r)?);
+        let n = r.varint()? as usize;
+        let width = schema.len();
+        let mut rows = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(Value::decode(r)?);
+            }
+            rows.push(row);
+        }
+        Ok(Relation::from_rows_unchecked(schema, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        assert_eq!(bytes.len(), v.wire_len());
+        let back = T::from_wire(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn zigzag_signed_values() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let mut buf = BytesMut::new();
+            put_zigzag(&mut buf, v);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.zigzag().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn value_round_trips() {
+        for v in [
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.5),
+            Value::Float(f64::NEG_INFINITY),
+            Value::str("héllo"),
+            Value::str(""),
+            Value::Bool(true),
+            Value::Bool(false),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let v = Value::Float(f64::NAN);
+        let back = Value::from_wire(&v.to_wire()).unwrap();
+        match back {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let s = Schema::from_pairs([
+            ("a", DataType::Int64),
+            ("b", DataType::Utf8),
+            ("c", DataType::Float64),
+            ("d", DataType::Bool),
+        ])
+        .unwrap();
+        round_trip(&s);
+        round_trip(&Schema::empty());
+    }
+
+    #[test]
+    fn relation_round_trips() {
+        let schema = Schema::from_pairs([("k", DataType::Int64), ("s", DataType::Utf8)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Null, Value::str("")],
+            ],
+        )
+        .unwrap();
+        round_trip(&rel);
+        round_trip(&Relation::empty(schema));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Vec::<u64>::new());
+        round_trip(&Some(7u32));
+        round_trip(&Option::<u32>::None);
+        round_trip(&String::from("plan"));
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&42usize);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let rel_schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(rel_schema, vec![vec![Value::Int(5)]]).unwrap();
+        let bytes = rel.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(Relation::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Value::Int(1).to_wire().to_vec();
+        bytes.push(0);
+        assert!(Value::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(Value::from_wire(&[99]).is_err());
+        assert!(bool::from_wire(&[7]).is_err());
+        assert!(Option::<u32>::from_wire(&[9]).is_err());
+        // Schema with bad dtype tag.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1);
+        put_str(&mut buf, "x");
+        buf.put_u8(9);
+        assert!(Schema::from_wire(&buf).is_err());
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 bytes of 0xFF overflows a u64 varint.
+        let bytes = [0xFFu8; 10];
+        let mut r = WireReader::new(&bytes);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn wire_len_scales_with_content() {
+        let small = Value::Int(1).wire_len();
+        let big = Value::str("a long string value crossing the network").wire_len();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_STR);
+        put_varint(&mut buf, 2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert!(Value::from_wire(&buf).is_err());
+    }
+}

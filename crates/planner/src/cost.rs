@@ -1,0 +1,268 @@
+//! Cost-based plan selection.
+//!
+//! The paper presents its §4 optimizations as *schemes* whose
+//! applicability Egil proves; whether to apply one is then a cost
+//! question. This module estimates the transfer profile of a plan from
+//! table statistics and picks the cheapest flag combination —
+//! [`choose_plan`] is a miniature cost-based optimizer on top of
+//! [`crate::plan_query`].
+//!
+//! The estimator mirrors the execution model exactly:
+//!
+//! * each **standard round** ships the base down to every participating
+//!   site and one fragment per site back up;
+//! * **site-side group reduction** cuts each upstream fragment to the
+//!   site's share of the groups (`1/n` under a partition attribute, full
+//!   otherwise);
+//! * **coordinator-side group reduction** cuts each downstream fragment
+//!   the same way when constraints exist;
+//! * a **local-run** segment ships nothing down and one (merged) fragment
+//!   per site up.
+
+use skalla_core::{BaseRound, DistPlan, OptFlags, Segment};
+use skalla_gmdj::BaseSpec;
+use skalla_net::CostModel;
+use skalla_storage::TableStats;
+use skalla_types::Result;
+
+use crate::egil::{plan_query, PlanReport};
+use crate::info::DistributionInfo;
+
+/// Estimated transfer profile of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated result groups `|Q|`.
+    pub est_groups: usize,
+    /// Estimated tuples coordinator → sites over the whole plan.
+    pub est_rows_down: u64,
+    /// Estimated tuples sites → coordinator.
+    pub est_rows_up: u64,
+    /// Synchronizations.
+    pub syncs: usize,
+    /// Modeled communication seconds under the given cost model (assuming
+    /// `bytes_per_row` per shipped tuple, serialized at the coordinator
+    /// link).
+    pub est_comm_s: f64,
+}
+
+/// Rough bytes per shipped group row (key + a few aggregate columns); only
+/// relative plan ordering matters, not the absolute constant.
+const BYTES_PER_ROW: f64 = 24.0;
+
+/// Estimate the transfer profile of `plan` against `stats` (statistics of
+/// the full detail relation) for `n_sites` sites.
+pub fn estimate_plan(
+    plan: &DistPlan,
+    stats: &TableStats,
+    n_sites: usize,
+    cost: &CostModel,
+) -> CostEstimate {
+    let groups = match &plan.expr.base {
+        BaseSpec::DistinctProject { cols } => stats.estimate_group_count(cols),
+        BaseSpec::Relation(r) => r.len(),
+    };
+    // Fraction of the base a single site contributes/accepts under group
+    // reduction. With a partition attribute each group lives at one site.
+    let site_share = 1.0 / n_sites as f64;
+
+    let mut rows_down = 0u64;
+    let mut rows_up = 0u64;
+    let mut messages = 0u64;
+
+    // Base round.
+    if matches!(plan.base_round, BaseRound::Distributed) {
+        rows_up += (n_sites as f64 * groups as f64 * site_share) as u64;
+        messages += 2 * n_sites as u64;
+    }
+
+    for seg in plan.segments() {
+        let (start, local) = match seg {
+            Segment::Standard { op } => (op, false),
+            Segment::LocalRun { start, .. } => (start, true),
+        };
+        let spec = &plan.rounds[start];
+        let local_base = start == 0 && matches!(plan.base_round, BaseRound::LocalOnly);
+        messages += 2 * n_sites as u64;
+
+        if !local_base {
+            // Downstream: the base to every site, shrunk by coord filters.
+            let per_site = if spec.coord_filters.is_some() {
+                groups as f64 * site_share
+            } else {
+                groups as f64
+            };
+            rows_down += (n_sites as f64 * per_site) as u64;
+        }
+        // Upstream: one fragment per site.
+        let per_site_up = if spec.site_group_reduction || local || local_base {
+            groups as f64 * site_share
+        } else {
+            groups as f64
+        };
+        rows_up += (n_sites as f64 * per_site_up) as u64;
+    }
+
+    let bytes = (rows_down + rows_up) as f64 * BYTES_PER_ROW;
+    let est_comm_s = messages as f64 * cost.latency_s + bytes / cost.bandwidth_bytes_per_s;
+
+    CostEstimate {
+        est_groups: groups,
+        est_rows_down: rows_down,
+        est_rows_up: rows_up,
+        syncs: plan.num_synchronizations(),
+        est_comm_s,
+    }
+}
+
+/// Plan the query under every optimization-flag combination, estimate each,
+/// and return the cheapest (by estimated communication time) together with
+/// its report and estimate.
+pub fn choose_plan(
+    expr: &skalla_gmdj::GmdjExpr,
+    dist: &DistributionInfo,
+    stats: &TableStats,
+    cost: &CostModel,
+) -> Result<(DistPlan, PlanReport, CostEstimate)> {
+    let mut best: Option<(DistPlan, PlanReport, CostEstimate)> = None;
+    for bits in 0..16u32 {
+        let flags = OptFlags {
+            coalesce: bits & 1 != 0,
+            site_group_reduction: bits & 2 != 0,
+            coord_group_reduction: bits & 4 != 0,
+            sync_reduction: bits & 8 != 0,
+        };
+        let (plan, report) = plan_query(expr, dist, flags)?;
+        let est = estimate_plan(&plan, stats, dist.num_sites, cost);
+        let better = match &best {
+            None => true,
+            Some((_, _, b)) => est.est_comm_s < b.est_comm_s,
+        };
+        if better {
+            best = Some((plan, report, est));
+        }
+    }
+    Ok(best.expect("16 candidates evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_expr::Expr;
+    use skalla_gmdj::{AggSpec, GmdjBlock, GmdjExpr, GmdjOp};
+    use skalla_storage::{partition_by_hash, Table};
+    use skalla_types::{DataType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs([("g", DataType::Int64), ("v", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| vec![Value::Int(i % 40), Value::Int(i)])
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    fn query() -> GmdjExpr {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("c1"),
+                AggSpec::avg(Expr::detail(1), "a1").unwrap(),
+            ],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c2")],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::detail(1).ge(Expr::base(2))),
+        )]);
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0] },
+            "t",
+            vec![md1, md2],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_track_reductions() {
+        let t = table();
+        let stats = TableStats::collect(&t);
+        let parts = partition_by_hash(&t, 0, 4).unwrap();
+        let dist = DistributionInfo::from_partitioning(&parts);
+        let cost = CostModel::lan_2002();
+
+        let (p_none, _) = plan_query(&query(), &dist, OptFlags::none()).unwrap();
+        let (p_all, _) = plan_query(&query(), &dist, OptFlags::all()).unwrap();
+        let e_none = estimate_plan(&p_none, &stats, 4, &cost);
+        let e_all = estimate_plan(&p_all, &stats, 4, &cost);
+
+        assert_eq!(e_none.est_groups, 40);
+        assert!(e_all.est_rows_down < e_none.est_rows_down);
+        assert!(e_all.est_rows_up < e_none.est_rows_up);
+        assert!(e_all.est_comm_s < e_none.est_comm_s);
+        assert!(e_all.syncs < e_none.syncs);
+    }
+
+    #[test]
+    fn chooser_picks_full_optimization_under_partition_attribute() {
+        let t = table();
+        let stats = TableStats::collect(&t);
+        let parts = partition_by_hash(&t, 0, 4).unwrap();
+        let dist = DistributionInfo::from_partitioning(&parts);
+        let (plan, report, est) =
+            choose_plan(&query(), &dist, &stats, &CostModel::lan_2002()).unwrap();
+        // Sync reduction collapses everything to one synchronization; the
+        // chooser must find it.
+        assert_eq!(report.num_synchronizations, 1);
+        assert_eq!(est.syncs, 1);
+        assert!(plan.flags.sync_reduction);
+    }
+
+    #[test]
+    fn chosen_plan_estimate_matches_execution_shape() {
+        use skalla_core::DistributedWarehouse;
+        use skalla_storage::Catalog;
+
+        let t = table();
+        let stats = TableStats::collect(&t);
+        let parts = partition_by_hash(&t, 0, 4).unwrap();
+        let dist = DistributionInfo::from_partitioning(&parts);
+        let (plan, _, est) = choose_plan(&query(), &dist, &stats, &CostModel::lan_2002()).unwrap();
+
+        let catalogs: Vec<Catalog> = parts
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = Catalog::new();
+                c.register("t", p.clone());
+                c
+            })
+            .collect();
+        let wh = DistributedWarehouse::launch(catalogs, CostModel::lan_2002()).unwrap();
+        let (result, metrics) = wh.execute(&plan).unwrap();
+        wh.shutdown().unwrap();
+
+        assert_eq!(result.len(), est.est_groups);
+        // The estimate is a model, not a measurement — require the right
+        // order of magnitude (within 2×), which is what plan ranking needs.
+        let measured = (metrics.total_rows_down() + metrics.total_rows_up()).max(1) as f64;
+        let estimated = (est.est_rows_down + est.est_rows_up).max(1) as f64;
+        let ratio = (measured / estimated).max(estimated / measured);
+        assert!(ratio <= 2.0, "estimate off by ×{ratio:.2}");
+    }
+
+    #[test]
+    fn no_knowledge_still_chooses_something_sound() {
+        let t = table();
+        let stats = TableStats::collect(&t);
+        let dist = DistributionInfo::unknown(4);
+        let (plan, report, _) =
+            choose_plan(&query(), &dist, &stats, &CostModel::lan_2002()).unwrap();
+        // Without a partition attribute Cor 1 can't fire…
+        assert!(report.local_only_rounds.is_empty());
+        // …but Prop 2 and site-side reduction still can.
+        plan.validate().unwrap();
+    }
+}

@@ -1,0 +1,519 @@
+//! Egil plan construction.
+//!
+//! [`plan_query`] applies the optimizations of paper §4 in order:
+//! coalescing first (it shortens the chain every later analysis runs over),
+//! then synchronization reduction (Proposition 2 for the base, Corollary 1
+//! between rounds), then the two group reductions per round.
+
+use skalla_core::{BaseRound, DistPlan, OptFlags, RoundSpec};
+use skalla_expr::{analysis, derive_group_filter, ColumnConstraint, Expr, SiteConstraint};
+use skalla_gmdj::{coalesce_chain, BaseSpec, GmdjExpr, GmdjOp};
+use skalla_types::{Result, SkallaError};
+
+use crate::info::DistributionInfo;
+
+/// What Egil decided and why — returned alongside the plan for
+/// `EXPLAIN`-style output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanReport {
+    /// Number of coalescing steps applied.
+    pub coalesce_steps: usize,
+    /// Base synchronization eliminated (Proposition 2).
+    pub base_sync_eliminated: bool,
+    /// Round indices (post-coalescing) marked `local_only` (Corollary 1).
+    pub local_only_rounds: Vec<usize>,
+    /// Rounds for which per-site coordinator filters were derived, with the
+    /// number of non-trivial (not constant `TRUE`) filters.
+    pub coord_filters: Vec<(usize, usize)>,
+    /// Rounds with site-side group reduction enabled.
+    pub site_reduced_rounds: Vec<usize>,
+    /// Synchronizations in the final plan (the quantity §4.3 minimizes).
+    pub num_synchronizations: usize,
+}
+
+impl PlanReport {
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "coalescing steps:        {}\n",
+            self.coalesce_steps
+        ));
+        out.push_str(&format!(
+            "base sync eliminated:    {} (Proposition 2)\n",
+            self.base_sync_eliminated
+        ));
+        out.push_str(&format!(
+            "local-only rounds:       {:?} (Corollary 1)\n",
+            self.local_only_rounds
+        ));
+        out.push_str(&format!(
+            "coordinator filters:     {:?} (Theorem 4; (round, non-trivial sites))\n",
+            self.coord_filters
+        ));
+        out.push_str(&format!(
+            "site-reduced rounds:     {:?} (Proposition 1)\n",
+            self.site_reduced_rounds
+        ));
+        out.push_str(&format!(
+            "synchronizations:        {}",
+            self.num_synchronizations
+        ));
+        out
+    }
+}
+
+/// Build a distributed plan for `expr` under `dist` knowledge with the
+/// requested optimizations.
+pub fn plan_query(
+    expr: &GmdjExpr,
+    dist: &DistributionInfo,
+    flags: OptFlags,
+) -> Result<(DistPlan, PlanReport)> {
+    if dist.num_sites == 0 {
+        return Err(SkallaError::plan("distribution info reports zero sites"));
+    }
+    let mut report = PlanReport::default();
+
+    // 0. Condition simplification: folding constants exposes equality
+    // conjuncts and linear forms to the analyses below.
+    let mut expr = expr.clone();
+    for op in &mut expr.ops {
+        for block in &mut op.blocks {
+            block.theta = skalla_expr::simplify(&block.theta);
+        }
+    }
+
+    // 1. Coalescing.
+    let expr = if flags.coalesce {
+        let (coalesced, steps) = coalesce_chain(&expr)?;
+        report.coalesce_steps = steps;
+        coalesced
+    } else {
+        expr
+    };
+
+    // 2. Synchronization reduction.
+    let mut base_round = match &expr.base {
+        BaseSpec::Relation(r) => BaseRound::Coordinator(r.clone()),
+        BaseSpec::DistinctProject { .. } => BaseRound::Distributed,
+    };
+    let mut rounds: Vec<RoundSpec> = expr.ops.iter().map(|_| RoundSpec::basic()).collect();
+
+    if flags.sync_reduction {
+        if proposition2_applies(&expr) {
+            base_round = BaseRound::LocalOnly;
+            report.base_sync_eliminated = true;
+        }
+        // Corollary 1: mark round k local_only when rounds k and k+1 are
+        // both anchored on a partition attribute. The declared partition
+        // column qualifies directly; any other detail column qualifies when
+        // the per-site constraint value sets prove it is *derived-
+        // partitioned* (pairwise-disjoint values across sites — e.g.
+        // custname under nationkey partitioning).
+        let n_ops = expr.ops.len();
+        for (k, round) in rounds.iter_mut().enumerate().take(n_ops.saturating_sub(1)) {
+            let candidates = common_anchor_detail_cols(&expr, k);
+            let anchored = candidates.iter().any(|&(bcol, dcol)| {
+                let _ = bcol;
+                let declared = dist.partition_col == Some(dcol) && dist.is_partition_attribute;
+                declared || column_values_disjoint_across_sites(dist, dcol)
+            });
+            if anchored {
+                round.local_only = true;
+                report.local_only_rounds.push(k);
+            }
+        }
+    }
+
+    // 3. Group reductions per round.
+    for (k, (op, round)) in expr.ops.iter().zip(rounds.iter_mut()).enumerate() {
+        if flags.site_group_reduction {
+            round.site_group_reduction = true;
+            report.site_reduced_rounds.push(k);
+        }
+        if flags.coord_group_reduction {
+            if let Some(constraints) = &dist.site_constraints {
+                let filters = derive_filters(op, constraints);
+                let nontrivial = filters.iter().filter(|f| **f != Expr::lit(true)).count();
+                if nontrivial > 0 {
+                    report.coord_filters.push((k, nontrivial));
+                    round.coord_filters = Some(filters);
+                }
+            }
+        }
+    }
+
+    let plan = DistPlan {
+        expr,
+        base_round,
+        rounds,
+        flags,
+        block_rows: None,
+        site_parallelism: 1,
+    };
+    plan.validate()?;
+    report.num_synchronizations = plan.num_synchronizations();
+    Ok((plan, report))
+}
+
+/// Proposition 2 precondition: the base is a distinct projection of the
+/// (default) detail relation, the declared key covers every base column,
+/// and every θ of the *first* operator entails equality between each base
+/// column and the detail column it was projected from.
+fn proposition2_applies(expr: &GmdjExpr) -> bool {
+    let BaseSpec::DistinctProject { cols } = &expr.base else {
+        return false;
+    };
+    // Key must cover the whole projection (each base tuple is determined by
+    // its own columns — always true for a distinct projection, but the
+    // declared key drives synchronization, so require it explicitly).
+    let all: Vec<usize> = (0..cols.len()).collect();
+    let mut declared = expr.key.clone();
+    declared.sort_unstable();
+    if declared != all {
+        return false;
+    }
+    // The first operator must read the same relation the base is projected
+    // from.
+    if expr.ops[0].detail_name.is_some() {
+        return false;
+    }
+    expr.ops[0]
+        .thetas()
+        .iter()
+        .all(|theta| match analysis::entails_key_equality(theta, &all) {
+            Some(detail_cols) => detail_cols == *cols,
+            None => false,
+        })
+}
+
+/// The `(base_col, detail_col)` equi-join anchors present in **every** θ of
+/// both op `k` and op `k+1` (Corollary 1 needs the *same* grouping anchor
+/// throughout, so one site owns each group across both rounds).
+fn common_anchor_detail_cols(
+    expr: &GmdjExpr,
+    k: usize,
+) -> std::collections::BTreeSet<(usize, usize)> {
+    let anchors = |op: &GmdjOp| -> Vec<std::collections::BTreeSet<(usize, usize)>> {
+        op.thetas()
+            .iter()
+            .map(|t| {
+                analysis::equality_pairs(t)
+                    .iter()
+                    .map(|p| (p.base_col, p.detail_col))
+                    .collect()
+            })
+            .collect()
+    };
+    let mut iter = anchors(&expr.ops[k])
+        .into_iter()
+        .chain(anchors(&expr.ops[k + 1]));
+    let Some(mut acc) = iter.next() else {
+        return Default::default();
+    };
+    for s in iter {
+        acc = acc.intersection(&s).copied().collect();
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+/// Is `col` a (possibly derived) partition attribute according to the
+/// per-site constraints: every site's value set known exactly and pairwise
+/// disjoint (Definition 2)?
+fn column_values_disjoint_across_sites(dist: &DistributionInfo, col: usize) -> bool {
+    let Some(constraints) = &dist.site_constraints else {
+        return false;
+    };
+    if constraints.len() != dist.num_sites {
+        return false;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for sc in constraints {
+        match sc.get(col) {
+            Some(ColumnConstraint::OneOf(set)) => {
+                if set.iter().any(|v| seen.contains(v)) {
+                    return false;
+                }
+                seen.extend(set.iter().cloned());
+            }
+            // Ranges or missing knowledge: cannot *prove* disjointness.
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Theorem 4: derive one base filter per site from the op's conditions.
+fn derive_filters(op: &GmdjOp, constraints: &[SiteConstraint]) -> Vec<Expr> {
+    let thetas = op.thetas();
+    constraints
+        .iter()
+        .map(|sc| derive_group_filter(&thetas, sc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_core::Segment;
+    use skalla_expr::Interval;
+    use skalla_gmdj::{AggSpec, GmdjBlock};
+
+    fn key_theta() -> Expr {
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::base(1).eq(Expr::detail(1)))
+    }
+
+    /// Example 1: correlated 2-GMDJ query keyed on (sas, das), detail cols
+    /// (sas=0, das=1, nb=2).
+    fn example1() -> GmdjExpr {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("cnt1"),
+                AggSpec::sum(Expr::detail(2), "sum1").unwrap(),
+            ],
+            key_theta(),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("cnt2")],
+            key_theta().and(Expr::detail(2).ge(Expr::base(3).div(Expr::base(2)))),
+        )]);
+        GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    fn dist_with_partition() -> DistributionInfo {
+        let constraints = vec![
+            SiteConstraint::none().with_range(0, Interval::closed(0.0, 3.0)),
+            SiteConstraint::none().with_range(0, Interval::closed(4.0, 7.0)),
+        ];
+        DistributionInfo::with_constraints(2, Some(0), true, constraints).unwrap()
+    }
+
+    #[test]
+    fn unoptimized_flags_produce_basic_plan() {
+        let (plan, report) =
+            plan_query(&example1(), &DistributionInfo::unknown(2), OptFlags::none()).unwrap();
+        assert_eq!(plan.base_round, BaseRound::Distributed);
+        assert!(plan
+            .rounds
+            .iter()
+            .all(|r| !r.site_group_reduction && r.coord_filters.is_none() && !r.local_only));
+        assert_eq!(report.num_synchronizations, 3);
+    }
+
+    /// Paper Example 5: partition attribute + key-covering θs collapse the
+    /// whole query to a single synchronization.
+    #[test]
+    fn example5_single_synchronization() {
+        let (plan, report) =
+            plan_query(&example1(), &dist_with_partition(), OptFlags::all()).unwrap();
+        assert!(report.base_sync_eliminated);
+        assert_eq!(report.local_only_rounds, vec![0]);
+        assert_eq!(report.num_synchronizations, 1);
+        assert_eq!(
+            plan.segments(),
+            vec![Segment::LocalRun { start: 0, end: 1 }]
+        );
+        assert!(report.render().contains("synchronizations:        1"));
+    }
+
+    #[test]
+    fn coord_filters_derived_from_constraints() {
+        let flags = OptFlags {
+            coord_group_reduction: true,
+            ..OptFlags::none()
+        };
+        let (plan, report) = plan_query(&example1(), &dist_with_partition(), flags).unwrap();
+        // Both rounds join on the partitioned column sas → filters derived.
+        assert_eq!(report.coord_filters.len(), 2);
+        let fs = plan.rounds[0].coord_filters.as_ref().unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_ne!(fs[0], Expr::lit(true));
+    }
+
+    #[test]
+    fn no_constraints_no_filters() {
+        let flags = OptFlags {
+            coord_group_reduction: true,
+            ..OptFlags::none()
+        };
+        let (plan, report) = plan_query(&example1(), &DistributionInfo::unknown(4), flags).unwrap();
+        assert!(report.coord_filters.is_empty());
+        assert!(plan.rounds[0].coord_filters.is_none());
+    }
+
+    #[test]
+    fn site_reduction_flag_propagates() {
+        let flags = OptFlags {
+            site_group_reduction: true,
+            ..OptFlags::none()
+        };
+        let (plan, report) = plan_query(&example1(), &DistributionInfo::unknown(4), flags).unwrap();
+        assert!(plan.rounds.iter().all(|r| r.site_group_reduction));
+        assert_eq!(report.site_reduced_rounds, vec![0, 1]);
+    }
+
+    #[test]
+    fn prop2_requires_matching_projection() {
+        // Base projected from cols (0, 1) but θ joins on detail col 2:
+        // entailment fails.
+        let md = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c")],
+            Expr::base(0)
+                .eq(Expr::detail(2))
+                .and(Expr::base(1).eq(Expr::detail(1))),
+        )]);
+        let e = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert!(!proposition2_applies(&e));
+        // And the original example does satisfy it.
+        assert!(proposition2_applies(&example1()));
+    }
+
+    #[test]
+    fn prop2_requires_full_key() {
+        let mut e = example1();
+        e.key = vec![0]; // declared key no longer covers the projection
+        assert!(!proposition2_applies(&e));
+    }
+
+    #[test]
+    fn cor1_requires_partition_attribute() {
+        // Same constraints but not a partition attribute.
+        let constraints = vec![SiteConstraint::none(), SiteConstraint::none()];
+        let dist = DistributionInfo::with_constraints(2, Some(0), false, constraints).unwrap();
+        let (plan, report) = plan_query(&example1(), &dist, OptFlags::all()).unwrap();
+        assert!(report.local_only_rounds.is_empty());
+        assert_eq!(plan.segments().len(), 2);
+    }
+
+    #[test]
+    fn cor1_requires_anchor_in_every_theta() {
+        // Second op's θ has no equality on the partition column.
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c1")],
+            key_theta(),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c2")],
+            Expr::base(1).eq(Expr::detail(1)), // das only
+        )]);
+        let e = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap();
+        let flags = OptFlags {
+            sync_reduction: true,
+            ..OptFlags::none()
+        };
+        let (_, report) = plan_query(&e, &dist_with_partition(), flags).unwrap();
+        assert!(report.local_only_rounds.is_empty());
+    }
+
+    #[test]
+    fn cor1_fires_on_derived_partition_attribute() {
+        // No declared partition column, but the per-site value sets of the
+        // grouping column are provably disjoint — the generalized Cor. 1
+        // analysis must still collapse the chain.
+        let constraints = vec![
+            SiteConstraint::none().with_values(0, (0..4).map(skalla_types::Value::Int)),
+            SiteConstraint::none().with_values(0, (4..8).map(skalla_types::Value::Int)),
+        ];
+        let dist = DistributionInfo::with_constraints(2, None, false, constraints).unwrap();
+        let flags = OptFlags {
+            sync_reduction: true,
+            ..OptFlags::none()
+        };
+        let (_, report) = plan_query(&example1(), &dist, flags).unwrap();
+        assert_eq!(report.local_only_rounds, vec![0]);
+        assert_eq!(report.num_synchronizations, 1);
+
+        // Overlapping value sets must NOT fire.
+        let overlapping = vec![
+            SiteConstraint::none().with_values(0, (0..5).map(skalla_types::Value::Int)),
+            SiteConstraint::none().with_values(0, (4..8).map(skalla_types::Value::Int)),
+        ];
+        let dist = DistributionInfo::with_constraints(2, None, false, overlapping).unwrap();
+        let (_, report) = plan_query(&example1(), &dist, flags).unwrap();
+        assert!(report.local_only_rounds.is_empty());
+    }
+
+    #[test]
+    fn coalescing_folds_independent_ops() {
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c1")],
+            key_theta(),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c2")],
+            key_theta().and(Expr::detail(2).gt(Expr::lit(0))),
+        )]);
+        let e = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap();
+        let flags = OptFlags {
+            coalesce: true,
+            ..OptFlags::none()
+        };
+        let (plan, report) = plan_query(&e, &DistributionInfo::unknown(2), flags).unwrap();
+        assert_eq!(report.coalesce_steps, 1);
+        assert_eq!(plan.expr.ops.len(), 1);
+        assert_eq!(report.num_synchronizations, 2); // base + one round
+    }
+
+    #[test]
+    fn zero_sites_rejected() {
+        assert!(plan_query(&example1(), &DistributionInfo::unknown(0), OptFlags::none()).is_err());
+    }
+
+    #[test]
+    fn shared_anchor_requires_common_base_col() {
+        // op1 joins b.0 = r.0; op2 joins b.1 = r.0 — both anchored on the
+        // partition col but through different base columns → no shared
+        // anchor, Corollary 1 must not fire.
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c1")],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c2")],
+            Expr::base(1).eq(Expr::detail(0)),
+        )]);
+        let e = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "flow",
+            vec![md1, md2],
+            vec![0, 1],
+        )
+        .unwrap();
+        let flags = OptFlags {
+            sync_reduction: true,
+            ..OptFlags::none()
+        };
+        let (_, report) = plan_query(&e, &dist_with_partition(), flags).unwrap();
+        assert!(report.local_only_rounds.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Distribution knowledge.
+//!
+//! What the coordinator knows about how the fact relation is spread across
+//! sites. This is the input to the *distribution-aware* optimizations:
+//! Theorem 4 consumes the per-site constraints `φᵢ`; Corollary 1 consumes
+//! the partition attribute (paper Definition 2).
+
+use skalla_expr::SiteConstraint;
+use skalla_storage::Partitioning;
+use skalla_types::{Result, SkallaError};
+
+/// Knowledge about the distribution of the (default) detail relation.
+#[derive(Debug, Clone, Default)]
+pub struct DistributionInfo {
+    /// Number of sites.
+    pub num_sites: usize,
+    /// Detail column the relation is partitioned on, if any.
+    pub partition_col: Option<usize>,
+    /// `true` if `partition_col`'s value sets are pairwise disjoint across
+    /// sites (Definition 2) — the precondition of Corollary 1.
+    pub is_partition_attribute: bool,
+    /// Per-site constraints `φᵢ` on detail columns, in site order.
+    pub site_constraints: Option<Vec<SiteConstraint>>,
+}
+
+impl DistributionInfo {
+    /// No knowledge at all: only distribution-independent optimizations can
+    /// apply.
+    pub fn unknown(num_sites: usize) -> DistributionInfo {
+        DistributionInfo {
+            num_sites,
+            ..Default::default()
+        }
+    }
+
+    /// Extract full knowledge from a concrete [`Partitioning`] (what a
+    /// deployment would keep in its distribution catalog).
+    pub fn from_partitioning(p: &Partitioning) -> DistributionInfo {
+        DistributionInfo {
+            num_sites: p.num_sites(),
+            partition_col: p.partition_col,
+            is_partition_attribute: p.is_partition_attribute(),
+            site_constraints: Some(p.site_constraints()),
+        }
+    }
+
+    /// Like [`Self::from_partitioning`] but with the cheaper min/max range
+    /// constraints instead of exact value sets.
+    pub fn from_partitioning_ranges(p: &Partitioning) -> Result<DistributionInfo> {
+        Ok(DistributionInfo {
+            num_sites: p.num_sites(),
+            partition_col: p.partition_col,
+            is_partition_attribute: p.is_partition_attribute(),
+            site_constraints: Some(p.site_range_constraints()?),
+        })
+    }
+
+    /// Supply explicit per-site constraints.
+    pub fn with_constraints(
+        num_sites: usize,
+        partition_col: Option<usize>,
+        is_partition_attribute: bool,
+        site_constraints: Vec<SiteConstraint>,
+    ) -> Result<DistributionInfo> {
+        if site_constraints.len() != num_sites {
+            return Err(SkallaError::plan(format!(
+                "{} site constraints for {} sites",
+                site_constraints.len(),
+                num_sites
+            )));
+        }
+        Ok(DistributionInfo {
+            num_sites,
+            partition_col,
+            is_partition_attribute,
+            site_constraints: Some(site_constraints),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_storage::{partition_by_hash, Table};
+    use skalla_types::{DataType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rows: Vec<Vec<Value>> = (0..60)
+            .map(|i| vec![Value::Int(i % 6), Value::Int(i)])
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn from_partitioning_captures_everything() {
+        let p = partition_by_hash(&table(), 0, 3).unwrap();
+        let d = DistributionInfo::from_partitioning(&p);
+        assert_eq!(d.num_sites, 3);
+        assert_eq!(d.partition_col, Some(0));
+        assert!(d.is_partition_attribute);
+        assert_eq!(d.site_constraints.as_ref().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn range_variant_uses_intervals() {
+        let p = skalla_storage::partition_by_ranges(&table(), 0, &[3.0]).unwrap();
+        let d = DistributionInfo::from_partitioning_ranges(&p).unwrap();
+        let cs = d.site_constraints.unwrap();
+        assert_eq!(
+            cs[0].interval_of(0),
+            skalla_expr::Interval::closed(0.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn unknown_has_no_knowledge() {
+        let d = DistributionInfo::unknown(8);
+        assert_eq!(d.num_sites, 8);
+        assert!(d.partition_col.is_none());
+        assert!(!d.is_partition_attribute);
+        assert!(d.site_constraints.is_none());
+    }
+
+    #[test]
+    fn with_constraints_validates_arity() {
+        let ok = DistributionInfo::with_constraints(
+            2,
+            Some(0),
+            true,
+            vec![SiteConstraint::none(), SiteConstraint::none()],
+        );
+        assert!(ok.is_ok());
+        let bad = DistributionInfo::with_constraints(2, None, false, vec![SiteConstraint::none()]);
+        assert!(bad.is_err());
+    }
+}

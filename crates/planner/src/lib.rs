@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # skalla-planner
+//!
+//! **Egil**, the Skalla GMDJ query optimizer (paper §3.2, §4). Given a GMDJ
+//! expression, knowledge about how the fact relation is distributed, and a
+//! set of optimization toggles, Egil produces a
+//! [`skalla_core::DistPlan`]:
+//!
+//! * **coalescing** (§4.3) merges adjacent GMDJs whose outer conditions
+//!   ignore the inner outputs;
+//! * **distribution-aware group reduction** (§4.1, Theorem 4) derives a
+//!   per-site base filter `¬ψᵢ` from the conditions and each site's
+//!   constraint `φᵢ`;
+//! * **distribution-independent group reduction** (§4.2, Proposition 1)
+//!   turns on the sites' `|RNG| > 0` shipping filter;
+//! * **synchronization reduction** (§4.3, Proposition 2 / Theorem 5 /
+//!   Corollary 1) eliminates the base synchronization and intermediate
+//!   round synchronizations when the conditions entail equality on a
+//!   partition attribute.
+//!
+//! The module also provides a small textual query language ([`parser`])
+//! used by the examples, `EXPLAIN`-style plan reports, and a cost-based
+//! plan chooser ([`cost`]) built on table statistics.
+
+pub mod cost;
+pub mod egil;
+pub mod info;
+pub mod parser;
+
+pub use cost::{choose_plan, estimate_plan, CostEstimate};
+pub use egil::{plan_query, PlanReport};
+pub use info::DistributionInfo;
+pub use parser::parse_query;

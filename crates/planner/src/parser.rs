@@ -1,0 +1,733 @@
+//! A small textual surface for GMDJ expressions.
+//!
+//! The paper's queries are algebraic; for the examples and ad-hoc
+//! exploration we provide a compact query language:
+//!
+//! ```text
+//! BASE DISTINCT sas, das FROM flow KEY sas, das;
+//! MD COUNT(*) AS cnt1, SUM(nb) AS sum1
+//!    WHERE b.sas = r.sas AND b.das = r.das;
+//! MD COUNT(*) AS cnt2
+//!    WHERE b.sas = r.sas AND b.das = r.das AND r.nb >= b.sum1 / b.cnt1;
+//! ```
+//!
+//! * `BASE DISTINCT cols FROM table [KEY cols]` declares
+//!   `B₀ = π_cols(table)`; `KEY` defaults to all projected columns.
+//! * Each `MD … WHERE …` clause is one GMDJ operator (one block); an
+//!   optional trailing `FROM table` overrides the detail relation.
+//! * `b.name` references the evolving base relation (projected columns
+//!   plus aggregates of earlier `MD` clauses); `r.name` references the
+//!   detail relation.
+//! * Keywords are case-insensitive; strings use single quotes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skalla_expr::{BinOp, Expr};
+use skalla_gmdj::{AggFunc, AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
+use skalla_types::{Result, Schema, SkallaError, Value};
+
+/// Parse a query against the given table schemas.
+pub fn parse_query(text: &str, schemas: &HashMap<String, Arc<Schema>>) -> Result<GmdjExpr> {
+    let tokens = tokenize(text)?;
+    Parser {
+        tokens,
+        pos: 0,
+        schemas,
+    }
+    .query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn keyword_eq(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | ';' | '*' | '/' | '%' | '+' | '-' | '.' => {
+                out.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ';' => ";",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '+' => "+",
+                    '-' => "-",
+                    _ => ".",
+                }));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Tok::Sym("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    return Err(SkallaError::parse("stray `!`"));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SkallaError::parse("unterminated string literal"));
+                }
+                out.push(Tok::Str(text[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let s = &text[start..i];
+                if is_float {
+                    out.push(Tok::Float(s.parse().map_err(|_| {
+                        SkallaError::parse(format!("bad float literal `{s}`"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(s.parse().map_err(|_| {
+                        SkallaError::parse(format!("bad integer literal `{s}`"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(text[start..i].to_string()));
+            }
+            other => {
+                return Err(SkallaError::parse(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    schemas: &'a HashMap<String, Arc<Schema>>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SkallaError::parse("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Sym(t) if t == s => Ok(()),
+            other => Err(SkallaError::parse(format!("expected `{s}`, got {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        let t = self.next()?;
+        if keyword_eq(&t, kw) {
+            Ok(())
+        } else {
+            Err(SkallaError::parse(format!("expected `{kw}`, got {t:?}")))
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| keyword_eq(t, kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(SkallaError::parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        let mut out = vec![self.ident()?];
+        while self.try_sym(",") {
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn schema(&self, table: &str) -> Result<Arc<Schema>> {
+        self.schemas
+            .get(table)
+            .cloned()
+            .ok_or_else(|| SkallaError::not_found(format!("table `{table}`")))
+    }
+
+    fn query(mut self) -> Result<GmdjExpr> {
+        // BASE DISTINCT cols FROM table [KEY cols];
+        self.eat_keyword("BASE")?;
+        self.eat_keyword("DISTINCT")?;
+        let proj_names = self.ident_list()?;
+        self.eat_keyword("FROM")?;
+        let detail_name = self.ident()?;
+        let detail = self.schema(&detail_name)?;
+        let cols = proj_names
+            .iter()
+            .map(|n| detail.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        let key = if self.try_keyword("KEY") {
+            let key_names = self.ident_list()?;
+            key_names
+                .iter()
+                .map(|n| {
+                    proj_names.iter().position(|p| p == n).ok_or_else(|| {
+                        SkallaError::parse(format!("key column `{n}` not in projection"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            (0..cols.len()).collect()
+        };
+        self.eat_sym(";")?;
+
+        // Evolving base schema for b.name resolution.
+        let mut base_schema = detail.project(&cols)?;
+
+        let mut ops = Vec::new();
+        while self.peek().is_some() {
+            if self.try_sym(";") {
+                continue; // tolerate empty statements / trailing semicolon
+            }
+            self.eat_keyword("MD")?;
+            let (op, new_fields) = self.md_clause(&base_schema, &detail_name)?;
+            base_schema = base_schema.extended(&new_fields)?;
+            ops.push(op);
+            if self.peek().is_some() {
+                self.eat_sym(";")?;
+            }
+        }
+        if ops.is_empty() {
+            return Err(SkallaError::parse("query has no MD clauses"));
+        }
+        GmdjExpr::new(BaseSpec::DistinctProject { cols }, detail_name, ops, key)
+    }
+
+    /// `agg_list WHERE expr [FROM table]` — returns the operator and the
+    /// output fields to append to the base schema.
+    fn md_clause(
+        &mut self,
+        base: &Schema,
+        default_detail: &str,
+    ) -> Result<(GmdjOp, Vec<skalla_types::Field>)> {
+        // Aggregates are parsed first but their argument expressions need
+        // the detail schema, which the optional trailing FROM may override.
+        // Two-phase: remember the token position, scan ahead for FROM after
+        // the WHERE expression is parsed. Simpler approach: parse against
+        // the default detail; an override changes name resolution, so we
+        // re-parse with the right schema if a FROM shows up.
+        let clause_start = self.pos;
+        let detail = self.schema(default_detail)?;
+        let parsed = self.md_body(base, &detail);
+        match parsed {
+            Ok((aggs, theta)) => {
+                if self.try_keyword("FROM") {
+                    let override_name = self.ident()?;
+                    if override_name != default_detail {
+                        // Re-parse the clause body against the real schema.
+                        let end = self.pos;
+                        self.pos = clause_start;
+                        let detail = self.schema(&override_name)?;
+                        let (aggs, theta) = self.md_body(base, &detail)?;
+                        // Skip back over FROM table.
+                        self.pos = end;
+                        return self.finish_md(aggs, theta, Some(override_name), &detail);
+                    }
+                }
+                self.finish_md(aggs, theta, None, &detail)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn finish_md(
+        &mut self,
+        aggs: Vec<AggSpec>,
+        theta: Expr,
+        detail_name: Option<String>,
+        detail: &Schema,
+    ) -> Result<(GmdjOp, Vec<skalla_types::Field>)> {
+        let fields = aggs
+            .iter()
+            .map(|a| a.output_field(detail))
+            .collect::<Result<Vec<_>>>()?;
+        let op = GmdjOp {
+            blocks: vec![GmdjBlock::new(aggs, theta)],
+            detail_name,
+        };
+        Ok((op, fields))
+    }
+
+    fn md_body(&mut self, base: &Schema, detail: &Schema) -> Result<(Vec<AggSpec>, Expr)> {
+        let mut aggs = vec![self.agg(detail)?];
+        while self.try_sym(",") {
+            aggs.push(self.agg(detail)?);
+        }
+        self.eat_keyword("WHERE")?;
+        let theta = self.expr(base, detail)?;
+        Ok((aggs, theta))
+    }
+
+    fn agg(&mut self, detail: &Schema) -> Result<AggSpec> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            other => return Err(SkallaError::parse(format!("unknown aggregate `{other}`"))),
+        };
+        self.eat_sym("(")?;
+        let spec = if func == AggFunc::Count && self.try_sym("*") {
+            self.eat_sym(")")?;
+            self.eat_keyword("AS")?;
+            AggSpec::count_star(self.ident()?)
+        } else {
+            let arg = self.expr(&Schema::empty(), detail)?;
+            self.eat_sym(")")?;
+            self.eat_keyword("AS")?;
+            AggSpec::new(func, arg, self.ident()?)?
+        };
+        Ok(spec)
+    }
+
+    // Expression grammar (lowest to highest precedence):
+    // or  := and (OR and)*
+    // and := not (AND not)*
+    // not := NOT not | cmp
+    // cmp := add ((=|<>|<|<=|>|>=) add | IN (lits) | IS [NOT] NULL)?
+    // add := mul ((+|-) mul)*
+    // mul := unary ((*|/|%) unary)*
+    // unary := - unary | primary
+    fn expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        self.or_expr(base, detail)
+    }
+
+    fn or_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        let mut e = self.and_expr(base, detail)?;
+        while self.try_keyword("OR") {
+            let r = self.and_expr(base, detail)?;
+            e = e.or(r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        let mut e = self.not_expr(base, detail)?;
+        while self.try_keyword("AND") {
+            let r = self.not_expr(base, detail)?;
+            e = e.and(r);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        if self.try_keyword("NOT") {
+            Ok(self.not_expr(base, detail)?.not())
+        } else {
+            self.cmp_expr(base, detail)
+        }
+    }
+
+    fn cmp_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        let lhs = self.add_expr(base, detail)?;
+        if self.try_keyword("IN") {
+            self.eat_sym("(")?;
+            let mut vals = vec![self.literal()?];
+            while self.try_sym(",") {
+                vals.push(self.literal()?);
+            }
+            self.eat_sym(")")?;
+            return Ok(lhs.in_set(vals));
+        }
+        if self.try_keyword("IS") {
+            let negated = self.try_keyword("NOT");
+            self.eat_keyword("NULL")?;
+            let e = lhs.is_null();
+            return Ok(if negated { e.not() } else { e });
+        }
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(BinOp::Eq),
+            Some(Tok::Sym("<>")) => Some(BinOp::Ne),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.add_expr(base, detail)?;
+                Ok(Expr::binary(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        let mut e = self.mul_expr(base, detail)?;
+        loop {
+            if self.try_sym("+") {
+                e = e.add(self.mul_expr(base, detail)?);
+            } else if self.try_sym("-") {
+                e = e.sub(self.mul_expr(base, detail)?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        let mut e = self.unary_expr(base, detail)?;
+        loop {
+            if self.try_sym("*") {
+                e = e.mul(self.unary_expr(base, detail)?);
+            } else if self.try_sym("/") {
+                e = e.div(self.unary_expr(base, detail)?);
+            } else if self.try_sym("%") {
+                e = e.rem(self.unary_expr(base, detail)?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        if self.try_sym("-") {
+            Ok(self.unary_expr(base, detail)?.neg())
+        } else {
+            self.primary(base, detail)
+        }
+    }
+
+    fn primary(&mut self, base: &Schema, detail: &Schema) -> Result<Expr> {
+        match self.next()? {
+            Tok::Int(i) => Ok(Expr::lit(i)),
+            Tok::Float(f) => Ok(Expr::lit(f)),
+            Tok::Str(s) => Ok(Expr::lit(s.as_str())),
+            Tok::Sym("(") => {
+                let e = self.expr(base, detail)?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(id) if id.eq_ignore_ascii_case("true") => Ok(Expr::lit(true)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("false") => Ok(Expr::lit(false)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("null") => Ok(Expr::Lit(Value::Null)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("b") => {
+                self.eat_sym(".")?;
+                let col = self.ident()?;
+                Ok(Expr::BaseCol(base.index_of(&col)?))
+            }
+            Tok::Ident(id) if id.eq_ignore_ascii_case("r") => {
+                self.eat_sym(".")?;
+                let col = self.ident()?;
+                Ok(Expr::DetailCol(detail.index_of(&col)?))
+            }
+            // A bare identifier resolves against the detail relation (the
+            // common case inside aggregate arguments, e.g. `SUM(nb)`).
+            Tok::Ident(id) => Ok(Expr::DetailCol(detail.index_of(&id)?)),
+            other => Err(SkallaError::parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Float(f) => Ok(Value::Float(f)),
+            Tok::Str(s) => Ok(Value::str(s)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Tok::Ident(id) if id.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Tok::Sym("-") => match self.next()? {
+                Tok::Int(i) => Ok(Value::Int(-i)),
+                Tok::Float(f) => Ok(Value::Float(-f)),
+                other => Err(SkallaError::parse(format!(
+                    "expected number after `-`, got {other:?}"
+                ))),
+            },
+            other => Err(SkallaError::parse(format!(
+                "expected literal, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::DataType;
+
+    fn schemas() -> HashMap<String, Arc<Schema>> {
+        let flow = Schema::from_pairs([
+            ("sas", DataType::Int64),
+            ("das", DataType::Int64),
+            ("nb", DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc();
+        HashMap::from([("flow".to_string(), flow)])
+    }
+
+    const EXAMPLE1: &str = "
+        BASE DISTINCT sas, das FROM flow KEY sas, das;
+        MD COUNT(*) AS cnt1, SUM(nb) AS sum1
+           WHERE b.sas = r.sas AND b.das = r.das;
+        MD COUNT(*) AS cnt2
+           WHERE b.sas = r.sas AND b.das = r.das AND r.nb >= b.sum1 / b.cnt1;
+    ";
+
+    #[test]
+    fn parses_example1() {
+        let e = parse_query(EXAMPLE1, &schemas()).unwrap();
+        assert_eq!(e.detail_name, "flow");
+        assert_eq!(e.ops.len(), 2);
+        assert_eq!(e.key, vec![0, 1]);
+        let detail = schemas()["flow"].clone();
+        e.validate(&detail).unwrap();
+        assert_eq!(
+            e.output_schema(&detail).unwrap().names(),
+            vec!["sas", "das", "cnt1", "sum1", "cnt2"]
+        );
+        // θ₂ must reference the computed aggregates (base cols 2 and 3).
+        let theta2 = &e.ops[1].blocks[0].theta;
+        let used = skalla_expr::base_cols_used(theta2);
+        assert!(used.contains(&2) && used.contains(&3));
+    }
+
+    #[test]
+    fn key_defaults_to_projection() {
+        let q = "BASE DISTINCT das, sas FROM flow;
+                 MD COUNT(*) AS c WHERE b.das = r.das;";
+        let e = parse_query(q, &schemas()).unwrap();
+        assert_eq!(e.key, vec![0, 1]);
+        // Projection order is respected: das first.
+        match &e.base {
+            BaseSpec::DistinctProject { cols } => assert_eq!(cols, &vec![1, 0]),
+            other => panic!("unexpected base {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_parse_all_functions() {
+        let q = "BASE DISTINCT sas FROM flow;
+                 MD COUNT(r.nb) AS c, SUM(r.nb) AS s, AVG(r.nb) AS a,
+                    MIN(r.nb) AS lo, MAX(r.nb * 2) AS hi
+                 WHERE b.sas = r.sas;";
+        let e = parse_query(q, &schemas()).unwrap();
+        let aggs = &e.ops[0].blocks[0].aggs;
+        assert_eq!(aggs.len(), 5);
+        assert_eq!(aggs[2].func, AggFunc::Avg);
+        assert_eq!(aggs[4].name, "hi");
+        assert!(aggs[0].arg.is_some());
+    }
+
+    #[test]
+    fn operators_and_precedence() {
+        let q = "BASE DISTINCT sas FROM flow;
+                 MD COUNT(*) AS c
+                 WHERE b.sas = r.sas AND r.nb + 1 * 2 >= 3 OR NOT r.nb < 5;";
+        let e = parse_query(q, &schemas()).unwrap();
+        let t = e.ops[0].blocks[0].theta.to_string();
+        // * binds tighter than +, AND tighter than OR.
+        assert_eq!(
+            t,
+            "(((b.0 = r.0) AND ((r.2 + (1 * 2)) >= 3)) OR (NOT (r.2 < 5)))"
+        );
+    }
+
+    #[test]
+    fn in_and_is_null_and_strings() {
+        let q = "BASE DISTINCT sas FROM flow;
+                 MD COUNT(*) AS c
+                 WHERE b.sas IN (1, 2, -3) AND r.nb IS NOT NULL AND 'x' = 'x';";
+        let e = parse_query(q, &schemas()).unwrap();
+        let t = e.ops[0].blocks[0].theta.to_string();
+        assert!(t.contains("IN {-3, 1, 2}"));
+        assert!(t.contains("(NOT (r.2 IS NULL))"));
+        assert!(t.contains("('x' = 'x')"));
+    }
+
+    #[test]
+    fn comments_and_case_insensitivity() {
+        let q = "base distinct SAS from flow; -- nope, case matters for idents
+                 md count(*) as c where b.SAS = r.SAS;";
+        // Column names are case-sensitive: SAS doesn't exist.
+        assert!(parse_query(q, &schemas()).is_err());
+        let q = "base distinct sas from flow; -- comment here
+                 md count(*) as c where b.sas = r.sas;";
+        parse_query(q, &schemas()).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = schemas();
+        assert!(parse_query("", &s).is_err());
+        assert!(parse_query(
+            "BASE DISTINCT sas FROM missing; MD COUNT(*) AS c WHERE true;",
+            &s
+        )
+        .is_err());
+        assert!(parse_query(
+            "BASE DISTINCT zz FROM flow; MD COUNT(*) AS c WHERE true;",
+            &s
+        )
+        .is_err());
+        assert!(parse_query("BASE DISTINCT sas FROM flow;", &s).is_err()); // no MD
+        assert!(parse_query(
+            "BASE DISTINCT sas FROM flow KEY das; MD COUNT(*) AS c WHERE true;",
+            &s
+        )
+        .is_err()); // key not in projection
+        assert!(parse_query(
+            "BASE DISTINCT sas FROM flow; MD FOO(*) AS c WHERE true;",
+            &s
+        )
+        .is_err());
+        assert!(parse_query(
+            "BASE DISTINCT sas FROM flow; MD COUNT(*) AS c WHERE b.sas = ;",
+            &s
+        )
+        .is_err());
+        assert!(parse_query(
+            "BASE DISTINCT sas FROM flow; MD COUNT(*) AS c WHERE 'open;",
+            &s
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parsed_query_runs_centralized() {
+        use skalla_storage::{Catalog, Table};
+        let e = parse_query(EXAMPLE1, &schemas()).unwrap();
+        let t = Table::from_rows(
+            schemas()["flow"].clone(),
+            &[
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(1), Value::Int(10), Value::Int(300)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(50)],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("flow", t);
+        let out = skalla_gmdj::eval_expr_centralized(&e, &cat)
+            .unwrap()
+            .sorted();
+        assert_eq!(
+            out.row(0),
+            &vec![
+                Value::Int(1),
+                Value::Int(10),
+                Value::Int(2),
+                Value::Int(400),
+                Value::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_semicolon_tolerated() {
+        let q = "BASE DISTINCT sas FROM flow;
+                 MD COUNT(*) AS c WHERE b.sas = r.sas;;";
+        parse_query(q, &schemas()).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-site table catalogs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skalla_types::{Result, SkallaError};
+
+use crate::table::Table;
+
+/// A name → table map. Each Skalla site owns one catalog holding its local
+/// partitions of the warehouse's fact relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table under `name`, replacing any previous entry.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Register an already-shared table.
+    pub fn register_arc(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SkallaError::not_found(format!("table `{name}`")))
+    }
+
+    /// `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema};
+
+    fn tiny() -> Table {
+        Table::empty(
+            Schema::from_pairs([("a", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("flow", tiny());
+        assert!(c.contains("flow"));
+        assert!(c.get("flow").is_ok());
+        assert!(c.get("other").is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = Catalog::new();
+        c.register("t", tiny());
+        let shared = Arc::new(tiny());
+        c.register_arc("t", shared.clone());
+        assert!(Arc::ptr_eq(&c.get("t").unwrap(), &shared));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.register("b", tiny());
+        c.register("a", tiny());
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+}

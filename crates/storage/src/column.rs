@@ -1,0 +1,267 @@
+//! Typed column vectors.
+
+use std::sync::Arc;
+
+use skalla_types::{DataType, Result, SkallaError, Value};
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<Arc<str>>),
+    Bool(Vec<bool>),
+}
+
+/// A single column of a [`crate::Table`]: a typed vector plus an optional
+/// null bitmap (absent when the column contains no nulls, which is the
+/// common case for fact data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    /// `nulls[i]` is `true` when row `i` is NULL. Lazily materialized.
+    nulls: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// An empty column of type `dtype`.
+    pub fn new(dtype: DataType) -> Column {
+        let data = match dtype {
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Utf8 => ColumnData::Utf8(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        };
+        Column { data, nulls: None }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Column {
+        let data = match dtype {
+            DataType::Int64 => ColumnData::Int64(Vec::with_capacity(cap)),
+            DataType::Float64 => ColumnData::Float64(Vec::with_capacity(cap)),
+            DataType::Utf8 => ColumnData::Utf8(Vec::with_capacity(cap)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+        };
+        Column { data, nulls: None }
+    }
+
+    /// Build an Int64 column from values.
+    pub fn from_i64(values: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Int64(values),
+            nulls: None,
+        }
+    }
+
+    /// Build a Float64 column from values.
+    pub fn from_f64(values: Vec<f64>) -> Column {
+        Column {
+            data: ColumnData::Float64(values),
+            nulls: None,
+        }
+    }
+
+    /// Build a Utf8 column from values.
+    pub fn from_strs<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Column {
+        Column {
+            data: ColumnData::Utf8(values.into_iter().map(|s| Arc::from(s.as_ref())).collect()),
+            nulls: None,
+        }
+    }
+
+    /// Build a Bool column from values.
+    pub fn from_bools(values: Vec<bool>) -> Column {
+        Column {
+            data: ColumnData::Bool(values),
+            nulls: None,
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[i])
+    }
+
+    /// The value at row `i` (cloned).
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Float(v[i]),
+            ColumnData::Utf8(v) => Value::Str(v[i].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Append a value, which must match the column type or be NULL.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        let idx = self.len();
+        match (&mut self.data, &value) {
+            (ColumnData::Int64(v), Value::Int(x)) => v.push(*x),
+            (ColumnData::Float64(v), Value::Float(x)) => v.push(*x),
+            // Int literals are accepted into float columns for convenience.
+            (ColumnData::Float64(v), Value::Int(x)) => v.push(*x as f64),
+            (ColumnData::Utf8(v), Value::Str(s)) => v.push(s.clone()),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(*x),
+            (_, Value::Null) => {
+                self.push_default();
+                let nulls = self.nulls.get_or_insert_with(|| vec![false; idx]);
+                nulls.resize(idx, false);
+                nulls.push(true);
+                return Ok(());
+            }
+            (_, v) => {
+                return Err(SkallaError::type_error(format!(
+                    "cannot append {v} to {} column",
+                    self.data_type()
+                )))
+            }
+        }
+        if let Some(nulls) = &mut self.nulls {
+            nulls.push(false);
+        }
+        Ok(())
+    }
+
+    fn push_default(&mut self) {
+        match &mut self.data {
+            ColumnData::Int64(v) => v.push(0),
+            ColumnData::Float64(v) => v.push(0.0),
+            ColumnData::Utf8(v) => v.push(Arc::from("")),
+            ColumnData::Bool(v) => v.push(false),
+        }
+    }
+
+    /// Direct access to Int64 data (fast path for aggregation), `None` if
+    /// the column has a different type or contains nulls.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match (&self.data, &self.nulls) {
+            (ColumnData::Int64(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to Float64 data, `None` on type mismatch or nulls.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match (&self.data, &self.nulls) {
+            (ColumnData::Float64(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A new column containing the rows at `indices`.
+    pub fn take(&self, indices: &[u32]) -> Column {
+        let mut out = Column::with_capacity(self.data_type(), indices.len());
+        for &i in indices {
+            // push of a matching value cannot fail.
+            out.push(self.get(i as usize)).expect("same-typed push");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_push_and_get() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(7)).unwrap();
+        c.push(Value::Int(-1)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(7));
+        assert_eq!(c.get(1), Value::Int(-1));
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Utf8);
+        assert!(c.push(Value::Int(1)).is_err());
+        assert!(c.push(Value::str("ok")).is_ok());
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(Value::Int(2)).unwrap();
+        c.push(Value::Float(0.5)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+        assert_eq!(c.as_f64_slice().unwrap(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn nulls_lazily_materialize() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        assert!(c.as_i64_slice().is_some());
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+        assert!(c.is_null(1));
+        assert!(!c.is_null(2));
+        // Fast path unavailable once a null exists.
+        assert!(c.as_i64_slice().is_none());
+    }
+
+    #[test]
+    fn from_constructors() {
+        assert_eq!(Column::from_i64(vec![1, 2]).len(), 2);
+        assert_eq!(Column::from_f64(vec![1.0]).data_type(), DataType::Float64);
+        let c = Column::from_strs(["a", "b"]);
+        assert_eq!(c.get(1), Value::str("b"));
+        let c = Column::from_bools(vec![true]);
+        assert_eq!(c.get(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let t = c.take(&[3, 0, 0]);
+        assert_eq!(t.get(0), Value::Int(40));
+        assert_eq!(t.get(1), Value::Int(10));
+        assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let mut c = Column::new(DataType::Utf8);
+        c.push(Value::str("x")).unwrap();
+        c.push(Value::Null).unwrap();
+        let t = c.take(&[1, 0]);
+        assert_eq!(t.get(0), Value::Null);
+        assert_eq!(t.get(1), Value::str("x"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Hash indexes over table key columns.
+//!
+//! The coordinator's base-result structure is "indexed on K, which allows us
+//! to efficiently determine RNG(X, t, θ_K) for any tuple t" (paper §3.2).
+//! The same structure accelerates local GMDJ evaluation when θ contains
+//! equi-join conjuncts.
+
+use std::collections::HashMap;
+
+use skalla_types::{Row, Value};
+
+use crate::table::Table;
+
+/// A multimap from key-column values to row indices.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Row, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build an index on `key_cols` of `table`.
+    pub fn build(table: &Table, key_cols: &[usize]) -> HashIndex {
+        let mut map: HashMap<Row, Vec<u32>> = HashMap::with_capacity(table.len());
+        for i in 0..table.len() {
+            let key: Row = key_cols.iter().map(|&c| table.column(c).get(i)).collect();
+            map.entry(key).or_default().push(i as u32);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+        }
+    }
+
+    /// Build an index over generic rows (used for base-values relations).
+    pub fn build_from_rows<'a>(
+        rows: impl IntoIterator<Item = &'a Row>,
+        key_cols: &[usize],
+    ) -> HashIndex {
+        let mut map: HashMap<Row, Vec<u32>> = HashMap::new();
+        for (i, row) in rows.into_iter().enumerate() {
+            let key: Row = key_cols.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(i as u32);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+        }
+    }
+
+    /// The key columns the index was built on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row indices matching `key` (empty slice when absent).
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(key, row indices)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &Vec<u32>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs([("a", DataType::Int64), ("b", DataType::Utf8)])
+            .unwrap()
+            .into_arc();
+        Table::from_rows(
+            schema,
+            &[
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+                vec![Value::Int(1), Value::str("z")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_column_lookup() {
+        let idx = HashIndex::build(&table(), &[0]);
+        assert_eq!(idx.get(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.get(&[Value::Int(2)]), &[1]);
+        assert_eq!(idx.get(&[Value::Int(9)]), &[] as &[u32]);
+        assert_eq!(idx.num_keys(), 2);
+        assert_eq!(idx.key_cols(), &[0]);
+    }
+
+    #[test]
+    fn composite_key_lookup() {
+        let idx = HashIndex::build(&table(), &[0, 1]);
+        assert_eq!(idx.get(&[Value::Int(1), Value::str("z")]), &[2]);
+        assert_eq!(idx.num_keys(), 3);
+    }
+
+    #[test]
+    fn build_from_rows_matches_table_build() {
+        let t = table();
+        let rows: Vec<Row> = t.iter_rows().collect();
+        let idx = HashIndex::build_from_rows(rows.iter(), &[0]);
+        assert_eq!(idx.get(&[Value::Int(1)]), &[0, 2]);
+        let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

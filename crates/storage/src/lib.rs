@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # skalla-storage
+//!
+//! Columnar storage for Skalla local data warehouses.
+//!
+//! Each Skalla *site* holds a partition of the conceptual fact relation in a
+//! [`Table`]: an immutable-schema, append-only columnar store. The paper uses
+//! AT&T's Daytona DBMS as the local warehouse engine; this crate (together
+//! with the GMDJ evaluator in `skalla-gmdj`) is our from-scratch substitute.
+//!
+//! Modules:
+//!
+//! * [`mod@column`] — typed column vectors with null support.
+//! * [`table`] — the columnar [`Table`], row accessors, filters, projections.
+//! * [`partition`] — hash/range/value partitioning used to spread a fact
+//!   relation across sites, plus extraction of per-partition value
+//!   constraints (the `φᵢ` fed to the group-reduction analysis).
+//! * [`index`] — hash indexes on key columns.
+//! * [`catalog`] — a name → table map per site.
+
+pub mod catalog;
+pub mod column;
+pub mod index;
+pub mod partition;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use index::HashIndex;
+pub use partition::{partition_by_hash, partition_by_ranges, partition_by_values, Partitioning};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Table, TableBuilder};

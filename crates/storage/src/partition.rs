@@ -1,0 +1,317 @@
+//! Partitioning a fact relation across sites.
+//!
+//! The paper assumes the conceptual fact relation is the union of the tuples
+//! captured at each collection point (§2.1): `RouterId` — or in the TPC-R
+//! experiments, `NationKey` — is a *partition attribute* (Definition 2).
+//! This module provides the partitioning schemes used to set up experiments
+//! and tests, and extracts the per-partition [`SiteConstraint`]s (`φᵢ`) that
+//! the distribution-aware optimizations consume.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use skalla_expr::{Interval, SiteConstraint};
+use skalla_types::{Result, SkallaError, Value};
+
+use crate::table::Table;
+
+/// A partitioning of one table into per-site tables, with optional
+/// distribution knowledge.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// The per-site tables, in site order.
+    pub parts: Vec<Table>,
+    /// The column index the table was partitioned on, if the partitioning
+    /// was attribute-based (hash/range/value).
+    pub partition_col: Option<usize>,
+}
+
+impl Partitioning {
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total rows across all parts.
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(Table::len).sum()
+    }
+
+    /// Exact per-site constraints: for each part, the set of distinct values
+    /// of the partition column present there. This is the strongest `φᵢ`
+    /// obtainable by inspection and what a catalog of distribution knowledge
+    /// would record.
+    pub fn site_constraints(&self) -> Vec<SiteConstraint> {
+        let Some(col) = self.partition_col else {
+            return vec![SiteConstraint::none(); self.parts.len()];
+        };
+        self.parts
+            .iter()
+            .map(|t| {
+                let values: BTreeSet<Value> = (0..t.len()).map(|i| t.column(col).get(i)).collect();
+                SiteConstraint::none().with_values(col, values)
+            })
+            .collect()
+    }
+
+    /// Exact per-site constraints over an explicit set of columns (not just
+    /// the partition column): for each part and each listed column, the set
+    /// of distinct values present. This is what lets the optimizer discover
+    /// *derived* partition attributes — columns functionally dependent on
+    /// the partitioning (e.g. `custname` when partitioning on `nationkey`).
+    pub fn site_constraints_for(&self, cols: &[usize]) -> Vec<SiteConstraint> {
+        self.parts
+            .iter()
+            .map(|t| {
+                let mut sc = SiteConstraint::none();
+                for &col in cols {
+                    let values: BTreeSet<Value> =
+                        (0..t.len()).map(|i| t.column(col).get(i)).collect();
+                    sc = sc.with_values(col, values);
+                }
+                sc
+            })
+            .collect()
+    }
+
+    /// Interval-style per-site constraints (weaker than
+    /// [`Self::site_constraints`] but cheaper to represent): the min/max of
+    /// the partition column per site. Only valid for numeric columns.
+    pub fn site_range_constraints(&self) -> Result<Vec<SiteConstraint>> {
+        let Some(col) = self.partition_col else {
+            return Ok(vec![SiteConstraint::none(); self.parts.len()]);
+        };
+        self.parts
+            .iter()
+            .map(|t| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for i in 0..t.len() {
+                    let x = t.column(col).get(i).as_f64()?;
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                if t.is_empty() {
+                    Ok(SiteConstraint::none()
+                        .with_range(col, Interval::closed(1.0, 0.0) /* empty */))
+                } else {
+                    Ok(SiteConstraint::none().with_range(col, Interval::closed(lo, hi)))
+                }
+            })
+            .collect()
+    }
+
+    /// `true` if the partition column's value sets are pairwise disjoint —
+    /// i.e. the column is a *partition attribute* in the sense of the
+    /// paper's Definition 2.
+    pub fn is_partition_attribute(&self) -> bool {
+        let Some(col) = self.partition_col else {
+            return false;
+        };
+        let mut seen: BTreeSet<Value> = BTreeSet::new();
+        for t in &self.parts {
+            let mut local: BTreeSet<Value> = BTreeSet::new();
+            for i in 0..t.len() {
+                local.insert(t.column(col).get(i));
+            }
+            if local.iter().any(|v| seen.contains(v)) {
+                return false;
+            }
+            seen.extend(local);
+        }
+        true
+    }
+}
+
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Partition `table` into `n` parts by hashing the values of column `col`.
+/// Every row with the same value lands on the same site, so `col` is a
+/// partition attribute of the result.
+pub fn partition_by_hash(table: &Table, col: usize, n: usize) -> Result<Partitioning> {
+    if n == 0 {
+        return Err(SkallaError::plan("cannot partition into 0 sites"));
+    }
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..table.len() {
+        let v = table.column(col).get(i);
+        let b = (hash_value(&v) % n as u64) as usize;
+        buckets[b].push(i as u32);
+    }
+    Ok(Partitioning {
+        parts: buckets.iter().map(|idx| table.take(idx)).collect(),
+        partition_col: Some(col),
+    })
+}
+
+/// Partition by numeric ranges: row goes to the first site whose
+/// `boundaries[i] > value`; values ≥ the last boundary go to the last site.
+/// `boundaries` has `n - 1` entries for `n` sites and must be sorted.
+pub fn partition_by_ranges(table: &Table, col: usize, boundaries: &[f64]) -> Result<Partitioning> {
+    if boundaries.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SkallaError::plan("range boundaries must be sorted"));
+    }
+    let n = boundaries.len() + 1;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..table.len() {
+        let x = table.column(col).get(i).as_f64()?;
+        let b = boundaries.partition_point(|&bd| bd <= x);
+        buckets[b].push(i as u32);
+    }
+    Ok(Partitioning {
+        parts: buckets.iter().map(|idx| table.take(idx)).collect(),
+        partition_col: Some(col),
+    })
+}
+
+/// Partition by an explicit value → site assignment; rows whose value is not
+/// listed are an error (the assignment must be total).
+pub fn partition_by_values(
+    table: &Table,
+    col: usize,
+    assignment: &[(Value, usize)],
+    n: usize,
+) -> Result<Partitioning> {
+    let map: std::collections::HashMap<&Value, usize> =
+        assignment.iter().map(|(v, s)| (v, *s)).collect();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..table.len() {
+        let v = table.column(col).get(i);
+        let site = *map
+            .get(&v)
+            .ok_or_else(|| SkallaError::plan(format!("no site assigned for value {v}")))?;
+        if site >= n {
+            return Err(SkallaError::plan(format!(
+                "site {site} out of range (n={n})"
+            )));
+        }
+        buckets[site].push(i as u32);
+    }
+    Ok(Partitioning {
+        parts: buckets.iter().map(|idx| table.take(idx)).collect(),
+        partition_col: Some(col),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn hash_partition_is_partition_attribute() {
+        let p = partition_by_hash(&table(), 0, 4).unwrap();
+        assert_eq!(p.num_sites(), 4);
+        assert_eq!(p.total_rows(), 100);
+        assert!(p.is_partition_attribute());
+    }
+
+    #[test]
+    fn hash_partition_rejects_zero_sites() {
+        assert!(partition_by_hash(&table(), 0, 0).is_err());
+    }
+
+    #[test]
+    fn range_partition_routes_by_boundary() {
+        let p = partition_by_ranges(&table(), 0, &[3.0, 7.0]).unwrap();
+        assert_eq!(p.num_sites(), 3);
+        assert_eq!(p.total_rows(), 100);
+        // Site 0: k in 0..3, site 1: 3..7, site 2: 7..10.
+        for i in 0..p.parts[0].len() {
+            assert!(p.parts[0].column(0).get(i).as_int().unwrap() < 3);
+        }
+        for i in 0..p.parts[1].len() {
+            let k = p.parts[1].column(0).get(i).as_int().unwrap();
+            assert!((3..7).contains(&k));
+        }
+        assert!(p.is_partition_attribute());
+        assert!(partition_by_ranges(&table(), 0, &[5.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn value_partition_uses_assignment() {
+        let assignment: Vec<(Value, usize)> =
+            (0..10).map(|k| (Value::Int(k), (k % 2) as usize)).collect();
+        let p = partition_by_values(&table(), 0, &assignment, 2).unwrap();
+        assert_eq!(p.total_rows(), 100);
+        assert!(p.is_partition_attribute());
+
+        // Missing value in the assignment is an error.
+        let partial = vec![(Value::Int(0), 0usize)];
+        assert!(partition_by_values(&table(), 0, &partial, 2).is_err());
+        // Out-of-range site is an error.
+        let bad: Vec<(Value, usize)> = (0..10).map(|k| (Value::Int(k), 5usize)).collect();
+        assert!(partition_by_values(&table(), 0, &bad, 2).is_err());
+    }
+
+    #[test]
+    fn site_constraints_capture_exact_values() {
+        let p = partition_by_ranges(&table(), 0, &[5.0]).unwrap();
+        let cs = p.site_constraints();
+        assert_eq!(cs.len(), 2);
+        // Site 0 has k ∈ {0..4}: its constraint excludes 7.
+        let c0 = cs[0].get(0).unwrap();
+        match c0 {
+            skalla_expr::ColumnConstraint::OneOf(set) => {
+                assert!(set.contains(&Value::Int(0)));
+                assert!(!set.contains(&Value::Int(7)));
+            }
+            other => panic!("expected OneOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn site_constraints_for_covers_multiple_columns() {
+        let p = partition_by_ranges(&table(), 0, &[5.0]).unwrap();
+        let cs = p.site_constraints_for(&[0, 1]);
+        assert_eq!(cs.len(), 2);
+        for (i, sc) in cs.iter().enumerate() {
+            assert!(sc.get(0).is_some(), "site {i} missing col 0");
+            assert!(sc.get(1).is_some(), "site {i} missing col 1");
+        }
+    }
+
+    #[test]
+    fn site_range_constraints_capture_min_max() {
+        let p = partition_by_ranges(&table(), 0, &[5.0]).unwrap();
+        let cs = p.site_range_constraints().unwrap();
+        assert_eq!(cs[0].interval_of(0), Interval::closed(0.0, 4.0));
+        assert_eq!(cs[1].interval_of(0), Interval::closed(5.0, 9.0));
+    }
+
+    #[test]
+    fn non_partition_attribute_detected() {
+        // Splitting by row position duplicates k values across sites
+        // (both halves contain every k in 0..10).
+        let t = table();
+        let first: Vec<u32> = (0..50).collect();
+        let second: Vec<u32> = (50..t.len() as u32).collect();
+        let p = Partitioning {
+            parts: vec![t.take(&first), t.take(&second)],
+            partition_col: Some(0),
+        };
+        assert!(!p.is_partition_attribute());
+
+        let p = Partitioning {
+            parts: vec![t.clone()],
+            partition_col: None,
+        };
+        assert!(!p.is_partition_attribute());
+        assert_eq!(p.site_constraints()[0], SiteConstraint::none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Table statistics.
+//!
+//! Warehouse coordinators keep per-table statistics (row counts, column
+//! ranges, distinct-value counts) as part of their distribution catalog.
+//! Egil's cost-based plan selection (`skalla-planner::cost`) consumes these
+//! to estimate group counts and per-round transfer volumes.
+
+use std::collections::HashSet;
+
+use skalla_types::Value;
+
+use crate::table::Table;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest non-null value, if any non-null value exists.
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Exact number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect exact statistics with one pass per column.
+    ///
+    /// Distinct counts are exact (hash-set based); at warehouse-catalog
+    /// build time this is a one-off O(rows × columns) scan.
+    pub fn collect(table: &Table) -> TableStats {
+        let mut columns = Vec::with_capacity(table.schema().len());
+        for c in 0..table.schema().len() {
+            let col = table.column(c);
+            let mut distinct: HashSet<Value> = HashSet::new();
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            let mut null_count = 0usize;
+            for i in 0..table.len() {
+                let v = col.get(i);
+                if v.is_null() {
+                    null_count += 1;
+                    continue;
+                }
+                if min.as_ref().is_none_or(|m| v < *m) {
+                    min = Some(v.clone());
+                }
+                if max.as_ref().is_none_or(|m| v > *m) {
+                    max = Some(v.clone());
+                }
+                distinct.insert(v);
+            }
+            columns.push(ColumnStats {
+                min,
+                max,
+                distinct: distinct.len(),
+                null_count,
+            });
+        }
+        TableStats {
+            rows: table.len(),
+            columns,
+        }
+    }
+
+    /// Estimated number of distinct combinations of the given columns:
+    /// the product of per-column distinct counts, capped by the row count
+    /// (the standard independence assumption).
+    pub fn estimate_group_count(&self, cols: &[usize]) -> usize {
+        if cols.is_empty() {
+            return 1;
+        }
+        let mut product: u128 = 1;
+        for &c in cols {
+            let d = self.columns.get(c).map_or(1, |s| s.distinct.max(1)) as u128;
+            product = product.saturating_mul(d);
+            if product >= self.rows as u128 {
+                return self.rows;
+            }
+        }
+        (product as usize).min(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs([
+            ("k", DataType::Int64),
+            ("s", DataType::Utf8),
+            ("n", DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 10),
+                    Value::str(["a", "b", "c"][(i % 3) as usize]),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                ]
+            })
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn collects_exact_stats() {
+        let s = TableStats::collect(&table());
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.columns[0].distinct, 10);
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(9)));
+        assert_eq!(s.columns[0].null_count, 0);
+        assert_eq!(s.columns[1].distinct, 3);
+        assert_eq!(s.columns[1].min, Some(Value::str("a")));
+        // 0, 7, 14, …, 98 are NULL: 15 of them.
+        assert_eq!(s.columns[2].null_count, 15);
+        assert_eq!(s.columns[2].distinct, 85);
+        assert_eq!(s.columns[2].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[2].max, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn group_count_estimation() {
+        let s = TableStats::collect(&table());
+        assert_eq!(s.estimate_group_count(&[0]), 10);
+        assert_eq!(s.estimate_group_count(&[1]), 3);
+        // Independence estimate 10 × 3 = 30.
+        assert_eq!(s.estimate_group_count(&[0, 1]), 30);
+        // Capped by row count.
+        assert_eq!(s.estimate_group_count(&[0, 2]), 100);
+        assert_eq!(s.estimate_group_count(&[]), 1);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let s = TableStats::collect(&Table::empty(schema));
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s.estimate_group_count(&[0]), 0);
+    }
+}

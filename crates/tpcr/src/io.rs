@@ -1,0 +1,118 @@
+//! Saving and loading generated tables.
+//!
+//! `dbgen` users cache generated data on disk; this module does the same
+//! for our synthetic TPCR tables, reusing the exact wire format of
+//! `skalla-net` (so a cached file is simply a serialized relation with a
+//! small header).
+
+use std::fs;
+use std::path::Path;
+
+use skalla_net::{WireDecode, WireEncode, WireReader};
+use skalla_storage::Table;
+use skalla_types::{Relation, Result, SkallaError};
+
+/// File magic: "SKLT" + format version 1.
+const MAGIC: &[u8; 5] = b"SKLT\x01";
+
+/// Serialize a table to `path` (wire format plus a magic header).
+pub fn save_table(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let mut bytes = Vec::with_capacity(table.len() * 32 + MAGIC.len());
+    bytes.extend_from_slice(MAGIC);
+    let rel = table.to_relation();
+    bytes.extend_from_slice(&rel.to_wire());
+    fs::write(path.as_ref(), &bytes)
+        .map_err(|e| SkallaError::exec(format!("writing {}: {e}", path.as_ref().display())))
+}
+
+/// Load a table previously written by [`save_table`].
+pub fn load_table(path: impl AsRef<Path>) -> Result<Table> {
+    let bytes = fs::read(path.as_ref())
+        .map_err(|e| SkallaError::exec(format!("reading {}: {e}", path.as_ref().display())))?;
+    let Some(body) = bytes.strip_prefix(MAGIC.as_slice()) else {
+        return Err(SkallaError::exec(format!(
+            "{} is not a Skalla table file",
+            path.as_ref().display()
+        )));
+    };
+    let mut r = WireReader::new(body);
+    let rel = Relation::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(SkallaError::exec("trailing bytes in table file"));
+    }
+    Table::from_rows(rel.schema().clone(), rel.rows())
+}
+
+/// Generate-or-load: reuse `path` when it holds a previously generated
+/// table, otherwise generate with `config` and cache it.
+pub fn generate_cached(config: &crate::TpcrConfig, path: impl AsRef<Path>) -> Result<Table> {
+    if path.as_ref().exists() {
+        if let Ok(t) = load_table(path.as_ref()) {
+            return Ok(t);
+        }
+        // Corrupt/old cache: fall through and regenerate.
+    }
+    let table = crate::generate(config);
+    save_table(&table, path)?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TpcrConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("skalla-tpcr-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let cfg = TpcrConfig {
+            num_rows: 500,
+            num_customers: 50,
+            num_clerks: 5,
+            num_cities: 25,
+            seed: 11,
+        };
+        let table = crate::generate(&cfg);
+        let path = tmp("roundtrip");
+        save_table(&table, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_files_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a table").unwrap();
+        assert!(load_table(&path).is_err());
+        std::fs::write(&path, b"SKLT\x01truncated").unwrap();
+        assert!(load_table(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(load_table(tmp("missing")).is_err());
+    }
+
+    #[test]
+    fn generate_cached_reuses_file() {
+        let cfg = TpcrConfig {
+            num_rows: 300,
+            num_customers: 30,
+            num_clerks: 3,
+            num_cities: 25,
+            seed: 12,
+        };
+        let path = tmp("cache");
+        std::fs::remove_file(&path).ok();
+        let a = generate_cached(&cfg, &path).unwrap();
+        assert!(path.exists());
+        let b = generate_cached(&cfg, &path).unwrap();
+        assert_eq!(a, b);
+        // A corrupt cache regenerates instead of failing.
+        std::fs::write(&path, b"junk").unwrap();
+        let c = generate_cached(&cfg, &path).unwrap();
+        assert_eq!(a, c);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,415 @@
+#![warn(missing_docs)]
+
+//! # skalla-tpcr
+//!
+//! Deterministic TPC-R-style data generation for the Skalla experiments.
+//!
+//! The paper derives its test database from the TPC(R) `dbgen` program: a
+//! denormalized 900 MB relation of 6 million tuples, partitioned on
+//! `NationKey` (and therefore also on `CustKey`) across eight sites, with a
+//! high-cardinality grouping attribute (`Customer.Name`, 100 000 distinct
+//! values) and low-cardinality attributes (2000–4000 distinct values).
+//!
+//! We reproduce that *shape* with a seeded synthetic generator:
+//!
+//! * [`TpcrConfig::scale`] controls the row count; all cardinalities scale
+//!   the way dbgen's do (customers ∝ rows, nations fixed at 25, clerks in
+//!   the low-cardinality band);
+//! * `NationKey = CustKey mod 25`, so partitioning on `NationKey` also
+//!   partitions `CustKey` and `CustName` — exactly the property the paper's
+//!   speed-up experiments exploit;
+//! * generation is deterministic in the seed, so experiments are
+//!   reproducible bit-for-bit.
+
+pub mod io;
+
+pub use io::{generate_cached, load_table, save_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skalla_storage::{partition_by_values, Partitioning, Table, TableBuilder};
+use skalla_types::{DataType, Result, Schema, Value};
+use std::sync::Arc;
+
+/// Number of nations (fixed, as in TPC-R).
+pub const NUM_NATIONS: i64 = 25;
+/// Number of regions (fixed, as in TPC-R).
+pub const NUM_REGIONS: i64 = 5;
+
+const NATION_NAMES: [&str; 25] = [
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpcrConfig {
+    /// Number of fact tuples to generate.
+    pub num_rows: usize,
+    /// Number of distinct customers (the high-cardinality attribute).
+    pub num_customers: i64,
+    /// Number of distinct clerks (a low-cardinality attribute that is *not*
+    /// functionally dependent on the partitioning).
+    pub num_clerks: i64,
+    /// Number of distinct cities. Cities are derived from customers with
+    /// `citykey = custkey mod num_cities`; `num_cities` is always a
+    /// multiple of 25, so a city determines its nation — giving a
+    /// *low-cardinality partitioned* attribute (the paper's 2000–4000
+    /// distinct-value grouping attributes). At paper scale (100 k
+    /// customers) this is 4000 cities.
+    pub num_cities: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpcrConfig {
+    /// Scale factor 1.0 ≈ the paper's setup shrunk 100×: 60 000 rows,
+    /// 1000 customers, 30 clerks. The paper's 6 M rows / 100 k customers /
+    /// ~3000 clerks is `scale(100.0)`; the cardinality *ratios*
+    /// (rows : customers : clerks = 6000 : 100 : 3) match at every scale.
+    pub fn scale(sf: f64) -> TpcrConfig {
+        let rows = (60_000.0 * sf).round().max(1.0) as usize;
+        let num_customers = ((1_000.0 * sf).round() as i64).max(1);
+        let num_cities = (((num_customers as f64) / 25.0 / 25.0).round() as i64).max(1) * 25;
+        TpcrConfig {
+            num_rows: rows,
+            num_customers,
+            num_clerks: ((30.0 * sf).round() as i64).max(1),
+            num_cities,
+            seed: 0x51a11a ^ 0x5EED,
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> TpcrConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for TpcrConfig {
+    fn default() -> Self {
+        TpcrConfig::scale(1.0)
+    }
+}
+
+/// The denormalized TPCR fact-relation schema.
+pub fn tpcr_schema() -> Arc<Schema> {
+    Schema::from_pairs([
+        ("orderkey", DataType::Int64),
+        ("linenumber", DataType::Int64),
+        ("custkey", DataType::Int64),
+        ("custname", DataType::Utf8),
+        ("mktsegment", DataType::Utf8),
+        ("nationkey", DataType::Int64),
+        ("nationname", DataType::Utf8),
+        ("regionkey", DataType::Int64),
+        ("regionname", DataType::Utf8),
+        ("clerk", DataType::Utf8),
+        ("orderpriority", DataType::Utf8),
+        ("returnflag", DataType::Utf8),
+        ("orderdate", DataType::Int64),
+        ("shipdate", DataType::Int64),
+        ("quantity", DataType::Float64),
+        ("extendedprice", DataType::Float64),
+        ("discount", DataType::Float64),
+        ("tax", DataType::Float64),
+        ("citykey", DataType::Int64),
+        ("cityname", DataType::Utf8),
+    ])
+    .expect("static schema is valid")
+    .into_arc()
+}
+
+/// Column index of `nationkey` (the partition attribute).
+pub const NATIONKEY_COL: usize = 5;
+/// Column index of `custkey`.
+pub const CUSTKEY_COL: usize = 2;
+/// Column index of `custname` (high-cardinality grouping attribute).
+pub const CUSTNAME_COL: usize = 3;
+/// Column index of `clerk` (low-cardinality grouping attribute).
+pub const CLERK_COL: usize = 9;
+/// Column index of `quantity`.
+pub const QUANTITY_COL: usize = 14;
+/// Column index of `extendedprice` (the usual aggregation measure).
+pub const EXTENDEDPRICE_COL: usize = 15;
+/// Column index of `citykey`.
+pub const CITYKEY_COL: usize = 18;
+/// Column index of `cityname` (low-cardinality *partitioned* grouping
+/// attribute: a city determines its nation).
+pub const CITYNAME_COL: usize = 19;
+
+/// Nation key of a customer — the functional dependency that makes
+/// `NationKey` partitioning also partition `CustKey` (paper §5.1).
+pub fn nation_of_customer(custkey: i64) -> i64 {
+    custkey % NUM_NATIONS
+}
+
+/// Region of a nation (5 regions of 5 nations each).
+pub fn region_of_nation(nationkey: i64) -> i64 {
+    nationkey % NUM_REGIONS
+}
+
+/// City key of a customer. Because `num_cities` is a multiple of 25,
+/// `citykey mod 25 = custkey mod 25 = nationkey`: the city determines the
+/// nation, so city is partitioned whenever nation is.
+pub fn city_of_customer(custkey: i64, num_cities: i64) -> i64 {
+    custkey % num_cities
+}
+
+/// City name string for a key.
+pub fn city_name(citykey: i64) -> String {
+    format!("City#{citykey:05}")
+}
+
+/// Customer name string for a key (TPC-style, zero-padded → 100% distinct).
+pub fn customer_name(custkey: i64) -> String {
+    format!("Customer#{custkey:09}")
+}
+
+/// Clerk name string for a key.
+pub fn clerk_name(clerkkey: i64) -> String {
+    format!("Clerk#{clerkkey:09}")
+}
+
+/// Generate the denormalized fact relation.
+pub fn generate(config: &TpcrConfig) -> Table {
+    let schema = tpcr_schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TableBuilder::with_capacity(schema, config.num_rows);
+
+    for i in 0..config.num_rows {
+        let orderkey = (i / 4) as i64 + 1;
+        let linenumber = (i % 4) as i64 + 1;
+        let custkey = rng.gen_range(0..config.num_customers);
+        let nationkey = nation_of_customer(custkey);
+        let regionkey = region_of_nation(nationkey);
+        let clerkkey = rng.gen_range(0..config.num_clerks);
+        let orderdate = rng.gen_range(0..2557); // ~7 years of days
+        let shipdate = orderdate + rng.gen_range(1..122);
+        let quantity = rng.gen_range(1..=50) as f64;
+        let price_per_unit = rng.gen_range(900.0..=10_500.0f64);
+        let extendedprice = (quantity * price_per_unit * 100.0).round() / 100.0;
+        let discount = rng.gen_range(0..=10) as f64 / 100.0;
+        let tax = rng.gen_range(0..=8) as f64 / 100.0;
+        let returnflag = RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())];
+
+        let row = vec![
+            Value::Int(orderkey),
+            Value::Int(linenumber),
+            Value::Int(custkey),
+            Value::str(customer_name(custkey)),
+            // custkey / 25 decorrelates the segment from nation/region
+            // (both derive from custkey mod 25).
+            Value::str(SEGMENTS[((custkey / NUM_NATIONS) % SEGMENTS.len() as i64) as usize]),
+            Value::Int(nationkey),
+            Value::str(NATION_NAMES[nationkey as usize]),
+            Value::Int(regionkey),
+            Value::str(REGION_NAMES[regionkey as usize]),
+            Value::str(clerk_name(clerkkey)),
+            Value::str(PRIORITIES[(orderkey % PRIORITIES.len() as i64) as usize]),
+            Value::str(returnflag),
+            Value::Int(orderdate),
+            Value::Int(shipdate),
+            Value::Float(quantity),
+            Value::Float(extendedprice),
+            Value::Float(discount),
+            Value::Float(tax),
+            Value::Int(city_of_customer(custkey, config.num_cities)),
+            Value::str(city_name(city_of_customer(custkey, config.num_cities))),
+        ];
+        b.push_row(&row).expect("generated row matches schema");
+    }
+    b.finish()
+}
+
+/// Partition a generated table on `nationkey` round-robin across `n_sites`
+/// (nation `k` lives at site `k mod n_sites`), mirroring the paper's eight
+/// equal partitions. `nationkey` is a partition attribute of the result.
+pub fn partition_by_nation(table: &Table, n_sites: usize) -> Result<Partitioning> {
+    let assignment: Vec<(Value, usize)> = (0..NUM_NATIONS)
+        .map(|k| (Value::Int(k), (k as usize) % n_sites))
+        .collect();
+    partition_by_values(table, NATIONKEY_COL, &assignment, n_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn small() -> TpcrConfig {
+        TpcrConfig {
+            num_rows: 2000,
+            num_customers: 100,
+            num_clerks: 10,
+            num_cities: 50,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a, b);
+        let c = generate(&small().with_seed(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schema_and_row_count() {
+        let t = generate(&small());
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.schema().len(), 20);
+        assert_eq!(t.schema().index_of("cityname").unwrap(), CITYNAME_COL);
+        assert_eq!(t.schema().index_of("citykey").unwrap(), CITYKEY_COL);
+        assert_eq!(t.schema().index_of("nationkey").unwrap(), NATIONKEY_COL);
+        assert_eq!(t.schema().index_of("custkey").unwrap(), CUSTKEY_COL);
+        assert_eq!(t.schema().index_of("custname").unwrap(), CUSTNAME_COL);
+        assert_eq!(t.schema().index_of("clerk").unwrap(), CLERK_COL);
+        assert_eq!(t.schema().index_of("quantity").unwrap(), QUANTITY_COL);
+        assert_eq!(
+            t.schema().index_of("extendedprice").unwrap(),
+            EXTENDEDPRICE_COL
+        );
+    }
+
+    #[test]
+    fn functional_dependencies_hold() {
+        let t = generate(&small());
+        for i in 0..t.len() {
+            let custkey = t.column(CUSTKEY_COL).get(i).as_int().unwrap();
+            let nation = t.column(NATIONKEY_COL).get(i).as_int().unwrap();
+            assert_eq!(nation, nation_of_customer(custkey));
+            let name = t.column(CUSTNAME_COL).get(i);
+            assert_eq!(name.as_str().unwrap(), customer_name(custkey));
+            let region = t.column(7).get(i).as_int().unwrap();
+            assert_eq!(region, region_of_nation(nation));
+            // The city determines the nation (low-card partitioned attr).
+            let city = t.column(CITYKEY_COL).get(i).as_int().unwrap();
+            assert_eq!(city % NUM_NATIONS, nation);
+            assert_eq!(city, city_of_customer(custkey, 50));
+        }
+    }
+
+    #[test]
+    fn cityname_is_partitioned_with_nation() {
+        let t = generate(&small());
+        let p = partition_by_nation(&t, 4).unwrap();
+        // Re-anchor the partitioning on cityname: still a partition attr.
+        let reanchored = skalla_storage::Partitioning {
+            parts: p.parts.clone(),
+            partition_col: Some(CITYNAME_COL),
+        };
+        assert!(reanchored.is_partition_attribute());
+        // clerk, by contrast, is NOT partitioned.
+        let clerk_anchored = skalla_storage::Partitioning {
+            parts: p.parts,
+            partition_col: Some(CLERK_COL),
+        };
+        assert!(!clerk_anchored.is_partition_attribute());
+    }
+
+    #[test]
+    fn cardinalities_in_expected_bands() {
+        let t = generate(&small());
+        let distinct = |col: usize| -> usize {
+            (0..t.len())
+                .map(|i| t.column(col).get(i))
+                .collect::<BTreeSet<_>>()
+                .len()
+        };
+        assert!(distinct(CUSTKEY_COL) <= 100);
+        assert!(distinct(CUSTKEY_COL) > 50); // 2000 draws of 100 values
+        assert_eq!(distinct(CLERK_COL), 10);
+        assert!(distinct(NATIONKEY_COL) <= 25);
+        assert_eq!(distinct(7), 5); // regions
+    }
+
+    #[test]
+    fn measures_in_valid_ranges() {
+        let t = generate(&small());
+        for i in 0..t.len() {
+            let q = t.column(QUANTITY_COL).get(i).as_f64().unwrap();
+            assert!((1.0..=50.0).contains(&q));
+            let d = t.column(16).get(i).as_f64().unwrap();
+            assert!((0.0..=0.10).contains(&d));
+            let od = t.column(12).get(i).as_int().unwrap();
+            let sd = t.column(13).get(i).as_int().unwrap();
+            assert!(sd > od);
+        }
+    }
+
+    #[test]
+    fn nation_partitioning_is_partition_attribute() {
+        let t = generate(&small());
+        let p = partition_by_nation(&t, 8).unwrap();
+        assert_eq!(p.num_sites(), 8);
+        assert_eq!(p.total_rows(), t.len());
+        assert!(p.is_partition_attribute());
+        // CustKey is partitioned too (the paper's parenthetical).
+        let mut seen: BTreeSet<Value> = BTreeSet::new();
+        for part in &p.parts {
+            let mut local: BTreeSet<Value> = BTreeSet::new();
+            for i in 0..part.len() {
+                local.insert(part.column(CUSTKEY_COL).get(i));
+            }
+            assert!(local.iter().all(|v| !seen.contains(v)));
+            seen.extend(local);
+        }
+    }
+
+    #[test]
+    fn scale_controls_sizes() {
+        let c1 = TpcrConfig::scale(1.0);
+        let c2 = TpcrConfig::scale(2.0);
+        assert_eq!(c2.num_rows, 2 * c1.num_rows);
+        assert_eq!(c2.num_customers, 2 * c1.num_customers);
+        assert_eq!(c1.num_rows / c1.num_customers as usize, 60);
+        // The paper's scale: 6M rows, 100k customers, 3000 clerks.
+        let paper = TpcrConfig::scale(100.0);
+        assert_eq!(paper.num_rows, 6_000_000);
+        assert_eq!(paper.num_customers, 100_000);
+        assert_eq!(paper.num_clerks, 3_000);
+        // Low-cardinality band of the paper: 2000–4000 distinct values.
+        assert!(paper.num_cities >= 2000 && paper.num_cities <= 4000);
+        assert_eq!(paper.num_cities % 25, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared error type for all Skalla crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = SkallaError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the Skalla system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkallaError {
+    /// A value or expression had an unexpected type.
+    Type(String),
+    /// A named column or table was not found.
+    NotFound(String),
+    /// A schema was malformed or two schemas were incompatible.
+    Schema(String),
+    /// A query plan was invalid or an optimization precondition failed.
+    Plan(String),
+    /// A failure in the (simulated) network layer or wire format.
+    Net(String),
+    /// A failure during distributed execution.
+    Exec(String),
+    /// Arithmetic failure (division by zero, overflow).
+    Arithmetic(String),
+    /// Query-text parse error.
+    Parse(String),
+}
+
+impl SkallaError {
+    /// Construct a [`SkallaError::Type`].
+    pub fn type_error(msg: impl Into<String>) -> Self {
+        SkallaError::Type(msg.into())
+    }
+
+    /// Construct a [`SkallaError::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        SkallaError::NotFound(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Schema`].
+    pub fn schema(msg: impl Into<String>) -> Self {
+        SkallaError::Schema(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Plan`].
+    pub fn plan(msg: impl Into<String>) -> Self {
+        SkallaError::Plan(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Net`].
+    pub fn net(msg: impl Into<String>) -> Self {
+        SkallaError::Net(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Exec`].
+    pub fn exec(msg: impl Into<String>) -> Self {
+        SkallaError::Exec(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Arithmetic`].
+    pub fn arithmetic(msg: impl Into<String>) -> Self {
+        SkallaError::Arithmetic(msg.into())
+    }
+
+    /// Construct a [`SkallaError::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        SkallaError::Parse(msg.into())
+    }
+}
+
+impl fmt::Display for SkallaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkallaError::Type(m) => write!(f, "type error: {m}"),
+            SkallaError::NotFound(m) => write!(f, "not found: {m}"),
+            SkallaError::Schema(m) => write!(f, "schema error: {m}"),
+            SkallaError::Plan(m) => write!(f, "plan error: {m}"),
+            SkallaError::Net(m) => write!(f, "network error: {m}"),
+            SkallaError::Exec(m) => write!(f, "execution error: {m}"),
+            SkallaError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            SkallaError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SkallaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(
+            SkallaError::type_error("bad").to_string(),
+            "type error: bad"
+        );
+        assert_eq!(SkallaError::not_found("tbl").to_string(), "not found: tbl");
+        assert_eq!(SkallaError::plan("p").to_string(), "plan error: p");
+        assert_eq!(SkallaError::net("n").to_string(), "network error: n");
+        assert_eq!(SkallaError::exec("e").to_string(), "execution error: e");
+        assert_eq!(SkallaError::parse("x").to_string(), "parse error: x");
+        assert_eq!(
+            SkallaError::arithmetic("div").to_string(),
+            "arithmetic error: div"
+        );
+        assert_eq!(SkallaError::schema("s").to_string(), "schema error: s");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SkallaError::exec("x"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # skalla-types
+//!
+//! Foundational data model for the Skalla distributed OLAP system: dynamically
+//! typed [`Value`]s, [`Schema`]s describing relations, row-oriented
+//! [`Relation`]s used for base-values relations and query results, and the
+//! shared [`SkallaError`] type.
+//!
+//! Skalla (Akinde, Böhlen, Johnson, Lakshmanan, Srivastava; EDBT 2002)
+//! evaluates OLAP queries expressed as GMDJ expressions over a distributed
+//! data warehouse. Every crate in this workspace builds on the types defined
+//! here.
+//!
+//! ## Design notes
+//!
+//! * [`Value`] is a small tagged union with a *total* order (`Null` sorts
+//!   first, integers and floats compare numerically across the two variants)
+//!   so that values can be used directly as grouping keys in hash maps and
+//!   sorted outputs.
+//! * Detail data is stored columnar in `skalla-storage`; [`Relation`] here is
+//!   row-oriented because base-result structures are small (bounded by the
+//!   query result size, per Theorem 2 of the paper) and are shipped, merged,
+//!   and indexed row-at-a-time by the coordinator.
+
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use error::{Result, SkallaError};
+pub use relation::Relation;
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};
+
+/// A single row of [`Value`]s.
+///
+/// Rows do not carry their schema; pair them with a [`Schema`] from the
+/// enclosing [`Relation`] or table.
+pub type Row = Vec<Value>;

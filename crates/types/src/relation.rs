@@ -1,0 +1,336 @@
+//! Row-oriented relations.
+//!
+//! [`Relation`] is the workhorse container for base-values relations,
+//! base-result structures shipped between coordinator and sites, and final
+//! query results. Detail (fact) data lives in the columnar tables of
+//! `skalla-storage` instead.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SkallaError};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Row;
+
+/// A schema plus a vector of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Relation {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from rows, validating row arity against the schema.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Result<Relation> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(SkallaError::schema(format!(
+                    "row {i} has {} values, schema has {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// Build from rows without validation. Callers must guarantee every row
+    /// matches the schema arity; used on hot paths (synchronization).
+    pub fn from_rows_unchecked(schema: Arc<Schema>, rows: Vec<Row>) -> Relation {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        Relation { schema, rows }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to rows (arity invariants are the caller's duty).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Row at `idx`.
+    pub fn row(&self, idx: usize) -> &Row {
+        &self.rows[idx]
+    }
+
+    /// Append a row, validating arity.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(SkallaError::schema(format!(
+                "pushed row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Consume into the row vector.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Project onto the columns at `indices` (cloning values).
+    pub fn project(&self, indices: &[usize]) -> Result<Relation> {
+        let schema = Arc::new(self.schema.project(indices)?);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Relation { schema, rows })
+    }
+
+    /// Distinct rows (exact duplicates removed), preserving first-seen order.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::HashSet::with_capacity(self.rows.len());
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if seen.insert(r.clone()) {
+                rows.push(r.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Multiset union with `other` (schemas must match).
+    pub fn union_all(&mut self, other: Relation) -> Result<()> {
+        if *other.schema != *self.schema {
+            return Err(SkallaError::schema(format!(
+                "union of incompatible schemas {} and {}",
+                self.schema, other.schema
+            )));
+        }
+        self.rows.extend(other.rows);
+        Ok(())
+    }
+
+    /// Sort rows lexicographically (total order on [`Value`]); useful for
+    /// deterministic comparisons in tests.
+    pub fn sorted(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Row-wise comparison with a relative tolerance on float values.
+    ///
+    /// Distributed aggregation reassociates floating-point sums (per-site
+    /// partial sums merge in fragment-arrival order), so `SUM`/`AVG` over
+    /// `FLOAT64` columns can differ from a serial evaluation by rounding —
+    /// exactly as in other parallel engines. Use this for result
+    /// equivalence checks on float-bearing queries; integer aggregates are
+    /// always exact and can use `==`.
+    pub fn approx_eq(&self, other: &Relation, rel_tol: f64) -> bool {
+        if *self.schema() != *other.schema() || self.len() != other.len() {
+            return false;
+        }
+        self.rows.iter().zip(other.rows()).all(|(a, b)| {
+            a.iter().zip(b).all(|(x, y)| match (x, y) {
+                (Value::Float(p), Value::Float(q)) => {
+                    (p - q).abs() <= rel_tol * p.abs().max(q.abs()).max(1.0)
+                }
+                _ => x == y,
+            })
+        })
+    }
+
+    /// Approximate in-memory payload size in bytes (used by the network cost
+    /// model as a sanity cross-check against exact wire sizes).
+    pub fn approx_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Null => 1,
+                        Value::Int(_) => 9,
+                        Value::Float(_) => 9,
+                        Value::Bool(_) => 2,
+                        Value::Str(s) => 5 + s.len(),
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Render as an aligned ASCII table (header row + data rows).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, n) in names.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:width$}", n, width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{:width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema_ab() -> Arc<Schema> {
+        Schema::from_pairs([("a", DataType::Int64), ("b", DataType::Utf8)])
+            .unwrap()
+            .into_arc()
+    }
+
+    fn rel() -> Relation {
+        Relation::new(
+            schema_ab(),
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+                vec![Value::Int(1), Value::str("x")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_arity() {
+        let r = Relation::new(schema_ab(), vec![vec![Value::Int(1)]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut r = Relation::empty(schema_ab());
+        assert!(r.push(vec![Value::Int(1)]).is_err());
+        assert!(r.push(vec![Value::Int(1), Value::str("z")]).is_ok());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_in_order() {
+        let d = rel().distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(0)[0], Value::Int(1));
+        assert_eq!(d.row(1)[0], Value::Int(2));
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let p = rel().project(&[1, 0]).unwrap();
+        assert_eq!(p.schema().names(), vec!["b", "a"]);
+        assert_eq!(p.row(0), &vec![Value::str("x"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn union_all_checks_schema() {
+        let mut r = rel();
+        let other = rel();
+        r.union_all(other).unwrap();
+        assert_eq!(r.len(), 6);
+
+        let other_schema = Schema::from_pairs([("z", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        assert!(r.union_all(Relation::empty(other_schema)).is_err());
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let s = rel().sorted();
+        assert!(s.row(0) <= s.row(1) && s.row(1) <= s.row(2));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let out = rel().to_string();
+        assert!(out.contains("a | b"));
+        assert!(out.contains("1 | x"));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_rounding() {
+        let schema = Schema::from_pairs([("k", DataType::Int64), ("x", DataType::Float64)])
+            .unwrap()
+            .into_arc();
+        let a = Relation::new(
+            schema.clone(),
+            vec![vec![Value::Int(1), Value::Float(100.0)]],
+        )
+        .unwrap();
+        let b = Relation::new(
+            schema.clone(),
+            vec![vec![Value::Int(1), Value::Float(100.0 + 1e-10)]],
+        )
+        .unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-14));
+        // Non-float mismatches are never tolerated.
+        let c = Relation::new(schema, vec![vec![Value::Int(2), Value::Float(100.0)]]).unwrap();
+        assert!(!a.approx_eq(&c, 1.0));
+        // Length mismatch.
+        let d = Relation::empty(a.schema().clone());
+        assert!(!a.approx_eq(&d, 1.0));
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_content() {
+        let empty = Relation::empty(schema_ab());
+        assert_eq!(empty.approx_bytes(), 0);
+        assert!(rel().approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Relation schemas: ordered, named, typed fields.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SkallaError};
+use crate::value::DataType;
+
+/// A named, typed column in a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name. Names are case-sensitive and unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered list of uniquely named [`Field`]s, with O(1) lookup by name.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+impl Schema {
+    /// Build a schema from fields, failing on duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(SkallaError::schema(format!(
+                    "duplicate column name `{}`",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Build a schema from `(name, type)` pairs, failing on duplicates.
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = (S, DataType)>,
+        S: Into<String>,
+    {
+        Schema::new(pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect())
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema {
+            fields: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SkallaError::not_found(format!("column `{name}`")))
+    }
+
+    /// `true` if a field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Field looked up by name.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// A new schema consisting of this schema's fields followed by `extra`,
+    /// failing on name collisions.
+    pub fn extended(&self, extra: &[Field]) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        fields.extend_from_slice(extra);
+        Schema::new(fields)
+    }
+
+    /// A new schema with only the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let fields = indices
+            .iter()
+            .map(|&i| {
+                self.fields
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| SkallaError::schema(format!("column index {i} out of range")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+
+    /// Resolve a list of column names to their indices.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Wrap in an `Arc` (the common way schemas are shared between tables,
+    /// plans, and messages).
+    pub fn into_arc(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_pairs([
+            ("a", DataType::Int64),
+            ("b", DataType::Utf8),
+            ("c", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.field(2).name, "c");
+        assert!(s.index_of("zz").is_err());
+        assert!(s.contains("a"));
+        assert!(!s.contains("zz"));
+        assert_eq!(s.field_by_name("c").unwrap().dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::from_pairs([("a", DataType::Int64), ("a", DataType::Utf8)]);
+        assert!(matches!(r, Err(SkallaError::Schema(_))));
+    }
+
+    #[test]
+    fn extended_appends_and_checks_collisions() {
+        let s = abc();
+        let s2 = s.extended(&[Field::new("d", DataType::Bool)]).unwrap();
+        assert_eq!(s2.len(), 4);
+        assert_eq!(s2.index_of("d").unwrap(), 3);
+        assert!(s.extended(&[Field::new("a", DataType::Bool)]).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = abc();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(abc().to_string(), "(a INT64, b UTF8, c FLOAT64)");
+        assert_eq!(Schema::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn indices_of_maps_names() {
+        let s = abc();
+        assert_eq!(s.indices_of(&["c", "a"]).unwrap(), vec![2, 0]);
+        assert!(s.indices_of(&["c", "nope"]).is_err());
+    }
+
+    #[test]
+    fn schema_equality_ignores_lookup_map() {
+        assert_eq!(abc(), abc());
+        assert!(Schema::empty().is_empty());
+    }
+}

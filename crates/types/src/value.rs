@@ -1,0 +1,439 @@
+//! Dynamically typed scalar values and their data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Result, SkallaError};
+
+/// The logical type of a column or scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Signed 64-bit integer.
+    Int64,
+    /// IEEE-754 double-precision float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// `true` if the type is numeric (integer or float).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// The common numeric type of two numeric operands: `Int64` only when
+    /// both sides are integers, `Float64` otherwise.
+    pub fn numeric_join(self, other: DataType) -> Result<DataType> {
+        match (self, other) {
+            (DataType::Int64, DataType::Int64) => Ok(DataType::Int64),
+            (a, b) if a.is_numeric() && b.is_numeric() => Ok(DataType::Float64),
+            (a, b) => Err(SkallaError::type_error(format!(
+                "no common numeric type for {a} and {b}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int64 => write!(f, "INT64"),
+            DataType::Float64 => write!(f, "FLOAT64"),
+            DataType::Utf8 => write!(f, "UTF8"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Value` implements a *total* order and consistent hashing so it can serve
+/// as a grouping key:
+///
+/// * `Null` compares less than every non-null value and is equal to itself
+///   (SQL three-valued logic is handled at the expression layer, not here).
+/// * `Int` and `Float` compare numerically across variants; `NaN` sorts
+///   greater than every other float and equal to itself.
+/// * Values of different non-numeric kinds order by a fixed kind rank
+///   (`Null < Bool < numeric < Utf8`), so mixed-type collections still sort
+///   deterministically.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string. `Arc<str>` keeps row cloning cheap: base-result rows are
+    /// cloned when shipped between coordinator and sites.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The [`DataType`] of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as `i64`, failing on non-integers.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(SkallaError::type_error(format!(
+                "expected INT64, got {other}"
+            ))),
+        }
+    }
+
+    /// Interpret as `f64`, coercing integers.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(SkallaError::type_error(format!(
+                "expected numeric, got {other}"
+            ))),
+        }
+    }
+
+    /// Interpret as `bool`, failing on other kinds.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(SkallaError::type_error(format!(
+                "expected BOOL, got {other}"
+            ))),
+        }
+    }
+
+    /// Interpret as `&str`, failing on other kinds.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(SkallaError::type_error(format!(
+                "expected UTF8, got {other}"
+            ))),
+        }
+    }
+
+    /// Rank used to order values of different kinds; numeric variants share a
+    /// rank so they compare by value.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Total-order comparison of two floats: `NaN` equals itself and sorts
+    /// last; `-0.0` is identified with `0.0` (both equal `Int(0)`, so they
+    /// must equal each other for transitivity).
+    fn total_cmp_f64(a: f64, b: f64) -> Ordering {
+        let a = if a == 0.0 { 0.0 } else { a };
+        let b = if b == 0.0 { 0.0 } else { b };
+        a.total_cmp(&b)
+    }
+}
+
+/// Exact comparison of an `i64` with an `f64`, without the precision loss of
+/// an `as f64` cast (which would make e.g. `i64::MAX` and `i64::MAX - 1`
+/// both equal `2^63 as f64` and break `Ord` transitivity).
+fn cmp_int_float(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        // NaN sorts after every integer.
+        return Ordering::Less;
+    }
+    // 2^63 as f64 is exact.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if f >= TWO_63 {
+        return Ordering::Less;
+    }
+    if f < -TWO_63 {
+        return Ordering::Greater;
+    }
+    // Now -2^63 <= f < 2^63, so floor(f) fits in i64 exactly.
+    let fl = f.floor();
+    let fi = fl as i64;
+    match i.cmp(&fi) {
+        Ordering::Equal => {
+            if f > fl {
+                Ordering::Less
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    }
+}
+
+/// `Some(i)` if `f` is exactly the integer `i` (integral, in `i64` range).
+fn exact_i64(f: f64) -> Option<i64> {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if f.is_finite() && f.fract() == 0.0 && (-TWO_63..TWO_63).contains(&f) {
+        Some(f as i64)
+    } else {
+        None
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => Value::total_cmp_f64(*a, *b),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.kind_rank().cmp(&b.kind_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Integers and floats must hash identically when they compare
+            // equal. Numbers exactly representable as i64 hash via the
+            // integer; all other floats hash via their (NaN-normalized) bits.
+            // Under `cmp_int_float` an Int can only equal a Float whose exact
+            // value is that integer, so the two paths never collide.
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                if let Some(i) = exact_i64(*f) {
+                    state.write_u8(2);
+                    state.write_i64(i);
+                } else {
+                    state.write_u8(3);
+                    state.write_u64(norm_f64_bits(*f));
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// Canonicalize NaN payloads so every NaN hashes identically (all NaNs
+/// compare equal under our `Ord`). Zeros never reach this function: both
+/// `0.0` and `-0.0` take the exact-integer hash path.
+fn norm_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_compare() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+        assert_eq!(hash_of(&Value::str("ab")), hash_of(&Value::str("ab")));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = [
+            Value::Int(1),
+            Value::Null,
+            Value::str("a"),
+            Value::Bool(true),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_sorts_last() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert!(Value::Float(f64::INFINITY) < nan);
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn zero_signs_identified() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
+    }
+
+    #[test]
+    fn exact_int_float_boundary_comparison() {
+        // i64::MAX < 2^63 exactly, even though the lossy cast would say equal.
+        let two63 = 9_223_372_036_854_775_808.0f64;
+        assert!(Value::Int(i64::MAX) < Value::Float(two63));
+        assert!(Value::Float(two63) > Value::Int(i64::MAX));
+        assert!(Value::Int(i64::MIN) == Value::Float(-two63));
+        assert!(Value::Int(5) < Value::Float(5.5));
+        assert!(Value::Float(4.5) < Value::Int(5));
+    }
+
+    #[test]
+    fn large_int_unrepresentable_as_f64() {
+        // i64::MAX is not exactly representable as f64; it must still be
+        // self-equal and hash-stable.
+        let v = Value::Int(i64::MAX);
+        assert_eq!(v, v.clone());
+        assert_eq!(hash_of(&v), hash_of(&Value::Int(i64::MAX)));
+        assert_ne!(Value::Int(i64::MAX), Value::Float(i64::MAX as f64));
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert!(Value::str("x").as_int().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+        assert_eq!(Value::Int(4).as_f64().unwrap(), 4.0);
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert_eq!(Value::str("y").as_str().unwrap(), "y");
+    }
+
+    #[test]
+    fn numeric_join_rules() {
+        assert_eq!(
+            DataType::Int64.numeric_join(DataType::Int64).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            DataType::Int64.numeric_join(DataType::Float64).unwrap(),
+            DataType::Float64
+        );
+        assert!(DataType::Utf8.numeric_join(DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(DataType::Utf8.to_string(), "UTF8");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

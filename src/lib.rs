@@ -1,0 +1,94 @@
+#![warn(missing_docs)]
+
+//! # skalla
+//!
+//! A from-scratch Rust reproduction of **Skalla** — the distributed OLAP
+//! query processor of *"Efficient OLAP Query Processing in Distributed Data
+//! Warehouses"* (Akinde, Böhlen, Johnson, Lakshmanan, Srivastava;
+//! EDBT 2002).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`types`] — values, schemas, relations ([`skalla_types`]).
+//! * [`expr`] — the GMDJ condition language and its analyses
+//!   ([`skalla_expr`]).
+//! * [`storage`] — columnar site storage and partitioning
+//!   ([`skalla_storage`]).
+//! * [`gmdj`] — the GMDJ operator, aggregates, local evaluation, and
+//!   coalescing ([`skalla_gmdj`]).
+//! * [`net`] — the simulated network with exact byte accounting
+//!   ([`skalla_net`]).
+//! * [`core`] — the distributed runtime: coordinator, sites,
+//!   Alg. GMDJDistribEval ([`skalla_core`]).
+//! * [`planner`] — the Egil optimizer and the textual query language
+//!   ([`skalla_planner`]).
+//! * [`tpcr`] — the TPC-R-style experiment data generator
+//!   ([`skalla_tpcr`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skalla::prelude::*;
+//!
+//! // An IP-flow fact table, partitioned across two sites on SourceAS.
+//! let schema = Schema::from_pairs([
+//!     ("sas", DataType::Int64),
+//!     ("das", DataType::Int64),
+//!     ("bytes", DataType::Int64),
+//! ]).unwrap().into_arc();
+//! let flow = Table::from_rows(schema.clone(), &[
+//!     vec![Value::Int(1), Value::Int(7), Value::Int(100)],
+//!     vec![Value::Int(1), Value::Int(7), Value::Int(50)],
+//!     vec![Value::Int(2), Value::Int(7), Value::Int(300)],
+//! ]).unwrap();
+//! let parts = partition_by_hash(&flow, 0, 2).unwrap();
+//!
+//! // Query: per (sas, das), flow count and total bytes.
+//! let query = parse_query(
+//!     "BASE DISTINCT sas, das FROM flow;
+//!      MD COUNT(*) AS flows, SUM(bytes) AS total
+//!         WHERE b.sas = r.sas AND b.das = r.das;",
+//!     &std::collections::HashMap::from([("flow".to_string(), schema)]),
+//! ).unwrap();
+//!
+//! // Plan with every optimization and execute distributed.
+//! let dist = DistributionInfo::from_partitioning(&parts);
+//! let (plan, _report) = plan_query(&query, &dist, OptFlags::all()).unwrap();
+//! let catalogs: Vec<Catalog> = parts.parts.iter().map(|p| {
+//!     let mut c = Catalog::new();
+//!     c.register("flow", p.clone());
+//!     c
+//! }).collect();
+//! let wh = DistributedWarehouse::launch(catalogs, CostModel::lan_2002()).unwrap();
+//! let (result, metrics) = wh.execute(&plan).unwrap();
+//! wh.shutdown().unwrap();
+//! assert_eq!(result.len(), 2);
+//! assert!(metrics.total_bytes() > 0);
+//! ```
+
+pub use skalla_core as core;
+pub use skalla_expr as expr;
+pub use skalla_gmdj as gmdj;
+pub use skalla_net as net;
+pub use skalla_planner as planner;
+pub use skalla_storage as storage;
+pub use skalla_tpcr as tpcr;
+pub use skalla_types as types;
+
+/// The most common imports, for examples and applications.
+pub mod prelude {
+    pub use skalla_core::{
+        BaseResult, BaseRound, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RoundSpec,
+    };
+    pub use skalla_expr::{Expr, ExprBuilder, Interval, SiteConstraint};
+    pub use skalla_gmdj::{
+        eval_expr_centralized, AggFunc, AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp,
+    };
+    pub use skalla_net::CostModel;
+    pub use skalla_planner::{parse_query, plan_query, DistributionInfo, PlanReport};
+    pub use skalla_storage::{
+        partition_by_hash, partition_by_ranges, partition_by_values, Catalog, Partitioning, Table,
+        TableBuilder,
+    };
+    pub use skalla_types::{DataType, Field, Relation, Schema, SkallaError, Value};
+}

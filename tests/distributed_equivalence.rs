@@ -1,0 +1,252 @@
+//! Theorem 3, executably: Alg. GMDJDistribEval computes the same result as
+//! centralized evaluation — for every optimizer flag combination, every
+//! partitioning shape, and randomized data.
+
+use std::collections::HashMap;
+
+use skalla::prelude::*;
+use skalla::tpcr;
+
+/// Deterministic xorshift for data generation (independent of `rand`
+/// versions).
+struct Xs(u64);
+impl Xs {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> i64 {
+        (self.next() % n) as i64
+    }
+}
+
+fn flow_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([
+        ("sas", DataType::Int64),
+        ("das", DataType::Int64),
+        ("nb", DataType::Int64),
+    ])
+    .unwrap()
+    .into_arc()
+}
+
+fn random_flow(seed: u64, rows: usize, sas_card: u64, das_card: u64) -> Table {
+    let mut rng = Xs(seed | 1);
+    let rows: Vec<Vec<Value>> = (0..rows)
+        .map(|_| {
+            vec![
+                Value::Int(rng.below(sas_card)),
+                Value::Int(rng.below(das_card)),
+                Value::Int(rng.below(10_000)),
+            ]
+        })
+        .collect();
+    Table::from_rows(flow_schema(), &rows).unwrap()
+}
+
+fn example1_query() -> GmdjExpr {
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    skalla::planner::parse_query(
+        "BASE DISTINCT sas, das FROM flow;
+         MD COUNT(*) AS cnt1, SUM(nb) AS sum1 WHERE b.sas = r.sas AND b.das = r.das;
+         MD COUNT(*) AS cnt2 WHERE b.sas = r.sas AND b.das = r.das
+                               AND r.nb >= b.sum1 / b.cnt1;",
+        &schemas,
+    )
+    .unwrap()
+}
+
+fn catalogs_for(parts: &Partitioning) -> Vec<Catalog> {
+    parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("flow", p.clone());
+            c
+        })
+        .collect()
+}
+
+fn all_flag_combos() -> Vec<OptFlags> {
+    let mut out = Vec::new();
+    for bits in 0..16u32 {
+        out.push(OptFlags {
+            coalesce: bits & 1 != 0,
+            site_group_reduction: bits & 2 != 0,
+            coord_group_reduction: bits & 4 != 0,
+            sync_reduction: bits & 8 != 0,
+        });
+    }
+    out
+}
+
+#[test]
+fn every_flag_combo_matches_centralized_on_partition_attribute() {
+    let table = random_flow(7, 400, 12, 6);
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let query = example1_query();
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    for flags in all_flag_combos() {
+        let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        assert_eq!(result.sorted(), expected, "flags {flags:?} diverged");
+    }
+    wh.shutdown().unwrap();
+}
+
+#[test]
+fn every_flag_combo_matches_centralized_without_partition_attribute() {
+    // Row-position split: sas values overlap across sites, so Corollary 1
+    // must not fire — but whatever the planner decides must stay correct.
+    let table = random_flow(13, 300, 10, 5);
+    let idx: Vec<u32> = (0..table.len() as u32).collect();
+    let (a, b) = idx.split_at(idx.len() / 2);
+    let parts = Partitioning {
+        parts: vec![table.take(a), table.take(b)],
+        partition_col: None,
+    };
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let query = example1_query();
+
+    let mut full = Catalog::new();
+    full.register("flow", table.clone());
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    for flags in all_flag_combos() {
+        let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        assert_eq!(result.sorted(), expected, "flags {flags:?} diverged");
+    }
+    wh.shutdown().unwrap();
+}
+
+#[test]
+fn proposition2_with_overlapping_groups_is_correct() {
+    // Prop. 2 (base-sync elimination) must merge the same group arriving
+    // from several sites. Group on das while partitioning on sas: every
+    // site holds most das values.
+    let table = random_flow(99, 500, 8, 4);
+    let parts = partition_by_hash(&table, 0, 4).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    let query = skalla::planner::parse_query(
+        "BASE DISTINCT das FROM flow;
+         MD COUNT(*) AS c1, AVG(nb) AS a1 WHERE b.das = r.das;
+         MD COUNT(*) AS c2 WHERE b.das = r.das AND r.nb >= b.a1;",
+        &schemas,
+    )
+    .unwrap();
+
+    let flags = OptFlags {
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+    let (plan, report) = plan_query(&query, &dist, flags).unwrap();
+    assert!(report.base_sync_eliminated, "Prop 2 should fire");
+    assert!(report.local_only_rounds.is_empty(), "Cor 1 must not fire");
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&plan).unwrap();
+    assert_eq!(result.sorted(), expected);
+    wh.shutdown().unwrap();
+}
+
+#[test]
+fn varying_site_counts_agree() {
+    let table = random_flow(21, 600, 20, 10);
+    let query = example1_query();
+    let mut full = Catalog::new();
+    full.register("flow", table.clone());
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    for n in [1, 2, 5, 8] {
+        let parts = partition_by_hash(&table, 0, n).unwrap();
+        let dist = DistributionInfo::from_partitioning(&parts);
+        let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+        for flags in [OptFlags::none(), OptFlags::all()] {
+            let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+            let (result, _) = wh.execute(&plan).unwrap();
+            assert_eq!(result.sorted(), expected, "{n} sites, flags {flags:?}");
+        }
+        wh.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn empty_sites_are_handled() {
+    // 6 sites for 3 distinct sas values: some sites hold no data at all.
+    let table = random_flow(31, 100, 3, 3);
+    let parts = partition_by_hash(&table, 0, 6).unwrap();
+    assert!(
+        parts.parts.iter().any(|p| p.is_empty()),
+        "expected an empty site"
+    );
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let query = example1_query();
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    for flags in [OptFlags::none(), OptFlags::all()] {
+        let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        assert_eq!(result.sorted(), expected, "flags {flags:?}");
+    }
+    wh.shutdown().unwrap();
+}
+
+#[test]
+fn ship_all_baseline_agrees_on_tpcr() {
+    let table = tpcr::generate(&tpcr::TpcrConfig::scale(0.05));
+    let parts = tpcr::partition_by_nation(&table, 4).unwrap();
+    let catalogs: Vec<Catalog> = parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("tpcr", p.clone());
+            c
+        })
+        .collect();
+
+    let query = {
+        let md = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("cnt"),
+                AggSpec::avg(Expr::detail(tpcr::EXTENDEDPRICE_COL), "avg").unwrap(),
+            ],
+            Expr::base(0).eq(Expr::detail(tpcr::NATIONKEY_COL)),
+        )]);
+        GmdjExpr::new(
+            BaseSpec::DistinctProject {
+                cols: vec![tpcr::NATIONKEY_COL],
+            },
+            "tpcr",
+            vec![md],
+            vec![0],
+        )
+        .unwrap()
+    };
+
+    let wh = DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap();
+    let (dist_result, _) = wh.execute(&DistPlan::unoptimized(query.clone())).unwrap();
+    let (ship_result, _) = wh.execute_ship_all(&query).unwrap();
+    assert_eq!(dist_result.sorted(), ship_result.sorted());
+    wh.shutdown().unwrap();
+}

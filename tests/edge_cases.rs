@@ -1,0 +1,351 @@
+//! Edge cases of distributed evaluation: excluded sites, empty relations,
+//! NULL group keys, multiple detail relations, and one-group queries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skalla::prelude::*;
+
+fn schema_gv() -> Arc<Schema> {
+    Schema::from_pairs([("g", DataType::Int64), ("v", DataType::Int64)])
+        .unwrap()
+        .into_arc()
+}
+
+fn catalogs_for(parts: &[Table], name: &str) -> Vec<Catalog> {
+    parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register(name, p.clone());
+            c
+        })
+        .collect()
+}
+
+/// θ's detail-only conjunct is unsatisfiable at every site: the coordinator
+/// filter excludes all sites from the round, and every group keeps identity
+/// aggregates.
+#[test]
+fn all_sites_excluded_by_filters() {
+    let rows: Vec<Vec<Value>> = (0..100)
+        .map(|i| vec![Value::Int(i % 5), Value::Int(i % 50)])
+        .collect();
+    let table = Table::from_rows(schema_gv(), &rows).unwrap();
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+
+    // v is never > 1000; with per-site value constraints on g the analysis
+    // alone can't prove that, so constrain on v too via ranges.
+    let mut range_parts = parts.clone();
+    range_parts.partition_col = Some(1);
+    let dist_v = DistributionInfo::from_partitioning(&range_parts);
+
+    let md = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("c"),
+            AggSpec::sum(Expr::detail(1), "s").unwrap(),
+        ],
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::detail(1).gt(Expr::lit(1000))),
+    )]);
+    let query = GmdjExpr::new(
+        BaseSpec::DistinctProject { cols: vec![0] },
+        "t",
+        vec![md],
+        vec![0],
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("t", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+    // Sanity: every group exists with COUNT 0 / SUM NULL.
+    assert_eq!(expected.len(), 5);
+    for r in expected.rows() {
+        assert_eq!(r[1], Value::Int(0));
+        assert_eq!(r[2], Value::Null);
+    }
+
+    let wh =
+        DistributedWarehouse::launch(catalogs_for(&parts.parts, "t"), CostModel::free()).unwrap();
+    for dist in [&dist, &dist_v] {
+        let flags = OptFlags {
+            coord_group_reduction: true,
+            ..OptFlags::none()
+        };
+        let (plan, _) = plan_query(&query, dist, flags).unwrap();
+        let (result, metrics) = wh.execute(&plan).unwrap();
+        assert_eq!(result.sorted(), expected);
+        let _ = metrics;
+    }
+    // With the v-anchored constraints the filters are all-FALSE and no site
+    // participates in the evaluation round at all.
+    let flags = OptFlags {
+        coord_group_reduction: true,
+        ..OptFlags::none()
+    };
+    let (plan, report) = plan_query(&query, &dist_v, flags).unwrap();
+    assert!(!report.coord_filters.is_empty());
+    let (result, metrics) = wh.execute(&plan).unwrap();
+    assert_eq!(result.sorted(), expected);
+    // Round 1 shipped zero rows down.
+    let round1 = metrics
+        .rounds
+        .iter()
+        .find(|r| r.label == "round 1")
+        .unwrap();
+    assert_eq!(round1.rows_down, 0);
+    assert_eq!(round1.sites, 0);
+    wh.shutdown().unwrap();
+}
+
+/// A completely empty fact relation still yields an empty (not failing)
+/// result.
+#[test]
+fn fully_empty_detail_relation() {
+    let empty = Table::empty(schema_gv());
+    let parts = vec![empty.clone(), empty.clone()];
+    let md = GmdjOp::new(vec![GmdjBlock::new(
+        vec![AggSpec::count_star("c")],
+        Expr::base(0).eq(Expr::detail(0)),
+    )]);
+    let query = GmdjExpr::new(
+        BaseSpec::DistinctProject { cols: vec![0] },
+        "t",
+        vec![md],
+        vec![0],
+    )
+    .unwrap();
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts, "t"), CostModel::free()).unwrap();
+    for flags in [OptFlags::none(), OptFlags::all()] {
+        let dist = DistributionInfo::unknown(2);
+        let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        assert!(result.is_empty(), "flags {flags:?}");
+    }
+    wh.shutdown().unwrap();
+}
+
+/// NULL values in group keys: NULL groups form (distinct keeps one NULL),
+/// equality never matches them, counts are zero.
+#[test]
+fn null_group_keys() {
+    let rows = vec![
+        vec![Value::Int(1), Value::Int(10)],
+        vec![Value::Null, Value::Int(20)],
+        vec![Value::Null, Value::Int(30)],
+        vec![Value::Int(1), Value::Int(40)],
+    ];
+    let table = Table::from_rows(schema_gv(), &rows).unwrap();
+    let md = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("c"),
+            AggSpec::sum(Expr::detail(1), "s").unwrap(),
+        ],
+        Expr::base(0).eq(Expr::detail(0)),
+    )]);
+    let query = GmdjExpr::new(
+        BaseSpec::DistinctProject { cols: vec![0] },
+        "t",
+        vec![md],
+        vec![0],
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("t", table.clone());
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+    assert_eq!(expected.len(), 2); // groups: NULL and 1
+    let null_row = expected.rows().iter().find(|r| r[0].is_null()).unwrap();
+    assert_eq!(null_row[1], Value::Int(0)); // NULL = NULL is not TRUE
+    assert_eq!(null_row[2], Value::Null);
+
+    // Distributed (split so the NULL rows land on both sites).
+    let idx: Vec<u32> = (0..table.len() as u32).collect();
+    let (a, b) = idx.split_at(2);
+    let parts = vec![table.take(a), table.take(b)];
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts, "t"), CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&DistPlan::unoptimized(query)).unwrap();
+    assert_eq!(result.sorted(), expected);
+    wh.shutdown().unwrap();
+}
+
+/// A query whose rounds read *different* detail relations (the paper notes
+/// the detail relation may change between rounds).
+#[test]
+fn per_round_detail_relations() {
+    let flows = Table::from_rows(
+        schema_gv(),
+        &(0..60)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(i)])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let alerts_schema = Schema::from_pairs([("g", DataType::Int64), ("sev", DataType::Int64)])
+        .unwrap()
+        .into_arc();
+    let alerts = Table::from_rows(
+        alerts_schema,
+        &(0..20)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(i % 3)])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    // MD1 over flows (default), MD2 over alerts.
+    let md1 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![AggSpec::count_star("flows")],
+        Expr::base(0).eq(Expr::detail(0)),
+    )]);
+    let md2 = GmdjOp::with_detail(
+        vec![GmdjBlock::new(
+            vec![AggSpec::count_star("alerts")],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::detail(1).ge(Expr::lit(2))),
+        )],
+        "alerts",
+    );
+    let query = GmdjExpr::new(
+        BaseSpec::DistinctProject { cols: vec![0] },
+        "flows",
+        vec![md1, md2],
+        vec![0],
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("flows", flows.clone());
+    full.register("alerts", alerts.clone());
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let fparts = partition_by_hash(&flows, 0, 2).unwrap();
+    let aparts = partition_by_hash(&alerts, 0, 2).unwrap();
+    let catalogs: Vec<Catalog> = (0..2)
+        .map(|i| {
+            let mut c = Catalog::new();
+            c.register("flows", fparts.parts[i].clone());
+            c.register("alerts", aparts.parts[i].clone());
+            c
+        })
+        .collect();
+    let wh = DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&DistPlan::unoptimized(query.clone())).unwrap();
+    assert_eq!(result.sorted(), expected);
+
+    // The ship-all baseline must fetch *both* tables.
+    let (ship, _) = wh.execute_ship_all(&query).unwrap();
+    assert_eq!(ship.sorted(), expected);
+    wh.shutdown().unwrap();
+}
+
+/// A hand-built plan with a local run whose first round's filters would
+/// exclude groups that the *second* operator still needs: the executor must
+/// combine filters across the run (OR) — with one round unfiltered, no
+/// filtering at all — rather than starve later operators.
+#[test]
+fn local_run_filters_cannot_starve_later_operators() {
+    let rows: Vec<Vec<Value>> = (0..60)
+        .map(|i| vec![Value::Int(i % 4), Value::Int(i)])
+        .collect();
+    let table = Table::from_rows(schema_gv(), &rows).unwrap();
+    let parts = partition_by_hash(&table, 0, 2).unwrap();
+
+    // op0's θ never matches (v < 0 is impossible); op1 counts everything.
+    let md0 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![AggSpec::count_star("never")],
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::detail(1).lt(Expr::lit(0))),
+    )]);
+    let md1 = GmdjOp::new(vec![GmdjBlock::new(
+        vec![AggSpec::count_star("all")],
+        Expr::base(0).eq(Expr::detail(0)),
+    )]);
+    let query = GmdjExpr::new(
+        BaseSpec::DistinctProject { cols: vec![0] },
+        "t",
+        vec![md0, md1],
+        vec![0],
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("t", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+    assert!(expected.rows().iter().all(|r| r[2].as_int().unwrap() > 0));
+
+    // Adversarial plan: round 0 is local-only with all-FALSE coordinator
+    // filters (op0 indeed matches nothing); round 1 has no filters.
+    let mut plan = DistPlan::unoptimized(query);
+    plan.rounds[0].local_only = true;
+    plan.rounds[0].coord_filters = Some(vec![Expr::lit(false); 2]);
+
+    let wh =
+        DistributedWarehouse::launch(catalogs_for(&parts.parts, "t"), CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&plan).unwrap();
+    wh.shutdown().unwrap();
+    assert_eq!(
+        result.sorted(),
+        expected,
+        "later operators must still see every group"
+    );
+}
+
+/// Intra-site parallel scans produce identical results through the whole
+/// distributed stack.
+#[test]
+fn site_parallelism_is_transparent() {
+    let rows: Vec<Vec<Value>> = (0..12_000)
+        .map(|i| vec![Value::Int(i % 10), Value::Int(i % 100)])
+        .collect();
+    let table = Table::from_rows(schema_gv(), &rows).unwrap();
+    let parts = partition_by_hash(&table, 0, 2).unwrap();
+    let schemas = HashMap::from([("t".to_string(), schema_gv())]);
+    let query = parse_query(
+        "BASE DISTINCT g FROM t;
+         MD COUNT(*) AS c, SUM(v) AS s WHERE b.g = r.g;
+         MD COUNT(*) AS hi WHERE b.g = r.g AND r.v * b.c > b.s;",
+        &schemas,
+    )
+    .unwrap();
+    let wh =
+        DistributedWarehouse::launch(catalogs_for(&parts.parts, "t"), CostModel::free()).unwrap();
+    let serial = wh.execute(&DistPlan::unoptimized(query.clone())).unwrap().0;
+    let parallel = wh
+        .execute(&DistPlan::unoptimized(query).with_site_parallelism(4))
+        .unwrap()
+        .0;
+    assert_eq!(serial.sorted(), parallel.sorted());
+    wh.shutdown().unwrap();
+}
+
+/// Single-group degenerate case: grouping on a constant-valued column.
+#[test]
+fn single_group_query() {
+    let rows: Vec<Vec<Value>> = (0..40)
+        .map(|i| vec![Value::Int(7), Value::Int(i)])
+        .collect();
+    let table = Table::from_rows(schema_gv(), &rows).unwrap();
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+    let schemas = HashMap::from([("t".to_string(), schema_gv())]);
+    let query = parse_query(
+        "BASE DISTINCT g FROM t;
+         MD COUNT(*) AS c, MIN(v) AS mn, MAX(v) AS mx WHERE b.g = r.g;",
+        &schemas,
+    )
+    .unwrap();
+    let wh =
+        DistributedWarehouse::launch(catalogs_for(&parts.parts, "t"), CostModel::free()).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let (plan, _) = plan_query(&query, &dist, OptFlags::all()).unwrap();
+    let (result, _) = wh.execute(&plan).unwrap();
+    assert_eq!(result.len(), 1);
+    assert_eq!(
+        result.row(0),
+        &vec![Value::Int(7), Value::Int(40), Value::Int(0), Value::Int(39)]
+    );
+    wh.shutdown().unwrap();
+}

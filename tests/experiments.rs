@@ -1,0 +1,178 @@
+//! Scaled-down versions of the paper's §5 experiments, asserting the
+//! *qualitative* claims of each figure (who wins, and how costs grow).
+
+use skalla::core::OptFlags;
+use skalla::tpcr::{CITYNAME_COL, CUSTNAME_COL, EXTENDEDPRICE_COL, QUANTITY_COL};
+use skalla_bench::{coalescible_query, correlated_query, run_variant, ExperimentSetup, RunRecord};
+
+const PER_SITE_SCALE: f64 = 0.02;
+
+fn sweep(
+    expr: &skalla::gmdj::GmdjExpr,
+    flags: OptFlags,
+    anchor: usize,
+    sites: &[usize],
+) -> Vec<RunRecord> {
+    sites
+        .iter()
+        .map(|&n| {
+            let setup = ExperimentSetup::new(PER_SITE_SCALE * n as f64, n).unwrap();
+            run_variant(&setup, expr, flags, anchor, "x").unwrap().1
+        })
+        .collect()
+}
+
+fn bytes(r: &RunRecord) -> f64 {
+    (r.bytes_down + r.bytes_up) as f64
+}
+
+/// Fig. 2: without group reduction, traffic grows super-linearly in the
+/// site count; site-side reduction shrinks upstream traffic; adding
+/// coordinator-side reduction shrinks downstream traffic to linear.
+#[test]
+fn fig2_group_reduction_shapes() {
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).unwrap();
+    let sites = [2usize, 4, 6];
+    let none = sweep(&expr, OptFlags::none(), CUSTNAME_COL, &sites);
+    let site = sweep(
+        &expr,
+        OptFlags {
+            site_group_reduction: true,
+            ..OptFlags::none()
+        },
+        CUSTNAME_COL,
+        &sites,
+    );
+    let both = sweep(
+        &expr,
+        OptFlags {
+            site_group_reduction: true,
+            coord_group_reduction: true,
+            ..OptFlags::none()
+        },
+        CUSTNAME_COL,
+        &sites,
+    );
+
+    // Super-linear growth without reduction: tripling the sites more than
+    // triples the traffic (quadratic ⇒ ×9; allow slack ⇒ > ×5).
+    assert!(
+        bytes(&none[2]) > 5.0 * bytes(&none[0]),
+        "expected quadratic growth"
+    );
+    for i in 0..sites.len() {
+        // Site-side reduction cuts upstream traffic.
+        assert!(site[i].bytes_up < none[i].bytes_up, "n={}", sites[i]);
+        // Coordinator-side reduction additionally cuts downstream traffic.
+        assert!(both[i].bytes_down < site[i].bytes_down, "n={}", sites[i]);
+    }
+    // With both reductions the per-site traffic is flat: growth is linear
+    // in n (tripling sites ⇒ roughly ×3; assert well below quadratic).
+    let growth = bytes(&both[2]) / bytes(&both[0]);
+    assert!(
+        growth < 5.0,
+        "combined reductions should be ~linear, got ×{growth:.1}"
+    );
+}
+
+/// Fig. 3: the coalesced plan halves the rounds and, on the
+/// high-cardinality attribute, turns quadratic transfer growth linear.
+#[test]
+fn fig3_coalescing_shapes() {
+    let coalesced_flags = OptFlags {
+        coalesce: true,
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+    for group_col in [CUSTNAME_COL, CITYNAME_COL] {
+        let expr = coalescible_query(group_col, EXTENDEDPRICE_COL, QUANTITY_COL, 30.0).unwrap();
+        let sites = [2usize, 6];
+        let plain = sweep(&expr, OptFlags::none(), group_col, &sites);
+        let coal = sweep(&expr, coalesced_flags, group_col, &sites);
+
+        for i in 0..sites.len() {
+            assert!(coal[i].syncs < plain[i].syncs);
+            assert!(bytes(&coal[i]) < bytes(&plain[i]));
+        }
+        if group_col == CUSTNAME_COL {
+            // Quadratic vs linear: the coalesced growth factor is far
+            // smaller than the non-coalesced one.
+            let g_plain = bytes(&plain[1]) / bytes(&plain[0]);
+            let g_coal = bytes(&coal[1]) / bytes(&coal[0]);
+            assert!(
+                g_coal < g_plain * 0.6,
+                "coalesced growth {g_coal:.1} should be well below {g_plain:.1}"
+            );
+        }
+    }
+}
+
+/// Fig. 4: synchronization reduction takes the correlated query from three
+/// synchronizations to one and removes the quadratic downstream traffic.
+#[test]
+fn fig4_sync_reduction_shapes() {
+    let sync_flags = OptFlags {
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+    for group_col in [CUSTNAME_COL, CITYNAME_COL] {
+        let expr = correlated_query(group_col, EXTENDEDPRICE_COL).unwrap();
+        let sites = [2usize, 5];
+        let plain = sweep(&expr, OptFlags::none(), group_col, &sites);
+        let sync = sweep(&expr, sync_flags, group_col, &sites);
+        for i in 0..sites.len() {
+            assert_eq!(plain[i].syncs, 3);
+            assert_eq!(sync[i].syncs, 1);
+            // Nothing but the plan flows downstream under full sync
+            // reduction.
+            assert_eq!(sync[i].rows_down, 0);
+            assert!(bytes(&sync[i]) < bytes(&plain[i]));
+        }
+    }
+}
+
+/// Fig. 5 (scale-up): at fixed sites, costs grow roughly linearly with the
+/// data size, and the combined reductions win at every size.
+#[test]
+fn fig5_scaleup_shapes() {
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).unwrap();
+    let n_sites = 4;
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    for m in [1usize, 3] {
+        let setup = ExperimentSetup::new(0.03 * m as f64, n_sites).unwrap();
+        offs.push(
+            run_variant(&setup, &expr, OptFlags::none(), CUSTNAME_COL, "off")
+                .unwrap()
+                .1,
+        );
+        ons.push(
+            run_variant(&setup, &expr, OptFlags::all(), CUSTNAME_COL, "on")
+                .unwrap()
+                .1,
+        );
+    }
+    for i in 0..2 {
+        assert!(bytes(&ons[i]) < bytes(&offs[i]));
+        assert_eq!(ons[i].syncs, 1);
+    }
+    // Linear scale-up of the optimized plan: ×3 data ⇒ transfer well below
+    // quadratic growth (×9).
+    let growth = bytes(&ons[1]) / bytes(&ons[0]);
+    assert!(growth < 5.0, "scale-up transfer growth ×{growth:.2}");
+}
+
+/// §5 summary: ship-all-detail is strictly worse than every Skalla plan in
+/// upstream transfer once the fact relation dwarfs the result.
+#[test]
+fn ship_all_loses_at_scale() {
+    let expr = correlated_query(CUSTNAME_COL, EXTENDEDPRICE_COL).unwrap();
+    let setup = ExperimentSetup::new(0.1, 4).unwrap();
+    let (_, plain) = run_variant(&setup, &expr, OptFlags::none(), CUSTNAME_COL, "plain").unwrap();
+
+    let wh = setup.launch().unwrap();
+    let (_, ship) = wh.execute_ship_all(&expr).unwrap();
+    wh.shutdown().unwrap();
+
+    assert!(ship.total_bytes_up() > plain.bytes_up * 3);
+}

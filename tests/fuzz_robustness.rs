@@ -1,0 +1,78 @@
+//! Fuzz-style robustness: the parser and the wire decoder face untrusted
+//! input and must reject garbage with errors, never panics.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use skalla::core::message::Message;
+use skalla::net::{WireDecode, WireReader};
+use skalla::prelude::*;
+
+fn schemas() -> HashMap<String, std::sync::Arc<Schema>> {
+    HashMap::from([(
+        "t".to_string(),
+        Schema::from_pairs([("a", DataType::Int64), ("b", DataType::Utf8)])
+            .unwrap()
+            .into_arc(),
+    )])
+}
+
+proptest! {
+    /// Arbitrary text never panics the query parser.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_query(&text, &schemas());
+    }
+
+    /// Query-looking text with random identifiers never panics either.
+    #[test]
+    fn parser_handles_query_shaped_garbage(
+        c1 in "[a-z]{1,6}",
+        c2 in "[a-z]{1,6}",
+        op in "[=<>+*/-]{1,2}",
+        n in any::<i64>(),
+    ) {
+        let q = format!(
+            "BASE DISTINCT {c1} FROM t;
+             MD COUNT(*) AS c WHERE b.{c1} {op} r.{c2} AND r.{c2} {op} {n};"
+        );
+        let _ = parse_query(&q, &schemas());
+    }
+
+    /// Random bytes never panic the message decoder.
+    #[test]
+    fn message_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::from_wire(&bytes);
+        let _ = Message::from_wire_with_epoch(&bytes);
+    }
+
+    /// Random bytes never panic the relation decoder.
+    #[test]
+    fn relation_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Relation::from_wire(&bytes);
+        let mut r = WireReader::new(&bytes);
+        let _ = Schema::decode(&mut r);
+    }
+
+    /// Corrupting any single byte of a valid message yields an error or a
+    /// different (but well-formed) message — never a panic.
+    #[test]
+    fn single_byte_corruption_is_safe(pos in 0usize..64, delta in 1u8..=255) {
+        let schema = Schema::from_pairs([("k", DataType::Int64)]).unwrap().into_arc();
+        let rel = Relation::new(
+            schema,
+            vec![vec![Value::Int(42)], vec![Value::Int(-7)]],
+        ).unwrap();
+        let msg = Message::RoundResult {
+            op_idx: 1,
+            h: rel,
+            compute_s: 0.5,
+            last: true,
+        };
+        let mut bytes = msg.to_wire_with_epoch(3).to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = bytes[idx].wrapping_add(delta);
+        let _ = Message::from_wire_with_epoch(&bytes);
+    }
+}

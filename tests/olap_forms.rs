@@ -1,0 +1,214 @@
+//! Distributed evaluation of the classical OLAP query forms (data cube,
+//! rollup, unpivot, multi-feature) built by `skalla-gmdj::olap` — the
+//! constructs the paper's §1 motivates.
+
+use skalla::gmdj::{
+    build_cube_base, build_rollup_base, cube_expr, multi_feature_expr, rollup_expr, unpivot_expr,
+};
+use skalla::prelude::*;
+
+fn sales() -> Table {
+    let schema = Schema::from_pairs([
+        ("region", DataType::Utf8),
+        ("product", DataType::Utf8),
+        ("amount", DataType::Int64),
+    ])
+    .unwrap()
+    .into_arc();
+    let regions = ["east", "west", "north"];
+    let products = ["ale", "rye", "gin", "mead"];
+    let rows: Vec<Vec<Value>> = (0..400)
+        .map(|i| {
+            vec![
+                Value::str(regions[i % 3]),
+                Value::str(products[i % 4]),
+                Value::Int(((i * 37) % 100) as i64),
+            ]
+        })
+        .collect();
+    Table::from_rows(schema, &rows).unwrap()
+}
+
+fn distributed(table: &Table, expr: &GmdjExpr, name: &str, n_sites: usize) -> Relation {
+    let parts = partition_by_hash(table, 0, n_sites).unwrap();
+    let catalogs: Vec<Catalog> = parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register(name, p.clone());
+            c
+        })
+        .collect();
+    let wh = DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&DistPlan::unoptimized(expr.clone())).unwrap();
+    wh.shutdown().unwrap();
+    result
+}
+
+fn centralized(table: &Table, expr: &GmdjExpr, name: &str) -> Relation {
+    let mut c = Catalog::new();
+    c.register(name, table.clone());
+    eval_expr_centralized(expr, &c).unwrap()
+}
+
+#[test]
+fn cube_distributed_matches_centralized() {
+    let t = sales();
+    let base = build_cube_base(&t, t.schema(), &[0, 1]).unwrap();
+    // 3 regions × 4 products, all combos present: (3+1)(4+1) = 20 cells.
+    assert_eq!(base.len(), 20);
+    let expr = cube_expr(
+        base,
+        "sales",
+        &[0, 1],
+        vec![
+            AggSpec::count_star("cnt"),
+            AggSpec::sum(Expr::detail(2), "total").unwrap(),
+            AggSpec::avg(Expr::detail(2), "avg").unwrap(),
+        ],
+    )
+    .unwrap();
+    let expected = centralized(&t, &expr, "sales").sorted();
+    for n in [1, 3] {
+        assert_eq!(distributed(&t, &expr, "sales", n).sorted(), expected);
+    }
+    // The grand-total cell counts everything.
+    let grand = expected
+        .rows()
+        .iter()
+        .find(|r| r[0].is_null() && r[1].is_null())
+        .unwrap();
+    assert_eq!(grand[2], Value::Int(400));
+}
+
+#[test]
+fn cube_cell_consistency() {
+    // Sum of finest-granularity cells equals the grand total — the cube's
+    // defining invariant.
+    let t = sales();
+    let base = build_cube_base(&t, t.schema(), &[0, 1]).unwrap();
+    let expr = cube_expr(
+        base,
+        "sales",
+        &[0, 1],
+        vec![AggSpec::sum(Expr::detail(2), "total").unwrap()],
+    )
+    .unwrap();
+    let out = centralized(&t, &expr, "sales");
+    let grand: i64 = out
+        .rows()
+        .iter()
+        .find(|r| r[0].is_null() && r[1].is_null())
+        .unwrap()[2]
+        .as_int()
+        .unwrap();
+    let finest: i64 = out
+        .rows()
+        .iter()
+        .filter(|r| !r[0].is_null() && !r[1].is_null())
+        .map(|r| r[2].as_int().unwrap())
+        .sum();
+    assert_eq!(grand, finest);
+    // Each marginal also sums to the grand total.
+    let by_region: i64 = out
+        .rows()
+        .iter()
+        .filter(|r| !r[0].is_null() && r[1].is_null())
+        .map(|r| r[2].as_int().unwrap())
+        .sum();
+    assert_eq!(grand, by_region);
+}
+
+#[test]
+fn rollup_distributed_matches_centralized() {
+    let t = sales();
+    let base = build_rollup_base(&t, t.schema(), &[0, 1]).unwrap();
+    // (ALL,ALL) + 3 regions + 12 full combos = 16 cells.
+    assert_eq!(base.len(), 16);
+    let expr = rollup_expr(
+        base,
+        "sales",
+        &[0, 1],
+        vec![AggSpec::max(Expr::detail(2), "mx").unwrap()],
+    )
+    .unwrap();
+    let expected = centralized(&t, &expr, "sales").sorted();
+    assert_eq!(distributed(&t, &expr, "sales", 4).sorted(), expected);
+}
+
+#[test]
+fn unpivot_distributed_matches_centralized() {
+    let t = sales();
+    let (expr, base) = unpivot_expr(&t, t.schema(), "sales", &[0, 1]).unwrap();
+    assert_eq!(base.len(), 7); // 3 regions + 4 products
+    let expected = centralized(&t, &expr, "sales").sorted();
+    assert_eq!(distributed(&t, &expr, "sales", 3).sorted(), expected);
+
+    // Marginals per attribute sum to the table size.
+    let region_total: i64 = expected
+        .rows()
+        .iter()
+        .filter(|r| r[0] == Value::str("region"))
+        .map(|r| r[2].as_int().unwrap())
+        .sum();
+    assert_eq!(region_total, 400);
+}
+
+#[test]
+fn multi_feature_distributed_matches_centralized() {
+    let t = sales();
+    // Per region: min amount, then count of sales within 10 of the min,
+    // then the max amount among those.
+    let stage1 = (
+        vec![AggSpec::min(Expr::detail(2), "mn").unwrap()],
+        Expr::base(0).eq(Expr::detail(0)),
+    );
+    let stage2 = (
+        vec![AggSpec::count_star("near_min")],
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::detail(2).le(Expr::base(1).add(Expr::lit(10)))),
+    );
+    let stage3 = (
+        vec![AggSpec::max(Expr::detail(2), "mx_near").unwrap()],
+        Expr::base(0)
+            .eq(Expr::detail(0))
+            .and(Expr::detail(2).le(Expr::base(1).add(Expr::lit(10)))),
+    );
+    let expr = multi_feature_expr(vec![0], "sales", vec![stage1, stage2, stage3]).unwrap();
+    let expected = centralized(&t, &expr, "sales").sorted();
+    assert_eq!(distributed(&t, &expr, "sales", 3).sorted(), expected);
+    assert_eq!(
+        expected.schema().names(),
+        vec!["region", "mn", "near_min", "mx_near"]
+    );
+}
+
+#[test]
+fn optimized_plans_handle_olap_forms() {
+    // The planner must stay correct on cube-style (IS NULL OR =) conditions
+    // even though they defeat the equality analyses.
+    let t = sales();
+    let parts = partition_by_hash(&t, 0, 3).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let base = build_cube_base(&t, t.schema(), &[0, 1]).unwrap();
+    let expr = cube_expr(base, "sales", &[0, 1], vec![AggSpec::count_star("cnt")]).unwrap();
+    let expected = centralized(&t, &expr, "sales").sorted();
+    let catalogs: Vec<Catalog> = parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("sales", p.clone());
+            c
+        })
+        .collect();
+    let wh = DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap();
+    for flags in [OptFlags::none(), OptFlags::all()] {
+        let (plan, _) = plan_query(&expr, &dist, flags).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        assert_eq!(result.sorted(), expected, "flags {flags:?}");
+    }
+    wh.shutdown().unwrap();
+}

@@ -1,0 +1,205 @@
+//! Property tests for the optimizer stack: simplification, plan-level
+//! equivalence under random flags/queries, and wire round-trips of whole
+//! plans.
+
+use proptest::prelude::*;
+
+use skalla::core::message::Message;
+use skalla::expr::{eval, simplify, Expr};
+use skalla::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Random (well-typed) boolean expressions over b: [Int, Int], r: [Int, Int].
+// ---------------------------------------------------------------------------
+
+fn arb_num_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::lit),
+        (0usize..2).prop_map(Expr::base),
+        (0usize..2).prop_map(Expr::detail),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            inner.prop_map(|a| a.neg()),
+        ]
+    })
+}
+
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let cmp = (arb_num_expr(), arb_num_expr(), 0u8..6).prop_map(|(a, b, op)| match op {
+        0 => a.eq(b),
+        1 => a.ne(b),
+        2 => a.lt(b),
+        3 => a.le(b),
+        4 => a.gt(b),
+        _ => a.ge(b),
+    });
+    cmp.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    /// `simplify` preserves evaluation on random well-typed predicates.
+    #[test]
+    fn simplify_preserves_evaluation(
+        e in arb_bool_expr(),
+        b0 in -20i64..20,
+        b1 in -20i64..20,
+        r0 in -20i64..20,
+        r1 in -20i64..20,
+    ) {
+        let b = vec![Value::Int(b0), Value::Int(b1)];
+        let r = vec![Value::Int(r0), Value::Int(r1)];
+        let s = simplify(&e);
+        // Simplification is monotone in size.
+        prop_assert!(s.node_count() <= e.node_count());
+        match (eval(&e, &b, &r), eval(&s, &b, &r)) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{} vs {}", e, s),
+            (Err(_), Err(_)) => {}
+            // Folding may *remove* an error only if the erroring branch was
+            // unreachable under Kleene short-circuiting; our generator uses
+            // total operators (no division), so errors can only be overflow
+            // — which folding evaluates identically. Mismatch = bug.
+            (x, y) => prop_assert!(false, "{} -> {:?} but {} -> {:?}", e, x, s, y),
+        }
+    }
+
+    /// Plans serialize/deserialize identically (whole-plan wire format).
+    #[test]
+    fn plan_wire_round_trip(
+        theta in arb_bool_expr(),
+        site_red in any::<bool>(),
+        block in prop::option::of(1usize..64),
+    ) {
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c")],
+            theta,
+        )]);
+        let expr = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0, 1] },
+            "t",
+            vec![op],
+            vec![0, 1],
+        ).unwrap();
+        let mut plan = DistPlan::unoptimized(expr);
+        plan.rounds[0].site_group_reduction = site_red;
+        plan.block_rows = block;
+        let msg = Message::Plan(plan);
+        let bytes = msg.to_wire_with_epoch(7);
+        let (epoch, back) = Message::from_wire_with_epoch(&bytes).unwrap();
+        prop_assert_eq!(epoch, 7);
+        prop_assert_eq!(back, msg);
+    }
+
+    /// End-to-end: random partition-anchored single-GMDJ queries evaluate
+    /// identically under random optimizer flags (8 cases per run to keep
+    /// warehouse spawns bounded).
+    #[test]
+    fn random_queries_agree_across_flags(
+        rows in prop::collection::vec((0i64..8, -50i64..50), 1..50),
+        residual_threshold in -50i64..50,
+        bits in 0u32..16,
+        n_sites in 1usize..4,
+    ) {
+        let schema = Schema::from_pairs([
+            ("g", DataType::Int64),
+            ("v", DataType::Int64),
+        ]).unwrap().into_arc();
+        let data: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(g, v)| vec![Value::Int(*g), Value::Int(*v)])
+            .collect();
+        let table = Table::from_rows(schema, &data).unwrap();
+        let parts = partition_by_hash(&table, 0, n_sites).unwrap();
+        let dist = DistributionInfo::from_partitioning(&parts);
+
+        let md1 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("c1"),
+                AggSpec::sum(Expr::detail(1), "s1").unwrap(),
+            ],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let md2 = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c2")],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::detail(1).gt(Expr::lit(residual_threshold))),
+        )]);
+        let query = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0] },
+            "t",
+            vec![md1, md2],
+            vec![0],
+        ).unwrap();
+
+        let mut full = Catalog::new();
+        full.register("t", table);
+        let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+        let flags = OptFlags {
+            coalesce: bits & 1 != 0,
+            site_group_reduction: bits & 2 != 0,
+            coord_group_reduction: bits & 4 != 0,
+            sync_reduction: bits & 8 != 0,
+        };
+        let (plan, _) = plan_query(&query, &dist, flags).unwrap();
+        let catalogs: Vec<Catalog> = parts.parts.iter().map(|p| {
+            let mut c = Catalog::new();
+            c.register("t", p.clone());
+            c
+        }).collect();
+        let wh = DistributedWarehouse::launch(catalogs, CostModel::free()).unwrap();
+        let (result, _) = wh.execute(&plan).unwrap();
+        wh.shutdown().unwrap();
+        prop_assert_eq!(result.sorted(), expected, "flags {:?}", flags);
+    }
+
+    /// The cost estimator never prefers a plan that moves *more* of
+    /// everything: adding site-side reduction can only lower (or keep) the
+    /// estimate.
+    #[test]
+    fn estimator_is_monotone_in_site_reduction(
+        groups in 1usize..500,
+        n_sites in 1usize..9,
+    ) {
+        use skalla::planner::estimate_plan;
+        use skalla::storage::TableStats;
+
+        let schema = Schema::from_pairs([("g", DataType::Int64)]).unwrap().into_arc();
+        let data: Vec<Vec<Value>> = (0..groups)
+            .map(|i| vec![Value::Int(i as i64)])
+            .collect();
+        let table = Table::from_rows(schema, &data).unwrap();
+        let stats = TableStats::collect(&table);
+
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c")],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let expr = GmdjExpr::new(
+            BaseSpec::DistinctProject { cols: vec![0] },
+            "t",
+            vec![op],
+            vec![0],
+        ).unwrap();
+        let plain = DistPlan::unoptimized(expr);
+        let mut reduced = plain.clone();
+        reduced.rounds[0].site_group_reduction = true;
+
+        let cost = CostModel::lan_2002();
+        let e_plain = estimate_plan(&plain, &stats, n_sites, &cost);
+        let e_reduced = estimate_plan(&reduced, &stats, n_sites, &cost);
+        prop_assert!(e_reduced.est_rows_up <= e_plain.est_rows_up);
+        prop_assert_eq!(e_reduced.est_rows_down, e_plain.est_rows_down);
+        prop_assert!(e_reduced.est_comm_s <= e_plain.est_comm_s);
+    }
+}

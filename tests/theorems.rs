@@ -1,0 +1,304 @@
+//! The paper's formal results, as executable checks.
+
+use std::collections::HashMap;
+
+use skalla::prelude::*;
+
+fn flow_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([
+        ("sas", DataType::Int64),
+        ("das", DataType::Int64),
+        ("nb", DataType::Int64),
+    ])
+    .unwrap()
+    .into_arc()
+}
+
+fn flow_table(rows: usize) -> Table {
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int((i % 9) as i64),
+                Value::Int((i % 4) as i64),
+                Value::Int(((i * 31) % 997) as i64),
+            ]
+        })
+        .collect();
+    Table::from_rows(flow_schema(), &data).unwrap()
+}
+
+fn example1_query() -> GmdjExpr {
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    skalla::planner::parse_query(
+        "BASE DISTINCT sas, das FROM flow;
+         MD COUNT(*) AS cnt1, AVG(nb) AS avg1 WHERE b.sas = r.sas AND b.das = r.das;
+         MD COUNT(*) AS cnt2 WHERE b.sas = r.sas AND b.das = r.das AND r.nb >= b.avg1;",
+        &schemas,
+    )
+    .unwrap()
+}
+
+fn catalogs_for(parts: &Partitioning) -> Vec<Catalog> {
+    parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("flow", p.clone());
+            c
+        })
+        .collect()
+}
+
+/// **Theorem 1**: synchronizing per-partition sub-aggregates with
+/// super-aggregates equals evaluating over the unpartitioned relation — for
+/// *any* partitioning of R.
+#[test]
+fn theorem1_partition_invariance() {
+    let table = flow_table(240);
+    let query = example1_query();
+    let mut full = Catalog::new();
+    full.register("flow", table.clone());
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    // Several unrelated partitionings, including skewed and empty parts.
+    let splits: Vec<Vec<Vec<u32>>> = vec![
+        vec![(0..240).collect()],                       // everything on one site
+        vec![(0..120).collect(), (120..240).collect()], // halves
+        vec![(0..10).collect(), (10..240).collect(), vec![]], // skew + empty
+        (0..6).map(|s| (s..240).step_by(6).collect()).collect(), // round robin
+    ];
+    for split in splits {
+        let parts = Partitioning {
+            parts: split.iter().map(|idx| table.take(idx)).collect(),
+            partition_col: None,
+        };
+        let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+        let (result, _) = wh.execute(&DistPlan::unoptimized(query.clone())).unwrap();
+        assert_eq!(result.sorted(), expected);
+        wh.shutdown().unwrap();
+    }
+}
+
+/// **Theorem 2**: tuples transferred ≤ Σᵢ 2·sᵢ·|Q| + s₀·|Q|, independent of
+/// the detail-relation size.
+#[test]
+fn theorem2_transfer_bound() {
+    let query = example1_query();
+    for rows in [100usize, 1000, 4000] {
+        let table = flow_table(rows);
+        let parts = partition_by_hash(&table, 0, 4).unwrap();
+        let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+        let (result, metrics) = wh.execute(&DistPlan::unoptimized(query.clone())).unwrap();
+        wh.shutdown().unwrap();
+
+        let q = result.len() as u64;
+        let s = 4u64;
+        let m = 2u64;
+        let bound = m * 2 * s * q + s * q;
+        let moved = metrics.total_rows_down() + metrics.total_rows_up();
+        assert!(moved <= bound, "{rows} rows: moved {moved} > bound {bound}");
+        // The bound itself does not depend on `rows`: 9 sas × 4 das = 36
+        // groups at every size.
+        assert_eq!(q, 36);
+    }
+}
+
+/// **Theorem 4**: the derived coordinator filters never drop a contributing
+/// group (checked by result equality) and do reduce shipped tuples.
+#[test]
+fn theorem4_group_reduction_sound_and_effective() {
+    let table = flow_table(600);
+    let parts = partition_by_ranges(&table, 0, &[3.0, 6.0]).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let query = example1_query();
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (plain_plan, _) = plan_query(&query, &dist, OptFlags::none()).unwrap();
+    let (r0, m0) = wh.execute(&plain_plan).unwrap();
+    let flags = OptFlags {
+        coord_group_reduction: true,
+        ..OptFlags::none()
+    };
+    let (reduced_plan, report) = plan_query(&query, &dist, flags).unwrap();
+    assert!(!report.coord_filters.is_empty(), "filters must be derived");
+    let (r1, m1) = wh.execute(&reduced_plan).unwrap();
+    wh.shutdown().unwrap();
+
+    assert_eq!(r0.sorted(), expected);
+    assert_eq!(r1.sorted(), expected);
+    assert!(
+        m1.total_rows_down() < m0.total_rows_down(),
+        "coordinator-side reduction must ship fewer groups ({} vs {})",
+        m1.total_rows_down(),
+        m0.total_rows_down()
+    );
+}
+
+/// **Proposition 1**: site-side reduction ships only contributing groups;
+/// the result is unchanged and upstream volume shrinks when groups are
+/// partitioned.
+#[test]
+fn proposition1_site_reduction() {
+    let table = flow_table(600);
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let query = example1_query();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (p0, _) = plan_query(&query, &dist, OptFlags::none()).unwrap();
+    let (r0, m0) = wh.execute(&p0).unwrap();
+    let flags = OptFlags {
+        site_group_reduction: true,
+        ..OptFlags::none()
+    };
+    let (p1, _) = plan_query(&query, &dist, flags).unwrap();
+    let (r1, m1) = wh.execute(&p1).unwrap();
+    wh.shutdown().unwrap();
+
+    assert_eq!(r0.sorted(), r1.sorted());
+    assert!(m1.total_rows_up() < m0.total_rows_up());
+    // Downstream volume unchanged: the reduction is one-sided.
+    assert_eq!(m1.total_rows_down(), m0.total_rows_down());
+}
+
+/// **Proposition 2 + Corollary 1** (paper Example 5): with a partition
+/// attribute in every θ and key-covering conditions, the whole query runs
+/// with a single synchronization — and the result still matches.
+#[test]
+fn example5_single_synchronization_end_to_end() {
+    let table = flow_table(600);
+    let parts = partition_by_hash(&table, 0, 4).unwrap();
+    assert!(parts.is_partition_attribute());
+    let dist = DistributionInfo::from_partitioning(&parts);
+
+    // Group on sas alone so every θ is anchored on the partition attribute.
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    let query = skalla::planner::parse_query(
+        "BASE DISTINCT sas FROM flow;
+         MD COUNT(*) AS cnt1, AVG(nb) AS avg1 WHERE b.sas = r.sas;
+         MD COUNT(*) AS cnt2 WHERE b.sas = r.sas AND r.nb >= b.avg1;",
+        &schemas,
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let flags = OptFlags {
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+    let (plan, report) = plan_query(&query, &dist, flags).unwrap();
+    assert!(report.base_sync_eliminated);
+    assert_eq!(report.local_only_rounds, vec![0]);
+    assert_eq!(report.num_synchronizations, 1);
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (result, metrics) = wh.execute(&plan).unwrap();
+    wh.shutdown().unwrap();
+    assert_eq!(result.sorted(), expected);
+    // A single local-run segment: nothing is ever shipped down to sites
+    // except the plan.
+    assert_eq!(metrics.total_rows_down(), 0);
+}
+
+/// Generalized Corollary 1: the optimizer discovers a *derived* partition
+/// attribute (grouping column functionally dependent on the partitioning)
+/// from per-site constraint sets, with no declared partition column — and
+/// the single-synchronization plan is still correct.
+#[test]
+fn corollary1_with_derived_partition_attribute_end_to_end() {
+    // Partition on sas; group on das? No — das overlaps sites. Build a
+    // table where a *derived* column (das = sas * 10) is partitioned along
+    // with sas, then group on das while declaring nothing.
+    let schema = flow_schema();
+    let data: Vec<Vec<Value>> = (0..400)
+        .map(|i| {
+            let sas = (i % 6) as i64;
+            vec![
+                Value::Int(sas),
+                Value::Int(sas * 10), // das derived from sas
+                Value::Int(((i * 31) % 997) as i64),
+            ]
+        })
+        .collect();
+    let table = Table::from_rows(schema.clone(), &data).unwrap();
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+
+    // Distribution knowledge: exact value sets for das at each site, no
+    // declared partition column at all.
+    let constraints = parts.site_constraints_for(&[1]);
+    let dist = DistributionInfo::with_constraints(3, None, false, constraints).unwrap();
+
+    let schemas = HashMap::from([("flow".to_string(), schema)]);
+    let query = skalla::planner::parse_query(
+        "BASE DISTINCT das FROM flow;
+         MD COUNT(*) AS c1, AVG(nb) AS a1 WHERE b.das = r.das;
+         MD COUNT(*) AS c2 WHERE b.das = r.das AND r.nb >= b.a1;",
+        &schemas,
+    )
+    .unwrap();
+
+    let flags = OptFlags {
+        sync_reduction: true,
+        ..OptFlags::none()
+    };
+    let (plan, report) = plan_query(&query, &dist, flags).unwrap();
+    assert_eq!(
+        report.local_only_rounds,
+        vec![0],
+        "derived anchor must be discovered"
+    );
+    assert_eq!(report.num_synchronizations, 1);
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (result, _) = wh.execute(&plan).unwrap();
+    wh.shutdown().unwrap();
+    assert_eq!(result.sorted(), expected);
+}
+
+/// Coalescing (§4.3): the coalesced plan halves the evaluation rounds and
+/// preserves the result.
+#[test]
+fn coalescing_preserves_results_and_cuts_rounds() {
+    let table = flow_table(400);
+    let parts = partition_by_hash(&table, 0, 3).unwrap();
+    let dist = DistributionInfo::from_partitioning(&parts);
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    let query = skalla::planner::parse_query(
+        "BASE DISTINCT sas, das FROM flow;
+         MD COUNT(*) AS c1 WHERE b.sas = r.sas AND b.das = r.das;
+         MD SUM(nb) AS s2 WHERE b.sas = r.sas AND b.das = r.das AND r.nb > 500;",
+        &schemas,
+    )
+    .unwrap();
+
+    let mut full = Catalog::new();
+    full.register("flow", table);
+    let expected = eval_expr_centralized(&query, &full).unwrap().sorted();
+
+    let wh = DistributedWarehouse::launch(catalogs_for(&parts), CostModel::free()).unwrap();
+    let (p0, rep0) = plan_query(&query, &dist, OptFlags::none()).unwrap();
+    let flags = OptFlags {
+        coalesce: true,
+        ..OptFlags::none()
+    };
+    let (p1, rep1) = plan_query(&query, &dist, flags).unwrap();
+    assert_eq!(rep1.coalesce_steps, 1);
+    assert!(rep1.num_synchronizations < rep0.num_synchronizations);
+
+    let (r0, _) = wh.execute(&p0).unwrap();
+    let (r1, _) = wh.execute(&p1).unwrap();
+    wh.shutdown().unwrap();
+    assert_eq!(r0.sorted(), expected);
+    assert_eq!(r1.sorted(), expected);
+}
