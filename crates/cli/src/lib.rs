@@ -25,9 +25,9 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use skalla_core::{DistPlan, DistributedWarehouse, OptFlags};
+use skalla_core::{DegradedMode, DistPlan, DistributedWarehouse, OptFlags, RetryPolicy};
 use skalla_gmdj::to_sql;
-use skalla_net::CostModel;
+use skalla_net::{CostModel, FaultPlan};
 use skalla_planner::{choose_plan, parse_query, plan_query, DistributionInfo};
 use skalla_storage::{Catalog, TableStats};
 use skalla_tpcr::{
@@ -62,6 +62,9 @@ pub struct Session {
     schemas: HashMap<String, Arc<Schema>>,
     flag_mode: FlagMode,
     explain: bool,
+    faults: FaultPlan,
+    degraded: DegradedMode,
+    retry: RetryPolicy,
     buffer: String,
     /// Rows shown per result (keeps wide groups readable).
     pub max_rows: usize,
@@ -83,6 +86,9 @@ impl Session {
             schemas: HashMap::new(),
             flag_mode: FlagMode::Auto,
             explain: false,
+            faults: FaultPlan::none(),
+            degraded: DegradedMode::Fail,
+            retry: RetryPolicy::default(),
             buffer: String::new(),
             max_rows: 20,
         }
@@ -133,6 +139,8 @@ impl Session {
             }
             "\\sql" => self.cmd_sql(),
             "\\cost" => self.cmd_cost(),
+            "\\faults" => self.cmd_faults(&args),
+            "\\degrade" => self.cmd_degrade(&args),
             other => Err(SkallaError::parse(format!(
                 "unknown command `{other}` (try \\help)"
             ))),
@@ -153,6 +161,128 @@ impl Session {
             .and_then(|a| a.parse().ok())
             .ok_or_else(|| SkallaError::parse("usage: \\load <scale> <sites>"))?;
         self.load_tpcr(scale, sites)
+    }
+
+    /// Install a fault plan for the *next* `\load` (also used by the
+    /// `--fault-seed`/`--drop-rate`/`--crash-site` binary flags).
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Set the degraded-mode policy applied to every executed plan.
+    pub fn set_degraded_mode(&mut self, mode: DegradedMode) {
+        self.degraded = mode;
+    }
+
+    /// Set the retry policy applied to every executed plan (deadline,
+    /// retries, backoff). The degraded mode set via [`Session::set_degraded_mode`]
+    /// or `\degrade` still wins.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// `\faults [off | seed <n> | drop <r> | dup <r> | delay <r> | crash <site> <after>]…`
+    ///
+    /// With no arguments, shows the current plan. Changes take effect on the
+    /// next `\load` (the fabric is wired at warehouse launch).
+    fn cmd_faults(&mut self, args: &[&str]) -> Result<String> {
+        let usage = || {
+            SkallaError::parse(
+                "usage: \\faults [off | seed <n> | drop <rate> | dup <rate> | delay <rate> | crash <site> <after>]…",
+            )
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i] {
+                "off" => {
+                    self.faults = FaultPlan::none();
+                    i += 1;
+                }
+                "seed" => {
+                    self.faults.seed = args
+                        .get(i + 1)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    i += 2;
+                }
+                "drop" => {
+                    let r: f64 = args
+                        .get(i + 1)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    self.faults = std::mem::take(&mut self.faults).with_drop_rate(r);
+                    i += 2;
+                }
+                "dup" => {
+                    let r: f64 = args
+                        .get(i + 1)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    self.faults = std::mem::take(&mut self.faults).with_dup_rate(r);
+                    i += 2;
+                }
+                "delay" => {
+                    let r: f64 = args
+                        .get(i + 1)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    self.faults = std::mem::take(&mut self.faults).with_delay_rate(r);
+                    i += 2;
+                }
+                "crash" => {
+                    let site: u32 = args
+                        .get(i + 1)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    let after: u64 = args
+                        .get(i + 2)
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(usage)?;
+                    self.faults = std::mem::take(&mut self.faults).with_crash(site, after);
+                    i += 3;
+                }
+                _ => return Err(usage()),
+            }
+        }
+        let f = &self.faults;
+        let mut out = if f.is_noop() {
+            "faults: none".to_string()
+        } else {
+            format!(
+                "faults: seed {} drop {} dup {} delay {}",
+                f.seed, f.drop_rate, f.dup_rate, f.delay_rate
+            )
+        };
+        for c in &f.crashes {
+            let _ = write!(out, " crash({} after {})", c.node, c.after_messages);
+        }
+        if !args.is_empty() && self.warehouse.is_some() {
+            out.push_str("\n(applies on next \\load)");
+        }
+        Ok(out)
+    }
+
+    /// `\degrade [fail|partial]` — what the coordinator does after retries
+    /// are exhausted: fail the query or return a partial result with
+    /// coverage accounting.
+    fn cmd_degrade(&mut self, args: &[&str]) -> Result<String> {
+        match args.first() {
+            Some(&"fail") => self.degraded = DegradedMode::Fail,
+            Some(&"partial") => self.degraded = DegradedMode::Partial,
+            Some(other) => {
+                return Err(SkallaError::parse(format!(
+                    "unknown degraded mode `{other}` (fail|partial)"
+                )))
+            }
+            None => {}
+        }
+        Ok(format!(
+            "degraded mode: {}",
+            match self.degraded {
+                DegradedMode::Fail => "fail",
+                DegradedMode::Partial => "partial",
+            }
+        ))
     }
 
     /// Load a TPCR warehouse (also callable programmatically).
@@ -185,12 +315,18 @@ impl Session {
         if let Some(old) = self.warehouse.take() {
             old.shutdown()?;
         }
-        self.warehouse = Some(DistributedWarehouse::launch(
+        self.warehouse = Some(DistributedWarehouse::launch_with_faults(
             catalogs,
             CostModel::lan_2002(),
+            self.faults.clone(),
         )?);
+        let fault_note = if self.faults.is_noop() {
+            String::new()
+        } else {
+            " [fault injection active]".to_string()
+        };
         Ok(format!(
-            "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey)"
+            "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey){fault_note}"
         ))
     }
 
@@ -311,7 +447,7 @@ impl Session {
         let dist = self.dist.as_ref().expect("loaded with warehouse");
         let expr = parse_query(text, &self.schemas)?;
 
-        let (plan, report): (DistPlan, _) = match self.flag_mode {
+        let (mut plan, report): (DistPlan, _) = match self.flag_mode {
             FlagMode::None => plan_query(&expr, dist, OptFlags::none())?,
             FlagMode::All => plan_query(&expr, dist, OptFlags::all())?,
             FlagMode::Auto => {
@@ -320,6 +456,9 @@ impl Session {
                 (plan, report)
             }
         };
+
+        plan.retry = self.retry.clone();
+        plan.retry.degraded = self.degraded;
 
         let mut out = String::new();
         if self.explain {
@@ -357,6 +496,9 @@ commands:
   \\explain [on|off]       print the Egil plan report before results
   \\sql                    show the SQL reduction of the buffered query
   \\cost                   estimate all 16 flag combinations for the buffered query
+  \\faults [spec…]         show or set fault injection (off | seed <n> | drop <r> |
+                          dup <r> | delay <r> | crash <site> <after>); applies on \\load
+  \\degrade [fail|partial] coordinator behavior once retries are exhausted
   \\help                   this message
   \\q                      quit
 queries:
@@ -515,6 +657,64 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
         s.max_rows = 3;
         let out = s.run_query(QUERY).unwrap();
         assert!(out.contains("more rows"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_round_trips() {
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle_line("\\faults") else {
+            panic!()
+        };
+        assert_eq!(out, "faults: none");
+        let Outcome::Continue(out) = s.handle_line("\\faults seed 7 drop 0.2 crash 2 5") else {
+            panic!()
+        };
+        assert!(out.contains("seed 7"), "{out}");
+        assert!(out.contains("drop 0.2"), "{out}");
+        assert!(out.contains("crash(2 after 5)"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\faults off") else {
+            panic!()
+        };
+        assert_eq!(out, "faults: none");
+        let Outcome::Continue(out) = s.handle_line("\\faults drop") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn degrade_command_switches_modes() {
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle_line("\\degrade") else {
+            panic!()
+        };
+        assert!(out.contains("fail"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\degrade partial") else {
+            panic!()
+        };
+        assert!(out.contains("partial"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\degrade bogus") else {
+            panic!()
+        };
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn lossy_network_still_answers_queries() {
+        // A seeded lossy fabric behind the shell: the retry machinery makes
+        // the query come out identical to the fault-free run.
+        let mut s = Session::new();
+        s.handle_line("\\faults seed 42 drop 0.1");
+        s.set_retry_policy(RetryPolicy {
+            deadline: std::time::Duration::from_millis(200),
+            ..RetryPolicy::default()
+        });
+        s.load_tpcr(0.02, 2).unwrap();
+        let lossy = s.run_query(QUERY).unwrap();
+        let mut clean = loaded();
+        let fault_free = clean.run_query(QUERY).unwrap();
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&lossy), table(&fault_free));
     }
 
     #[test]

@@ -4,15 +4,73 @@
 //! cargo run -p skalla-cli                 # interactive
 //! echo '...' | cargo run -p skalla-cli    # scripted
 //! skalla --load 0.05 4                    # preload a warehouse
+//! skalla --fault-seed 7 --drop-rate 0.2 --load 0.05 4   # lossy network
+//! skalla --crash-site 2:5 --load 0.05 4   # site 2 dies after 5 messages
 //! ```
 
 use std::io::{self, BufRead, IsTerminal, Write};
 
 use skalla_cli::{Outcome, Session};
+use skalla_net::FaultPlan;
+
+/// Parse `--fault-seed <n>`, `--drop-rate <r>`, and `--crash-site
+/// <id>[:<after>]` into a [`FaultPlan`]. Returns `None` when no fault flag
+/// is present; exits with a usage message on a malformed value.
+fn fault_plan_from_args(args: &[String]) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::none();
+    let mut any = false;
+    let value = |flag: &str, i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    for (i, arg) in args.iter().enumerate() {
+        match arg.as_str() {
+            "--fault-seed" => {
+                plan.seed = value(arg, i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --fault-seed expects an integer");
+                    std::process::exit(2);
+                });
+                any = true;
+            }
+            "--drop-rate" => {
+                let r: f64 = value(arg, i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --drop-rate expects a probability in [0, 1]");
+                    std::process::exit(2);
+                });
+                plan = plan.with_drop_rate(r);
+                any = true;
+            }
+            "--crash-site" => {
+                let spec = value(arg, i);
+                let (site, after) = match spec.split_once(':') {
+                    Some((s, a)) => (s.parse(), a.parse()),
+                    None => (spec.parse(), Ok(0)),
+                };
+                match (site, after) {
+                    (Ok(site), Ok(after)) => plan = plan.with_crash(site, after),
+                    _ => {
+                        eprintln!("error: --crash-site expects <site>[:<after_messages>]");
+                        std::process::exit(2);
+                    }
+                }
+                any = true;
+            }
+            _ => {}
+        }
+    }
+    any.then_some(plan)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut session = Session::new();
+
+    // Fault flags must be installed before --load wires the network.
+    if let Some(plan) = fault_plan_from_args(&args) {
+        session.set_fault_plan(plan);
+    }
 
     // Optional --load <scale> <sites> preloads a warehouse.
     if let Some(i) = args.iter().position(|a| a == "--load") {

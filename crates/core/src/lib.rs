@@ -44,7 +44,7 @@ pub mod tree;
 pub mod warehouse;
 
 pub use baseresult::BaseResult;
-pub use metrics::{ExecMetrics, RoundMetrics};
-pub use plan::{BaseRound, DistPlan, OptFlags, RoundSpec, Segment};
+pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
+pub use plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment};
 pub use tree::TieredWarehouse;
 pub use warehouse::DistributedWarehouse;

@@ -18,7 +18,7 @@ use skalla_net::wire::{put_str, put_varint};
 use skalla_net::{WireDecode, WireEncode, WireReader};
 use skalla_types::{Relation, Result, SkallaError, Value};
 
-use crate::plan::{BaseRound, DistPlan, OptFlags, RoundSpec};
+use crate::plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec};
 
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +47,11 @@ pub enum Message {
     RoundResult {
         /// Operator index.
         op_idx: u32,
+        /// Chunk sequence number (0-based). The coordinator's merge is not
+        /// idempotent, so it accepts a chunk only when `seq` matches the
+        /// next expected value for the sender — duplicated or replayed
+        /// chunks are discarded.
+        seq: u32,
         /// Base columns ++ sub-aggregate state columns.
         h: Relation,
         /// Site compute seconds (reported on the final chunk).
@@ -70,6 +75,9 @@ pub enum Message {
     LocalRunResult {
         /// Last operator index of the run.
         end: u32,
+        /// Chunk sequence number (0-based); see
+        /// [`Message::RoundResult::seq`](Message::RoundResult).
+        seq: u32,
         /// Base columns ++ state columns of every operator in the run.
         ship: Relation,
         /// Site compute seconds (reported on the final chunk).
@@ -117,28 +125,36 @@ impl Message {
         Ok(m)
     }
 
-    /// Serialize with a query-epoch prefix.
+    /// Serialize with a query-epoch and round-number frame.
     ///
     /// When a query aborts mid-round (a site error fails the execution
     /// fast), slower sites may still be computing; their replies arrive
     /// during the *next* query. The coordinator stamps every request with
     /// an epoch, sites echo it, and stale-epoch replies are discarded.
-    pub fn to_wire_with_epoch(&self, epoch: u64) -> Bytes {
+    ///
+    /// The round number identifies the synchronization round within the
+    /// epoch (base round is 0, operator rounds follow). Sites use it to
+    /// deduplicate re-sent requests — the coordinator re-sends a round
+    /// request when its deadline expires, and a site that already served
+    /// `(epoch, round)` replays its cached reply instead of recomputing.
+    pub fn to_wire_framed(&self, epoch: u64, round: u32) -> Bytes {
         let mut buf = BytesMut::new();
         put_varint(&mut buf, epoch);
+        put_varint(&mut buf, u64::from(round));
         encode_message(self, &mut buf);
         buf.freeze()
     }
 
-    /// Deserialize an epoch-prefixed message.
-    pub fn from_wire_with_epoch(bytes: &[u8]) -> Result<(u64, Message)> {
+    /// Deserialize an epoch+round-framed message.
+    pub fn from_wire_framed(bytes: &[u8]) -> Result<(u64, u32, Message)> {
         let mut r = WireReader::new(bytes);
         let epoch = r.varint()?;
+        let round = r.varint()? as u32;
         let m = decode_message(&mut r)?;
         if !r.is_empty() {
             return Err(SkallaError::net("trailing bytes after message"));
         }
-        Ok((epoch, m))
+        Ok((epoch, round, m))
     }
 }
 
@@ -165,12 +181,14 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
         }
         Message::RoundResult {
             op_idx,
+            seq,
             h,
             compute_s,
             last,
         } => {
             buf.put_u8(4);
             put_varint(buf, u64::from(*op_idx));
+            put_varint(buf, u64::from(*seq));
             h.encode(buf);
             put_f64(buf, *compute_s);
             last.encode(buf);
@@ -183,12 +201,14 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
         }
         Message::LocalRunResult {
             end,
+            seq,
             ship,
             compute_s,
             last,
         } => {
             buf.put_u8(6);
             put_varint(buf, u64::from(*end));
+            put_varint(buf, u64::from(*seq));
             ship.encode(buf);
             put_f64(buf, *compute_s);
             last.encode(buf);
@@ -224,6 +244,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
         }),
         4 => Ok(Message::RoundResult {
             op_idx: r.varint()? as u32,
+            seq: r.varint()? as u32,
             h: Relation::decode(r)?,
             compute_s: r.f64()?,
             last: bool::decode(r)?,
@@ -235,6 +256,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
         }),
         6 => Ok(Message::LocalRunResult {
             end: r.varint()? as u32,
+            seq: r.varint()? as u32,
             ship: Relation::decode(r)?,
             compute_s: r.f64()?,
             last: bool::decode(r)?,
@@ -555,6 +577,13 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
         }
     }
     put_varint(buf, p.site_parallelism as u64);
+    put_f64(buf, p.retry.deadline.as_secs_f64());
+    put_varint(buf, u64::from(p.retry.max_retries));
+    put_f64(buf, p.retry.backoff);
+    buf.put_u8(match p.retry.degraded {
+        DegradedMode::Fail => 0,
+        DegradedMode::Partial => 1,
+    });
 }
 
 fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
@@ -600,6 +629,32 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         other => return Err(SkallaError::net(format!("invalid block-rows byte {other}"))),
     };
     let site_parallelism = r.varint()? as usize;
+    let deadline_s = r.f64()?;
+    if !deadline_s.is_finite() || deadline_s < 0.0 {
+        return Err(SkallaError::net(format!(
+            "invalid retry deadline {deadline_s}"
+        )));
+    }
+    let max_retries = r.varint()? as u32;
+    let backoff = r.f64()?;
+    if !backoff.is_finite() {
+        return Err(SkallaError::net(format!("invalid retry backoff {backoff}")));
+    }
+    let degraded = match r.u8()? {
+        0 => DegradedMode::Fail,
+        1 => DegradedMode::Partial,
+        other => {
+            return Err(SkallaError::net(format!(
+                "invalid degraded-mode tag {other}"
+            )))
+        }
+    };
+    let retry = RetryPolicy {
+        deadline: std::time::Duration::from_secs_f64(deadline_s),
+        max_retries,
+        backoff,
+        degraded,
+    };
     Ok(DistPlan {
         expr,
         base_round,
@@ -607,6 +662,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         flags,
         block_rows,
         site_parallelism,
+        retry,
     })
 }
 
@@ -665,6 +721,12 @@ mod tests {
         plan.flags = OptFlags::all();
         plan.block_rows = Some(128);
         plan.site_parallelism = 4;
+        plan.retry = RetryPolicy {
+            deadline: std::time::Duration::from_millis(250),
+            max_retries: 5,
+            backoff: 1.5,
+            degraded: DegradedMode::Partial,
+        };
         round_trip(&Message::Plan(plan));
     }
 
@@ -684,12 +746,14 @@ mod tests {
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
+            seq: 0,
             h: rel.clone(),
             compute_s: 1.5,
             last: true,
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
+            seq: 17,
             h: rel.clone(),
             compute_s: 0.0,
             last: false,
@@ -706,6 +770,7 @@ mod tests {
         });
         round_trip(&Message::LocalRunResult {
             end: 2,
+            seq: 1,
             ship: rel.clone(),
             compute_s: 0.0,
             last: true,
@@ -772,15 +837,16 @@ mod tests {
     }
 
     #[test]
-    fn epoch_prefix_round_trips() {
+    fn frame_prefix_round_trips() {
         let m = Message::ComputeBase;
-        let bytes = m.to_wire_with_epoch(42);
-        let (e, back) = Message::from_wire_with_epoch(&bytes).unwrap();
+        let bytes = m.to_wire_framed(42, 7);
+        let (e, round, back) = Message::from_wire_framed(&bytes).unwrap();
         assert_eq!(e, 42);
+        assert_eq!(round, 7);
         assert_eq!(back, m);
-        // Plain from_wire must not accept epoch-prefixed bytes for epoch>0
-        // payloads that shift the tag.
-        assert!(Message::from_wire_with_epoch(&[]).is_err());
+        assert!(Message::from_wire_framed(&[]).is_err());
+        // A frame without a message body is rejected.
+        assert!(Message::from_wire_framed(&[42]).is_err());
     }
 
     #[test]

@@ -11,7 +11,35 @@
 //! `Σᵢ send(baseᵢ) + maxᵢ computeᵢ + Σᵢ recv(Hᵢ)` plus the coordinator's
 //! synchronization time.
 
+use std::fmt;
+
 use skalla_net::CostModel;
+
+/// How many of the plan's sites contributed to the result.
+///
+/// `n/n` for a fault-free execution; under
+/// [`DegradedMode::Partial`](crate::plan::DegradedMode) an execution that
+/// lost sites reports the surviving count, e.g. `3/4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Sites whose replies were synchronized into the result.
+    pub responded: usize,
+    /// Sites the plan targeted.
+    pub total: usize,
+}
+
+impl Coverage {
+    /// `true` when every targeted site contributed.
+    pub fn is_complete(&self) -> bool {
+        self.responded == self.total
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.responded, self.total)
+    }
+}
 
 /// Cost breakdown of one synchronization round (or local-run segment).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -59,6 +87,10 @@ pub struct ExecMetrics {
     pub wall_s: f64,
     /// The cost model used for the modeled times.
     pub cost_model: Option<CostModel>,
+    /// Site coverage of the result: `None` until execution finishes, then
+    /// `k/n` — complete (`n/n`) unless the execution degraded to a partial
+    /// result after losing sites.
+    pub coverage: Option<Coverage>,
 }
 
 impl ExecMetrics {
@@ -156,7 +188,7 @@ impl ExecMetrics {
 
     /// A compact single-line summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} rounds | {} B down, {} B up | modeled {:.4}s (site {:.4}s, coord {:.4}s, comm {:.4}s) | wall {:.4}s",
             self.num_rounds(),
             self.total_bytes_down(),
@@ -166,7 +198,13 @@ impl ExecMetrics {
             self.coord_compute_s(),
             self.comm_s(),
             self.wall_s,
-        )
+        );
+        if let Some(c) = self.coverage {
+            if !c.is_complete() {
+                s.push_str(&format!(" | coverage: {c}"));
+            }
+        }
+        s
     }
 }
 
@@ -197,6 +235,10 @@ mod tests {
             rounds: vec![round(100, 50, 0.1, 0.02, 0.3), round(10, 5, 0.2, 0.01, 0.1)],
             wall_s: 1.0,
             cost_model: Some(CostModel::free()),
+            coverage: Some(Coverage {
+                responded: 2,
+                total: 2,
+            }),
         };
         assert_eq!(m.total_bytes_down(), 110);
         assert_eq!(m.total_bytes_up(), 55);
@@ -219,5 +261,28 @@ mod tests {
     fn round_modeled_time_components() {
         let r = round(1, 1, 0.5, 0.25, 0.125);
         assert!((r.modeled_time_s() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_display_and_summary() {
+        let full = Coverage {
+            responded: 4,
+            total: 4,
+        };
+        let partial = Coverage {
+            responded: 3,
+            total: 4,
+        };
+        assert!(full.is_complete());
+        assert!(!partial.is_complete());
+        assert_eq!(partial.to_string(), "3/4");
+
+        let mut m = ExecMetrics {
+            coverage: Some(full),
+            ..ExecMetrics::default()
+        };
+        assert!(!m.summary().contains("coverage"));
+        m.coverage = Some(partial);
+        assert!(m.summary().contains("coverage: 3/4"));
     }
 }

@@ -5,6 +5,8 @@
 //! which reductions apply. Plans are built either directly (see
 //! [`DistPlan::unoptimized`]) or by the Egil optimizer in `skalla-planner`.
 
+use std::time::Duration;
+
 use skalla_expr::Expr;
 use skalla_gmdj::GmdjExpr;
 use skalla_types::{Relation, Result, SkallaError};
@@ -37,6 +39,58 @@ impl OptFlags {
             coord_group_reduction: true,
             sync_reduction: true,
         }
+    }
+}
+
+/// What the coordinator does with a site that stays silent (or keeps
+/// failing) after the whole retry budget of a round is spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Fail the query with an error naming the unresponsive site.
+    #[default]
+    Fail,
+    /// Synchronize from the sites that did respond; the result is marked
+    /// with its coverage (`k/n` sites) in the execution metrics.
+    Partial,
+}
+
+/// Per-round deadline and retry budget for the coordinator's collect loop.
+///
+/// Round requests are idempotent (sites deduplicate by `(epoch, round)` and
+/// replay their cached reply; the coordinator deduplicates reply chunks by
+/// sequence number), so re-sending after a deadline is always safe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// How long the coordinator waits for a round's replies before
+    /// re-sending the round request to the silent sites.
+    pub deadline: Duration,
+    /// How many times a round request is re-sent before the site is
+    /// declared unresponsive.
+    pub max_retries: u32,
+    /// Deadline multiplier applied on each successive retry (exponential
+    /// backoff); clamped to at least `1.0`.
+    pub backoff: f64,
+    /// What to do once the retry budget is exhausted.
+    pub degraded: DegradedMode,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(10),
+            max_retries: 3,
+            backoff: 2.0,
+            degraded: DegradedMode::Fail,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deadline for retry attempt `attempt` (attempt 0 is the first
+    /// wait), with backoff applied.
+    pub fn deadline_for_attempt(&self, attempt: u32) -> Duration {
+        let factor = self.backoff.max(1.0).powi(attempt.min(16) as i32);
+        self.deadline.mul_f64(factor)
     }
 }
 
@@ -120,6 +174,9 @@ pub struct DistPlan {
     /// Threads each site uses for its local GMDJ scans (Theorem 1 applied
     /// within the site); `0`/`1` evaluates serially.
     pub site_parallelism: usize,
+    /// Coordinator deadline/retry budget and degradation behavior for
+    /// every synchronization round.
+    pub retry: RetryPolicy,
 }
 
 impl DistPlan {
@@ -138,6 +195,7 @@ impl DistPlan {
             flags: OptFlags::none(),
             block_rows: None,
             site_parallelism: 1,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -150,6 +208,19 @@ impl DistPlan {
     /// Set the per-site scan parallelism.
     pub fn with_site_parallelism(mut self, threads: usize) -> DistPlan {
         self.site_parallelism = threads.max(1);
+        self
+    }
+
+    /// Set the coordinator retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> DistPlan {
+        self.retry = retry;
+        self
+    }
+
+    /// Set only the degradation behavior, keeping the rest of the retry
+    /// policy.
+    pub fn with_degraded_mode(mut self, mode: DegradedMode) -> DistPlan {
+        self.retry.degraded = mode;
         self
     }
 
@@ -324,6 +395,32 @@ mod tests {
         let p = DistPlan::unoptimized(e);
         assert!(matches!(p.base_round, BaseRound::Coordinator(_)));
         assert_eq!(p.num_synchronizations(), 1);
+    }
+
+    #[test]
+    fn retry_policy_backoff_and_defaults() {
+        let p = DistPlan::unoptimized(expr(1));
+        assert_eq!(p.retry, RetryPolicy::default());
+        assert_eq!(p.retry.degraded, DegradedMode::Fail);
+
+        let rp = RetryPolicy {
+            deadline: Duration::from_millis(100),
+            max_retries: 2,
+            backoff: 2.0,
+            degraded: DegradedMode::Partial,
+        };
+        assert_eq!(rp.deadline_for_attempt(0), Duration::from_millis(100));
+        assert_eq!(rp.deadline_for_attempt(2), Duration::from_millis(400));
+
+        // Backoff below 1 is clamped: deadlines never shrink.
+        let flat = RetryPolicy {
+            backoff: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.deadline_for_attempt(3), flat.deadline);
+
+        let q = p.with_degraded_mode(DegradedMode::Partial);
+        assert_eq!(q.retry.degraded, DegradedMode::Partial);
     }
 
     #[test]

@@ -31,34 +31,69 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
         catalog,
         plan: None,
     };
+    // One-entry reply cache keyed by `(epoch, round)`. The coordinator
+    // re-sends a round request when its deadline expires; a site that
+    // already served that exact round replays its reply (the original may
+    // have been lost in transit) instead of recomputing. One entry
+    // suffices: the coordinator never moves to round r+1 before round r is
+    // settled, so a duplicate can only concern the latest round served.
+    let mut reply_cache: Option<(u64, u32, Vec<Message>)> = None;
     loop {
         let env = match endpoint.recv() {
             Ok(e) => e,
-            Err(_) => return, // fabric torn down
+            Err(_) => return, // fabric torn down (or this site was crashed)
         };
-        let (epoch, msg) = match Message::from_wire_with_epoch(&env.payload) {
+        let (epoch, round, msg) = match Message::from_wire_framed(&env.payload) {
             Ok(m) => m,
             Err(e) => {
-                let _ = reply(&endpoint, parent, 0, Message::Error { msg: e.to_string() });
+                let _ = reply(
+                    &endpoint,
+                    parent,
+                    0,
+                    0,
+                    Message::Error { msg: e.to_string() },
+                );
                 continue;
             }
         };
         if matches!(msg, Message::Shutdown) {
             return;
         }
+        // Plan installs are idempotent and produce no reply; they bypass
+        // the cache so a re-sent Plan + request pair still answers the
+        // request.
+        if let Message::Plan(p) = msg {
+            state.plan = Some(p);
+            continue;
+        }
+        if let Some((ce, cr, cached)) = &reply_cache {
+            if *ce == epoch && *cr == round {
+                for resp in cached.clone() {
+                    if reply(&endpoint, parent, epoch, round, resp).is_err() {
+                        return;
+                    }
+                }
+                continue;
+            }
+        }
         match state.handle(msg) {
             Ok(responses) => {
+                reply_cache = Some((epoch, round, responses.clone()));
                 for resp in responses {
-                    if reply(&endpoint, parent, epoch, resp).is_err() {
+                    if reply(&endpoint, parent, epoch, round, resp).is_err() {
                         return;
                     }
                 }
             }
+            // Errors are not cached: a retried request recomputes, which
+            // also re-fails for deterministic errors but lets transient
+            // conditions clear.
             Err(e) => {
                 if reply(
                     &endpoint,
                     parent,
                     epoch,
+                    round,
                     Message::Error { msg: e.to_string() },
                 )
                 .is_err()
@@ -70,8 +105,14 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
     }
 }
 
-fn reply(endpoint: &Endpoint, parent: skalla_net::NodeId, epoch: u64, msg: Message) -> Result<()> {
-    endpoint.send(parent, msg.to_wire_with_epoch(epoch))
+fn reply(
+    endpoint: &Endpoint,
+    parent: skalla_net::NodeId,
+    epoch: u64,
+    round: u32,
+    msg: Message,
+) -> Result<()> {
+    endpoint.send(parent, msg.to_wire_framed(epoch, round))
 }
 
 /// Mutable per-site state.
@@ -163,8 +204,10 @@ impl SiteState {
         let compute_s = started.elapsed().as_secs_f64();
         Ok(chunk_relation(h, plan.block_rows)
             .into_iter()
-            .map(|(chunk, last)| Message::RoundResult {
+            .enumerate()
+            .map(|(seq, (chunk, last))| Message::RoundResult {
                 op_idx: op_idx as u32,
+                seq: seq as u32,
                 h: chunk,
                 compute_s: if last { compute_s } else { 0.0 },
                 last,
@@ -241,8 +284,10 @@ impl SiteState {
         let compute_s = started.elapsed().as_secs_f64();
         Ok(chunk_relation(ship, plan.block_rows)
             .into_iter()
-            .map(|(chunk, last)| Message::LocalRunResult {
+            .enumerate()
+            .map(|(seq, (chunk, last))| Message::LocalRunResult {
                 end: end as u32,
+                seq: seq as u32,
                 ship: chunk,
                 compute_s: if last { compute_s } else { 0.0 },
                 last,

@@ -155,6 +155,7 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
     let mut state = MidState {
         plan: None,
         epoch: 0,
+        round: 0,
     };
     loop {
         let env = match endpoint.recv() {
@@ -163,22 +164,23 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
         };
         // Only root messages drive the relay; child replies are collected
         // synchronously inside each handler.
-        let (epoch, msg) = match Message::from_wire_with_epoch(&env.payload) {
+        let (epoch, round, msg) = match Message::from_wire_framed(&env.payload) {
             Ok(m) => m,
             Err(e) => {
                 let _ = endpoint.send(
                     0,
-                    Message::Error { msg: e.to_string() }.to_wire_with_epoch(0),
+                    Message::Error { msg: e.to_string() }.to_wire_framed(0, 0),
                 );
                 continue;
             }
         };
         let shutdown = matches!(msg, Message::Shutdown);
         state.epoch = epoch;
+        state.round = round;
         match state.handle(&endpoint, &children, msg) {
             Ok(responses) => {
                 for resp in responses {
-                    if endpoint.send(0, resp.to_wire_with_epoch(epoch)).is_err() {
+                    if endpoint.send(0, resp.to_wire_framed(epoch, round)).is_err() {
                         return;
                     }
                 }
@@ -186,7 +188,7 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
             Err(e) => {
                 let _ = endpoint.send(
                     0,
-                    Message::Error { msg: e.to_string() }.to_wire_with_epoch(epoch),
+                    Message::Error { msg: e.to_string() }.to_wire_framed(epoch, round),
                 );
             }
         }
@@ -201,6 +203,9 @@ struct MidState {
     /// Epoch of the request currently being relayed (stamped on downward
     /// forwards, used to filter child replies).
     epoch: u64,
+    /// Round number of the request currently being relayed (echoed by the
+    /// children and back to the root).
+    round: u32,
 }
 
 impl MidState {
@@ -208,20 +213,26 @@ impl MidState {
         match msg {
             Message::Plan(p) => {
                 for &c in children {
-                    ep.send(c, Message::Plan(p.clone()).to_wire_with_epoch(self.epoch))?;
+                    ep.send(
+                        c,
+                        Message::Plan(p.clone()).to_wire_framed(self.epoch, self.round),
+                    )?;
                 }
                 self.plan = Some(p);
                 Ok(Vec::new())
             }
             Message::Shutdown => {
                 for &c in children {
-                    let _ = ep.send(c, Message::Shutdown.to_wire_with_epoch(self.epoch));
+                    let _ = ep.send(c, Message::Shutdown.to_wire_framed(self.epoch, self.round));
                 }
                 Ok(Vec::new())
             }
             Message::ComputeBase => {
                 for &c in children {
-                    ep.send(c, Message::ComputeBase.to_wire_with_epoch(self.epoch))?;
+                    ep.send(
+                        c,
+                        Message::ComputeBase.to_wire_framed(self.epoch, self.round),
+                    )?;
                 }
                 let mut combined: Option<Relation> = None;
                 let mut max_s: f64 = 0.0;
@@ -258,12 +269,13 @@ impl MidState {
                             op_idx,
                             base: base.clone(),
                         }
-                        .to_wire_with_epoch(self.epoch),
+                        .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
                 let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::RoundResult {
                     op_idx,
+                    seq: 0,
                     h: merged,
                     compute_s: max_s,
                     last: true,
@@ -279,12 +291,13 @@ impl MidState {
                             end,
                             base: base.clone(),
                         }
-                        .to_wire_with_epoch(self.epoch),
+                        .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
                 let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::LocalRunResult {
                     end,
+                    seq: 0,
                     ship: merged,
                     compute_s: max_s,
                     last: true,
@@ -297,7 +310,7 @@ impl MidState {
                         Message::ShipAllRequest {
                             table: table.clone(),
                         }
-                        .to_wire_with_epoch(self.epoch),
+                        .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
                 let mut combined: Option<Relation> = None;
@@ -332,9 +345,9 @@ impl MidState {
     fn recv(&self, ep: &Endpoint) -> Result<Message> {
         loop {
             let env = ep.recv()?;
-            let (epoch, msg) = Message::from_wire_with_epoch(&env.payload)?;
-            if epoch != self.epoch {
-                continue; // straggler from an aborted query
+            let (epoch, round, msg) = Message::from_wire_framed(&env.payload)?;
+            if epoch != self.epoch || round != self.round {
+                continue; // straggler from an aborted query or earlier round
             }
             if let Message::Error { msg } = msg {
                 return Err(SkallaError::exec(format!("site {}: {msg}", env.src)));

@@ -12,7 +12,7 @@
 //! detail data to the coordinator and evaluate centrally — the strategy
 //! whose transfer volume Theorem 2 shows Skalla never needs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,14 +20,14 @@ use std::time::Instant;
 
 use skalla_expr::{eval_base, Expr};
 use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
-use skalla_net::{CostModel, Endpoint, NodeId, SimNetwork, TransferStats};
+use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork, TransferStats};
 use skalla_storage::Catalog;
 use skalla_types::{Field, Relation, Result, Schema, SkallaError, Value};
 
 use crate::baseresult::BaseResult;
 use crate::message::Message;
-use crate::metrics::{ExecMetrics, RoundMetrics};
-use crate::plan::{BaseRound, DistPlan, Segment};
+use crate::metrics::{Coverage, ExecMetrics, RoundMetrics};
+use crate::plan::{BaseRound, DegradedMode, DistPlan, RetryPolicy, Segment};
 use crate::site::run_site;
 
 /// A running distributed data warehouse: `n` site threads plus this
@@ -47,6 +47,18 @@ impl DistributedWarehouse {
     /// Launch one site per catalog. The coordinator records each table's
     /// schema (global metadata every warehouse coordinator has).
     pub fn launch(catalogs: Vec<Catalog>, cost: CostModel) -> Result<DistributedWarehouse> {
+        Self::launch_with_faults(catalogs, cost, FaultPlan::none())
+    }
+
+    /// [`DistributedWarehouse::launch`] with deterministic fault injection:
+    /// the [`FaultPlan`] is threaded into every network endpoint, so the
+    /// coordinator's deadline/retry/degradation machinery can be exercised
+    /// reproducibly.
+    pub fn launch_with_faults(
+        catalogs: Vec<Catalog>,
+        cost: CostModel,
+        faults: FaultPlan,
+    ) -> Result<DistributedWarehouse> {
         let n = catalogs.len();
         if n == 0 {
             return Err(SkallaError::plan("warehouse needs at least one site"));
@@ -69,7 +81,7 @@ impl DistributedWarehouse {
             }
         }
 
-        let (net, mut endpoints) = SimNetwork::full_mesh(n + 1, cost);
+        let (net, mut endpoints) = SimNetwork::full_mesh_with_faults(n + 1, cost, faults);
         // endpoints[0] is the coordinator; 1..=n are the sites.
         let mut handles = Vec::with_capacity(n);
         // Drain from the back so indices stay valid.
@@ -107,44 +119,194 @@ impl DistributedWarehouse {
             .ok_or_else(|| SkallaError::not_found(format!("table `{name}`")))
     }
 
-    fn send(&self, site: NodeId, msg: &Message) -> Result<()> {
+    fn send_framed(&self, site: NodeId, msg: &Message, round: u32) -> Result<()> {
         let epoch = self.epoch.load(Ordering::Relaxed);
-        self.coord.send(site, msg.to_wire_with_epoch(epoch))
+        self.coord.send(site, msg.to_wire_framed(epoch, round))
     }
 
-    /// Receive the next message belonging to the current epoch, discarding
-    /// stragglers from aborted queries.
-    fn recv_current(&self) -> Result<(NodeId, Message)> {
+    /// Send one round's requests and collect every reply, enforcing the
+    /// retry policy's per-round deadline.
+    ///
+    /// Accepted in-order reply messages are handed to `sink`; duplicated
+    /// frames and replayed chunks are discarded by sequence number, so the
+    /// sink's (non-idempotent) merge sees each chunk exactly once. When a
+    /// round's deadline expires, the plan and request are re-sent to every
+    /// silent site (sites replay served rounds from a reply cache, so this
+    /// is always safe) with exponential backoff. A site that exhausts the
+    /// budget — or whose channel is gone — is handled per the degraded
+    /// mode: [`DegradedMode::Fail`] errors naming the site,
+    /// [`DegradedMode::Partial`] records it in `dead` and the round
+    /// completes from the remaining sites.
+    fn collect_round(
+        &self,
+        round: u32,
+        retry: &RetryPolicy,
+        resend_plan: Option<&Message>,
+        requests: &[(NodeId, Message)],
+        dead: &mut HashSet<NodeId>,
+        sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
+    ) -> Result<()> {
         let epoch = self.epoch.load(Ordering::Relaxed);
-        loop {
-            let env = self.coord.recv()?;
-            let (e, msg) = Message::from_wire_with_epoch(&env.payload)?;
-            if e == epoch {
-                return Ok((env.src, msg));
+        let mut prog: BTreeMap<NodeId, SiteProgress> = requests
+            .iter()
+            .map(|(s, _)| (*s, SiteProgress::default()))
+            .collect();
+        for (site, req) in requests {
+            if self.send_framed(*site, req, round).is_err() {
+                self.site_lost(*site, retry, dead, &mut prog)?;
             }
-            // Stale reply from an aborted query: drop it.
         }
-    }
-
-    fn broadcast(&self, msg: &Message) -> Result<()> {
-        for site in 1..=self.num_sites as NodeId {
-            self.send(site, msg)?;
+        let mut timeouts = 0u32;
+        while prog.values().any(|p| !p.done) {
+            let window = retry.deadline_for_attempt(timeouts);
+            let mut deadline = Instant::now() + window;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let env = match self.coord.try_recv_for(remaining) {
+                    Ok(Some(env)) => env,
+                    Ok(None) => break, // attempt window expired
+                    Err(e) => {
+                        // Every peer endpoint is gone: no reply can ever
+                        // arrive for the remaining sites.
+                        if retry.degraded == DegradedMode::Fail {
+                            return Err(e);
+                        }
+                        let silent: Vec<NodeId> = pending_sites(&prog);
+                        for s in silent {
+                            self.site_lost(s, retry, dead, &mut prog)?;
+                        }
+                        break;
+                    }
+                };
+                let Ok((e, r, msg)) = Message::from_wire_framed(&env.payload) else {
+                    continue; // unparseable frame: treated as loss, retry recovers
+                };
+                if e != epoch || r != round {
+                    continue; // straggler from an aborted query or earlier round
+                }
+                let src = env.src;
+                let Some(p) = prog.get_mut(&src) else {
+                    continue; // not a participant in this round
+                };
+                if p.done {
+                    continue; // duplicate after the site already completed
+                }
+                if let Message::Error { msg } = msg {
+                    p.error_retries += 1;
+                    if p.error_retries > retry.max_retries {
+                        return Err(SkallaError::exec(format!("site {src}: {msg}")));
+                    }
+                    if self.resend(src, resend_plan, requests, round).is_err() {
+                        self.site_lost(src, retry, dead, &mut prog)?;
+                    }
+                    continue;
+                }
+                let Some((seq, last)) = reply_seq_last(&msg) else {
+                    return Err(SkallaError::exec(format!(
+                        "site {src}: expected round reply, got {msg:?}"
+                    )));
+                };
+                if seq != p.expected_seq {
+                    continue; // duplicated or replayed chunk
+                }
+                p.expected_seq += 1;
+                if last {
+                    p.done = true;
+                }
+                sink(src, msg)?;
+                // Replies are flowing; extend this attempt's window.
+                deadline = Instant::now() + window;
+                if prog.values().all(|p| p.done) {
+                    break;
+                }
+            }
+            let silent = pending_sites(&prog);
+            if silent.is_empty() {
+                break;
+            }
+            timeouts += 1;
+            if timeouts > retry.max_retries {
+                match retry.degraded {
+                    DegradedMode::Fail => {
+                        return Err(SkallaError::exec(format!(
+                            "site {} did not respond within {:?} after {} retries",
+                            silent[0], window, retry.max_retries
+                        )));
+                    }
+                    DegradedMode::Partial => {
+                        for s in silent {
+                            self.site_lost(s, retry, dead, &mut prog)?;
+                        }
+                    }
+                }
+            } else {
+                for s in silent {
+                    if self.resend(s, resend_plan, requests, round).is_err() {
+                        self.site_lost(s, retry, dead, &mut prog)?;
+                    }
+                }
+            }
         }
         Ok(())
     }
 
-    /// Receive exactly `n` current-epoch replies, failing fast on site
-    /// errors.
-    fn collect(&self, n: usize) -> Result<Vec<(NodeId, Message)>> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (src, msg) = self.recv_current()?;
-            if let Message::Error { msg } = msg {
-                return Err(SkallaError::exec(format!("site {src}: {msg}")));
-            }
-            out.push((src, msg));
+    /// Re-send the plan (sites may have lost the original broadcast) and
+    /// the site's round request.
+    fn resend(
+        &self,
+        site: NodeId,
+        plan: Option<&Message>,
+        requests: &[(NodeId, Message)],
+        round: u32,
+    ) -> Result<()> {
+        if let Some(p) = plan {
+            self.send_framed(site, p, round)?;
         }
-        Ok(out)
+        let req = requests
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|(_, m)| m)
+            .expect("resend target was a participant");
+        self.send_framed(site, req, round)
+    }
+
+    /// A site is gone for good (crashed channel or exhausted budget):
+    /// fail the query or degrade, per the policy.
+    fn site_lost(
+        &self,
+        site: NodeId,
+        retry: &RetryPolicy,
+        dead: &mut HashSet<NodeId>,
+        prog: &mut BTreeMap<NodeId, SiteProgress>,
+    ) -> Result<()> {
+        match retry.degraded {
+            DegradedMode::Fail => Err(SkallaError::exec(format!(
+                "site {site} is unreachable (crashed or disconnected)"
+            ))),
+            DegradedMode::Partial => {
+                if let Some(p) = prog.get_mut(&site) {
+                    if p.expected_seq > 0 && !p.done {
+                        // Some of the site's chunks were already folded into
+                        // the synchronized structure; the merge cannot be
+                        // rolled back (documented limitation — see
+                        // docs/FAULT_MODEL.md).
+                        return Err(SkallaError::exec(format!(
+                            "site {site} was lost mid-reply; partially merged \
+                             chunks cannot be rolled back"
+                        )));
+                    }
+                    p.done = true;
+                }
+                dead.insert(site);
+                if dead.len() == self.num_sites {
+                    return Err(SkallaError::exec("every site failed; no result possible"));
+                }
+                Ok(())
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -190,18 +352,39 @@ impl DistributedWarehouse {
             rounds: Vec::new(),
             wall_s: 0.0,
             cost_model: Some(self.net.cost_model()),
+            coverage: None,
         };
 
         // Ship the plan. Coordinator-side group-reduction filters are
         // applied before shipping bases and never evaluated at the sites,
         // so they are stripped from the shipped copy (they can embed large
-        // partition-value sets).
+        // partition-value sets). A site whose channel is already gone is
+        // either fatal or written off, per the degraded mode.
         let before = self.net.stats();
         let mut site_plan = plan.clone();
         for r in &mut site_plan.rounds {
             r.coord_filters = None;
         }
-        self.broadcast(&Message::Plan(site_plan))?;
+        let plan_msg = Message::Plan(site_plan);
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut round_no: u32 = 0;
+        for site in 1..=self.num_sites as NodeId {
+            if self.send_framed(site, &plan_msg, round_no).is_err() {
+                match plan.retry.degraded {
+                    DegradedMode::Fail => {
+                        return Err(SkallaError::exec(format!(
+                            "site {site} is unreachable (crashed or disconnected)"
+                        )))
+                    }
+                    DegradedMode::Partial => {
+                        dead.insert(site);
+                        if dead.len() == self.num_sites {
+                            return Err(SkallaError::exec("every site failed; no result possible"));
+                        }
+                    }
+                }
+            }
+        }
         metrics
             .rounds
             .push(self.round_metrics_from("plan", &before, &[], 0.0, 0, 0, 0));
@@ -211,33 +394,48 @@ impl DistributedWarehouse {
             BaseRound::Coordinator(rel) => Some(rel.clone()),
             BaseRound::LocalOnly => None,
             BaseRound::Distributed => {
+                round_no += 1;
                 let before = self.net.stats();
-                self.broadcast(&Message::ComputeBase)?;
-                let replies = self.collect(self.num_sites)?;
-                let t = Instant::now();
-                let mut site_times = Vec::with_capacity(replies.len());
+                let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
+                    .filter(|s| !dead.contains(s))
+                    .map(|s| (s, Message::ComputeBase))
+                    .collect();
+                let mut site_times = Vec::with_capacity(requests.len());
                 let mut rows_up = 0u64;
                 let mut combined: Option<Relation> = None;
-                for (_, msg) in replies {
-                    let Message::BaseFragment { rel, compute_s } = msg else {
-                        return Err(SkallaError::exec("expected BaseFragment"));
-                    };
-                    site_times.push(compute_s);
-                    rows_up += rel.len() as u64;
-                    match &mut combined {
-                        None => combined = Some(rel),
-                        Some(acc) => acc.union_all(rel)?,
-                    }
-                }
+                let mut coord_s = 0.0;
+                self.collect_round(
+                    round_no,
+                    &plan.retry,
+                    Some(&plan_msg),
+                    &requests,
+                    &mut dead,
+                    &mut |_src, msg| {
+                        let Message::BaseFragment { rel, compute_s } = msg else {
+                            return Err(SkallaError::exec("expected BaseFragment"));
+                        };
+                        let t = Instant::now();
+                        site_times.push(compute_s);
+                        rows_up += rel.len() as u64;
+                        match &mut combined {
+                            None => combined = Some(rel),
+                            Some(acc) => acc.union_all(rel)?,
+                        }
+                        coord_s += t.elapsed().as_secs_f64();
+                        Ok(())
+                    },
+                )?;
+                let t = Instant::now();
                 let b0 = combined
                     .ok_or_else(|| SkallaError::exec("no base fragments received"))?
                     .distinct();
+                coord_s += t.elapsed().as_secs_f64();
                 let groups = b0.len();
                 metrics.rounds.push(self.round_metrics_from(
                     "base",
                     &before,
                     &site_times,
-                    t.elapsed().as_secs_f64(),
+                    coord_s,
                     groups,
                     0,
                     rows_up,
@@ -301,9 +499,12 @@ impl DistributedWarehouse {
                 })
             };
             let filters = filters.as_ref();
-            let mut participating: Vec<NodeId> = Vec::with_capacity(self.num_sites);
+            let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(self.num_sites);
             let mut rows_down = 0u64;
             for site in 1..=self.num_sites as NodeId {
+                if dead.contains(&site) {
+                    continue;
+                }
                 let base_for_site: Option<Relation> = if local_base {
                     None
                 } else {
@@ -331,54 +532,62 @@ impl DistributedWarehouse {
                         base: base_for_site.expect("standard round ships a base"),
                     }
                 };
-                self.send(site, &msg)?;
-                participating.push(site);
+                requests.push((site, msg));
             }
             let coord_prep_s = t_coord.elapsed().as_secs_f64();
 
             // Collect and synchronize. Fragments merge as they arrive —
             // with row blocking, chunks from fast sites are folded into X
-            // while slower sites are still computing (paper §3.2).
-            let t_sync = Instant::now();
-            let mut site_times = Vec::with_capacity(participating.len());
+            // while slower sites are still computing (paper §3.2). The
+            // collector deduplicates chunks by sequence number, so the
+            // non-idempotent merge is safe under retries and duplication.
+            round_no += 1;
+            let mut coord_sync_s = 0.0;
+            let mut site_times = Vec::with_capacity(requests.len());
             let mut rows_up = 0u64;
-            let mut pending = participating.len();
-            while pending > 0 {
-                let (src, msg) = self.recv_current()?;
-                let (h, compute_s, last) = match msg {
-                    Message::RoundResult {
-                        h, compute_s, last, ..
-                    } => (h, compute_s, last),
-                    Message::LocalRunResult {
-                        ship,
-                        compute_s,
-                        last,
-                        ..
-                    } => (ship, compute_s, last),
-                    Message::Error { msg } => {
-                        return Err(SkallaError::exec(format!("site {src}: {msg}")))
+            self.collect_round(
+                round_no,
+                &plan.retry,
+                Some(&plan_msg),
+                &requests,
+                &mut dead,
+                &mut |src, msg| {
+                    let (h, compute_s, last) = match msg {
+                        Message::RoundResult {
+                            h, compute_s, last, ..
+                        } => (h, compute_s, last),
+                        Message::LocalRunResult {
+                            ship,
+                            compute_s,
+                            last,
+                            ..
+                        } => (ship, compute_s, last),
+                        other => {
+                            return Err(SkallaError::exec(format!(
+                                "site {src}: expected round result, got {other:?}"
+                            )))
+                        }
+                    };
+                    let t = Instant::now();
+                    rows_up += h.len() as u64;
+                    x.merge_fragment(&h, local_base)?;
+                    if last {
+                        site_times.push(compute_s);
                     }
-                    other => {
-                        return Err(SkallaError::exec(format!(
-                            "expected round result, got {other:?}"
-                        )))
-                    }
-                };
-                rows_up += h.len() as u64;
-                x.merge_fragment(&h, local_base)?;
-                if last {
-                    site_times.push(compute_s);
-                    pending -= 1;
-                }
-            }
+                    coord_sync_s += t.elapsed().as_secs_f64();
+                    Ok(())
+                },
+            )?;
+            let t_final = Instant::now();
             let finalized = x.finalize()?;
+            coord_sync_s += t_final.elapsed().as_secs_f64();
             let groups = finalized.len();
             current = Some(finalized);
             metrics.rounds.push(self.round_metrics_from(
                 label,
                 &before,
                 &site_times,
-                coord_prep_s + t_sync.elapsed().as_secs_f64(),
+                coord_prep_s + coord_sync_s,
                 groups,
                 rows_down,
                 rows_up,
@@ -386,6 +595,10 @@ impl DistributedWarehouse {
         }
 
         metrics.wall_s = wall_start.elapsed().as_secs_f64();
+        metrics.coverage = Some(Coverage {
+            responded: self.num_sites - dead.len(),
+            total: self.num_sites,
+        });
         let result = current.ok_or_else(|| SkallaError::exec("plan produced no result"))?;
         Ok((result, metrics))
     }
@@ -410,22 +623,42 @@ impl DistributedWarehouse {
         let before = self.net.stats();
         let mut catalog = Catalog::new();
         let mut site_times: Vec<f64> = vec![0.0; self.num_sites];
+        // The baseline takes no plan, so it runs under the default retry
+        // policy (fail on an unresponsive site).
+        let retry = RetryPolicy::default();
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut round_no: u32 = 0;
         for name in names {
-            self.broadcast(&Message::ShipAllRequest {
-                table: name.to_string(),
-            })?;
-            let replies = self.collect(self.num_sites)?;
+            round_no += 1;
+            let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
+                .map(|s| {
+                    (
+                        s,
+                        Message::ShipAllRequest {
+                            table: name.to_string(),
+                        },
+                    )
+                })
+                .collect();
             let schema = self.table_schema(name)?;
             let mut builder = skalla_storage::TableBuilder::new(schema);
-            for (src, msg) in replies {
-                let Message::ShipAllData { rel, compute_s } = msg else {
-                    return Err(SkallaError::exec("expected ShipAllData"));
-                };
-                site_times[src as usize - 1] += compute_s;
-                for row in rel.rows() {
-                    builder.push_row(row)?;
-                }
-            }
+            self.collect_round(
+                round_no,
+                &retry,
+                None,
+                &requests,
+                &mut dead,
+                &mut |src, msg| {
+                    let Message::ShipAllData { rel, compute_s } = msg else {
+                        return Err(SkallaError::exec("expected ShipAllData"));
+                    };
+                    site_times[src as usize - 1] += compute_s;
+                    for row in rel.rows() {
+                        builder.push_row(row)?;
+                    }
+                    Ok(())
+                },
+            )?;
             catalog.register(name, builder.finish());
         }
 
@@ -443,6 +676,10 @@ impl DistributedWarehouse {
             rounds: Vec::new(),
             wall_s: 0.0,
             cost_model: Some(self.net.cost_model()),
+            coverage: Some(Coverage {
+                responded: self.num_sites - dead.len(),
+                total: self.num_sites,
+            }),
         };
         metrics.rounds.push(self.round_metrics_from(
             "ship-all",
@@ -457,9 +694,17 @@ impl DistributedWarehouse {
         Ok((result, metrics))
     }
 
-    /// Shut down all site threads.
+    /// Shut down all site threads. Best-effort: the shutdown message is
+    /// sent reliably (it bypasses injected drop/delay faults), and a site
+    /// whose channel is already gone — e.g. crashed by fault injection —
+    /// has nothing left to shut down.
     pub fn shutdown(mut self) -> Result<()> {
-        self.broadcast(&Message::Shutdown)?;
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        for site in 1..=self.num_sites as NodeId {
+            let _ = self
+                .coord
+                .send_reliable(site, Message::Shutdown.to_wire_framed(epoch, 0));
+        }
         for h in self.handles.drain(..) {
             h.join()
                 .map_err(|_| SkallaError::exec("site thread panicked"))?;
@@ -471,10 +716,44 @@ impl DistributedWarehouse {
 impl Drop for DistributedWarehouse {
     fn drop(&mut self) {
         // Best-effort teardown if the user forgot to call shutdown().
-        let _ = self.broadcast(&Message::Shutdown);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        for site in 1..=self.num_sites as NodeId {
+            let _ = self
+                .coord
+                .send_reliable(site, Message::Shutdown.to_wire_framed(epoch, 0));
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// Per-site reply progress within one collection round.
+#[derive(Default)]
+struct SiteProgress {
+    /// The site's `last` chunk was accepted (or the site was written off).
+    done: bool,
+    /// Next chunk sequence number the coordinator will accept.
+    expected_seq: u32,
+    /// How many `Error` replies this site has been retried for.
+    error_retries: u32,
+}
+
+fn pending_sites(prog: &BTreeMap<NodeId, SiteProgress>) -> Vec<NodeId> {
+    prog.iter()
+        .filter(|(_, p)| !p.done)
+        .map(|(s, _)| *s)
+        .collect()
+}
+
+/// The `(seq, last)` pair of a round reply; `None` for non-reply messages.
+/// Single-message replies are their own final chunk.
+fn reply_seq_last(msg: &Message) -> Option<(u32, bool)> {
+    match msg {
+        Message::BaseFragment { .. } | Message::ShipAllData { .. } => Some((0, true)),
+        Message::RoundResult { seq, last, .. } => Some((*seq, *last)),
+        Message::LocalRunResult { seq, last, .. } => Some((*seq, *last)),
+        _ => None,
     }
 }
 

@@ -1,0 +1,216 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes which faults the fabric injects: per-link
+//! message **drop**, **duplication**, **delay** (reordering), and **site
+//! crash** after a number of delivered messages. All decisions are pure
+//! functions of `(seed, fault kind, src, dst, per-link ordinal)`, so a run
+//! with the same plan, topology, and traffic is bit-for-bit reproducible —
+//! which is what lets the test suite assert exact outcomes under faults.
+//!
+//! The plan is *passive*: it makes decisions, the [`Endpoint`] machinery in
+//! [`sim`] applies them. Messages sent with `send_reliable` (control traffic
+//! such as `Shutdown`) bypass drop/duplicate/delay entirely, so teardown
+//! cannot be wedged by an unlucky seed; a crashed site, however, is dead to
+//! reliable traffic too.
+//!
+//! [`Endpoint`]: crate::sim::Endpoint
+//! [`sim`]: crate::sim
+
+use crate::sim::NodeId;
+
+/// Crash one node after it has received a number of messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// How many messages the node receives before crashing. `0` means the
+    /// node is dead on arrival (its first `recv` fails).
+    pub after_messages: u64,
+}
+
+/// A deterministic description of the faults the simulated network injects.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing; `full_mesh` uses
+/// it. Rates are probabilities in `[0, 1]` evaluated independently per
+/// (link, message-ordinal) pair from the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability an unreliable message is dropped in transit.
+    pub drop_rate: f64,
+    /// Probability an unreliable message is delivered twice.
+    pub dup_rate: f64,
+    /// Probability an unreliable message is held back behind later traffic
+    /// (reordering).
+    pub delay_rate: f64,
+    /// Maximum number of messages a receiver holds back at once.
+    pub delay_window: usize,
+    /// Nodes that crash mid-run.
+    pub crashes: Vec<CrashSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            delay_window: 4,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A fault-free plan with the given decision seed (rates start at zero;
+    /// chain the `with_*` builders to enable faults).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Set the per-message drop probability.
+    pub fn with_drop_rate(mut self, rate: f64) -> FaultPlan {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-message duplication probability.
+    pub fn with_dup_rate(mut self, rate: f64) -> FaultPlan {
+        self.dup_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-message delay (reorder) probability.
+    pub fn with_delay_rate(mut self, rate: f64) -> FaultPlan {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Crash `node` after it receives `after_messages` messages.
+    pub fn with_crash(mut self, node: NodeId, after_messages: u64) -> FaultPlan {
+        self.crashes.push(CrashSpec {
+            node,
+            after_messages,
+        });
+        self
+    }
+
+    /// `true` when the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.dup_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.crashes.is_empty()
+    }
+
+    /// When `node` is scheduled to crash, the message count it crashes after.
+    pub fn crash_after(&self, node: NodeId) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|c| c.node == node)
+            .map(|c| c.after_messages)
+    }
+
+    /// Should the `ordinal`-th unreliable message on link `src → dst` be
+    /// dropped?
+    pub fn should_drop(&self, src: NodeId, dst: NodeId, ordinal: u64) -> bool {
+        self.decide(SALT_DROP, src, dst, ordinal) < self.drop_rate
+    }
+
+    /// Should the `ordinal`-th unreliable message on link `src → dst` be
+    /// duplicated? (Evaluated only for messages that were not dropped.)
+    pub fn should_duplicate(&self, src: NodeId, dst: NodeId, ordinal: u64) -> bool {
+        self.decide(SALT_DUP, src, dst, ordinal) < self.dup_rate
+    }
+
+    /// Should the `ordinal`-th unreliable message *received* from `src` at
+    /// `dst` be held back behind later traffic?
+    pub fn should_delay(&self, src: NodeId, dst: NodeId, ordinal: u64) -> bool {
+        self.decide(SALT_DELAY, src, dst, ordinal) < self.delay_rate
+    }
+
+    /// Uniform `[0, 1)` decision value for one (kind, link, ordinal) triple.
+    fn decide(&self, salt: u64, src: NodeId, dst: NodeId, ordinal: u64) -> f64 {
+        let mut h = self.seed ^ salt;
+        h = splitmix64(h ^ u64::from(src));
+        h = splitmix64(h ^ (u64::from(dst) << 32));
+        h = splitmix64(h ^ ordinal);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const SALT_DROP: u64 = 0x00D5_0A1B_DD0D_0001;
+const SALT_DUP: u64 = 0x00D5_0A1B_DD0D_0002;
+const SALT_DELAY: u64 = 0x00D5_0A1B_DD0D_0003;
+
+/// SplitMix64 mixing step — a tiny, well-distributed hash, so the fault
+/// layer needs no external RNG dependency.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::seeded(42).with_drop_rate(0.3);
+        let b = FaultPlan::seeded(42).with_drop_rate(0.3);
+        for ord in 0..200 {
+            assert_eq!(a.should_drop(0, 1, ord), b.should_drop(0, 1, ord));
+            assert_eq!(a.should_delay(2, 0, ord), b.should_delay(2, 0, ord));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::seeded(7).with_drop_rate(0.25);
+        let dropped = (0..4000).filter(|&ord| plan.should_drop(1, 0, ord)).count();
+        // Allow a generous band; the point is "about a quarter", not exact.
+        assert!((600..1400).contains(&dropped), "dropped {dropped}/4000");
+    }
+
+    #[test]
+    fn links_decide_independently() {
+        let plan = FaultPlan::seeded(9).with_drop_rate(0.5);
+        let a: Vec<bool> = (0..64).map(|o| plan.should_drop(0, 1, o)).collect();
+        let b: Vec<bool> = (0..64).map(|o| plan.should_drop(0, 2, o)).collect();
+        assert_ne!(a, b, "different links should see different loss patterns");
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_one_always_does() {
+        let silent = FaultPlan::seeded(3);
+        let noisy = FaultPlan::seeded(3).with_drop_rate(1.0);
+        for ord in 0..100 {
+            assert!(!silent.should_drop(0, 1, ord));
+            assert!(!silent.should_duplicate(0, 1, ord));
+            assert!(!silent.should_delay(0, 1, ord));
+            assert!(noisy.should_drop(0, 1, ord));
+        }
+        assert!(silent.is_noop());
+        assert!(!noisy.is_noop());
+    }
+
+    #[test]
+    fn crash_lookup() {
+        let plan = FaultPlan::seeded(1).with_crash(3, 5);
+        assert_eq!(plan.crash_after(3), Some(5));
+        assert_eq!(plan.crash_after(2), None);
+        assert!(!plan.is_noop());
+    }
+}

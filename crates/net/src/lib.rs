@@ -15,14 +15,20 @@
 //!   not estimates.
 //! * [`sim`] — [`SimNetwork`]: a full-mesh message-passing fabric built on
 //!   crossbeam channels. Every send is recorded in [`TransferStats`].
+//! * [`fault`] — [`FaultPlan`]: deterministic, seeded fault injection
+//!   (drop / duplicate / delay / crash) threaded into every endpoint by
+//!   [`SimNetwork::full_mesh_with_faults`], so the coordinator's recovery
+//!   logic can be exercised reproducibly.
 //! * [`cost`] — [`CostModel`]: latency + bandwidth model converting byte
 //!   counts into modeled transfer seconds, used to report response-time
 //!   *shapes* independently of the host machine.
 
 pub mod cost;
+pub mod fault;
 pub mod sim;
 pub mod wire;
 
 pub use cost::{CostModel, LinkStats, TransferStats};
+pub use fault::{CrashSpec, FaultPlan};
 pub use sim::{Endpoint, Envelope, NodeId, SimNetwork};
 pub use wire::{WireDecode, WireEncode, WireReader};

@@ -4,15 +4,25 @@
 //! unbounded crossbeam channels. Endpoints are `Send` and are moved into the
 //! per-site worker threads by the distributed runtime; the shared
 //! [`TransferStats`] (behind a `parking_lot` mutex) records every message.
+//!
+//! [`SimNetwork::full_mesh_with_faults`] threads a [`FaultPlan`] into every
+//! endpoint: sends may be dropped or duplicated, receives may be reordered
+//! through a bounded holdback queue, and a node may crash (its `recv` fails
+//! permanently, which makes the owning site thread exit and every sender to
+//! it observe a closed channel). All fault decisions are deterministic in
+//! the plan's seed — see [`fault`](crate::fault).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use skalla_types::{Result, SkallaError};
 
 use crate::cost::{CostModel, TransferStats};
+use crate::fault::FaultPlan;
 
 /// Identifies a node in the simulated network. By convention the
 /// coordinator is node 0 and sites are 1..=n.
@@ -27,6 +37,31 @@ pub struct Envelope {
     pub dst: NodeId,
     /// Serialized payload.
     pub payload: Bytes,
+    /// Reliable messages bypass drop/duplicate/delay injection (they still
+    /// fail if the destination crashed or disconnected).
+    pub reliable: bool,
+}
+
+/// Mutable fault bookkeeping for one endpoint (interior-mutable because
+/// `send`/`recv` take `&self`).
+#[derive(Debug, Default)]
+struct FaultRuntime {
+    /// Per-destination count of unreliable sends (fault decision ordinal).
+    send_ordinals: Vec<u64>,
+    /// Count of unreliable receives considered for delay.
+    recv_ordinal: u64,
+    /// Total messages delivered to this endpoint (crash countdown).
+    delivered: u64,
+    /// Messages held back to simulate delay/reordering.
+    holdback: VecDeque<Envelope>,
+}
+
+/// Fault state attached to an endpoint by `full_mesh_with_faults`.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    crash_after: Option<u64>,
+    rt: Mutex<FaultRuntime>,
 }
 
 /// A node's connection to the network: senders to every peer and one
@@ -37,6 +72,7 @@ pub struct Endpoint {
     peers: Vec<Option<Sender<Envelope>>>,
     inbox: Receiver<Envelope>,
     stats: Arc<Mutex<TransferStats>>,
+    fault: Option<FaultState>,
 }
 
 impl Endpoint {
@@ -45,33 +81,238 @@ impl Endpoint {
         self.id
     }
 
-    /// Send `payload` to `dst`, recording its size.
+    /// Send `payload` to `dst`, recording its size. Subject to fault
+    /// injection when the network was built with a [`FaultPlan`].
     pub fn send(&self, dst: NodeId, payload: Bytes) -> Result<()> {
+        self.send_impl(dst, payload, false)
+    }
+
+    /// Send `payload` to `dst` bypassing drop/duplicate/delay injection.
+    ///
+    /// Used for control traffic (e.g. `Shutdown`) that must not be lost to
+    /// an unlucky seed. A crashed or disconnected destination still fails.
+    pub fn send_reliable(&self, dst: NodeId, payload: Bytes) -> Result<()> {
+        self.send_impl(dst, payload, true)
+    }
+
+    fn send_impl(&self, dst: NodeId, payload: Bytes, reliable: bool) -> Result<()> {
         let sender = self
             .peers
             .get(dst as usize)
             .and_then(Option::as_ref)
             .ok_or_else(|| SkallaError::net(format!("unknown destination node {dst}")))?;
-        self.stats.lock().record(self.id, dst, payload.len() as u64);
-        sender
-            .send(Envelope {
-                src: self.id,
-                dst,
-                payload,
-            })
-            .map_err(|_| SkallaError::net(format!("node {dst} disconnected")))
+        let env = Envelope {
+            src: self.id,
+            dst,
+            payload,
+            reliable,
+        };
+        // Number of copies that hit the wire: 0 after a drop, 2 after a
+        // duplication, 1 otherwise. Bytes are accounted per transmission
+        // *attempt* (a dropped message still crossed the sender's NIC).
+        let copies = match (&self.fault, reliable) {
+            (Some(st), false) if !st.plan.is_noop() => {
+                let ordinal = {
+                    let mut rt = st.rt.lock();
+                    if rt.send_ordinals.len() <= dst as usize {
+                        rt.send_ordinals.resize(dst as usize + 1, 0);
+                    }
+                    let o = rt.send_ordinals[dst as usize];
+                    rt.send_ordinals[dst as usize] += 1;
+                    o
+                };
+                if st.plan.should_drop(self.id, dst, ordinal) {
+                    0
+                } else if st.plan.should_duplicate(self.id, dst, ordinal) {
+                    2
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        };
+        self.stats
+            .lock()
+            .record(self.id, dst, env.payload.len() as u64);
+        for _ in 0..copies {
+            sender
+                .send(env.clone())
+                .map_err(|_| SkallaError::net(format!("node {dst} disconnected")))?;
+        }
+        Ok(())
     }
 
     /// Block until a message arrives.
     pub fn recv(&self) -> Result<Envelope> {
-        self.inbox
-            .recv()
-            .map_err(|_| SkallaError::net("all peers disconnected"))
+        match self.recv_deadline(None)? {
+            Some(env) => Ok(env),
+            None => unreachable!("recv_deadline(None) never times out"),
+        }
+    }
+
+    /// Block until a message arrives or `timeout` elapses; `Ok(None)` on
+    /// timeout, `Err` when every peer disconnected (or this node crashed).
+    pub fn try_recv_for(&self, timeout: Duration) -> Result<Option<Envelope>> {
+        self.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Like [`Endpoint::try_recv_for`] but a timeout is an error naming this
+    /// endpoint and the elapsed deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope> {
+        self.try_recv_for(timeout)?.ok_or_else(|| {
+            SkallaError::net(format!(
+                "endpoint {}: receive timed out after {:.3}s",
+                self.id,
+                timeout.as_secs_f64()
+            ))
+        })
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope> {
-        self.inbox.try_recv().ok()
+        match &self.fault {
+            None => self.inbox.try_recv().ok(),
+            Some(_) => {
+                if self.crashed() {
+                    return None;
+                }
+                loop {
+                    match self.inbox.try_recv() {
+                        Ok(env) => {
+                            if let Some(env) = self.consider(env) {
+                                return Some(env);
+                            }
+                        }
+                        Err(_) => return self.pop_holdback(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shared receive core: `deadline == None` blocks forever.
+    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<Option<Envelope>> {
+        if self.fault.is_none() {
+            return match deadline {
+                None => self
+                    .inbox
+                    .recv()
+                    .map(Some)
+                    .map_err(|_| self.disconnected_error()),
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(left) {
+                        Ok(env) => Ok(Some(env)),
+                        Err(RecvTimeoutError::Timeout) => Ok(None),
+                        Err(RecvTimeoutError::Disconnected) => Err(self.disconnected_error()),
+                    }
+                }
+            };
+        }
+        loop {
+            if self.crashed() {
+                return Err(SkallaError::net(format!(
+                    "endpoint {}: site crashed (fault injection)",
+                    self.id
+                )));
+            }
+            // Drain ready traffic first so delay decisions can reorder it.
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if let Some(env) = self.consider(env) {
+                        return Ok(Some(env));
+                    }
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => {
+                    return match self.pop_holdback() {
+                        Some(env) => Ok(Some(env)),
+                        None => Err(self.disconnected_error()),
+                    };
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            // Nothing ready: flush the oldest held-back message (this is
+            // what bounds the delay — a quiet network delivers stragglers).
+            if let Some(env) = self.pop_holdback() {
+                return Ok(Some(env));
+            }
+            // Truly idle: block (with deadline) for new traffic.
+            match deadline {
+                None => match self.inbox.recv() {
+                    Ok(env) => {
+                        if let Some(env) = self.consider(env) {
+                            return Ok(Some(env));
+                        }
+                    }
+                    Err(_) => {
+                        return match self.pop_holdback() {
+                            Some(env) => Ok(Some(env)),
+                            None => Err(self.disconnected_error()),
+                        }
+                    }
+                },
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(left) {
+                        Ok(env) => {
+                            if let Some(env) = self.consider(env) {
+                                return Ok(Some(env));
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => return Ok(None),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return match self.pop_holdback() {
+                                Some(env) => Ok(Some(env)),
+                                None => Err(self.disconnected_error()),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one inbound envelope through the delay fault; `None` = held back.
+    fn consider(&self, env: Envelope) -> Option<Envelope> {
+        let st = self.fault.as_ref().expect("fault state");
+        let mut rt = st.rt.lock();
+        if !env.reliable {
+            let ordinal = rt.recv_ordinal;
+            rt.recv_ordinal += 1;
+            if rt.holdback.len() < st.plan.delay_window
+                && st.plan.should_delay(env.src, self.id, ordinal)
+            {
+                rt.holdback.push_back(env);
+                return None;
+            }
+        }
+        rt.delivered += 1;
+        Some(env)
+    }
+
+    /// Deliver the oldest held-back message, if any.
+    fn pop_holdback(&self) -> Option<Envelope> {
+        let st = self.fault.as_ref()?;
+        let mut rt = st.rt.lock();
+        let env = rt.holdback.pop_front()?;
+        rt.delivered += 1;
+        Some(env)
+    }
+
+    /// Has this endpoint's crash fault triggered?
+    fn crashed(&self) -> bool {
+        match &self.fault {
+            Some(st) => match st.crash_after {
+                Some(n) => st.rt.lock().delivered >= n,
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    fn disconnected_error(&self) -> SkallaError {
+        SkallaError::net(format!("endpoint {}: all peers disconnected", self.id))
     }
 }
 
@@ -87,10 +328,21 @@ impl SimNetwork {
     /// Create a full mesh of `n` nodes; returns the network handle and one
     /// endpoint per node (index = node id).
     pub fn full_mesh(n: usize, cost: CostModel) -> (SimNetwork, Vec<Endpoint>) {
+        SimNetwork::full_mesh_with_faults(n, cost, FaultPlan::none())
+    }
+
+    /// Like [`SimNetwork::full_mesh`], but every endpoint applies `plan`'s
+    /// deterministic fault decisions to its traffic.
+    pub fn full_mesh_with_faults(
+        n: usize,
+        cost: CostModel,
+        plan: FaultPlan,
+    ) -> (SimNetwork, Vec<Endpoint>) {
         let stats = Arc::new(Mutex::new(TransferStats::new()));
         let mut inboxes: Vec<(Sender<Envelope>, Receiver<Envelope>)> =
             (0..n).map(|_| unbounded()).collect();
         let mut endpoints = Vec::with_capacity(n);
+        let active = !plan.is_noop();
         for id in 0..n {
             let peers: Vec<Option<Sender<Envelope>>> = (0..n)
                 .map(|peer| {
@@ -102,11 +354,17 @@ impl SimNetwork {
                 })
                 .collect();
             let inbox = inboxes[id].1.clone();
+            let fault = active.then(|| FaultState {
+                crash_after: plan.crash_after(id as NodeId),
+                plan: plan.clone(),
+                rt: Mutex::new(FaultRuntime::default()),
+            });
             endpoints.push(Endpoint {
                 id: id as NodeId,
                 peers,
                 inbox,
                 stats: stats.clone(),
+                fault,
             });
         }
         // Drop the original senders so disconnects propagate when endpoints
@@ -208,6 +466,113 @@ mod tests {
         let (_net, mut eps) = SimNetwork::full_mesh(2, CostModel::free());
         let e1 = eps.pop().unwrap();
         drop(eps); // drops endpoint 0 and its cloned sender to e1
-        assert!(e1.recv().is_err());
+        let err = e1.recv().unwrap_err().to_string();
+        assert!(
+            err.contains("endpoint 1"),
+            "error should name the node: {err}"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_names_endpoint_and_deadline() {
+        let (_net, eps) = SimNetwork::full_mesh(2, CostModel::free());
+        let err = eps[1]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("endpoint 1"), "{err}");
+        assert!(err.contains("0.010"), "{err}");
+    }
+
+    #[test]
+    fn try_recv_for_times_out_with_none() {
+        let (_net, eps) = SimNetwork::full_mesh(2, CostModel::free());
+        let got = eps[1].try_recv_for(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+        eps[0].send(1, Bytes::from_static(b"x")).unwrap();
+        let got = eps[1].try_recv_for(Duration::from_millis(50)).unwrap();
+        assert_eq!(&got.unwrap().payload[..], b"x");
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        let plan = FaultPlan::seeded(11).with_drop_rate(1.0);
+        let (_net, eps) = SimNetwork::full_mesh_with_faults(2, CostModel::free(), plan);
+        eps[0].send(1, Bytes::from_static(b"gone")).unwrap();
+        assert!(eps[1]
+            .try_recv_for(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        // Reliable sends bypass the drop fault.
+        eps[0]
+            .send_reliable(1, Bytes::from_static(b"kept"))
+            .unwrap();
+        let env = eps[1].recv().unwrap();
+        assert_eq!(&env.payload[..], b"kept");
+        assert!(env.reliable);
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        let plan = FaultPlan::seeded(11).with_dup_rate(1.0);
+        let (_net, eps) = SimNetwork::full_mesh_with_faults(2, CostModel::free(), plan);
+        eps[0].send(1, Bytes::from_static(b"twin")).unwrap();
+        assert_eq!(&eps[1].recv().unwrap().payload[..], b"twin");
+        assert_eq!(&eps[1].recv().unwrap().payload[..], b"twin");
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn delayed_messages_are_reordered_not_lost() {
+        // Delay every other message; send a burst and check we still get
+        // every payload exactly once.
+        let plan = FaultPlan::seeded(5).with_delay_rate(0.5);
+        let (_net, eps) = SimNetwork::full_mesh_with_faults(2, CostModel::free(), plan);
+        let n = 20u8;
+        for i in 0..n {
+            eps[0].send(1, Bytes::from(vec![i])).unwrap();
+        }
+        let mut got: Vec<u8> = (0..n).map(|_| eps[1].recv().unwrap().payload[0]).collect();
+        let in_order = got.windows(2).all(|w| w[0] < w[1]);
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        assert!(!in_order, "seed 5 at rate 0.5 should reorder the burst");
+    }
+
+    #[test]
+    fn crashed_node_recv_fails_and_senders_see_disconnect() {
+        let plan = FaultPlan::seeded(1).with_crash(1, 2);
+        let (_net, mut eps) = SimNetwork::full_mesh_with_faults(2, CostModel::free(), plan);
+        let site = eps.pop().unwrap();
+        let coord = eps.pop().unwrap();
+        coord.send(1, Bytes::from_static(b"a")).unwrap();
+        coord.send(1, Bytes::from_static(b"b")).unwrap();
+        coord.send(1, Bytes::from_static(b"c")).unwrap();
+        assert!(site.recv().is_ok());
+        assert!(site.recv().is_ok());
+        let err = site.recv().unwrap_err().to_string();
+        assert!(err.contains("crashed"), "{err}");
+        // The owning thread would now drop the endpoint; senders then fail.
+        drop(site);
+        assert!(coord.send(1, Bytes::from_static(b"d")).is_err());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_across_runs() {
+        let run = || {
+            let plan = FaultPlan::seeded(77).with_drop_rate(0.4);
+            let (_net, eps) = SimNetwork::full_mesh_with_faults(2, CostModel::free(), plan);
+            for i in 0..30u8 {
+                eps[0].send(1, Bytes::from(vec![i])).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(env) = eps[1].try_recv() {
+                got.push(env.payload[0]);
+            }
+            got
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.len() < 30, "seed 77 at rate 0.4 should drop something");
     }
 }

@@ -5,7 +5,7 @@
 //! then synchronization reduction (Proposition 2 for the base, Corollary 1
 //! between rounds), then the two group reductions per round.
 
-use skalla_core::{BaseRound, DistPlan, OptFlags, RoundSpec};
+use skalla_core::{BaseRound, DistPlan, OptFlags, RetryPolicy, RoundSpec};
 use skalla_expr::{analysis, derive_group_filter, ColumnConstraint, Expr, SiteConstraint};
 use skalla_gmdj::{coalesce_chain, BaseSpec, GmdjExpr, GmdjOp};
 use skalla_types::{Result, SkallaError};
@@ -151,6 +151,7 @@ pub fn plan_query(
         flags,
         block_rows: None,
         site_parallelism: 1,
+        retry: RetryPolicy::default(),
     };
     plan.validate()?;
     report.num_synchronizations = plan.num_synchronizations();

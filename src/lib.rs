@@ -78,13 +78,14 @@ pub use skalla_types as types;
 /// The most common imports, for examples and applications.
 pub mod prelude {
     pub use skalla_core::{
-        BaseResult, BaseRound, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RoundSpec,
+        BaseResult, BaseRound, Coverage, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics,
+        OptFlags, RetryPolicy, RoundSpec,
     };
     pub use skalla_expr::{Expr, ExprBuilder, Interval, SiteConstraint};
     pub use skalla_gmdj::{
         eval_expr_centralized, AggFunc, AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp,
     };
-    pub use skalla_net::CostModel;
+    pub use skalla_net::{CostModel, CrashSpec, FaultPlan};
     pub use skalla_planner::{parse_query, plan_query, DistributionInfo, PlanReport};
     pub use skalla_storage::{
         partition_by_hash, partition_by_ranges, partition_by_values, Catalog, Partitioning, Table,

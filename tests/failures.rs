@@ -153,6 +153,69 @@ fn stale_replies_from_aborted_queries_are_discarded() {
 }
 
 #[test]
+fn duplicated_requests_are_answered_once() {
+    // Every unreliable message is duplicated: sites see each request twice
+    // and must serve the duplicate from the per-(epoch, round) reply cache;
+    // the coordinator must discard the duplicate replies by sequence number.
+    let t = table(200);
+    let parts = partition_by_hash(&t, 0, 2).unwrap();
+    let catalogs: Vec<Catalog> = parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("flow", p.clone());
+            c
+        })
+        .collect();
+    let faults = FaultPlan::seeded(21).with_dup_rate(1.0);
+    let wh = DistributedWarehouse::launch_with_faults(catalogs, CostModel::free(), faults).unwrap();
+
+    let mut full = Catalog::new();
+    full.register("flow", t);
+    let expected = eval_expr_centralized(&query("flow"), &full)
+        .unwrap()
+        .sorted();
+    // Twice on the same warehouse: the reply cache must roll over between
+    // epochs rather than replaying the previous query's answers.
+    for _ in 0..2 {
+        let (result, _) = wh.execute(&DistPlan::unoptimized(query("flow"))).unwrap();
+        assert_eq!(result.sorted(), expected);
+    }
+    wh.shutdown().unwrap();
+}
+
+#[test]
+fn held_back_replies_from_previous_epochs_are_discarded() {
+    // Aggressive delay keeps a holdback queue of stragglers alive across
+    // query boundaries; epoch/round framing must keep every query exact.
+    let t = table(300);
+    let parts = partition_by_hash(&t, 0, 2).unwrap();
+    let catalogs: Vec<Catalog> = parts
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("flow", p.clone());
+            c
+        })
+        .collect();
+    let faults = FaultPlan::seeded(33).with_delay_rate(0.7);
+    let wh = DistributedWarehouse::launch_with_faults(catalogs, CostModel::free(), faults).unwrap();
+
+    let mut full = Catalog::new();
+    full.register("flow", t);
+    let expected = eval_expr_centralized(&query("flow"), &full)
+        .unwrap()
+        .sorted();
+    for _ in 0..5 {
+        let (result, _) = wh.execute(&DistPlan::unoptimized(query("flow"))).unwrap();
+        assert_eq!(result.sorted(), expected);
+    }
+    wh.shutdown().unwrap();
+}
+
+#[test]
 fn tree_propagates_site_errors() {
     let t = table(50);
     let mut c0 = Catalog::new();

@@ -44,7 +44,7 @@ proptest! {
     #[test]
     fn message_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = Message::from_wire(&bytes);
-        let _ = Message::from_wire_with_epoch(&bytes);
+        let _ = Message::from_wire_framed(&bytes);
     }
 
     /// Random bytes never panic the relation decoder.
@@ -66,13 +66,14 @@ proptest! {
         ).unwrap();
         let msg = Message::RoundResult {
             op_idx: 1,
+            seq: 0,
             h: rel,
             compute_s: 0.5,
             last: true,
         };
-        let mut bytes = msg.to_wire_with_epoch(3).to_vec();
+        let mut bytes = msg.to_wire_framed(3, 1).to_vec();
         let idx = pos % bytes.len();
         bytes[idx] = bytes[idx].wrapping_add(delta);
-        let _ = Message::from_wire_with_epoch(&bytes);
+        let _ = Message::from_wire_framed(&bytes);
     }
 }

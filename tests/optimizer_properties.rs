@@ -93,9 +93,10 @@ proptest! {
         plan.rounds[0].site_group_reduction = site_red;
         plan.block_rows = block;
         let msg = Message::Plan(plan);
-        let bytes = msg.to_wire_with_epoch(7);
-        let (epoch, back) = Message::from_wire_with_epoch(&bytes).unwrap();
+        let bytes = msg.to_wire_framed(7, 2);
+        let (epoch, round, back) = Message::from_wire_framed(&bytes).unwrap();
         prop_assert_eq!(epoch, 7);
+        prop_assert_eq!(round, 2);
         prop_assert_eq!(back, msg);
     }
 
