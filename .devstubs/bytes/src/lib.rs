@@ -1,0 +1,129 @@
+//! Offline dev stub for the `bytes` crate: just enough API surface for this
+//! workspace (Bytes/BytesMut/Buf/BufMut as used by skalla-net and skalla-core).
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+pub trait BufMut {
+    fn put_u8(&mut self, b: u8);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: Arc::new(self.inner),
+        }
+    }
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.inner.extend_from_slice(s);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.inner.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.inner.extend_from_slice(s);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    inner: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes {
+            inner: Arc::new(Vec::new()),
+        }
+    }
+    pub fn from_static(b: &'static [u8]) -> Bytes {
+        Bytes {
+            inner: Arc::new(b.to_vec()),
+        }
+    }
+    pub fn copy_from_slice(b: &[u8]) -> Bytes {
+        Bytes {
+            inner: Arc::new(b.to_vec()),
+        }
+    }
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { inner: Arc::new(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::from_static(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}

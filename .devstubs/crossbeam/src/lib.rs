@@ -1,0 +1,185 @@
+//! Offline dev stub for `crossbeam`: an MPMC channel with the subset of the
+//! `crossbeam::channel` API this workspace uses (unbounded, clone-able
+//! sender/receiver, recv / try_recv / recv_timeout, disconnect semantics).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        cv: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(t));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(t);
+            drop(q);
+            self.inner.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.inner.senders.load(Ordering::SeqCst) == 0
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    return Ok(t);
+                }
+                if self.disconnected() {
+                    return Err(RecvError);
+                }
+                q = self
+                    .inner
+                    .cv
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = q.pop_front() {
+                return Ok(t);
+            }
+            if self.disconnected() {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    return Ok(t);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .inner
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+    }
+}

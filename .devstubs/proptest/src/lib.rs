@@ -1,0 +1,410 @@
+//! Offline dev stub for `proptest`: a tiny deterministic value generator with
+//! the subset of the API this workspace's property tests use. Each `proptest!`
+//! test runs a fixed number of pseudo-random cases. Dev-only; the real crate
+//! is used in CI.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG used to drive all stub strategies.
+    #[derive(Debug, Clone)]
+    pub struct StubRng {
+        state: u64,
+    }
+
+    impl StubRng {
+        pub fn new(seed: u64) -> StubRng {
+            StubRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+        pub fn usize_in(&mut self, lo: usize, hi_excl: usize) -> usize {
+            if hi_excl <= lo {
+                return lo;
+            }
+            lo + (self.next_u64() as usize) % (hi_excl - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::StubRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn gen_value(&self, rng: &mut StubRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf: Rc<dyn Fn(&mut StubRng) -> Self::Value> =
+                Rc::new(move |rng| self.gen_value(rng));
+            let make: Rc<dyn Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>> =
+                Rc::new(move |b| {
+                    let s2 = f(b);
+                    BoxedStrategy(Rc::new(move |rng: &mut StubRng| s2.gen_value(rng)))
+                });
+            Recursive { leaf, make, depth }
+        }
+    }
+
+    /// Type-erased strategy (what `prop_recursive` hands to its closure).
+    pub struct BoxedStrategy<V>(pub Rc<dyn Fn(&mut StubRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut StubRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// `.prop_recursive` adapter: nests the branch constructor a random
+    /// number of times (0..=depth) around the leaf before generating.
+    pub struct Recursive<V> {
+        leaf: Rc<dyn Fn(&mut StubRng) -> V>,
+        make: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+        depth: u32,
+    }
+
+    impl<V> Strategy for Recursive<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut StubRng) -> V {
+            let mut s = BoxedStrategy(self.leaf.clone());
+            let d = rng.usize_in(0, self.depth as usize + 1);
+            for _ in 0..d {
+                s = (self.make)(s);
+            }
+            s.gen_value(rng)
+        }
+    }
+
+    /// `.prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut StubRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut StubRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut StubRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Regex-shaped string strategy. Supports the tiny subset used in this
+    /// repo's tests: `[chars]{lo,hi}`, `\PC{lo,hi}`, bare `[chars]` (one
+    /// char), and anything else falls back to printable ASCII of length 0..8.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut StubRng) -> String {
+            let pat = *self;
+            // Extract a trailing {lo,hi} repetition if present.
+            let (body, lo, hi) = match (pat.rfind('{'), pat.ends_with('}')) {
+                (Some(i), true) => {
+                    let reps = &pat[i + 1..pat.len() - 1];
+                    let mut it = reps.splitn(2, ',');
+                    let lo: usize = it.next().unwrap_or("0").parse().unwrap_or(0);
+                    let hi: usize = it.next().unwrap_or("8").parse().unwrap_or(lo);
+                    (&pat[..i], lo, hi)
+                }
+                _ => (pat, 1, 1),
+            };
+            let class: Vec<char> = if body.starts_with('[') && body.ends_with(']') {
+                expand_class(&body[1..body.len() - 1])
+            } else {
+                // \PC (any printable) or unknown: printable ASCII.
+                (b' '..=b'~').map(char::from).collect()
+            };
+            let n = rng.usize_in(lo, hi + 1);
+            (0..n)
+                .map(|_| class[rng.usize_in(0, class.len())])
+                .collect()
+        }
+    }
+
+    fn expand_class(spec: &str) -> Vec<char> {
+        let chars: Vec<char> = spec.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                for c in a..=b {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            out.push('a');
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut StubRng) -> Self::Value {
+                    ($(self.$n.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        fn arb(rng: &mut StubRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb(rng: &mut StubRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb(rng: &mut StubRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arb(rng: &mut StubRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut StubRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    /// `prop_oneof!` support: a uniform choice over boxed generators.
+    pub struct OneOf<V> {
+        pub choices: Vec<Box<dyn Fn(&mut StubRng) -> V>>,
+    }
+
+    /// Type-erase a strategy into a boxed generator (keeps `prop_oneof!`
+    /// inference anchored on each strategy's own `Value` type).
+    pub fn erase<S>(s: S) -> Box<dyn Fn(&mut StubRng) -> S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| s.gen_value(rng))
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut StubRng) -> V {
+            let i = rng.usize_in(0, self.choices.len());
+            (self.choices[i])(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::StubRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.start, self.size.end);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::StubRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut StubRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut seed: u64 = 0xC0FFEE;
+                for b in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                let mut __rng = $crate::test_runner::StubRng::new(seed);
+                for __case in 0u32..48 {
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&$strat, &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf {
+            choices: vec![$($crate::strategy::erase($s)),+],
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module re-exports).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}

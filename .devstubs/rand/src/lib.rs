@@ -1,0 +1,97 @@
+//! Offline dev stub for `rand`: deterministic StdRng + gen_range over the
+//! range forms this workspace uses. Not statistically rigorous; dev-only.
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic splitmix64-based RNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng {
+            state: state ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A type uniform sampling is defined for (mirrors rand's trait of the same
+/// name so `gen_range(1..122)` unifies the literal with the target type).
+pub trait SampleUniform: Copy {
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range");
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: Self, hi: Self, _inclusive: bool, raw: u64) -> Self {
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(self.start, self.end, false, next())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(*self.start(), *self.end(), true, next())
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}

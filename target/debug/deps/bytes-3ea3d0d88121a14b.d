@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3ea3d0d88121a14b.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3ea3d0d88121a14b.rlib: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3ea3d0d88121a14b.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

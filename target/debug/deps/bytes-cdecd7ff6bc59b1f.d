@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-cdecd7ff6bc59b1f.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-cdecd7ff6bc59b1f.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

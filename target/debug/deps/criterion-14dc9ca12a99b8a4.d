@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-14dc9ca12a99b8a4.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-14dc9ca12a99b8a4.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

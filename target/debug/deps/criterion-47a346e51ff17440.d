@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-47a346e51ff17440.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-47a346e51ff17440.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-47a346e51ff17440.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-12e80758a3bfc45a.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-12e80758a3bfc45a.rlib: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-12e80758a3bfc45a.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ea89cb01adb49f0b.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ea89cb01adb49f0b.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_equivalence-64de578f2e8adce5.d: tests/distributed_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_equivalence-64de578f2e8adce5.rmeta: tests/distributed_equivalence.rs Cargo.toml
+
+tests/distributed_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_equivalence-d304e51410b86f30.d: tests/distributed_equivalence.rs
+
+/root/repo/target/debug/deps/distributed_equivalence-d304e51410b86f30: tests/distributed_equivalence.rs
+
+tests/distributed_equivalence.rs:

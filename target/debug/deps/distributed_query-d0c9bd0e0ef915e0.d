@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_query-d0c9bd0e0ef915e0.d: crates/bench/benches/distributed_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_query-d0c9bd0e0ef915e0.rmeta: crates/bench/benches/distributed_query.rs Cargo.toml
+
+crates/bench/benches/distributed_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

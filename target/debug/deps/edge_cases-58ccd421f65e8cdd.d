@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-58ccd421f65e8cdd.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-58ccd421f65e8cdd: tests/edge_cases.rs
+
+tests/edge_cases.rs:

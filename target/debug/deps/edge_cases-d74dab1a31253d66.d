@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-d74dab1a31253d66.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-d74dab1a31253d66.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

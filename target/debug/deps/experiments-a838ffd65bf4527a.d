@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-a838ffd65bf4527a.d: tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-a838ffd65bf4527a.rmeta: tests/experiments.rs Cargo.toml
+
+tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

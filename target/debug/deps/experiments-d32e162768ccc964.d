@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d32e162768ccc964.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-d32e162768ccc964: tests/experiments.rs
+
+tests/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-674acc1473dd8cb7.d: tests/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-674acc1473dd8cb7.rmeta: tests/failures.rs Cargo.toml
+
+tests/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-7e071f6cead85852.d: tests/failures.rs
+
+/root/repo/target/debug/deps/failures-7e071f6cead85852: tests/failures.rs
+
+tests/failures.rs:

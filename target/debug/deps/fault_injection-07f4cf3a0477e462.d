@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-07f4cf3a0477e462.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-07f4cf3a0477e462: tests/fault_injection.rs
+
+tests/fault_injection.rs:

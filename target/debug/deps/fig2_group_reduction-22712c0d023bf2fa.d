@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_group_reduction-22712c0d023bf2fa.d: crates/bench/src/bin/fig2_group_reduction.rs
+
+/root/repo/target/debug/deps/fig2_group_reduction-22712c0d023bf2fa: crates/bench/src/bin/fig2_group_reduction.rs
+
+crates/bench/src/bin/fig2_group_reduction.rs:

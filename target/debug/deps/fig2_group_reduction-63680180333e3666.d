@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_group_reduction-63680180333e3666.d: crates/bench/src/bin/fig2_group_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_group_reduction-63680180333e3666.rmeta: crates/bench/src/bin/fig2_group_reduction.rs Cargo.toml
+
+crates/bench/src/bin/fig2_group_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

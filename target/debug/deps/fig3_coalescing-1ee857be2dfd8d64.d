@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_coalescing-1ee857be2dfd8d64.d: crates/bench/src/bin/fig3_coalescing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_coalescing-1ee857be2dfd8d64.rmeta: crates/bench/src/bin/fig3_coalescing.rs Cargo.toml
+
+crates/bench/src/bin/fig3_coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

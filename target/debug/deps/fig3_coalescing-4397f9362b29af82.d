@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_coalescing-4397f9362b29af82.d: crates/bench/src/bin/fig3_coalescing.rs
+
+/root/repo/target/debug/deps/fig3_coalescing-4397f9362b29af82: crates/bench/src/bin/fig3_coalescing.rs
+
+crates/bench/src/bin/fig3_coalescing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_sync_reduction-7953739b11690cf1.d: crates/bench/src/bin/fig4_sync_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_sync_reduction-7953739b11690cf1.rmeta: crates/bench/src/bin/fig4_sync_reduction.rs Cargo.toml
+
+crates/bench/src/bin/fig4_sync_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

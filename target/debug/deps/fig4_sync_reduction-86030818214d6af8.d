@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_sync_reduction-86030818214d6af8.d: crates/bench/src/bin/fig4_sync_reduction.rs
+
+/root/repo/target/debug/deps/fig4_sync_reduction-86030818214d6af8: crates/bench/src/bin/fig4_sync_reduction.rs
+
+crates/bench/src/bin/fig4_sync_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_scaleup-593a2914b12edd7b.d: crates/bench/src/bin/fig5_scaleup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_scaleup-593a2914b12edd7b.rmeta: crates/bench/src/bin/fig5_scaleup.rs Cargo.toml
+
+crates/bench/src/bin/fig5_scaleup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_scaleup-cce3b14b399b91c9.d: crates/bench/src/bin/fig5_scaleup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_scaleup-cce3b14b399b91c9.rmeta: crates/bench/src/bin/fig5_scaleup.rs Cargo.toml
+
+crates/bench/src/bin/fig5_scaleup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scaleup-f17c2358ce4bff69.d: crates/bench/src/bin/fig5_scaleup.rs
+
+/root/repo/target/debug/deps/fig5_scaleup-f17c2358ce4bff69: crates/bench/src/bin/fig5_scaleup.rs
+
+crates/bench/src/bin/fig5_scaleup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-273481dc1bc8c90f.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/fuzz_robustness-273481dc1bc8c90f: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

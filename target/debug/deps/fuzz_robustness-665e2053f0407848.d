@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_robustness-665e2053f0407848.d: tests/fuzz_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_robustness-665e2053f0407848.rmeta: tests/fuzz_robustness.rs Cargo.toml
+
+tests/fuzz_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator-56f1011167c650f9.d: crates/bench/benches/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator-56f1011167c650f9.rmeta: crates/bench/benches/generator.rs Cargo.toml
+
+crates/bench/benches/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmdj_local-7edc104292b4b521.d: crates/bench/benches/gmdj_local.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmdj_local-7edc104292b4b521.rmeta: crates/bench/benches/gmdj_local.rs Cargo.toml
+
+crates/bench/benches/gmdj_local.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

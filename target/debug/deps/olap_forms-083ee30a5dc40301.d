@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olap_forms-083ee30a5dc40301.d: tests/olap_forms.rs
+
+/root/repo/target/debug/deps/olap_forms-083ee30a5dc40301: tests/olap_forms.rs
+
+tests/olap_forms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olap_forms-1d9c21e653ba3864.d: tests/olap_forms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolap_forms-1d9c21e653ba3864.rmeta: tests/olap_forms.rs Cargo.toml
+
+tests/olap_forms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

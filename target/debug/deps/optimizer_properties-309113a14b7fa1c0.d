@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_properties-309113a14b7fa1c0.d: tests/optimizer_properties.rs
+
+/root/repo/target/debug/deps/optimizer_properties-309113a14b7fa1c0: tests/optimizer_properties.rs
+
+tests/optimizer_properties.rs:

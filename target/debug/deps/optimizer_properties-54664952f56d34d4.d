@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_properties-54664952f56d34d4.d: tests/optimizer_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_properties-54664952f56d34d4.rmeta: tests/optimizer_properties.rs Cargo.toml
+
+tests/optimizer_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c984f71954b1a4cd.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c984f71954b1a4cd.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c984f71954b1a4cd.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

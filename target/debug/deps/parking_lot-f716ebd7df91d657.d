@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-f716ebd7df91d657.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f716ebd7df91d657.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-46fb9f77dd709e8e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-46fb9f77dd709e8e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-39bfc2f6bb733b53.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-39bfc2f6bb733b53.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8e11e984352b81b1.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8e11e984352b81b1.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8e11e984352b81b1.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_language-963b3217057a48e5.d: tests/query_language.rs
+
+/root/repo/target/debug/deps/query_language-963b3217057a48e5: tests/query_language.rs
+
+tests/query_language.rs:

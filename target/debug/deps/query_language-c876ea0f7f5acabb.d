@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_language-c876ea0f7f5acabb.d: tests/query_language.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_language-c876ea0f7f5acabb.rmeta: tests/query_language.rs Cargo.toml
+
+tests/query_language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

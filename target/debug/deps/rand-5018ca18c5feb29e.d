@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5018ca18c5feb29e.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5018ca18c5feb29e.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5018ca18c5feb29e.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/row_blocking-29f5c6de61c8c732.d: tests/row_blocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/librow_blocking-29f5c6de61c8c732.rmeta: tests/row_blocking.rs Cargo.toml
+
+tests/row_blocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

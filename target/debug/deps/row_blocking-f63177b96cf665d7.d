@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/row_blocking-f63177b96cf665d7.d: tests/row_blocking.rs
+
+/root/repo/target/debug/deps/row_blocking-f63177b96cf665d7: tests/row_blocking.rs
+
+tests/row_blocking.rs:

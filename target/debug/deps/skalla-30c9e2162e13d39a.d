@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skalla-30c9e2162e13d39a.d: src/lib.rs
+
+/root/repo/target/debug/deps/skalla-30c9e2162e13d39a: src/lib.rs
+
+src/lib.rs:

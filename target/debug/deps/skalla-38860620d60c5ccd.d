@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skalla-38860620d60c5ccd.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/skalla-38860620d60c5ccd: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

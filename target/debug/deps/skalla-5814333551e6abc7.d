@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla-5814333551e6abc7.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla-5814333551e6abc7.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

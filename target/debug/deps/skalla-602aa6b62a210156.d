@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla-602aa6b62a210156.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla-602aa6b62a210156.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

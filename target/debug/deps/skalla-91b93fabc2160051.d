@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla-91b93fabc2160051.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla-91b93fabc2160051.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

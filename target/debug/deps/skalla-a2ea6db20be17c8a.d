@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skalla-a2ea6db20be17c8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libskalla-a2ea6db20be17c8a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libskalla-a2ea6db20be17c8a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skalla-b952a313b0e8536b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/skalla-b952a313b0e8536b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

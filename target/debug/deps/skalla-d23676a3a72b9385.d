@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla-d23676a3a72b9385.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla-d23676a3a72b9385.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

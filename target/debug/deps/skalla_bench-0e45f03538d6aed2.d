@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skalla_bench-0e45f03538d6aed2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+/root/repo/target/debug/deps/libskalla_bench-0e45f03538d6aed2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/queries.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skalla_bench-962a0246057961e4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_bench-962a0246057961e4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

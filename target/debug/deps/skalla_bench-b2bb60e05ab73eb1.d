@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skalla_bench-b2bb60e05ab73eb1.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+/root/repo/target/debug/deps/skalla_bench-b2bb60e05ab73eb1: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_bench-daed8cd14d6010bf.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+/root/repo/target/debug/deps/libskalla_bench-daed8cd14d6010bf.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+/root/repo/target/debug/deps/libskalla_bench-daed8cd14d6010bf.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/queries.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/queries.rs:

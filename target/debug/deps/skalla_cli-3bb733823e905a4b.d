@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_cli-3bb733823e905a4b.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_cli-3bb733823e905a4b.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skalla_cli-410b2d7fc3ea98b7.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libskalla_cli-410b2d7fc3ea98b7.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libskalla_cli-410b2d7fc3ea98b7.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

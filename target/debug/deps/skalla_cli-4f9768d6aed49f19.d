@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_cli-4f9768d6aed49f19.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_cli-4f9768d6aed49f19.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

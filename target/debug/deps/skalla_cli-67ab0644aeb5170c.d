@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skalla_cli-67ab0644aeb5170c.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/skalla_cli-67ab0644aeb5170c: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skalla_cli-dc8eb91ac2ff0e3c.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libskalla_cli-dc8eb91ac2ff0e3c.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

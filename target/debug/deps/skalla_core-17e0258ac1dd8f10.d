@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/skalla_core-17e0258ac1dd8f10.d: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_core-17e0258ac1dd8f10.rmeta: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseresult.rs:
+crates/core/src/message.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/site.rs:
+crates/core/src/tree.rs:
+crates/core/src/warehouse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/skalla_core-32ee9f42d1e3000a.d: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+/root/repo/target/debug/deps/libskalla_core-32ee9f42d1e3000a.rmeta: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseresult.rs:
+crates/core/src/message.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/site.rs:
+crates/core/src/tree.rs:
+crates/core/src/warehouse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/skalla_core-3b5d9c16de96265f.d: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+/root/repo/target/debug/deps/libskalla_core-3b5d9c16de96265f.rlib: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+/root/repo/target/debug/deps/libskalla_core-3b5d9c16de96265f.rmeta: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseresult.rs:
+crates/core/src/message.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/site.rs:
+crates/core/src/tree.rs:
+crates/core/src/warehouse.rs:

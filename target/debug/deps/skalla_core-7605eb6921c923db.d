@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/skalla_core-7605eb6921c923db.d: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+/root/repo/target/debug/deps/skalla_core-7605eb6921c923db: crates/core/src/lib.rs crates/core/src/baseresult.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/plan.rs crates/core/src/site.rs crates/core/src/tree.rs crates/core/src/warehouse.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseresult.rs:
+crates/core/src/message.rs:
+crates/core/src/metrics.rs:
+crates/core/src/plan.rs:
+crates/core/src/site.rs:
+crates/core/src/tree.rs:
+crates/core/src/warehouse.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/skalla_expr-4bd5321db1b06455.d: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_expr-4bd5321db1b06455.rmeta: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs Cargo.toml
+
+crates/expr/src/lib.rs:
+crates/expr/src/analysis.rs:
+crates/expr/src/builder.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/expr.rs:
+crates/expr/src/interval.rs:
+crates/expr/src/linear.rs:
+crates/expr/src/reduction.rs:
+crates/expr/src/simplify.rs:
+crates/expr/src/typecheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

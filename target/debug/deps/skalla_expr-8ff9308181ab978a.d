@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/skalla_expr-8ff9308181ab978a.d: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+/root/repo/target/debug/deps/libskalla_expr-8ff9308181ab978a.rmeta: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/analysis.rs:
+crates/expr/src/builder.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/expr.rs:
+crates/expr/src/interval.rs:
+crates/expr/src/linear.rs:
+crates/expr/src/reduction.rs:
+crates/expr/src/simplify.rs:
+crates/expr/src/typecheck.rs:

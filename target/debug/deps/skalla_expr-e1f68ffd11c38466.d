@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/skalla_expr-e1f68ffd11c38466.d: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+/root/repo/target/debug/deps/libskalla_expr-e1f68ffd11c38466.rlib: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+/root/repo/target/debug/deps/libskalla_expr-e1f68ffd11c38466.rmeta: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/analysis.rs:
+crates/expr/src/builder.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/expr.rs:
+crates/expr/src/interval.rs:
+crates/expr/src/linear.rs:
+crates/expr/src/reduction.rs:
+crates/expr/src/simplify.rs:
+crates/expr/src/typecheck.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/skalla_gmdj-619f789f9e526edf.d: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_gmdj-619f789f9e526edf.rmeta: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs Cargo.toml
+
+crates/gmdj/src/lib.rs:
+crates/gmdj/src/agg.rs:
+crates/gmdj/src/centralized.rs:
+crates/gmdj/src/coalesce.rs:
+crates/gmdj/src/eval.rs:
+crates/gmdj/src/olap.rs:
+crates/gmdj/src/op.rs:
+crates/gmdj/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

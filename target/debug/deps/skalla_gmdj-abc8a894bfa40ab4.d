@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/skalla_gmdj-abc8a894bfa40ab4.d: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+/root/repo/target/debug/deps/libskalla_gmdj-abc8a894bfa40ab4.rmeta: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+crates/gmdj/src/lib.rs:
+crates/gmdj/src/agg.rs:
+crates/gmdj/src/centralized.rs:
+crates/gmdj/src/coalesce.rs:
+crates/gmdj/src/eval.rs:
+crates/gmdj/src/olap.rs:
+crates/gmdj/src/op.rs:
+crates/gmdj/src/sql.rs:

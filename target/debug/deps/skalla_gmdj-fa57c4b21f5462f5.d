@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/skalla_gmdj-fa57c4b21f5462f5.d: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+/root/repo/target/debug/deps/skalla_gmdj-fa57c4b21f5462f5: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+crates/gmdj/src/lib.rs:
+crates/gmdj/src/agg.rs:
+crates/gmdj/src/centralized.rs:
+crates/gmdj/src/coalesce.rs:
+crates/gmdj/src/eval.rs:
+crates/gmdj/src/olap.rs:
+crates/gmdj/src/op.rs:
+crates/gmdj/src/sql.rs:

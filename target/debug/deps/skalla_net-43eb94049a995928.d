@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_net-43eb94049a995928.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/skalla_net-43eb94049a995928: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/fault.rs:
+crates/net/src/sim.rs:
+crates/net/src/wire.rs:

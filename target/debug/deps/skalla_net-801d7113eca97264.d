@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skalla_net-801d7113eca97264.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_net-801d7113eca97264.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/fault.rs:
+crates/net/src/sim.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

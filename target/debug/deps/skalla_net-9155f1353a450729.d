@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skalla_net-9155f1353a450729.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libskalla_net-9155f1353a450729.rlib: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libskalla_net-9155f1353a450729.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/fault.rs:
+crates/net/src/sim.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_net-f5f52eb46cd39bed.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libskalla_net-f5f52eb46cd39bed.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/fault.rs:
+crates/net/src/sim.rs:
+crates/net/src/wire.rs:

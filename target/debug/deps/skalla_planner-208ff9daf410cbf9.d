@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skalla_planner-208ff9daf410cbf9.d: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/debug/deps/libskalla_planner-208ff9daf410cbf9.rlib: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/debug/deps/libskalla_planner-208ff9daf410cbf9.rmeta: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cost.rs:
+crates/planner/src/egil.rs:
+crates/planner/src/info.rs:
+crates/planner/src/parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_planner-7ed75a32e25354b8.d: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/debug/deps/skalla_planner-7ed75a32e25354b8: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cost.rs:
+crates/planner/src/egil.rs:
+crates/planner/src/info.rs:
+crates/planner/src/parser.rs:

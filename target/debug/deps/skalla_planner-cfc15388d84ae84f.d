@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_planner-cfc15388d84ae84f.d: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/debug/deps/libskalla_planner-cfc15388d84ae84f.rmeta: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cost.rs:
+crates/planner/src/egil.rs:
+crates/planner/src/info.rs:
+crates/planner/src/parser.rs:

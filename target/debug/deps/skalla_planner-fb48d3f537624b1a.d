@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skalla_planner-fb48d3f537624b1a.d: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_planner-fb48d3f537624b1a.rmeta: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs Cargo.toml
+
+crates/planner/src/lib.rs:
+crates/planner/src/cost.rs:
+crates/planner/src/egil.rs:
+crates/planner/src/info.rs:
+crates/planner/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skalla_storage-404eea488f6b8aaf.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/skalla_storage-404eea488f6b8aaf: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/column.rs:
+crates/storage/src/index.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/skalla_storage-74bc0885a1ae6d4d.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_storage-74bc0885a1ae6d4d.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/column.rs:
+crates/storage/src/index.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

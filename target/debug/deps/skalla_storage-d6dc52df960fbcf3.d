@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skalla_storage-d6dc52df960fbcf3.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libskalla_storage-d6dc52df960fbcf3.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libskalla_storage-d6dc52df960fbcf3.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/column.rs:
+crates/storage/src/index.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/skalla_tpcr-7ac14c6d128b8f6e.d: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/debug/deps/libskalla_tpcr-7ac14c6d128b8f6e.rlib: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/debug/deps/libskalla_tpcr-7ac14c6d128b8f6e.rmeta: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+crates/tpcr/src/lib.rs:
+crates/tpcr/src/io.rs:

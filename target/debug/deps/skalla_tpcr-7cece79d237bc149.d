@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/skalla_tpcr-7cece79d237bc149.d: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/debug/deps/libskalla_tpcr-7cece79d237bc149.rmeta: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+crates/tpcr/src/lib.rs:
+crates/tpcr/src/io.rs:

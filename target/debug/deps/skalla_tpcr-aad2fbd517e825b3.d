@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skalla_tpcr-aad2fbd517e825b3.d: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_tpcr-aad2fbd517e825b3.rmeta: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs Cargo.toml
+
+crates/tpcr/src/lib.rs:
+crates/tpcr/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

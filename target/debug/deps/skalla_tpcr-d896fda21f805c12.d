@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/skalla_tpcr-d896fda21f805c12.d: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/debug/deps/skalla_tpcr-d896fda21f805c12: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+crates/tpcr/src/lib.rs:
+crates/tpcr/src/io.rs:

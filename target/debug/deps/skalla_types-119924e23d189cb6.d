@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skalla_types-119924e23d189cb6.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_types-119924e23d189cb6.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/relation.rs:
+crates/types/src/schema.rs:
+crates/types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skalla_types-9bf116b4ddc0f75c.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskalla_types-9bf116b4ddc0f75c.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/relation.rs:
+crates/types/src/schema.rs:
+crates/types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skalla_types-b40e69f4851877bd.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libskalla_types-b40e69f4851877bd.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libskalla_types-b40e69f4851877bd.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/relation.rs:
+crates/types/src/schema.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skalla_types-cc75657c40c5523a.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libskalla_types-cc75657c40c5523a.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/relation.rs:
+crates/types/src/schema.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synchronization-1adaa6e8f51cb89f.d: crates/bench/benches/synchronization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynchronization-1adaa6e8f51cb89f.rmeta: crates/bench/benches/synchronization.rs Cargo.toml
+
+crates/bench/benches/synchronization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-3a82a90462c8975e.d: tests/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-3a82a90462c8975e.rmeta: tests/theorems.rs Cargo.toml
+
+tests/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-85ce10b3dd787787.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/theorems-85ce10b3dd787787: tests/theorems.rs
+
+tests/theorems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_ablation-945b0ad2cee32272.d: crates/bench/src/bin/topology_ablation.rs
+
+/root/repo/target/debug/deps/topology_ablation-945b0ad2cee32272: crates/bench/src/bin/topology_ablation.rs
+
+crates/bench/src/bin/topology_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_ablation-d9629c0cf0ed4485.d: crates/bench/src/bin/topology_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_ablation-d9629c0cf0ed4485.rmeta: crates/bench/src/bin/topology_ablation.rs Cargo.toml
+
+crates/bench/src/bin/topology_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer_bound-2161d9e5b069a6a3.d: crates/bench/src/bin/transfer_bound.rs
+
+/root/repo/target/debug/deps/transfer_bound-2161d9e5b069a6a3: crates/bench/src/bin/transfer_bound.rs
+
+crates/bench/src/bin/transfer_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transfer_bound-79f21202f2e81c58.d: crates/bench/src/bin/transfer_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransfer_bound-79f21202f2e81c58.rmeta: crates/bench/src/bin/transfer_bound.rs Cargo.toml
+
+crates/bench/src/bin/transfer_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

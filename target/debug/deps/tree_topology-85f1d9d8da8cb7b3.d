@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tree_topology-85f1d9d8da8cb7b3.d: tests/tree_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtree_topology-85f1d9d8da8cb7b3.rmeta: tests/tree_topology.rs Cargo.toml
+
+tests/tree_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tree_topology-e653f5f2322e856c.d: tests/tree_topology.rs
+
+/root/repo/target/debug/deps/tree_topology-e653f5f2322e856c: tests/tree_topology.rs
+
+tests/tree_topology.rs:

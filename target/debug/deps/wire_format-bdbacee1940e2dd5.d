@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_format-bdbacee1940e2dd5.d: crates/bench/benches/wire_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_format-bdbacee1940e2dd5.rmeta: crates/bench/benches/wire_format.rs Cargo.toml
+
+crates/bench/benches/wire_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacube-07388bdbee2e5990.d: examples/datacube.rs
+
+/root/repo/target/debug/examples/datacube-07388bdbee2e5990: examples/datacube.rs
+
+examples/datacube.rs:

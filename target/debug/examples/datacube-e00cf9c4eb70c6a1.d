@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacube-e00cf9c4eb70c6a1.d: examples/datacube.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacube-e00cf9c4eb70c6a1.rmeta: examples/datacube.rs Cargo.toml
+
+examples/datacube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ip_flow_analysis-ae998ed7456482c6.d: examples/ip_flow_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libip_flow_analysis-ae998ed7456482c6.rmeta: examples/ip_flow_analysis.rs Cargo.toml
+
+examples/ip_flow_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ip_flow_analysis-f54770fa61c22224.d: examples/ip_flow_analysis.rs
+
+/root/repo/target/debug/examples/ip_flow_analysis-f54770fa61c22224: examples/ip_flow_analysis.rs
+
+examples/ip_flow_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimizer_tour-5ee69f79a38fb15a.d: examples/optimizer_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_tour-5ee69f79a38fb15a.rmeta: examples/optimizer_tour.rs Cargo.toml
+
+examples/optimizer_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_tour-72d8d3e60c75821f.d: examples/optimizer_tour.rs
+
+/root/repo/target/debug/examples/optimizer_tour-72d8d3e60c75821f: examples/optimizer_tour.rs
+
+examples/optimizer_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0edc601e0d215845.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0edc601e0d215845: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5a41d983d5191fce.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5a41d983d5191fce.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcr_distributed-0f7fb571b51b8da7.d: examples/tpcr_distributed.rs
+
+/root/repo/target/debug/examples/tpcr_distributed-0f7fb571b51b8da7: examples/tpcr_distributed.rs
+
+examples/tpcr_distributed.rs:

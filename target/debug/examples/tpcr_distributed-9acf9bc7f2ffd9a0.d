@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcr_distributed-9acf9bc7f2ffd9a0.d: examples/tpcr_distributed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcr_distributed-9acf9bc7f2ffd9a0.rmeta: examples/tpcr_distributed.rs Cargo.toml
+
+examples/tpcr_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

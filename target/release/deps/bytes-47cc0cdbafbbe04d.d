@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-47cc0cdbafbbe04d.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-47cc0cdbafbbe04d.rlib: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-47cc0cdbafbbe04d.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-9163e11ec7978d5b.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-9163e11ec7978d5b.rlib: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-9163e11ec7978d5b.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

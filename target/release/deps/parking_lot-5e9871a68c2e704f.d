@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-5e9871a68c2e704f.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5e9871a68c2e704f.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5e9871a68c2e704f.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

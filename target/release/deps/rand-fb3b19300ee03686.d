@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fb3b19300ee03686.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fb3b19300ee03686.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fb3b19300ee03686.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/skalla-e0ec119127348a14.d: src/lib.rs
+
+/root/repo/target/release/deps/libskalla-e0ec119127348a14.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libskalla-e0ec119127348a14.rmeta: src/lib.rs
+
+src/lib.rs:

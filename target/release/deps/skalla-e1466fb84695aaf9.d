@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/skalla-e1466fb84695aaf9.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/skalla-e1466fb84695aaf9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

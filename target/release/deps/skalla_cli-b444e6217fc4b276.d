@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/skalla_cli-b444e6217fc4b276.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libskalla_cli-b444e6217fc4b276.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libskalla_cli-b444e6217fc4b276.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

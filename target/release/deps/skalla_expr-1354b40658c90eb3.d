@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/skalla_expr-1354b40658c90eb3.d: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+/root/repo/target/release/deps/libskalla_expr-1354b40658c90eb3.rlib: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+/root/repo/target/release/deps/libskalla_expr-1354b40658c90eb3.rmeta: crates/expr/src/lib.rs crates/expr/src/analysis.rs crates/expr/src/builder.rs crates/expr/src/eval.rs crates/expr/src/expr.rs crates/expr/src/interval.rs crates/expr/src/linear.rs crates/expr/src/reduction.rs crates/expr/src/simplify.rs crates/expr/src/typecheck.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/analysis.rs:
+crates/expr/src/builder.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/expr.rs:
+crates/expr/src/interval.rs:
+crates/expr/src/linear.rs:
+crates/expr/src/reduction.rs:
+crates/expr/src/simplify.rs:
+crates/expr/src/typecheck.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/skalla_gmdj-b13f179b827aa112.d: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+/root/repo/target/release/deps/libskalla_gmdj-b13f179b827aa112.rlib: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+/root/repo/target/release/deps/libskalla_gmdj-b13f179b827aa112.rmeta: crates/gmdj/src/lib.rs crates/gmdj/src/agg.rs crates/gmdj/src/centralized.rs crates/gmdj/src/coalesce.rs crates/gmdj/src/eval.rs crates/gmdj/src/olap.rs crates/gmdj/src/op.rs crates/gmdj/src/sql.rs
+
+crates/gmdj/src/lib.rs:
+crates/gmdj/src/agg.rs:
+crates/gmdj/src/centralized.rs:
+crates/gmdj/src/coalesce.rs:
+crates/gmdj/src/eval.rs:
+crates/gmdj/src/olap.rs:
+crates/gmdj/src/op.rs:
+crates/gmdj/src/sql.rs:

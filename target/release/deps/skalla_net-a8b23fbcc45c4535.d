@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/skalla_net-a8b23fbcc45c4535.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libskalla_net-a8b23fbcc45c4535.rlib: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libskalla_net-a8b23fbcc45c4535.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/sim.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/fault.rs:
+crates/net/src/sim.rs:
+crates/net/src/wire.rs:

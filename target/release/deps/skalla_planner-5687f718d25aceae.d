@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/skalla_planner-5687f718d25aceae.d: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/release/deps/libskalla_planner-5687f718d25aceae.rlib: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+/root/repo/target/release/deps/libskalla_planner-5687f718d25aceae.rmeta: crates/planner/src/lib.rs crates/planner/src/cost.rs crates/planner/src/egil.rs crates/planner/src/info.rs crates/planner/src/parser.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cost.rs:
+crates/planner/src/egil.rs:
+crates/planner/src/info.rs:
+crates/planner/src/parser.rs:

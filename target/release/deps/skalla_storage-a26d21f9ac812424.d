@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/skalla_storage-a26d21f9ac812424.d: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libskalla_storage-a26d21f9ac812424.rlib: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libskalla_storage-a26d21f9ac812424.rmeta: crates/storage/src/lib.rs crates/storage/src/catalog.rs crates/storage/src/column.rs crates/storage/src/index.rs crates/storage/src/partition.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/column.rs:
+crates/storage/src/index.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

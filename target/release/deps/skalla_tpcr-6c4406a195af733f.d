@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/skalla_tpcr-6c4406a195af733f.d: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/release/deps/libskalla_tpcr-6c4406a195af733f.rlib: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+/root/repo/target/release/deps/libskalla_tpcr-6c4406a195af733f.rmeta: crates/tpcr/src/lib.rs crates/tpcr/src/io.rs
+
+crates/tpcr/src/lib.rs:
+crates/tpcr/src/io.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/skalla_types-34a4a81e351b4999.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libskalla_types-34a4a81e351b4999.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libskalla_types-34a4a81e351b4999.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/relation.rs crates/types/src/schema.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/relation.rs:
+crates/types/src/schema.rs:
+crates/types/src/value.rs:
