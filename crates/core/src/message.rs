@@ -56,6 +56,12 @@ pub enum Message {
         h: Relation,
         /// Site compute seconds (reported on the final chunk).
         compute_s: f64,
+        /// GMDJ blocks evaluated through compiled kernels (reported on the
+        /// final chunk; zero on earlier chunks, like `compute_s`).
+        blocks_compiled: u32,
+        /// GMDJ blocks that fell back to the row-at-a-time interpreter
+        /// (reported on the final chunk).
+        blocks_interpreted: u32,
         /// `false` while more chunks follow (row blocking).
         last: bool,
     },
@@ -82,6 +88,12 @@ pub enum Message {
         ship: Relation,
         /// Site compute seconds (reported on the final chunk).
         compute_s: f64,
+        /// GMDJ blocks evaluated through compiled kernels, summed over the
+        /// run's operators (reported on the final chunk).
+        blocks_compiled: u32,
+        /// GMDJ blocks that fell back to the interpreter, summed over the
+        /// run's operators (reported on the final chunk).
+        blocks_interpreted: u32,
         /// `false` while more chunks follow (row blocking).
         last: bool,
     },
@@ -184,6 +196,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             seq,
             h,
             compute_s,
+            blocks_compiled,
+            blocks_interpreted,
             last,
         } => {
             buf.put_u8(4);
@@ -191,6 +205,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_varint(buf, u64::from(*seq));
             h.encode(buf);
             put_f64(buf, *compute_s);
+            put_varint(buf, u64::from(*blocks_compiled));
+            put_varint(buf, u64::from(*blocks_interpreted));
             last.encode(buf);
         }
         Message::LocalRun { start, end, base } => {
@@ -204,6 +220,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             seq,
             ship,
             compute_s,
+            blocks_compiled,
+            blocks_interpreted,
             last,
         } => {
             buf.put_u8(6);
@@ -211,6 +229,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_varint(buf, u64::from(*seq));
             ship.encode(buf);
             put_f64(buf, *compute_s);
+            put_varint(buf, u64::from(*blocks_compiled));
+            put_varint(buf, u64::from(*blocks_interpreted));
             last.encode(buf);
         }
         Message::ShipAllRequest { table } => {
@@ -247,6 +267,8 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             seq: r.varint()? as u32,
             h: Relation::decode(r)?,
             compute_s: r.f64()?,
+            blocks_compiled: r.varint()? as u32,
+            blocks_interpreted: r.varint()? as u32,
             last: bool::decode(r)?,
         }),
         5 => Ok(Message::LocalRun {
@@ -259,6 +281,8 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             seq: r.varint()? as u32,
             ship: Relation::decode(r)?,
             compute_s: r.f64()?,
+            blocks_compiled: r.varint()? as u32,
+            blocks_interpreted: r.varint()? as u32,
             last: bool::decode(r)?,
         }),
         7 => Ok(Message::ShipAllRequest { table: r.string()? }),
@@ -749,6 +773,8 @@ mod tests {
             seq: 0,
             h: rel.clone(),
             compute_s: 1.5,
+            blocks_compiled: 2,
+            blocks_interpreted: 1,
             last: true,
         });
         round_trip(&Message::RoundResult {
@@ -756,6 +782,8 @@ mod tests {
             seq: 17,
             h: rel.clone(),
             compute_s: 0.0,
+            blocks_compiled: 0,
+            blocks_interpreted: 0,
             last: false,
         });
         round_trip(&Message::LocalRun {
@@ -773,6 +801,8 @@ mod tests {
             seq: 1,
             ship: rel.clone(),
             compute_s: 0.0,
+            blocks_compiled: 3,
+            blocks_interpreted: 0,
             last: true,
         });
         round_trip(&Message::ShipAllRequest {

@@ -69,6 +69,12 @@ pub struct RoundMetrics {
     pub sites: usize,
     /// Groups (rows) in the synchronized structure after this round.
     pub groups: usize,
+    /// GMDJ blocks the sites evaluated through compiled (vectorized)
+    /// kernels this round, summed across sites.
+    pub blocks_compiled: u64,
+    /// GMDJ blocks the sites evaluated with the row-at-a-time interpreter
+    /// this round, summed across sites.
+    pub blocks_interpreted: u64,
 }
 
 impl RoundMetrics {
@@ -150,6 +156,17 @@ impl ExecMetrics {
         self.rounds.len()
     }
 
+    /// Total GMDJ blocks evaluated through compiled kernels, across all
+    /// rounds and sites.
+    pub fn total_blocks_compiled(&self) -> u64 {
+        self.rounds.iter().map(|r| r.blocks_compiled).sum()
+    }
+
+    /// Total GMDJ blocks that fell back to the row-at-a-time interpreter.
+    pub fn total_blocks_interpreted(&self) -> u64 {
+        self.rounds.iter().map(|r| r.blocks_interpreted).sum()
+    }
+
     /// A per-round table (label, traffic, compute components) — the
     /// detailed view behind [`ExecMetrics::summary`].
     pub fn render_rounds(&self) -> String {
@@ -199,6 +216,13 @@ impl ExecMetrics {
             self.comm_s(),
             self.wall_s,
         );
+        let (bc, bi) = (
+            self.total_blocks_compiled(),
+            self.total_blocks_interpreted(),
+        );
+        if bc + bi > 0 {
+            s.push_str(&format!(" | blocks: {bc} compiled, {bi} interpreted"));
+        }
         if let Some(c) = self.coverage {
             if !c.is_complete() {
                 s.push_str(&format!(" | coverage: {c}"));
@@ -226,6 +250,8 @@ mod tests {
             comm_modeled_s: comm,
             sites: 2,
             groups: 10,
+            blocks_compiled: 2,
+            blocks_interpreted: 1,
         }
     }
 
@@ -251,7 +277,10 @@ mod tests {
         assert!((m.site_compute_s() - 0.3).abs() < 1e-12);
         assert!((m.coord_compute_s() - 0.03).abs() < 1e-12);
         assert!((m.comm_s() - 0.4).abs() < 1e-12);
+        assert_eq!(m.total_blocks_compiled(), 4);
+        assert_eq!(m.total_blocks_interpreted(), 2);
         assert!(m.summary().contains("2 rounds"));
+        assert!(m.summary().contains("blocks: 4 compiled, 2 interpreted"));
         let table = m.render_rounds();
         assert!(table.contains("round"));
         assert_eq!(table.lines().count(), 3); // header + 2 rounds

@@ -199,7 +199,9 @@ impl SiteState {
             parallelism: plan.site_parallelism,
             ..Default::default()
         };
-        let (h, _stats) = eval_gmdj_sub(&base, &*detail, detail.schema(), op, &opts)?;
+        let (h, stats) = eval_gmdj_sub(&base, &*detail, detail.schema(), op, &opts)?;
+        let blocks_compiled = stats.blocks_compiled;
+        let blocks_interpreted = (stats.blocks_hashed + stats.blocks_nested) - blocks_compiled;
         let h = if reduce { strip_unmatched(h)? } else { h };
         let compute_s = started.elapsed().as_secs_f64();
         Ok(chunk_relation(h, plan.block_rows)
@@ -210,6 +212,8 @@ impl SiteState {
                 seq: seq as u32,
                 h: chunk,
                 compute_s: if last { compute_s } else { 0.0 },
+                blocks_compiled: if last { blocks_compiled } else { 0 },
+                blocks_interpreted: if last { blocks_interpreted } else { 0 },
                 last,
             })
             .collect())
@@ -245,6 +249,8 @@ impl SiteState {
         let mut total_matches = vec![0u64; n];
         let mut current = base_rel.clone();
         let mut state_fields = Vec::new();
+        let mut blocks_compiled = 0u32;
+        let mut blocks_interpreted = 0u32;
 
         for k in start..=end {
             let op = &expr.ops[k];
@@ -264,6 +270,9 @@ impl SiteState {
                 acc_states[i].extend(st.iter().cloned());
                 total_matches[i] += dual.match_counts[i];
             }
+            blocks_compiled += dual.stats.blocks_compiled;
+            blocks_interpreted +=
+                (dual.stats.blocks_hashed + dual.stats.blocks_nested) - dual.stats.blocks_compiled;
             current = dual.full;
         }
 
@@ -290,6 +299,8 @@ impl SiteState {
                 seq: seq as u32,
                 ship: chunk,
                 compute_s: if last { compute_s } else { 0.0 },
+                blocks_compiled: if last { blocks_compiled } else { 0 },
+                blocks_interpreted: if last { blocks_interpreted } else { 0 },
                 last,
             })
             .collect())

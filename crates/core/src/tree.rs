@@ -272,12 +272,14 @@ impl MidState {
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
+                let (merged, max_s, bc, bi) = self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::RoundResult {
                     op_idx,
                     seq: 0,
                     h: merged,
                     compute_s: max_s,
+                    blocks_compiled: bc,
+                    blocks_interpreted: bi,
                     last: true,
                 }])
             }
@@ -294,12 +296,14 @@ impl MidState {
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s) = self.merge_cluster(ep, children.len(), specs)?;
+                let (merged, max_s, bc, bi) = self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::LocalRunResult {
                     end,
                     seq: 0,
                     ship: merged,
                     compute_s: max_s,
+                    blocks_compiled: bc,
+                    blocks_interpreted: bi,
                     last: true,
                 }])
             }
@@ -373,13 +377,14 @@ impl MidState {
     }
 
     /// Pre-synchronize the cluster's fragments (handles row-blocked chunks)
-    /// and return the merged state relation plus the slowest child time.
+    /// and return the merged state relation, the slowest child time, and
+    /// the cluster's summed compiled/interpreted block counts.
     fn merge_cluster(
         &self,
         ep: &Endpoint,
         num_children: usize,
         specs: Vec<AggSpec>,
-    ) -> Result<(Relation, f64)> {
+    ) -> Result<(Relation, f64, u32, u32)> {
         let plan = self.plan.as_ref().expect("checked in segment_specs");
         let key = plan.expr.key.clone();
         let state_width: usize = specs.iter().map(AggSpec::state_width).sum();
@@ -387,17 +392,26 @@ impl MidState {
         let mut x: Option<BaseResult> = None;
         let mut pending = num_children;
         let mut max_s: f64 = 0.0;
+        let mut total_bc = 0u32;
+        let mut total_bi = 0u32;
         while pending > 0 {
-            let (h, compute_s, last) = match self.recv(ep)? {
+            let (h, compute_s, bc, bi, last) = match self.recv(ep)? {
                 Message::RoundResult {
-                    h, compute_s, last, ..
-                } => (h, compute_s, last),
+                    h,
+                    compute_s,
+                    blocks_compiled,
+                    blocks_interpreted,
+                    last,
+                    ..
+                } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
                 Message::LocalRunResult {
                     ship,
                     compute_s,
+                    blocks_compiled,
+                    blocks_interpreted,
                     last,
                     ..
-                } => (ship, compute_s, last),
+                } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
                 other => {
                     return Err(SkallaError::exec(format!(
                         "mid-tier expected round result, got {other:?}"
@@ -406,6 +420,8 @@ impl MidState {
             };
             if last {
                 max_s = max_s.max(compute_s);
+                total_bc += bc;
+                total_bi += bi;
                 pending -= 1;
             }
             let x = match &mut x {
@@ -434,6 +450,6 @@ impl MidState {
             Some(x) => x.to_state_relation()?,
             None => return Err(SkallaError::exec("mid-tier cluster produced no fragments")),
         };
-        Ok((merged, max_s))
+        Ok((merged, max_s, total_bc, total_bi))
     }
 }

@@ -335,6 +335,8 @@ impl DistributedWarehouse {
             comm_modeled_s: delta.serial_time(&cost),
             sites: site_times.len(),
             groups,
+            blocks_compiled: 0,
+            blocks_interpreted: 0,
         }
     }
 
@@ -545,6 +547,8 @@ impl DistributedWarehouse {
             let mut coord_sync_s = 0.0;
             let mut site_times = Vec::with_capacity(requests.len());
             let mut rows_up = 0u64;
+            let mut blocks_compiled = 0u64;
+            let mut blocks_interpreted = 0u64;
             self.collect_round(
                 round_no,
                 &plan.retry,
@@ -552,22 +556,31 @@ impl DistributedWarehouse {
                 &requests,
                 &mut dead,
                 &mut |src, msg| {
-                    let (h, compute_s, last) = match msg {
+                    let (h, compute_s, bc, bi, last) = match msg {
                         Message::RoundResult {
-                            h, compute_s, last, ..
-                        } => (h, compute_s, last),
+                            h,
+                            compute_s,
+                            blocks_compiled,
+                            blocks_interpreted,
+                            last,
+                            ..
+                        } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
                         Message::LocalRunResult {
                             ship,
                             compute_s,
+                            blocks_compiled,
+                            blocks_interpreted,
                             last,
                             ..
-                        } => (ship, compute_s, last),
+                        } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
                         other => {
                             return Err(SkallaError::exec(format!(
                                 "site {src}: expected round result, got {other:?}"
                             )))
                         }
                     };
+                    blocks_compiled += u64::from(bc);
+                    blocks_interpreted += u64::from(bi);
                     let t = Instant::now();
                     rows_up += h.len() as u64;
                     x.merge_fragment(&h, local_base)?;
@@ -583,7 +596,7 @@ impl DistributedWarehouse {
             coord_sync_s += t_final.elapsed().as_secs_f64();
             let groups = finalized.len();
             current = Some(finalized);
-            metrics.rounds.push(self.round_metrics_from(
+            let mut rm = self.round_metrics_from(
                 label,
                 &before,
                 &site_times,
@@ -591,7 +604,10 @@ impl DistributedWarehouse {
                 groups,
                 rows_down,
                 rows_up,
-            ));
+            );
+            rm.blocks_compiled = blocks_compiled;
+            rm.blocks_interpreted = blocks_interpreted;
+            metrics.rounds.push(rm);
         }
 
         metrics.wall_s = wall_start.elapsed().as_secs_f64();
@@ -982,6 +998,11 @@ mod tests {
         assert_eq!(m.total_bytes(), m.total_bytes_down() + m.total_bytes_up());
         // Groups recorded on the final round equal the result size.
         assert!(m.rounds.last().unwrap().groups > 0);
+        // MD₁ is a pure equi-join: both sites run it through compiled
+        // kernels. MD₂ carries a correlated residual and stays interpreted.
+        assert!(m.total_blocks_compiled() > 0);
+        assert!(m.total_blocks_interpreted() > 0);
+        assert!(m.summary().contains("compiled"));
         wh.shutdown().unwrap();
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod interval;
@@ -38,6 +39,9 @@ pub mod typecheck;
 
 pub use analysis::{base_cols_used, conjuncts, detail_cols_used, equality_pairs, EqualityPair};
 pub use builder::ExprBuilder;
+pub use compile::{
+    Batch, ColSlice, ColumnBatch, CompiledPred, CompiledScalar, Lanes, ScalarLanes, BATCH_ROWS,
+};
 pub use eval::{eval, eval_base, eval_detail, eval_predicate};
 pub use expr::{BinOp, Expr, UnOp};
 pub use interval::Interval;

@@ -1,0 +1,467 @@
+//! Compiled batch accumulation for GMDJ blocks.
+//!
+//! When the detail source is (a contiguous window of) a columnar
+//! [`Table`], a block whose condition and aggregate arguments fall inside
+//! the compiled subset of [`skalla_expr::compile`] is evaluated batch-at-a
+//! time: aggregate arguments are lowered to [`CompiledScalar`] programs
+//! evaluated once per batch (they are detail-only, so the lanes are shared
+//! across every base tuple), the condition either drives the existing hash
+//! index (pure equi-join) or a [`CompiledPred`] selection bitmap (nested
+//! loop), and matches fold into *typed* per-group accumulators instead of
+//! `Value` state cells. The typed state converts back into the interpreter's
+//! `Vec<Value>` representation at block end, so everything downstream
+//! (merge, finalize, wire shipping) is unchanged.
+//!
+//! Deferred-error lanes are resolved by re-running the interpreter on just
+//! the flagged rows, which keeps error behaviour (division by zero, SUM
+//! overflow, …) identical to the row-at-a-time path.
+
+use skalla_expr::compile::{CompiledPred, CompiledScalar, Lanes, ScalarLanes, BATCH_ROWS};
+use skalla_expr::{analysis, eval_detail, eval_predicate, Expr};
+use skalla_storage::{HashIndex, Table};
+use skalla_types::{total_cmp_f64, DataType, Relation, Result, Row, Schema, SkallaError, Value};
+use std::sync::Arc;
+
+use crate::agg::{AggFunc, AggSpec};
+use crate::eval::EvalStats;
+use crate::op::GmdjBlock;
+
+/// One GMDJ block lowered onto the batch path.
+pub(crate) struct CompiledBlock {
+    /// Per-aggregate compiled argument (`None` for `COUNT(*)`).
+    args: Vec<Option<CompiledScalar>>,
+    plan: Plan,
+}
+
+enum Plan {
+    /// θ is exactly a conjunction of equi-join pairs: probe the base hash
+    /// index with detail keys, no residual to evaluate.
+    Hash { detail_key_cols: Vec<usize> },
+    /// General θ: evaluate a compiled predicate per base tuple over each
+    /// batch.
+    Nested { pred: CompiledPred },
+}
+
+/// Typed per-group accumulator state for one aggregate. The variant is
+/// picked from `(AggFunc, argument type)` at compile time; unsupported
+/// combinations make the whole block fall back to the interpreter.
+enum Acc {
+    Count {
+        counts: Vec<i64>,
+        has_arg: bool,
+    },
+    SumI {
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    SumF {
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    AvgI {
+        sums: Vec<i64>,
+        counts: Vec<i64>,
+    },
+    AvgF {
+        sums: Vec<f64>,
+        counts: Vec<i64>,
+    },
+    MinMaxI {
+        best: Vec<i64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    MinMaxF {
+        best: Vec<f64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    MinMaxS {
+        best: Vec<Option<Arc<str>>>,
+        is_min: bool,
+    },
+}
+
+impl Acc {
+    fn new(spec: &AggSpec, arg_type: Option<DataType>, n_groups: usize) -> Option<Acc> {
+        Some(match (spec.func, arg_type) {
+            (AggFunc::Count, _) => Acc::Count {
+                counts: vec![0; n_groups],
+                has_arg: spec.arg.is_some(),
+            },
+            (AggFunc::Sum, Some(DataType::Int64)) => Acc::SumI {
+                sums: vec![0; n_groups],
+                seen: vec![false; n_groups],
+            },
+            (AggFunc::Sum, Some(DataType::Float64)) => Acc::SumF {
+                sums: vec![0.0; n_groups],
+                seen: vec![false; n_groups],
+            },
+            (AggFunc::Avg, Some(DataType::Int64)) => Acc::AvgI {
+                sums: vec![0; n_groups],
+                counts: vec![0; n_groups],
+            },
+            (AggFunc::Avg, Some(DataType::Float64)) => Acc::AvgF {
+                sums: vec![0.0; n_groups],
+                counts: vec![0; n_groups],
+            },
+            (AggFunc::Min | AggFunc::Max, Some(t)) => {
+                let is_min = spec.func == AggFunc::Min;
+                match t {
+                    DataType::Int64 => Acc::MinMaxI {
+                        best: vec![0; n_groups],
+                        seen: vec![false; n_groups],
+                        is_min,
+                    },
+                    DataType::Float64 => Acc::MinMaxF {
+                        best: vec![0.0; n_groups],
+                        seen: vec![false; n_groups],
+                        is_min,
+                    },
+                    DataType::Utf8 => Acc::MinMaxS {
+                        best: vec![None; n_groups],
+                        is_min,
+                    },
+                    // MIN/MAX over booleans stays on the interpreter.
+                    DataType::Bool => return None,
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    /// Fold the matched lane `i` of this batch into group `g`. Lanes must
+    /// have had their error flags resolved already.
+    fn accumulate(&mut self, g: usize, lanes: Option<&ScalarLanes>, i: usize) -> Result<()> {
+        match (self, lanes) {
+            (Acc::Count { counts, has_arg }, l) => {
+                let null_arg = match l {
+                    Some(l) => l.is_null(i),
+                    None => false,
+                };
+                if !*has_arg || !null_arg {
+                    counts[g] += 1;
+                }
+            }
+            (Acc::SumI { sums, seen }, Some(ScalarLanes::I64(l))) => {
+                if !l.nulls[i] {
+                    if seen[g] {
+                        sums[g] = sums[g]
+                            .checked_add(l.vals[i])
+                            .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                    } else {
+                        sums[g] = l.vals[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            (Acc::SumF { sums, seen }, Some(ScalarLanes::F64(l))) => {
+                if !l.nulls[i] {
+                    if seen[g] {
+                        sums[g] += l.vals[i];
+                    } else {
+                        sums[g] = l.vals[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            (Acc::AvgI { sums, counts }, Some(ScalarLanes::I64(l))) => {
+                if !l.nulls[i] {
+                    if counts[g] > 0 {
+                        sums[g] = sums[g]
+                            .checked_add(l.vals[i])
+                            .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                    } else {
+                        sums[g] = l.vals[i];
+                    }
+                    counts[g] += 1;
+                }
+            }
+            (Acc::AvgF { sums, counts }, Some(ScalarLanes::F64(l))) => {
+                if !l.nulls[i] {
+                    if counts[g] > 0 {
+                        sums[g] += l.vals[i];
+                    } else {
+                        sums[g] = l.vals[i];
+                    }
+                    counts[g] += 1;
+                }
+            }
+            (Acc::MinMaxI { best, seen, is_min }, Some(ScalarLanes::I64(l))) => {
+                if !l.nulls[i] {
+                    let v = l.vals[i];
+                    if !seen[g] || (*is_min && v < best[g]) || (!*is_min && v > best[g]) {
+                        best[g] = v;
+                        seen[g] = true;
+                    }
+                }
+            }
+            (Acc::MinMaxF { best, seen, is_min }, Some(ScalarLanes::F64(l))) => {
+                if !l.nulls[i] {
+                    let v = l.vals[i];
+                    let ord = total_cmp_f64(v, best[g]);
+                    if !seen[g] || (*is_min && ord.is_lt()) || (!*is_min && ord.is_gt()) {
+                        best[g] = v;
+                        seen[g] = true;
+                    }
+                }
+            }
+            (Acc::MinMaxS { best, is_min }, Some(ScalarLanes::Str(l))) => {
+                if !l.nulls[i] {
+                    let v = &l.vals[i];
+                    let better = match &best[g] {
+                        None => true,
+                        Some(b) => {
+                            if *is_min {
+                                v < b
+                            } else {
+                                v > b
+                            }
+                        }
+                    };
+                    if better {
+                        best[g] = Some(v.clone());
+                    }
+                }
+            }
+            _ => return Err(SkallaError::exec("compiled accumulator/lane type mismatch")),
+        }
+        Ok(())
+    }
+
+    /// Convert group `g`'s typed state back into interpreter `Value` state
+    /// cells at `state[off..]`.
+    fn write_state(&self, g: usize, state: &mut [Value], off: usize) {
+        match self {
+            Acc::Count { counts, .. } => state[off] = Value::Int(counts[g]),
+            Acc::SumI { sums, seen } => {
+                state[off] = if seen[g] {
+                    Value::Int(sums[g])
+                } else {
+                    Value::Null
+                };
+            }
+            Acc::SumF { sums, seen } => {
+                state[off] = if seen[g] {
+                    Value::Float(sums[g])
+                } else {
+                    Value::Null
+                };
+            }
+            Acc::AvgI { sums, counts } => {
+                state[off] = if counts[g] > 0 {
+                    Value::Int(sums[g])
+                } else {
+                    Value::Null
+                };
+                state[off + 1] = Value::Int(counts[g]);
+            }
+            Acc::AvgF { sums, counts } => {
+                state[off] = if counts[g] > 0 {
+                    Value::Float(sums[g])
+                } else {
+                    Value::Null
+                };
+                state[off + 1] = Value::Int(counts[g]);
+            }
+            Acc::MinMaxI { best, seen, .. } => {
+                state[off] = if seen[g] {
+                    Value::Int(best[g])
+                } else {
+                    Value::Null
+                };
+            }
+            Acc::MinMaxF { best, seen, .. } => {
+                state[off] = if seen[g] {
+                    Value::Float(best[g])
+                } else {
+                    Value::Null
+                };
+            }
+            Acc::MinMaxS { best, .. } => {
+                state[off] = match &best[g] {
+                    Some(s) => Value::Str(s.clone()),
+                    None => Value::Null,
+                };
+            }
+        }
+    }
+}
+
+/// Try to lower `block` onto the batch path. Returns `None` (interpreter
+/// fallback) when the condition or any aggregate falls outside the compiled
+/// subset — including hash-strategy blocks with a non-trivial residual,
+/// where the interpreter's index-probe path is already the right tool.
+pub(crate) fn compile_block(
+    block: &GmdjBlock,
+    base_schema: &Schema,
+    detail_schema: &Schema,
+    use_hash: bool,
+) -> Option<CompiledBlock> {
+    let plan = if use_hash {
+        let pairs = analysis::equality_pairs(&block.theta);
+        let residual = analysis::residual_without_pairs(&block.theta, &pairs);
+        if residual != Expr::lit(true) {
+            return None;
+        }
+        Plan::Hash {
+            detail_key_cols: pairs.iter().map(|p| p.detail_col).collect(),
+        }
+    } else {
+        Plan::Nested {
+            pred: CompiledPred::compile(&block.theta, base_schema, detail_schema)?,
+        }
+    };
+
+    let mut args = Vec::with_capacity(block.aggs.len());
+    for spec in &block.aggs {
+        let compiled = match &spec.arg {
+            None => None,
+            Some(e) => {
+                let c = CompiledScalar::compile(e, base_schema, detail_schema)?;
+                // Probe accumulator support with a zero-group instance.
+                Acc::new(spec, Some(c.data_type()), 0)?;
+                Some(c)
+            }
+        };
+        args.push(compiled);
+    }
+    Some(CompiledBlock { args, plan })
+}
+
+/// Run one compiled block over rows `t_start..t_start + t_len` of `table`,
+/// folding matches into `states`/`match_counts` exactly as the interpreter
+/// path would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block(
+    cb: &CompiledBlock,
+    block: &GmdjBlock,
+    block_off: usize,
+    base: &Relation,
+    table: &Table,
+    t_start: usize,
+    t_len: usize,
+    states: &mut [Vec<Value>],
+    match_counts: &mut [u64],
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let n_groups = base.len();
+    let mut accs: Vec<Acc> = Vec::with_capacity(block.aggs.len());
+    for (spec, arg) in block.aggs.iter().zip(&cb.args) {
+        let acc = Acc::new(spec, arg.as_ref().map(CompiledScalar::data_type), n_groups)
+            .ok_or_else(|| SkallaError::exec("compiled block lost accumulator support"))?;
+        accs.push(acc);
+    }
+
+    let index = match &cb.plan {
+        Plan::Hash { .. } => {
+            let pairs = analysis::equality_pairs(&block.theta);
+            let base_key_cols: Vec<usize> = pairs.iter().map(|p| p.base_col).collect();
+            Some(HashIndex::build_from_rows(
+                base.rows().iter(),
+                &base_key_cols,
+            ))
+        }
+        Plan::Nested { .. } => None,
+    };
+
+    let empty_base: Row = Vec::new();
+    let mut key: Row = Vec::new();
+    let mut start = 0;
+    while start < t_len {
+        let len = BATCH_ROWS.min(t_len - start);
+        let batch = table.batch(t_start + start, len);
+
+        // Aggregate arguments are detail-only: one evaluation per batch,
+        // shared across every base tuple. Error lanes resolve through the
+        // interpreter so e.g. division-by-zero surfaces identically (the
+        // row-at-a-time path evaluates arguments for *all* detail rows up
+        // front, matched or not).
+        let mut arg_lanes: Vec<Option<ScalarLanes>> = Vec::with_capacity(cb.args.len());
+        for (spec, compiled) in block.aggs.iter().zip(&cb.args) {
+            match compiled {
+                None => arg_lanes.push(None),
+                Some(c) => {
+                    let mut lanes = c.eval_batch(&empty_base, &batch);
+                    if lanes.has_errs() {
+                        let e = spec.arg.as_ref().expect("compiled arg implies expr");
+                        for i in 0..len {
+                            if lanes.is_err(i) {
+                                let v = eval_detail(e, &table.row(t_start + start + i))?;
+                                lanes.set(i, &v)?;
+                            }
+                        }
+                    }
+                    arg_lanes.push(Some(lanes));
+                }
+            }
+        }
+
+        match &cb.plan {
+            Plan::Hash { detail_key_cols } => {
+                let index = index.as_ref().expect("hash plan has index");
+                for i in 0..len {
+                    // NULL keys never join (SQL equality semantics).
+                    if detail_key_cols.iter().any(|&c| batch.cols[c].is_null(i)) {
+                        continue;
+                    }
+                    key.clear();
+                    key.extend(detail_key_cols.iter().map(|&c| batch.cols[c].value(i)));
+                    for &bi in index.get(&key) {
+                        let bi = bi as usize;
+                        stats.matches += 1;
+                        match_counts[bi] += 1;
+                        for (acc, lanes) in accs.iter_mut().zip(&arg_lanes) {
+                            acc.accumulate(bi, lanes.as_ref(), i)?;
+                        }
+                    }
+                }
+            }
+            Plan::Nested { pred } => {
+                for (bi, b) in base.rows().iter().enumerate() {
+                    let mut sel: Lanes<bool> = pred.eval_batch(b, &batch);
+                    // Resolve deferred errors with the interpreter, which
+                    // also applies its short-circuit semantics exactly.
+                    if sel.has_errs() {
+                        for i in 0..len {
+                            if sel.errs[i] {
+                                let hit = eval_predicate(
+                                    &block.theta,
+                                    b,
+                                    &table.row(t_start + start + i),
+                                )?;
+                                sel.vals[i] = hit;
+                                sel.nulls[i] = false;
+                                sel.errs[i] = false;
+                            }
+                        }
+                    }
+                    for i in 0..len {
+                        if sel.ok(i) && sel.vals[i] {
+                            stats.matches += 1;
+                            match_counts[bi] += 1;
+                            for (acc, lanes) in accs.iter_mut().zip(&arg_lanes) {
+                                acc.accumulate(bi, lanes.as_ref(), i)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        start += len;
+    }
+
+    // Convert typed state back into the interpreter's Value cells.
+    let mut offsets = Vec::with_capacity(block.aggs.len());
+    let mut off = block_off;
+    for spec in &block.aggs {
+        offsets.push(off);
+        off += spec.state_width();
+    }
+    for (g, state) in states.iter_mut().enumerate() {
+        for (acc, &o) in accs.iter().zip(&offsets) {
+            acc.write_state(g, state, o);
+        }
+    }
+    Ok(())
+}

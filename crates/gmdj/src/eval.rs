@@ -43,7 +43,7 @@ pub enum LocalStrategy {
 }
 
 /// Options for local evaluation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Strategy selection.
     pub strategy: LocalStrategy,
@@ -56,6 +56,22 @@ pub struct EvalOptions {
     /// (Theorem 1 applied *within* a site — state merging is associative).
     /// `0` or `1` evaluates serially.
     pub parallelism: usize,
+    /// Use compiled batch kernels (`skalla_expr::compile`) when the detail
+    /// source is columnar and the block's condition and aggregate arguments
+    /// fall inside the compiled subset; blocks outside it fall back to the
+    /// row-at-a-time interpreter automatically. On by default.
+    pub compiled: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            strategy: LocalStrategy::default(),
+            with_match_count: false,
+            parallelism: 0,
+            compiled: true,
+        }
+    }
 }
 
 /// Below this many detail rows the thread fan-out costs more than it saves.
@@ -72,6 +88,10 @@ pub struct EvalStats {
     pub blocks_hashed: u32,
     /// Blocks evaluated with the nested-loop strategy.
     pub blocks_nested: u32,
+    /// Blocks evaluated through compiled batch kernels (a subset of the
+    /// hashed/nested counts, which record the join strategy regardless of
+    /// execution mode).
+    pub blocks_compiled: u32,
 }
 
 /// The detail side of local evaluation: either a columnar table or a
@@ -83,6 +103,12 @@ pub trait DetailSource: Sync {
     fn num_rows(&self) -> usize;
     /// Materialize row `i`.
     fn get_row(&self, i: usize) -> Row;
+    /// The columnar window `(table, start, len)` backing this source, if
+    /// any — the compiled batch path needs zero-copy column slices. `None`
+    /// (the default) keeps evaluation on the row-at-a-time interpreter.
+    fn table_slice(&self) -> Option<(&skalla_storage::Table, usize, usize)> {
+        None
+    }
 }
 
 impl DetailSource for skalla_storage::Table {
@@ -91,6 +117,9 @@ impl DetailSource for skalla_storage::Table {
     }
     fn get_row(&self, i: usize) -> Row {
         self.row(i)
+    }
+    fn table_slice(&self) -> Option<(&skalla_storage::Table, usize, usize)> {
+        Some((self, 0, self.len()))
     }
 }
 
@@ -233,6 +262,11 @@ impl<D: DetailSource> DetailSource for RangeView<'_, D> {
         debug_assert!(i < self.len);
         self.inner.get_row(self.start + i)
     }
+    fn table_slice(&self) -> Option<(&skalla_storage::Table, usize, usize)> {
+        self.inner
+            .table_slice()
+            .map(|(t, s, _)| (t, s + self.start, self.len))
+    }
 }
 
 /// Core accumulation: per-base-row aggregate state plus match counts.
@@ -331,6 +365,45 @@ fn accumulate_serial<D: DetailSource>(
     let n_detail = detail.num_rows();
 
     for (block, &block_off) in op.blocks.iter().zip(&block_offsets) {
+        let pairs = analysis::equality_pairs(&block.theta);
+        let use_hash = match opts.strategy {
+            LocalStrategy::Auto => !pairs.is_empty(),
+            LocalStrategy::Hash => !pairs.is_empty(),
+            LocalStrategy::NestedLoop => false,
+        };
+
+        // Compiled batch path: when the detail source is columnar and the
+        // block lowers onto typed kernels, skip the interpreter entirely.
+        if opts.compiled {
+            if let Some((table, t_start, t_len)) = detail.table_slice() {
+                debug_assert_eq!(t_len, n_detail);
+                if let Some(cb) =
+                    crate::compiled::compile_block(block, base.schema(), table.schema(), use_hash)
+                {
+                    stats.detail_rows_scanned += n_detail as u64;
+                    if use_hash {
+                        stats.blocks_hashed += 1;
+                    } else {
+                        stats.blocks_nested += 1;
+                    }
+                    stats.blocks_compiled += 1;
+                    crate::compiled::run_block(
+                        &cb,
+                        block,
+                        block_off,
+                        base,
+                        table,
+                        t_start,
+                        t_len,
+                        &mut states,
+                        &mut match_counts,
+                        &mut stats,
+                    )?;
+                    continue;
+                }
+            }
+        }
+
         // Precompute per-detail-row argument values for each aggregate in
         // the block (arguments are detail-only, so this is shared across all
         // matching base tuples).
@@ -347,13 +420,6 @@ fn accumulate_serial<D: DetailSource>(
                 }
             }
         }
-
-        let pairs = analysis::equality_pairs(&block.theta);
-        let use_hash = match opts.strategy {
-            LocalStrategy::Auto => !pairs.is_empty(),
-            LocalStrategy::Hash => !pairs.is_empty(),
-            LocalStrategy::NestedLoop => false,
-        };
 
         stats.detail_rows_scanned += n_detail as u64;
 
@@ -765,6 +831,182 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.sorted(), reference.sorted());
+    }
+
+    /// The default options route supported blocks through compiled kernels;
+    /// disabling compilation must give identical results and identical
+    /// strategy counters.
+    #[test]
+    fn compiled_path_agrees_with_interpreter() {
+        let op = GmdjOp::new(vec![
+            GmdjBlock::new(
+                vec![
+                    AggSpec::count_star("c"),
+                    AggSpec::sum(Expr::detail(2), "s").unwrap(),
+                    AggSpec::min(Expr::detail(2), "mn").unwrap(),
+                    AggSpec::max(Expr::detail(2), "mx").unwrap(),
+                    AggSpec::avg(Expr::detail(2), "av").unwrap(),
+                ],
+                Expr::base(0)
+                    .eq(Expr::detail(0))
+                    .and(Expr::base(1).eq(Expr::detail(1))),
+            ),
+            GmdjBlock::new(
+                vec![AggSpec::count_star("big")],
+                Expr::base(0)
+                    .eq(Expr::detail(0))
+                    .and(Expr::detail(2).gt(Expr::lit(60))),
+            ),
+        ]);
+        let compiled_opts = EvalOptions::default();
+        assert!(compiled_opts.compiled);
+        let interp_opts = EvalOptions {
+            compiled: false,
+            ..Default::default()
+        };
+        let (a, sa) =
+            eval_gmdj_full(&base(), &flow(), &detail_schema(), &op, &compiled_opts).unwrap();
+        let (b, sb) =
+            eval_gmdj_full(&base(), &flow(), &detail_schema(), &op, &interp_opts).unwrap();
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(sa.matches, sb.matches);
+        assert_eq!(sa.blocks_hashed, sb.blocks_hashed);
+        // Block 1 is a pure equi-join (compiles); block 2 carries a hash
+        // residual, which stays on the interpreter's index-probe path.
+        assert_eq!(sa.blocks_compiled, 1);
+        assert_eq!(sb.blocks_compiled, 0);
+    }
+
+    /// A nested-loop block with an inequality-only θ compiles to a
+    /// predicate-bitmap scan.
+    #[test]
+    fn compiled_nested_loop_predicate() {
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("lt_cnt")],
+            Expr::detail(2).lt(Expr::base(2)),
+        )]);
+        let b = Relation::new(
+            Arc::new(
+                Schema::from_pairs([
+                    ("sas", DataType::Int64),
+                    ("das", DataType::Int64),
+                    ("cap", DataType::Int64),
+                ])
+                .unwrap(),
+            ),
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(80)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(500)],
+            ],
+        )
+        .unwrap();
+        let (out, stats) =
+            eval_gmdj_full(&b, &flow(), &detail_schema(), &op, &EvalOptions::default()).unwrap();
+        assert_eq!(stats.blocks_compiled, 1);
+        assert_eq!(stats.blocks_nested, 1);
+        let sorted = out.sorted();
+        // nb values: 100, 300, 50, 75 → (<80): 2 rows; (<500): 4 rows.
+        assert_eq!(sorted.row(0)[3], Value::Int(2));
+        assert_eq!(sorted.row(1)[3], Value::Int(4));
+        // Interpreter agrees.
+        let (out2, s2) = eval_gmdj_full(
+            &b,
+            &flow(),
+            &detail_schema(),
+            &op,
+            &EvalOptions {
+                compiled: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.sorted(), out2.sorted());
+        assert_eq!(s2.blocks_compiled, 0);
+    }
+
+    /// Row-oriented detail sources have no columnar window, so they stay on
+    /// the interpreter even with compilation enabled.
+    #[test]
+    fn relation_detail_never_compiles() {
+        let rel = flow().to_relation();
+        let (_, stats) = eval_gmdj_full(
+            &base(),
+            &rel,
+            &detail_schema(),
+            &count_sum_op(),
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.blocks_compiled, 0);
+        assert_eq!(stats.blocks_hashed, 1);
+    }
+
+    /// Parallel fan-out hands each worker a table window; the compiled path
+    /// must count once per worker-block and still merge correctly.
+    #[test]
+    fn parallel_compiled_matches_serial() {
+        let schema = detail_schema();
+        let rows: Vec<Vec<Value>> = (0..8_192)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 5),
+                    Value::Int(i % 3),
+                    Value::Int((i * 37) % 211),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(schema.clone(), &rows).unwrap();
+        let b = t.distinct_project(&[0, 1]).unwrap();
+        let op = count_sum_op();
+        let serial = eval_gmdj_full(&b, &t, &schema, &op, &EvalOptions::default()).unwrap();
+        assert_eq!(serial.1.blocks_compiled, 1);
+        let opts = EvalOptions {
+            parallelism: 4,
+            ..Default::default()
+        };
+        let (out, stats) = eval_gmdj_full(&b, &t, &schema, &op, &opts).unwrap();
+        assert_eq!(out.sorted(), serial.0.sorted());
+        assert!(stats.blocks_compiled >= 1);
+    }
+
+    /// NULL detail values flow through compiled kernels: null join keys
+    /// never match, and null aggregate arguments are skipped by SUM.
+    #[test]
+    fn compiled_handles_null_keys_and_args() {
+        let schema = detail_schema();
+        let t = Table::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Int(1), Value::Int(10), Value::Int(5)],
+                vec![Value::Null, Value::Int(10), Value::Int(7)],
+                vec![Value::Int(1), Value::Int(10), Value::Null],
+            ],
+        )
+        .unwrap();
+        let b = Relation::new(
+            Arc::new(schema.project(&[0]).unwrap()),
+            vec![vec![Value::Int(1)], vec![Value::Null]],
+        )
+        .unwrap();
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("c"),
+                AggSpec::sum(Expr::detail(2), "s").unwrap(),
+            ],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let (out, stats) = eval_gmdj_full(&b, &t, &schema, &op, &EvalOptions::default()).unwrap();
+        assert_eq!(stats.blocks_compiled, 1);
+        let sorted = out.sorted();
+        // NULL base key matches nothing; group 1 sees rows {5, NULL}.
+        assert_eq!(
+            sorted.row(0),
+            &vec![Value::Null, Value::Int(0), Value::Null]
+        );
+        assert_eq!(
+            sorted.row(1),
+            &vec![Value::Int(1), Value::Int(2), Value::Int(5)]
+        );
     }
 
     #[test]

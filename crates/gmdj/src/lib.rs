@@ -26,6 +26,7 @@
 pub mod agg;
 pub mod centralized;
 pub mod coalesce;
+mod compiled;
 pub mod eval;
 pub mod olap;
 pub mod op;

@@ -32,11 +32,26 @@ pub trait WireEncode {
     }
 
     /// Exact number of bytes `encode` would append.
+    ///
+    /// The default encodes into a scratch buffer and measures it; impls in
+    /// this module override it with a direct computation so size estimation
+    /// (e.g. chunking decisions) never pays for a throwaway encode.
     fn wire_len(&self) -> usize {
         let mut buf = BytesMut::new();
         self.encode(&mut buf);
         buf.len()
     }
+}
+
+/// Number of bytes [`put_varint`] emits for `v`.
+pub fn varint_len(v: u64) -> usize {
+    // Each output byte carries 7 payload bits; zero still takes one byte.
+    (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Number of bytes [`put_zigzag`] emits for `v`.
+pub fn zigzag_len(v: i64) -> usize {
+    varint_len(((v << 1) ^ (v >> 63)) as u64)
 }
 
 /// Types that can deserialize themselves from a [`WireReader`].
@@ -169,6 +184,10 @@ impl WireEncode for u64 {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, *self);
     }
+
+    fn wire_len(&self) -> usize {
+        varint_len(*self)
+    }
 }
 
 impl WireDecode for u64 {
@@ -180,6 +199,10 @@ impl WireDecode for u64 {
 impl WireEncode for u32 {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, u64::from(*self));
+    }
+
+    fn wire_len(&self) -> usize {
+        varint_len(u64::from(*self))
     }
 }
 
@@ -194,6 +217,10 @@ impl WireEncode for usize {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, *self as u64);
     }
+
+    fn wire_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
 }
 
 impl WireDecode for usize {
@@ -206,6 +233,10 @@ impl WireDecode for usize {
 impl WireEncode for bool {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(u8::from(*self));
+    }
+
+    fn wire_len(&self) -> usize {
+        1
     }
 }
 
@@ -223,6 +254,10 @@ impl WireEncode for String {
     fn encode(&self, buf: &mut BytesMut) {
         put_str(buf, self);
     }
+
+    fn wire_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl WireDecode for String {
@@ -237,6 +272,10 @@ impl<T: WireEncode> WireEncode for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+
+    fn wire_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(T::wire_len).sum::<usize>()
     }
 }
 
@@ -261,6 +300,10 @@ impl<T: WireEncode> WireEncode for Option<T> {
                 v.encode(buf);
             }
         }
+    }
+
+    fn wire_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireEncode::wire_len)
     }
 }
 
@@ -299,6 +342,15 @@ impl WireEncode for Value {
             }
             Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
             Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(i) => 1 + zigzag_len(*i),
+            Value::Float(_) => 1 + 8,
+            Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
         }
     }
 }
@@ -344,6 +396,15 @@ impl WireEncode for Schema {
             buf.put_u8(dtype_tag(f.dtype));
         }
     }
+
+    fn wire_len(&self) -> usize {
+        varint_len(self.len() as u64)
+            + self
+                .fields()
+                .iter()
+                .map(|f| varint_len(f.name.len() as u64) + f.name.len() + 1)
+                .sum::<usize>()
+    }
 }
 
 impl WireDecode for Schema {
@@ -368,6 +429,17 @@ impl WireEncode for Relation {
                 v.encode(buf);
             }
         }
+    }
+
+    fn wire_len(&self) -> usize {
+        self.schema().wire_len()
+            + varint_len(self.len() as u64)
+            + self
+                .rows()
+                .iter()
+                .flatten()
+                .map(Value::wire_len)
+                .sum::<usize>()
     }
 }
 
@@ -523,6 +595,52 @@ mod tests {
         let bytes = [0xFFu8; 10];
         let mut r = WireReader::new(&bytes);
         assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn wire_len_overrides_match_encoded_length() {
+        // Every override must agree byte-for-byte with what encode() emits.
+        fn check<T: WireEncode>(v: &T) {
+            assert_eq!(v.wire_len(), v.to_wire().len());
+        }
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            assert_eq!(varint_len(v), v.to_wire().len());
+            check(&v);
+        }
+        for v in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = BytesMut::new();
+            put_zigzag(&mut buf, v);
+            assert_eq!(zigzag_len(v), buf.len());
+        }
+        check(&u32::MAX);
+        check(&usize::MAX);
+        check(&true);
+        check(&String::from("schéma"));
+        check(&vec![1u64, 300, u64::MAX]);
+        check(&Some(Value::str("x")));
+        check(&Option::<Value>::None);
+        for v in [
+            Value::Null,
+            Value::Int(-300),
+            Value::Float(f64::NAN),
+            Value::str("columnar"),
+            Value::Bool(true),
+        ] {
+            check(&v);
+        }
+        let schema = Schema::from_pairs([("key", DataType::Int64), ("name", DataType::Utf8)])
+            .unwrap()
+            .into_arc();
+        check(&*schema);
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Null, Value::str("")],
+            ],
+        )
+        .unwrap();
+        check(&rel);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use skalla_expr::compile::{ColSlice, ColumnBatch};
 use skalla_types::{DataType, Result, SkallaError, Value};
 
 /// The typed payload of a column.
@@ -174,6 +175,23 @@ impl Column {
         match (&self.data, &self.nulls) {
             (ColumnData::Float64(v), None) => Some(v),
             _ => None,
+        }
+    }
+
+    /// A zero-copy [`ColumnBatch`] view of rows `start..start + len`, for
+    /// the compiled kernel path. The null mask is `None` when the whole
+    /// column is null-free.
+    pub fn batch(&self, start: usize, len: usize) -> ColumnBatch<'_> {
+        let end = start + len;
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColSlice::I64(&v[start..end]),
+            ColumnData::Float64(v) => ColSlice::F64(&v[start..end]),
+            ColumnData::Utf8(v) => ColSlice::Str(&v[start..end]),
+            ColumnData::Bool(v) => ColSlice::Bool(&v[start..end]),
+        };
+        ColumnBatch {
+            data,
+            nulls: self.nulls.as_ref().map(|n| &n[start..end]),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use skalla_expr::{eval_detail, eval_predicate, Expr};
+use skalla_expr::{eval_detail, eval_predicate, Batch, Expr};
 use skalla_types::{Relation, Result, Row, Schema, SkallaError, Value};
 
 use crate::column::Column;
@@ -110,6 +110,15 @@ impl Table {
     /// Materialize row `i`.
     pub fn row(&self, i: usize) -> Row {
         self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// A zero-copy [`Batch`] view of rows `start..start + len` across all
+    /// columns, for the compiled kernel path.
+    pub fn batch(&self, start: usize, len: usize) -> Batch<'_> {
+        Batch::new(
+            self.columns.iter().map(|c| c.batch(start, len)).collect(),
+            len,
+        )
     }
 
     /// Iterate over materialized rows.

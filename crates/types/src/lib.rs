@@ -31,7 +31,7 @@ pub mod value;
 pub use error::{Result, SkallaError};
 pub use relation::Relation;
 pub use schema::{Field, Schema};
-pub use value::{DataType, Value};
+pub use value::{cmp_int_float, exact_i64, total_cmp_f64, DataType, Value};
 
 /// A single row of [`Value`]s.
 ///

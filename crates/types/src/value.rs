@@ -150,21 +150,25 @@ impl Value {
             Value::Str(_) => 3,
         }
     }
+}
 
-    /// Total-order comparison of two floats: `NaN` equals itself and sorts
-    /// last; `-0.0` is identified with `0.0` (both equal `Int(0)`, so they
-    /// must equal each other for transitivity).
-    fn total_cmp_f64(a: f64, b: f64) -> Ordering {
-        let a = if a == 0.0 { 0.0 } else { a };
-        let b = if b == 0.0 { 0.0 } else { b };
-        a.total_cmp(&b)
-    }
+/// Total-order comparison of two floats: `NaN` equals itself and sorts
+/// last; `-0.0` is identified with `0.0` (both equal `Int(0)`, so they
+/// must equal each other for transitivity).
+///
+/// This is the float ordering used by [`Value`]'s `Ord`; compiled kernels
+/// use it directly so comparisons over raw `f64` lanes agree bit-for-bit
+/// with the interpreter.
+pub fn total_cmp_f64(a: f64, b: f64) -> Ordering {
+    let a = if a == 0.0 { 0.0 } else { a };
+    let b = if b == 0.0 { 0.0 } else { b };
+    a.total_cmp(&b)
 }
 
 /// Exact comparison of an `i64` with an `f64`, without the precision loss of
 /// an `as f64` cast (which would make e.g. `i64::MAX` and `i64::MAX - 1`
 /// both equal `2^63 as f64` and break `Ord` transitivity).
-fn cmp_int_float(i: i64, f: f64) -> Ordering {
+pub fn cmp_int_float(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
         // NaN sorts after every integer.
         return Ordering::Less;
@@ -193,7 +197,7 @@ fn cmp_int_float(i: i64, f: f64) -> Ordering {
 }
 
 /// `Some(i)` if `f` is exactly the integer `i` (integral, in `i64` range).
-fn exact_i64(f: f64) -> Option<i64> {
+pub fn exact_i64(f: f64) -> Option<i64> {
     const TWO_63: f64 = 9_223_372_036_854_775_808.0;
     if f.is_finite() && f.fract() == 0.0 && (-TWO_63..TWO_63).contains(&f) {
         Some(f as i64)
@@ -223,7 +227,7 @@ impl Ord for Value {
             (Null, Null) => Ordering::Equal,
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
-            (Float(a), Float(b)) => Value::total_cmp_f64(*a, *b),
+            (Float(a), Float(b)) => total_cmp_f64(*a, *b),
             (Int(a), Float(b)) => cmp_int_float(*a, *b),
             (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),

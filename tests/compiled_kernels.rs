@@ -1,0 +1,260 @@
+//! Differential property tests for the compiled kernel path.
+//!
+//! The vectorized kernels of `skalla_expr::compile` must agree with the
+//! row-at-a-time interpreter *bit for bit* — including NULL propagation,
+//! SQL three-valued logic, and `-0.0`/overflow edge cases — on arbitrary
+//! expressions and data. Lanes the compiler flags as deferred errors are
+//! exempt (production resolves them by re-running the interpreter), but a
+//! non-error lane must match the interpreter exactly, and the whole-GMDJ
+//! differential below requires the compiled evaluator and the interpreter
+//! to return identical relations (or both to fail), mirroring the existing
+//! `nested_loop_agrees_with_hash` test.
+
+use proptest::prelude::*;
+
+use skalla::expr::{eval, CompiledPred, CompiledScalar, Expr, ScalarLanes};
+use skalla::gmdj::{eval_gmdj_full, EvalOptions};
+use skalla::prelude::*;
+
+fn detail_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([
+        ("g", DataType::Int64),
+        ("v", DataType::Int64),
+        ("f", DataType::Float64),
+        ("s", DataType::Utf8),
+        ("b", DataType::Bool),
+    ])
+    .unwrap()
+    .into_arc()
+}
+
+fn base_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([("k", DataType::Int64), ("w", DataType::Float64)])
+        .unwrap()
+        .into_arc()
+}
+
+type RowTuple = (i64, Option<i64>, Option<f64>, String, Option<bool>);
+
+/// Detail rows with NULLs in every nullable column and float edge values.
+fn arb_rows() -> impl Strategy<Value = Vec<RowTuple>> {
+    prop::collection::vec(
+        (
+            -3i64..3,
+            prop::option::of(-100i64..100),
+            prop::option::of(prop_oneof![-100.0f64..100.0, Just(0.0f64), Just(-0.0f64),]),
+            "[ab]{0,2}",
+            prop::option::of(any::<bool>()),
+        ),
+        1..40,
+    )
+}
+
+fn build_table(rows: &[RowTuple]) -> Table {
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(g, v, f, s, b)| {
+            vec![
+                Value::Int(*g),
+                v.map_or(Value::Null, Value::Int),
+                f.map_or(Value::Null, Value::Float),
+                Value::str(s.as_str()),
+                b.map_or(Value::Null, Value::Bool),
+            ]
+        })
+        .collect();
+    Table::from_rows(detail_schema(), &data).unwrap()
+}
+
+fn arb_base_row() -> impl Strategy<Value = Vec<Value>> {
+    (prop::option::of(-5i64..5), prop::option::of(-10.0f64..10.0)).prop_map(|(k, w)| {
+        vec![
+            k.map_or(Value::Null, Value::Int),
+            w.map_or(Value::Null, Value::Float),
+        ]
+    })
+}
+
+/// Arbitrary expressions over the detail schema (cols 0..5), the two base
+/// columns, and literals of every type including NULL. Many draws are
+/// ill-typed on purpose: the compiler must either refuse them or defer to
+/// the interpreter, never silently diverge.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::lit),
+        (-4.0f64..4.0).prop_map(Expr::lit),
+        any::<bool>().prop_map(Expr::lit),
+        Just(Expr::Lit(Value::Null)),
+        "[ab]{0,2}".prop_map(|s| Expr::lit(s.as_str())),
+        (0usize..5).prop_map(Expr::detail),
+        (0usize..2).prop_map(Expr::base),
+    ];
+    leaf.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..11).prop_map(|(a, b, k)| match k {
+                0 => a.add(b),
+                1 => a.sub(b),
+                2 => a.mul(b),
+                3 => a.div(b),
+                4 => a.rem(b),
+                5 => a.eq(b),
+                6 => a.ne(b),
+                7 => a.lt(b),
+                8 => a.le(b),
+                9 => a.gt(b),
+                _ => a.ge(b),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            inner.clone().prop_map(|a| a.neg()),
+            inner.clone().prop_map(|a| a.is_null()),
+            (inner, prop::collection::vec(-5i64..5, 1..4))
+                .prop_map(|(a, vs)| a.in_set(vs.into_iter().map(Value::Int))),
+        ]
+    })
+}
+
+/// Detail-only scalar expressions, used as aggregate arguments.
+fn arb_agg_arg() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::lit),
+        (-4.0f64..4.0).prop_map(Expr::lit),
+        Just(Expr::detail(1)),
+        Just(Expr::detail(2)),
+    ];
+    leaf.prop_recursive(2, 16, 2, |inner| {
+        (inner.clone(), inner, 0usize..4).prop_map(|(a, b, k)| match k {
+            0 => a.add(b),
+            1 => a.sub(b),
+            2 => a.mul(b),
+            _ => a.div(b),
+        })
+    })
+}
+
+/// Assert that every non-error lane matches the interpreter exactly.
+/// Error lanes are the compiler's explicit "ask the interpreter" signal,
+/// so they carry no agreement obligation.
+fn assert_scalar_lanes_agree(expr: &Expr, base_row: &[Value], table: &Table, lanes: &ScalarLanes) {
+    assert_eq!(lanes.len(), table.len());
+    for i in 0..table.len() {
+        if lanes.is_err(i) {
+            continue;
+        }
+        let row = table.row(i);
+        let got = eval(expr, base_row, &row)
+            .unwrap_or_else(|e| panic!("interpreter errored on non-error lane {i}: {e}"));
+        if lanes.is_null(i) {
+            assert_eq!(got, Value::Null, "lane {i} null mismatch for {expr}");
+            continue;
+        }
+        match (lanes, &got) {
+            (ScalarLanes::I64(l), Value::Int(v)) => assert_eq!(l.vals[i], *v, "lane {i}: {expr}"),
+            (ScalarLanes::F64(l), Value::Float(v)) => assert_eq!(
+                l.vals[i].to_bits(),
+                v.to_bits(),
+                "lane {i} not bit-identical for {expr}"
+            ),
+            (ScalarLanes::Str(l), Value::Str(v)) => {
+                assert_eq!(&l.vals[i], v, "lane {i}: {expr}")
+            }
+            (ScalarLanes::Bool(l), Value::Bool(v)) => assert_eq!(l.vals[i], *v, "lane {i}: {expr}"),
+            (_, other) => panic!("lane type mismatch for {expr}: interpreter produced {other}"),
+        }
+    }
+}
+
+proptest! {
+    /// Compiled predicates agree with the interpreter on every non-error
+    /// lane: same definite boolean, same NULLs (three-valued logic).
+    #[test]
+    fn compiled_pred_agrees_with_interpreter(
+        rows in arb_rows(),
+        base_row in arb_base_row(),
+        expr in arb_expr(),
+    ) {
+        let table = build_table(&rows);
+        if let Some(pred) = CompiledPred::compile(&expr, &base_schema(), &detail_schema()) {
+            let batch = table.batch(0, table.len());
+            let lanes = pred.eval_batch(&base_row, &batch);
+            prop_assert_eq!(lanes.vals.len(), table.len());
+            for i in 0..table.len() {
+                if lanes.errs[i] {
+                    continue;
+                }
+                let row = table.row(i);
+                let got = eval(&expr, &base_row, &row)
+                    .unwrap_or_else(|e| panic!("interpreter errored on non-error lane {i}: {e}"));
+                if lanes.nulls[i] {
+                    prop_assert_eq!(got, Value::Null, "lane {} of {}", i, &expr);
+                } else {
+                    prop_assert_eq!(got, Value::Bool(lanes.vals[i]), "lane {} of {}", i, &expr);
+                }
+            }
+        }
+    }
+
+    /// Compiled scalar kernels agree with the interpreter bit-for-bit
+    /// (floats compared by bit pattern, so `-0.0` vs `0.0` and NaN payloads
+    /// count as differences).
+    #[test]
+    fn compiled_scalar_agrees_with_interpreter(
+        rows in arb_rows(),
+        base_row in arb_base_row(),
+        expr in arb_expr(),
+    ) {
+        let table = build_table(&rows);
+        if let Some(scalar) = CompiledScalar::compile(&expr, &base_schema(), &detail_schema()) {
+            let batch = table.batch(0, table.len());
+            let lanes = scalar.eval_batch(&base_row, &batch);
+            assert_scalar_lanes_agree(&expr, &base_row, &table, &lanes);
+        }
+    }
+
+    /// Whole-GMDJ differential: evaluating with the compiled path enabled
+    /// and disabled yields identical results — or both paths fail. This is
+    /// the end-to-end guarantee the per-kernel tests build toward.
+    #[test]
+    fn gmdj_compiled_agrees_with_interpreter(
+        rows in arb_rows(),
+        theta in arb_expr(),
+        arg in arb_agg_arg(),
+        func_pick in 0usize..5,
+    ) {
+        let table = build_table(&rows);
+        let base = table.distinct_project(&[0]).unwrap();
+        let agg = match func_pick {
+            0 => AggSpec::sum(arg, "a").unwrap(),
+            1 => AggSpec::avg(arg, "a").unwrap(),
+            2 => AggSpec::min(arg, "a").unwrap(),
+            3 => AggSpec::max(arg, "a").unwrap(),
+            _ => AggSpec::count_star("a"),
+        };
+        // θ references base column 0 (the group key) plus arbitrary
+        // structure; base column 1 does not exist here, so clamp it away.
+        let theta = Expr::base(0).eq(Expr::detail(0)).or(theta);
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c"), agg],
+            theta,
+        )]);
+        let schema = detail_schema();
+        let compiled = eval_gmdj_full(&base, &table, &schema, &op, &EvalOptions::default());
+        let interpreted = eval_gmdj_full(
+            &base,
+            &table,
+            &schema,
+            &op,
+            &EvalOptions { compiled: false, ..Default::default() },
+        );
+        match (compiled, interpreted) {
+            (Ok((a, _)), Ok((b, _))) => prop_assert_eq!(a.sorted(), b.sorted()),
+            (Err(_), Err(_)) => {} // both reject (e.g. ill-typed θ): agreement
+            (a, b) => panic!(
+                "compiled and interpreted paths disagree on outcome: {:?} vs {:?}",
+                a.map(|(r, _)| r),
+                b.map(|(r, _)| r),
+            ),
+        }
+    }
+}

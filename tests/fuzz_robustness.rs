@@ -69,6 +69,8 @@ proptest! {
             seq: 0,
             h: rel,
             compute_s: 0.5,
+            blocks_compiled: 1,
+            blocks_interpreted: 0,
             last: true,
         };
         let mut bytes = msg.to_wire_framed(3, 1).to_vec();
