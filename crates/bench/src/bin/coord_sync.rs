@@ -1,0 +1,335 @@
+//! Coordinator synchronization benchmark (the PR 4 baseline).
+//!
+//! Measures the coordinator-bound tail of Alg. GMDJDistribEval: merging
+//! every site's sub-aggregate fragments into the synchronized `BaseResult`
+//! and finalizing it (Theorem 1 super-aggregation). At many groups × many
+//! sites this merge loop *is* the response time, so PR 4 replaced it with
+//! the sharded pipeline of [`ShardedSync`]: one hash per row instead of a
+//! `Vec<Value>` key allocation + re-hash per lookup, typed per-group slot
+//! columns instead of boxed `Value` states, and a worker pool that
+//! overlaps merging with fragment receive.
+//!
+//! The workload is synthetic and site-shaped: `--sites` sites each ship a
+//! fragment covering all `--groups` groups (COUNT, SUM, AVG, MAX states),
+//! row-blocked into `--chunk-rows` chunks. The serial path replays
+//! `BaseResult::merge_fragment` + `finalize`; the sharded path replays
+//! `ShardedSync::merge_chunk` + `finish` at 1, 2, and `--workers` workers.
+//! Both must produce identical relations. Results go to stdout and a JSON
+//! file (default `BENCH_4.json`).
+//!
+//! Usage: `coord_sync [--groups N] [--sites N] [--chunk-rows N]
+//! [--workers N] [--iters N] [--out PATH] [--check]` — `--check` exits
+//! nonzero unless the top-worker-count speedup is ≥ 2×.
+
+use std::time::Instant;
+
+use skalla_bench::harness::{arg_flag, arg_usize};
+use skalla_core::{BaseResult, ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};
+use skalla_expr::Expr;
+use skalla_gmdj::AggSpec;
+use skalla_types::{DataType, Field, Relation, Schema, Value};
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn unit_float(x: u64) -> f64 {
+    (splitmix(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count_star("cnt"),
+        AggSpec::sum(Expr::detail(1), "total").expect("sum"),
+        AggSpec::avg(Expr::detail(1), "mean").expect("avg"),
+        AggSpec::max(Expr::detail(1), "peak").expect("max"),
+    ]
+}
+
+fn output_fields() -> Vec<Field> {
+    vec![
+        Field::new("cnt", DataType::Int64),
+        Field::new("total", DataType::Float64),
+        Field::new("mean", DataType::Float64),
+        Field::new("peak", DataType::Float64),
+    ]
+}
+
+fn state_types() -> Vec<DataType> {
+    vec![
+        DataType::Int64,   // cnt
+        DataType::Float64, // total
+        DataType::Float64, // mean__sum
+        DataType::Int64,   // mean__count
+        DataType::Float64, // peak
+    ]
+}
+
+fn base(groups: usize) -> Relation {
+    let schema = Schema::from_pairs([("k", DataType::Int64)])
+        .expect("base schema")
+        .into_arc();
+    Relation::from_rows_unchecked(
+        schema,
+        (0..groups).map(|i| vec![Value::Int(i as i64)]).collect(),
+    )
+}
+
+/// Every site's reply, row-blocked: each chunk holds ≤ `chunk_rows` rows
+/// of [k, cnt, total, mean__sum, mean__count, peak] sub-aggregate state.
+fn site_chunks(groups: usize, sites: usize, chunk_rows: usize) -> Vec<Relation> {
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int64),
+        ("cnt", DataType::Int64),
+        ("total", DataType::Float64),
+        ("mean__sum", DataType::Float64),
+        ("mean__count", DataType::Int64),
+        ("peak", DataType::Float64),
+    ])
+    .expect("fragment schema")
+    .into_arc();
+    let mut chunks = Vec::new();
+    for site in 0..sites {
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(chunk_rows);
+        for g in 0..groups {
+            let seed = (site * groups + g) as u64;
+            let n = 1 + (splitmix(seed) % 50) as i64;
+            let sum = unit_float(seed ^ 0xA5A5) * n as f64 * 100.0;
+            rows.push(vec![
+                Value::Int(g as i64),
+                Value::Int(n),
+                Value::Float(sum),
+                Value::Float(sum),
+                Value::Int(n),
+                Value::Float(unit_float(seed ^ 0x5A5A) * 100.0),
+            ]);
+            if rows.len() == chunk_rows {
+                chunks.push(Relation::from_rows_unchecked(
+                    schema.clone(),
+                    std::mem::take(&mut rows),
+                ));
+            }
+        }
+        if !rows.is_empty() {
+            chunks.push(Relation::from_rows_unchecked(schema.clone(), rows));
+        }
+    }
+    chunks
+}
+
+/// One serial-baseline pass: `BaseResult` merge + finalize.
+fn serial_once(b: &Relation, chunks: &[Relation]) -> (f64, Relation) {
+    let t0 = Instant::now();
+    let mut x = BaseResult::from_base(b, &[0], specs(), output_fields()).expect("seed BaseResult");
+    for c in chunks {
+        x.merge_fragment(c, false).expect("serial merge");
+    }
+    let rel = x.finalize().expect("serial finalize");
+    (t0.elapsed().as_secs_f64(), rel)
+}
+
+/// One sharded-pipeline pass at `workers` workers. The chunk clones are
+/// staged outside the timed region — in production the chunks arrive
+/// owned off the wire.
+fn sharded_once(
+    b: &Relation,
+    chunks: &[Relation],
+    spec: &SyncSpec,
+    workers: usize,
+) -> (f64, Relation, SyncStats) {
+    let opts = SyncOptions::for_workers(workers);
+    let staged: Vec<Relation> = chunks.to_vec();
+    let t0 = Instant::now();
+    let mut x = ShardedSync::new(spec.clone(), Some(b), opts).expect("ShardedSync");
+    for c in staged {
+        x.merge_chunk(c).expect("sharded merge");
+    }
+    let (rel, stats) = x.finish().expect("sharded finish");
+    (t0.elapsed().as_secs_f64(), rel, stats)
+}
+
+struct Measurement {
+    workers: usize,
+    sync_s: f64,
+    stats: SyncStats,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let groups = arg_usize(&args, "--groups", 50_000);
+    let sites = arg_usize(&args, "--sites", 16);
+    let chunk_rows = arg_usize(&args, "--chunk-rows", 4096);
+    let max_workers = arg_usize(&args, "--workers", 4).max(1);
+    let iters = arg_usize(&args, "--iters", 8);
+    let check = arg_flag(&args, "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
+
+    let b = base(groups);
+    let chunks = site_chunks(groups, sites, chunk_rows);
+    let fragment_rows: usize = chunks.iter().map(Relation::len).sum();
+    println!(
+        "# coordinator synchronization: {groups} groups x {sites} sites \
+         ({fragment_rows} fragment rows, {} chunks of <= {chunk_rows}, best of {iters})",
+        chunks.len()
+    );
+    println!(
+        "{:<22} {:>9} {:>12} {:>9} {:>7}",
+        "path", "workers", "sync_s", "rows/s", "speedup"
+    );
+
+    let spec = SyncSpec {
+        base_schema: b.schema().clone(),
+        key_cols: vec![0],
+        specs: specs(),
+        state_types: state_types(),
+        output: SyncOutput::Finalized(output_fields()),
+        allow_new: false,
+    };
+    let worker_counts: Vec<usize> = [1usize, 2, max_workers]
+        .into_iter()
+        .filter(|&w| w <= max_workers)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    // Interleave serial and sharded passes round-robin so ambient machine
+    // drift (noisy neighbours, thermal throttling) hits every path alike
+    // instead of biasing whichever ran last; keep the best pass per path.
+    let mut serial_s = f64::INFINITY;
+    let mut expected: Option<Relation> = None;
+    let mut measurements: Vec<Measurement> = worker_counts
+        .iter()
+        .map(|&w| Measurement {
+            workers: w,
+            sync_s: f64::INFINITY,
+            stats: SyncStats::default(),
+        })
+        .collect();
+    for _ in 0..iters.max(1) {
+        let (t, rel) = serial_once(&b, &chunks);
+        serial_s = serial_s.min(t);
+        match &expected {
+            Some(prev) => assert_eq!(*prev, rel, "serial synchronization is nondeterministic"),
+            None => expected = Some(rel),
+        }
+        let expected = expected.as_ref().expect("serial relation");
+        for m in &mut measurements {
+            let (t, rel, stats) = sharded_once(&b, &chunks, &spec, m.workers);
+            assert_eq!(
+                &rel, expected,
+                "sharded ({} workers) and serial synchronization disagree",
+                m.workers
+            );
+            if t < m.sync_s {
+                m.sync_s = t;
+                m.stats = stats;
+            }
+        }
+    }
+
+    println!(
+        "{:<22} {:>9} {:>12.4} {:>9.0} {:>6.2}x",
+        "serial BaseResult",
+        "-",
+        serial_s,
+        fragment_rows as f64 / serial_s,
+        1.0
+    );
+    for m in &measurements {
+        println!(
+            "{:<22} {:>9} {:>12.4} {:>9.0} {:>6.2}x   (route {:.4}s, merge {:.4}s, finalize {:.4}s)",
+            "sharded pipeline",
+            m.workers,
+            m.sync_s,
+            fragment_rows as f64 / m.sync_s,
+            serial_s / m.sync_s,
+            m.stats.partition_s,
+            m.stats.merge_busy_s,
+            m.stats.finalize_s,
+        );
+    }
+
+    let top = measurements.last().expect("at least one worker count");
+    let top_speedup = serial_s / top.sync_s;
+    println!(
+        "# top config: {} workers x {} shards, {:.0}% worker busy, {:.2}x vs serial",
+        top.stats.workers,
+        top.stats.shards,
+        top.stats.utilization() * 100.0,
+        top_speedup
+    );
+
+    let rows_json: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workers\": {},\n",
+                    "      \"shards\": {},\n",
+                    "      \"sync_s\": {:.6},\n",
+                    "      \"rows_per_s\": {:.0},\n",
+                    "      \"speedup\": {:.2},\n",
+                    "      \"utilization\": {:.3}\n",
+                    "    }}"
+                ),
+                m.workers,
+                m.stats.shards,
+                m.sync_s,
+                fragment_rows as f64 / m.sync_s,
+                serial_s / m.sync_s,
+                m.stats.utilization(),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"coord_sync\",\n",
+            "  \"generated_by\": \"cargo run --release -p skalla-bench --bin coord_sync\",\n",
+            "  \"groups\": {},\n",
+            "  \"sites\": {},\n",
+            "  \"chunk_rows\": {},\n",
+            "  \"iters\": {},\n",
+            "  \"fragment_rows\": {},\n",
+            "  \"host_parallelism\": {},\n",
+            "  \"serial_s\": {:.6},\n",
+            "  \"serial_rows_per_s\": {:.0},\n",
+            "  \"sharded\": [\n{}\n  ],\n",
+            "  \"top_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        groups,
+        sites,
+        chunk_rows,
+        iters,
+        fragment_rows,
+        std::thread::available_parallelism().map_or(1, usize::from),
+        serial_s,
+        fragment_rows as f64 / serial_s,
+        rows_json.join(",\n"),
+        top_speedup,
+    );
+    std::fs::write(&out, &json).expect("write JSON");
+    println!("# wrote {out}");
+
+    if check {
+        assert!(
+            top_speedup >= 2.0,
+            "coordinator sync speedup {top_speedup:.2}x at {} workers is below the 2x floor",
+            top.workers
+        );
+        println!(
+            "# check passed: sync speedup {top_speedup:.2}x >= 2x at {} workers",
+            top.workers
+        );
+    }
+}

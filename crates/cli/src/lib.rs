@@ -25,7 +25,9 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use skalla_core::{DegradedMode, DistPlan, DistributedWarehouse, OptFlags, RetryPolicy};
+use skalla_core::{
+    DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RetryPolicy,
+};
 use skalla_gmdj::to_sql;
 use skalla_net::{CostModel, FaultPlan};
 use skalla_planner::{choose_plan, parse_query, plan_query, DistributionInfo};
@@ -65,6 +67,11 @@ pub struct Session {
     faults: FaultPlan,
     degraded: DegradedMode,
     retry: RetryPolicy,
+    /// Coordinator merge workers applied to every executed plan (>1 runs
+    /// synchronization through the sharded pipeline).
+    coord_workers: usize,
+    /// Metrics of the most recently executed query, for `\metrics`.
+    last_metrics: Option<ExecMetrics>,
     buffer: String,
     /// Rows shown per result (keeps wide groups readable).
     pub max_rows: usize,
@@ -89,6 +96,8 @@ impl Session {
             faults: FaultPlan::none(),
             degraded: DegradedMode::Fail,
             retry: RetryPolicy::default(),
+            coord_workers: 1,
+            last_metrics: None,
             buffer: String::new(),
             max_rows: 20,
         }
@@ -141,6 +150,8 @@ impl Session {
             "\\cost" => self.cmd_cost(),
             "\\faults" => self.cmd_faults(&args),
             "\\degrade" => self.cmd_degrade(&args),
+            "\\sync" => self.cmd_sync(&args),
+            "\\metrics" => self.cmd_metrics(),
             other => Err(SkallaError::parse(format!(
                 "unknown command `{other}` (try \\help)"
             ))),
@@ -283,6 +294,63 @@ impl Session {
                 DegradedMode::Partial => "partial",
             }
         ))
+    }
+
+    /// `\sync [workers]` — coordinator merge workers for every executed
+    /// plan. `1` is the serial `BaseResult` path; more runs the sharded,
+    /// pipelined synchronization engine.
+    fn cmd_sync(&mut self, args: &[&str]) -> Result<String> {
+        if let Some(a) = args.first() {
+            let n: usize = a
+                .parse()
+                .map_err(|_| SkallaError::parse("usage: \\sync [workers]"))?;
+            self.coord_workers = n.max(1);
+        }
+        Ok(format!(
+            "coordinator sync workers: {} ({})",
+            self.coord_workers,
+            if self.coord_workers > 1 {
+                "sharded pipeline"
+            } else {
+                "serial"
+            }
+        ))
+    }
+
+    /// `\metrics` — the full per-round cost table of the last query, with
+    /// the synchronization breakdown (decode / merge / finalize and, for
+    /// sharded rounds, worker/shard counts and utilization).
+    fn cmd_metrics(&self) -> Result<String> {
+        let m = self
+            .last_metrics
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no query executed yet"))?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", m.render_rounds());
+        for r in &m.rounds {
+            if r.sync_workers == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "{:<14} sync: decode {:.4}s, merge {:.4}s, finalize {:.4}s",
+                r.label, r.sync_decode_s, r.sync_merge_s, r.sync_finalize_s
+            );
+            if r.sync_workers > 1 {
+                let _ = write!(
+                    out,
+                    " ({} workers × {} shards, {:.0}% busy)",
+                    r.sync_workers,
+                    r.sync_shards,
+                    r.sync_utilization * 100.0
+                );
+            } else {
+                let _ = write!(out, " (serial)");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{}", m.summary());
+        Ok(out)
     }
 
     /// Load a TPCR warehouse (also callable programmatically).
@@ -459,6 +527,7 @@ impl Session {
 
         plan.retry = self.retry.clone();
         plan.retry.degraded = self.degraded;
+        plan.coord_parallelism = self.coord_workers.max(1);
 
         let mut out = String::new();
         if self.explain {
@@ -471,6 +540,7 @@ impl Session {
             let _ = writeln!(out, "{}", metrics.render_rounds());
         }
         let _ = write!(out, "-- {} groups | {}", result.len(), metrics.summary());
+        self.last_metrics = Some(metrics);
         Ok(out)
     }
 }
@@ -499,6 +569,8 @@ commands:
   \\faults [spec…]         show or set fault injection (off | seed <n> | drop <r> |
                           dup <r> | delay <r> | crash <site> <after>); applies on \\load
   \\degrade [fail|partial] coordinator behavior once retries are exhausted
+  \\sync [workers]         coordinator merge workers (>1 = sharded sync pipeline)
+  \\metrics                per-round cost table + sync breakdown of the last query
   \\help                   this message
   \\q                      quit
 queries:
@@ -715,6 +787,46 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
         let fault_free = clean.run_query(QUERY).unwrap();
         let table = |s: &str| s.split("--").next().unwrap().to_string();
         assert_eq!(table(&lossy), table(&fault_free));
+    }
+
+    #[test]
+    fn sync_command_and_metrics_breakdown() {
+        let mut s = loaded();
+        // Before any query, \metrics has nothing to show.
+        let Outcome::Continue(out) = s.handle_line("\\metrics") else {
+            panic!()
+        };
+        assert!(out.contains("no query executed"), "{out}");
+
+        let Outcome::Continue(out) = s.handle_line("\\sync") else {
+            panic!()
+        };
+        assert_eq!(out, "coordinator sync workers: 1 (serial)");
+        let Outcome::Continue(out) = s.handle_line("\\sync 4") else {
+            panic!()
+        };
+        assert_eq!(out, "coordinator sync workers: 4 (sharded pipeline)");
+        let Outcome::Continue(out) = s.handle_line("\\sync nope") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+
+        // Sharded and serial runs agree on results; \metrics distinguishes
+        // them at the prompt.
+        let sharded = s.run_query(QUERY).unwrap();
+        let Outcome::Continue(m) = s.handle_line("\\metrics") else {
+            panic!()
+        };
+        assert!(m.contains("workers × "), "{m}");
+        assert!(m.contains("sync: decode"), "{m}");
+        s.handle_line("\\sync 1");
+        let serial = s.run_query(QUERY).unwrap();
+        let Outcome::Continue(m) = s.handle_line("\\metrics") else {
+            panic!()
+        };
+        assert!(m.contains("(serial)"), "{m}");
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&sharded), table(&serial));
     }
 
     #[test]

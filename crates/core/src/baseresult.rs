@@ -121,6 +121,13 @@ impl BaseResult {
     /// missing from the index is an execution error; with `allow_new = true`
     /// (Proposition 2 local bases), new groups are inserted.
     ///
+    /// The merge is **all-or-nothing**: arity, state types, and (without
+    /// `allow_new`) key membership are validated for the whole fragment
+    /// before any row is folded in, so a rejected fragment leaves `X`
+    /// untouched and `DegradedMode::Partial` coverage accounting stays
+    /// exact. Arithmetic overflow during the merge itself remains the one
+    /// residual (query-fatal) failure.
+    ///
     /// Runs in O(|H|).
     pub fn merge_fragment(&mut self, frag: &Relation, allow_new: bool) -> Result<()> {
         let expect = self.base_schema.len() + self.state_width;
@@ -134,6 +141,22 @@ impl BaseResult {
             )));
         }
         let base_width = self.base_schema.len();
+        for row in frag.rows() {
+            let mut off = base_width;
+            for spec in &self.specs {
+                let w = spec.state_width();
+                spec.validate_incoming(&row[off..off + w])?;
+                off += w;
+            }
+            if !allow_new {
+                let key = self.key_of(&row[..base_width]);
+                if !self.index.contains_key(&key) {
+                    return Err(SkallaError::exec(format!(
+                        "fragment contains unknown group key {key:?}"
+                    )));
+                }
+            }
+        }
         for row in frag.rows() {
             let base_part = &row[..base_width];
             let key = self.key_of(base_part);
@@ -370,6 +393,28 @@ mod tests {
             .into_arc();
         let bad = Relation::new(bad_schema, vec![vec![Value::Int(1)]]).unwrap();
         assert!(x.merge_fragment(&bad, false).is_err());
+    }
+
+    #[test]
+    fn rejected_fragment_leaves_structure_untouched() {
+        let mut x = BaseResult::from_base(&base(), &[0], specs(), output_fields()).unwrap();
+        // A valid first row followed by a bad one: a string COUNT state,
+        // then (separately) an unknown key. Neither fragment may merge its
+        // leading valid row.
+        let bad_type = frag(vec![
+            vec![Value::Int(1), Value::Int(3), Value::Int(9), Value::Int(1)],
+            vec![Value::Int(2), Value::str("x"), Value::Null, Value::Int(0)],
+        ]);
+        assert!(x.merge_fragment(&bad_type, false).is_err());
+        let bad_key = frag(vec![
+            vec![Value::Int(1), Value::Int(3), Value::Int(9), Value::Int(1)],
+            vec![Value::Int(99), Value::Int(1), Value::Null, Value::Int(0)],
+        ]);
+        assert!(x.merge_fragment(&bad_key, false).is_err());
+        let out = x.finalize().unwrap().sorted();
+        // Every group is still at the identity state.
+        assert_eq!(out.row(0), &vec![Value::Int(1), Value::Int(0), Value::Null]);
+        assert_eq!(out.row(1), &vec![Value::Int(2), Value::Int(0), Value::Null]);
     }
 
     #[test]

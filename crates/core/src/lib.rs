@@ -32,6 +32,9 @@
 //! * [`site`] — the site worker loop.
 //! * [`warehouse`] — [`DistributedWarehouse`]: launch sites, execute plans,
 //!   and the ship-all-detail-data baseline used to demonstrate Theorem 2.
+//! * [`sync`] — [`ShardedSync`]: the hash-partitioned, multi-worker
+//!   synchronization pipeline (parallel Theorem 1, bit-for-bit equivalent
+//!   to [`BaseResult`]).
 //! * [`tree`] — [`TieredWarehouse`]: the multi-tier coordinator topology
 //!   sketched in the paper's future work (§6).
 
@@ -40,11 +43,13 @@ pub mod message;
 pub mod metrics;
 pub mod plan;
 pub mod site;
+pub mod sync;
 pub mod tree;
 pub mod warehouse;
 
 pub use baseresult::BaseResult;
 pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
 pub use plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment};
+pub use sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};
 pub use tree::TieredWarehouse;
 pub use warehouse::DistributedWarehouse;

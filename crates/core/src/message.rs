@@ -601,6 +601,7 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
         }
     }
     put_varint(buf, p.site_parallelism as u64);
+    put_varint(buf, p.coord_parallelism as u64);
     put_f64(buf, p.retry.deadline.as_secs_f64());
     put_varint(buf, u64::from(p.retry.max_retries));
     put_f64(buf, p.retry.backoff);
@@ -653,6 +654,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         other => return Err(SkallaError::net(format!("invalid block-rows byte {other}"))),
     };
     let site_parallelism = r.varint()? as usize;
+    let coord_parallelism = r.varint()? as usize;
     let deadline_s = r.f64()?;
     if !deadline_s.is_finite() || deadline_s < 0.0 {
         return Err(SkallaError::net(format!(
@@ -686,6 +688,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         flags,
         block_rows,
         site_parallelism,
+        coord_parallelism,
         retry,
     })
 }
@@ -745,6 +748,7 @@ mod tests {
         plan.flags = OptFlags::all();
         plan.block_rows = Some(128);
         plan.site_parallelism = 4;
+        plan.coord_parallelism = 3;
         plan.retry = RetryPolicy {
             deadline: std::time::Duration::from_millis(250),
             max_retries: 5,

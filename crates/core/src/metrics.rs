@@ -75,6 +75,24 @@ pub struct RoundMetrics {
     /// GMDJ blocks the sites evaluated with the row-at-a-time interpreter
     /// this round, summed across sites.
     pub blocks_interpreted: u64,
+    /// Seconds decoding reply fragments off the wire this round (formerly
+    /// lumped into the synchronization time).
+    pub sync_decode_s: f64,
+    /// Seconds merging fragments into the synchronized structure. For the
+    /// sharded pipeline this is summed *busy* worker time (work performed,
+    /// overlapped with receive); serially it is elapsed merge time.
+    pub sync_merge_s: f64,
+    /// Seconds finalizing the synchronized structure into the round's
+    /// output relation.
+    pub sync_finalize_s: f64,
+    /// Merge workers used by the synchronization this round (1 = serial
+    /// [`BaseResult`](crate::baseresult::BaseResult) path).
+    pub sync_workers: usize,
+    /// Hash shards of the group space (1 for the serial path).
+    pub sync_shards: usize,
+    /// Worker-pool utilization of the sharded pipeline this round
+    /// (busy / (workers × wall), 0 for the serial path).
+    pub sync_utilization: f64,
 }
 
 impl RoundMetrics {
@@ -167,6 +185,48 @@ impl ExecMetrics {
         self.rounds.iter().map(|r| r.blocks_interpreted).sum()
     }
 
+    /// Summed fragment decode seconds across rounds.
+    pub fn sync_decode_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sync_decode_s).sum()
+    }
+
+    /// Summed merge seconds across rounds (busy worker time for sharded
+    /// rounds).
+    pub fn sync_merge_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sync_merge_s).sum()
+    }
+
+    /// Summed finalize seconds across rounds.
+    pub fn sync_finalize_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sync_finalize_s).sum()
+    }
+
+    /// Largest worker pool any round synchronized with (1 = fully serial).
+    pub fn sync_workers(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.sync_workers)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest shard count any round synchronized with.
+    pub fn sync_shards(&self) -> usize {
+        self.rounds.iter().map(|r| r.sync_shards).max().unwrap_or(0)
+    }
+
+    /// Mean worker utilization over the rounds that ran the sharded
+    /// pipeline (0 when every round was serial).
+    pub fn sync_utilization(&self) -> f64 {
+        let sharded: Vec<&RoundMetrics> =
+            self.rounds.iter().filter(|r| r.sync_workers > 1).collect();
+        if sharded.is_empty() {
+            0.0
+        } else {
+            sharded.iter().map(|r| r.sync_utilization).sum::<f64>() / sharded.len() as f64
+        }
+    }
+
     /// A per-round table (label, traffic, compute components) — the
     /// detailed view behind [`ExecMetrics::summary`].
     pub fn render_rounds(&self) -> String {
@@ -223,6 +283,22 @@ impl ExecMetrics {
         if bc + bi > 0 {
             s.push_str(&format!(" | blocks: {bc} compiled, {bi} interpreted"));
         }
+        if self.rounds.iter().any(|r| r.sync_workers > 0) {
+            s.push_str(&format!(
+                " | sync: decode {:.4}s, merge {:.4}s, finalize {:.4}s",
+                self.sync_decode_s(),
+                self.sync_merge_s(),
+                self.sync_finalize_s(),
+            ));
+            if self.sync_workers() > 1 {
+                s.push_str(&format!(
+                    " ({} workers × {} shards, {:.0}% busy)",
+                    self.sync_workers(),
+                    self.sync_shards(),
+                    self.sync_utilization() * 100.0,
+                ));
+            }
+        }
         if let Some(c) = self.coverage {
             if !c.is_complete() {
                 s.push_str(&format!(" | coverage: {c}"));
@@ -252,6 +328,12 @@ mod tests {
             groups: 10,
             blocks_compiled: 2,
             blocks_interpreted: 1,
+            sync_decode_s: 0.001,
+            sync_merge_s: coord / 2.0,
+            sync_finalize_s: 0.002,
+            sync_workers: 4,
+            sync_shards: 16,
+            sync_utilization: 0.5,
         }
     }
 
@@ -281,6 +363,12 @@ mod tests {
         assert_eq!(m.total_blocks_interpreted(), 2);
         assert!(m.summary().contains("2 rounds"));
         assert!(m.summary().contains("blocks: 4 compiled, 2 interpreted"));
+        assert!(m.summary().contains("sync: decode 0.0020s"));
+        assert!(m.summary().contains("(4 workers × 16 shards, 50% busy)"));
+        assert_eq!(m.sync_workers(), 4);
+        assert_eq!(m.sync_shards(), 16);
+        assert!((m.sync_decode_s() - 0.002).abs() < 1e-12);
+        assert!((m.sync_utilization() - 0.5).abs() < 1e-12);
         let table = m.render_rounds();
         assert!(table.contains("round"));
         assert_eq!(table.lines().count(), 3); // header + 2 rounds

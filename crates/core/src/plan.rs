@@ -174,6 +174,10 @@ pub struct DistPlan {
     /// Threads each site uses for its local GMDJ scans (Theorem 1 applied
     /// within the site); `0`/`1` evaluates serially.
     pub site_parallelism: usize,
+    /// Merge workers the coordinator (and every mid-tier) uses for
+    /// synchronization via the sharded pipeline; `0`/`1` uses the serial
+    /// [`BaseResult`](crate::baseresult::BaseResult) path.
+    pub coord_parallelism: usize,
     /// Coordinator deadline/retry budget and degradation behavior for
     /// every synchronization round.
     pub retry: RetryPolicy,
@@ -195,6 +199,7 @@ impl DistPlan {
             flags: OptFlags::none(),
             block_rows: None,
             site_parallelism: 1,
+            coord_parallelism: 1,
             retry: RetryPolicy::default(),
         }
     }
@@ -208,6 +213,14 @@ impl DistPlan {
     /// Set the per-site scan parallelism.
     pub fn with_site_parallelism(mut self, threads: usize) -> DistPlan {
         self.site_parallelism = threads.max(1);
+        self
+    }
+
+    /// Set the coordinator (and mid-tier) synchronization parallelism:
+    /// with `workers > 1` every synchronization runs through the sharded
+    /// pipeline of [`crate::sync::ShardedSync`].
+    pub fn with_coord_parallelism(mut self, workers: usize) -> DistPlan {
+        self.coord_parallelism = workers.max(1);
         self
     }
 
@@ -421,6 +434,17 @@ mod tests {
 
         let q = p.with_degraded_mode(DegradedMode::Partial);
         assert_eq!(q.retry.degraded, DegradedMode::Partial);
+    }
+
+    #[test]
+    fn parallelism_builders_clamp_to_one() {
+        let p = DistPlan::unoptimized(expr(1))
+            .with_site_parallelism(0)
+            .with_coord_parallelism(0);
+        assert_eq!(p.site_parallelism, 1);
+        assert_eq!(p.coord_parallelism, 1);
+        let p = p.with_coord_parallelism(8);
+        assert_eq!(p.coord_parallelism, 8);
     }
 
     #[test]

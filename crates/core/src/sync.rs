@@ -1,0 +1,1117 @@
+//! Sharded, pipelined synchronization (the parallel Theorem 1 path).
+//!
+//! The serial [`BaseResult`](crate::baseresult::BaseResult) synchronizes
+//! O(|H|) but on one thread, re-hashing a freshly allocated `Vec<Value>`
+//! key per fragment row. At coordinator-bound scale (many groups × many
+//! sites) that merge loop *is* the response time. [`ShardedSync`]
+//! parallelizes it the way morsel-driven engines partition aggregation:
+//!
+//! * the group space is hash-partitioned into `shards` disjoint shards by
+//!   a key hash computed **once** per row (no per-lookup key allocation);
+//! * a pool of `workers` merge threads owns disjoint shard sets, fed
+//!   routed row batches over bounded channels, so merging overlaps with
+//!   network receive and fragment decode;
+//! * per-group state lives in typed [`AggSlot`] columns, merged without
+//!   `Value` boxing on the numeric fast paths.
+//!
+//! **Determinism.** The merge is not idempotent and float addition is not
+//! commutative-associative in bits, so the engine must replay exactly the
+//! serial merge order *within each group*. The router (the caller's
+//! thread) assigns every fragment row a global arrival index and appends
+//! rows to per-worker queues in arrival order; each shard therefore sees
+//! its rows as a subsequence of the serial order, and a group — which
+//! lives in exactly one shard — merges bit-for-bit identically (including
+//! float `AVG` state and `-0.0`). Group *creation* arrival indices are
+//! recorded, and [`ShardedSync::finish`] orders the output by them, which
+//! reproduces the serial structure's insertion order exactly.
+//!
+//! **All-or-nothing fragments.** Each chunk is validated (arity and state
+//! column types) on the router thread before any row is routed, so a bad
+//! fragment is rejected without mutating any shard — the same guarantee
+//! the serial `merge_fragment` provides.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use skalla_gmdj::{slots_for_specs, AggSlot, AggSpec};
+use skalla_types::{exact_i64, DataType, Field, Relation, Result, Row, Schema, SkallaError, Value};
+
+/// What [`ShardedSync::finish`] renders per group after the base columns.
+#[derive(Debug, Clone)]
+pub enum SyncOutput {
+    /// Finalized aggregate outputs (the coordinator's `B_k`), under these
+    /// fields.
+    Finalized(Vec<Field>),
+    /// Raw sub-aggregate state columns (the mid-tier ship format of
+    /// `BaseResult::to_state_relation`).
+    State,
+}
+
+/// The shape of one synchronization: schema, key, aggregates, and mode.
+#[derive(Debug, Clone)]
+pub struct SyncSpec {
+    /// Base-part schema of fragment rows.
+    pub base_schema: Arc<Schema>,
+    /// Key column indices within the base part.
+    pub key_cols: Vec<usize>,
+    /// The segment's flattened aggregates, in fragment column order.
+    pub specs: Vec<AggSpec>,
+    /// Declared state column types, flattened across `specs`.
+    pub state_types: Vec<DataType>,
+    /// What to render at the end.
+    pub output: SyncOutput,
+    /// Proposition 2 mode: insert unknown groups instead of erroring.
+    pub allow_new: bool,
+}
+
+/// Parallelism knobs for a [`ShardedSync`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncOptions {
+    /// Merge worker threads (≥ 1).
+    pub workers: usize,
+    /// Hash shards of the group space (≥ 1); shard `s` is owned by worker
+    /// `s % workers`.
+    pub shards: usize,
+    /// Bounded depth (in routed batches) of each worker's queue — the
+    /// backpressure that keeps the router from outrunning the mergers.
+    pub queue_batches: usize,
+    /// Router-side accumulation: rows buffered per worker before a batch
+    /// is pushed onto its queue. Bigger batches mean fewer wakeups and
+    /// shard-contiguous merge runs; smaller ones start the overlap
+    /// earlier. Clamped to ≥ 1.
+    pub flush_rows: usize,
+}
+
+impl SyncOptions {
+    /// Sensible defaults for `workers` threads: 4 shards per worker (so
+    /// group skew leaves no worker idle), a short queue, and ~4k-row
+    /// worker batches.
+    pub fn for_workers(workers: usize) -> SyncOptions {
+        let w = workers.max(1);
+        SyncOptions {
+            workers: w,
+            shards: w * 4,
+            queue_batches: 4,
+            flush_rows: 8192,
+        }
+    }
+}
+
+/// Timing breakdown of one sharded synchronization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncStats {
+    /// Router seconds: validation, key hashing, and batch routing.
+    pub partition_s: f64,
+    /// Summed busy merge seconds across workers (work performed; the
+    /// wall-clock cost is `merge_busy_s / workers` at full utilization).
+    pub merge_busy_s: f64,
+    /// Finalize seconds: slowest worker's render plus the router's
+    /// order-merge.
+    pub finalize_s: f64,
+    /// Serialized tail of [`ShardedSync::finish`]: closing the queues to
+    /// the ordered result (the only part not overlapped with receive).
+    pub drain_s: f64,
+    /// Engine lifetime seconds (construction to finish).
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Shards used.
+    pub shards: usize,
+    /// Groups in the result.
+    pub groups: usize,
+}
+
+impl SyncStats {
+    /// Fraction of the worker pool's capacity spent merging over the
+    /// engine's lifetime (1.0 = every worker busy the whole time).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_s <= 0.0 || self.workers == 0 {
+            0.0
+        } else {
+            (self.merge_busy_s / (self.workers as f64 * self.wall_s)).min(1.0)
+        }
+    }
+}
+
+/// One shard's routed rows, flattened columnar-style: parallel hash and
+/// arrival vectors plus row values at a fixed `base + state` stride,
+/// arrival-ordered. The flat buffers keep a worker's merge walk
+/// sequential in memory, and keep every per-row allocation — and, just as
+/// importantly, every free — on the router thread, so merge workers never
+/// contend on the allocator.
+#[derive(Default)]
+struct ShardBucket {
+    hashes: Vec<u64>,
+    arrivals: Vec<u64>,
+    vals: Vec<Value>,
+}
+
+impl ShardBucket {
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+/// One batch on a worker's queue: routed rows bucketed by the worker's
+/// local shard index. Shard-contiguous runs keep each shard's group table
+/// and slot columns cache-resident while it is being merged.
+type RoutedBatch = Vec<ShardBucket>;
+
+/// Per-state-column validation, flattened for the router's hot loop —
+/// semantically identical to chaining [`AggSlot::validate_incoming`]
+/// across the slots.
+#[derive(Debug, Clone, Copy)]
+enum ColCheck {
+    /// Non-null `Int` (`COUNT`, and the count component of `AVG`).
+    IntStrict,
+    /// `Int` or `NULL`.
+    IntOpt,
+    /// `Float` or `NULL`.
+    FloatOpt,
+    /// Anything (`MIN`/`MAX` over non-numeric values).
+    Any,
+}
+
+impl ColCheck {
+    /// The flattened per-column checks for one slot's state columns.
+    fn for_slot(slot: &AggSlot) -> Vec<ColCheck> {
+        match slot {
+            AggSlot::Count { .. } => vec![ColCheck::IntStrict],
+            AggSlot::SumI { .. } | AggSlot::MinMaxI { .. } => vec![ColCheck::IntOpt],
+            AggSlot::SumF { .. } | AggSlot::MinMaxF { .. } => vec![ColCheck::FloatOpt],
+            AggSlot::AvgI { .. } => vec![ColCheck::IntOpt, ColCheck::IntStrict],
+            AggSlot::AvgF { .. } => vec![ColCheck::FloatOpt, ColCheck::IntStrict],
+            AggSlot::MinMaxV { .. } => vec![ColCheck::Any],
+        }
+    }
+
+    #[inline]
+    fn check(self, v: &Value) -> Result<()> {
+        let want = match (self, v) {
+            (ColCheck::IntStrict, Value::Int(_)) => return Ok(()),
+            (ColCheck::IntOpt, Value::Int(_) | Value::Null) => return Ok(()),
+            (ColCheck::FloatOpt, Value::Float(_) | Value::Null) => return Ok(()),
+            (ColCheck::Any, _) => return Ok(()),
+            (ColCheck::IntStrict, _) => "Int count",
+            (ColCheck::IntOpt, _) => "Int or NULL",
+            (ColCheck::FloatOpt, _) => "Float or NULL",
+        };
+        Err(SkallaError::type_error(format!(
+            "fragment state column: expected {want}, got {v}"
+        )))
+    }
+}
+
+/// What each worker hands back when its queue closes.
+struct WorkerOut {
+    /// `(creation arrival index, rendered row)` sorted by the index.
+    rendered: Vec<(u64, Row)>,
+    merge_busy_s: f64,
+    finalize_s: f64,
+    groups: usize,
+}
+
+/// The sharded synchronization engine. Feed chunks with
+/// [`ShardedSync::merge_chunk`] as they arrive, then call
+/// [`ShardedSync::finish`].
+pub struct ShardedSync {
+    base_schema: Arc<Schema>,
+    base_width: usize,
+    state_width: usize,
+    key_cols: Arc<Vec<usize>>,
+    /// Flattened per-state-column checks used for router-side validation.
+    checks: Vec<ColCheck>,
+    spec_widths: Vec<usize>,
+    state_types: Vec<DataType>,
+    output: SyncOutput,
+    workers: usize,
+    shards: usize,
+    flush_rows: usize,
+    /// Whether routed rows carry arrival indices. Only `allow_new` mode
+    /// needs them (they order newly created groups); seeded mode leaves
+    /// [`ShardBucket::arrivals`] empty.
+    track_arrivals: bool,
+    /// `shards - 1` when the shard count is a power of two, letting the
+    /// router's hot loop replace `hash % shards` with a mask.
+    shard_mask: Option<u64>,
+    /// Routed rows accumulated per shard, awaiting a big-enough batch
+    /// (shard `s` belongs to worker `s % workers`).
+    pending: Vec<ShardBucket>,
+    pending_rows: Vec<usize>,
+    txs: Vec<SyncSender<RoutedBatch>>,
+    handles: Vec<JoinHandle<Result<WorkerOut>>>,
+    poisoned: Arc<AtomicBool>,
+    first_err: Arc<Mutex<Option<SkallaError>>>,
+    arrival: u64,
+    rows_merged: u64,
+    partition_s: f64,
+    started: Instant,
+}
+
+impl ShardedSync {
+    /// Build the engine, optionally seeding groups from a synchronized
+    /// base relation (every aggregate at its identity state, duplicate
+    /// base rows collapsing to one group — exactly
+    /// `BaseResult::from_base`).
+    pub fn new(spec: SyncSpec, seed: Option<&Relation>, opts: SyncOptions) -> Result<ShardedSync> {
+        let SyncSpec {
+            base_schema,
+            key_cols,
+            specs,
+            state_types,
+            output,
+            allow_new,
+        } = spec;
+        let base_width = base_schema.len();
+        for &c in &key_cols {
+            if c >= base_width {
+                return Err(SkallaError::plan(format!(
+                    "key column {c} out of range for base width {base_width}"
+                )));
+            }
+        }
+        let proto = slots_for_specs(&specs, &state_types)?;
+        let checks: Vec<ColCheck> = proto.iter().flat_map(ColCheck::for_slot).collect();
+        let spec_widths: Vec<usize> = specs.iter().map(AggSpec::state_width).collect();
+        let state_width: usize = spec_widths.iter().sum();
+        let workers = opts.workers.max(1);
+        let shards = opts.shards.max(1);
+        let key_cols = Arc::new(key_cols);
+
+        // Seed the shards on this thread: creation indices 0..n reproduce
+        // the serial insertion order of the base rows.
+        let mut all_shards: Vec<Shard> = (0..shards).map(|_| Shard::new(&proto)).collect();
+        let mut arrival = 0u64;
+        if let Some(base) = seed {
+            if base.schema().len() != base_width {
+                return Err(SkallaError::exec(format!(
+                    "group row has {} columns, base schema has {}",
+                    base.schema().len(),
+                    base_width
+                )));
+            }
+            for row in base.rows() {
+                let hash = hash_key(row, &key_cols);
+                let shard = &mut all_shards[(hash % shards as u64) as usize];
+                shard.seed_group(hash, row, &key_cols, arrival);
+                arrival += 1;
+            }
+        }
+
+        // Hand each worker its shard set and a bounded queue.
+        let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
+        for (s, shard) in all_shards.into_iter().enumerate() {
+            per_worker[s % workers].push(shard);
+        }
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let first_err = Arc::new(Mutex::new(None));
+        let render_state = matches!(output, SyncOutput::State);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard_set in per_worker {
+            let (tx, rx) = sync_channel::<RoutedBatch>(opts.queue_batches.max(1));
+            txs.push(tx);
+            let ctx = WorkerCtx {
+                rx,
+                shards: shard_set,
+                base_width,
+                stride: base_width + state_width,
+                key_cols: key_cols.clone(),
+                allow_new,
+                render_state,
+            };
+            let poisoned = poisoned.clone();
+            let first_err = first_err.clone();
+            handles.push(std::thread::spawn(move || {
+                let res = run_worker(ctx);
+                if let Err(e) = &res {
+                    poisoned.store(true, Ordering::Release);
+                    first_err
+                        .lock()
+                        .expect("sync error slot")
+                        .get_or_insert(e.clone());
+                }
+                res
+            }));
+        }
+        Ok(ShardedSync {
+            base_schema,
+            base_width,
+            state_width,
+            key_cols,
+            checks,
+            spec_widths,
+            state_types,
+            output,
+            workers,
+            shards,
+            flush_rows: opts.flush_rows.max(1),
+            track_arrivals: allow_new,
+            shard_mask: shards.is_power_of_two().then(|| shards as u64 - 1),
+            pending: (0..shards).map(|_| ShardBucket::default()).collect(),
+            pending_rows: vec![0; workers],
+            txs,
+            handles,
+            poisoned,
+            first_err,
+            arrival,
+            rows_merged: 0,
+            partition_s: 0.0,
+            started: Instant::now(),
+        })
+    }
+
+    /// Validate, hash, and route one fragment chunk to the merge workers.
+    /// A rejected chunk (arity or state-type mismatch) leaves the engine
+    /// exactly as if the chunk never arrived: nothing reaches a worker
+    /// because nothing is flushed mid-chunk, and the pending accumulators
+    /// roll back to their pre-chunk watermarks.
+    pub fn merge_chunk(&mut self, frag: Relation) -> Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(self.stored_error());
+        }
+        let t = Instant::now();
+        let expect = self.base_width + self.state_width;
+        if frag.schema().len() != expect {
+            return Err(SkallaError::exec(format!(
+                "fragment has {} columns, expected {} (base {} + state {})",
+                frag.schema().len(),
+                expect,
+                self.base_width,
+                self.state_width
+            )));
+        }
+        // Validation and routing share one pass over the rows, straight
+        // into the per-worker accumulators (shard `s` lands in bucket
+        // `s / workers` of worker `s % workers`). A mid-chunk rejection
+        // rolls every bucket back to its pre-chunk watermark and leaves
+        // the arrival counter untouched, so no shard ever sees any part of
+        // a failed chunk.
+        let n = frag.len();
+        let marks: Vec<usize> = self.pending.iter().map(ShardBucket::len).collect();
+        let stride = self.base_width + self.state_width;
+        let mut arrival = self.arrival;
+        for row in frag.into_rows() {
+            let valid = row[self.base_width..]
+                .iter()
+                .zip(&self.checks)
+                .try_for_each(|(v, c)| c.check(v));
+            if let Err(e) = valid {
+                for (bucket, &keep) in self.pending.iter_mut().zip(&marks) {
+                    bucket.hashes.truncate(keep);
+                    bucket.arrivals.truncate(keep);
+                    bucket.vals.truncate(keep * stride);
+                }
+                self.recount_pending();
+                return Err(e);
+            }
+            let hash = hash_key(&row, &self.key_cols);
+            let shard = match self.shard_mask {
+                Some(m) => (hash & m) as usize,
+                None => (hash % self.shards as u64) as usize,
+            };
+            let bucket = &mut self.pending[shard];
+            bucket.hashes.push(hash);
+            if self.track_arrivals {
+                bucket.arrivals.push(arrival);
+            }
+            bucket.vals.extend(row);
+            arrival += 1;
+        }
+        self.recount_pending();
+        self.arrival = arrival;
+        self.rows_merged += n as u64;
+        self.partition_s += t.elapsed().as_secs_f64();
+        // Sends sit outside the timer: blocking here is backpressure (the
+        // mergers are saturated), not router compute.
+        for w in 0..self.workers {
+            if self.pending_rows[w] >= self.flush_rows {
+                self.flush_worker(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recompute per-worker pending row counts from the shard buckets.
+    fn recount_pending(&mut self) {
+        self.pending_rows.iter_mut().for_each(|r| *r = 0);
+        for (s, bucket) in self.pending.iter().enumerate() {
+            self.pending_rows[s % self.workers] += bucket.len();
+        }
+    }
+
+    /// Push worker `w`'s accumulated shard buckets (in local-index order)
+    /// onto its queue.
+    fn flush_worker(&mut self, w: usize) -> Result<()> {
+        let full: RoutedBatch = (w..self.shards)
+            .step_by(self.workers)
+            .map(|s| std::mem::take(&mut self.pending[s]))
+            .collect();
+        self.pending_rows[w] = 0;
+        if self.txs[w].send(full).is_err() {
+            return Err(self.stored_error());
+        }
+        Ok(())
+    }
+
+    /// Close the queues, join the workers, and render the synchronized
+    /// relation in exactly the serial insertion order.
+    pub fn finish(mut self) -> Result<(Relation, SyncStats)> {
+        let t_drain = Instant::now();
+        // Flush whatever the accumulators still hold, ignoring send errors
+        // here — a dead worker's own error is picked up after the join.
+        for w in 0..self.workers {
+            if self.pending_rows[w] > 0 {
+                let _ = self.flush_worker(w);
+            }
+        }
+        self.txs.clear(); // closes every queue
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(self.handles.len());
+        let mut join_err: Option<SkallaError> = None;
+        for h in self.handles.drain(..) {
+            match h.join() {
+                Ok(Ok(o)) => outs.push(o),
+                Ok(Err(e)) => {
+                    join_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    join_err.get_or_insert(SkallaError::exec("sync worker panicked"));
+                }
+            }
+        }
+        if let Some(e) = self.first_err.lock().expect("sync error slot").take() {
+            return Err(e);
+        }
+        if let Some(e) = join_err {
+            return Err(e);
+        }
+
+        let t_order = Instant::now();
+        let groups: usize = outs.iter().map(|o| o.groups).sum();
+        let mut rendered: Vec<(u64, Row)> = Vec::with_capacity(groups);
+        for o in &mut outs {
+            rendered.append(&mut o.rendered);
+        }
+        // Creation arrival indices are globally unique; sorting by them
+        // reproduces the serial structure's insertion order bit-for-bit.
+        rendered.sort_unstable_by_key(|(created, _)| *created);
+        let rows: Vec<Row> = rendered.into_iter().map(|(_, row)| row).collect();
+
+        let mut fields = self.base_schema.fields().to_vec();
+        match &self.output {
+            SyncOutput::Finalized(out_fields) => fields.extend(out_fields.iter().cloned()),
+            SyncOutput::State => {
+                // Same placeholder names as `to_state_relation`, but with
+                // the real declared state types.
+                let mut off = 0;
+                for (i, &w) in self.spec_widths.iter().enumerate() {
+                    for j in 0..w {
+                        fields.push(Field::new(
+                            format!("__state_{i}_{j}"),
+                            self.state_types[off + j],
+                        ));
+                    }
+                    off += w;
+                }
+            }
+        }
+        let schema = Arc::new(Schema::new(fields)?);
+        let rel = Relation::from_rows_unchecked(schema, rows);
+        let order_s = t_order.elapsed().as_secs_f64();
+
+        let stats = SyncStats {
+            partition_s: self.partition_s,
+            merge_busy_s: outs.iter().map(|o| o.merge_busy_s).sum(),
+            finalize_s: outs.iter().map(|o| o.finalize_s).fold(0.0, f64::max) + order_s,
+            drain_s: t_drain.elapsed().as_secs_f64(),
+            wall_s: self.started.elapsed().as_secs_f64(),
+            workers: self.workers,
+            shards: self.shards,
+            groups,
+        };
+        Ok((rel, stats))
+    }
+
+    /// Rows routed so far (excludes seeded base rows).
+    pub fn rows_merged(&self) -> u64 {
+        self.rows_merged
+    }
+
+    fn stored_error(&self) -> SkallaError {
+        self.first_err
+            .lock()
+            .expect("sync error slot")
+            .take()
+            .unwrap_or_else(|| SkallaError::exec("sync worker terminated"))
+    }
+}
+
+struct WorkerCtx {
+    rx: Receiver<RoutedBatch>,
+    /// This worker's shards, at local index `shard_id / workers`.
+    shards: Vec<Shard>,
+    base_width: usize,
+    /// Full fragment row width (`base + state`), the stride of
+    /// [`ShardBucket::vals`].
+    stride: usize,
+    key_cols: Arc<Vec<usize>>,
+    allow_new: bool,
+    render_state: bool,
+}
+
+fn run_worker(ctx: WorkerCtx) -> Result<WorkerOut> {
+    let WorkerCtx {
+        rx,
+        mut shards,
+        base_width,
+        stride,
+        key_cols,
+        allow_new,
+        render_state,
+    } = ctx;
+    let mut busy = 0.0f64;
+    while let Ok(batch) = rx.recv() {
+        let t = Instant::now();
+        for (local, bucket) in batch.into_iter().enumerate() {
+            let shard = &mut shards[local];
+            let ShardBucket {
+                hashes,
+                arrivals,
+                vals,
+            } = bucket;
+            // `arrivals` is empty in seeded mode (no group is ever
+            // created, so the index is never read).
+            let mut off = 0;
+            for (i, &hash) in hashes.iter().enumerate() {
+                let arrival = arrivals.get(i).copied().unwrap_or(0);
+                shard.merge_row(
+                    hash,
+                    arrival,
+                    &vals[off..off + stride],
+                    base_width,
+                    &key_cols,
+                    allow_new,
+                )?;
+                off += stride;
+            }
+        }
+        busy += t.elapsed().as_secs_f64();
+    }
+    let t = Instant::now();
+    let groups: usize = shards.iter().map(|s| s.rows.len()).sum();
+    let mut rendered: Vec<(u64, Row)> = Vec::with_capacity(groups);
+    for shard in shards {
+        let Shard {
+            rows,
+            created,
+            slots,
+            ..
+        } = shard;
+        for (g, (mut row, c)) in rows.into_iter().zip(created).enumerate() {
+            if render_state {
+                for slot in &slots {
+                    slot.write_state(g, &mut row);
+                }
+            } else {
+                for slot in &slots {
+                    row.push(slot.finalize_value(g));
+                }
+            }
+            rendered.push((c, row));
+        }
+    }
+    rendered.sort_unstable_by_key(|(c, _)| *c);
+    Ok(WorkerOut {
+        rendered,
+        merge_busy_s: busy,
+        finalize_s: t.elapsed().as_secs_f64(),
+        groups,
+    })
+}
+
+/// One hash partition of the group space: an open-addressing index over
+/// stored key hashes, base rows, creation indices, and typed slots.
+struct Shard {
+    table: GroupTable,
+    /// Base parts, in creation order (dense group indices).
+    rows: Vec<Row>,
+    /// Key values, flattened at `key_cols.len()` per group: a dense copy
+    /// of each group's key so probe compares stay inside one hot vector
+    /// instead of chasing `rows[g]`'s heap pointer.
+    keys: Vec<Value>,
+    /// Global arrival index at which each group was created.
+    created: Vec<u64>,
+    slots: Vec<AggSlot>,
+}
+
+impl Shard {
+    fn new(proto: &[AggSlot]) -> Shard {
+        Shard {
+            table: GroupTable::new(),
+            rows: Vec::new(),
+            keys: Vec::new(),
+            created: Vec::new(),
+            slots: proto.to_vec(),
+        }
+    }
+
+    /// Seed one base row at the identity state (duplicates collapse).
+    fn seed_group(&mut self, hash: u64, base_part: &Row, key_cols: &[usize], arrival: u64) {
+        let kw = key_cols.len();
+        let keys = &self.keys;
+        if self
+            .table
+            .find(hash, |g| keys_eq(&keys[g * kw..], base_part, key_cols))
+            .is_some()
+        {
+            return;
+        }
+        let g = self.rows.len();
+        self.rows.push(base_part.clone());
+        self.keys
+            .extend(key_cols.iter().map(|&c| base_part[c].clone()));
+        self.created.push(arrival);
+        for slot in &mut self.slots {
+            slot.push_identity();
+        }
+        self.table.insert(hash, g);
+    }
+
+    /// Merge one routed fragment row (Theorem 1 super-aggregation). `row`
+    /// is a full-stride slice of a [`ShardBucket`]'s value buffer.
+    fn merge_row(
+        &mut self,
+        hash: u64,
+        arrival: u64,
+        row: &[Value],
+        base_width: usize,
+        key_cols: &[usize],
+        allow_new: bool,
+    ) -> Result<()> {
+        let kw = key_cols.len();
+        let keys = &self.keys;
+        let found = self
+            .table
+            .find(hash, |g| keys_eq(&keys[g * kw..], row, key_cols));
+        match found {
+            Some(g) => {
+                let mut off = base_width;
+                for slot in &mut self.slots {
+                    let w = slot.state_width();
+                    slot.merge_into(g, &row[off..off + w])?;
+                    off += w;
+                }
+            }
+            None if allow_new => {
+                let g = self.rows.len();
+                self.keys.extend(key_cols.iter().map(|&c| row[c].clone()));
+                self.rows.push(row[..base_width].to_vec());
+                self.created.push(arrival);
+                self.table.insert(hash, g);
+                let mut off = base_width;
+                for slot in &mut self.slots {
+                    slot.push_identity();
+                    let w = slot.state_width();
+                    slot.merge_into(g, &row[off..off + w])?;
+                    off += w;
+                }
+            }
+            None => {
+                let key: Row = key_cols.iter().map(|&c| row[c].clone()).collect();
+                return Err(SkallaError::exec(format!(
+                    "fragment contains unknown group key {key:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `stored` is a dense `key_cols.len()`-wide key slice (values in
+/// `key_cols` order); `incoming` is a full row indexed by `key_cols`.
+fn keys_eq(stored: &[Value], incoming: &[Value], key_cols: &[usize]) -> bool {
+    key_cols.iter().zip(stored).all(|(&c, s)| *s == incoming[c])
+}
+
+const EMPTY: usize = usize::MAX;
+
+/// Open-addressing group index: slots hold dense group ids, hashes are
+/// stored per group so probes compare a `u64` before touching key values.
+struct GroupTable {
+    mask: usize,
+    slots: Box<[usize]>,
+    hashes: Vec<u64>,
+}
+
+impl GroupTable {
+    fn new() -> GroupTable {
+        GroupTable {
+            mask: 15,
+            slots: vec![EMPTY; 16].into_boxed_slice(),
+            hashes: Vec::new(),
+        }
+    }
+
+    fn find(&self, hash: u64, mut eq: impl FnMut(usize) -> bool) -> Option<usize> {
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let g = self.slots[i];
+            if g == EMPTY {
+                return None;
+            }
+            if self.hashes[g] == hash && eq(g) {
+                return Some(g);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert group `g` (which must equal the current group count) under
+    /// `hash`. The caller has already established it is absent.
+    fn insert(&mut self, hash: u64, g: usize) {
+        debug_assert_eq!(g, self.hashes.len());
+        self.hashes.push(hash);
+        // Grow at 7/8 load, re-placing every group.
+        if self.hashes.len() * 8 >= self.slots.len() * 7 {
+            let cap = self.slots.len() * 2;
+            self.mask = cap - 1;
+            self.slots = vec![EMPTY; cap].into_boxed_slice();
+            for g in 0..self.hashes.len() {
+                self.place(self.hashes[g], g);
+            }
+        } else {
+            self.place(hash, g);
+        }
+    }
+
+    fn place(&mut self, hash: u64, g: usize) {
+        let mut i = (hash as usize) & self.mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = g;
+    }
+}
+
+#[inline]
+fn mix(h: u64, w: u64) -> u64 {
+    (h.rotate_left(5) ^ w).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+/// Hash the key columns of a (base-prefixed) row. Consistent with
+/// [`Value`]'s equality: `Int(k)`, `Float(k.0)`, and `-0.0`/`0.0` hash
+/// identically, and all NaNs (which compare equal under the total order)
+/// share one hash.
+fn hash_key(row: &[Value], key_cols: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in key_cols {
+        h = match &row[c] {
+            Value::Null => mix(h, 0xa5),
+            Value::Bool(b) => mix(mix(h, 1), u64::from(*b)),
+            Value::Int(i) => mix(mix(h, 2), *i as u64),
+            Value::Float(f) => match exact_i64(*f) {
+                Some(i) => mix(mix(h, 2), i as u64),
+                None => {
+                    let bits = if f.is_nan() {
+                        f64::NAN.to_bits()
+                    } else {
+                        f.to_bits()
+                    };
+                    mix(mix(h, 3), bits)
+                }
+            },
+            Value::Str(s) => {
+                let bytes = s.as_bytes();
+                let mut acc = mix(h, 4);
+                for chunk in bytes.chunks(8) {
+                    let mut word = [0u8; 8];
+                    word[..chunk.len()].copy_from_slice(chunk);
+                    acc = mix(acc, u64::from_le_bytes(word));
+                }
+                mix(acc, bytes.len() as u64)
+            }
+        };
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseresult::BaseResult;
+    use skalla_expr::Expr;
+
+    fn base() -> Relation {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        Relation::new(schema, (0..10).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::count_star("cnt"),
+            AggSpec::avg(Expr::detail(1), "avg").unwrap(),
+        ]
+    }
+
+    fn output_fields() -> Vec<Field> {
+        vec![
+            Field::new("cnt", DataType::Int64),
+            Field::new("avg", DataType::Float64),
+        ]
+    }
+
+    fn state_types() -> Vec<DataType> {
+        vec![DataType::Int64, DataType::Float64, DataType::Int64]
+    }
+
+    fn frag(rows: Vec<Row>) -> Relation {
+        let schema = Schema::from_pairs([
+            ("k", DataType::Int64),
+            ("cnt", DataType::Int64),
+            ("avg__sum", DataType::Float64),
+            ("avg__count", DataType::Int64),
+        ])
+        .unwrap()
+        .into_arc();
+        Relation::new(schema, rows).unwrap()
+    }
+
+    fn site_frag(site: usize) -> Relation {
+        frag(
+            (0..10)
+                .map(|k| {
+                    vec![
+                        Value::Int(k),
+                        Value::Int((site + k as usize) as i64 % 3),
+                        Value::Float((site as f64 + 0.25) * (k as f64 + 0.5)),
+                        Value::Int(1),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    fn engine(opts: SyncOptions, allow_new: bool, seed: Option<&Relation>) -> ShardedSync {
+        ShardedSync::new(
+            SyncSpec {
+                base_schema: base().schema().clone(),
+                key_cols: vec![0],
+                specs: specs(),
+                state_types: state_types(),
+                output: SyncOutput::Finalized(output_fields()),
+                allow_new,
+            },
+            seed,
+            opts,
+        )
+        .unwrap()
+    }
+
+    fn rows_bits_eq(a: &Relation, b: &Relation) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.schema().names(), b.schema().names());
+        for (ra, rb) in a.rows().iter().zip(b.rows()) {
+            for (va, vb) in ra.iter().zip(rb) {
+                match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{va:?} vs {vb:?}")
+                    }
+                    _ => assert_eq!(va, vb),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_bit_for_bit_across_shard_counts() {
+        let b = base();
+        let mut serial = BaseResult::from_base(&b, &[0], specs(), output_fields()).unwrap();
+        for site in 0..5 {
+            serial.merge_fragment(&site_frag(site), false).unwrap();
+        }
+        let expect = serial.finalize().unwrap();
+
+        for (workers, shards) in [(1, 1), (2, 3), (4, 16)] {
+            let mut e = engine(
+                SyncOptions {
+                    workers,
+                    shards,
+                    queue_batches: 2,
+                    flush_rows: 8,
+                },
+                false,
+                Some(&b),
+            );
+            for site in 0..5 {
+                e.merge_chunk(site_frag(site)).unwrap();
+            }
+            let (got, stats) = e.finish().unwrap();
+            rows_bits_eq(&expect, &got);
+            assert_eq!(stats.groups, 10);
+            assert_eq!(stats.workers, workers);
+            assert!(stats.utilization() >= 0.0 && stats.utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_mode_inserts_in_arrival_order() {
+        // Serial reference in empty (Proposition 2) mode.
+        let mut serial = BaseResult::empty(base().schema().clone(), &[0], specs(), output_fields());
+        let f1 = frag(vec![
+            vec![
+                Value::Int(7),
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(1),
+            ],
+            vec![
+                Value::Int(3),
+                Value::Int(1),
+                Value::Float(2.5),
+                Value::Int(1),
+            ],
+        ]);
+        let f2 = frag(vec![
+            vec![Value::Int(5), Value::Int(1), Value::Null, Value::Int(0)],
+            vec![
+                Value::Int(7),
+                Value::Int(2),
+                Value::Float(-0.0),
+                Value::Int(1),
+            ],
+        ]);
+        serial.merge_fragment(&f1, true).unwrap();
+        serial.merge_fragment(&f2, true).unwrap();
+        let expect = serial.finalize().unwrap();
+
+        let mut e = engine(SyncOptions::for_workers(3), true, None);
+        e.merge_chunk(f1).unwrap();
+        e.merge_chunk(f2).unwrap();
+        let (got, _) = e.finish().unwrap();
+        rows_bits_eq(&expect, &got);
+        // Insertion order, not key order.
+        assert_eq!(got.row(0)[0], Value::Int(7));
+        assert_eq!(got.row(1)[0], Value::Int(3));
+        assert_eq!(got.row(2)[0], Value::Int(5));
+    }
+
+    #[test]
+    fn unknown_group_rejected_like_serial() {
+        let b = base();
+        let mut e = engine(SyncOptions::for_workers(2), false, Some(&b));
+        e.merge_chunk(frag(vec![vec![
+            Value::Int(99),
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Int(1),
+        ]]))
+        .ok(); // error may surface here or at finish
+        let err = match e.finish() {
+            Err(e) => e,
+            Ok(_) => panic!("unknown key must fail"),
+        };
+        assert!(err.to_string().contains("unknown group key"));
+    }
+
+    #[test]
+    fn bad_chunk_rejected_before_any_merge() {
+        let b = base();
+        let mut e = engine(SyncOptions::for_workers(2), false, Some(&b));
+        // Wrong arity.
+        let bad = Relation::new(
+            Schema::from_pairs([("k", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
+        assert!(e.merge_chunk(bad).is_err());
+        // Wrong state type (string count), mixed into a chunk with a valid
+        // row: neither row may merge.
+        let mixed = frag(vec![
+            vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::Float(9.0),
+                Value::Int(1),
+            ],
+            vec![Value::Int(2), Value::str("x"), Value::Null, Value::Int(0)],
+        ]);
+        assert!(e.merge_chunk(mixed).is_err());
+        let (got, _) = e.finish().unwrap();
+        // All groups still at identity: COUNT 0 everywhere.
+        assert!(got.rows().iter().all(|r| r[1] == Value::Int(0)));
+    }
+
+    #[test]
+    fn state_output_matches_to_state_relation() {
+        let b = base();
+        let mut serial = BaseResult::from_base(&b, &[0], specs(), Vec::new()).unwrap();
+        serial.merge_fragment(&site_frag(0), false).unwrap();
+        serial.merge_fragment(&site_frag(1), false).unwrap();
+        let expect = serial.to_state_relation().unwrap();
+
+        let mut e = ShardedSync::new(
+            SyncSpec {
+                base_schema: b.schema().clone(),
+                key_cols: vec![0],
+                specs: specs(),
+                state_types: state_types(),
+                output: SyncOutput::State,
+                allow_new: false,
+            },
+            Some(&b),
+            SyncOptions::for_workers(4),
+        )
+        .unwrap();
+        e.merge_chunk(site_frag(0)).unwrap();
+        e.merge_chunk(site_frag(1)).unwrap();
+        let (got, _) = e.finish().unwrap();
+        rows_bits_eq(&expect, &got);
+        // Unlike the serial placeholder schema, state fields carry the
+        // real declared types.
+        assert_eq!(got.schema().fields()[2].dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn hash_key_is_equality_consistent() {
+        let cols = [0usize];
+        let h = |v: Value| hash_key(&[v], &cols);
+        assert_eq!(h(Value::Int(42)), h(Value::Float(42.0)));
+        assert_eq!(h(Value::Float(0.0)), h(Value::Float(-0.0)));
+        assert_eq!(h(Value::Float(f64::NAN)), h(Value::Float(-f64::NAN)));
+        assert_ne!(h(Value::Int(1)), h(Value::Int(2)));
+        assert_ne!(h(Value::str("ab")), h(Value::str("ba")));
+    }
+
+    #[test]
+    fn sum_overflow_surfaces_from_workers() {
+        let b = base();
+        let mut e = ShardedSync::new(
+            SyncSpec {
+                base_schema: b.schema().clone(),
+                key_cols: vec![0],
+                specs: vec![AggSpec::sum(Expr::detail(1), "s").unwrap()],
+                state_types: vec![DataType::Int64],
+                output: SyncOutput::Finalized(vec![Field::new("s", DataType::Int64)]),
+                allow_new: false,
+            },
+            Some(&b),
+            SyncOptions::for_workers(2),
+        )
+        .unwrap();
+        let schema = Schema::from_pairs([("k", DataType::Int64), ("s", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let big = Relation::new(schema, vec![vec![Value::Int(1), Value::Int(i64::MAX)]]).unwrap();
+        e.merge_chunk(big.clone()).unwrap();
+        e.merge_chunk(big).unwrap();
+        let err = e.finish().unwrap_err();
+        assert!(err.to_string().contains("SUM overflow"));
+    }
+}

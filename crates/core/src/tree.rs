@@ -21,14 +21,24 @@ use std::sync::Arc;
 use skalla_gmdj::AggSpec;
 use skalla_net::{CostModel, Endpoint, NodeId, SimNetwork};
 use skalla_storage::Catalog;
-use skalla_types::{Relation, Result, Schema, SkallaError};
+use skalla_types::{DataType, Relation, Result, Schema, SkallaError};
 
 use crate::baseresult::BaseResult;
 use crate::message::Message;
 use crate::metrics::ExecMetrics;
 use crate::plan::DistPlan;
 use crate::site::run_site_with_parent;
+use crate::sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec};
 use crate::warehouse::DistributedWarehouse;
+
+/// The structure a mid-tier pre-synchronizes its cluster's fragments into:
+/// serial, or the sharded pipeline when the plan carries
+/// `coord_parallelism > 1` (the same knob the root uses — every tier of the
+/// tree runs the same synchronization engine).
+enum ClusterSync {
+    Serial(BaseResult),
+    Sharded(ShardedSync),
+}
 
 /// A two-level warehouse: root coordinator → mid-tier coordinators → sites.
 pub struct TieredWarehouse {
@@ -387,9 +397,10 @@ impl MidState {
     ) -> Result<(Relation, f64, u32, u32)> {
         let plan = self.plan.as_ref().expect("checked in segment_specs");
         let key = plan.expr.key.clone();
+        let workers = plan.coord_parallelism;
         let state_width: usize = specs.iter().map(AggSpec::state_width).sum();
 
-        let mut x: Option<BaseResult> = None;
+        let mut x: Option<ClusterSync> = None;
         let mut pending = num_children;
         let mut max_s: f64 = 0.0;
         let mut total_bc = 0u32;
@@ -435,19 +446,45 @@ impl MidState {
                     let base_width = h.schema().len() - state_width;
                     let base_cols: Vec<usize> = (0..base_width).collect();
                     let base_schema = Arc::new(h.schema().project(&base_cols)?);
-                    x = Some(BaseResult::empty(
-                        base_schema,
-                        &key,
-                        specs.clone(),
-                        Vec::new(),
-                    ));
+                    let sync = if workers > 1 {
+                        // Declared state types come off the fragment's
+                        // schema tail (site ship schemas carry them).
+                        let state_types: Vec<DataType> = h.schema().fields()[base_width..]
+                            .iter()
+                            .map(|f| f.dtype)
+                            .collect();
+                        ClusterSync::Sharded(ShardedSync::new(
+                            SyncSpec {
+                                base_schema,
+                                key_cols: key.clone(),
+                                specs: specs.clone(),
+                                state_types,
+                                output: SyncOutput::State,
+                                allow_new: true,
+                            },
+                            None,
+                            SyncOptions::for_workers(workers),
+                        )?)
+                    } else {
+                        ClusterSync::Serial(BaseResult::empty(
+                            base_schema,
+                            &key,
+                            specs.clone(),
+                            Vec::new(),
+                        ))
+                    };
+                    x = Some(sync);
                     x.as_mut().expect("just set")
                 }
             };
-            x.merge_fragment(&h, true)?;
+            match x {
+                ClusterSync::Serial(b) => b.merge_fragment(&h, true)?,
+                ClusterSync::Sharded(s) => s.merge_chunk(h)?,
+            }
         }
         let merged = match x {
-            Some(x) => x.to_state_relation()?,
+            Some(ClusterSync::Serial(b)) => b.to_state_relation()?,
+            Some(ClusterSync::Sharded(s)) => s.finish()?.0,
             None => return Err(SkallaError::exec("mid-tier cluster produced no fragments")),
         };
         Ok((merged, max_s, total_bc, total_bi))

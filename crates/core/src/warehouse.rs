@@ -22,13 +22,22 @@ use skalla_expr::{eval_base, Expr};
 use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
 use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork, TransferStats};
 use skalla_storage::Catalog;
-use skalla_types::{Field, Relation, Result, Schema, SkallaError, Value};
+use skalla_types::{DataType, Field, Relation, Result, Schema, SkallaError, Value};
 
 use crate::baseresult::BaseResult;
 use crate::message::Message;
 use crate::metrics::{Coverage, ExecMetrics, RoundMetrics};
 use crate::plan::{BaseRound, DegradedMode, DistPlan, RetryPolicy, Segment};
 use crate::site::run_site;
+use crate::sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec};
+
+/// The synchronization structure a segment round merges fragments into:
+/// the serial [`BaseResult`] or the sharded pipeline, per
+/// [`DistPlan::coord_parallelism`].
+enum Syncer {
+    Serial(BaseResult),
+    Sharded(ShardedSync),
+}
 
 /// A running distributed data warehouse: `n` site threads plus this
 /// coordinator handle.
@@ -137,6 +146,11 @@ impl DistributedWarehouse {
     /// mode: [`DegradedMode::Fail`] errors naming the site,
     /// [`DegradedMode::Partial`] records it in `dead` and the round
     /// completes from the remaining sites.
+    ///
+    /// Seconds spent decoding reply frames off the wire are accumulated
+    /// into `decode_s`, separately from whatever the sink does with the
+    /// decoded message.
+    #[allow(clippy::too_many_arguments)]
     fn collect_round(
         &self,
         round: u32,
@@ -144,6 +158,7 @@ impl DistributedWarehouse {
         resend_plan: Option<&Message>,
         requests: &[(NodeId, Message)],
         dead: &mut HashSet<NodeId>,
+        decode_s: &mut f64,
         sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
     ) -> Result<()> {
         let epoch = self.epoch.load(Ordering::Relaxed);
@@ -181,7 +196,10 @@ impl DistributedWarehouse {
                         break;
                     }
                 };
-                let Ok((e, r, msg)) = Message::from_wire_framed(&env.payload) else {
+                let t_decode = Instant::now();
+                let decoded = Message::from_wire_framed(&env.payload);
+                *decode_s += t_decode.elapsed().as_secs_f64();
+                let Ok((e, r, msg)) = decoded else {
                     continue; // unparseable frame: treated as loss, retry recovers
                 };
                 if e != epoch || r != round {
@@ -337,6 +355,12 @@ impl DistributedWarehouse {
             groups,
             blocks_compiled: 0,
             blocks_interpreted: 0,
+            sync_decode_s: 0.0,
+            sync_merge_s: 0.0,
+            sync_finalize_s: 0.0,
+            sync_workers: 0,
+            sync_shards: 0,
+            sync_utilization: 0.0,
         }
     }
 
@@ -406,12 +430,14 @@ impl DistributedWarehouse {
                 let mut rows_up = 0u64;
                 let mut combined: Option<Relation> = None;
                 let mut coord_s = 0.0;
+                let mut decode_s = 0.0;
                 self.collect_round(
                     round_no,
                     &plan.retry,
                     Some(&plan_msg),
                     &requests,
                     &mut dead,
+                    &mut decode_s,
                     &mut |_src, msg| {
                         let Message::BaseFragment { rel, compute_s } = msg else {
                             return Err(SkallaError::exec("expected BaseFragment"));
@@ -433,15 +459,17 @@ impl DistributedWarehouse {
                     .distinct();
                 coord_s += t.elapsed().as_secs_f64();
                 let groups = b0.len();
-                metrics.rounds.push(self.round_metrics_from(
+                let mut rm = self.round_metrics_from(
                     "base",
                     &before,
                     &site_times,
-                    coord_s,
+                    coord_s + decode_s,
                     groups,
                     0,
                     rows_up,
-                ));
+                );
+                rm.sync_decode_s = decode_s;
+                metrics.rounds.push(rm);
                 Some(b0)
             }
         };
@@ -457,11 +485,16 @@ impl DistributedWarehouse {
             let local_base = start == 0 && matches!(plan.base_round, BaseRound::LocalOnly);
             let is_local_run = matches!(seg, Segment::LocalRun { .. });
 
-            // Flattened aggregates + output fields for the segment.
+            // Flattened aggregates + output fields + declared state types
+            // for the segment.
             let mut specs: Vec<AggSpec> = Vec::new();
             let mut output_fields: Vec<Field> = Vec::new();
+            let mut state_types: Vec<DataType> = Vec::new();
             for k in start..=end {
                 let schema_k = self.table_schema(expr.detail_for_op(k))?;
+                for a in expr.ops[k].all_aggs() {
+                    state_types.extend(a.state_fields(&schema_k)?.into_iter().map(|f| f.dtype));
+                }
                 specs.extend(expr.ops[k].all_aggs().cloned());
                 output_fields.extend(expr.ops[k].output_fields(&schema_k)?);
             }
@@ -469,14 +502,45 @@ impl DistributedWarehouse {
             let before = self.net.stats();
             let t_coord = Instant::now();
 
-            let mut x = if local_base {
+            let mut x = if plan.coord_parallelism > 1 {
+                let (base_schema, seed) = if local_base {
+                    (Arc::new(expr.base_schema(&default_schema)?), None)
+                } else {
+                    let base = current
+                        .as_ref()
+                        .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
+                    (base.schema().clone(), Some(base))
+                };
+                Syncer::Sharded(ShardedSync::new(
+                    SyncSpec {
+                        base_schema,
+                        key_cols: expr.key.clone(),
+                        specs,
+                        state_types,
+                        output: SyncOutput::Finalized(output_fields),
+                        allow_new: local_base,
+                    },
+                    seed,
+                    SyncOptions::for_workers(plan.coord_parallelism),
+                )?)
+            } else if local_base {
                 let b0_schema = Arc::new(expr.base_schema(&default_schema)?);
-                BaseResult::empty(b0_schema, &expr.key, specs, output_fields)
+                Syncer::Serial(BaseResult::empty(
+                    b0_schema,
+                    &expr.key,
+                    specs,
+                    output_fields,
+                ))
             } else {
                 let base = current
                     .as_ref()
                     .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
-                BaseResult::from_base(base, &expr.key, specs, output_fields)?
+                Syncer::Serial(BaseResult::from_base(
+                    base,
+                    &expr.key,
+                    specs,
+                    output_fields,
+                )?)
             };
 
             // Ship requests. For a multi-operator local run, a group must
@@ -545,6 +609,7 @@ impl DistributedWarehouse {
             // non-idempotent merge is safe under retries and duplication.
             round_no += 1;
             let mut coord_sync_s = 0.0;
+            let mut decode_s = 0.0;
             let mut site_times = Vec::with_capacity(requests.len());
             let mut rows_up = 0u64;
             let mut blocks_compiled = 0u64;
@@ -555,6 +620,7 @@ impl DistributedWarehouse {
                 Some(&plan_msg),
                 &requests,
                 &mut dead,
+                &mut decode_s,
                 &mut |src, msg| {
                     let (h, compute_s, bc, bi, last) = match msg {
                         Message::RoundResult {
@@ -583,7 +649,14 @@ impl DistributedWarehouse {
                     blocks_interpreted += u64::from(bi);
                     let t = Instant::now();
                     rows_up += h.len() as u64;
-                    x.merge_fragment(&h, local_base)?;
+                    match &mut x {
+                        // Serial: the closure time IS the merge time.
+                        Syncer::Serial(b) => b.merge_fragment(&h, local_base)?,
+                        // Sharded: the closure time is the router
+                        // (validate + partition); merging happens on the
+                        // worker pool, overlapped with receive.
+                        Syncer::Sharded(s) => s.merge_chunk(h)?,
+                    }
                     if last {
                         site_times.push(compute_s);
                     }
@@ -592,21 +665,48 @@ impl DistributedWarehouse {
                 },
             )?;
             let t_final = Instant::now();
-            let finalized = x.finalize()?;
-            coord_sync_s += t_final.elapsed().as_secs_f64();
+            let (finalized, merge_s, finalize_s, workers, shards, utilization, sync_tail_s) =
+                match x {
+                    Syncer::Serial(b) => {
+                        let rel = b.finalize()?;
+                        let fin_s = t_final.elapsed().as_secs_f64();
+                        (rel, coord_sync_s, fin_s, 1, 1, 0.0, coord_sync_s + fin_s)
+                    }
+                    Syncer::Sharded(s) => {
+                        let (rel, stats) = s.finish()?;
+                        (
+                            rel,
+                            stats.merge_busy_s,
+                            stats.finalize_s,
+                            stats.workers,
+                            stats.shards,
+                            stats.utilization(),
+                            // The serialized (non-overlapped) coordinator
+                            // cost: routing plus the drain after the last
+                            // chunk.
+                            coord_sync_s + stats.drain_s,
+                        )
+                    }
+                };
             let groups = finalized.len();
             current = Some(finalized);
             let mut rm = self.round_metrics_from(
                 label,
                 &before,
                 &site_times,
-                coord_prep_s + coord_sync_s,
+                coord_prep_s + decode_s + sync_tail_s,
                 groups,
                 rows_down,
                 rows_up,
             );
             rm.blocks_compiled = blocks_compiled;
             rm.blocks_interpreted = blocks_interpreted;
+            rm.sync_decode_s = decode_s;
+            rm.sync_merge_s = merge_s;
+            rm.sync_finalize_s = finalize_s;
+            rm.sync_workers = workers;
+            rm.sync_shards = shards;
+            rm.sync_utilization = utilization;
             metrics.rounds.push(rm);
         }
 
@@ -644,6 +744,7 @@ impl DistributedWarehouse {
         let retry = RetryPolicy::default();
         let mut dead: HashSet<NodeId> = HashSet::new();
         let mut round_no: u32 = 0;
+        let mut decode_s = 0.0;
         for name in names {
             round_no += 1;
             let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
@@ -664,6 +765,7 @@ impl DistributedWarehouse {
                 None,
                 &requests,
                 &mut dead,
+                &mut decode_s,
                 &mut |src, msg| {
                     let Message::ShipAllData { rel, compute_s } = msg else {
                         return Err(SkallaError::exec("expected ShipAllData"));
@@ -697,15 +799,17 @@ impl DistributedWarehouse {
                 total: self.num_sites,
             }),
         };
-        metrics.rounds.push(self.round_metrics_from(
+        let mut rm = self.round_metrics_from(
             "ship-all",
             &before,
             &site_times,
-            coord_s,
+            coord_s + decode_s,
             groups,
             0,
             rows_shipped,
-        ));
+        );
+        rm.sync_decode_s = decode_s;
+        metrics.rounds.push(rm);
         metrics.wall_s = wall_start.elapsed().as_secs_f64();
         Ok((result, metrics))
     }

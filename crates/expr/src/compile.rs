@@ -1,6 +1,6 @@
 //! Compilation of typed expressions into vectorized kernels.
 //!
-//! The tree-walking interpreter in [`crate::eval`] materializes a `Value`
+//! The tree-walking interpreter in [`crate::eval()`] materializes a `Value`
 //! per AST node per row. Following the vectorized-execution design of
 //! MonetDB/X100 (Boncz et al., CIDR 2005), this module lowers a
 //! type-checked [`Expr`] into a tree of *type-specialized kernels* that

@@ -221,6 +221,40 @@ impl AggSpec {
         Ok(())
     }
 
+    /// Check that `incoming` is a state [`AggSpec::merge`] accepts, without
+    /// mutating anything. The coordinator validates every row of a fragment
+    /// with this before merging any of them, making fragment synchronization
+    /// all-or-nothing (arithmetic overflow during the merge itself is the
+    /// one residual failure this cannot rule out).
+    pub fn validate_incoming(&self, incoming: &[Value]) -> Result<()> {
+        if incoming.len() != self.state_width() {
+            return Err(SkallaError::exec(format!(
+                "aggregate `{}` state has {} columns, expected {}",
+                self.name,
+                incoming.len(),
+                self.state_width()
+            )));
+        }
+        let numeric = |v: &Value| -> Result<()> {
+            if !v.is_null() {
+                v.as_f64()?;
+            }
+            Ok(())
+        };
+        match self.func {
+            AggFunc::Count => {
+                incoming[0].as_int()?;
+            }
+            AggFunc::Sum => numeric(&incoming[0])?,
+            AggFunc::Min | AggFunc::Max => {}
+            AggFunc::Avg => {
+                numeric(&incoming[0])?;
+                incoming[1].as_int()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Merge another state (the super-aggregate of Theorem 1): `COUNT`s and
     /// `SUM`s add, `MIN`/`MAX` compare, `AVG` adds component-wise.
     pub fn merge(&self, state: &mut [Value], incoming: &[Value]) -> Result<()> {

@@ -22,6 +22,9 @@
 //! * [`coalesce`] — the GMDJ coalescing transformation of §4.3: adjacent
 //!   GMDJs merge into one when the outer conditions do not reference the
 //!   inner operator's outputs.
+//! * [`slots`] — typed per-group state columns ([`AggSlot`]) for the
+//!   coordinator's Theorem 1 merge path, bit-for-bit equivalent to
+//!   [`AggSpec::merge`](agg::AggSpec::merge).
 
 pub mod agg;
 pub mod centralized;
@@ -30,6 +33,7 @@ mod compiled;
 pub mod eval;
 pub mod olap;
 pub mod op;
+pub mod slots;
 pub mod sql;
 
 pub use agg::{AggFunc, AggSpec};
@@ -44,4 +48,5 @@ pub use olap::{
     unpivot_expr,
 };
 pub use op::{BaseSpec, GmdjBlock, GmdjExpr, GmdjOp, MATCH_COUNT_COL};
+pub use slots::{slots_for_specs, AggSlot};
 pub use sql::to_sql;

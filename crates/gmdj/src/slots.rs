@@ -1,0 +1,708 @@
+//! Typed per-group aggregate state for the coordinator's merge path.
+//!
+//! [`crate::agg::AggSpec::merge`] (the Theorem 1 super-aggregate) operates
+//! on boxed [`Value`] slices — fine for the reference path, but on the
+//! coordinator's synchronization hot loop it pays an enum match, a clone,
+//! and an allocation per state column per row. [`AggSlot`] is the columnar
+//! sibling of the site-side accumulators in `compiled`: one typed column
+//! (plus a null mask where the identity is `NULL`) per state column, with
+//! groups addressed by dense index.
+//!
+//! Every operation is **bit-for-bit equivalent** to the `AggSpec`
+//! reference semantics, including the deliberate quirks the differential
+//! tests pin down:
+//!
+//! * `COUNT` merges with an unchecked add (like `AggSpec::merge`), while
+//!   `SUM`/`AVG` integer sums use `checked_add` and fail with the same
+//!   "SUM overflow" error;
+//! * float sums preserve `-0.0` (the first non-null incoming state is
+//!   *copied*, not added to `0.0`) and accumulate in arrival order;
+//! * `MIN`/`MAX` replace only on *strict* comparison under the same total
+//!   order as [`Value`]'s `Ord` (`total_cmp_f64` for floats);
+//! * `AVG` adds the incoming count even when the incoming sum is `NULL`
+//!   (mirroring `AggSpec::merge`), and finalizes to `NULL` when the count
+//!   is zero or the sum is `NULL`.
+//!
+//! Aggregates whose declared state type is neither `Int64` nor `Float64`
+//! (e.g. `MIN` over strings) fall back to a plain `Value` column with the
+//! reference comparison — still allocation-free on the lookup path.
+
+use skalla_types::{total_cmp_f64, DataType, Result, SkallaError, Value};
+
+use crate::agg::{AggFunc, AggSpec};
+
+/// Typed per-group state for one aggregate; groups are dense indices
+/// assigned by the caller (`push_identity` appends group `len()`).
+#[derive(Debug, Clone)]
+pub enum AggSlot {
+    /// `COUNT(*)` / `COUNT(e)`: a never-null `i64` per group.
+    Count {
+        /// Per-group row/value count.
+        counts: Vec<i64>,
+    },
+    /// `SUM` over an `Int64` state column.
+    SumI {
+        /// Per-group sum (valid only where `!null`).
+        vals: Vec<i64>,
+        /// `true` while the group is still at the `NULL` identity.
+        null: Vec<bool>,
+    },
+    /// `SUM` over a `Float64` state column. Stored as raw bits via `f64`,
+    /// so `-0.0` and NaN payloads survive exactly.
+    SumF {
+        /// Per-group sum (valid only where `!null`).
+        vals: Vec<f64>,
+        /// `true` while the group is still at the `NULL` identity.
+        null: Vec<bool>,
+    },
+    /// `AVG` with an `Int64` sum component.
+    AvgI {
+        /// Per-group sum component (valid only where `!snull`).
+        sums: Vec<i64>,
+        /// `true` while the sum component is `NULL`.
+        snull: Vec<bool>,
+        /// Per-group count component (never null).
+        counts: Vec<i64>,
+    },
+    /// `AVG` with a `Float64` sum component.
+    AvgF {
+        /// Per-group sum component (valid only where `!snull`).
+        sums: Vec<f64>,
+        /// `true` while the sum component is `NULL`.
+        snull: Vec<bool>,
+        /// Per-group count component (never null).
+        counts: Vec<i64>,
+    },
+    /// `MIN`/`MAX` over an `Int64` state column.
+    MinMaxI {
+        /// Per-group extreme (valid only where `!null`).
+        vals: Vec<i64>,
+        /// `true` while the group is still at the `NULL` identity.
+        null: Vec<bool>,
+        /// `true` for `MIN`, `false` for `MAX`.
+        is_min: bool,
+    },
+    /// `MIN`/`MAX` over a `Float64` state column (compared with
+    /// [`total_cmp_f64`], exactly like `Value`'s `Ord`).
+    MinMaxF {
+        /// Per-group extreme (valid only where `!null`).
+        vals: Vec<f64>,
+        /// `true` while the group is still at the `NULL` identity.
+        null: Vec<bool>,
+        /// `true` for `MIN`, `false` for `MAX`.
+        is_min: bool,
+    },
+    /// `MIN`/`MAX` over any other state type (strings, booleans): a plain
+    /// `Value` column compared with the reference `Ord`.
+    MinMaxV {
+        /// Per-group extreme (`Value::Null` is the identity).
+        vals: Vec<Value>,
+        /// `true` for `MIN`, `false` for `MAX`.
+        is_min: bool,
+    },
+}
+
+impl AggSlot {
+    /// Build the slot for `spec`, given the aggregate's *declared* state
+    /// types (`spec.state_fields(detail)` dtypes — 1 entry, or 2 for
+    /// `AVG`). `SUM`/`AVG` require a numeric sum type (guaranteed by plan
+    /// validation); anything else is rejected here rather than silently
+    /// mis-merged.
+    pub fn for_spec(spec: &AggSpec, state_types: &[DataType]) -> Result<AggSlot> {
+        if state_types.len() != spec.state_width() {
+            return Err(SkallaError::exec(format!(
+                "aggregate {spec} declares {} state columns, got {}",
+                spec.state_width(),
+                state_types.len()
+            )));
+        }
+        let is_min = spec.func == AggFunc::Min;
+        Ok(match (spec.func, state_types[0]) {
+            (AggFunc::Count, _) => AggSlot::Count { counts: Vec::new() },
+            (AggFunc::Sum, DataType::Int64) => AggSlot::SumI {
+                vals: Vec::new(),
+                null: Vec::new(),
+            },
+            (AggFunc::Sum, DataType::Float64) => AggSlot::SumF {
+                vals: Vec::new(),
+                null: Vec::new(),
+            },
+            (AggFunc::Avg, DataType::Int64) => AggSlot::AvgI {
+                sums: Vec::new(),
+                snull: Vec::new(),
+                counts: Vec::new(),
+            },
+            (AggFunc::Avg, DataType::Float64) => AggSlot::AvgF {
+                sums: Vec::new(),
+                snull: Vec::new(),
+                counts: Vec::new(),
+            },
+            (AggFunc::Min | AggFunc::Max, DataType::Int64) => AggSlot::MinMaxI {
+                vals: Vec::new(),
+                null: Vec::new(),
+                is_min,
+            },
+            (AggFunc::Min | AggFunc::Max, DataType::Float64) => AggSlot::MinMaxF {
+                vals: Vec::new(),
+                null: Vec::new(),
+                is_min,
+            },
+            (AggFunc::Min | AggFunc::Max, _) => AggSlot::MinMaxV {
+                vals: Vec::new(),
+                is_min,
+            },
+            (AggFunc::Sum | AggFunc::Avg, t) => {
+                return Err(SkallaError::type_error(format!(
+                    "{} state declared as non-numeric {t}",
+                    spec.func
+                )))
+            }
+        })
+    }
+
+    /// Number of state columns this slot consumes from a fragment row.
+    pub fn state_width(&self) -> usize {
+        match self {
+            AggSlot::AvgI { .. } | AggSlot::AvgF { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        match self {
+            AggSlot::Count { counts } => counts.len(),
+            AggSlot::SumI { vals, .. } | AggSlot::MinMaxI { vals, .. } => vals.len(),
+            AggSlot::SumF { vals, .. } | AggSlot::MinMaxF { vals, .. } => vals.len(),
+            AggSlot::AvgI { counts, .. } | AggSlot::AvgF { counts, .. } => counts.len(),
+            AggSlot::MinMaxV { vals, .. } => vals.len(),
+        }
+    }
+
+    /// `true` if no groups exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one group at the identity state (`AggSpec::init_state`).
+    pub fn push_identity(&mut self) {
+        match self {
+            AggSlot::Count { counts } => counts.push(0),
+            AggSlot::SumI { vals, null } | AggSlot::MinMaxI { vals, null, .. } => {
+                vals.push(0);
+                null.push(true);
+            }
+            AggSlot::SumF { vals, null } | AggSlot::MinMaxF { vals, null, .. } => {
+                vals.push(0.0);
+                null.push(true);
+            }
+            AggSlot::AvgI {
+                sums,
+                snull,
+                counts,
+            } => {
+                sums.push(0);
+                snull.push(true);
+                counts.push(0);
+            }
+            AggSlot::AvgF {
+                sums,
+                snull,
+                counts,
+            } => {
+                sums.push(0.0);
+                snull.push(true);
+                counts.push(0);
+            }
+            AggSlot::MinMaxV { vals, .. } => vals.push(Value::Null),
+        }
+    }
+
+    /// Check that an incoming state slice (one fragment row's columns for
+    /// this aggregate) is type-compatible, *without* mutating anything —
+    /// the all-or-nothing validation pass runs this over a whole fragment
+    /// before any merge starts.
+    pub fn validate_incoming(&self, incoming: &[Value]) -> Result<()> {
+        let want = self.state_width();
+        if incoming.len() != want {
+            return Err(SkallaError::exec(format!(
+                "aggregate state slice has {} columns, expected {want}",
+                incoming.len()
+            )));
+        }
+        let bad = |what: &str, v: &Value| {
+            Err(SkallaError::type_error(format!(
+                "fragment state column: expected {what}, got {v}"
+            )))
+        };
+        match self {
+            AggSlot::Count { .. } => match &incoming[0] {
+                Value::Int(_) => Ok(()),
+                v => bad("Int count", v),
+            },
+            AggSlot::SumI { .. } | AggSlot::MinMaxI { .. } => match &incoming[0] {
+                Value::Null | Value::Int(_) => Ok(()),
+                v => bad("Int or NULL", v),
+            },
+            AggSlot::SumF { .. } | AggSlot::MinMaxF { .. } => match &incoming[0] {
+                Value::Null | Value::Float(_) => Ok(()),
+                v => bad("Float or NULL", v),
+            },
+            AggSlot::AvgI { .. } => match (&incoming[0], &incoming[1]) {
+                (Value::Null | Value::Int(_), Value::Int(_)) => Ok(()),
+                (Value::Null | Value::Int(_), c) => bad("Int count", c),
+                (s, _) => bad("Int or NULL sum", s),
+            },
+            AggSlot::AvgF { .. } => match (&incoming[0], &incoming[1]) {
+                (Value::Null | Value::Float(_), Value::Int(_)) => Ok(()),
+                (Value::Null | Value::Float(_), c) => bad("Int count", c),
+                (s, _) => bad("Float or NULL sum", s),
+            },
+            // The reference merge accepts (and totally orders) any Value
+            // kind, so the fallback column does too.
+            AggSlot::MinMaxV { .. } => Ok(()),
+        }
+    }
+
+    /// Merge one incoming state slice into group `g` (Theorem 1
+    /// super-aggregation). The slice must have passed
+    /// [`AggSlot::validate_incoming`]; the only residual failure is
+    /// integer `SUM` overflow, reported with the reference error.
+    pub fn merge_into(&mut self, g: usize, incoming: &[Value]) -> Result<()> {
+        match self {
+            AggSlot::Count { counts } => {
+                // Reference COUNT merge is an unchecked add.
+                counts[g] += int_of(&incoming[0]);
+            }
+            AggSlot::SumI { vals, null } => {
+                if let Value::Int(y) = incoming[0] {
+                    if null[g] {
+                        vals[g] = y;
+                        null[g] = false;
+                    } else {
+                        vals[g] = vals[g]
+                            .checked_add(y)
+                            .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                    }
+                }
+            }
+            AggSlot::SumF { vals, null } => {
+                if let Value::Float(y) = incoming[0] {
+                    if null[g] {
+                        vals[g] = y; // copy, preserving -0.0 and NaN bits
+                        null[g] = false;
+                    } else {
+                        vals[g] += y;
+                    }
+                }
+            }
+            AggSlot::AvgI {
+                sums,
+                snull,
+                counts,
+            } => {
+                if let Value::Int(y) = incoming[0] {
+                    if snull[g] {
+                        sums[g] = y;
+                        snull[g] = false;
+                    } else {
+                        sums[g] = sums[g]
+                            .checked_add(y)
+                            .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                    }
+                }
+                // Reference AVG adds the count even for a NULL sum.
+                counts[g] += int_of(&incoming[1]);
+            }
+            AggSlot::AvgF {
+                sums,
+                snull,
+                counts,
+            } => {
+                if let Value::Float(y) = incoming[0] {
+                    if snull[g] {
+                        sums[g] = y;
+                        snull[g] = false;
+                    } else {
+                        sums[g] += y;
+                    }
+                }
+                counts[g] += int_of(&incoming[1]);
+            }
+            AggSlot::MinMaxI { vals, null, is_min } => {
+                if let Value::Int(y) = incoming[0] {
+                    if null[g] || (*is_min && y < vals[g]) || (!*is_min && y > vals[g]) {
+                        vals[g] = y;
+                        null[g] = false;
+                    }
+                }
+            }
+            AggSlot::MinMaxF { vals, null, is_min } => {
+                if let Value::Float(y) = incoming[0] {
+                    let better = || {
+                        let ord = total_cmp_f64(y, vals[g]);
+                        if *is_min {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
+                    };
+                    if null[g] || better() {
+                        vals[g] = y;
+                        null[g] = false;
+                    }
+                }
+            }
+            AggSlot::MinMaxV { vals, is_min } => {
+                let v = &incoming[0];
+                if !v.is_null()
+                    && (vals[g].is_null()
+                        || (*is_min && *v < vals[g])
+                        || (!*is_min && *v > vals[g]))
+                {
+                    vals[g] = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append group `g`'s raw state columns to `out` (the mid-tier ship
+    /// format — what `AggSpec::merge` would hold in its `Value` slice).
+    pub fn write_state(&self, g: usize, out: &mut Vec<Value>) {
+        match self {
+            AggSlot::Count { counts } => out.push(Value::Int(counts[g])),
+            AggSlot::SumI { vals, null } | AggSlot::MinMaxI { vals, null, .. } => {
+                out.push(masked_int(vals[g], null[g]));
+            }
+            AggSlot::SumF { vals, null } | AggSlot::MinMaxF { vals, null, .. } => {
+                out.push(masked_float(vals[g], null[g]));
+            }
+            AggSlot::AvgI {
+                sums,
+                snull,
+                counts,
+            } => {
+                out.push(masked_int(sums[g], snull[g]));
+                out.push(Value::Int(counts[g]));
+            }
+            AggSlot::AvgF {
+                sums,
+                snull,
+                counts,
+            } => {
+                out.push(masked_float(sums[g], snull[g]));
+                out.push(Value::Int(counts[g]));
+            }
+            AggSlot::MinMaxV { vals, .. } => out.push(vals[g].clone()),
+        }
+    }
+
+    /// Group `g`'s finalized output value (`AggSpec::finalize`). Infallible
+    /// on typed columns: the reference failure modes (non-numeric AVG
+    /// state) are unrepresentable here.
+    pub fn finalize_value(&self, g: usize) -> Value {
+        match self {
+            AggSlot::Count { counts } => Value::Int(counts[g]),
+            AggSlot::SumI { vals, null } | AggSlot::MinMaxI { vals, null, .. } => {
+                masked_int(vals[g], null[g])
+            }
+            AggSlot::SumF { vals, null } | AggSlot::MinMaxF { vals, null, .. } => {
+                masked_float(vals[g], null[g])
+            }
+            AggSlot::AvgI {
+                sums,
+                snull,
+                counts,
+            } => {
+                if counts[g] == 0 || snull[g] {
+                    Value::Null
+                } else {
+                    Value::Float(sums[g] as f64 / counts[g] as f64)
+                }
+            }
+            AggSlot::AvgF {
+                sums,
+                snull,
+                counts,
+            } => {
+                if counts[g] == 0 || snull[g] {
+                    Value::Null
+                } else {
+                    Value::Float(sums[g] / counts[g] as f64)
+                }
+            }
+            AggSlot::MinMaxV { vals, .. } => vals[g].clone(),
+        }
+    }
+}
+
+/// Build one slot per spec from the flattened declared state types
+/// (`state_types.len()` must equal the summed state widths).
+pub fn slots_for_specs(specs: &[AggSpec], state_types: &[DataType]) -> Result<Vec<AggSlot>> {
+    let want: usize = specs.iter().map(AggSpec::state_width).sum();
+    if state_types.len() != want {
+        return Err(SkallaError::exec(format!(
+            "{} declared state types for state width {want}",
+            state_types.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(specs.len());
+    let mut off = 0;
+    for spec in specs {
+        let w = spec.state_width();
+        out.push(AggSlot::for_spec(spec, &state_types[off..off + w])?);
+        off += w;
+    }
+    Ok(out)
+}
+
+fn int_of(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i,
+        _ => unreachable!("validated as Int"),
+    }
+}
+
+fn masked_int(v: i64, null: bool) -> Value {
+    if null {
+        Value::Null
+    } else {
+        Value::Int(v)
+    }
+}
+
+fn masked_float(v: f64, null: bool) -> Value {
+    if null {
+        Value::Null
+    } else {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_expr::Expr;
+
+    /// The reference semantics a slot must reproduce bit-for-bit.
+    fn reference_merge(spec: &AggSpec, states: &[Vec<Value>]) -> (Vec<Value>, Value) {
+        let mut st = spec.init_state();
+        for s in states {
+            spec.merge(&mut st, s).unwrap();
+        }
+        let fin = spec.finalize(&st).unwrap();
+        (st, fin)
+    }
+
+    fn slot_merge(
+        spec: &AggSpec,
+        types: &[DataType],
+        states: &[Vec<Value>],
+    ) -> (Vec<Value>, Value) {
+        let mut slot = AggSlot::for_spec(spec, types).unwrap();
+        slot.push_identity();
+        for s in states {
+            slot.validate_incoming(s).unwrap();
+            slot.merge_into(0, s).unwrap();
+        }
+        let mut raw = Vec::new();
+        slot.write_state(0, &mut raw);
+        (raw, slot.finalize_value(0))
+    }
+
+    /// Bitwise value equality: `Value`'s PartialEq identifies -0.0 with
+    /// 0.0 (and with Int(0)), which is too weak for these tests.
+    fn bits_eq(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b && std::mem::discriminant(a) == std::mem::discriminant(b),
+        }
+    }
+
+    fn assert_matches_reference(spec: &AggSpec, types: &[DataType], states: &[Vec<Value>]) {
+        let (ref_state, ref_fin) = reference_merge(spec, states);
+        let (slot_state, slot_fin) = slot_merge(spec, types, states);
+        assert_eq!(ref_state.len(), slot_state.len(), "{spec}");
+        for (a, b) in ref_state.iter().zip(&slot_state) {
+            assert!(bits_eq(a, b), "{spec}: state {a:?} != {b:?}");
+        }
+        assert!(
+            bits_eq(&ref_fin, &slot_fin),
+            "{spec}: {ref_fin:?} != {slot_fin:?}"
+        );
+    }
+
+    #[test]
+    fn count_matches_reference() {
+        let spec = AggSpec::count_star("c");
+        assert_matches_reference(
+            &spec,
+            &[DataType::Int64],
+            &[
+                vec![Value::Int(3)],
+                vec![Value::Int(0)],
+                vec![Value::Int(7)],
+            ],
+        );
+    }
+
+    #[test]
+    fn int_sum_matches_reference_including_overflow() {
+        let spec = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let t = [DataType::Int64];
+        assert_matches_reference(
+            &spec,
+            &t,
+            &[
+                vec![Value::Null],
+                vec![Value::Int(-4)],
+                vec![Value::Int(10)],
+            ],
+        );
+        // Empty stays NULL.
+        assert_matches_reference(&spec, &t, &[vec![Value::Null], vec![Value::Null]]);
+        // Overflow errors identically.
+        let mut slot = AggSlot::for_spec(&spec, &t).unwrap();
+        slot.push_identity();
+        slot.merge_into(0, &[Value::Int(i64::MAX)]).unwrap();
+        let err = slot.merge_into(0, &[Value::Int(1)]).unwrap_err();
+        assert!(err.to_string().contains("SUM overflow"));
+    }
+
+    #[test]
+    fn float_sum_preserves_negative_zero_and_order() {
+        let spec = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let t = [DataType::Float64];
+        // A lone -0.0 must survive as -0.0 (copied, not added to +0.0).
+        assert_matches_reference(&spec, &t, &[vec![Value::Float(-0.0)]]);
+        assert_matches_reference(
+            &spec,
+            &t,
+            &[
+                vec![Value::Float(0.1)],
+                vec![Value::Null],
+                vec![Value::Float(0.2)],
+                vec![Value::Float(0.3)],
+            ],
+        );
+    }
+
+    #[test]
+    fn avg_matches_reference_including_null_sum_quirk() {
+        let spec = AggSpec::avg(Expr::detail(0), "a").unwrap();
+        for t in [
+            [DataType::Int64, DataType::Int64],
+            [DataType::Float64, DataType::Int64],
+        ] {
+            let v = |x: i64| match t[0] {
+                DataType::Int64 => Value::Int(x),
+                _ => Value::Float(x as f64),
+            };
+            assert_matches_reference(
+                &spec,
+                &t,
+                &[
+                    vec![v(10), Value::Int(2)],
+                    // NULL sum with a non-zero count: the reference adds the
+                    // count anyway.
+                    vec![Value::Null, Value::Int(3)],
+                    vec![v(5), Value::Int(1)],
+                ],
+            );
+            // All-null: finalizes to NULL.
+            assert_matches_reference(&spec, &t, &[vec![Value::Null, Value::Int(0)]]);
+        }
+    }
+
+    type MkSpec = fn(Expr, &str) -> Result<AggSpec>;
+
+    #[test]
+    fn min_max_match_reference_across_types() {
+        let cases: [(MkSpec, &str); 2] = [
+            (|e, n| AggSpec::min(e, n), "mn"),
+            (|e, n| AggSpec::max(e, n), "mx"),
+        ];
+        for (mk, name) in cases {
+            let spec = mk(Expr::detail(0), name).unwrap();
+            assert_matches_reference(
+                &spec,
+                &[DataType::Int64],
+                &[vec![Value::Int(3)], vec![Value::Null], vec![Value::Int(-2)]],
+            );
+            assert_matches_reference(
+                &spec,
+                &[DataType::Float64],
+                &[
+                    vec![Value::Float(-0.0)],
+                    vec![Value::Float(0.0)],
+                    vec![Value::Float(f64::NAN)],
+                    vec![Value::Float(-1.5)],
+                ],
+            );
+            assert_matches_reference(
+                &spec,
+                &[DataType::Utf8],
+                &[
+                    vec![Value::str("b")],
+                    vec![Value::Null],
+                    vec![Value::str("a")],
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_state() {
+        let spec = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let slot = AggSlot::for_spec(&spec, &[DataType::Int64]).unwrap();
+        assert!(slot.validate_incoming(&[Value::Int(1)]).is_ok());
+        assert!(slot.validate_incoming(&[Value::Null]).is_ok());
+        assert!(slot.validate_incoming(&[Value::Float(1.0)]).is_err());
+        assert!(slot.validate_incoming(&[Value::str("x")]).is_err());
+        assert!(slot.validate_incoming(&[]).is_err());
+
+        let avg = AggSpec::avg(Expr::detail(0), "a").unwrap();
+        let slot = AggSlot::for_spec(&avg, &[DataType::Float64, DataType::Int64]).unwrap();
+        assert!(slot
+            .validate_incoming(&[Value::Float(1.0), Value::Int(1)])
+            .is_ok());
+        assert!(slot
+            .validate_incoming(&[Value::Float(1.0), Value::Null])
+            .is_err());
+        assert!(slot
+            .validate_incoming(&[Value::Int(1), Value::Int(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn for_spec_rejects_bad_declarations() {
+        let spec = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        assert!(AggSlot::for_spec(&spec, &[DataType::Utf8]).is_err());
+        assert!(AggSlot::for_spec(&spec, &[]).is_err());
+        let avg = AggSpec::avg(Expr::detail(0), "a").unwrap();
+        assert!(AggSlot::for_spec(&avg, &[DataType::Int64]).is_err());
+        assert!(slots_for_specs(&[spec], &[DataType::Int64, DataType::Int64]).is_err());
+    }
+
+    #[test]
+    fn slots_for_specs_splits_flattened_types() {
+        let specs = vec![
+            AggSpec::count_star("c"),
+            AggSpec::avg(Expr::detail(0), "a").unwrap(),
+            AggSpec::min(Expr::detail(1), "m").unwrap(),
+        ];
+        let types = [
+            DataType::Int64,   // count
+            DataType::Float64, // avg sum
+            DataType::Int64,   // avg count
+            DataType::Utf8,    // min
+        ];
+        let slots = slots_for_specs(&specs, &types).unwrap();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots.iter().map(AggSlot::state_width).sum::<usize>(), 4);
+        assert!(matches!(slots[1], AggSlot::AvgF { .. }));
+        assert!(matches!(slots[2], AggSlot::MinMaxV { .. }));
+        assert!(slots[2].is_empty());
+    }
+}

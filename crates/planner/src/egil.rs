@@ -151,6 +151,7 @@ pub fn plan_query(
         flags,
         block_rows: None,
         site_parallelism: 1,
+        coord_parallelism: 1,
         retry: RetryPolicy::default(),
     };
     plan.validate()?;
