@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use skalla_core::{
-    DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RetryPolicy,
+    CheckpointWal, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RetryPolicy,
 };
 use skalla_gmdj::to_sql;
 use skalla_net::{CostModel, FaultPlan};
@@ -67,6 +67,11 @@ pub struct Session {
     faults: FaultPlan,
     degraded: DegradedMode,
     retry: RetryPolicy,
+    /// Partition replication factor applied on the next `\load` (1 = none).
+    replication: usize,
+    /// When set, every executed query checkpoints each synchronized round
+    /// here and resumes from the log on re-execution.
+    checkpoint: Option<CheckpointWal>,
     /// Coordinator merge workers applied to every executed plan (>1 runs
     /// synchronization through the sharded pipeline).
     coord_workers: usize,
@@ -96,6 +101,8 @@ impl Session {
             faults: FaultPlan::none(),
             degraded: DegradedMode::Fail,
             retry: RetryPolicy::default(),
+            replication: 1,
+            checkpoint: None,
             coord_workers: 1,
             last_metrics: None,
             buffer: String::new(),
@@ -150,6 +157,8 @@ impl Session {
             "\\cost" => self.cmd_cost(),
             "\\faults" => self.cmd_faults(&args),
             "\\degrade" => self.cmd_degrade(&args),
+            "\\replicate" => self.cmd_replicate(&args),
+            "\\failover" => self.cmd_failover(),
             "\\sync" => self.cmd_sync(&args),
             "\\metrics" => self.cmd_metrics(),
             other => Err(SkallaError::parse(format!(
@@ -190,6 +199,21 @@ impl Session {
     /// or `\degrade` still wins.
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.retry = retry;
+    }
+
+    /// Set the partition replication factor for the next load (also used by
+    /// the `--replication` binary flag).
+    pub fn set_replication(&mut self, replication: usize) {
+        self.replication = replication.max(1);
+    }
+
+    /// Checkpoint every executed query to `wal`, round by round, and resume
+    /// from it (also used by the `--checkpoint-dir` binary flag). A session
+    /// restarted onto the same log re-executes at most the round that was
+    /// in flight when the previous coordinator died; re-running a query the
+    /// log already covers completely returns its recorded result directly.
+    pub fn set_checkpoint_wal(&mut self, wal: CheckpointWal) {
+        self.checkpoint = Some(wal);
     }
 
     /// `\faults [off | seed <n> | drop <r> | dup <r> | delay <r> | crash <site> <after>]…`
@@ -273,27 +297,83 @@ impl Session {
         Ok(out)
     }
 
-    /// `\degrade [fail|partial]` — what the coordinator does after retries
-    /// are exhausted: fail the query or return a partial result with
-    /// coverage accounting.
+    /// `\degrade [fail|partial|failover]` — what the coordinator does after
+    /// retries are exhausted: fail the query, return a partial result with
+    /// coverage accounting, or (with replicated partitions, see
+    /// `\replicate`) re-plan the round onto surviving replicas for an exact
+    /// answer.
     fn cmd_degrade(&mut self, args: &[&str]) -> Result<String> {
         match args.first() {
             Some(&"fail") => self.degraded = DegradedMode::Fail,
             Some(&"partial") => self.degraded = DegradedMode::Partial,
+            Some(&"failover") => self.degraded = DegradedMode::Failover,
             Some(other) => {
                 return Err(SkallaError::parse(format!(
-                    "unknown degraded mode `{other}` (fail|partial)"
+                    "unknown degraded mode `{other}` (fail|partial|failover)"
                 )))
             }
             None => {}
         }
-        Ok(format!(
-            "degraded mode: {}",
-            match self.degraded {
-                DegradedMode::Fail => "fail",
-                DegradedMode::Partial => "partial",
+        Ok(format!("degraded mode: {}", degraded_name(self.degraded)))
+    }
+
+    /// `\replicate [r]` — the partition replication factor (ring placement)
+    /// for the next `\load`. `r > 1` is what makes `\degrade failover`
+    /// effective: a crashed site's partitions are re-planned onto surviving
+    /// replicas and the answer stays exact.
+    fn cmd_replicate(&mut self, args: &[&str]) -> Result<String> {
+        if let Some(a) = args.first() {
+            let r: usize = a
+                .parse()
+                .map_err(|_| SkallaError::parse("usage: \\replicate [factor]"))?;
+            self.replication = r.max(1);
+        }
+        let mut out = format!("replication factor: {}", self.replication);
+        if !args.is_empty() && self.warehouse.is_some() {
+            out.push_str("\n(applies on next \\load)");
+        }
+        Ok(out)
+    }
+
+    /// `\failover` — the replica placement of the loaded warehouse and the
+    /// failover counters of the last query.
+    fn cmd_failover(&self) -> Result<String> {
+        let wh = self
+            .warehouse
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no warehouse loaded (try \\load 0.05 4)"))?;
+        let mut out = String::new();
+        match wh.replica_map() {
+            None => {
+                let _ = writeln!(out, "replication: off (set \\replicate 2 before \\load)");
             }
-        ))
+            Some(map) => {
+                let _ = writeln!(
+                    out,
+                    "table `{}`: {} partitions × {} replicas (ring placement)",
+                    map.table,
+                    map.num_parts(),
+                    map.replication()
+                );
+                for p in 0..map.num_parts() {
+                    let hosts: Vec<String> = map
+                        .hosts_of(p)
+                        .iter()
+                        .map(|s| format!("site {s}"))
+                        .collect();
+                    let _ = writeln!(out, "  partition {p}: {}", hosts.join(", "));
+                }
+            }
+        }
+        let _ = write!(out, "degraded mode: {}", degraded_name(self.degraded));
+        if let Some(m) = &self.last_metrics {
+            let _ = write!(
+                out,
+                "\nlast query: {} failover(s), {} partition(s) reassigned, {} lost",
+                m.failovers, m.parts_reassigned, m.parts_lost
+            );
+        }
+        Ok(out)
     }
 
     /// `\sync [workers]` — coordinator merge workers for every executed
@@ -364,37 +444,50 @@ impl Session {
         // derived partition attributes (custname, cityname, …).
         let constraints =
             parts.site_constraints_for(&[NATIONKEY_COL, CUSTKEY_COL, CUSTNAME_COL, CITYNAME_COL]);
-        self.dist = Some(DistributionInfo::with_constraints(
-            sites,
-            Some(NATIONKEY_COL),
-            true,
-            constraints,
-        )?);
+        self.dist = Some(
+            DistributionInfo::with_constraints(sites, Some(NATIONKEY_COL), true, constraints)?
+                .with_replication(self.replication),
+        );
         self.schemas = HashMap::from([("tpcr".to_string(), table.schema().clone())]);
-        let catalogs: Vec<Catalog> = parts
-            .parts
-            .iter()
-            .map(|p| {
-                let mut c = Catalog::new();
-                c.register("tpcr", p.clone());
-                c
-            })
-            .collect();
         if let Some(old) = self.warehouse.take() {
             old.shutdown()?;
         }
-        self.warehouse = Some(DistributedWarehouse::launch_with_faults(
-            catalogs,
-            CostModel::lan_2002(),
-            self.faults.clone(),
-        )?);
+        self.warehouse = Some(if self.replication > 1 {
+            DistributedWarehouse::launch_replicated(
+                "tpcr",
+                &parts,
+                self.replication,
+                CostModel::lan_2002(),
+                self.faults.clone(),
+            )?
+        } else {
+            let catalogs: Vec<Catalog> = parts
+                .parts
+                .iter()
+                .map(|p| {
+                    let mut c = Catalog::new();
+                    c.register("tpcr", p.clone());
+                    c
+                })
+                .collect();
+            DistributedWarehouse::launch_with_faults(
+                catalogs,
+                CostModel::lan_2002(),
+                self.faults.clone(),
+            )?
+        });
         let fault_note = if self.faults.is_noop() {
             String::new()
         } else {
             " [fault injection active]".to_string()
         };
+        let replica_note = if self.replication > 1 {
+            format!(" [{}-way replicated]", self.replication)
+        } else {
+            String::new()
+        };
         Ok(format!(
-            "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey){fault_note}"
+            "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey){replica_note}{fault_note}"
         ))
     }
 
@@ -534,7 +627,10 @@ impl Session {
             let _ = writeln!(out, "{}", report.render());
             let _ = writeln!(out);
         }
-        let (result, metrics) = wh.execute(&plan)?;
+        let (result, metrics) = match &self.checkpoint {
+            Some(wal) => wh.execute_with_checkpoints(&plan, wal)?,
+            None => wh.execute(&plan)?,
+        };
         let _ = writeln!(out, "{}", render_preview(&result, self.max_rows));
         if self.explain {
             let _ = writeln!(out, "{}", metrics.render_rounds());
@@ -542,6 +638,15 @@ impl Session {
         let _ = write!(out, "-- {} groups | {}", result.len(), metrics.summary());
         self.last_metrics = Some(metrics);
         Ok(out)
+    }
+}
+
+/// The shell's spelling of a degraded mode.
+fn degraded_name(mode: DegradedMode) -> &'static str {
+    match mode {
+        DegradedMode::Fail => "fail",
+        DegradedMode::Partial => "partial",
+        DegradedMode::Failover => "failover",
     }
 }
 
@@ -568,7 +673,11 @@ commands:
   \\cost                   estimate all 16 flag combinations for the buffered query
   \\faults [spec…]         show or set fault injection (off | seed <n> | drop <r> |
                           dup <r> | delay <r> | crash <site> <after>); applies on \\load
-  \\degrade [fail|partial] coordinator behavior once retries are exhausted
+  \\degrade [mode]         coordinator behavior once retries are exhausted
+                          (fail | partial | failover)
+  \\replicate [r]          partition replication factor (ring) for the next \\load;
+                          r > 1 makes `\\degrade failover` give exact answers
+  \\failover               replica placement + failover counters of the last query
   \\sync [workers]         coordinator merge workers (>1 = sharded sync pipeline)
   \\metrics                per-round cost table + sync breakdown of the last query
   \\help                   this message
@@ -769,6 +878,72 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
             panic!()
         };
         assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn replicated_failover_matches_fault_free_run() {
+        // Crash one of two sites mid-query under 2-way replication: the
+        // coordinator re-plans onto the surviving replica and the rendered
+        // result is identical to the fault-free run.
+        let mut s = Session::new();
+        s.handle_line("\\replicate 2");
+        s.handle_line("\\degrade failover");
+        s.handle_line("\\faults crash 2 4");
+        s.set_retry_policy(RetryPolicy {
+            deadline: std::time::Duration::from_millis(200),
+            ..RetryPolicy::default()
+        });
+        let msg = s.load_tpcr(0.02, 2).unwrap();
+        assert!(msg.contains("2-way replicated"), "{msg}");
+        let failed_over = s.run_query(QUERY).unwrap();
+        let mut clean = loaded();
+        let fault_free = clean.run_query(QUERY).unwrap();
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&failed_over), table(&fault_free));
+        let Outcome::Continue(f) = s.handle_line("\\failover") else {
+            panic!()
+        };
+        assert!(f.contains("2 partitions × 2 replicas"), "{f}");
+        assert!(f.contains("failover(s)"), "{f}");
+    }
+
+    #[test]
+    fn replicate_and_degrade_commands_round_trip() {
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle_line("\\replicate 3") else {
+            panic!()
+        };
+        assert!(out.contains("replication factor: 3"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\degrade failover") else {
+            panic!()
+        };
+        assert!(out.contains("failover"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\failover") else {
+            panic!()
+        };
+        assert!(out.contains("no warehouse"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\replicate nope") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn checkpointed_query_appends_wal() {
+        let dir = std::env::temp_dir().join(format!("skalla-cli-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = CheckpointWal::new(dir.join("cli.wal"));
+        wal.clear().unwrap();
+        let mut s = loaded();
+        s.set_checkpoint_wal(wal.clone());
+        let first = s.run_query(QUERY).unwrap();
+        assert!(std::fs::metadata(wal.path()).unwrap().len() > 0);
+        // Re-running the same query resumes from the completed log: the
+        // rendered table is unchanged.
+        let resumed = s.run_query(QUERY).unwrap();
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&first), table(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! skalla --load 0.05 4                    # preload a warehouse
 //! skalla --fault-seed 7 --drop-rate 0.2 --load 0.05 4   # lossy network
 //! skalla --crash-site 2:5 --load 0.05 4   # site 2 dies after 5 messages
+//! skalla --replication 2 --load 0.05 4    # 2-way replicated partitions
+//! skalla --checkpoint-dir /tmp/skalla --load 0.05 4   # round-granular WAL
 //! ```
 
 use std::io::{self, BufRead, IsTerminal, Write};
+use std::path::PathBuf;
 
 use skalla_cli::{Outcome, Session};
+use skalla_core::CheckpointWal;
 use skalla_net::FaultPlan;
 
 /// Parse `--fault-seed <n>`, `--drop-rate <r>`, and `--crash-site
@@ -70,6 +74,33 @@ fn main() {
     // Fault flags must be installed before --load wires the network.
     if let Some(plan) = fault_plan_from_args(&args) {
         session.set_fault_plan(plan);
+    }
+
+    // --replication <r>: r-way ring-replicated partitions on the next load.
+    if let Some(i) = args.iter().position(|a| a == "--replication") {
+        let r: usize = args
+            .get(i + 1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: --replication expects a factor >= 1");
+                std::process::exit(2);
+            });
+        session.set_replication(r);
+    }
+
+    // --checkpoint-dir <path>: round-granular checkpoint WAL; a restarted
+    // shell pointed at the same directory resumes an interrupted query
+    // re-executing at most one round.
+    if let Some(i) = args.iter().position(|a| a == "--checkpoint-dir") {
+        let dir = PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --checkpoint-dir needs a path");
+            std::process::exit(2);
+        }));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: --checkpoint-dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        session.set_checkpoint_wal(CheckpointWal::new(dir.join("skalla.wal")));
     }
 
     // Optional --load <scale> <sites> preloads a warehouse.

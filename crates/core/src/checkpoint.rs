@@ -1,0 +1,300 @@
+//! Round-granular coordinator checkpointing.
+//!
+//! Theorem 1 makes the synchronized base-result after round *k* the
+//! *entire* state of a running query: every earlier round is folded into
+//! it, and every later round needs nothing else from the coordinator. So a
+//! coordinator can survive a crash by appending one small record per
+//! synchronization to a write-ahead log — plan fingerprint, query epoch,
+//! how many synchronizations have completed, and the synchronized relation
+//! itself — and a restarted coordinator resumes at round *k + 1*,
+//! re-executing at most the one round that was in flight (the same
+//! round-granularity recovery argument GYM makes for multi-round joins).
+//!
+//! The log is append-only and tolerant on read: [`CheckpointWal::load_latest`]
+//! scans records until the first torn/corrupt one (a crash mid-append
+//! leaves a torn tail) and returns the last intact record whose fingerprint
+//! matches the plan. A corrupt or truncated log therefore degrades to clean
+//! re-execution — never a panic, never a resume from wrong state. Records
+//! reuse the `skalla-net` wire codec, framed with a magic, a length, and a
+//! checksum.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::BytesMut;
+use skalla_net::wire::put_varint;
+use skalla_net::{WireDecode, WireEncode, WireReader};
+use skalla_types::{Relation, Result, SkallaError};
+
+use crate::message::Message;
+use crate::plan::DistPlan;
+
+/// Per-record frame magic (`SKCP`).
+const MAGIC: [u8; 4] = *b"SKCP";
+
+/// Frame overhead ahead of the payload: magic + u32 length + u64 checksum.
+const HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Refuse to read absurd payload lengths from a corrupt header.
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// One synchronized-round checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Fingerprint of the plan this state belongs to (see
+    /// [`plan_fingerprint`]); a record from a different query never
+    /// resumes this one.
+    pub fingerprint: u64,
+    /// Query epoch the round ran under (failover bumps it mid-query).
+    pub epoch: u64,
+    /// Synchronizations completed when the record was written (the base
+    /// synchronization, if the plan has one, counts as the first).
+    pub synced: u32,
+    /// The synchronized base-result relation after those rounds — by
+    /// Theorem 1, the whole query state.
+    pub state: Relation,
+}
+
+impl CheckpointRecord {
+    /// Encode the record payload (without the frame header).
+    fn encode_payload(&self) -> BytesMut {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.fingerprint);
+        put_varint(&mut buf, self.epoch);
+        put_varint(&mut buf, u64::from(self.synced));
+        self.state.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a record payload. Strict: trailing bytes are an error.
+    pub fn decode_payload(bytes: &[u8]) -> Result<CheckpointRecord> {
+        let mut r = WireReader::new(bytes);
+        let rec = CheckpointRecord {
+            fingerprint: r.varint()?,
+            epoch: r.varint()?,
+            synced: r.varint()? as u32,
+            state: Relation::decode(&mut r)?,
+        };
+        if !r.is_empty() {
+            return Err(SkallaError::net("trailing bytes after checkpoint record"));
+        }
+        Ok(rec)
+    }
+
+    /// Serialize the record as one framed WAL entry
+    /// (magic + length + checksum + payload).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Decode one framed record from the front of `bytes`; returns the record
+/// and how many bytes it consumed. Any defect — bad magic, torn frame,
+/// checksum mismatch, undecodable payload — is an error, never a panic.
+pub fn decode_frame(bytes: &[u8]) -> Result<(CheckpointRecord, usize)> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SkallaError::net("truncated checkpoint frame header"));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SkallaError::net("bad checkpoint frame magic"));
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(SkallaError::net("checkpoint frame length out of range"));
+    }
+    let sum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let rest = &bytes[HEADER_LEN..];
+    if rest.len() < len {
+        return Err(SkallaError::net("torn checkpoint frame"));
+    }
+    let payload = &rest[..len];
+    if checksum(payload) != sum {
+        return Err(SkallaError::net("checkpoint frame checksum mismatch"));
+    }
+    let rec = CheckpointRecord::decode_payload(payload)?;
+    Ok((rec, HEADER_LEN + len))
+}
+
+/// FNV-1a 64-bit — enough to catch torn writes and bit rot; this is an
+/// integrity check, not an adversarial defense.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint a plan by hashing its wire encoding — the same bytes the
+/// sites receive, so any difference in expression, rounds, flags, or retry
+/// policy yields a different fingerprint and blocks a cross-plan resume.
+pub fn plan_fingerprint(plan: &DistPlan) -> u64 {
+    checksum(&Message::Plan(plan.clone()).to_wire())
+}
+
+/// An append-only checkpoint write-ahead log on disk.
+#[derive(Debug, Clone)]
+pub struct CheckpointWal {
+    path: PathBuf,
+}
+
+impl CheckpointWal {
+    /// A WAL at `path`. Nothing is touched until the first append; a
+    /// missing file reads as an empty log.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointWal {
+        CheckpointWal { path: path.into() }
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Truncate the log (start a fresh query's history).
+    pub fn clear(&self) -> Result<()> {
+        File::create(&self.path)
+            .map(|_| ())
+            .map_err(|e| SkallaError::exec(format!("checkpoint wal {}: {e}", self.path.display())))
+    }
+
+    /// Append one record, flushed before returning.
+    pub fn append(&self, rec: &CheckpointRecord) -> Result<()> {
+        let io = |e: std::io::Error| {
+            SkallaError::exec(format!("checkpoint wal {}: {e}", self.path.display()))
+        };
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(io)?;
+        f.write_all(&rec.to_frame()).map_err(io)?;
+        f.flush().map_err(io)?;
+        Ok(())
+    }
+
+    /// The last intact record whose fingerprint matches, or `None`.
+    ///
+    /// Tolerant by design: scanning stops at the first torn or corrupt
+    /// frame (everything after a torn write is unreachable anyway), and a
+    /// missing file is an empty log — both fall back to `None`, i.e. clean
+    /// re-execution from round zero.
+    pub fn load_latest(&self, fingerprint: u64) -> Result<Option<CheckpointRecord>> {
+        let mut bytes = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                if f.read_to_end(&mut bytes).is_err() {
+                    return Ok(None);
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+        let mut latest = None;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            match decode_frame(&bytes[off..]) {
+                Ok((rec, used)) => {
+                    if rec.fingerprint == fingerprint {
+                        latest = Some(rec);
+                    }
+                    off += used;
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_types::{DataType, Schema, Value};
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        Relation::new(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+    }
+
+    fn record(fp: u64, synced: u32) -> CheckpointRecord {
+        CheckpointRecord {
+            fingerprint: fp,
+            epoch: 3,
+            synced,
+            state: rel(synced as i64 + 1),
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let rec = record(0xFEED, 2);
+        let frame = rec.to_frame();
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = record(1, 1).to_frame();
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_frame(&bad).is_err());
+        // Torn tail.
+        assert!(decode_frame(&frame[..frame.len() - 1]).is_err());
+        // Any flipped payload byte fails the checksum.
+        for i in HEADER_LEN..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_frame(&bad).is_err(), "flip at {i} accepted");
+        }
+        // Trailing garbage inside a declared payload.
+        assert!(CheckpointRecord::decode_payload(&[0, 0, 0, 1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn wal_appends_and_resumes_latest_matching() {
+        let dir = std::env::temp_dir().join(format!("skalla-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = CheckpointWal::new(dir.join("appends.wal"));
+        wal.clear().unwrap();
+
+        assert_eq!(wal.load_latest(7).unwrap(), None);
+        wal.append(&record(7, 1)).unwrap();
+        wal.append(&record(9, 1)).unwrap(); // different query
+        wal.append(&record(7, 2)).unwrap();
+        let latest = wal.load_latest(7).unwrap().unwrap();
+        assert_eq!(latest.synced, 2);
+        assert_eq!(latest.state.len(), 3);
+        assert_eq!(wal.load_latest(9).unwrap().unwrap().synced, 1);
+        assert_eq!(wal.load_latest(1234).unwrap(), None);
+
+        // A torn tail (crash mid-append) hides nothing before it.
+        let mut bytes = std::fs::read(wal.path()).unwrap();
+        bytes.extend_from_slice(&record(7, 3).to_frame()[..10]);
+        std::fs::write(wal.path(), &bytes).unwrap();
+        assert_eq!(wal.load_latest(7).unwrap().unwrap().synced, 2);
+
+        // Corruption mid-log stops the scan at the damage.
+        let mut bytes = std::fs::read(wal.path()).unwrap();
+        let second_frame_start = record(7, 1).to_frame().len();
+        bytes[second_frame_start + HEADER_LEN] ^= 0xFF;
+        std::fs::write(wal.path(), &bytes).unwrap();
+        assert_eq!(wal.load_latest(7).unwrap().unwrap().synced, 1);
+
+        // Missing file is an empty log.
+        let ghost = CheckpointWal::new(dir.join("missing.wal"));
+        assert_eq!(ghost.load_latest(7).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,8 +37,12 @@
 //!   to [`BaseResult`]).
 //! * [`tree`] — [`TieredWarehouse`]: the multi-tier coordinator topology
 //!   sketched in the paper's future work (§6).
+//! * [`checkpoint`] — round-granular coordinator checkpointing: a small WAL
+//!   of synchronized base-results so a restarted coordinator re-executes at
+//!   most one round.
 
 pub mod baseresult;
+pub mod checkpoint;
 pub mod message;
 pub mod metrics;
 pub mod plan;
@@ -48,6 +52,7 @@ pub mod tree;
 pub mod warehouse;
 
 pub use baseresult::BaseResult;
+pub use checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
 pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
 pub use plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment};
 pub use sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};

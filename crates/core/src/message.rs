@@ -26,7 +26,14 @@ pub enum Message {
     /// Ship the evaluation plan to a site (sent once per query).
     Plan(DistPlan),
     /// Ask a site to compute its local `B₀ᵢ` fragment.
-    ComputeBase,
+    ComputeBase {
+        /// Which partitions of the detail relation to cover. `None` means
+        /// the site's own primary partition (the replication-unaware
+        /// protocol); `Some(ps)` restricts the computation to the named
+        /// replicated partitions — used by failover to re-request a dead
+        /// site's partitions from a surviving replica host.
+        parts: Option<Vec<u32>>,
+    },
     /// A site's base fragment plus its measured compute time.
     BaseFragment {
         /// The local distinct projection.
@@ -41,6 +48,9 @@ pub enum Message {
         op_idx: u32,
         /// The base(-fragment) relation to aggregate against.
         base: Relation,
+        /// Detail partitions to aggregate over; `None` means the site's
+        /// primary partition (see [`Message::ComputeBase`]).
+        parts: Option<Vec<u32>>,
     },
     /// A site's sub-aggregate relation `Hᵢ` for a standard round —
     /// possibly one of several row-blocked chunks.
@@ -75,6 +85,9 @@ pub enum Message {
         /// The base to start from; `None` means compute `B₀ᵢ` locally
         /// (Proposition 2).
         base: Option<Relation>,
+        /// Detail partitions to aggregate over; `None` means the site's
+        /// primary partition (see [`Message::ComputeBase`]).
+        parts: Option<Vec<u32>>,
     },
     /// A site's combined sub-aggregate relation for a local run —
     /// possibly one of several row-blocked chunks.
@@ -180,16 +193,24 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             buf.put_u8(0);
             encode_plan(p, buf);
         }
-        Message::ComputeBase => buf.put_u8(1),
+        Message::ComputeBase { parts } => {
+            buf.put_u8(1);
+            parts.encode(buf);
+        }
         Message::BaseFragment { rel, compute_s } => {
             buf.put_u8(2);
             rel.encode(buf);
             put_f64(buf, *compute_s);
         }
-        Message::Round { op_idx, base } => {
+        Message::Round {
+            op_idx,
+            base,
+            parts,
+        } => {
             buf.put_u8(3);
             put_varint(buf, u64::from(*op_idx));
             base.encode(buf);
+            parts.encode(buf);
         }
         Message::RoundResult {
             op_idx,
@@ -209,11 +230,17 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_varint(buf, u64::from(*blocks_interpreted));
             last.encode(buf);
         }
-        Message::LocalRun { start, end, base } => {
+        Message::LocalRun {
+            start,
+            end,
+            base,
+            parts,
+        } => {
             buf.put_u8(5);
             put_varint(buf, u64::from(*start));
             put_varint(buf, u64::from(*end));
             base.encode(buf);
+            parts.encode(buf);
         }
         Message::LocalRunResult {
             end,
@@ -253,7 +280,9 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
 fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
     match r.u8()? {
         0 => Ok(Message::Plan(decode_plan(r)?)),
-        1 => Ok(Message::ComputeBase),
+        1 => Ok(Message::ComputeBase {
+            parts: Option::<Vec<u32>>::decode(r)?,
+        }),
         2 => Ok(Message::BaseFragment {
             rel: Relation::decode(r)?,
             compute_s: r.f64()?,
@@ -261,6 +290,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
         3 => Ok(Message::Round {
             op_idx: r.varint()? as u32,
             base: Relation::decode(r)?,
+            parts: Option::<Vec<u32>>::decode(r)?,
         }),
         4 => Ok(Message::RoundResult {
             op_idx: r.varint()? as u32,
@@ -275,6 +305,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             start: r.varint()? as u32,
             end: r.varint()? as u32,
             base: Option::<Relation>::decode(r)?,
+            parts: Option::<Vec<u32>>::decode(r)?,
         }),
         6 => Ok(Message::LocalRunResult {
             end: r.varint()? as u32,
@@ -608,6 +639,7 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
     buf.put_u8(match p.retry.degraded {
         DegradedMode::Fail => 0,
         DegradedMode::Partial => 1,
+        DegradedMode::Failover => 2,
     });
 }
 
@@ -669,6 +701,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
     let degraded = match r.u8()? {
         0 => DegradedMode::Fail,
         1 => DegradedMode::Partial,
+        2 => DegradedMode::Failover,
         other => {
             return Err(SkallaError::net(format!(
                 "invalid degraded-mode tag {other}"
@@ -771,6 +804,12 @@ mod tests {
         round_trip(&Message::Round {
             op_idx: 3,
             base: rel.clone(),
+            parts: None,
+        });
+        round_trip(&Message::Round {
+            op_idx: 3,
+            base: rel.clone(),
+            parts: Some(vec![1, 3]),
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
@@ -794,11 +833,13 @@ mod tests {
             start: 0,
             end: 2,
             base: Some(rel.clone()),
+            parts: None,
         });
         round_trip(&Message::LocalRun {
             start: 0,
             end: 0,
             base: None,
+            parts: Some(vec![0]),
         });
         round_trip(&Message::LocalRunResult {
             end: 2,
@@ -816,7 +857,10 @@ mod tests {
             rel,
             compute_s: 2.0,
         });
-        round_trip(&Message::ComputeBase);
+        round_trip(&Message::ComputeBase { parts: None });
+        round_trip(&Message::ComputeBase {
+            parts: Some(vec![2]),
+        });
         round_trip(&Message::Shutdown);
         round_trip(&Message::Error { msg: "boom".into() });
     }
@@ -872,7 +916,7 @@ mod tests {
 
     #[test]
     fn frame_prefix_round_trips() {
-        let m = Message::ComputeBase;
+        let m = Message::ComputeBase { parts: None };
         let bytes = m.to_wire_framed(42, 7);
         let (e, round, back) = Message::from_wire_framed(&bytes).unwrap();
         assert_eq!(e, 42);
@@ -888,7 +932,7 @@ mod tests {
         assert!(Message::from_wire(&[200]).is_err());
         assert!(Message::from_wire(&[]).is_err());
         // Valid message + trailing garbage.
-        let mut bytes = Message::ComputeBase.to_wire().to_vec();
+        let mut bytes = Message::ComputeBase { parts: None }.to_wire().to_vec();
         bytes.push(0);
         assert!(Message::from_wire(&bytes).is_err());
         // Truncated plan.

@@ -11,9 +11,10 @@
 //! `Σᵢ send(baseᵢ) + maxᵢ computeᵢ + Σᵢ recv(Hᵢ)` plus the coordinator's
 //! synchronization time.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use skalla_net::CostModel;
+use skalla_net::{CostModel, NodeId};
 
 /// How many of the plan's sites contributed to the result.
 ///
@@ -113,8 +114,33 @@ pub struct ExecMetrics {
     pub cost_model: Option<CostModel>,
     /// Site coverage of the result: `None` until execution finishes, then
     /// `k/n` — complete (`n/n`) unless the execution degraded to a partial
-    /// result after losing sites.
+    /// result after losing sites. Under replica failover the unit is
+    /// *partitions*, so a run that lost a site but recovered every
+    /// partition from replicas still reports complete coverage.
     pub coverage: Option<Coverage>,
+    /// Requests sent per site across the execution: the initial send plus
+    /// every deadline/error re-send, keyed by network node id. A site at 1
+    /// answered first time; higher counts localize flaky links or stragglers
+    /// that aggregate coverage hides.
+    pub site_attempts: BTreeMap<NodeId, u32>,
+    /// Failover events: sites written off mid-query whose partitions were
+    /// re-planned onto surviving replicas.
+    pub failovers: u64,
+    /// Partitions reassigned to a surviving replica host by failover.
+    pub parts_reassigned: u64,
+    /// Partitions permanently lost (site dead and no surviving replica);
+    /// non-zero only when failover degraded to partial coverage.
+    pub parts_lost: u64,
+    /// Seconds spent re-planning waves after site loss (epoch bump,
+    /// reassignment, re-sends).
+    pub failover_s: f64,
+    /// Round checkpoints appended to the write-ahead log.
+    pub checkpoints: u32,
+    /// Seconds spent serializing and writing round checkpoints.
+    pub checkpoint_s: f64,
+    /// Synchronizations restored from a checkpoint instead of re-executed
+    /// (a resumed coordinator re-executes at most one round).
+    pub resumed_syncs: u32,
 }
 
 impl ExecMetrics {
@@ -263,6 +289,34 @@ impl ExecMetrics {
         out.trim_end().to_string()
     }
 
+    /// Per-site retry/attempt histogram: how many sites needed how many
+    /// request sends, e.g. `3×1 1×4` — three sites answered on the first
+    /// send, one needed four. `None` when no attempts were recorded.
+    pub fn attempts_histogram(&self) -> Option<String> {
+        if self.site_attempts.is_empty() {
+            return None;
+        }
+        let mut buckets: BTreeMap<u32, usize> = BTreeMap::new();
+        for &n in self.site_attempts.values() {
+            *buckets.entry(n).or_insert(0) += 1;
+        }
+        let hist: Vec<String> = buckets
+            .iter()
+            .map(|(attempts, sites)| format!("{sites}\u{d7}{attempts}"))
+            .collect();
+        let retried: Vec<String> = self
+            .site_attempts
+            .iter()
+            .filter(|(_, &n)| n > 1)
+            .map(|(site, n)| format!("site {site}: {n}"))
+            .collect();
+        let mut s = format!("attempts (sites\u{d7}sends): {}", hist.join(" "));
+        if !retried.is_empty() {
+            s.push_str(&format!(" [{}]", retried.join(", ")));
+        }
+        Some(s)
+    }
+
     /// A compact single-line summary.
     pub fn summary(&self) -> String {
         let mut s = format!(
@@ -298,6 +352,29 @@ impl ExecMetrics {
                     self.sync_utilization() * 100.0,
                 ));
             }
+        }
+        if self.site_attempts.values().any(|&n| n > 1) {
+            if let Some(h) = self.attempts_histogram() {
+                s.push_str(&format!(" | {h}"));
+            }
+        }
+        if self.failovers > 0 {
+            s.push_str(&format!(
+                " | failover: {} site(s), {} part(s) reassigned, {} lost, {:.4}s",
+                self.failovers, self.parts_reassigned, self.parts_lost, self.failover_s,
+            ));
+        }
+        if self.checkpoints > 0 {
+            s.push_str(&format!(
+                " | checkpoint: {} sync(s), {:.4}s",
+                self.checkpoints, self.checkpoint_s,
+            ));
+        }
+        if self.resumed_syncs > 0 {
+            s.push_str(&format!(
+                " | resumed: {} sync(s) from checkpoint",
+                self.resumed_syncs,
+            ));
         }
         if let Some(c) = self.coverage {
             if !c.is_complete() {
@@ -347,6 +424,7 @@ mod tests {
                 responded: 2,
                 total: 2,
             }),
+            ..ExecMetrics::default()
         };
         assert_eq!(m.total_bytes_down(), 110);
         assert_eq!(m.total_bytes_up(), 55);
@@ -401,5 +479,48 @@ mod tests {
         assert!(!m.summary().contains("coverage"));
         m.coverage = Some(partial);
         assert!(m.summary().contains("coverage: 3/4"));
+    }
+
+    #[test]
+    fn attempts_histogram_buckets_sites_by_sends() {
+        let mut m = ExecMetrics::default();
+        assert_eq!(m.attempts_histogram(), None);
+        assert!(!m.summary().contains("attempts"));
+
+        m.site_attempts = BTreeMap::from([(1, 1), (2, 1), (3, 1)]);
+        // All first-try: histogram available, but the summary stays quiet.
+        assert_eq!(
+            m.attempts_histogram().unwrap(),
+            "attempts (sites\u{d7}sends): 3\u{d7}1"
+        );
+        assert!(!m.summary().contains("attempts"));
+
+        m.site_attempts.insert(4, 3);
+        let h = m.attempts_histogram().unwrap();
+        assert!(h.contains("3\u{d7}1"), "{h}");
+        assert!(h.contains("1\u{d7}3"), "{h}");
+        assert!(h.contains("site 4: 3"), "{h}");
+        assert!(m.summary().contains("attempts"), "{}", m.summary());
+    }
+
+    #[test]
+    fn failover_and_checkpoint_summary_lines() {
+        let mut m = ExecMetrics::default();
+        let quiet = m.summary();
+        assert!(!quiet.contains("failover") && !quiet.contains("checkpoint"));
+
+        m.failovers = 1;
+        m.parts_reassigned = 2;
+        m.failover_s = 0.5;
+        m.checkpoints = 3;
+        m.checkpoint_s = 0.25;
+        m.resumed_syncs = 2;
+        let s = m.summary();
+        assert!(
+            s.contains("failover: 1 site(s), 2 part(s) reassigned, 0 lost"),
+            "{s}"
+        );
+        assert!(s.contains("checkpoint: 3 sync(s)"), "{s}");
+        assert!(s.contains("resumed: 2 sync(s) from checkpoint"), "{s}");
     }
 }

@@ -52,6 +52,15 @@ pub enum DegradedMode {
     /// Synchronize from the sites that did respond; the result is marked
     /// with its coverage (`k/n` sites) in the execution metrics.
     Partial,
+    /// Re-plan the wave instead of degrading: bump the epoch, reassign the
+    /// dead site's partitions to surviving replicas, and re-request just
+    /// those partitions, yielding a result bit-for-bit identical to the
+    /// fault-free run. Requires the warehouse to have been launched with
+    /// replication (see `DistributedWarehouse::launch_replicated`); when a
+    /// partition has no surviving replica, the mode falls back to
+    /// [`Partial`](DegradedMode::Partial) semantics for that partition —
+    /// the degradation ladder is Failover → Partial → Fail.
+    Failover,
 }
 
 /// Per-round deadline and retry budget for the coordinator's collect loop.

@@ -12,7 +12,7 @@ use skalla_gmdj::{
     eval_gmdj_dual, eval_gmdj_sub, BaseSpec, EvalOptions, GmdjExpr, MATCH_COUNT_COL,
 };
 use skalla_net::Endpoint;
-use skalla_storage::Catalog;
+use skalla_storage::{partition_table_name, Catalog, Table, TableBuilder};
 use skalla_types::{Relation, Result, Schema, SkallaError, Value};
 
 use crate::message::Message;
@@ -128,11 +128,18 @@ impl SiteState {
                 self.plan = Some(p);
                 Ok(Vec::new())
             }
-            Message::ComputeBase => self.compute_base().map(|m| vec![m]),
-            Message::Round { op_idx, base } => self.round(op_idx as usize, base),
-            Message::LocalRun { start, end, base } => {
-                self.local_run(start as usize, end as usize, base)
-            }
+            Message::ComputeBase { parts } => self.compute_base(parts.as_deref()).map(|m| vec![m]),
+            Message::Round {
+                op_idx,
+                base,
+                parts,
+            } => self.round(op_idx as usize, base, parts.as_deref()),
+            Message::LocalRun {
+                start,
+                end,
+                base,
+                parts,
+            } => self.local_run(start as usize, end as usize, base, parts.as_deref()),
             Message::ShipAllRequest { table } => {
                 let started = Instant::now();
                 let t = self.catalog.get(&table)?;
@@ -158,21 +165,50 @@ impl SiteState {
         Ok(&self.plan()?.expr)
     }
 
+    /// Resolve the detail relation a request aggregates over. `parts: None`
+    /// is the replication-unaware protocol — the site's primary partition,
+    /// registered under the plain table name. `Some(ps)` names replicated
+    /// partitions (registered by `skalla-storage::replicate_catalogs` under
+    /// their mangled names) and unions them; failover uses this to hand a
+    /// dead site's partitions to a surviving replica host.
+    fn detail_table(&self, name: &str, parts: Option<&[u32]>) -> Result<std::sync::Arc<Table>> {
+        let Some(ps) = parts else {
+            return self.catalog.get(name);
+        };
+        if ps.is_empty() {
+            return Err(SkallaError::exec("request names an empty partition list"));
+        }
+        let tables: Vec<std::sync::Arc<Table>> = ps
+            .iter()
+            .map(|&p| self.catalog.get(&partition_table_name(name, p as usize)))
+            .collect::<Result<_>>()?;
+        if tables.len() == 1 {
+            return Ok(tables.into_iter().next().unwrap());
+        }
+        let mut b = TableBuilder::new(tables[0].schema().clone());
+        for t in &tables {
+            for row in t.iter_rows() {
+                b.push_row(&row)?;
+            }
+        }
+        Ok(std::sync::Arc::new(b.finish()))
+    }
+
     /// Compute the local `B₀ᵢ` fragment.
-    fn compute_base(&self) -> Result<Message> {
+    fn compute_base(&self, parts: Option<&[u32]>) -> Result<Message> {
         let started = Instant::now();
         let expr = self.expr()?;
-        let rel = self.local_base(expr)?;
+        let rel = self.local_base(expr, parts)?;
         Ok(Message::BaseFragment {
             rel,
             compute_s: started.elapsed().as_secs_f64(),
         })
     }
 
-    fn local_base(&self, expr: &GmdjExpr) -> Result<Relation> {
+    fn local_base(&self, expr: &GmdjExpr, parts: Option<&[u32]>) -> Result<Relation> {
         match &expr.base {
             BaseSpec::DistinctProject { cols } => {
-                let detail = self.catalog.get(&expr.detail_name)?;
+                let detail = self.detail_table(&expr.detail_name, parts)?;
                 detail.distinct_project(cols)
             }
             BaseSpec::Relation(_) => Err(SkallaError::exec(
@@ -184,7 +220,7 @@ impl SiteState {
     /// One standard round: sub-aggregates for operator `op_idx` over the
     /// shipped base fragment. Row blocking (if enabled in the plan) splits
     /// the reply into chunks, all but the last flagged `last: false`.
-    fn round(&self, op_idx: usize, base: Relation) -> Result<Vec<Message>> {
+    fn round(&self, op_idx: usize, base: Relation, parts: Option<&[u32]>) -> Result<Vec<Message>> {
         let started = Instant::now();
         let plan = self.plan()?;
         let op = plan
@@ -193,7 +229,7 @@ impl SiteState {
             .get(op_idx)
             .ok_or_else(|| SkallaError::exec(format!("operator {op_idx} out of range")))?;
         let reduce = plan.rounds[op_idx].site_group_reduction;
-        let detail = self.catalog.get(plan.expr.detail_for_op(op_idx))?;
+        let detail = self.detail_table(plan.expr.detail_for_op(op_idx), parts)?;
         let opts = EvalOptions {
             with_match_count: reduce,
             parallelism: plan.site_parallelism,
@@ -222,7 +258,13 @@ impl SiteState {
     /// A synchronization-reduced local run: evaluate operators
     /// `start..=end` against local data with no intermediate
     /// synchronization, shipping all sub-aggregate states at the end.
-    fn local_run(&self, start: usize, end: usize, base: Option<Relation>) -> Result<Vec<Message>> {
+    fn local_run(
+        &self,
+        start: usize,
+        end: usize,
+        base: Option<Relation>,
+        parts: Option<&[u32]>,
+    ) -> Result<Vec<Message>> {
         let started = Instant::now();
         let plan = self.plan()?;
         let expr = &plan.expr;
@@ -241,7 +283,7 @@ impl SiteState {
 
         let base_rel = match base {
             Some(b) => b,
-            None => self.local_base(expr)?,
+            None => self.local_base(expr, parts)?,
         };
         let n = base_rel.len();
 
@@ -254,7 +296,7 @@ impl SiteState {
 
         for k in start..=end {
             let op = &expr.ops[k];
-            let detail = self.catalog.get(expr.detail_for_op(k))?;
+            let detail = self.detail_table(expr.detail_for_op(k), parts)?;
             state_fields.extend(op.state_fields(detail.schema())?);
             let dual = eval_gmdj_dual(
                 &current,
@@ -384,7 +426,7 @@ mod tests {
             plan: None,
         };
         assert!(state.plan().is_err());
-        let r = state.round(0, Relation::empty(Schema::empty().into_arc()));
+        let r = state.round(0, Relation::empty(Schema::empty().into_arc()), None);
         assert!(r.is_err());
     }
 

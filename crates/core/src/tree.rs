@@ -17,16 +17,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use skalla_gmdj::AggSpec;
-use skalla_net::{CostModel, Endpoint, NodeId, SimNetwork};
+use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork};
 use skalla_storage::Catalog;
 use skalla_types::{DataType, Relation, Result, Schema, SkallaError};
 
 use crate::baseresult::BaseResult;
 use crate::message::Message;
 use crate::metrics::ExecMetrics;
-use crate::plan::DistPlan;
+use crate::plan::{DistPlan, RetryPolicy};
 use crate::site::run_site_with_parent;
 use crate::sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec};
 use crate::warehouse::DistributedWarehouse;
@@ -57,6 +58,22 @@ impl TieredWarehouse {
         fanout: usize,
         cost: CostModel,
     ) -> Result<TieredWarehouse> {
+        Self::launch_with_faults(catalogs, fanout, cost, FaultPlan::none())
+    }
+
+    /// [`TieredWarehouse::launch`] with deterministic fault injection
+    /// threaded into every link of the tree — root↔mid-tier and
+    /// mid-tier↔site alike — so crashes inside a cluster can be exercised
+    /// reproducibly. A crashed leaf surfaces at its mid-tier as a recv
+    /// deadline (derived from the plan's retry policy) and travels upward
+    /// as an `Error` reply, which the root handles through the same
+    /// retry/degradation ladder as a flat warehouse.
+    pub fn launch_with_faults(
+        catalogs: Vec<Catalog>,
+        fanout: usize,
+        cost: CostModel,
+        faults: FaultPlan,
+    ) -> Result<TieredWarehouse> {
         let n = catalogs.len();
         if n == 0 {
             return Err(SkallaError::plan("warehouse needs at least one site"));
@@ -76,7 +93,7 @@ impl TieredWarehouse {
             }
         }
 
-        let (net, mut endpoints) = SimNetwork::full_mesh(1 + k + n, cost);
+        let (net, mut endpoints) = SimNetwork::full_mesh_with_faults(1 + k + n, cost, faults);
         let mut site_endpoints: Vec<Endpoint> = endpoints.drain(1 + k..).collect();
         let mut mid_endpoints: Vec<Endpoint> = endpoints.drain(1..).collect();
         let coord = endpoints.pop().expect("root endpoint");
@@ -111,6 +128,7 @@ impl TieredWarehouse {
             num_sites: k, // the root's children are the mid-tiers
             schemas,
             epoch: std::sync::atomic::AtomicU64::new(0),
+            replicas: None,
         };
         Ok(TieredWarehouse {
             root,
@@ -173,7 +191,12 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
             Err(_) => return,
         };
         // Only root messages drive the relay; child replies are collected
-        // synchronously inside each handler.
+        // synchronously inside each handler. A reply that arrives here is a
+        // straggler from a timed-out collection (e.g. a live leaf answering
+        // after a crashed sibling exhausted the recv budget) — drop it.
+        if env.src != 0 {
+            continue;
+        }
         let (epoch, round, msg) = match Message::from_wire_framed(&env.payload) {
             Ok(m) => m,
             Err(e) => {
@@ -237,11 +260,14 @@ impl MidState {
                 }
                 Ok(Vec::new())
             }
-            Message::ComputeBase => {
+            Message::ComputeBase { parts } => {
                 for &c in children {
                     ep.send(
                         c,
-                        Message::ComputeBase.to_wire_framed(self.epoch, self.round),
+                        Message::ComputeBase {
+                            parts: parts.clone(),
+                        }
+                        .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
                 let mut combined: Option<Relation> = None;
@@ -270,7 +296,11 @@ impl MidState {
                     compute_s: max_s,
                 }])
             }
-            Message::Round { op_idx, base } => {
+            Message::Round {
+                op_idx,
+                base,
+                parts,
+            } => {
                 let specs = self.segment_specs(op_idx as usize, op_idx as usize)?;
                 for &c in children {
                     ep.send(
@@ -278,6 +308,7 @@ impl MidState {
                         Message::Round {
                             op_idx,
                             base: base.clone(),
+                            parts: parts.clone(),
                         }
                         .to_wire_framed(self.epoch, self.round),
                     )?;
@@ -293,7 +324,12 @@ impl MidState {
                     last: true,
                 }])
             }
-            Message::LocalRun { start, end, base } => {
+            Message::LocalRun {
+                start,
+                end,
+                base,
+                parts,
+            } => {
                 let specs = self.segment_specs(start as usize, end as usize)?;
                 for &c in children {
                     ep.send(
@@ -302,6 +338,7 @@ impl MidState {
                             start,
                             end,
                             base: base.clone(),
+                            parts: parts.clone(),
                         }
                         .to_wire_framed(self.epoch, self.round),
                     )?;
@@ -356,9 +393,23 @@ impl MidState {
         }
     }
 
+    /// Collect one child reply, bounded by the plan's full retry budget
+    /// (the sum of every attempt window). A crashed or silent child turns
+    /// into an error instead of hanging the mid-tier forever; the error
+    /// travels upward as an `Error` reply, where the root's own
+    /// retry/degradation ladder takes over.
     fn recv(&self, ep: &Endpoint) -> Result<Message> {
+        let deadline = Instant::now() + self.recv_budget();
         loop {
-            let env = ep.recv()?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(SkallaError::exec(
+                    "cluster child did not respond within the retry budget",
+                ));
+            }
+            let Some(env) = ep.try_recv_for(remaining)? else {
+                continue; // loop re-checks the deadline
+            };
             let (epoch, round, msg) = Message::from_wire_framed(&env.payload)?;
             if epoch != self.epoch || round != self.round {
                 continue; // straggler from an aborted query or earlier round
@@ -368,6 +419,18 @@ impl MidState {
             }
             return Ok(msg);
         }
+    }
+
+    /// The total time this mid-tier will wait on any one child reply:
+    /// the installed plan's attempt windows summed (so the subtree never
+    /// gives up before the root would), or the default policy's budget
+    /// when no plan is installed (ship-all).
+    fn recv_budget(&self) -> Duration {
+        let default_retry = RetryPolicy::default();
+        let retry = self.plan.as_ref().map_or(&default_retry, |p| &p.retry);
+        (0..=retry.max_retries)
+            .map(|a| retry.deadline_for_attempt(a))
+            .sum()
     }
 
     /// Flattened aggregate specs for the segment `start..=end`.

@@ -21,10 +21,11 @@ use std::time::Instant;
 use skalla_expr::{eval_base, Expr};
 use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
 use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork, TransferStats};
-use skalla_storage::Catalog;
+use skalla_storage::{replicate_catalogs, Catalog, Partitioning, ReplicaMap};
 use skalla_types::{DataType, Field, Relation, Result, Schema, SkallaError, Value};
 
 use crate::baseresult::BaseResult;
+use crate::checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
 use crate::message::Message;
 use crate::metrics::{Coverage, ExecMetrics, RoundMetrics};
 use crate::plan::{BaseRound, DegradedMode, DistPlan, RetryPolicy, Segment};
@@ -48,8 +49,14 @@ pub struct DistributedWarehouse {
     pub(crate) num_sites: usize,
     pub(crate) schemas: HashMap<String, Arc<Schema>>,
     /// Query epoch: stamped on every request, echoed by sites; replies
-    /// from an aborted earlier query are recognized and dropped.
+    /// from an aborted earlier query are recognized and dropped. A
+    /// failover re-plan bumps it mid-query, so stale fragments computed
+    /// under the old partition assignment can never be merged twice.
     pub(crate) epoch: AtomicU64,
+    /// Partition→host replica placement, present when the warehouse was
+    /// launched via [`DistributedWarehouse::launch_replicated`]. Required
+    /// for [`DegradedMode::Failover`].
+    pub(crate) replicas: Option<ReplicaMap>,
 }
 
 impl DistributedWarehouse {
@@ -107,7 +114,34 @@ impl DistributedWarehouse {
             num_sites: n,
             schemas,
             epoch: AtomicU64::new(0),
+            replicas: None,
         })
+    }
+
+    /// Launch a warehouse where `table`'s partitions are `replication`-way
+    /// replicated across the sites (ring placement: partition *p* lives on
+    /// sites *p..p+r−1* mod *n*). Site *i*'s plain `table` is still its
+    /// primary partition — fault-free execution is byte-identical to an
+    /// unreplicated launch — but every hosted copy is also addressable by
+    /// partition number, which is what lets the coordinator re-plan a
+    /// round onto surviving replicas under [`DegradedMode::Failover`].
+    pub fn launch_replicated(
+        table: &str,
+        parts: &Partitioning,
+        replication: usize,
+        cost: CostModel,
+        faults: FaultPlan,
+    ) -> Result<DistributedWarehouse> {
+        let (catalogs, map) = replicate_catalogs(table, parts, replication)?;
+        let mut wh = Self::launch_with_faults(catalogs, cost, faults)?;
+        wh.replicas = Some(map);
+        Ok(wh)
+    }
+
+    /// The replica placement map, if this warehouse was launched
+    /// replicated.
+    pub fn replica_map(&self) -> Option<&ReplicaMap> {
+        self.replicas.as_ref()
     }
 
     /// Number of sites.
@@ -147,6 +181,17 @@ impl DistributedWarehouse {
     /// [`DegradedMode::Partial`] records it in `dead` and the round
     /// completes from the remaining sites.
     ///
+    /// With a [`FailoverRound`] (replicated launch +
+    /// [`DegradedMode::Failover`]) the round is fault-transparent instead:
+    /// replies are *staged* per site and only merged once the site's final
+    /// chunk arrives, so a lost site's partial reply is discarded whole and
+    /// its partitions are re-requested from surviving replicas via
+    /// [`DistributedWarehouse::run_failover`] under a fresh epoch.
+    ///
+    /// Every request transmission (first send, retry, or failover restart)
+    /// increments the site's entry in `attempts`, feeding the per-site
+    /// retry histogram in [`ExecMetrics`].
+    ///
     /// Seconds spent decoding reply frames off the wire are accumulated
     /// into `decode_s`, separately from whatever the sink does with the
     /// decoded message.
@@ -156,23 +201,45 @@ impl DistributedWarehouse {
         round: u32,
         retry: &RetryPolicy,
         resend_plan: Option<&Message>,
-        requests: &[(NodeId, Message)],
+        requests: Vec<(NodeId, Message)>,
         dead: &mut HashSet<NodeId>,
+        attempts: &mut BTreeMap<NodeId, u32>,
         decode_s: &mut f64,
+        mut failover: Option<&mut FailoverRound<'_>>,
         sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
     ) -> Result<()> {
-        let epoch = self.epoch.load(Ordering::Relaxed);
-        let mut prog: BTreeMap<NodeId, SiteProgress> = requests
-            .iter()
-            .map(|(s, _)| (*s, SiteProgress::default()))
-            .collect();
-        for (site, req) in requests {
-            if self.send_framed(*site, req, round).is_err() {
-                self.site_lost(*site, retry, dead, &mut prog)?;
+        let mut st = RoundState {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            round,
+            prog: requests
+                .iter()
+                .map(|(s, _)| (*s, SiteProgress::default()))
+                .collect(),
+            reqs: requests.into_iter().collect(),
+            staged: BTreeMap::new(),
+        };
+        let mut lost: Vec<NodeId> = Vec::new();
+        for (site, req) in &st.reqs {
+            *attempts.entry(*site).or_default() += 1;
+            if self
+                .coord
+                .send(*site, req.to_wire_framed(st.epoch, round))
+                .is_err()
+            {
+                lost.push(*site);
             }
         }
+        self.handle_lost(
+            lost,
+            retry,
+            dead,
+            &mut st,
+            failover.as_deref_mut(),
+            attempts,
+            resend_plan,
+        )?;
         let mut timeouts = 0u32;
-        while prog.values().any(|p| !p.done) {
+        while st.prog.values().any(|p| !p.done) {
             let window = retry.deadline_for_attempt(timeouts);
             let mut deadline = Instant::now() + window;
             loop {
@@ -189,10 +256,16 @@ impl DistributedWarehouse {
                         if retry.degraded == DegradedMode::Fail {
                             return Err(e);
                         }
-                        let silent: Vec<NodeId> = pending_sites(&prog);
-                        for s in silent {
-                            self.site_lost(s, retry, dead, &mut prog)?;
-                        }
+                        let silent = pending_sites(&st.prog);
+                        self.handle_lost(
+                            silent,
+                            retry,
+                            dead,
+                            &mut st,
+                            failover.as_deref_mut(),
+                            attempts,
+                            resend_plan,
+                        )?;
                         break;
                     }
                 };
@@ -202,23 +275,60 @@ impl DistributedWarehouse {
                 let Ok((e, r, msg)) = decoded else {
                     continue; // unparseable frame: treated as loss, retry recovers
                 };
-                if e != epoch || r != round {
-                    continue; // straggler from an aborted query or earlier round
+                if e != st.epoch || r != round {
+                    continue; // straggler from an aborted query, earlier
+                              // round, or pre-failover wave
                 }
                 let src = env.src;
-                let Some(p) = prog.get_mut(&src) else {
-                    continue; // not a participant in this round
-                };
-                if p.done {
-                    continue; // duplicate after the site already completed
+                match st.prog.get(&src) {
+                    Some(p) if !p.done => {}
+                    // Not a participant, or a duplicate after completion.
+                    _ => continue,
                 }
                 if let Message::Error { msg } = msg {
-                    p.error_retries += 1;
-                    if p.error_retries > retry.max_retries {
-                        return Err(SkallaError::exec(format!("site {src}: {msg}")));
+                    let exhausted = {
+                        let p = st.prog.get_mut(&src).expect("participant checked");
+                        p.error_retries += 1;
+                        p.error_retries > retry.max_retries
+                    };
+                    if exhausted {
+                        if failover.is_some() {
+                            // The site keeps failing; its replicas may not.
+                            self.handle_lost(
+                                vec![src],
+                                retry,
+                                dead,
+                                &mut st,
+                                failover.as_deref_mut(),
+                                attempts,
+                                resend_plan,
+                            )?;
+                            continue;
+                        }
+                        match retry.degraded {
+                            DegradedMode::Fail => {
+                                return Err(SkallaError::exec(format!("site {src}: {msg}")))
+                            }
+                            // A persistently erroring site (e.g. a mid-tier
+                            // whose cluster lost a leaf) degrades like a
+                            // silent one: drop it and keep the survivors.
+                            DegradedMode::Partial | DegradedMode::Failover => {
+                                self.site_lost(src, retry, dead, &mut st.prog)?;
+                                continue;
+                            }
+                        }
                     }
-                    if self.resend(src, resend_plan, requests, round).is_err() {
-                        self.site_lost(src, retry, dead, &mut prog)?;
+                    *attempts.entry(src).or_default() += 1;
+                    if self.resend(src, resend_plan, &st).is_err() {
+                        self.handle_lost(
+                            vec![src],
+                            retry,
+                            dead,
+                            &mut st,
+                            failover.as_deref_mut(),
+                            attempts,
+                            resend_plan,
+                        )?;
                     }
                     continue;
                 }
@@ -227,72 +337,230 @@ impl DistributedWarehouse {
                         "site {src}: expected round reply, got {msg:?}"
                     )));
                 };
-                if seq != p.expected_seq {
-                    continue; // duplicated or replayed chunk
+                {
+                    let p = st.prog.get_mut(&src).expect("participant checked");
+                    if seq != p.expected_seq {
+                        continue; // duplicated or replayed chunk
+                    }
+                    p.expected_seq += 1;
+                    if last {
+                        p.done = true;
+                    }
                 }
-                p.expected_seq += 1;
-                if last {
-                    p.done = true;
+                match failover.as_deref_mut() {
+                    // Under failover, chunks are staged and only merged
+                    // once the site's reply is complete: a site lost
+                    // mid-reply leaves nothing behind to roll back.
+                    Some(fo) => {
+                        st.staged.entry(src).or_default().push(msg);
+                        if last {
+                            for m in st.staged.remove(&src).unwrap_or_default() {
+                                sink(src, m)?;
+                            }
+                            // The site's partitions are now served; a later
+                            // failure of this site costs nothing this round.
+                            fo.site_parts.remove(&src);
+                        }
+                    }
+                    None => sink(src, msg)?,
                 }
-                sink(src, msg)?;
                 // Replies are flowing; extend this attempt's window.
                 deadline = Instant::now() + window;
-                if prog.values().all(|p| p.done) {
+                if st.prog.values().all(|p| p.done) {
                     break;
                 }
             }
-            let silent = pending_sites(&prog);
+            let silent = pending_sites(&st.prog);
             if silent.is_empty() {
                 break;
             }
             timeouts += 1;
             if timeouts > retry.max_retries {
-                match retry.degraded {
-                    DegradedMode::Fail => {
-                        return Err(SkallaError::exec(format!(
-                            "site {} did not respond within {:?} after {} retries",
-                            silent[0], window, retry.max_retries
-                        )));
-                    }
-                    DegradedMode::Partial => {
-                        for s in silent {
-                            self.site_lost(s, retry, dead, &mut prog)?;
+                if let Some(fo) = failover.as_deref_mut() {
+                    self.run_failover(silent, fo, dead, &mut st, attempts, resend_plan)?;
+                    // The re-planned wave earns a fresh deadline budget;
+                    // this terminates because every failover permanently
+                    // removes at least one site.
+                    timeouts = 0;
+                } else {
+                    match retry.degraded {
+                        DegradedMode::Fail => {
+                            return Err(SkallaError::exec(format!(
+                                "site {} did not respond within {:?} after {} retries",
+                                silent[0], window, retry.max_retries
+                            )));
+                        }
+                        DegradedMode::Partial | DegradedMode::Failover => {
+                            for s in silent {
+                                self.site_lost(s, retry, dead, &mut st.prog)?;
+                            }
                         }
                     }
                 }
             } else {
+                let mut lost = Vec::new();
                 for s in silent {
-                    if self.resend(s, resend_plan, requests, round).is_err() {
-                        self.site_lost(s, retry, dead, &mut prog)?;
+                    *attempts.entry(s).or_default() += 1;
+                    if self.resend(s, resend_plan, &st).is_err() {
+                        lost.push(s);
                     }
                 }
+                self.handle_lost(
+                    lost,
+                    retry,
+                    dead,
+                    &mut st,
+                    failover.as_deref_mut(),
+                    attempts,
+                    resend_plan,
+                )?;
             }
         }
         Ok(())
     }
 
-    /// Re-send the plan (sites may have lost the original broadcast) and
-    /// the site's round request.
-    fn resend(
+    /// Route sites that are gone for good either to the failover re-plan
+    /// (when this round runs one) or to the degraded-mode ladder.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_lost(
         &self,
-        site: NodeId,
-        plan: Option<&Message>,
-        requests: &[(NodeId, Message)],
-        round: u32,
+        lost: Vec<NodeId>,
+        retry: &RetryPolicy,
+        dead: &mut HashSet<NodeId>,
+        st: &mut RoundState,
+        failover: Option<&mut FailoverRound<'_>>,
+        attempts: &mut BTreeMap<NodeId, u32>,
+        resend_plan: Option<&Message>,
     ) -> Result<()> {
-        if let Some(p) = plan {
-            self.send_framed(site, p, round)?;
+        if lost.is_empty() {
+            return Ok(());
         }
-        let req = requests
-            .iter()
-            .find(|(s, _)| *s == site)
-            .map(|(_, m)| m)
-            .expect("resend target was a participant");
-        self.send_framed(site, req, round)
+        match failover {
+            Some(fo) => self.run_failover(lost, fo, dead, st, attempts, resend_plan),
+            None => {
+                for s in lost {
+                    self.site_lost(s, retry, dead, &mut st.prog)?;
+                }
+                Ok(())
+            }
+        }
     }
 
-    /// A site is gone for good (crashed channel or exhausted budget):
-    /// fail the query or degrade, per the policy.
+    /// Re-plan the current wave after `lost` sites failed (Failover rung):
+    /// write them off, reassign their unserved partitions to the next
+    /// surviving replica in ring order, bump the query epoch — so
+    /// fragments computed under the old assignment, in flight or replayed
+    /// from a site's reply cache, can never be merged — and restart every
+    /// site that still owes partitions with a request rebuilt for the new
+    /// assignment. Staged chunks of restarted sites are discarded;
+    /// together with reply staging this keeps the invariant that each
+    /// partition's detail tuples are folded into the synchronized
+    /// base-result exactly once. A partition with no surviving replica is
+    /// dropped from the round (Partial semantics, reported as `parts_lost`).
+    fn run_failover(
+        &self,
+        lost: Vec<NodeId>,
+        fo: &mut FailoverRound<'_>,
+        dead: &mut HashSet<NodeId>,
+        st: &mut RoundState,
+        attempts: &mut BTreeMap<NodeId, u32>,
+        resend_plan: Option<&Message>,
+    ) -> Result<()> {
+        let t = Instant::now();
+        let mut worklist = lost;
+        let res = loop {
+            for site in std::mem::take(&mut worklist) {
+                if !dead.insert(site) {
+                    continue;
+                }
+                fo.events.failovers += 1;
+                st.staged.remove(&site);
+                st.reqs.remove(&site);
+                if let Some(p) = st.prog.get_mut(&site) {
+                    p.done = true;
+                }
+                if dead.len() == self.num_sites {
+                    break;
+                }
+                for part in fo.site_parts.remove(&site).unwrap_or_default() {
+                    let next = fo
+                        .replicas
+                        .hosts_of(part as usize)
+                        .iter()
+                        .map(|&h| (h + 1) as NodeId)
+                        .find(|h| !dead.contains(h));
+                    match next {
+                        Some(h) => {
+                            fo.assignment[part as usize] = Some(h);
+                            fo.site_parts.entry(h).or_default().push(part);
+                            fo.events.parts_reassigned += 1;
+                        }
+                        None => {
+                            fo.assignment[part as usize] = None;
+                            fo.events.parts_lost += 1;
+                        }
+                    }
+                }
+            }
+            if dead.len() == self.num_sites {
+                break Err(SkallaError::exec("every site failed; no result possible"));
+            }
+            // Everything computed so far under the old assignment is stale.
+            st.epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            // Restart every site that still owes partitions — including
+            // previously-done sites that just inherited some (only the
+            // inherited partitions are requested; their own are already
+            // merged).
+            let restart: Vec<(NodeId, Vec<u32>)> = fo
+                .site_parts
+                .iter()
+                .map(|(s, ps)| (*s, ps.clone()))
+                .collect();
+            for (site, mut parts) in restart {
+                parts.sort_unstable();
+                parts.dedup();
+                fo.site_parts.insert(site, parts.clone());
+                let req = (fo.mk_request)(&parts)?;
+                st.staged.remove(&site);
+                st.prog.insert(site, SiteProgress::default());
+                st.reqs.insert(site, req);
+                *attempts.entry(site).or_default() += 1;
+                let send = || -> Result<()> {
+                    if let Some(p) = resend_plan {
+                        self.coord
+                            .send(site, p.to_wire_framed(st.epoch, st.round))?;
+                    }
+                    self.coord
+                        .send(site, st.reqs[&site].to_wire_framed(st.epoch, st.round))
+                };
+                if send().is_err() {
+                    worklist.push(site);
+                }
+            }
+            if worklist.is_empty() {
+                break Ok(());
+            }
+        };
+        fo.events.failover_s += t.elapsed().as_secs_f64();
+        res
+    }
+
+    /// Re-send the plan (sites may have lost the original broadcast) and
+    /// the site's round request, under the round's current epoch.
+    fn resend(&self, site: NodeId, plan: Option<&Message>, st: &RoundState) -> Result<()> {
+        if let Some(p) = plan {
+            self.coord
+                .send(site, p.to_wire_framed(st.epoch, st.round))?;
+        }
+        let req = st.reqs.get(&site).expect("resend target was a participant");
+        self.coord
+            .send(site, req.to_wire_framed(st.epoch, st.round))
+    }
+
+    /// A site is gone for good (crashed channel or exhausted budget) and
+    /// no failover is possible: fail the query or degrade, per the policy.
+    /// [`DegradedMode::Failover`] without an applicable replica map falls
+    /// back to Partial semantics — the next rung of the ladder.
     fn site_lost(
         &self,
         site: NodeId,
@@ -304,13 +572,14 @@ impl DistributedWarehouse {
             DegradedMode::Fail => Err(SkallaError::exec(format!(
                 "site {site} is unreachable (crashed or disconnected)"
             ))),
-            DegradedMode::Partial => {
+            DegradedMode::Partial | DegradedMode::Failover => {
                 if let Some(p) = prog.get_mut(&site) {
                     if p.expected_seq > 0 && !p.done {
                         // Some of the site's chunks were already folded into
                         // the synchronized structure; the merge cannot be
                         // rolled back (documented limitation — see
-                        // docs/FAULT_MODEL.md).
+                        // docs/FAULT_MODEL.md; the Failover rung stages
+                        // chunks precisely to avoid this).
                         return Err(SkallaError::exec(format!(
                             "site {site} was lost mid-reply; partially merged \
                              chunks cannot be rolled back"
@@ -367,6 +636,36 @@ impl DistributedWarehouse {
     /// Execute a distributed plan; returns the final relation and the cost
     /// breakdown.
     pub fn execute(&self, plan: &DistPlan) -> Result<(Relation, ExecMetrics)> {
+        self.execute_inner(plan, None)
+    }
+
+    /// [`DistributedWarehouse::execute`] with round-granular checkpointing.
+    ///
+    /// After every synchronization the coordinator appends the
+    /// synchronized base-result to `wal`; before executing, it consults
+    /// `wal` for the latest intact record of this exact plan (matched by
+    /// [`plan_fingerprint`]) and resumes from the last completed
+    /// synchronization — Theorem 1 makes that relation the entire query
+    /// state, so a coordinator that crashed between rounds re-executes at
+    /// most the one round that was in flight. The number of
+    /// synchronizations restored is reported as
+    /// [`ExecMetrics::resumed_syncs`]; a corrupt, torn, or missing WAL
+    /// restores nothing and the query re-executes from the start. A WAL
+    /// whose last record already covers every synchronization yields the
+    /// final result after only a plan broadcast.
+    pub fn execute_with_checkpoints(
+        &self,
+        plan: &DistPlan,
+        wal: &CheckpointWal,
+    ) -> Result<(Relation, ExecMetrics)> {
+        self.execute_inner(plan, Some(wal))
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &DistPlan,
+        wal: Option<&CheckpointWal>,
+    ) -> Result<(Relation, ExecMetrics)> {
         self.epoch.fetch_add(1, Ordering::Relaxed);
         plan.validate()?;
         let expr = &plan.expr;
@@ -375,10 +674,49 @@ impl DistributedWarehouse {
 
         let wall_start = Instant::now();
         let mut metrics = ExecMetrics {
-            rounds: Vec::new(),
-            wall_s: 0.0,
             cost_model: Some(self.net.cost_model()),
-            coverage: None,
+            ..ExecMetrics::default()
+        };
+
+        // The Failover rung engages only when the warehouse is replicated,
+        // the plan touches the replicated table exclusively, and there is
+        // one primary partition per site (so the planner's per-site
+        // group-reduction filters map 1:1 onto partitions). Otherwise
+        // `DegradedMode::Failover` behaves as Partial — the next rung of
+        // the degradation ladder.
+        let replicas: Option<&ReplicaMap> = self.replicas.as_ref().filter(|r| {
+            plan.retry.degraded == DegradedMode::Failover
+                && r.num_parts() == self.num_sites
+                && std::iter::once(&expr.detail_name)
+                    .chain(expr.ops.iter().filter_map(|op| op.detail_name.as_ref()))
+                    .all(|n| *n == r.table)
+        });
+        let mut events = FailoverEvents::default();
+
+        // Checkpointing: resume from the latest intact WAL record of this
+        // exact plan, and append one record per completed synchronization.
+        let fp = wal.map(|_| plan_fingerprint(plan));
+        let resume = match (wal, fp) {
+            (Some(w), Some(fp)) => w.load_latest(fp)?,
+            _ => None,
+        };
+        let base_syncs = u32::from(matches!(plan.base_round, BaseRound::Distributed));
+        let resume_synced = resume.as_ref().map_or(0, |r| r.synced);
+        metrics.resumed_syncs = resume_synced;
+        let checkpoint = |metrics: &mut ExecMetrics, synced: u32, state: &Relation| -> Result<()> {
+            let (Some(w), Some(fp)) = (wal, fp) else {
+                return Ok(());
+            };
+            let t = Instant::now();
+            w.append(&CheckpointRecord {
+                fingerprint: fp,
+                epoch: self.epoch.load(Ordering::Relaxed),
+                synced,
+                state: state.clone(),
+            })?;
+            metrics.checkpoints += 1;
+            metrics.checkpoint_s += t.elapsed().as_secs_f64();
+            Ok(())
         };
 
         // Ship the plan. Coordinator-side group-reduction filters are
@@ -402,7 +740,7 @@ impl DistributedWarehouse {
                             "site {site} is unreachable (crashed or disconnected)"
                         )))
                     }
-                    DegradedMode::Partial => {
+                    DegradedMode::Partial | DegradedMode::Failover => {
                         dead.insert(site);
                         if dead.len() == self.num_sites {
                             return Err(SkallaError::exec("every site failed; no result possible"));
@@ -415,17 +753,78 @@ impl DistributedWarehouse {
             .rounds
             .push(self.round_metrics_from("plan", &before, &[], 0.0, 0, 0, 0));
 
-        // Base round.
+        // Initial partition→site assignment: each partition on its primary
+        // site, except where the primary was already unreachable at plan
+        // broadcast — those start on the next live replica in ring order
+        // (or nowhere, if none survives).
+        let mut assignment: Vec<Option<NodeId>> = match replicas {
+            Some(r) => {
+                events.failovers += dead.len() as u64;
+                let a: Vec<Option<NodeId>> = (0..r.num_parts())
+                    .map(|part| {
+                        r.hosts_of(part)
+                            .iter()
+                            .map(|&h| (h + 1) as NodeId)
+                            .find(|h| !dead.contains(h))
+                    })
+                    .collect();
+                for (part, host) in a.iter().enumerate() {
+                    match host {
+                        None => events.parts_lost += 1,
+                        Some(h) if *h != (r.primary(part) + 1) as NodeId => {
+                            events.parts_reassigned += 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                a
+            }
+            None => Vec::new(),
+        };
+
+        // Base round. A checkpointed run whose record already covers the
+        // base synchronization skips it; the checkpointed state is adopted
+        // below.
         let mut current: Option<Relation> = match &plan.base_round {
             BaseRound::Coordinator(rel) => Some(rel.clone()),
             BaseRound::LocalOnly => None,
+            BaseRound::Distributed if resume_synced > 0 => None, // restored below
             BaseRound::Distributed => {
                 round_no += 1;
                 let before = self.net.stats();
-                let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
-                    .filter(|s| !dead.contains(s))
-                    .map(|s| (s, Message::ComputeBase))
-                    .collect();
+                let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+                let requests: Vec<(NodeId, Message)> = match replicas {
+                    Some(_) => {
+                        site_parts = site_parts_from(&assignment);
+                        site_parts
+                            .iter()
+                            .map(|(s, ps)| {
+                                (
+                                    *s,
+                                    Message::ComputeBase {
+                                        parts: Some(ps.clone()),
+                                    },
+                                )
+                            })
+                            .collect()
+                    }
+                    None => (1..=self.num_sites as NodeId)
+                        .filter(|s| !dead.contains(s))
+                        .map(|s| (s, Message::ComputeBase { parts: None }))
+                        .collect(),
+                };
+                let mk_base = |ps: &[u32]| -> Result<Message> {
+                    Ok(Message::ComputeBase {
+                        parts: Some(ps.to_vec()),
+                    })
+                };
+                let mut fo_round = replicas.map(|r| FailoverRound {
+                    replicas: r,
+                    assignment: &mut assignment,
+                    site_parts,
+                    mk_request: &mk_base,
+                    events: &mut events,
+                });
                 let mut site_times = Vec::with_capacity(requests.len());
                 let mut rows_up = 0u64;
                 let mut combined: Option<Relation> = None;
@@ -435,9 +834,11 @@ impl DistributedWarehouse {
                     round_no,
                     &plan.retry,
                     Some(&plan_msg),
-                    &requests,
+                    requests,
                     &mut dead,
+                    &mut metrics.site_attempts,
                     &mut decode_s,
+                    fo_round.as_mut(),
                     &mut |_src, msg| {
                         let Message::BaseFragment { rel, compute_s } = msg else {
                             return Err(SkallaError::exec("expected BaseFragment"));
@@ -453,6 +854,7 @@ impl DistributedWarehouse {
                         Ok(())
                     },
                 )?;
+                drop(fo_round);
                 let t = Instant::now();
                 let b0 = combined
                     .ok_or_else(|| SkallaError::exec("no base fragments received"))?
@@ -470,12 +872,26 @@ impl DistributedWarehouse {
                 );
                 rm.sync_decode_s = decode_s;
                 metrics.rounds.push(rm);
+                checkpoint(&mut metrics, 1, &b0)?;
                 Some(b0)
             }
         };
 
+        // Adopt the checkpointed state: by Theorem 1 the synchronized
+        // base-result after k synchronizations is the whole query state,
+        // so execution continues at the first un-checkpointed segment.
+        let skip_segments = resume_synced.saturating_sub(base_syncs) as usize;
+        if let Some(rec) = &resume {
+            if rec.synced > 0 {
+                current = Some(rec.state.clone());
+            }
+        }
+
         // Evaluation segments.
-        for seg in plan.segments() {
+        for (seg_idx, seg) in plan.segments().into_iter().enumerate() {
+            if seg_idx < skip_segments {
+                continue; // already folded into the checkpointed state
+            }
             let (start, end, label) = match seg {
                 Segment::Standard { op } => (op, op, format!("round {}", op + 1)),
                 Segment::LocalRun { start, end } => {
@@ -565,42 +981,106 @@ impl DistributedWarehouse {
                 })
             };
             let filters = filters.as_ref();
-            let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(self.num_sites);
-            let mut rows_down = 0u64;
-            for site in 1..=self.num_sites as NodeId {
-                if dead.contains(&site) {
-                    continue;
-                }
+            let mk_seg = |ps: &[u32]| -> Result<Message> {
                 let base_for_site: Option<Relation> = if local_base {
                     None
                 } else {
-                    let base = current.as_ref().expect("checked above");
+                    let base = current
+                        .as_ref()
+                        .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
                     let frag = match filters {
-                        Some(fs) => filter_base(base, &fs[site as usize - 1])?,
+                        Some(fs) => {
+                            // Partition p's group filter is its primary
+                            // site's (1:1 placement); a multi-partition
+                            // request ships the union of its parts' groups.
+                            let f = skalla_expr::simplify(&Expr::disjunction(
+                                ps.iter().map(|&p| fs[p as usize].clone()),
+                            ));
+                            filter_base(base, &f)?
+                        }
                         None => base.clone(),
                     };
-                    if frag.is_empty() && filters.is_some() {
-                        // This site cannot contribute to any group.
-                        continue;
-                    }
                     Some(frag)
                 };
-                rows_down += base_for_site.as_ref().map_or(0, |b| b.len() as u64);
-                let msg = if is_local_run || local_base {
+                Ok(if is_local_run || local_base {
                     Message::LocalRun {
                         start: start as u32,
                         end: end as u32,
                         base: base_for_site,
+                        parts: Some(ps.to_vec()),
                     }
                 } else {
                     Message::Round {
                         op_idx: start as u32,
                         base: base_for_site.expect("standard round ships a base"),
+                        parts: Some(ps.to_vec()),
                     }
-                };
-                requests.push((site, msg));
+                })
+            };
+            let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(self.num_sites);
+            let mut rows_down = 0u64;
+            let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+            if replicas.is_some() {
+                // Failover rounds address partitions explicitly; the
+                // empty-fragment skip below is disabled so every partition
+                // is requested somewhere and coverage stays exact.
+                site_parts = site_parts_from(&assignment);
+                for (site, ps) in &site_parts {
+                    let msg = mk_seg(ps)?;
+                    rows_down += match &msg {
+                        Message::LocalRun { base, .. } => {
+                            base.as_ref().map_or(0, |b| b.len() as u64)
+                        }
+                        Message::Round { base, .. } => base.len() as u64,
+                        _ => 0,
+                    };
+                    requests.push((*site, msg));
+                }
+            } else {
+                for site in 1..=self.num_sites as NodeId {
+                    if dead.contains(&site) {
+                        continue;
+                    }
+                    let base_for_site: Option<Relation> = if local_base {
+                        None
+                    } else {
+                        let base = current.as_ref().expect("checked above");
+                        let frag = match filters {
+                            Some(fs) => filter_base(base, &fs[site as usize - 1])?,
+                            None => base.clone(),
+                        };
+                        if frag.is_empty() && filters.is_some() {
+                            // This site cannot contribute to any group.
+                            continue;
+                        }
+                        Some(frag)
+                    };
+                    rows_down += base_for_site.as_ref().map_or(0, |b| b.len() as u64);
+                    let msg = if is_local_run || local_base {
+                        Message::LocalRun {
+                            start: start as u32,
+                            end: end as u32,
+                            base: base_for_site,
+                            parts: None,
+                        }
+                    } else {
+                        Message::Round {
+                            op_idx: start as u32,
+                            base: base_for_site.expect("standard round ships a base"),
+                            parts: None,
+                        }
+                    };
+                    requests.push((site, msg));
+                }
             }
             let coord_prep_s = t_coord.elapsed().as_secs_f64();
+            let mut fo_round = replicas.map(|r| FailoverRound {
+                replicas: r,
+                assignment: &mut assignment,
+                site_parts,
+                mk_request: &mk_seg,
+                events: &mut events,
+            });
 
             // Collect and synchronize. Fragments merge as they arrive —
             // with row blocking, chunks from fast sites are folded into X
@@ -618,9 +1098,11 @@ impl DistributedWarehouse {
                 round_no,
                 &plan.retry,
                 Some(&plan_msg),
-                &requests,
+                requests,
                 &mut dead,
+                &mut metrics.site_attempts,
                 &mut decode_s,
+                fo_round.as_mut(),
                 &mut |src, msg| {
                     let (h, compute_s, bc, bi, last) = match msg {
                         Message::RoundResult {
@@ -664,6 +1146,7 @@ impl DistributedWarehouse {
                     Ok(())
                 },
             )?;
+            drop(fo_round);
             let t_final = Instant::now();
             let (finalized, merge_s, finalize_s, workers, shards, utilization, sync_tail_s) =
                 match x {
@@ -708,12 +1191,32 @@ impl DistributedWarehouse {
             rm.sync_shards = shards;
             rm.sync_utilization = utilization;
             metrics.rounds.push(rm);
+            checkpoint(
+                &mut metrics,
+                base_syncs + seg_idx as u32 + 1,
+                current.as_ref().expect("just synchronized"),
+            )?;
         }
 
         metrics.wall_s = wall_start.elapsed().as_secs_f64();
-        metrics.coverage = Some(Coverage {
-            responded: self.num_sites - dead.len(),
-            total: self.num_sites,
+        metrics.failovers = events.failovers;
+        metrics.parts_reassigned = events.parts_reassigned;
+        metrics.parts_lost = events.parts_lost;
+        metrics.failover_s = events.failover_s;
+        metrics.coverage = Some(match replicas {
+            // Under failover, coverage counts partitions: a dead site's
+            // partitions stay in the answer as long as a replica survives.
+            Some(r) => {
+                let lost = assignment.iter().filter(|a| a.is_none()).count();
+                Coverage {
+                    responded: r.num_parts() - lost,
+                    total: r.num_parts(),
+                }
+            }
+            None => Coverage {
+                responded: self.num_sites - dead.len(),
+                total: self.num_sites,
+            },
         });
         let result = current.ok_or_else(|| SkallaError::exec("plan produced no result"))?;
         Ok((result, metrics))
@@ -743,6 +1246,7 @@ impl DistributedWarehouse {
         // policy (fail on an unresponsive site).
         let retry = RetryPolicy::default();
         let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut round_no: u32 = 0;
         let mut decode_s = 0.0;
         for name in names {
@@ -763,9 +1267,11 @@ impl DistributedWarehouse {
                 round_no,
                 &retry,
                 None,
-                &requests,
+                requests,
                 &mut dead,
+                &mut attempts,
                 &mut decode_s,
+                None,
                 &mut |src, msg| {
                     let Message::ShipAllData { rel, compute_s } = msg else {
                         return Err(SkallaError::exec("expected ShipAllData"));
@@ -791,13 +1297,13 @@ impl DistributedWarehouse {
         let coord_s = t.elapsed().as_secs_f64();
 
         let mut metrics = ExecMetrics {
-            rounds: Vec::new(),
-            wall_s: 0.0,
             cost_model: Some(self.net.cost_model()),
             coverage: Some(Coverage {
                 responded: self.num_sites - dead.len(),
                 total: self.num_sites,
             }),
+            site_attempts: attempts,
+            ..ExecMetrics::default()
         };
         let mut rm = self.round_metrics_from(
             "ship-all",
@@ -857,6 +1363,60 @@ struct SiteProgress {
     expected_seq: u32,
     /// How many `Error` replies this site has been retried for.
     error_retries: u32,
+}
+
+/// Mutable state of one collection round, shared between the retry loop
+/// and the failover re-planner.
+struct RoundState {
+    /// Epoch this round's requests are framed with. A failover re-plan
+    /// bumps it, instantly invalidating in-flight and cached replies
+    /// computed under the old partition assignment.
+    epoch: u64,
+    round: u32,
+    /// Current request per participating site (failover rewrites entries).
+    reqs: BTreeMap<NodeId, Message>,
+    prog: BTreeMap<NodeId, SiteProgress>,
+    /// Chunks held back per site until its final chunk arrives (failover
+    /// rounds only): a site lost mid-reply leaves nothing merged.
+    staged: BTreeMap<NodeId, Vec<Message>>,
+}
+
+/// Failover accounting across a query's rounds, folded into
+/// [`ExecMetrics`] at the end of execution.
+#[derive(Default)]
+struct FailoverEvents {
+    failovers: u64,
+    parts_reassigned: u64,
+    parts_lost: u64,
+    failover_s: f64,
+}
+
+/// Per-round failover context handed to `collect_round` when the Failover
+/// rung is active.
+struct FailoverRound<'a> {
+    replicas: &'a ReplicaMap,
+    /// Live partition→site assignment; `None` marks a partition with no
+    /// surviving replica. Persists across rounds.
+    assignment: &'a mut Vec<Option<NodeId>>,
+    /// Partitions each site still owes *this* round; entries drain as
+    /// sites deliver their final chunk, so a site that dies later never
+    /// triggers re-requests for partitions already merged.
+    site_parts: BTreeMap<NodeId, Vec<u32>>,
+    /// Rebuild a round request covering exactly the given partitions
+    /// (used when a failover re-plans the wave).
+    mk_request: &'a dyn Fn(&[u32]) -> Result<Message>,
+    events: &'a mut FailoverEvents,
+}
+
+/// Group a partition→site assignment by hosting site.
+fn site_parts_from(assignment: &[Option<NodeId>]) -> BTreeMap<NodeId, Vec<u32>> {
+    let mut m: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+    for (part, host) in assignment.iter().enumerate() {
+        if let Some(h) = host {
+            m.entry(*h).or_default().push(part as u32);
+        }
+    }
+    m
 }
 
 fn pending_sites(prog: &BTreeMap<NodeId, SiteProgress>) -> Vec<NodeId> {

@@ -105,6 +105,17 @@ impl FaultPlan {
         self
     }
 
+    /// A randomized single-site crash derived deterministically from `seed`:
+    /// one of the sites `1..=num_sites` (node 0 is the coordinator) crashes
+    /// after `0..max_after_messages` delivered messages. This is the unit of
+    /// the failover soak matrix — sweeping `seed` sweeps both the victim and
+    /// the crash point, and the same seed always reproduces the same run.
+    pub fn random_single_crash(seed: u64, num_sites: u32, max_after_messages: u64) -> FaultPlan {
+        let node = 1 + (splitmix64(seed ^ SALT_CRASH) % u64::from(num_sites.max(1))) as NodeId;
+        let after = splitmix64(seed.wrapping_add(1) ^ SALT_CRASH) % max_after_messages.max(1);
+        FaultPlan::seeded(seed).with_crash(node, after)
+    }
+
     /// `true` when the plan can never inject anything.
     pub fn is_noop(&self) -> bool {
         self.drop_rate == 0.0
@@ -152,6 +163,7 @@ impl FaultPlan {
 const SALT_DROP: u64 = 0x00D5_0A1B_DD0D_0001;
 const SALT_DUP: u64 = 0x00D5_0A1B_DD0D_0002;
 const SALT_DELAY: u64 = 0x00D5_0A1B_DD0D_0003;
+const SALT_CRASH: u64 = 0x00D5_0A1B_DD0D_0004;
 
 /// SplitMix64 mixing step — a tiny, well-distributed hash, so the fault
 /// layer needs no external RNG dependency.
@@ -204,6 +216,23 @@ mod tests {
         }
         assert!(silent.is_noop());
         assert!(!noisy.is_noop());
+    }
+
+    #[test]
+    fn random_single_crash_is_deterministic_and_in_range() {
+        for seed in 0..64 {
+            let a = FaultPlan::random_single_crash(seed, 4, 40);
+            let b = FaultPlan::random_single_crash(seed, 4, 40);
+            assert_eq!(a, b);
+            assert_eq!(a.crashes.len(), 1);
+            assert!((1..=4).contains(&a.crashes[0].node), "{:?}", a.crashes[0]);
+            assert!(a.crashes[0].after_messages < 40);
+        }
+        // The sweep actually varies both the victim and the crash point.
+        let victims: std::collections::BTreeSet<_> = (0..64)
+            .map(|s| FaultPlan::random_single_crash(s, 4, 40).crashes[0].node)
+            .collect();
+        assert_eq!(victims.len(), 4, "all sites should appear as victims");
     }
 
     #[test]

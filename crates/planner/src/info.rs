@@ -21,6 +21,12 @@ pub struct DistributionInfo {
     pub is_partition_attribute: bool,
     /// Per-site constraints `φᵢ` on detail columns, in site order.
     pub site_constraints: Option<Vec<SiteConstraint>>,
+    /// Replication factor of the detail relation's partitions (1 = each
+    /// partition lives on exactly one site). Purely informational to the
+    /// planner — per-partition `φᵢ` stay accurate because replicas are
+    /// addressed by partition, not by plain table name — but `> 1` is what
+    /// makes the Failover degraded mode effective at runtime.
+    pub replication: usize,
 }
 
 impl DistributionInfo {
@@ -29,8 +35,16 @@ impl DistributionInfo {
     pub fn unknown(num_sites: usize) -> DistributionInfo {
         DistributionInfo {
             num_sites,
+            replication: 1,
             ..Default::default()
         }
+    }
+
+    /// Record the partitions' replication factor (ring placement, as built
+    /// by `skalla_storage::replicate_catalogs`).
+    pub fn with_replication(mut self, replication: usize) -> DistributionInfo {
+        self.replication = replication.max(1);
+        self
     }
 
     /// Extract full knowledge from a concrete [`Partitioning`] (what a
@@ -41,6 +55,7 @@ impl DistributionInfo {
             partition_col: p.partition_col,
             is_partition_attribute: p.is_partition_attribute(),
             site_constraints: Some(p.site_constraints()),
+            replication: 1,
         }
     }
 
@@ -52,6 +67,7 @@ impl DistributionInfo {
             partition_col: p.partition_col,
             is_partition_attribute: p.is_partition_attribute(),
             site_constraints: Some(p.site_range_constraints()?),
+            replication: 1,
         })
     }
 
@@ -74,6 +90,7 @@ impl DistributionInfo {
             partition_col,
             is_partition_attribute,
             site_constraints: Some(site_constraints),
+            replication: 1,
         })
     }
 }

@@ -29,6 +29,9 @@ pub mod table;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use index::HashIndex;
-pub use partition::{partition_by_hash, partition_by_ranges, partition_by_values, Partitioning};
+pub use partition::{
+    partition_by_hash, partition_by_ranges, partition_by_values, partition_table_name,
+    replicate_catalogs, Partitioning, ReplicaMap,
+};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Table, TableBuilder};

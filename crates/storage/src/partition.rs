@@ -14,6 +14,7 @@ use std::hash::{Hash, Hasher};
 use skalla_expr::{Interval, SiteConstraint};
 use skalla_types::{Result, SkallaError, Value};
 
+use crate::catalog::Catalog;
 use crate::table::Table;
 
 /// A partitioning of one table into per-site tables, with optional
@@ -122,6 +123,116 @@ impl Partitioning {
         }
         true
     }
+}
+
+/// The catalog name under which partition `part` of `table` is registered at
+/// every site that hosts a copy of it (primary or replica). The plain table
+/// name continues to refer to the site's *primary* partition only, so code
+/// that is unaware of replication sees exactly the unreplicated layout.
+pub fn partition_table_name(table: &str, part: usize) -> String {
+    format!("__part::{table}::{part}")
+}
+
+/// An r-way replica placement of one table's partitions across sites.
+///
+/// `hosts[p]` lists the sites holding a copy of partition `p`, primary
+/// first. Placement is a ring: partition `p` lives at sites
+/// `p, p+1, …, p+r−1 (mod n)`, so every site primary-hosts exactly one
+/// partition and replica-hosts `r − 1` others. Because a replica is a
+/// bit-identical copy of the partition table, any host recomputes exactly
+/// the same sub-aggregates — which is what lets the coordinator's failover
+/// reassign a dead site's partitions and still synchronize a result
+/// identical to the fault-free run (Theorem 1 is indifferent to *which*
+/// site computed a sub-aggregate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaMap {
+    /// Name of the replicated table.
+    pub table: String,
+    /// For each partition, the hosting sites in preference order (primary
+    /// first). Site indices are 0-based catalog positions.
+    pub hosts: Vec<Vec<usize>>,
+}
+
+impl ReplicaMap {
+    /// Ring placement of `num_parts` partitions at replication factor `r`
+    /// over `num_parts` sites (partition `p`'s primary is site `p`).
+    pub fn ring(table: impl Into<String>, num_parts: usize, r: usize) -> Result<ReplicaMap> {
+        if r == 0 {
+            return Err(SkallaError::plan("replication factor must be at least 1"));
+        }
+        if r > num_parts {
+            return Err(SkallaError::plan(format!(
+                "replication factor {r} exceeds site count {num_parts}"
+            )));
+        }
+        let hosts = (0..num_parts)
+            .map(|p| (0..r).map(|j| (p + j) % num_parts).collect())
+            .collect();
+        Ok(ReplicaMap {
+            table: table.into(),
+            hosts,
+        })
+    }
+
+    /// Number of partitions covered by the map.
+    pub fn num_parts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The replication factor (number of hosts of partition 0; ring
+    /// placement gives every partition the same count).
+    pub fn replication(&self) -> usize {
+        self.hosts.first().map_or(0, Vec::len)
+    }
+
+    /// The primary site of partition `part`.
+    pub fn primary(&self, part: usize) -> usize {
+        self.hosts[part][0]
+    }
+
+    /// All sites hosting partition `part`, primary first.
+    pub fn hosts_of(&self, part: usize) -> &[usize] {
+        &self.hosts[part]
+    }
+
+    /// Partitions hosted (as primary or replica) by `site`, ascending.
+    pub fn parts_hosted_by(&self, site: usize) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&p| self.hosts[p].contains(&site))
+            .collect()
+    }
+}
+
+/// Build per-site catalogs carrying an r-way replicated copy of `parts`.
+///
+/// Site `i`'s catalog registers its primary partition under the plain
+/// `table` name (so replication-unaware paths — ship-all, legacy rounds —
+/// behave exactly as before) and every hosted partition, primary included,
+/// under [`partition_table_name`]. Partition tables are `Arc`-shared, not
+/// copied, so the extra memory cost is bookkeeping only.
+pub fn replicate_catalogs(
+    table: &str,
+    parts: &Partitioning,
+    r: usize,
+) -> Result<(Vec<Catalog>, ReplicaMap)> {
+    let n = parts.num_sites();
+    let map = ReplicaMap::ring(table, n, r)?;
+    let shared: Vec<std::sync::Arc<Table>> = parts
+        .parts
+        .iter()
+        .map(|t| std::sync::Arc::new(t.clone()))
+        .collect();
+    let catalogs = (0..n)
+        .map(|site| {
+            let mut c = Catalog::new();
+            c.register_arc(table, shared[site].clone());
+            for p in map.parts_hosted_by(site) {
+                c.register_arc(partition_table_name(table, p), shared[p].clone());
+            }
+            c
+        })
+        .collect();
+    Ok((catalogs, map))
 }
 
 fn hash_value(v: &Value) -> u64 {
@@ -292,6 +403,43 @@ mod tests {
         let cs = p.site_range_constraints().unwrap();
         assert_eq!(cs[0].interval_of(0), Interval::closed(0.0, 4.0));
         assert_eq!(cs[1].interval_of(0), Interval::closed(5.0, 9.0));
+    }
+
+    #[test]
+    fn ring_replica_map_places_r_hosts() {
+        let m = ReplicaMap::ring("flow", 4, 2).unwrap();
+        assert_eq!(m.num_parts(), 4);
+        assert_eq!(m.replication(), 2);
+        assert_eq!(m.hosts_of(0), &[0, 1]);
+        assert_eq!(m.hosts_of(3), &[3, 0]);
+        assert_eq!(m.primary(2), 2);
+        // Site 0 hosts its primary partition 0 plus partition 3's replica.
+        assert_eq!(m.parts_hosted_by(0), vec![0, 3]);
+        assert!(ReplicaMap::ring("flow", 4, 0).is_err());
+        assert!(ReplicaMap::ring("flow", 4, 5).is_err());
+    }
+
+    #[test]
+    fn replicate_catalogs_registers_primary_and_replicas() {
+        let p = partition_by_hash(&table(), 0, 4).unwrap();
+        let (catalogs, map) = replicate_catalogs("flow", &p, 2).unwrap();
+        assert_eq!(catalogs.len(), 4);
+        for (site, c) in catalogs.iter().enumerate() {
+            // Plain name is exactly the primary partition.
+            let primary = c.get("flow").unwrap();
+            assert_eq!(primary.len(), p.parts[site].len());
+            // Every hosted partition is registered under its mangled name
+            // and shares storage with the primary copy.
+            for part in map.parts_hosted_by(site) {
+                let t = c.get(&partition_table_name("flow", part)).unwrap();
+                assert_eq!(t.len(), p.parts[part].len());
+            }
+            assert_eq!(c.len(), 1 + map.parts_hosted_by(site).len());
+        }
+        // r = 1 degenerates to the unreplicated layout plus mangled aliases.
+        let (solo, m1) = replicate_catalogs("flow", &p, 1).unwrap();
+        assert_eq!(m1.replication(), 1);
+        assert_eq!(solo[2].len(), 2);
     }
 
     #[test]

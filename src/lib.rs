@@ -78,8 +78,9 @@ pub use skalla_types as types;
 /// The most common imports, for examples and applications.
 pub mod prelude {
     pub use skalla_core::{
-        BaseResult, BaseRound, Coverage, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics,
-        OptFlags, RetryPolicy, RoundSpec,
+        plan_fingerprint, BaseResult, BaseRound, CheckpointRecord, CheckpointWal, Coverage,
+        DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RetryPolicy,
+        RoundSpec,
     };
     pub use skalla_expr::{Expr, ExprBuilder, Interval, SiteConstraint};
     pub use skalla_gmdj::{
@@ -88,8 +89,8 @@ pub mod prelude {
     pub use skalla_net::{CostModel, CrashSpec, FaultPlan};
     pub use skalla_planner::{parse_query, plan_query, DistributionInfo, PlanReport};
     pub use skalla_storage::{
-        partition_by_hash, partition_by_ranges, partition_by_values, Catalog, Partitioning, Table,
-        TableBuilder,
+        partition_by_hash, partition_by_ranges, partition_by_values, replicate_catalogs, Catalog,
+        Partitioning, ReplicaMap, Table, TableBuilder,
     };
     pub use skalla_types::{DataType, Field, Relation, Schema, SkallaError, Value};
 }

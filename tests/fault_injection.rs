@@ -6,6 +6,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use skalla::core::TieredWarehouse;
 use skalla::prelude::*;
 
 fn flow_schema() -> std::sync::Arc<Schema> {
@@ -193,6 +194,78 @@ fn degraded_partial_reports_coverage() {
     let mut survivors = TableBuilder::new(flow_schema());
     for (i, p) in parts.parts.iter().enumerate() {
         if i != 1 {
+            for row in p.iter_rows() {
+                survivors.push_row(&row).unwrap();
+            }
+        }
+    }
+    let mut partial_catalog = Catalog::new();
+    partial_catalog.register("flow", survivors.finish());
+    let expected = eval_expr_centralized(&query(), &partial_catalog)
+        .unwrap()
+        .sorted();
+    assert_eq!(result.sorted(), expected);
+}
+
+#[test]
+fn tree_leaf_crash_fails_cleanly_through_the_mid_tier() {
+    // Four leaves under two mid-tiers (fanout 2): root 0, mids 1–2, leaves
+    // 3–6. Leaf 4 (catalog 1, cluster of mid 1) is dead on arrival. The
+    // mid-tier's recv deadline converts the hang into an Error reply, and
+    // the root's ladder fails the query cleanly within the retry budget.
+    let faults = FaultPlan::seeded(2).with_crash(4, 0);
+    let tw =
+        TieredWarehouse::launch_with_faults(catalogs(280), 2, CostModel::free(), faults).unwrap();
+    let mut plan = DistPlan::unoptimized(query());
+    plan.retry = RetryPolicy {
+        deadline: Duration::from_millis(100),
+        max_retries: 1,
+        backoff: 1.0,
+        degraded: DegradedMode::Fail,
+    };
+    let start = std::time::Instant::now();
+    let err = tw.execute(&plan).unwrap_err().to_string();
+    assert!(err.contains("site"), "error should name the path: {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        start.elapsed()
+    );
+    tw.shutdown().unwrap();
+}
+
+#[test]
+fn tree_leaf_crash_degrades_to_the_surviving_cluster() {
+    // Same crash under DegradedMode::Partial: the root drops mid-tier 1's
+    // whole cluster (leaves 3–4, catalogs 0–1) and synchronizes the
+    // surviving cluster — coverage 1/2 mid-tiers, answer exactly the
+    // centralized result over the surviving partitions.
+    let faults = FaultPlan::seeded(2).with_crash(4, 0);
+    let tw =
+        TieredWarehouse::launch_with_faults(catalogs(280), 2, CostModel::free(), faults).unwrap();
+    let mut plan = DistPlan::unoptimized(query());
+    plan.retry = RetryPolicy {
+        deadline: Duration::from_millis(100),
+        max_retries: 1,
+        backoff: 1.0,
+        degraded: DegradedMode::Partial,
+    };
+    let (result, metrics) = tw.execute(&plan).unwrap();
+    tw.shutdown().unwrap();
+
+    let cov = metrics.coverage.expect("partial run must report coverage");
+    assert_eq!(
+        cov,
+        Coverage {
+            responded: 1,
+            total: 2
+        }
+    );
+
+    let parts = partition_by_hash(&table(280), 0, 4).unwrap();
+    let mut survivors = TableBuilder::new(flow_schema());
+    for (i, p) in parts.parts.iter().enumerate() {
+        if i >= 2 {
             for row in p.iter_rows() {
                 survivors.push_row(&row).unwrap();
             }

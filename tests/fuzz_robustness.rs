@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
+use skalla::core::checkpoint::decode_frame;
 use skalla::core::message::Message;
 use skalla::net::{WireDecode, WireReader};
 use skalla::prelude::*;
@@ -77,5 +78,78 @@ proptest! {
         let idx = pos % bytes.len();
         bytes[idx] = bytes[idx].wrapping_add(delta);
         let _ = Message::from_wire_framed(&bytes);
+    }
+
+    /// Random bytes never panic the checkpoint-frame decoder.
+    #[test]
+    fn checkpoint_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&bytes);
+        let _ = CheckpointRecord::decode_payload(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid checkpoint frame is rejected
+    /// by the checksum — never a panic, never a wrong record.
+    #[test]
+    fn checkpoint_frame_corruption_is_rejected(pos in any::<usize>(), delta in 1u8..=255) {
+        let schema = Schema::from_pairs([("k", DataType::Int64)]).unwrap().into_arc();
+        let rec = CheckpointRecord {
+            fingerprint: 0xFEED,
+            epoch: 2,
+            synced: 1,
+            state: Relation::new(
+                schema,
+                vec![vec![Value::Int(42)], vec![Value::Int(-7)]],
+            ).unwrap(),
+        };
+        let mut bytes = rec.to_frame();
+        let idx = pos % bytes.len();
+        bytes[idx] = bytes[idx].wrapping_add(delta);
+        // Only a corrupted *checksum field* could in principle collide;
+        // FNV over the unchanged payload never matches a changed sum,
+        // and a changed payload never matches the recorded sum — so a
+        // decode that still succeeds must have reproduced the original.
+        if let Ok((back, _)) = decode_frame(&bytes) {
+            prop_assert_eq!(back, rec);
+        }
+    }
+
+    /// A WAL truncated at an arbitrary byte, or with an arbitrary flipped
+    /// byte, loads without panicking and only ever yields records that were
+    /// actually appended — a damaged log degrades to resuming earlier (or
+    /// not at all), never to wrong state.
+    #[test]
+    fn checkpoint_wal_damage_degrades_cleanly(cut in any::<usize>(), flip in any::<usize>(), delta in 1u8..=255) {
+        let schema = Schema::from_pairs([("k", DataType::Int64)]).unwrap().into_arc();
+        let rel = |n: i64| Relation::new(
+            schema.clone(),
+            (0..n).map(|i| vec![Value::Int(i)]).collect(),
+        ).unwrap();
+        let mut log = Vec::new();
+        for synced in 1..=3u32 {
+            log.extend_from_slice(&CheckpointRecord {
+                fingerprint: 0xABCD,
+                epoch: 0,
+                synced,
+                state: rel(i64::from(synced)),
+            }.to_frame());
+        }
+        log.truncate(cut % (log.len() + 1));
+        if !log.is_empty() {
+            let idx = flip % log.len();
+            log[idx] = log[idx].wrapping_add(delta);
+        }
+
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "skalla-fuzz-wal-{}-{cut}-{flip}-{delta}", std::process::id(),
+        ));
+        std::fs::write(&path, &log).unwrap();
+        let wal = CheckpointWal::new(&path);
+        let loaded = wal.load_latest(0xABCD).unwrap();
+        std::fs::remove_file(&path).ok();
+        if let Some(rec) = loaded {
+            prop_assert!((1..=3).contains(&rec.synced));
+            prop_assert_eq!(rec.state.len() as u32, rec.synced);
+        }
     }
 }
