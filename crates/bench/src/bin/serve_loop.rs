@@ -1,0 +1,217 @@
+//! Closed-loop serving benchmark: many concurrent TCP clients against
+//! one in-process [`skalla_serve::Server`].
+//!
+//! Each client thread runs a fixed number of queries drawn round-robin
+//! from a small pool of distinct GMDJ queries (different `nationkey`
+//! thresholds, so different plans *and* different answers), retrying
+//! `Busy` backpressure with backoff. The pool is deliberately smaller
+//! than the total query count — a dashboard workload — so the
+//! plan-fingerprint cache converts the bulk of the storm into hits.
+//!
+//! Reports sustained throughput (queries/s over the storm's wall time)
+//! and client-observed latency percentiles, and writes a JSON summary
+//! (default `BENCH_6.json`). With `--check`, every reply is compared
+//! against a serial baseline captured before the storm, and the run
+//! fails unless results match bit-for-bit and the cache saw hits.
+//!
+//! ```sh
+//! cargo run --release -p skalla-bench --bin serve_loop -- --clients 100 --check
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use skalla_bench::harness::{arg_f64, arg_flag, arg_usize};
+use skalla_serve::{QueryOutcome, ServeClient, ServeConfig, Server};
+use skalla_types::Relation;
+
+/// The query pool: per-nation order counts and revenue, restricted to
+/// nations with `nationkey >= k`. Every `k` is a distinct plan
+/// fingerprint and a distinct (prefix-shrinking) result.
+fn pool_query(k: usize) -> String {
+    format!(
+        "BASE DISTINCT nationname FROM tpcr;
+         MD COUNT(*) AS orders, SUM(extendedprice) AS rev
+            WHERE b.nationname = r.nationname AND r.nationkey >= {k};"
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ClientReport {
+    latencies_s: Vec<f64>,
+    busy_retries: u64,
+    mismatches: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients = arg_usize(&args, "--clients", 100);
+    let per_client = arg_usize(&args, "--queries", 20);
+    let distinct = arg_usize(&args, "--distinct", 8).max(1);
+    let scale = arg_f64(&args, "--scale", 0.05);
+    let sites = arg_usize(&args, "--sites", 4);
+    let queue_depth = arg_usize(&args, "--queue-depth", 64);
+    let max_interleave = arg_usize(&args, "--interleave", 4);
+    let cache_entries = arg_usize(&args, "--cache", 128);
+    let check = arg_flag(&args, "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+
+    let server = Server::start(ServeConfig {
+        scale,
+        sites,
+        queue_depth,
+        max_interleave,
+        cache_entries,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+    println!(
+        "# serve_loop: {clients} clients x {per_client} queries over a pool of {distinct} \
+         (TPCR scale {scale}, {sites} sites, queue {queue_depth}, interleave {max_interleave}, \
+         cache {cache_entries})"
+    );
+
+    // Serial baseline, one query at a time on a single session. Also
+    // warms nothing: the cache is invalidated before the storm so the
+    // measured hit rate belongs to the storm alone.
+    let baseline: Arc<Vec<Relation>> = {
+        let mut c = ServeClient::connect(addr).expect("baseline connect");
+        let rels = (0..distinct)
+            .map(|k| match c.query(&pool_query(k)).expect("baseline query") {
+                QueryOutcome::Done(reply) => reply.rows.sorted(),
+                QueryOutcome::Busy => panic!("idle server answered Busy"),
+            })
+            .collect();
+        c.invalidate().expect("invalidate after baseline");
+        Arc::new(rels)
+    };
+
+    // The storm: closed-loop clients, each blocking on its own replies.
+    let storm_start = Instant::now();
+    let handles: Vec<thread::JoinHandle<ClientReport>> = (0..clients)
+        .map(|cid| {
+            let baseline = baseline.clone();
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connect");
+                let mut report = ClientReport {
+                    latencies_s: Vec::with_capacity(per_client),
+                    busy_retries: 0,
+                    mismatches: 0,
+                };
+                for i in 0..per_client {
+                    let k = (cid + i) % baseline.len();
+                    let t0 = Instant::now();
+                    let (reply, busy) = client
+                        .query_with_retry(&pool_query(k), 1000)
+                        .expect("storm query");
+                    report.latencies_s.push(t0.elapsed().as_secs_f64());
+                    report.busy_retries += u64::from(busy);
+                    if reply.rows.sorted() != baseline[k] {
+                        report.mismatches += 1;
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+
+    let mut latencies_s: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let mut busy_retries = 0u64;
+    let mut mismatches = 0u64;
+    for h in handles {
+        let r = h.join().expect("client thread");
+        latencies_s.extend(r.latencies_s);
+        busy_retries += r.busy_retries;
+        mismatches += r.mismatches;
+    }
+    let wall_s = storm_start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown().expect("server shutdown");
+
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let completed = latencies_s.len();
+    let qps = completed as f64 / wall_s;
+    let (p50, p90, p99, max) = (
+        percentile(&latencies_s, 50.0) * 1e3,
+        percentile(&latencies_s, 90.0) * 1e3,
+        percentile(&latencies_s, 99.0) * 1e3,
+        latencies_s.last().copied().unwrap_or(0.0) * 1e3,
+    );
+    // Storm-only cache counters: the baseline contributed `distinct`
+    // misses before the invalidation, and the post-baseline invalidation
+    // emptied the cache, so hits measured now all come from the storm.
+    let hit_rate = if stats.cache.hits + stats.cache.misses > 0 {
+        stats.cache.hits as f64 / (stats.cache.hits + stats.cache.misses) as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "{completed} queries in {wall_s:.3}s = {qps:.0} qps | latency ms p50 {p50:.2} p90 {p90:.2} \
+         p99 {p99:.2} max {max:.2} | {busy_retries} busy retries | cache {} hit(s) / {} miss(es) \
+         ({:.0}% hit rate)",
+        stats.cache.hits,
+        stats.cache.misses,
+        hit_rate * 100.0
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "serve_loop",
+  "generated_by": "cargo run --release -p skalla-bench --bin serve_loop -- --clients {clients} --queries {per_client} --distinct {distinct} --scale {scale} --sites {sites}",
+  "clients": {clients},
+  "queries_per_client": {per_client},
+  "distinct_queries": {distinct},
+  "scale": {scale},
+  "sites": {sites},
+  "queue_depth": {queue_depth},
+  "max_interleave": {max_interleave},
+  "cache_entries": {cache_entries},
+  "completed": {completed},
+  "wall_s": {wall_s:.6},
+  "qps": {qps:.1},
+  "latency_ms": {{ "p50": {p50:.3}, "p90": {p90:.3}, "p99": {p99:.3}, "max": {max:.3} }},
+  "busy_retries": {busy_retries},
+  "cache": {{ "hits": {}, "misses": {}, "hit_rate": {hit_rate:.4} }},
+  "sched": {{ "submitted": {}, "rejected": {}, "completed": {}, "failed": {} }},
+  "verified": {}
+}}
+"#,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.sched.submitted,
+        stats.sched.rejected,
+        stats.sched.completed,
+        stats.sched.failed,
+        check && mismatches == 0,
+    );
+    std::fs::write(&out, &json).expect("write JSON");
+    println!("wrote {out}");
+
+    if check {
+        assert_eq!(
+            mismatches, 0,
+            "concurrent replies diverged from the serial baseline"
+        );
+        assert!(
+            stats.cache.hits > 0,
+            "repeated-query storm produced no cache hits"
+        );
+        assert_eq!(stats.sched.failed, 0, "queries failed during the storm");
+        println!("check passed: all {completed} replies match the serial baseline");
+    }
+}

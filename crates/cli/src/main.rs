@@ -1,4 +1,4 @@
-//! The `skalla` interactive shell.
+//! The `skalla` interactive shell, serving endpoint, and client.
 //!
 //! ```sh
 //! cargo run -p skalla-cli                 # interactive
@@ -8,14 +8,17 @@
 //! skalla --crash-site 2:5 --load 0.05 4   # site 2 dies after 5 messages
 //! skalla --replication 2 --load 0.05 4    # 2-way replicated partitions
 //! skalla --checkpoint-dir /tmp/skalla --load 0.05 4   # round-granular WAL
+//! skalla serve --listen 127.0.0.1:7878 --scale 0.05 --sites 4   # TCP server
+//! skalla client --connect 127.0.0.1:7878  # remote shell over the server
 //! ```
 
 use std::io::{self, BufRead, IsTerminal, Write};
 use std::path::PathBuf;
 
-use skalla_cli::{Outcome, Session};
-use skalla_core::CheckpointWal;
+use skalla_cli::{render_preview, Outcome, Session};
+use skalla_core::{CheckpointWal, DegradedMode};
 use skalla_net::FaultPlan;
+use skalla_serve::{ServeClient, ServeConfig, Server};
 
 /// Parse `--fault-seed <n>`, `--drop-rate <r>`, and `--crash-site
 /// <id>[:<after>]` into a [`FaultPlan`]. Returns `None` when no fault flag
@@ -67,8 +70,204 @@ fn fault_plan_from_args(args: &[String]) -> Option<FaultPlan> {
     any.then_some(plan)
 }
 
+/// The value following `flag`, if the flag is present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            }
+        })
+}
+
+/// Parse the value of `flag`, exiting with a usage message on garbage.
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} got an unparsable value `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// `skalla serve …`: run the TCP serving endpoint until stdin reaches
+/// EOF (Ctrl-D interactively, or the end of a piped script).
+fn run_serve(args: &[String]) {
+    let mut cfg = ServeConfig::default();
+    if let Some(plan) = fault_plan_from_args(args) {
+        cfg.faults = plan;
+    }
+    if let Some(listen) = flag_value(args, "--listen") {
+        cfg.listen = listen;
+    }
+    if let Some(scale) = flag_parse(args, "--scale") {
+        cfg.scale = scale;
+    }
+    if let Some(sites) = flag_parse(args, "--sites") {
+        cfg.sites = sites;
+    }
+    if let Some(r) = flag_parse(args, "--replication") {
+        cfg.replication = r;
+    }
+    if let Some(depth) = flag_parse(args, "--queue-depth") {
+        cfg.queue_depth = depth;
+    }
+    if let Some(n) = flag_parse(args, "--interleave") {
+        cfg.max_interleave = n;
+    }
+    if let Some(entries) = flag_parse(args, "--cache") {
+        cfg.cache_entries = entries;
+    }
+    if let Some(workers) = flag_parse::<usize>(args, "--workers") {
+        cfg.coord_workers = workers;
+    }
+    if let Some(mode) = flag_value(args, "--degrade") {
+        cfg.degraded = match mode.as_str() {
+            "fail" => DegradedMode::Fail,
+            "partial" => DegradedMode::Partial,
+            "failover" => DegradedMode::Failover,
+            other => {
+                eprintln!("error: --degrade expects fail|partial|failover, got `{other}`");
+                std::process::exit(2);
+            }
+        };
+    }
+
+    let scale = cfg.scale;
+    let sites = cfg.sites;
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "skalla-serve: listening on {} — {sites} sites, TPCR scale {scale}; EOF on stdin stops",
+        server.local_addr()
+    );
+    let _ = io::stdout().flush();
+
+    // Serve until stdin closes, then stop in order.
+    let mut sink = String::new();
+    while matches!(io::stdin().lock().read_line(&mut sink), Ok(n) if n > 0) {
+        sink.clear();
+    }
+    let stats = server.stats();
+    println!(
+        "skalla-serve: {} sessions, {} queries ({} completed, {} failed, {} busy), cache {}/{} hit/miss",
+        stats.sessions,
+        stats.queries,
+        stats.sched.completed,
+        stats.sched.failed,
+        stats.sched.rejected,
+        stats.cache.hits,
+        stats.cache.misses
+    );
+    if let Err(e) = server.shutdown() {
+        eprintln!("error: shutdown: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `skalla client --connect <addr>`: a line-oriented remote shell.
+/// Queries are terminated by a blank line, exactly like the local
+/// shell; `\stats`, `\invalidate`, and `\quit` are understood.
+fn run_client(args: &[String]) {
+    let addr = flag_value(args, "--connect").unwrap_or_else(|| {
+        eprintln!("usage: skalla client --connect <host:port>");
+        std::process::exit(2);
+    });
+    let mut client = ServeClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let stdin = io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!("connected to {addr} — blank line runs the query, \\quit exits");
+    }
+    let mut buffer = String::new();
+    let run = |buffer: &mut String, client: &mut ServeClient| {
+        let text = buffer.trim().to_string();
+        buffer.clear();
+        if text.is_empty() {
+            return;
+        }
+        match client.query_with_retry(&text, 32) {
+            Ok((reply, busy)) => {
+                println!("{}", render_preview(&reply.rows, 20));
+                let mut tail = format!("-- {} groups | {}", reply.rows.len(), reply.summary);
+                if reply.cache_hit {
+                    tail.push_str(" | served from cache");
+                }
+                if busy > 0 {
+                    tail.push_str(&format!(" | {busy} busy retries"));
+                }
+                println!("{tail}");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    };
+    loop {
+        if interactive {
+            print!(
+                "{}",
+                if buffer.is_empty() {
+                    "skalla> "
+                } else {
+                    "     -> "
+                }
+            );
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => {
+                run(&mut buffer, &mut client);
+                return;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                return;
+            }
+        }
+        match line.trim() {
+            "\\quit" | "\\q" => return,
+            "\\stats" => match client.stats() {
+                Ok(s) => println!(
+                    "sessions {} | queries {} | completed {} failed {} busy {} in-flight {} | cache {} hit(s) {} miss(es), {} cached",
+                    s.sessions,
+                    s.queries,
+                    s.sched.completed,
+                    s.sched.failed,
+                    s.sched.rejected,
+                    s.sched.in_flight,
+                    s.cache.hits,
+                    s.cache.misses,
+                    s.cache.entries
+                ),
+                Err(e) => println!("error: {e}"),
+            },
+            "\\invalidate" => match client.invalidate() {
+                Ok(()) => println!("result cache invalidated"),
+                Err(e) => println!("error: {e}"),
+            },
+            "" => run(&mut buffer, &mut client),
+            _ => buffer.push_str(&line),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return run_serve(&args[1..]),
+        Some("client") => return run_client(&args[1..]),
+        _ => {}
+    }
     let mut session = Session::new();
 
     // Fault flags must be installed before --load wires the network.

@@ -1,0 +1,363 @@
+//! Coordinator-side result cache, keyed on the plan fingerprint.
+//!
+//! Dashboard-style workloads re-issue the same OLAP query over and over;
+//! the paper's coordinator (§5) is the natural place to short-circuit
+//! them, because between synchronizations it already holds the entire
+//! query state (Theorem 1) — including, at the end, the final result.
+//!
+//! The cache key is the [`plan_fingerprint`](crate::plan_fingerprint)
+//! already computed for the checkpoint WAL: the FNV-1a hash of the plan's
+//! *wire encoding*, so any difference in expression, rounds, optimizer
+//! flags, retry policy, or parallelism yields a different key. A 64-bit
+//! hash can collide, so every entry also stores the full encoded plan and
+//! a lookup compares it byte-for-byte — a collision is a recorded miss,
+//! never a wrong answer.
+//!
+//! Two rules keep cached answers honest:
+//!
+//! * **Only complete results are cached.** A query that degraded to
+//!   partial coverage ([`Coverage::is_complete`] false) reflects the
+//!   sites that happened to be alive, not the warehouse; serving it later
+//!   as an exact answer would be silent corruption. [`ResultCache::insert`]
+//!   refuses such results.
+//! * **Catalog changes invalidate everything.** The fingerprint covers
+//!   the plan, not the data; [`ResultCache::invalidate`] must be called
+//!   whenever site data changes (the `serve` layer exposes this as an
+//!   explicit operation, since the simulated sites are append-only today).
+
+use std::collections::HashMap;
+
+use skalla_types::Relation;
+
+use crate::checkpoint::checksum;
+use crate::message::Message;
+use crate::metrics::Coverage;
+use crate::plan::DistPlan;
+
+/// A cache key: the plan's fingerprint plus the full wire encoding it was
+/// derived from, kept for byte-exact collision checks.
+#[derive(Debug, Clone)]
+pub struct PlanKey {
+    /// FNV-1a hash of `bytes` — identical to
+    /// [`plan_fingerprint`](crate::plan_fingerprint).
+    pub fingerprint: u64,
+    /// The plan's wire encoding (`Message::Plan` body).
+    pub bytes: Vec<u8>,
+}
+
+impl PlanKey {
+    /// Key a plan: encode it exactly as it would go over the wire and
+    /// hash the encoding.
+    pub fn of(plan: &DistPlan) -> PlanKey {
+        let bytes = Message::Plan(plan.clone()).to_wire().to_vec();
+        PlanKey {
+            fingerprint: checksum(&bytes),
+            bytes,
+        }
+    }
+}
+
+/// One cached result.
+struct Slot {
+    /// Full encoded plan, compared byte-for-byte on lookup.
+    plan_bytes: Vec<u8>,
+    /// Insertion order, for FIFO eviction.
+    seq: u64,
+    result: Relation,
+}
+
+/// Counters exposed by [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including collisions and post-invalidation
+    /// lookups).
+    pub misses: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Results refused because their coverage was incomplete.
+    pub rejected_partial: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Lookups whose fingerprint matched a stored entry but whose plan
+    /// bytes did not (64-bit hash collision, counted as a miss).
+    pub collisions: u64,
+    /// Times the whole cache was invalidated (catalog change).
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// A bounded map from plan fingerprint to final result relation.
+///
+/// Not internally synchronized — the serving scheduler owns one behind
+/// its own lock.
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, Vec<Slot>>,
+    len: usize,
+    seq: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results. A capacity of
+    /// zero disables caching (every lookup misses, every insert is a
+    /// no-op).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            len: 0,
+            seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a plan. A hit requires both the fingerprint and the full
+    /// plan encoding to match; a fingerprint-only match is a collision
+    /// and reported as a miss.
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<Relation> {
+        let slots = self.map.get(&key.fingerprint);
+        let hit = slots.and_then(|v| v.iter().find(|s| s.plan_bytes == key.bytes));
+        match hit {
+            Some(s) => {
+                self.stats.hits += 1;
+                Some(s.result.clone())
+            }
+            None => {
+                if slots.is_some_and(|v| !v.is_empty()) {
+                    self.stats.collisions += 1;
+                }
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result, refusing incomplete coverage: a partial answer
+    /// must never be replayed as an exact one. Returns whether the result
+    /// was stored. Replaces an existing entry for the same plan; evicts
+    /// the oldest entry when at capacity.
+    pub fn insert(&mut self, key: &PlanKey, result: Relation, coverage: Option<Coverage>) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if !coverage.is_some_and(|c| c.is_complete()) {
+            self.stats.rejected_partial += 1;
+            return false;
+        }
+        let slots = self.map.entry(key.fingerprint).or_default();
+        if let Some(s) = slots.iter_mut().find(|s| s.plan_bytes == key.bytes) {
+            s.result = result;
+            return true;
+        }
+        self.seq += 1;
+        slots.push(Slot {
+            plan_bytes: key.bytes.clone(),
+            seq: self.seq,
+            result,
+        });
+        self.len += 1;
+        self.stats.insertions += 1;
+        if self.len > self.capacity {
+            self.evict_oldest();
+        }
+        true
+    }
+
+    /// Drop every entry. Must be called whenever site data changes: the
+    /// key fingerprints the plan, not the data under it.
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+        self.len = 0;
+        self.stats.invalidations += 1;
+    }
+
+    /// Current counters (plus entry count).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len,
+            ..self.stats
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn evict_oldest(&mut self) {
+        let oldest = self
+            .map
+            .iter()
+            .flat_map(|(fp, v)| v.iter().map(move |s| (s.seq, *fp)))
+            .min();
+        if let Some((seq, fp)) = oldest {
+            if let Some(v) = self.map.get_mut(&fp) {
+                v.retain(|s| s.seq != seq);
+                if v.is_empty() {
+                    self.map.remove(&fp);
+                }
+            }
+            self.len -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::plan_fingerprint;
+    use crate::plan::DistPlan;
+    use skalla_expr::Expr;
+    use skalla_gmdj::{AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
+    use skalla_types::{DataType, Schema, Value};
+
+    fn rel(n: i64) -> Relation {
+        Relation::new(
+            Schema::from_pairs([("x", DataType::Int64)])
+                .unwrap()
+                .into_arc(),
+            (0..n).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap()
+    }
+
+    fn plan(agg_name: &str) -> DistPlan {
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star(agg_name)],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        DistPlan::unoptimized(
+            GmdjExpr::new(
+                BaseSpec::DistinctProject { cols: vec![0] },
+                "flow",
+                vec![op],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn complete() -> Option<Coverage> {
+        Some(Coverage {
+            responded: 4,
+            total: 4,
+        })
+    }
+
+    #[test]
+    fn key_matches_wal_fingerprint() {
+        let p = plan("cnt");
+        assert_eq!(PlanKey::of(&p).fingerprint, plan_fingerprint(&p));
+    }
+
+    #[test]
+    fn hit_requires_exact_plan_bytes() {
+        let mut c = ResultCache::new(8);
+        let k1 = PlanKey::of(&plan("cnt"));
+        assert!(c.lookup(&k1).is_none());
+        assert!(c.insert(&k1, rel(3), complete()));
+        assert_eq!(c.lookup(&k1).unwrap(), rel(3));
+
+        // A forged key with the same fingerprint but different plan bytes
+        // (simulated 64-bit collision) must miss, not serve k1's result.
+        let forged = PlanKey {
+            fingerprint: k1.fingerprint,
+            bytes: PlanKey::of(&plan("other")).bytes,
+        };
+        assert!(c.lookup(&forged).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 2); // initial miss + collision miss
+    }
+
+    #[test]
+    fn colliding_entries_coexist() {
+        let mut c = ResultCache::new(8);
+        let k1 = PlanKey::of(&plan("a"));
+        // Forge a second key colliding with k1 and insert both.
+        let k2 = PlanKey {
+            fingerprint: k1.fingerprint,
+            bytes: PlanKey::of(&plan("b")).bytes,
+        };
+        assert!(c.insert(&k1, rel(1), complete()));
+        assert!(c.insert(&k2, rel(2), complete()));
+        assert_eq!(c.lookup(&k1).unwrap(), rel(1));
+        assert_eq!(c.lookup(&k2).unwrap(), rel(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn partial_coverage_is_never_cached() {
+        let mut c = ResultCache::new(8);
+        let k = PlanKey::of(&plan("cnt"));
+        assert!(!c.insert(
+            &k,
+            rel(1),
+            Some(Coverage {
+                responded: 3,
+                total: 4
+            })
+        ));
+        assert!(!c.insert(&k, rel(1), None));
+        assert!(c.lookup(&k).is_none());
+        assert_eq!(c.stats().rejected_partial, 2);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn invalidation_clears_everything() {
+        let mut c = ResultCache::new(8);
+        let k = PlanKey::of(&plan("cnt"));
+        c.insert(&k, rel(2), complete());
+        assert!(c.lookup(&k).is_some());
+        c.invalidate();
+        assert!(c.lookup(&k).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = ResultCache::new(2);
+        let k1 = PlanKey::of(&plan("a"));
+        let k2 = PlanKey::of(&plan("b"));
+        let k3 = PlanKey::of(&plan("c"));
+        c.insert(&k1, rel(1), complete());
+        c.insert(&k2, rel(2), complete());
+        c.insert(&k3, rel(3), complete());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&k1).is_none()); // oldest evicted
+        assert!(c.lookup(&k2).is_some());
+        assert!(c.lookup(&k3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = ResultCache::new(2);
+        let k = PlanKey::of(&plan("a"));
+        c.insert(&k, rel(1), complete());
+        c.insert(&k, rel(5), complete());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&k).unwrap(), rel(5));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        let k = PlanKey::of(&plan("a"));
+        assert!(!c.insert(&k, rel(1), complete()));
+        assert!(c.lookup(&k).is_none());
+    }
+}

@@ -123,8 +123,9 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(CheckpointRecord, usize)> {
 }
 
 /// FNV-1a 64-bit — enough to catch torn writes and bit rot; this is an
-/// integrity check, not an adversarial defense.
-fn checksum(bytes: &[u8]) -> u64 {
+/// integrity check, not an adversarial defense. Also the hash behind
+/// [`plan_fingerprint`], which the result cache reuses as its key.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

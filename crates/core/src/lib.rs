@@ -40,21 +40,30 @@
 //! * [`checkpoint`] — round-granular coordinator checkpointing: a small WAL
 //!   of synchronized base-results so a restarted coordinator re-executes at
 //!   most one round.
+//! * [`cache`] — [`ResultCache`]: the coordinator's plan-fingerprint result
+//!   cache, so repeated dashboard-style queries short-circuit.
+//! * [`sched`] — [`QueryScheduler`]: bounded admission with backpressure
+//!   and fair round-robin interleaving of concurrent [`QueryRun`]s over the
+//!   shared site engines.
 
 pub mod baseresult;
+pub mod cache;
 pub mod checkpoint;
 pub mod message;
 pub mod metrics;
 pub mod plan;
+pub mod sched;
 pub mod site;
 pub mod sync;
 pub mod tree;
 pub mod warehouse;
 
 pub use baseresult::BaseResult;
+pub use cache::{CacheStats, PlanKey, ResultCache};
 pub use checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
 pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
 pub use plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment};
+pub use sched::{Admission, QueryScheduler, QueryTicket, SchedConfig, SchedStats};
 pub use sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};
 pub use tree::TieredWarehouse;
-pub use warehouse::DistributedWarehouse;
+pub use warehouse::{DistributedWarehouse, QueryRun};

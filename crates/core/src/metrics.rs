@@ -141,6 +141,14 @@ pub struct ExecMetrics {
     /// Synchronizations restored from a checkpoint instead of re-executed
     /// (a resumed coordinator re-executes at most one round).
     pub resumed_syncs: u32,
+    /// Result-cache hits: the query was answered from the coordinator's
+    /// plan-fingerprint result cache without touching the sites. Set by
+    /// the serving layer's scheduler; always 0 for direct execution.
+    pub cache_hits: u64,
+    /// Result-cache misses: the query went through the cache but had to
+    /// execute. Set by the serving layer's scheduler; always 0 for direct
+    /// execution.
+    pub cache_misses: u64,
 }
 
 impl ExecMetrics {
@@ -374,6 +382,12 @@ impl ExecMetrics {
             s.push_str(&format!(
                 " | resumed: {} sync(s) from checkpoint",
                 self.resumed_syncs,
+            ));
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            s.push_str(&format!(
+                " | cache: {} hit(s), {} miss(es)",
+                self.cache_hits, self.cache_misses,
             ));
         }
         if let Some(c) = self.coverage {

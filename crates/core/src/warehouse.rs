@@ -162,9 +162,24 @@ impl DistributedWarehouse {
             .ok_or_else(|| SkallaError::not_found(format!("table `{name}`")))
     }
 
-    fn send_framed(&self, site: NodeId, msg: &Message, round: u32) -> Result<()> {
-        let epoch = self.epoch.load(Ordering::Relaxed);
-        self.coord.send(site, msg.to_wire_framed(epoch, round))
+    /// Frame and send one message. `reliable` sends bypass injected
+    /// drop/duplicate/delay faults (used by the serving layer to
+    /// re-install plans when the engine is handed between interleaved
+    /// queries, where a dropped install would silently corrupt results).
+    fn send_framed(
+        &self,
+        site: NodeId,
+        msg: &Message,
+        epoch: u64,
+        round: u32,
+        reliable: bool,
+    ) -> Result<()> {
+        let frame = msg.to_wire_framed(epoch, round);
+        if reliable {
+            self.coord.send_reliable(site, frame)
+        } else {
+            self.coord.send(site, frame)
+        }
     }
 
     /// Send one round's requests and collect every reply, enforcing the
@@ -195,9 +210,15 @@ impl DistributedWarehouse {
     /// Seconds spent decoding reply frames off the wire are accumulated
     /// into `decode_s`, separately from whatever the sink does with the
     /// decoded message.
+    /// `epoch` is the calling query run's private epoch: concurrent runs
+    /// each allocate their own from the warehouse-global counter, so a
+    /// site's reply cache can never replay one query's round to another.
+    /// The returned epoch is the (possibly failover-bumped) epoch the
+    /// round finished under, which the caller must adopt.
     #[allow(clippy::too_many_arguments)]
     fn collect_round(
         &self,
+        epoch: u64,
         round: u32,
         retry: &RetryPolicy,
         resend_plan: Option<&Message>,
@@ -207,9 +228,9 @@ impl DistributedWarehouse {
         decode_s: &mut f64,
         mut failover: Option<&mut FailoverRound<'_>>,
         sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         let mut st = RoundState {
-            epoch: self.epoch.load(Ordering::Relaxed),
+            epoch,
             round,
             prog: requests
                 .iter()
@@ -416,7 +437,7 @@ impl DistributedWarehouse {
                 )?;
             }
         }
-        Ok(())
+        Ok(st.epoch)
     }
 
     /// Route sites that are gone for good either to the failover re-plan
@@ -666,560 +687,23 @@ impl DistributedWarehouse {
         plan: &DistPlan,
         wal: Option<&CheckpointWal>,
     ) -> Result<(Relation, ExecMetrics)> {
-        self.epoch.fetch_add(1, Ordering::Relaxed);
-        plan.validate()?;
-        let expr = &plan.expr;
-        let default_schema = self.table_schema(&expr.detail_name)?;
-        expr.validate(&default_schema)?;
+        let mut run = QueryRun::new(self, plan, wal, false)?;
+        while !run.step()? {}
+        run.into_result()
+    }
 
-        let wall_start = Instant::now();
-        let mut metrics = ExecMetrics {
-            cost_model: Some(self.net.cost_model()),
-            ..ExecMetrics::default()
-        };
-
-        // The Failover rung engages only when the warehouse is replicated,
-        // the plan touches the replicated table exclusively, and there is
-        // one primary partition per site (so the planner's per-site
-        // group-reduction filters map 1:1 onto partitions). Otherwise
-        // `DegradedMode::Failover` behaves as Partial — the next rung of
-        // the degradation ladder.
-        let replicas: Option<&ReplicaMap> = self.replicas.as_ref().filter(|r| {
-            plan.retry.degraded == DegradedMode::Failover
-                && r.num_parts() == self.num_sites
-                && std::iter::once(&expr.detail_name)
-                    .chain(expr.ops.iter().filter_map(|op| op.detail_name.as_ref()))
-                    .all(|n| *n == r.table)
-        });
-        let mut events = FailoverEvents::default();
-
-        // Checkpointing: resume from the latest intact WAL record of this
-        // exact plan, and append one record per completed synchronization.
-        let fp = wal.map(|_| plan_fingerprint(plan));
-        let resume = match (wal, fp) {
-            (Some(w), Some(fp)) => w.load_latest(fp)?,
-            _ => None,
-        };
-        let base_syncs = u32::from(matches!(plan.base_round, BaseRound::Distributed));
-        let resume_synced = resume.as_ref().map_or(0, |r| r.synced);
-        metrics.resumed_syncs = resume_synced;
-        let checkpoint = |metrics: &mut ExecMetrics, synced: u32, state: &Relation| -> Result<()> {
-            let (Some(w), Some(fp)) = (wal, fp) else {
-                return Ok(());
-            };
-            let t = Instant::now();
-            w.append(&CheckpointRecord {
-                fingerprint: fp,
-                epoch: self.epoch.load(Ordering::Relaxed),
-                synced,
-                state: state.clone(),
-            })?;
-            metrics.checkpoints += 1;
-            metrics.checkpoint_s += t.elapsed().as_secs_f64();
-            Ok(())
-        };
-
-        // Ship the plan. Coordinator-side group-reduction filters are
-        // applied before shipping bases and never evaluated at the sites,
-        // so they are stripped from the shipped copy (they can embed large
-        // partition-value sets). A site whose channel is already gone is
-        // either fatal or written off, per the degraded mode.
-        let before = self.net.stats();
-        let mut site_plan = plan.clone();
-        for r in &mut site_plan.rounds {
-            r.coord_filters = None;
-        }
-        let plan_msg = Message::Plan(site_plan);
-        let mut dead: HashSet<NodeId> = HashSet::new();
-        let mut round_no: u32 = 0;
-        for site in 1..=self.num_sites as NodeId {
-            if self.send_framed(site, &plan_msg, round_no).is_err() {
-                match plan.retry.degraded {
-                    DegradedMode::Fail => {
-                        return Err(SkallaError::exec(format!(
-                            "site {site} is unreachable (crashed or disconnected)"
-                        )))
-                    }
-                    DegradedMode::Partial | DegradedMode::Failover => {
-                        dead.insert(site);
-                        if dead.len() == self.num_sites {
-                            return Err(SkallaError::exec("every site failed; no result possible"));
-                        }
-                    }
-                }
-            }
-        }
-        metrics
-            .rounds
-            .push(self.round_metrics_from("plan", &before, &[], 0.0, 0, 0, 0));
-
-        // Initial partition→site assignment: each partition on its primary
-        // site, except where the primary was already unreachable at plan
-        // broadcast — those start on the next live replica in ring order
-        // (or nowhere, if none survives).
-        let mut assignment: Vec<Option<NodeId>> = match replicas {
-            Some(r) => {
-                events.failovers += dead.len() as u64;
-                let a: Vec<Option<NodeId>> = (0..r.num_parts())
-                    .map(|part| {
-                        r.hosts_of(part)
-                            .iter()
-                            .map(|&h| (h + 1) as NodeId)
-                            .find(|h| !dead.contains(h))
-                    })
-                    .collect();
-                for (part, host) in a.iter().enumerate() {
-                    match host {
-                        None => events.parts_lost += 1,
-                        Some(h) if *h != (r.primary(part) + 1) as NodeId => {
-                            events.parts_reassigned += 1;
-                        }
-                        Some(_) => {}
-                    }
-                }
-                a
-            }
-            None => Vec::new(),
-        };
-
-        // Base round. A checkpointed run whose record already covers the
-        // base synchronization skips it; the checkpointed state is adopted
-        // below.
-        let mut current: Option<Relation> = match &plan.base_round {
-            BaseRound::Coordinator(rel) => Some(rel.clone()),
-            BaseRound::LocalOnly => None,
-            BaseRound::Distributed if resume_synced > 0 => None, // restored below
-            BaseRound::Distributed => {
-                round_no += 1;
-                let before = self.net.stats();
-                let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
-                let requests: Vec<(NodeId, Message)> = match replicas {
-                    Some(_) => {
-                        site_parts = site_parts_from(&assignment);
-                        site_parts
-                            .iter()
-                            .map(|(s, ps)| {
-                                (
-                                    *s,
-                                    Message::ComputeBase {
-                                        parts: Some(ps.clone()),
-                                    },
-                                )
-                            })
-                            .collect()
-                    }
-                    None => (1..=self.num_sites as NodeId)
-                        .filter(|s| !dead.contains(s))
-                        .map(|s| (s, Message::ComputeBase { parts: None }))
-                        .collect(),
-                };
-                let mk_base = |ps: &[u32]| -> Result<Message> {
-                    Ok(Message::ComputeBase {
-                        parts: Some(ps.to_vec()),
-                    })
-                };
-                let mut fo_round = replicas.map(|r| FailoverRound {
-                    replicas: r,
-                    assignment: &mut assignment,
-                    site_parts,
-                    mk_request: &mk_base,
-                    events: &mut events,
-                });
-                let mut site_times = Vec::with_capacity(requests.len());
-                let mut rows_up = 0u64;
-                let mut combined: Option<Relation> = None;
-                let mut coord_s = 0.0;
-                let mut decode_s = 0.0;
-                self.collect_round(
-                    round_no,
-                    &plan.retry,
-                    Some(&plan_msg),
-                    requests,
-                    &mut dead,
-                    &mut metrics.site_attempts,
-                    &mut decode_s,
-                    fo_round.as_mut(),
-                    &mut |_src, msg| {
-                        let Message::BaseFragment { rel, compute_s } = msg else {
-                            return Err(SkallaError::exec("expected BaseFragment"));
-                        };
-                        let t = Instant::now();
-                        site_times.push(compute_s);
-                        rows_up += rel.len() as u64;
-                        match &mut combined {
-                            None => combined = Some(rel),
-                            Some(acc) => acc.union_all(rel)?,
-                        }
-                        coord_s += t.elapsed().as_secs_f64();
-                        Ok(())
-                    },
-                )?;
-                drop(fo_round);
-                let t = Instant::now();
-                let b0 = combined
-                    .ok_or_else(|| SkallaError::exec("no base fragments received"))?
-                    .distinct();
-                coord_s += t.elapsed().as_secs_f64();
-                let groups = b0.len();
-                let mut rm = self.round_metrics_from(
-                    "base",
-                    &before,
-                    &site_times,
-                    coord_s + decode_s,
-                    groups,
-                    0,
-                    rows_up,
-                );
-                rm.sync_decode_s = decode_s;
-                metrics.rounds.push(rm);
-                checkpoint(&mut metrics, 1, &b0)?;
-                Some(b0)
-            }
-        };
-
-        // Adopt the checkpointed state: by Theorem 1 the synchronized
-        // base-result after k synchronizations is the whole query state,
-        // so execution continues at the first un-checkpointed segment.
-        let skip_segments = resume_synced.saturating_sub(base_syncs) as usize;
-        if let Some(rec) = &resume {
-            if rec.synced > 0 {
-                current = Some(rec.state.clone());
-            }
-        }
-
-        // Evaluation segments.
-        for (seg_idx, seg) in plan.segments().into_iter().enumerate() {
-            if seg_idx < skip_segments {
-                continue; // already folded into the checkpointed state
-            }
-            let (start, end, label) = match seg {
-                Segment::Standard { op } => (op, op, format!("round {}", op + 1)),
-                Segment::LocalRun { start, end } => {
-                    (start, end, format!("local-run {}-{}", start + 1, end + 1))
-                }
-            };
-            let local_base = start == 0 && matches!(plan.base_round, BaseRound::LocalOnly);
-            let is_local_run = matches!(seg, Segment::LocalRun { .. });
-
-            // Flattened aggregates + output fields + declared state types
-            // for the segment.
-            let mut specs: Vec<AggSpec> = Vec::new();
-            let mut output_fields: Vec<Field> = Vec::new();
-            let mut state_types: Vec<DataType> = Vec::new();
-            for k in start..=end {
-                let schema_k = self.table_schema(expr.detail_for_op(k))?;
-                for a in expr.ops[k].all_aggs() {
-                    state_types.extend(a.state_fields(&schema_k)?.into_iter().map(|f| f.dtype));
-                }
-                specs.extend(expr.ops[k].all_aggs().cloned());
-                output_fields.extend(expr.ops[k].output_fields(&schema_k)?);
-            }
-
-            let before = self.net.stats();
-            let t_coord = Instant::now();
-
-            let mut x = if plan.coord_parallelism > 1 {
-                let (base_schema, seed) = if local_base {
-                    (Arc::new(expr.base_schema(&default_schema)?), None)
-                } else {
-                    let base = current
-                        .as_ref()
-                        .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
-                    (base.schema().clone(), Some(base))
-                };
-                Syncer::Sharded(ShardedSync::new(
-                    SyncSpec {
-                        base_schema,
-                        key_cols: expr.key.clone(),
-                        specs,
-                        state_types,
-                        output: SyncOutput::Finalized(output_fields),
-                        allow_new: local_base,
-                    },
-                    seed,
-                    SyncOptions::for_workers(plan.coord_parallelism),
-                )?)
-            } else if local_base {
-                let b0_schema = Arc::new(expr.base_schema(&default_schema)?);
-                Syncer::Serial(BaseResult::empty(
-                    b0_schema,
-                    &expr.key,
-                    specs,
-                    output_fields,
-                ))
-            } else {
-                let base = current
-                    .as_ref()
-                    .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
-                Syncer::Serial(BaseResult::from_base(
-                    base,
-                    &expr.key,
-                    specs,
-                    output_fields,
-                )?)
-            };
-
-            // Ship requests. For a multi-operator local run, a group must
-            // reach site i if it could contribute to ANY operator in the
-            // run, so per-site filters are the OR across the run's rounds —
-            // and filtering is only possible when every round has filters.
-            let filters: Option<Vec<Expr>> = if start == end {
-                plan.rounds[start].coord_filters.clone()
-            } else {
-                let per_round: Option<Vec<&Vec<Expr>>> = plan.rounds[start..=end]
-                    .iter()
-                    .map(|r| r.coord_filters.as_ref())
-                    .collect();
-                per_round.map(|rounds_filters| {
-                    (0..self.num_sites)
-                        .map(|i| {
-                            skalla_expr::simplify(&Expr::disjunction(
-                                rounds_filters.iter().map(|fs| fs[i].clone()),
-                            ))
-                        })
-                        .collect()
-                })
-            };
-            let filters = filters.as_ref();
-            let mk_seg = |ps: &[u32]| -> Result<Message> {
-                let base_for_site: Option<Relation> = if local_base {
-                    None
-                } else {
-                    let base = current
-                        .as_ref()
-                        .ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
-                    let frag = match filters {
-                        Some(fs) => {
-                            // Partition p's group filter is its primary
-                            // site's (1:1 placement); a multi-partition
-                            // request ships the union of its parts' groups.
-                            let f = skalla_expr::simplify(&Expr::disjunction(
-                                ps.iter().map(|&p| fs[p as usize].clone()),
-                            ));
-                            filter_base(base, &f)?
-                        }
-                        None => base.clone(),
-                    };
-                    Some(frag)
-                };
-                Ok(if is_local_run || local_base {
-                    Message::LocalRun {
-                        start: start as u32,
-                        end: end as u32,
-                        base: base_for_site,
-                        parts: Some(ps.to_vec()),
-                    }
-                } else {
-                    Message::Round {
-                        op_idx: start as u32,
-                        base: base_for_site.expect("standard round ships a base"),
-                        parts: Some(ps.to_vec()),
-                    }
-                })
-            };
-            let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(self.num_sites);
-            let mut rows_down = 0u64;
-            let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
-            if replicas.is_some() {
-                // Failover rounds address partitions explicitly; the
-                // empty-fragment skip below is disabled so every partition
-                // is requested somewhere and coverage stays exact.
-                site_parts = site_parts_from(&assignment);
-                for (site, ps) in &site_parts {
-                    let msg = mk_seg(ps)?;
-                    rows_down += match &msg {
-                        Message::LocalRun { base, .. } => {
-                            base.as_ref().map_or(0, |b| b.len() as u64)
-                        }
-                        Message::Round { base, .. } => base.len() as u64,
-                        _ => 0,
-                    };
-                    requests.push((*site, msg));
-                }
-            } else {
-                for site in 1..=self.num_sites as NodeId {
-                    if dead.contains(&site) {
-                        continue;
-                    }
-                    let base_for_site: Option<Relation> = if local_base {
-                        None
-                    } else {
-                        let base = current.as_ref().expect("checked above");
-                        let frag = match filters {
-                            Some(fs) => filter_base(base, &fs[site as usize - 1])?,
-                            None => base.clone(),
-                        };
-                        if frag.is_empty() && filters.is_some() {
-                            // This site cannot contribute to any group.
-                            continue;
-                        }
-                        Some(frag)
-                    };
-                    rows_down += base_for_site.as_ref().map_or(0, |b| b.len() as u64);
-                    let msg = if is_local_run || local_base {
-                        Message::LocalRun {
-                            start: start as u32,
-                            end: end as u32,
-                            base: base_for_site,
-                            parts: None,
-                        }
-                    } else {
-                        Message::Round {
-                            op_idx: start as u32,
-                            base: base_for_site.expect("standard round ships a base"),
-                            parts: None,
-                        }
-                    };
-                    requests.push((site, msg));
-                }
-            }
-            let coord_prep_s = t_coord.elapsed().as_secs_f64();
-            let mut fo_round = replicas.map(|r| FailoverRound {
-                replicas: r,
-                assignment: &mut assignment,
-                site_parts,
-                mk_request: &mk_seg,
-                events: &mut events,
-            });
-
-            // Collect and synchronize. Fragments merge as they arrive —
-            // with row blocking, chunks from fast sites are folded into X
-            // while slower sites are still computing (paper §3.2). The
-            // collector deduplicates chunks by sequence number, so the
-            // non-idempotent merge is safe under retries and duplication.
-            round_no += 1;
-            let mut coord_sync_s = 0.0;
-            let mut decode_s = 0.0;
-            let mut site_times = Vec::with_capacity(requests.len());
-            let mut rows_up = 0u64;
-            let mut blocks_compiled = 0u64;
-            let mut blocks_interpreted = 0u64;
-            self.collect_round(
-                round_no,
-                &plan.retry,
-                Some(&plan_msg),
-                requests,
-                &mut dead,
-                &mut metrics.site_attempts,
-                &mut decode_s,
-                fo_round.as_mut(),
-                &mut |src, msg| {
-                    let (h, compute_s, bc, bi, last) = match msg {
-                        Message::RoundResult {
-                            h,
-                            compute_s,
-                            blocks_compiled,
-                            blocks_interpreted,
-                            last,
-                            ..
-                        } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
-                        Message::LocalRunResult {
-                            ship,
-                            compute_s,
-                            blocks_compiled,
-                            blocks_interpreted,
-                            last,
-                            ..
-                        } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
-                        other => {
-                            return Err(SkallaError::exec(format!(
-                                "site {src}: expected round result, got {other:?}"
-                            )))
-                        }
-                    };
-                    blocks_compiled += u64::from(bc);
-                    blocks_interpreted += u64::from(bi);
-                    let t = Instant::now();
-                    rows_up += h.len() as u64;
-                    match &mut x {
-                        // Serial: the closure time IS the merge time.
-                        Syncer::Serial(b) => b.merge_fragment(&h, local_base)?,
-                        // Sharded: the closure time is the router
-                        // (validate + partition); merging happens on the
-                        // worker pool, overlapped with receive.
-                        Syncer::Sharded(s) => s.merge_chunk(h)?,
-                    }
-                    if last {
-                        site_times.push(compute_s);
-                    }
-                    coord_sync_s += t.elapsed().as_secs_f64();
-                    Ok(())
-                },
-            )?;
-            drop(fo_round);
-            let t_final = Instant::now();
-            let (finalized, merge_s, finalize_s, workers, shards, utilization, sync_tail_s) =
-                match x {
-                    Syncer::Serial(b) => {
-                        let rel = b.finalize()?;
-                        let fin_s = t_final.elapsed().as_secs_f64();
-                        (rel, coord_sync_s, fin_s, 1, 1, 0.0, coord_sync_s + fin_s)
-                    }
-                    Syncer::Sharded(s) => {
-                        let (rel, stats) = s.finish()?;
-                        (
-                            rel,
-                            stats.merge_busy_s,
-                            stats.finalize_s,
-                            stats.workers,
-                            stats.shards,
-                            stats.utilization(),
-                            // The serialized (non-overlapped) coordinator
-                            // cost: routing plus the drain after the last
-                            // chunk.
-                            coord_sync_s + stats.drain_s,
-                        )
-                    }
-                };
-            let groups = finalized.len();
-            current = Some(finalized);
-            let mut rm = self.round_metrics_from(
-                label,
-                &before,
-                &site_times,
-                coord_prep_s + decode_s + sync_tail_s,
-                groups,
-                rows_down,
-                rows_up,
-            );
-            rm.blocks_compiled = blocks_compiled;
-            rm.blocks_interpreted = blocks_interpreted;
-            rm.sync_decode_s = decode_s;
-            rm.sync_merge_s = merge_s;
-            rm.sync_finalize_s = finalize_s;
-            rm.sync_workers = workers;
-            rm.sync_shards = shards;
-            rm.sync_utilization = utilization;
-            metrics.rounds.push(rm);
-            checkpoint(
-                &mut metrics,
-                base_syncs + seg_idx as u32 + 1,
-                current.as_ref().expect("just synchronized"),
-            )?;
-        }
-
-        metrics.wall_s = wall_start.elapsed().as_secs_f64();
-        metrics.failovers = events.failovers;
-        metrics.parts_reassigned = events.parts_reassigned;
-        metrics.parts_lost = events.parts_lost;
-        metrics.failover_s = events.failover_s;
-        metrics.coverage = Some(match replicas {
-            // Under failover, coverage counts partitions: a dead site's
-            // partitions stay in the answer as long as a replica survives.
-            Some(r) => {
-                let lost = assignment.iter().filter(|a| a.is_none()).count();
-                Coverage {
-                    responded: r.num_parts() - lost,
-                    total: r.num_parts(),
-                }
-            }
-            None => Coverage {
-                responded: self.num_sites - dead.len(),
-                total: self.num_sites,
-            },
-        });
-        let result = current.ok_or_else(|| SkallaError::exec("plan produced no result"))?;
-        Ok((result, metrics))
+    /// Begin a resumable, round-granular execution of `plan` for the
+    /// serving layer.
+    ///
+    /// The returned [`QueryRun`] advances exactly one synchronization
+    /// round per [`QueryRun::step`] call, so an admission scheduler can
+    /// interleave rounds from many concurrent queries over the same site
+    /// engines — Theorem 1 guarantees the synchronized base-result held
+    /// by the run *is* the whole query state between rounds. Each run
+    /// allocates a private epoch, and plan (re-)installs use reliable
+    /// sends; see [`QueryRun`] for the isolation argument.
+    pub fn begin(&self, plan: &DistPlan) -> Result<QueryRun<'_>> {
+        QueryRun::new(self, plan, None, true)
     }
 
     /// The ship-all-detail-data baseline: every site sends its raw
@@ -1228,7 +712,7 @@ impl DistributedWarehouse {
     /// by the *result* size, while this baseline transfers the *fact
     /// relation*.
     pub fn execute_ship_all(&self, expr: &GmdjExpr) -> Result<(Relation, ExecMetrics)> {
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        let mut epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let wall_start = Instant::now();
         let mut names: Vec<&str> = vec![expr.detail_name.as_str()];
         for op in &expr.ops {
@@ -1263,7 +747,8 @@ impl DistributedWarehouse {
                 .collect();
             let schema = self.table_schema(name)?;
             let mut builder = skalla_storage::TableBuilder::new(schema);
-            self.collect_round(
+            epoch = self.collect_round(
+                epoch,
                 round_no,
                 &retry,
                 None,
@@ -1336,6 +821,759 @@ impl DistributedWarehouse {
                 .map_err(|_| SkallaError::exec("site thread panicked"))?;
         }
         Ok(())
+    }
+}
+
+/// A resumable, round-granular execution of one [`DistPlan`], created by
+/// [`DistributedWarehouse::begin`].
+///
+/// Theorem 1 (§5) makes the synchronized base-result after round *k* the
+/// *entire* query state — the property the checkpoint WAL already relies
+/// on. `QueryRun` exploits the same property in the other direction:
+/// because all cross-round state lives at the coordinator, an execution
+/// can be suspended after any synchronization and another query's round
+/// can run on the same site engines in between. The serving layer's
+/// scheduler does exactly that, calling [`QueryRun::step`] round-robin
+/// across admitted queries.
+///
+/// Isolation between interleaved runs rests on two mechanisms:
+///
+/// * **Epochs** — every run allocates a private epoch from the
+///   warehouse-global counter. Sites echo the epoch on replies and key
+///   their reply caches by `(epoch, round)`, so one query's fragments —
+///   in flight, duplicated, or replayed from a cache — are never merged
+///   into another query's synchronization.
+/// * **Plan re-installs** — each site holds a single installed plan.
+///   Whenever the scheduler hands the engines from one run to another it
+///   calls [`QueryRun::mark_plan_stale`]; the next [`QueryRun::step`]
+///   then re-installs this run's plan on every live site *reliably*
+///   (bypassing injected drop/duplicate/delay faults) before issuing
+///   requests, so no site ever computes a round under the wrong plan.
+pub struct QueryRun<'a> {
+    wh: &'a DistributedWarehouse,
+    wal: Option<&'a CheckpointWal>,
+    plan: DistPlan,
+    /// The plan as shipped to sites (coordinator-only filters stripped).
+    plan_msg: Message,
+    /// This run's private epoch; a mid-run failover bumps it further.
+    epoch: u64,
+    /// Whether every live site currently has this run's plan installed.
+    plan_installed: bool,
+    /// Re-install plans with reliable sends (serving mode).
+    reliable_plan: bool,
+    dead: HashSet<NodeId>,
+    /// Live partition→site assignment (replicated launches only).
+    assignment: Vec<Option<NodeId>>,
+    use_replicas: bool,
+    events: FailoverEvents,
+    metrics: ExecMetrics,
+    /// The synchronized base-result so far — by Theorem 1, the entire
+    /// query state between rounds.
+    current: Option<Relation>,
+    round_no: u32,
+    fp: Option<u64>,
+    base_syncs: u32,
+    segments: Vec<Segment>,
+    next_seg: usize,
+    pending_base: bool,
+    wall_start: Instant,
+    done: bool,
+}
+
+impl<'a> QueryRun<'a> {
+    fn new(
+        wh: &'a DistributedWarehouse,
+        plan: &DistPlan,
+        wal: Option<&'a CheckpointWal>,
+        reliable_plan: bool,
+    ) -> Result<QueryRun<'a>> {
+        // Each run gets a fresh epoch, so concurrent runs can never
+        // confuse the sites' per-(epoch, round) reply caches.
+        let epoch = wh.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        plan.validate()?;
+        let expr = &plan.expr;
+        let default_schema = wh.table_schema(&expr.detail_name)?;
+        expr.validate(&default_schema)?;
+
+        let wall_start = Instant::now();
+        let mut metrics = ExecMetrics {
+            cost_model: Some(wh.net.cost_model()),
+            ..ExecMetrics::default()
+        };
+
+        // The Failover rung engages only when the warehouse is replicated,
+        // the plan touches the replicated table exclusively, and there is
+        // one primary partition per site (so the planner's per-site
+        // group-reduction filters map 1:1 onto partitions). Otherwise
+        // `DegradedMode::Failover` behaves as Partial — the next rung of
+        // the degradation ladder.
+        let use_replicas = wh.replicas.as_ref().is_some_and(|r| {
+            plan.retry.degraded == DegradedMode::Failover
+                && r.num_parts() == wh.num_sites
+                && std::iter::once(&expr.detail_name)
+                    .chain(expr.ops.iter().filter_map(|op| op.detail_name.as_ref()))
+                    .all(|n| *n == r.table)
+        });
+        let mut events = FailoverEvents::default();
+
+        // Checkpointing: resume from the latest intact WAL record of this
+        // exact plan, and append one record per completed synchronization.
+        let fp = wal.map(|_| plan_fingerprint(plan));
+        let resume = match (wal, fp) {
+            (Some(w), Some(fp)) => w.load_latest(fp)?,
+            _ => None,
+        };
+        let base_syncs = u32::from(matches!(plan.base_round, BaseRound::Distributed));
+        let resume_synced = resume.as_ref().map_or(0, |r| r.synced);
+        metrics.resumed_syncs = resume_synced;
+
+        // Ship the plan. Coordinator-side group-reduction filters are
+        // applied before shipping bases and never evaluated at the sites,
+        // so they are stripped from the shipped copy (they can embed large
+        // partition-value sets). A site whose channel is already gone is
+        // either fatal or written off, per the degraded mode.
+        let before = wh.net.stats();
+        let mut site_plan = plan.clone();
+        for r in &mut site_plan.rounds {
+            r.coord_filters = None;
+        }
+        let plan_msg = Message::Plan(site_plan);
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        for site in 1..=wh.num_sites as NodeId {
+            if wh
+                .send_framed(site, &plan_msg, epoch, 0, reliable_plan)
+                .is_err()
+            {
+                match plan.retry.degraded {
+                    DegradedMode::Fail => {
+                        return Err(SkallaError::exec(format!(
+                            "site {site} is unreachable (crashed or disconnected)"
+                        )))
+                    }
+                    DegradedMode::Partial | DegradedMode::Failover => {
+                        dead.insert(site);
+                        if dead.len() == wh.num_sites {
+                            return Err(SkallaError::exec("every site failed; no result possible"));
+                        }
+                    }
+                }
+            }
+        }
+        metrics
+            .rounds
+            .push(wh.round_metrics_from("plan", &before, &[], 0.0, 0, 0, 0));
+
+        // Initial partition→site assignment: each partition on its primary
+        // site, except where the primary was already unreachable at plan
+        // broadcast — those start on the next live replica in ring order
+        // (or nowhere, if none survives).
+        let replicas = if use_replicas {
+            wh.replicas.as_ref()
+        } else {
+            None
+        };
+        let assignment: Vec<Option<NodeId>> = match replicas {
+            Some(r) => {
+                events.failovers += dead.len() as u64;
+                let a: Vec<Option<NodeId>> = (0..r.num_parts())
+                    .map(|part| {
+                        r.hosts_of(part)
+                            .iter()
+                            .map(|&h| (h + 1) as NodeId)
+                            .find(|h| !dead.contains(h))
+                    })
+                    .collect();
+                for (part, host) in a.iter().enumerate() {
+                    match host {
+                        None => events.parts_lost += 1,
+                        Some(h) if *h != (r.primary(part) + 1) as NodeId => {
+                            events.parts_reassigned += 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                a
+            }
+            None => Vec::new(),
+        };
+
+        // Base state. A checkpointed run whose record already covers the
+        // base synchronization adopts the checkpointed state directly —
+        // by Theorem 1 it is the whole query state — and skips the
+        // already-synchronized segments.
+        let mut current: Option<Relation> = match &plan.base_round {
+            BaseRound::Coordinator(rel) => Some(rel.clone()),
+            _ => None,
+        };
+        let pending_base = matches!(plan.base_round, BaseRound::Distributed) && resume_synced == 0;
+        if let Some(rec) = &resume {
+            if rec.synced > 0 {
+                current = Some(rec.state.clone());
+            }
+        }
+        let segments = plan.segments();
+        let next_seg = (resume_synced.saturating_sub(base_syncs) as usize).min(segments.len());
+
+        Ok(QueryRun {
+            wh,
+            wal,
+            plan: plan.clone(),
+            plan_msg,
+            epoch,
+            plan_installed: true,
+            reliable_plan,
+            dead,
+            assignment,
+            use_replicas,
+            events,
+            metrics,
+            current,
+            round_no: 0,
+            fp,
+            base_syncs,
+            segments,
+            next_seg,
+            pending_base,
+            wall_start,
+            done: false,
+        })
+    }
+
+    /// The replica map, when the Failover rung is engaged for this run.
+    fn replica_ctx(&self) -> Option<&'a ReplicaMap> {
+        let wh = self.wh;
+        if self.use_replicas {
+            wh.replicas.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Another query's rounds ran on the site engines since this run's
+    /// last step: this run's plan must be re-installed before its next
+    /// round. Called by the scheduler on every engine handover.
+    pub fn mark_plan_stale(&mut self) {
+        self.plan_installed = false;
+    }
+
+    /// Whether the run has finished (its result is ready).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Metrics accumulated so far (complete once [`QueryRun::is_done`]).
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.metrics
+    }
+
+    /// Re-install this run's plan on every live site. Send failures are
+    /// deliberately ignored here: an unreachable site is detected by the
+    /// next `collect_round`, which routes it through the degraded-mode
+    /// ladder (or failover) exactly as a mid-round loss would be.
+    fn ensure_plan(&mut self) {
+        if self.plan_installed {
+            return;
+        }
+        for site in 1..=self.wh.num_sites as NodeId {
+            if self.dead.contains(&site) {
+                continue;
+            }
+            let _ = self.wh.send_framed(
+                site,
+                &self.plan_msg,
+                self.epoch,
+                self.round_no,
+                self.reliable_plan,
+            );
+        }
+        self.plan_installed = true;
+    }
+
+    /// Advance the run by exactly one synchronization round (the base
+    /// round counts as one; the final call folds the bookkeeping and
+    /// flips the run to done). Returns `true` once the run is finished
+    /// and [`QueryRun::into_result`] may be called.
+    pub fn step(&mut self) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        if self.pending_base {
+            self.ensure_plan();
+            self.pending_base = false;
+            self.step_base()?;
+        } else if self.next_seg < self.segments.len() {
+            self.ensure_plan();
+            let idx = self.next_seg;
+            self.next_seg += 1;
+            self.step_segment(idx)?;
+        } else {
+            self.finish_metrics();
+            self.done = true;
+        }
+        Ok(self.done)
+    }
+
+    /// The distributed base round: every site computes its local base
+    /// fragment, the coordinator unions and deduplicates.
+    fn step_base(&mut self) -> Result<()> {
+        let wh = self.wh;
+        let replicas = self.replica_ctx();
+        self.round_no += 1;
+        let round_no = self.round_no;
+        let before = wh.net.stats();
+        let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        let requests: Vec<(NodeId, Message)> = match replicas {
+            Some(_) => {
+                site_parts = site_parts_from(&self.assignment);
+                site_parts
+                    .iter()
+                    .map(|(s, ps)| {
+                        (
+                            *s,
+                            Message::ComputeBase {
+                                parts: Some(ps.clone()),
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            None => (1..=wh.num_sites as NodeId)
+                .filter(|s| !self.dead.contains(s))
+                .map(|s| (s, Message::ComputeBase { parts: None }))
+                .collect(),
+        };
+        let mk_base = |ps: &[u32]| -> Result<Message> {
+            Ok(Message::ComputeBase {
+                parts: Some(ps.to_vec()),
+            })
+        };
+        let mut fo_round = replicas.map(|r| FailoverRound {
+            replicas: r,
+            assignment: &mut self.assignment,
+            site_parts,
+            mk_request: &mk_base,
+            events: &mut self.events,
+        });
+        let mut site_times = Vec::with_capacity(requests.len());
+        let mut rows_up = 0u64;
+        let mut combined: Option<Relation> = None;
+        let mut coord_s = 0.0;
+        let mut decode_s = 0.0;
+        self.epoch = wh.collect_round(
+            self.epoch,
+            round_no,
+            &self.plan.retry,
+            Some(&self.plan_msg),
+            requests,
+            &mut self.dead,
+            &mut self.metrics.site_attempts,
+            &mut decode_s,
+            fo_round.as_mut(),
+            &mut |_src, msg| {
+                let Message::BaseFragment { rel, compute_s } = msg else {
+                    return Err(SkallaError::exec("expected BaseFragment"));
+                };
+                let t = Instant::now();
+                site_times.push(compute_s);
+                rows_up += rel.len() as u64;
+                match &mut combined {
+                    None => combined = Some(rel),
+                    Some(acc) => acc.union_all(rel)?,
+                }
+                coord_s += t.elapsed().as_secs_f64();
+                Ok(())
+            },
+        )?;
+        drop(fo_round);
+        let t = Instant::now();
+        let b0 = combined
+            .ok_or_else(|| SkallaError::exec("no base fragments received"))?
+            .distinct();
+        coord_s += t.elapsed().as_secs_f64();
+        let groups = b0.len();
+        let mut rm = wh.round_metrics_from(
+            "base",
+            &before,
+            &site_times,
+            coord_s + decode_s,
+            groups,
+            0,
+            rows_up,
+        );
+        rm.sync_decode_s = decode_s;
+        self.metrics.rounds.push(rm);
+        self.current = Some(b0);
+        self.write_checkpoint(1)
+    }
+
+    /// One evaluation segment: ship (filtered) bases, collect
+    /// sub-aggregate fragments, synchronize, checkpoint.
+    fn step_segment(&mut self, seg_idx: usize) -> Result<()> {
+        let wh = self.wh;
+        let plan = &self.plan;
+        let expr = &plan.expr;
+        let default_schema = wh.table_schema(&expr.detail_name)?;
+        let replicas = if self.use_replicas {
+            wh.replicas.as_ref()
+        } else {
+            None
+        };
+        let current = self.current.as_ref();
+        let seg = self.segments[seg_idx].clone();
+        let (start, end, label) = match seg {
+            Segment::Standard { op } => (op, op, format!("round {}", op + 1)),
+            Segment::LocalRun { start, end } => {
+                (start, end, format!("local-run {}-{}", start + 1, end + 1))
+            }
+        };
+        let local_base = start == 0 && matches!(plan.base_round, BaseRound::LocalOnly);
+        let is_local_run = matches!(seg, Segment::LocalRun { .. });
+
+        // Flattened aggregates + output fields + declared state types
+        // for the segment.
+        let mut specs: Vec<AggSpec> = Vec::new();
+        let mut output_fields: Vec<Field> = Vec::new();
+        let mut state_types: Vec<DataType> = Vec::new();
+        for k in start..=end {
+            let schema_k = wh.table_schema(expr.detail_for_op(k))?;
+            for a in expr.ops[k].all_aggs() {
+                state_types.extend(a.state_fields(&schema_k)?.into_iter().map(|f| f.dtype));
+            }
+            specs.extend(expr.ops[k].all_aggs().cloned());
+            output_fields.extend(expr.ops[k].output_fields(&schema_k)?);
+        }
+
+        let before = wh.net.stats();
+        let t_coord = Instant::now();
+
+        let mut x = if plan.coord_parallelism > 1 {
+            let (base_schema, seed) = if local_base {
+                (Arc::new(expr.base_schema(&default_schema)?), None)
+            } else {
+                let base =
+                    current.ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
+                (base.schema().clone(), Some(base))
+            };
+            Syncer::Sharded(ShardedSync::new(
+                SyncSpec {
+                    base_schema,
+                    key_cols: expr.key.clone(),
+                    specs,
+                    state_types,
+                    output: SyncOutput::Finalized(output_fields),
+                    allow_new: local_base,
+                },
+                seed,
+                SyncOptions::for_workers(plan.coord_parallelism),
+            )?)
+        } else if local_base {
+            let b0_schema = Arc::new(expr.base_schema(&default_schema)?);
+            Syncer::Serial(BaseResult::empty(
+                b0_schema,
+                &expr.key,
+                specs,
+                output_fields,
+            ))
+        } else {
+            let base = current.ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
+            Syncer::Serial(BaseResult::from_base(
+                base,
+                &expr.key,
+                specs,
+                output_fields,
+            )?)
+        };
+
+        // Ship requests. For a multi-operator local run, a group must
+        // reach site i if it could contribute to ANY operator in the
+        // run, so per-site filters are the OR across the run's rounds —
+        // and filtering is only possible when every round has filters.
+        let filters: Option<Vec<Expr>> = if start == end {
+            plan.rounds[start].coord_filters.clone()
+        } else {
+            let per_round: Option<Vec<&Vec<Expr>>> = plan.rounds[start..=end]
+                .iter()
+                .map(|r| r.coord_filters.as_ref())
+                .collect();
+            per_round.map(|rounds_filters| {
+                (0..wh.num_sites)
+                    .map(|i| {
+                        skalla_expr::simplify(&Expr::disjunction(
+                            rounds_filters.iter().map(|fs| fs[i].clone()),
+                        ))
+                    })
+                    .collect()
+            })
+        };
+        let filters = filters.as_ref();
+        let mk_seg = |ps: &[u32]| -> Result<Message> {
+            let base_for_site: Option<Relation> = if local_base {
+                None
+            } else {
+                let base =
+                    current.ok_or_else(|| SkallaError::exec("segment has no base relation"))?;
+                let frag = match filters {
+                    Some(fs) => {
+                        // Partition p's group filter is its primary
+                        // site's (1:1 placement); a multi-partition
+                        // request ships the union of its parts' groups.
+                        let f = skalla_expr::simplify(&Expr::disjunction(
+                            ps.iter().map(|&p| fs[p as usize].clone()),
+                        ));
+                        filter_base(base, &f)?
+                    }
+                    None => base.clone(),
+                };
+                Some(frag)
+            };
+            Ok(if is_local_run || local_base {
+                Message::LocalRun {
+                    start: start as u32,
+                    end: end as u32,
+                    base: base_for_site,
+                    parts: Some(ps.to_vec()),
+                }
+            } else {
+                Message::Round {
+                    op_idx: start as u32,
+                    base: base_for_site.expect("standard round ships a base"),
+                    parts: Some(ps.to_vec()),
+                }
+            })
+        };
+        let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(wh.num_sites);
+        let mut rows_down = 0u64;
+        let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        if replicas.is_some() {
+            // Failover rounds address partitions explicitly; the
+            // empty-fragment skip below is disabled so every partition
+            // is requested somewhere and coverage stays exact.
+            site_parts = site_parts_from(&self.assignment);
+            for (site, ps) in &site_parts {
+                let msg = mk_seg(ps)?;
+                rows_down += match &msg {
+                    Message::LocalRun { base, .. } => base.as_ref().map_or(0, |b| b.len() as u64),
+                    Message::Round { base, .. } => base.len() as u64,
+                    _ => 0,
+                };
+                requests.push((*site, msg));
+            }
+        } else {
+            for site in 1..=wh.num_sites as NodeId {
+                if self.dead.contains(&site) {
+                    continue;
+                }
+                let base_for_site: Option<Relation> = if local_base {
+                    None
+                } else {
+                    let base = current.expect("checked above");
+                    let frag = match filters {
+                        Some(fs) => filter_base(base, &fs[site as usize - 1])?,
+                        None => base.clone(),
+                    };
+                    if frag.is_empty() && filters.is_some() {
+                        // This site cannot contribute to any group.
+                        continue;
+                    }
+                    Some(frag)
+                };
+                rows_down += base_for_site.as_ref().map_or(0, |b| b.len() as u64);
+                let msg = if is_local_run || local_base {
+                    Message::LocalRun {
+                        start: start as u32,
+                        end: end as u32,
+                        base: base_for_site,
+                        parts: None,
+                    }
+                } else {
+                    Message::Round {
+                        op_idx: start as u32,
+                        base: base_for_site.expect("standard round ships a base"),
+                        parts: None,
+                    }
+                };
+                requests.push((site, msg));
+            }
+        }
+        let coord_prep_s = t_coord.elapsed().as_secs_f64();
+        let mut fo_round = replicas.map(|r| FailoverRound {
+            replicas: r,
+            assignment: &mut self.assignment,
+            site_parts,
+            mk_request: &mk_seg,
+            events: &mut self.events,
+        });
+
+        // Collect and synchronize. Fragments merge as they arrive —
+        // with row blocking, chunks from fast sites are folded into X
+        // while slower sites are still computing (paper §3.2). The
+        // collector deduplicates chunks by sequence number, so the
+        // non-idempotent merge is safe under retries and duplication.
+        self.round_no += 1;
+        let round_no = self.round_no;
+        let mut coord_sync_s = 0.0;
+        let mut decode_s = 0.0;
+        let mut site_times = Vec::with_capacity(requests.len());
+        let mut rows_up = 0u64;
+        let mut blocks_compiled = 0u64;
+        let mut blocks_interpreted = 0u64;
+        self.epoch = wh.collect_round(
+            self.epoch,
+            round_no,
+            &plan.retry,
+            Some(&self.plan_msg),
+            requests,
+            &mut self.dead,
+            &mut self.metrics.site_attempts,
+            &mut decode_s,
+            fo_round.as_mut(),
+            &mut |src, msg| {
+                let (h, compute_s, bc, bi, last) = match msg {
+                    Message::RoundResult {
+                        h,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        ..
+                    } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
+                    Message::LocalRunResult {
+                        ship,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        ..
+                    } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
+                    other => {
+                        return Err(SkallaError::exec(format!(
+                            "site {src}: expected round result, got {other:?}"
+                        )))
+                    }
+                };
+                blocks_compiled += u64::from(bc);
+                blocks_interpreted += u64::from(bi);
+                let t = Instant::now();
+                rows_up += h.len() as u64;
+                match &mut x {
+                    // Serial: the closure time IS the merge time.
+                    Syncer::Serial(b) => b.merge_fragment(&h, local_base)?,
+                    // Sharded: the closure time is the router
+                    // (validate + partition); merging happens on the
+                    // worker pool, overlapped with receive.
+                    Syncer::Sharded(s) => s.merge_chunk(h)?,
+                }
+                if last {
+                    site_times.push(compute_s);
+                }
+                coord_sync_s += t.elapsed().as_secs_f64();
+                Ok(())
+            },
+        )?;
+        drop(fo_round);
+        let t_final = Instant::now();
+        let (finalized, merge_s, finalize_s, workers, shards, utilization, sync_tail_s) = match x {
+            Syncer::Serial(b) => {
+                let rel = b.finalize()?;
+                let fin_s = t_final.elapsed().as_secs_f64();
+                (rel, coord_sync_s, fin_s, 1, 1, 0.0, coord_sync_s + fin_s)
+            }
+            Syncer::Sharded(s) => {
+                let (rel, stats) = s.finish()?;
+                (
+                    rel,
+                    stats.merge_busy_s,
+                    stats.finalize_s,
+                    stats.workers,
+                    stats.shards,
+                    stats.utilization(),
+                    // The serialized (non-overlapped) coordinator
+                    // cost: routing plus the drain after the last
+                    // chunk.
+                    coord_sync_s + stats.drain_s,
+                )
+            }
+        };
+        let groups = finalized.len();
+        let mut rm = wh.round_metrics_from(
+            label,
+            &before,
+            &site_times,
+            coord_prep_s + decode_s + sync_tail_s,
+            groups,
+            rows_down,
+            rows_up,
+        );
+        rm.blocks_compiled = blocks_compiled;
+        rm.blocks_interpreted = blocks_interpreted;
+        rm.sync_decode_s = decode_s;
+        rm.sync_merge_s = merge_s;
+        rm.sync_finalize_s = finalize_s;
+        rm.sync_workers = workers;
+        rm.sync_shards = shards;
+        rm.sync_utilization = utilization;
+        self.metrics.rounds.push(rm);
+        self.current = Some(finalized);
+        self.write_checkpoint(self.base_syncs + seg_idx as u32 + 1)
+    }
+
+    /// Append the current synchronized state to the WAL (when one is
+    /// attached), under this run's epoch.
+    fn write_checkpoint(&mut self, synced: u32) -> Result<()> {
+        let (Some(w), Some(fp)) = (self.wal, self.fp) else {
+            return Ok(());
+        };
+        let state = self
+            .current
+            .as_ref()
+            .expect("checkpoint follows a synchronization");
+        let t = Instant::now();
+        w.append(&CheckpointRecord {
+            fingerprint: fp,
+            epoch: self.epoch,
+            synced,
+            state: state.clone(),
+        })?;
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_s += t.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Fold the failover ledger and coverage into the metrics.
+    fn finish_metrics(&mut self) {
+        self.metrics.wall_s = self.wall_start.elapsed().as_secs_f64();
+        self.metrics.failovers = self.events.failovers;
+        self.metrics.parts_reassigned = self.events.parts_reassigned;
+        self.metrics.parts_lost = self.events.parts_lost;
+        self.metrics.failover_s = self.events.failover_s;
+        self.metrics.coverage = Some(match self.replica_ctx() {
+            // Under failover, coverage counts partitions: a dead site's
+            // partitions stay in the answer as long as a replica survives.
+            Some(r) => {
+                let lost = self.assignment.iter().filter(|a| a.is_none()).count();
+                Coverage {
+                    responded: r.num_parts() - lost,
+                    total: r.num_parts(),
+                }
+            }
+            None => Coverage {
+                responded: self.wh.num_sites - self.dead.len(),
+                total: self.wh.num_sites,
+            },
+        });
+    }
+
+    /// Consume the finished run, yielding the result relation and the
+    /// cost breakdown. Errors if the plan produced no result (or the run
+    /// was not stepped to completion).
+    pub fn into_result(self) -> Result<(Relation, ExecMetrics)> {
+        if !self.done {
+            return Err(SkallaError::exec("query run was not stepped to completion"));
+        }
+        let result = self
+            .current
+            .ok_or_else(|| SkallaError::exec("plan produced no result"))?;
+        Ok((result, self.metrics))
     }
 }
 

@@ -1,0 +1,123 @@
+//! Length-prefixed framing for real byte streams (TCP).
+//!
+//! The simulated fabric of [`crate::sim`] delivers whole messages, so the
+//! wire format of [`crate::wire`] never needed framing. A TCP stream does:
+//! the serving layer writes each request/response as a 4-byte
+//! little-endian length followed by the payload bytes. The payload itself
+//! is whatever the caller encoded — typically a [`crate::WireEncode`]
+//! body with a leading tag byte.
+//!
+//! Properties:
+//!
+//! * A clean EOF *between* frames reads as `Ok(None)` — the peer hung up,
+//!   which is how sessions end.
+//! * An EOF *inside* a frame (truncated header or payload) is an error —
+//!   the stream died mid-message.
+//! * Lengths above [`MAX_FRAME`] are rejected before any allocation, so a
+//!   corrupt or malicious length prefix cannot OOM the server.
+
+use std::io::{ErrorKind, Read, Write};
+
+use skalla_types::{Result, SkallaError};
+
+/// Upper bound on a single frame's payload (256 MiB) — far above any
+/// legitimate plan or result relation, low enough to bound allocation.
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// Write one length-prefixed frame and flush it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(SkallaError::net(format!(
+            "frame of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME
+        )));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| SkallaError::net(format!("frame write failed: {e}")))
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on a clean EOF before the
+/// first header byte; an error on a truncated frame or an oversized
+/// length.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None), // clean EOF between frames
+            Ok(0) => {
+                return Err(SkallaError::net("connection closed mid-frame header"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SkallaError::net(format!("frame read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(SkallaError::net(format!(
+            "frame length {len} exceeds the {MAX_FRAME} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| SkallaError::net(format!("connection closed mid-frame payload: {e}")))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut c).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let mut c = Cursor::new(vec![5u8, 0]);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn interleaved_reader_state_is_per_call() {
+        // Two frames written by different calls read back independently.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"a").unwrap();
+        write_frame(&mut buf, b"bb").unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"a");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"bb");
+    }
+}

@@ -22,13 +22,17 @@
 //! * [`cost`] — [`CostModel`]: latency + bandwidth model converting byte
 //!   counts into modeled transfer seconds, used to report response-time
 //!   *shapes* independently of the host machine.
+//! * [`frame`] — length-prefixed framing for *real* byte streams (TCP),
+//!   used by the serving layer's client/server protocol.
 
 pub mod cost;
 pub mod fault;
+pub mod frame;
 pub mod sim;
 pub mod wire;
 
 pub use cost::{CostModel, LinkStats, TransferStats};
 pub use fault::{CrashSpec, FaultPlan};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use sim::{Endpoint, Envelope, NodeId, SimNetwork};
 pub use wire::{WireDecode, WireEncode, WireReader};

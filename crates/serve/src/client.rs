@@ -1,0 +1,130 @@
+//! A small blocking client for the serving protocol.
+//!
+//! One [`ServeClient`] is one session: a TCP connection plus the
+//! `Hello`/`Welcome` handshake. Requests are strictly request/response,
+//! so the client is a thin frame-and-decode wrapper; the interesting
+//! part is [`ServeClient::query_with_retry`], which turns the server's
+//! `Busy` backpressure into bounded exponential backoff — the behavior
+//! a well-mannered dashboard should have.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+use skalla_core::DistPlan;
+use skalla_net::{read_frame, write_frame, WireDecode, WireEncode};
+use skalla_types::{Result, SkallaError};
+
+use crate::protocol::{QueryReply, Request, Response, ServeStats, PROTOCOL_VERSION};
+
+/// What a single (non-retrying) query submission produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// The query ran (or was served from cache); here is its result.
+    Done(QueryReply),
+    /// The admission queue was full; retry after a backoff.
+    Busy,
+}
+
+/// A connected session with a serving endpoint.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect and perform the `Hello`/`Welcome` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| SkallaError::net(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = ServeClient { stream };
+        match client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Welcome { .. } => Ok(client),
+            Response::Error { message } => Err(SkallaError::net(message)),
+            other => Err(SkallaError::net(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit query text once. `Busy` is returned, not retried.
+    pub fn query(&mut self, text: &str) -> Result<QueryOutcome> {
+        let resp = self.call(&Request::Query {
+            text: text.to_string(),
+        })?;
+        Self::into_outcome(resp)
+    }
+
+    /// Submit a pre-compiled plan once, run by the server exactly as
+    /// encoded. `Busy` is returned, not retried.
+    pub fn query_plan(&mut self, plan: DistPlan) -> Result<QueryOutcome> {
+        let resp = self.call(&Request::Plan(Box::new(plan)))?;
+        Self::into_outcome(resp)
+    }
+
+    /// Submit query text, retrying `Busy` answers with exponential
+    /// backoff (1 ms, 2 ms, 4 ms, … capped at 64 ms) up to `attempts`
+    /// total submissions. Returns the number of `Busy` answers absorbed
+    /// alongside the reply.
+    pub fn query_with_retry(&mut self, text: &str, attempts: u32) -> Result<(QueryReply, u32)> {
+        let mut busy = 0u32;
+        loop {
+            match self.query(text)? {
+                QueryOutcome::Done(reply) => return Ok((reply, busy)),
+                QueryOutcome::Busy => {
+                    busy += 1;
+                    if busy >= attempts {
+                        return Err(SkallaError::exec(format!(
+                            "server still busy after {attempts} attempts"
+                        )));
+                    }
+                    let backoff = 1u64 << busy.min(6);
+                    thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+
+    /// Fetch server-wide scheduler and cache counters.
+    pub fn stats(&mut self) -> Result<ServeStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(SkallaError::net(message)),
+            other => Err(SkallaError::net(format!(
+                "unexpected stats response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop every cached result on the server (catalog change).
+    pub fn invalidate(&mut self) -> Result<()> {
+        match self.call(&Request::Invalidate)? {
+            Response::Invalidated => Ok(()),
+            Response::Error { message } => Err(SkallaError::net(message)),
+            other => Err(SkallaError::net(format!(
+                "unexpected invalidate response: {other:?}"
+            ))),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.to_wire())?;
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Response::from_wire(&frame),
+            None => Err(SkallaError::net("server closed the connection")),
+        }
+    }
+
+    fn into_outcome(resp: Response) -> Result<QueryOutcome> {
+        match resp {
+            Response::Rows(reply) => Ok(QueryOutcome::Done(reply)),
+            Response::Busy => Ok(QueryOutcome::Busy),
+            Response::Error { message } => Err(SkallaError::exec(message)),
+            other => Err(SkallaError::net(format!(
+                "unexpected query response: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # skalla-serve
+//!
+//! The multi-client serving layer: a TCP endpoint in front of the
+//! distributed warehouse, turning the single-query engine of
+//! `skalla-core` into something many dashboards can share.
+//!
+//! The paper's coordinator (§5) evaluates one GMDJ expression at a
+//! time; Theorem 1 — the synchronized base-result after round *k* *is*
+//! the entire query state — is what makes a serving layer cheap to add:
+//! queries are round-granular state machines ([`skalla_core::QueryRun`])
+//! that a single executor can interleave fairly, and a finished query's
+//! base-result is exactly the relation worth caching.
+//!
+//! * [`protocol`] — the framed request/response protocol: query text or
+//!   pre-compiled plans in, relations + cost summaries out, with
+//!   explicit `Busy` backpressure and a stats/invalidate control plane.
+//! * [`server`] — [`Server`]: accept loop, session threads, the shared
+//!   [`skalla_core::QueryScheduler`], and the TPCR engine builder.
+//! * [`client`] — [`ServeClient`]: a blocking client with
+//!   backoff-on-`Busy` retry, used by the CLI's client mode, the
+//!   serving bench, and the tests.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{QueryOutcome, ServeClient};
+pub use protocol::{QueryReply, Request, Response, ServeStats, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server};

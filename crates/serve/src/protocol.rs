@@ -1,0 +1,382 @@
+//! The client↔server protocol of the serving layer.
+//!
+//! Each request and response travels as one length-prefixed frame
+//! ([`skalla_net::frame`]); the payload is a tag byte followed by a
+//! [`WireEncode`] body, reusing the same compact wire format the
+//! coordinator↔site protocol uses. A [`crate::protocol::Request::Plan`]
+//! carries a full [`DistPlan`] encoded exactly as the coordinator would
+//! ship it to a site (`Message::Plan` wire body), so a client can submit
+//! either query *text* (planned server-side, cost-based) or a
+//! pre-compiled *plan* (run verbatim).
+
+use bytes::{BufMut, BytesMut};
+
+use skalla_core::message::Message;
+use skalla_core::{CacheStats, DistPlan, SchedStats};
+use skalla_net::wire::{put_str, put_varint};
+use skalla_net::{WireDecode, WireEncode, WireReader};
+use skalla_types::{Relation, Result, SkallaError};
+
+/// Protocol revision. A `Hello` with any other version is refused, so
+/// incompatible clients fail loudly at connect time rather than
+/// misdecoding frames later.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request. The first request on a connection should be
+/// [`Request::Hello`]; everything after is a free-form sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session, declaring the client's protocol version.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Submit query text; the server parses and cost-plans it.
+    Query {
+        /// The GMDJ query text (`BASE … FROM …; MD …;`).
+        text: String,
+    },
+    /// Submit a pre-compiled distributed plan, run exactly as encoded
+    /// (retry policy and parallelism included).
+    Plan(Box<DistPlan>),
+    /// Ask for server-wide scheduler and cache counters.
+    Stats,
+    /// Drop every cached result (call after any catalog change).
+    Invalidate,
+}
+
+/// A server response; one per request, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session accepted.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Number of warehouse sites behind the coordinator.
+        sites: usize,
+    },
+    /// The query finished; here is its result.
+    Rows(QueryReply),
+    /// The admission queue is full — retry after a backoff.
+    Busy,
+    /// The request failed (parse error, plan error, execution error, or
+    /// protocol violation).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Counters, answering [`Request::Stats`].
+    Stats(ServeStats),
+    /// The result cache was cleared, answering [`Request::Invalidate`].
+    Invalidated,
+}
+
+/// A finished query's result and how it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The final result relation.
+    pub rows: Relation,
+    /// The coordinator's one-line cost summary for this execution.
+    pub summary: String,
+    /// Whether the result came from the plan-fingerprint cache.
+    pub cache_hit: bool,
+    /// Wall-clock seconds the query spent in the executor (zero for
+    /// cache hits).
+    pub wall_s: f64,
+}
+
+/// Server-wide counters: session/query totals plus the scheduler's
+/// admission counters and the result cache's hit/miss breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Connections accepted since the server started.
+    pub sessions: u64,
+    /// Query requests received (text and plan forms).
+    pub queries: u64,
+    /// Admission and completion counters from the scheduler.
+    pub sched: SchedStats,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl WireEncode for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Hello { version } => {
+                buf.put_u8(0);
+                version.encode(buf);
+            }
+            Request::Query { text } => {
+                buf.put_u8(1);
+                put_str(buf, text);
+            }
+            Request::Plan(plan) => {
+                buf.put_u8(2);
+                let body = Message::Plan((**plan).clone()).to_wire();
+                put_varint(buf, body.len() as u64);
+                buf.put_slice(&body);
+            }
+            Request::Stats => buf.put_u8(3),
+            Request::Invalidate => buf.put_u8(4),
+        }
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(r: &mut WireReader<'_>) -> Result<Request> {
+        Ok(match r.u8()? {
+            0 => Request::Hello {
+                version: u32::decode(r)?,
+            },
+            1 => Request::Query { text: r.string()? },
+            2 => {
+                let body = r.bytes()?;
+                match Message::from_wire(body)? {
+                    Message::Plan(p) => Request::Plan(Box::new(p)),
+                    other => {
+                        return Err(SkallaError::net(format!(
+                            "plan request carried a non-plan message: {other:?}"
+                        )))
+                    }
+                }
+            }
+            3 => Request::Stats,
+            4 => Request::Invalidate,
+            tag => return Err(SkallaError::net(format!("unknown request tag {tag}"))),
+        })
+    }
+}
+
+impl WireEncode for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Welcome { version, sites } => {
+                buf.put_u8(0);
+                version.encode(buf);
+                sites.encode(buf);
+            }
+            Response::Rows(reply) => {
+                buf.put_u8(1);
+                reply.encode(buf);
+            }
+            Response::Busy => buf.put_u8(2),
+            Response::Error { message } => {
+                buf.put_u8(3);
+                put_str(buf, message);
+            }
+            Response::Stats(stats) => {
+                buf.put_u8(4);
+                stats.encode(buf);
+            }
+            Response::Invalidated => buf.put_u8(5),
+        }
+    }
+}
+
+impl WireDecode for Response {
+    fn decode(r: &mut WireReader<'_>) -> Result<Response> {
+        Ok(match r.u8()? {
+            0 => Response::Welcome {
+                version: u32::decode(r)?,
+                sites: usize::decode(r)?,
+            },
+            1 => Response::Rows(QueryReply::decode(r)?),
+            2 => Response::Busy,
+            3 => Response::Error {
+                message: r.string()?,
+            },
+            4 => Response::Stats(ServeStats::decode(r)?),
+            5 => Response::Invalidated,
+            tag => return Err(SkallaError::net(format!("unknown response tag {tag}"))),
+        })
+    }
+}
+
+impl WireEncode for QueryReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cache_hit.encode(buf);
+        buf.put_slice(&self.wall_s.to_le_bytes());
+        put_str(buf, &self.summary);
+        self.rows.encode(buf);
+    }
+}
+
+impl WireDecode for QueryReply {
+    fn decode(r: &mut WireReader<'_>) -> Result<QueryReply> {
+        Ok(QueryReply {
+            cache_hit: bool::decode(r)?,
+            wall_s: r.f64()?,
+            summary: r.string()?,
+            rows: Relation::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for ServeStats {
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in [
+            self.sessions,
+            self.queries,
+            self.sched.submitted,
+            self.sched.rejected,
+            self.sched.completed,
+            self.sched.failed,
+            self.sched.queue_depth as u64,
+            self.sched.in_flight as u64,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.rejected_partial,
+            self.cache.evictions,
+            self.cache.collisions,
+            self.cache.invalidations,
+            self.cache.entries as u64,
+        ] {
+            put_varint(buf, v);
+        }
+    }
+}
+
+impl WireDecode for ServeStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<ServeStats> {
+        Ok(ServeStats {
+            sessions: r.varint()?,
+            queries: r.varint()?,
+            sched: SchedStats {
+                submitted: r.varint()?,
+                rejected: r.varint()?,
+                completed: r.varint()?,
+                failed: r.varint()?,
+                queue_depth: r.varint()? as usize,
+                in_flight: r.varint()? as usize,
+            },
+            cache: CacheStats {
+                hits: r.varint()?,
+                misses: r.varint()?,
+                insertions: r.varint()?,
+                rejected_partial: r.varint()?,
+                evictions: r.varint()?,
+                collisions: r.varint()?,
+                invalidations: r.varint()?,
+                entries: r.varint()? as usize,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_core::OptFlags;
+    use skalla_expr::Expr;
+    use skalla_gmdj::{AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
+    use skalla_types::{DataType, Schema, Value};
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::from_wire(&req.to_wire()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
+    }
+
+    fn sample_plan() -> DistPlan {
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::count_star("c")],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        DistPlan::unoptimized(
+            GmdjExpr::new(
+                BaseSpec::DistinctProject { cols: vec![0] },
+                "flow",
+                vec![op],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn sample_rel() -> Relation {
+        Relation::new(
+            Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Utf8)])
+                .unwrap()
+                .into_arc(),
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(2), Value::str("b")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip_req(Request::Query {
+            text: "BASE DISTINCT x FROM t; MD COUNT(*) AS c WHERE b.x = r.x;".into(),
+        });
+        roundtrip_req(Request::Plan(Box::new(sample_plan())));
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Invalidate);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Welcome {
+            version: PROTOCOL_VERSION,
+            sites: 8,
+        });
+        roundtrip_resp(Response::Rows(QueryReply {
+            rows: sample_rel(),
+            summary: "4 rounds | …".into(),
+            cache_hit: true,
+            wall_s: 0.125,
+        }));
+        roundtrip_resp(Response::Busy);
+        roundtrip_resp(Response::Error {
+            message: "no such table".into(),
+        });
+        roundtrip_resp(Response::Stats(ServeStats {
+            sessions: 3,
+            queries: 17,
+            sched: SchedStats {
+                submitted: 17,
+                rejected: 2,
+                completed: 14,
+                failed: 1,
+                queue_depth: 64,
+                in_flight: 2,
+            },
+            cache: CacheStats {
+                hits: 5,
+                misses: 12,
+                insertions: 11,
+                rejected_partial: 1,
+                evictions: 0,
+                collisions: 0,
+                invalidations: 1,
+                entries: 9,
+            },
+        }));
+        roundtrip_resp(Response::Invalidated);
+    }
+
+    #[test]
+    fn plan_request_preserves_optimizer_flags() {
+        let mut plan = sample_plan();
+        plan.flags = OptFlags::all();
+        let wire = Request::Plan(Box::new(plan.clone())).to_wire();
+        match Request::from_wire(&wire).unwrap() {
+            Request::Plan(back) => assert_eq!(*back, plan),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_tag_is_rejected() {
+        assert!(Request::from_wire(&[200]).is_err());
+        assert!(Response::from_wire(&[200]).is_err());
+    }
+}

@@ -1,0 +1,466 @@
+//! The serving endpoint: a TCP listener multiplexing many client
+//! sessions over one shared warehouse.
+//!
+//! Threading model (no async runtime — plain OS threads, like the site
+//! engines themselves):
+//!
+//! * one *accept* thread hands each connection to a *session* thread;
+//! * session threads parse/plan requests and submit plans to the shared
+//!   [`QueryScheduler`], blocking on their ticket while the scheduler's
+//!   single executor interleaves rounds from every admitted query;
+//! * backpressure is end-to-end: when the admission queue is full the
+//!   session immediately answers [`Response::Busy`] and the client
+//!   retries with backoff.
+//!
+//! The warehouse is the TPCR generator's denormalized fact table,
+//! nation-partitioned across sites — the same engine the CLI's `\load`
+//! builds, so results are comparable across the shell, the benches, and
+//! the server.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use skalla_core::{
+    Admission, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, QueryScheduler,
+    RetryPolicy, SchedConfig,
+};
+use skalla_net::{read_frame, write_frame, CostModel, FaultPlan, WireDecode, WireEncode};
+use skalla_planner::{choose_plan, parse_query, DistributionInfo};
+use skalla_storage::{Catalog, TableStats};
+use skalla_tpcr::{
+    generate, partition_by_nation, TpcrConfig, CITYNAME_COL, CUSTKEY_COL, CUSTNAME_COL,
+    NATIONKEY_COL,
+};
+use skalla_types::{Relation, Result, Schema, SkallaError};
+
+use crate::protocol::{QueryReply, Request, Response, ServeStats, PROTOCOL_VERSION};
+
+/// Everything needed to start a server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` to let the OS pick (see
+    /// [`Server::local_addr`]).
+    pub listen: String,
+    /// TPCR scale factor for the generated warehouse.
+    pub scale: f64,
+    /// Number of warehouse sites.
+    pub sites: usize,
+    /// Partition replication factor (ring); `1` disables replication.
+    pub replication: usize,
+    /// Fault injection for the simulated fabric under the engine.
+    pub faults: FaultPlan,
+    /// Retry/deadline budget applied to every planned query.
+    pub retry: RetryPolicy,
+    /// Coordinator behavior once retries are exhausted.
+    pub degraded: DegradedMode,
+    /// Coordinator synchronization workers per query.
+    pub coord_workers: usize,
+    /// Admission queue bound; submissions beyond it answer `Busy`.
+    pub queue_depth: usize,
+    /// How many admitted queries the executor interleaves round-robin.
+    pub max_interleave: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_entries: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            scale: 0.05,
+            sites: 4,
+            replication: 1,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            degraded: DegradedMode::Fail,
+            coord_workers: 1,
+            queue_depth: 64,
+            max_interleave: 4,
+            cache_entries: 128,
+        }
+    }
+}
+
+/// Server-side planning state: schema registry, distribution knowledge,
+/// and table statistics for the cost-based optimizer — the same inputs
+/// the CLI session keeps after `\load`.
+struct Planner {
+    schemas: HashMap<String, Arc<Schema>>,
+    dist: DistributionInfo,
+    stats: TableStats,
+    retry: RetryPolicy,
+    coord_workers: usize,
+}
+
+impl Planner {
+    /// Parse and cost-plan query text, then apply the server's retry
+    /// policy and coordinator parallelism.
+    fn plan(&self, text: &str) -> Result<DistPlan> {
+        let expr = parse_query(text, &self.schemas)?;
+        let (mut plan, _report, _) =
+            choose_plan(&expr, &self.dist, &self.stats, &CostModel::lan_2002())?;
+        plan.retry = self.retry.clone();
+        plan.coord_parallelism = self.coord_workers.max(1);
+        Ok(plan)
+    }
+}
+
+/// State shared by every session thread.
+struct SessionCtx {
+    scheduler: QueryScheduler,
+    planner: Planner,
+    sites: usize,
+    sessions: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl SessionCtx {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Hello { version } if version == PROTOCOL_VERSION => Response::Welcome {
+                version: PROTOCOL_VERSION,
+                sites: self.sites,
+            },
+            Request::Hello { version } => Response::Error {
+                message: format!(
+                    "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                ),
+            },
+            Request::Query { text } => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                match self.planner.plan(&text) {
+                    Ok(plan) => self.run(plan),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Plan(plan) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.run(*plan)
+            }
+            Request::Stats => Response::Stats(ServeStats {
+                sessions: self.sessions.load(Ordering::Relaxed),
+                queries: self.queries.load(Ordering::Relaxed),
+                sched: self.scheduler.stats(),
+                cache: self.scheduler.cache_stats(),
+            }),
+            Request::Invalidate => {
+                self.scheduler.invalidate_cache();
+                Response::Invalidated
+            }
+        }
+    }
+
+    /// Submit a plan without blocking on admission; a full queue is a
+    /// `Busy` answer, an admitted query blocks this session thread (not
+    /// the executor) until its rounds complete.
+    fn run(&self, plan: DistPlan) -> Response {
+        match self.scheduler.try_submit(plan) {
+            Ok(Admission::Admitted(ticket)) => match ticket.wait() {
+                Ok((rows, metrics)) => Response::Rows(reply_of(rows, &metrics)),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Ok(Admission::Busy) => Response::Busy,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+fn reply_of(rows: Relation, metrics: &ExecMetrics) -> QueryReply {
+    QueryReply {
+        rows,
+        summary: metrics.summary(),
+        cache_hit: metrics.cache_hits > 0,
+        wall_s: metrics.wall_s,
+    }
+}
+
+/// A running serving endpoint. Dropping it without calling
+/// [`Server::shutdown`] leaks the accept thread until process exit;
+/// call `shutdown` for an orderly stop.
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<SessionCtx>,
+    wh: Arc<DistributedWarehouse>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Generate the TPCR warehouse, launch the site engines and the
+    /// scheduler, bind the listener, and start accepting sessions.
+    pub fn start(cfg: ServeConfig) -> Result<Server> {
+        let (wh, planner) = build_engine(&cfg)?;
+        let wh = Arc::new(wh);
+        let scheduler = QueryScheduler::launch(
+            wh.clone(),
+            SchedConfig {
+                queue_depth: cfg.queue_depth,
+                max_interleave: cfg.max_interleave,
+                cache_capacity: cfg.cache_entries,
+            },
+        );
+        let listener = TcpListener::bind(&cfg.listen)
+            .map_err(|e| SkallaError::net(format!("bind {} failed: {e}", cfg.listen)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SkallaError::net(format!("local_addr failed: {e}")))?;
+
+        let ctx = Arc::new(SessionCtx {
+            scheduler,
+            planner,
+            sites: cfg.sites,
+            sessions: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let (ctx, stop, conns, workers) =
+                (ctx.clone(), stop.clone(), conns.clone(), workers.clone());
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let _ = stream.set_nodelay(true);
+                        ctx.sessions.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            conns.lock().expect("conn registry poisoned").push(clone);
+                        }
+                        let ctx = ctx.clone();
+                        let handle = thread::Builder::new()
+                            .name("serve-session".into())
+                            .spawn(move || serve_session(stream, &ctx))
+                            .expect("spawn session thread");
+                        workers
+                            .lock()
+                            .expect("worker registry poisoned")
+                            .push(handle);
+                    }
+                })
+                .map_err(|e| SkallaError::net(format!("spawn accept thread: {e}")))?
+        };
+
+        Ok(Server {
+            addr,
+            ctx,
+            wh,
+            stop,
+            conns,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address — the actual port when the config asked for `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-wide counters without going through a connection.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            sessions: self.ctx.sessions.load(Ordering::Relaxed),
+            queries: self.ctx.queries.load(Ordering::Relaxed),
+            sched: self.ctx.scheduler.stats(),
+            cache: self.ctx.scheduler.cache_stats(),
+        }
+    }
+
+    /// Orderly stop: close the listener and every live connection, join
+    /// the session threads, drain the scheduler, and shut the site
+    /// engines down.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for conn in self.conns.lock().expect("conn registry poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for h in self
+            .workers
+            .lock()
+            .expect("worker registry poisoned")
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let Server { ctx, wh, .. } = self;
+        let ctx = Arc::try_unwrap(ctx)
+            .map_err(|_| SkallaError::exec("session threads still hold the server context"))?;
+        ctx.scheduler.shutdown()?;
+        drop(ctx);
+        match Arc::try_unwrap(wh) {
+            Ok(wh) => wh.shutdown(),
+            Err(_) => Err(SkallaError::exec(
+                "warehouse still referenced after scheduler shutdown",
+            )),
+        }
+    }
+}
+
+/// One session: read a frame, handle it, write the response, repeat
+/// until the peer hangs up or the stream dies.
+fn serve_session(mut stream: TcpStream, ctx: &SessionCtx) {
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let resp = match Request::from_wire(&frame) {
+            Ok(req) => ctx.handle(req),
+            Err(e) => Response::Error {
+                message: format!("malformed request: {e}"),
+            },
+        };
+        if write_frame(&mut stream, &resp.to_wire()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Build the TPCR engine exactly as the CLI's `\load` does: generate,
+/// nation-partition, collect statistics, derive distribution knowledge
+/// for the nationkey column family, and launch the sites.
+fn build_engine(cfg: &ServeConfig) -> Result<(DistributedWarehouse, Planner)> {
+    let table = generate(&TpcrConfig::scale(cfg.scale));
+    let parts = partition_by_nation(&table, cfg.sites)?;
+    let stats = TableStats::collect(&table);
+    let constraints =
+        parts.site_constraints_for(&[NATIONKEY_COL, CUSTKEY_COL, CUSTNAME_COL, CITYNAME_COL]);
+    let dist =
+        DistributionInfo::with_constraints(cfg.sites, Some(NATIONKEY_COL), true, constraints)?
+            .with_replication(cfg.replication);
+    let schemas = HashMap::from([("tpcr".to_string(), table.schema().clone())]);
+    let wh = if cfg.replication > 1 {
+        DistributedWarehouse::launch_replicated(
+            "tpcr",
+            &parts,
+            cfg.replication,
+            CostModel::lan_2002(),
+            cfg.faults.clone(),
+        )?
+    } else {
+        let catalogs: Vec<Catalog> = parts
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = Catalog::new();
+                c.register("tpcr", p.clone());
+                c
+            })
+            .collect();
+        DistributedWarehouse::launch_with_faults(
+            catalogs,
+            CostModel::lan_2002(),
+            cfg.faults.clone(),
+        )?
+    };
+    let mut retry = cfg.retry.clone();
+    retry.degraded = cfg.degraded;
+    Ok((
+        wh,
+        Planner {
+            schemas,
+            dist,
+            stats,
+            retry,
+            coord_workers: cfg.coord_workers,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{QueryOutcome, ServeClient};
+
+    fn tiny_server() -> Server {
+        Server::start(ServeConfig {
+            scale: 0.02,
+            sites: 3,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    const Q: &str = "BASE DISTINCT nationname FROM tpcr;
+                     MD COUNT(*) AS orders, SUM(extendedprice) AS rev
+                        WHERE b.nationname = r.nationname;";
+
+    #[test]
+    fn end_to_end_query_and_cache_hit() {
+        let server = tiny_server();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+        let first = match client.query(Q).unwrap() {
+            QueryOutcome::Done(r) => r,
+            QueryOutcome::Busy => panic!("empty server reported busy"),
+        };
+        assert!(!first.cache_hit);
+        assert!(!first.rows.is_empty(), "TPCR has nations");
+
+        let second = match client.query(Q).unwrap() {
+            QueryOutcome::Done(r) => r,
+            QueryOutcome::Busy => panic!("empty server reported busy"),
+        };
+        assert!(second.cache_hit, "identical query must hit the cache");
+        assert_eq!(second.rows.sorted(), first.rows.sorted());
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache.hits, 1);
+
+        client.invalidate().unwrap();
+        let third = match client.query(Q).unwrap() {
+            QueryOutcome::Done(r) => r,
+            QueryOutcome::Busy => panic!("empty server reported busy"),
+        };
+        assert!(!third.cache_hit, "invalidation must force re-execution");
+        assert_eq!(third.rows.sorted(), first.rows.sorted());
+
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let server = tiny_server();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let err = client.query("THIS IS NOT A QUERY").unwrap_err();
+        assert!(!err.to_string().is_empty());
+        // The session survives the error.
+        assert!(matches!(client.query(Q).unwrap(), QueryOutcome::Done(_)));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let server = tiny_server();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let hello = Request::Hello { version: 999 }.to_wire();
+        write_frame(&mut stream, &hello).unwrap();
+        let frame = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::from_wire(&frame).unwrap(),
+            Response::Error { .. }
+        ));
+        drop(stream);
+        server.shutdown().unwrap();
+    }
+}

@@ -24,6 +24,8 @@
 //!   ([`skalla_planner`]).
 //! * [`tpcr`] — the TPC-R-style experiment data generator
 //!   ([`skalla_tpcr`]).
+//! * [`serve`] — the multi-client TCP serving layer: sessions, fair
+//!   scheduling, plan-fingerprint result cache ([`skalla_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -71,6 +73,7 @@ pub use skalla_expr as expr;
 pub use skalla_gmdj as gmdj;
 pub use skalla_net as net;
 pub use skalla_planner as planner;
+pub use skalla_serve as serve;
 pub use skalla_storage as storage;
 pub use skalla_tpcr as tpcr;
 pub use skalla_types as types;

@@ -1,0 +1,253 @@
+//! Serving-layer end-to-end: concurrent TCP clients, fair scheduler
+//! interleaving, and the result cache's correctness rules.
+//!
+//! The load-bearing claims, each checked bit-for-bit against a serial
+//! or centralized baseline:
+//!
+//! * many concurrent sessions multiplexed over one warehouse answer
+//!   every query exactly as a single serial session would;
+//! * round-robin interleaving of [`skalla::core::QueryRun`]s stays exact
+//!   even with fault injection (drops + retransmission) underneath;
+//! * a query that degraded to partial coverage is *never* cached — a
+//!   later identical query re-executes instead of replaying the gap.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use skalla::core::{QueryScheduler, SchedConfig};
+use skalla::prelude::*;
+use skalla::serve::{QueryOutcome, ServeClient, ServeConfig, Server};
+
+// ---------------------------------------------------------------- TCP path
+
+/// Distinct dashboard queries over the server's TPCR warehouse; each
+/// `k` is a different plan fingerprint and a different answer.
+fn tpcr_query(k: usize) -> String {
+    format!(
+        "BASE DISTINCT nationname FROM tpcr;
+         MD COUNT(*) AS orders, SUM(extendedprice) AS rev
+            WHERE b.nationname = r.nationname AND r.nationkey >= {k};"
+    )
+}
+
+#[test]
+fn tcp_clients_match_serial_baseline() {
+    const CLIENTS: usize = 8;
+    const POOL: usize = 6;
+
+    let server = Server::start(ServeConfig {
+        scale: 0.02,
+        sites: 3,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Serial baseline over one session, then clear the cache so the
+    // concurrent phase starts cold.
+    let baseline: Arc<Vec<Relation>> = {
+        let mut c = ServeClient::connect(addr).unwrap();
+        let rels = (0..POOL)
+            .map(|k| match c.query(&tpcr_query(k)).unwrap() {
+                QueryOutcome::Done(reply) => reply.rows.sorted(),
+                QueryOutcome::Busy => panic!("idle server answered Busy"),
+            })
+            .collect();
+        c.invalidate().unwrap();
+        Arc::new(rels)
+    };
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|cid| {
+            let baseline = baseline.clone();
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for i in 0..POOL {
+                    let k = (cid + i) % POOL;
+                    let (reply, _busy) = client.query_with_retry(&tpcr_query(k), 64).unwrap();
+                    assert_eq!(
+                        reply.rows.sorted(),
+                        baseline[k],
+                        "client {cid} got a different answer for query {k}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.sched.failed, 0);
+    assert_eq!(
+        stats.sched.completed,
+        (POOL + CLIENTS * POOL) as u64,
+        "baseline + storm queries must all complete"
+    );
+    assert!(
+        stats.cache.hits > 0,
+        "a repeated-query storm must hit the cache"
+    );
+    server.shutdown().unwrap();
+}
+
+// -------------------------------------------------------- scheduler path
+
+fn flow_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Int64)])
+        .unwrap()
+        .into_arc()
+}
+
+fn flow_table() -> Table {
+    let rows: Vec<Vec<Value>> = (0..420)
+        .map(|i| {
+            vec![
+                Value::Int((i % 7) as i64),
+                Value::Int((i * 13 % 997) as i64),
+            ]
+        })
+        .collect();
+    Table::from_rows(flow_schema(), &rows).unwrap()
+}
+
+/// Two synchronized rounds, with a per-query threshold so every `t`
+/// yields a distinct plan and answer.
+fn flow_query(t: usize) -> GmdjExpr {
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    parse_query(
+        &format!(
+            "BASE DISTINCT k FROM flow;
+             MD COUNT(*) AS c, SUM(v) AS s WHERE b.k = r.k AND r.v >= {t};
+             MD COUNT(*) AS hi WHERE b.k = r.k AND r.v >= b.s / b.c;"
+        ),
+        &schemas,
+    )
+    .unwrap()
+}
+
+fn flow_catalogs() -> Vec<Catalog> {
+    partition_by_hash(&flow_table(), 0, 4)
+        .unwrap()
+        .parts
+        .iter()
+        .map(|p| {
+            let mut c = Catalog::new();
+            c.register("flow", p.clone());
+            c
+        })
+        .collect()
+}
+
+fn centralized(t: usize) -> Relation {
+    let mut full = Catalog::new();
+    full.register("flow", flow_table());
+    eval_expr_centralized(&flow_query(t), &full)
+        .unwrap()
+        .sorted()
+}
+
+#[test]
+fn interleaved_scheduler_is_exact_under_drop_faults() {
+    // A lossy fabric: 15% of messages dropped, masked by retransmission.
+    // (Delay faults are excluded on purpose: a delayed duplicate from an
+    // interleaved query's earlier round could outlive its epoch — see
+    // docs/SERVING.md, "Known limits".)
+    let faults = FaultPlan::seeded(7).with_drop_rate(0.15);
+    let wh = Arc::new(
+        DistributedWarehouse::launch_with_faults(flow_catalogs(), CostModel::free(), faults)
+            .unwrap(),
+    );
+    // Cache off: every submission must actually execute and interleave.
+    let sched = Arc::new(QueryScheduler::launch(
+        wh.clone(),
+        SchedConfig {
+            queue_depth: 16,
+            max_interleave: 4,
+            cache_capacity: 0,
+        },
+    ));
+
+    let retry = RetryPolicy {
+        deadline: Duration::from_millis(250),
+        max_retries: 8,
+        backoff: 1.5,
+        degraded: DegradedMode::Fail,
+    };
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let sched = sched.clone();
+            let retry = retry.clone();
+            thread::spawn(move || {
+                let mut plan = DistPlan::unoptimized(flow_query(t));
+                plan.retry = retry;
+                let (rows, metrics) = sched.submit(plan).unwrap().wait().unwrap();
+                assert_eq!(metrics.cache_hits, 0, "cache is disabled");
+                assert_eq!(
+                    rows.sorted(),
+                    centralized(t),
+                    "interleaved query {t} diverged from the centralized answer"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = sched.stats();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+
+    Arc::try_unwrap(sched).ok().unwrap().shutdown().unwrap();
+    Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
+}
+
+#[test]
+fn partial_coverage_is_never_cached_by_scheduler() {
+    // Site 2 is dead from the first message; DegradedMode::Partial lets
+    // queries answer from the three survivors with coverage 3/4.
+    let faults = FaultPlan::seeded(1).with_crash(2, 0);
+    let wh = Arc::new(
+        DistributedWarehouse::launch_with_faults(flow_catalogs(), CostModel::free(), faults)
+            .unwrap(),
+    );
+    let sched = Arc::new(QueryScheduler::launch(
+        wh.clone(),
+        SchedConfig {
+            queue_depth: 4,
+            max_interleave: 2,
+            cache_capacity: 16,
+        },
+    ));
+
+    let mut plan = DistPlan::unoptimized(flow_query(0));
+    plan.retry = RetryPolicy {
+        deadline: Duration::from_millis(100),
+        max_retries: 1,
+        backoff: 1.0,
+        degraded: DegradedMode::Partial,
+    };
+
+    let (first_rows, first) = sched.submit(plan.clone()).unwrap().wait().unwrap();
+    let cov = first.coverage.expect("degraded run reports coverage");
+    assert!(!cov.is_complete(), "the crash must degrade coverage");
+
+    // The identical plan must execute again — a partial answer must
+    // never be replayed as an exact one.
+    let (second_rows, second) = sched.submit(plan).unwrap().wait().unwrap();
+    assert_eq!(second.cache_hits, 0, "partial result was served from cache");
+    assert!(second.num_rounds() > 0, "second run must re-execute");
+    assert_eq!(second_rows.sorted(), first_rows.sorted());
+
+    let cache = sched.cache_stats();
+    assert_eq!(cache.hits, 0);
+    assert_eq!(cache.rejected_partial, 2);
+    assert_eq!(cache.entries, 0, "nothing may be cached");
+
+    Arc::try_unwrap(sched).ok().unwrap().shutdown().unwrap();
+    Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
+}
