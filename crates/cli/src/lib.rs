@@ -75,6 +75,9 @@ pub struct Session {
     /// Coordinator merge workers applied to every executed plan (>1 runs
     /// synchronization through the sharded pipeline).
     coord_workers: usize,
+    /// Sync shard-count override (None = one shard per worker, rounded to
+    /// a power of two).
+    coord_shards: Option<usize>,
     /// Metrics of the most recently executed query, for `\metrics`.
     last_metrics: Option<ExecMetrics>,
     buffer: String,
@@ -104,6 +107,7 @@ impl Session {
             replication: 1,
             checkpoint: None,
             coord_workers: 1,
+            coord_shards: None,
             last_metrics: None,
             buffer: String::new(),
             max_rows: 20,
@@ -205,6 +209,19 @@ impl Session {
     /// the `--replication` binary flag).
     pub fn set_replication(&mut self, replication: usize) {
         self.replication = replication.max(1);
+    }
+
+    /// Set the coordinator sync worker count for every executed plan (also
+    /// used by the `--workers` binary flag). Equivalent to `\sync <n>`.
+    pub fn set_sync_workers(&mut self, workers: usize) {
+        self.coord_workers = workers.max(1);
+    }
+
+    /// Override the sharded-sync shard count for every executed plan (also
+    /// used by the `--sync-shards` binary flag). Rounded up to a power of
+    /// two by the engine; `None` restores the default of 4 shards/worker.
+    pub fn set_sync_shards(&mut self, shards: Option<usize>) {
+        self.coord_shards = shards.map(|s| s.max(1));
     }
 
     /// Checkpoint every executed query to `wal`, round by round, and resume
@@ -376,18 +393,26 @@ impl Session {
         Ok(out)
     }
 
-    /// `\sync [workers]` — coordinator merge workers for every executed
-    /// plan. `1` is the serial `BaseResult` path; more runs the sharded,
-    /// pipelined synchronization engine.
+    /// `\sync [workers [shards]]` — coordinator merge workers (and
+    /// optionally the shard count) for every executed plan. `1` worker is
+    /// the serial `BaseResult` path; more runs the sharded, pipelined
+    /// synchronization engine with each worker owning a fixed shard range.
     fn cmd_sync(&mut self, args: &[&str]) -> Result<String> {
+        let usage = || SkallaError::parse("usage: \\sync [workers [shards]]");
         if let Some(a) = args.first() {
-            let n: usize = a
-                .parse()
-                .map_err(|_| SkallaError::parse("usage: \\sync [workers]"))?;
+            let n: usize = a.parse().map_err(|_| usage())?;
             self.coord_workers = n.max(1);
+            self.coord_shards = match args.get(1) {
+                Some(s) => Some(s.parse::<usize>().map_err(|_| usage())?.max(1)),
+                None => None,
+            };
         }
+        let shards = match self.coord_shards {
+            Some(s) => format!("{s} shards"),
+            None => "default shards".to_string(),
+        };
         Ok(format!(
-            "coordinator sync workers: {} ({})",
+            "coordinator sync workers: {} ({}, {shards})",
             self.coord_workers,
             if self.coord_workers > 1 {
                 "sharded pipeline"
@@ -419,10 +444,11 @@ impl Session {
             if r.sync_workers > 1 {
                 let _ = write!(
                     out,
-                    " ({} workers × {} shards, {:.0}% busy)",
+                    " ({} workers × {} shards, {:.0}% busy, {:.2}× imbalance)",
                     r.sync_workers,
                     r.sync_shards,
-                    r.sync_utilization * 100.0
+                    r.sync_utilization * 100.0,
+                    r.sync_imbalance
                 );
             } else {
                 let _ = write!(out, " (serial)");
@@ -621,6 +647,7 @@ impl Session {
         plan.retry = self.retry.clone();
         plan.retry.degraded = self.degraded;
         plan.coord_parallelism = self.coord_workers.max(1);
+        plan.sync_shards = self.coord_shards;
 
         let mut out = String::new();
         if self.explain {
@@ -678,7 +705,7 @@ commands:
   \\replicate [r]          partition replication factor (ring) for the next \\load;
                           r > 1 makes `\\degrade failover` give exact answers
   \\failover               replica placement + failover counters of the last query
-  \\sync [workers]         coordinator merge workers (>1 = sharded sync pipeline)
+  \\sync [workers [shards]] coordinator merge workers (>1 = sharded sync pipeline)
   \\metrics                per-round cost table + sync breakdown of the last query
   \\help                   this message
   \\q                      quit
@@ -976,12 +1003,34 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
         let Outcome::Continue(out) = s.handle_line("\\sync") else {
             panic!()
         };
-        assert_eq!(out, "coordinator sync workers: 1 (serial)");
+        assert_eq!(out, "coordinator sync workers: 1 (serial, default shards)");
         let Outcome::Continue(out) = s.handle_line("\\sync 4") else {
             panic!()
         };
-        assert_eq!(out, "coordinator sync workers: 4 (sharded pipeline)");
+        assert_eq!(
+            out,
+            "coordinator sync workers: 4 (sharded pipeline, default shards)"
+        );
+        let Outcome::Continue(out) = s.handle_line("\\sync 4 32") else {
+            panic!()
+        };
+        assert_eq!(
+            out,
+            "coordinator sync workers: 4 (sharded pipeline, 32 shards)"
+        );
+        // Dropping the shard override restores the default layout.
+        let Outcome::Continue(out) = s.handle_line("\\sync 4") else {
+            panic!()
+        };
+        assert_eq!(
+            out,
+            "coordinator sync workers: 4 (sharded pipeline, default shards)"
+        );
         let Outcome::Continue(out) = s.handle_line("\\sync nope") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\sync 4 nope") else {
             panic!()
         };
         assert!(out.contains("usage"), "{out}");

@@ -124,6 +124,9 @@ fn run_serve(args: &[String]) {
     if let Some(workers) = flag_parse::<usize>(args, "--workers") {
         cfg.coord_workers = workers;
     }
+    if let Some(shards) = flag_parse::<usize>(args, "--sync-shards") {
+        cfg.sync_shards = Some(shards);
+    }
     if let Some(mode) = flag_value(args, "--degrade") {
         cfg.degraded = match mode.as_str() {
             "fail" => DegradedMode::Fail,
@@ -285,6 +288,15 @@ fn main() {
                 std::process::exit(2);
             });
         session.set_replication(r);
+    }
+
+    // --workers <n> / --sync-shards <s>: coordinator sync pipeline shape,
+    // same knobs as the in-shell `\sync [workers [shards]]` command.
+    if let Some(workers) = flag_parse::<usize>(&args, "--workers") {
+        session.set_sync_workers(workers);
+    }
+    if let Some(shards) = flag_parse::<usize>(&args, "--sync-shards") {
+        session.set_sync_shards(Some(shards));
     }
 
     // --checkpoint-dir <path>: round-granular checkpoint WAL; a restarted

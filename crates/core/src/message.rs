@@ -633,6 +633,8 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
     }
     put_varint(buf, p.site_parallelism as u64);
     put_varint(buf, p.coord_parallelism as u64);
+    // 0 encodes "engine default" (a real override is clamped to ≥ 1).
+    put_varint(buf, p.sync_shards.unwrap_or(0) as u64);
     put_f64(buf, p.retry.deadline.as_secs_f64());
     put_varint(buf, u64::from(p.retry.max_retries));
     put_f64(buf, p.retry.backoff);
@@ -687,6 +689,10 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
     };
     let site_parallelism = r.varint()? as usize;
     let coord_parallelism = r.varint()? as usize;
+    let sync_shards = match r.varint()? as usize {
+        0 => None,
+        s => Some(s),
+    };
     let deadline_s = r.f64()?;
     if !deadline_s.is_finite() || deadline_s < 0.0 {
         return Err(SkallaError::net(format!(
@@ -722,6 +728,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         block_rows,
         site_parallelism,
         coord_parallelism,
+        sync_shards,
         retry,
     })
 }

@@ -94,6 +94,10 @@ pub struct RoundMetrics {
     /// Worker-pool utilization of the sharded pipeline this round
     /// (busy / (workers × wall), 0 for the serial path).
     pub sync_utilization: f64,
+    /// Merge-load imbalance across sync workers this round (busiest
+    /// worker's busy seconds over the mean; 1.0 = perfectly balanced,
+    /// 0 for the serial path).
+    pub sync_imbalance: f64,
 }
 
 impl RoundMetrics {
@@ -261,6 +265,18 @@ impl ExecMetrics {
         }
     }
 
+    /// Mean merge-load imbalance over the rounds that ran the sharded
+    /// pipeline (0 when every round was serial).
+    pub fn sync_imbalance(&self) -> f64 {
+        let sharded: Vec<&RoundMetrics> =
+            self.rounds.iter().filter(|r| r.sync_workers > 1).collect();
+        if sharded.is_empty() {
+            0.0
+        } else {
+            sharded.iter().map(|r| r.sync_imbalance).sum::<f64>() / sharded.len() as f64
+        }
+    }
+
     /// A per-round table (label, traffic, compute components) — the
     /// detailed view behind [`ExecMetrics::summary`].
     pub fn render_rounds(&self) -> String {
@@ -354,10 +370,11 @@ impl ExecMetrics {
             ));
             if self.sync_workers() > 1 {
                 s.push_str(&format!(
-                    " ({} workers × {} shards, {:.0}% busy)",
+                    " ({} workers × {} shards, {:.0}% busy, {:.2}× imbalance)",
                     self.sync_workers(),
                     self.sync_shards(),
                     self.sync_utilization() * 100.0,
+                    self.sync_imbalance(),
                 ));
             }
         }
@@ -425,6 +442,7 @@ mod tests {
             sync_workers: 4,
             sync_shards: 16,
             sync_utilization: 0.5,
+            sync_imbalance: 1.25,
         }
     }
 
@@ -456,7 +474,9 @@ mod tests {
         assert!(m.summary().contains("2 rounds"));
         assert!(m.summary().contains("blocks: 4 compiled, 2 interpreted"));
         assert!(m.summary().contains("sync: decode 0.0020s"));
-        assert!(m.summary().contains("(4 workers × 16 shards, 50% busy)"));
+        assert!(m
+            .summary()
+            .contains("(4 workers × 16 shards, 50% busy, 1.25× imbalance)"));
         assert_eq!(m.sync_workers(), 4);
         assert_eq!(m.sync_shards(), 16);
         assert!((m.sync_decode_s() - 0.002).abs() < 1e-12);

@@ -187,6 +187,10 @@ pub struct DistPlan {
     /// synchronization via the sharded pipeline; `0`/`1` uses the serial
     /// [`BaseResult`](crate::baseresult::BaseResult) path.
     pub coord_parallelism: usize,
+    /// Hash shards of the synchronization group space (rounded up to a
+    /// power of two). `None` picks the [`crate::sync::SyncOptions`]
+    /// default of 4 shards per worker.
+    pub sync_shards: Option<usize>,
     /// Coordinator deadline/retry budget and degradation behavior for
     /// every synchronization round.
     pub retry: RetryPolicy,
@@ -209,6 +213,7 @@ impl DistPlan {
             block_rows: None,
             site_parallelism: 1,
             coord_parallelism: 1,
+            sync_shards: None,
             retry: RetryPolicy::default(),
         }
     }
@@ -230,6 +235,13 @@ impl DistPlan {
     /// pipeline of [`crate::sync::ShardedSync`].
     pub fn with_coord_parallelism(mut self, workers: usize) -> DistPlan {
         self.coord_parallelism = workers.max(1);
+        self
+    }
+
+    /// Override the synchronization shard count (rounded up to a power of
+    /// two by the sync engine).
+    pub fn with_sync_shards(mut self, shards: usize) -> DistPlan {
+        self.sync_shards = Some(shards.max(1));
         self
     }
 

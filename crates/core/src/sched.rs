@@ -261,6 +261,9 @@ struct Active<'w> {
     /// once, shared by the lookup on admission and the insert on
     /// completion).
     key: Option<PlanKey>,
+    /// The plan's requested sync worker count, the ceiling for the
+    /// window-aware scaling in [`worker_loop`].
+    sync_workers: usize,
 }
 
 /// The executor: pull admitted tickets, step active runs round-robin one
@@ -310,11 +313,21 @@ fn worker_loop(wh: &DistributedWarehouse, rx: Receiver<Ticket>, sh: &Shared, int
         if rr >= active.len() {
             rr = 0;
         }
+        let window = active.len();
         let a = &mut active[rr];
         if engine_owner != Some(a.id) {
             a.run.mark_plan_stale();
         }
         engine_owner = Some(a.id);
+        // Split the sync worker budget across the interleave window: N
+        // concurrently stepped runs each get ~1/N of their requested
+        // workers (never below 1), so a full window does not oversubscribe
+        // the host with N full worker pools. Results are unaffected —
+        // sync output is bit-for-bit invariant to the worker count — and
+        // the cache key was computed from the plan at admission, before
+        // this adjustment.
+        a.run
+            .set_coord_parallelism((a.sync_workers / window).max(1));
         match a.run.step() {
             Ok(false) => rr += 1,
             Ok(true) => {
@@ -367,6 +380,7 @@ fn admit<'w>(
                 run,
                 reply: t.reply,
                 key,
+                sync_workers: t.plan.coord_parallelism,
             })
         }
         Err(e) => {

@@ -6,38 +6,92 @@
 //! sites) that merge loop *is* the response time. [`ShardedSync`]
 //! parallelizes it the way morsel-driven engines partition aggregation:
 //!
-//! * the group space is hash-partitioned into `shards` disjoint shards by
-//!   a key hash computed **once** per row (no per-lookup key allocation);
-//! * a pool of `workers` merge threads owns disjoint shard sets, fed
-//!   routed row batches over bounded channels, so merging overlaps with
-//!   network receive and fragment decode;
-//! * per-group state lives in typed [`AggSlot`] columns, merged without
-//!   `Value` boxing on the numeric fast paths.
+//! * the group space is hash-partitioned into `shards` (a power of two)
+//!   disjoint shards by a key hash computed **once** per row;
+//! * each of `workers` merge threads **owns a fixed contiguous shard
+//!   range** — the router sends a routed row straight to its owner's
+//!   bounded queue, so a row crosses exactly one thread boundary and no
+//!   worker ever touches another worker's shards;
+//! * the router ships **row locators, not row values**: a batch carries
+//!   `Arc` references to the fragment chunks plus `(hash, chunk, row)`
+//!   coordinates per shard, so the router thread never moves or frees a
+//!   `Value` and stays far off the critical path;
+//! * batch sizes grow **adaptively under backpressure**: when a worker's
+//!   queue is full the router keeps accumulating (up to
+//!   [`SyncOptions::flush_rows_max`]) instead of blocking, so saturated
+//!   mergers receive fewer, larger batches;
+//! * per-group state lives in typed [`AggSlot`] columns, and workers merge
+//!   whole batches at a time through [`AggSlot::merge_rows`] — the same
+//!   lane-style kernels (`skalla-expr` typed lanes with null masks) the
+//!   compiled site path uses, not a scalar `Value` match per row.
 //!
 //! **Determinism.** The merge is not idempotent and float addition is not
 //! commutative-associative in bits, so the engine must replay exactly the
-//! serial merge order *within each group*. The router (the caller's
-//! thread) assigns every fragment row a global arrival index and appends
-//! rows to per-worker queues in arrival order; each shard therefore sees
-//! its rows as a subsequence of the serial order, and a group — which
+//! serial merge order *within each group*. Every fragment row has a global
+//! arrival index (derived from its chunk's base index, never stored per
+//! row); the router routes rows in arrival order and each shard therefore
+//! sees its rows as a subsequence of the serial order, so a group — which
 //! lives in exactly one shard — merges bit-for-bit identically (including
 //! float `AVG` state and `-0.0`). Group *creation* arrival indices are
-//! recorded, and [`ShardedSync::finish`] orders the output by them, which
-//! reproduces the serial structure's insertion order exactly.
+//! recorded, and the output is assembled by a **merge tree**: each worker
+//! k-way-merges its shards' creation-ordered groups into one sorted run
+//! (rendering final values as it goes), and [`ShardedSync::finish`]
+//! k-way-merges the per-worker runs. Both levels preserve creation order,
+//! which reproduces the serial structure's insertion order exactly.
 //!
 //! **All-or-nothing fragments.** Each chunk is validated (arity and state
-//! column types) on the router thread before any row is routed, so a bad
-//! fragment is rejected without mutating any shard — the same guarantee
-//! the serial `merge_fragment` provides.
+//! column types) on the router thread *before* any row is routed, so a bad
+//! fragment is rejected synchronously without mutating any shard or any
+//! pending batch — the same guarantee the serial `merge_fragment`
+//! provides.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use skalla_gmdj::{slots_for_specs, AggSlot, AggSpec};
+use skalla_gmdj::{slots_for_specs, AggSlot, AggSpec, MergeScratch};
 use skalla_types::{exact_i64, DataType, Field, Relation, Result, Row, Schema, SkallaError, Value};
+
+/// Per-thread CPU seconds (monotonic within a thread).
+///
+/// Stage timings ([`SyncStats::partition_s`], worker busy, finalize) must
+/// stay meaningful on hosts with fewer cores than pipeline threads, where
+/// a wall clock silently charges one stage for time the OS spent running
+/// another. On Linux/x86_64 this reads `CLOCK_THREAD_CPUTIME_ID` via a
+/// raw `clock_gettime` syscall (std exposes no thread CPU clock and the
+/// engine takes no libc dependency); elsewhere it falls back to a
+/// per-thread wall clock and the stage timings become upper bounds under
+/// contention.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn thread_cpu_s() -> f64 {
+    const SYS_CLOCK_GETTIME: u64 = 228;
+    const CLOCK_THREAD_CPUTIME_ID: u64 = 3;
+    let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => _,
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ts[0] as f64 + ts[1] as f64 * 1e-9
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn thread_cpu_s() -> f64 {
+    thread_local! {
+        static ANCHOR: Instant = Instant::now();
+    }
+    ANCHOR.with(|t| t.elapsed().as_secs_f64())
+}
 
 /// What [`ShardedSync::finish`] renders per group after the base columns.
 #[derive(Debug, Clone)]
@@ -70,46 +124,76 @@ pub struct SyncSpec {
 /// Parallelism knobs for a [`ShardedSync`].
 #[derive(Debug, Clone, Copy)]
 pub struct SyncOptions {
-    /// Merge worker threads (≥ 1).
+    /// Merge worker threads (≥ 1, clamped to the shard count).
     pub workers: usize,
-    /// Hash shards of the group space (≥ 1); shard `s` is owned by worker
-    /// `s % workers`.
+    /// Hash shards of the group space, rounded up to a power of two so the
+    /// router can mask instead of divide. Each worker owns a fixed
+    /// contiguous range of shards.
     pub shards: usize,
     /// Bounded depth (in routed batches) of each worker's queue — the
-    /// backpressure that keeps the router from outrunning the mergers.
+    /// backpressure signal that drives adaptive batch growth.
     pub queue_batches: usize,
-    /// Router-side accumulation: rows buffered per worker before a batch
-    /// is pushed onto its queue. Bigger batches mean fewer wakeups and
-    /// shard-contiguous merge runs; smaller ones start the overlap
-    /// earlier. Clamped to ≥ 1.
+    /// Router-side accumulation floor: rows buffered per worker before the
+    /// router first attempts to push a batch. Smaller values start the
+    /// route/merge overlap earlier.
     pub flush_rows: usize,
+    /// Adaptive ceiling: under backpressure (owner's queue full) the
+    /// router doubles a worker's batch target instead of blocking, up to
+    /// this many rows; past it the router blocks, which is the memory
+    /// bound.
+    pub flush_rows_max: usize,
 }
 
 impl SyncOptions {
-    /// Sensible defaults for `workers` threads: 4 shards per worker (so
-    /// group skew leaves no worker idle), a short queue, and ~4k-row
-    /// worker batches.
+    /// Sensible defaults for `workers` threads: one shard per worker
+    /// (rounded to a power of two), a short queue, and batches that grow
+    /// from ~4k to ~64k rows under backpressure.
+    ///
+    /// One shard per worker is deliberate: a worker walks each batch's
+    /// shared chunk memory once per owned shard, at a stride of the total
+    /// shard count, so extra shards per worker multiply cache re-walks
+    /// without adding balance — uniform hashing already spreads rows
+    /// binomially, and because ownership is *contiguous*, hash-space skew
+    /// lands on the same worker no matter how finely its range is split.
+    /// Raise [`SyncOptions::with_shards`] only to decouple partition
+    /// granularity from the worker count (e.g. to replay a plan's shard
+    /// layout).
     pub fn for_workers(workers: usize) -> SyncOptions {
         let w = workers.max(1);
         SyncOptions {
             workers: w,
-            shards: w * 4,
+            shards: w.next_power_of_two(),
             queue_batches: 4,
-            flush_rows: 8192,
+            flush_rows: 4096,
+            flush_rows_max: 65536,
         }
+    }
+
+    /// Override the shard count (rounded up to a power of two ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> SyncOptions {
+        self.shards = shards.max(1);
+        self
     }
 }
 
 /// Timing breakdown of one sharded synchronization.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The per-stage timings (`partition_s`, `worker_busy_s`, `finalize_s`)
+/// are **thread CPU seconds** where the platform provides a thread CPU
+/// clock (Linux), so they measure work actually executed and stay
+/// comparable across worker counts even on hosts with fewer cores than
+/// pipeline threads; `wall_s` and `drain_s` are wall-clock.
+#[derive(Debug, Clone, Default)]
 pub struct SyncStats {
-    /// Router seconds: validation, key hashing, and batch routing.
+    /// Router CPU seconds: validation, key hashing, and locator routing.
     pub partition_s: f64,
-    /// Summed busy merge seconds across workers (work performed; the
-    /// wall-clock cost is `merge_busy_s / workers` at full utilization).
+    /// Summed busy merge CPU seconds across workers (total work performed).
     pub merge_busy_s: f64,
-    /// Finalize seconds: slowest worker's render plus the router's
-    /// order-merge.
+    /// Per-worker busy merge CPU seconds (`merge_busy_s` is their sum);
+    /// the spread is the skew a perfect hash partition would avoid.
+    pub worker_busy_s: Vec<f64>,
+    /// Finalize CPU seconds: slowest worker's render-merge plus the final
+    /// merge of per-worker runs.
     pub finalize_s: f64,
     /// Serialized tail of [`ShardedSync::finish`]: closing the queues to
     /// the ordered result (the only part not overlapped with receive).
@@ -122,6 +206,9 @@ pub struct SyncStats {
     pub shards: usize,
     /// Groups in the result.
     pub groups: usize,
+    /// Batches shipped to workers (adaptive growth makes this shrink under
+    /// backpressure).
+    pub batches: u64,
 }
 
 impl SyncStats {
@@ -134,31 +221,88 @@ impl SyncStats {
             (self.merge_busy_s / (self.workers as f64 * self.wall_s)).min(1.0)
         }
     }
-}
 
-/// One shard's routed rows, flattened columnar-style: parallel hash and
-/// arrival vectors plus row values at a fixed `base + state` stride,
-/// arrival-ordered. The flat buffers keep a worker's merge walk
-/// sequential in memory, and keep every per-row allocation — and, just as
-/// importantly, every free — on the router thread, so merge workers never
-/// contend on the allocator.
-#[derive(Default)]
-struct ShardBucket {
-    hashes: Vec<u64>,
-    arrivals: Vec<u64>,
-    vals: Vec<Value>,
-}
+    /// The busiest worker's merge seconds.
+    pub fn max_worker_busy_s(&self) -> f64 {
+        self.worker_busy_s.iter().fold(0.0, |a, &b| a.max(b))
+    }
 
-impl ShardBucket {
-    fn len(&self) -> usize {
-        self.hashes.len()
+    /// Load imbalance across workers: busiest / mean busy seconds
+    /// (1.0 = perfectly balanced hash partition).
+    pub fn imbalance(&self) -> f64 {
+        if self.worker_busy_s.is_empty() || self.merge_busy_s <= 0.0 {
+            return 1.0;
+        }
+        self.max_worker_busy_s() * self.worker_busy_s.len() as f64 / self.merge_busy_s
+    }
+
+    /// The pipeline's critical-path seconds if every stage ran on its own
+    /// core: the router and the busiest worker overlap (the slower of the
+    /// two bounds), then the finalize merge tree runs. On hosts with fewer
+    /// cores than `workers + 1` the measured wall time degenerates toward
+    /// the *sum* of the stages instead; this model is what the stage
+    /// timings imply for a host that can actually express the parallelism.
+    pub fn modeled_parallel_s(&self) -> f64 {
+        self.partition_s.max(self.max_worker_busy_s()) + self.finalize_s
     }
 }
 
-/// One batch on a worker's queue: routed rows bucketed by the worker's
-/// local shard index. Shard-contiguous runs keep each shard's group table
-/// and slot columns cache-resident while it is being merged.
-type RoutedBatch = Vec<ShardBucket>;
+/// A fragment chunk shared with the workers by reference, plus the global
+/// arrival index of its row 0 (row `i`'s arrival is `base_arrival + i`).
+struct ChunkRef {
+    rel: Arc<Relation>,
+    base_arrival: u64,
+}
+
+/// One shard's routed row locators: the key hash (computed once, on the
+/// router) and a packed `(chunk slot << 32) | row index` coordinate into
+/// the batch's chunk list. No row values travel through the channel.
+#[derive(Default)]
+struct Bucket {
+    hashes: Vec<u64>,
+    locs: Vec<u64>,
+}
+
+/// One batch on a worker's queue: the referenced chunks plus per-shard
+/// locator buckets (indexed by the worker's local shard index).
+struct WorkerBatch {
+    chunks: Vec<ChunkRef>,
+    buckets: Vec<Bucket>,
+    rows: usize,
+}
+
+/// Router-side accumulation state for one worker.
+struct Pending {
+    chunks: Vec<ChunkRef>,
+    buckets: Vec<Bucket>,
+    rows: usize,
+    /// Current adaptive flush threshold (rows).
+    target: usize,
+    /// This worker's slot in `chunks` for the chunk currently being
+    /// routed, lazily assigned on its first row for this worker.
+    chunk_slot: Option<u32>,
+}
+
+impl Pending {
+    fn take_batch(&mut self) -> WorkerBatch {
+        let rows = self.rows;
+        self.rows = 0;
+        self.chunk_slot = None;
+        WorkerBatch {
+            chunks: std::mem::take(&mut self.chunks),
+            buckets: self.buckets.iter_mut().map(std::mem::take).collect(),
+            rows,
+        }
+    }
+
+    fn put_back(&mut self, b: WorkerBatch) {
+        self.chunks = b.chunks;
+        self.buckets = b.buckets;
+        self.rows = b.rows;
+        // `chunk_slot` stays `None`: the next chunk re-registers itself
+        // (at worst one duplicate `Arc` per put-back, which is harmless).
+    }
+}
 
 /// Per-state-column validation, flattened for the router's hot loop —
 /// semantically identical to chaining [`AggSlot::validate_incoming`]
@@ -207,7 +351,8 @@ impl ColCheck {
 
 /// What each worker hands back when its queue closes.
 struct WorkerOut {
-    /// `(creation arrival index, rendered row)` sorted by the index.
+    /// `(creation arrival index, rendered row)` sorted by the index — one
+    /// pre-merged run of the output merge tree.
     rendered: Vec<(u64, Row)>,
     merge_busy_s: f64,
     finalize_s: f64,
@@ -229,25 +374,27 @@ pub struct ShardedSync {
     output: SyncOutput,
     workers: usize,
     shards: usize,
+    /// `shards - 1` (the shard count is always a power of two).
+    shard_mask: u64,
+    /// Shard → owning worker (contiguous ranges).
+    owner_of: Vec<u32>,
+    /// Shard → index within its owner's shard set.
+    local_of: Vec<u32>,
     flush_rows: usize,
-    /// Whether routed rows carry arrival indices. Only `allow_new` mode
-    /// needs them (they order newly created groups); seeded mode leaves
-    /// [`ShardBucket::arrivals`] empty.
-    track_arrivals: bool,
-    /// `shards - 1` when the shard count is a power of two, letting the
-    /// router's hot loop replace `hash % shards` with a mask.
-    shard_mask: Option<u64>,
-    /// Routed rows accumulated per shard, awaiting a big-enough batch
-    /// (shard `s` belongs to worker `s % workers`).
-    pending: Vec<ShardBucket>,
-    pending_rows: Vec<usize>,
-    txs: Vec<SyncSender<RoutedBatch>>,
+    flush_rows_max: usize,
+    /// Per-worker accumulating batches.
+    pending: Vec<Pending>,
+    /// Reusable per-chunk key-hash buffer (filled by the validate pass so
+    /// the route pass never re-reads row memory).
+    hash_scratch: Vec<u64>,
+    txs: Vec<SyncSender<WorkerBatch>>,
     handles: Vec<JoinHandle<Result<WorkerOut>>>,
     poisoned: Arc<AtomicBool>,
     first_err: Arc<Mutex<Option<SkallaError>>>,
     arrival: u64,
     rows_merged: u64,
     partition_s: f64,
+    batches: u64,
     started: Instant,
 }
 
@@ -277,12 +424,26 @@ impl ShardedSync {
         let checks: Vec<ColCheck> = proto.iter().flat_map(ColCheck::for_slot).collect();
         let spec_widths: Vec<usize> = specs.iter().map(AggSpec::state_width).collect();
         let state_width: usize = spec_widths.iter().sum();
-        let workers = opts.workers.max(1);
-        let shards = opts.shards.max(1);
+        let shards = opts.shards.max(1).next_power_of_two();
+        let workers = opts.workers.max(1).min(shards);
+        let shard_mask = shards as u64 - 1;
         let key_cols = Arc::new(key_cols);
 
+        // Fixed ownership: worker `w` owns the contiguous shard range
+        // `[w·S/W, (w+1)·S/W)` (sizes differ by at most one shard).
+        let mut owner_of = Vec::with_capacity(shards);
+        let mut local_of = Vec::with_capacity(shards);
+        let mut owned = vec![0u32; workers];
+        for s in 0..shards {
+            let w = s * workers / shards;
+            owner_of.push(w as u32);
+            local_of.push(owned[w]);
+            owned[w] += 1;
+        }
+
         // Seed the shards on this thread: creation indices 0..n reproduce
-        // the serial insertion order of the base rows.
+        // the serial insertion order of the base rows. Per-shard creation
+        // vectors stay sorted because arrivals only grow.
         let mut all_shards: Vec<Shard> = (0..shards).map(|_| Shard::new(&proto)).collect();
         let mut arrival = 0u64;
         if let Some(base) = seed {
@@ -295,30 +456,38 @@ impl ShardedSync {
             }
             for row in base.rows() {
                 let hash = hash_key(row, &key_cols);
-                let shard = &mut all_shards[(hash % shards as u64) as usize];
+                let shard = &mut all_shards[(hash & shard_mask) as usize];
                 shard.seed_group(hash, row, &key_cols, arrival);
                 arrival += 1;
             }
         }
 
-        // Hand each worker its shard set and a bounded queue.
+        // Hand each worker its owned shard range and a bounded queue.
         let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
         for (s, shard) in all_shards.into_iter().enumerate() {
-            per_worker[s % workers].push(shard);
+            per_worker[owner_of[s] as usize].push(shard);
         }
         let poisoned = Arc::new(AtomicBool::new(false));
         let first_err = Arc::new(Mutex::new(None));
         let render_state = matches!(output, SyncOutput::State);
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let mut pending = Vec::with_capacity(workers);
         for shard_set in per_worker {
-            let (tx, rx) = sync_channel::<RoutedBatch>(opts.queue_batches.max(1));
+            let (tx, rx) = sync_channel::<WorkerBatch>(opts.queue_batches.max(1));
             txs.push(tx);
+            pending.push(Pending {
+                chunks: Vec::new(),
+                buckets: (0..shard_set.len()).map(|_| Bucket::default()).collect(),
+                rows: 0,
+                target: opts.flush_rows.max(1),
+                chunk_slot: None,
+            });
             let ctx = WorkerCtx {
                 rx,
                 shards: shard_set,
                 base_width,
-                stride: base_width + state_width,
+                state_width,
                 key_cols: key_cols.clone(),
                 allow_new,
                 render_state,
@@ -348,11 +517,13 @@ impl ShardedSync {
             output,
             workers,
             shards,
+            shard_mask,
+            owner_of,
+            local_of,
             flush_rows: opts.flush_rows.max(1),
-            track_arrivals: allow_new,
-            shard_mask: shards.is_power_of_two().then(|| shards as u64 - 1),
-            pending: (0..shards).map(|_| ShardBucket::default()).collect(),
-            pending_rows: vec![0; workers],
+            flush_rows_max: opts.flush_rows_max.max(opts.flush_rows.max(1)),
+            pending,
+            hash_scratch: Vec::new(),
             txs,
             handles,
             poisoned,
@@ -360,20 +531,21 @@ impl ShardedSync {
             arrival,
             rows_merged: 0,
             partition_s: 0.0,
+            batches: 0,
             started: Instant::now(),
         })
     }
 
-    /// Validate, hash, and route one fragment chunk to the merge workers.
+    /// Validate, hash, and route one fragment chunk to its owning workers.
     /// A rejected chunk (arity or state-type mismatch) leaves the engine
-    /// exactly as if the chunk never arrived: nothing reaches a worker
-    /// because nothing is flushed mid-chunk, and the pending accumulators
-    /// roll back to their pre-chunk watermarks.
+    /// exactly as if the chunk never arrived: validation runs to
+    /// completion *before* the first row is routed, so nothing — pending
+    /// batch, arrival counter, shard — is ever touched by a bad chunk.
     pub fn merge_chunk(&mut self, frag: Relation) -> Result<()> {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(self.stored_error());
         }
-        let t = Instant::now();
+        let t = thread_cpu_s();
         let expect = self.base_width + self.state_width;
         if frag.schema().len() != expect {
             return Err(SkallaError::exec(format!(
@@ -384,88 +556,110 @@ impl ShardedSync {
                 self.state_width
             )));
         }
-        // Validation and routing share one pass over the rows, straight
-        // into the per-worker accumulators (shard `s` lands in bucket
-        // `s / workers` of worker `s % workers`). A mid-chunk rejection
-        // rolls every bucket back to its pre-chunk watermark and leaves
-        // the arrival counter untouched, so no shard ever sees any part of
-        // a failed chunk.
         let n = frag.len();
-        let marks: Vec<usize> = self.pending.iter().map(ShardBucket::len).collect();
-        let stride = self.base_width + self.state_width;
-        let mut arrival = self.arrival;
-        for row in frag.into_rows() {
-            let valid = row[self.base_width..]
-                .iter()
-                .zip(&self.checks)
-                .try_for_each(|(v, c)| c.check(v));
-            if let Err(e) = valid {
-                for (bucket, &keep) in self.pending.iter_mut().zip(&marks) {
-                    bucket.hashes.truncate(keep);
-                    bucket.arrivals.truncate(keep);
-                    bucket.vals.truncate(keep * stride);
-                }
-                self.recount_pending();
-                return Err(e);
-            }
-            let hash = hash_key(&row, &self.key_cols);
-            let shard = match self.shard_mask {
-                Some(m) => (hash & m) as usize,
-                None => (hash % self.shards as u64) as usize,
-            };
-            let bucket = &mut self.pending[shard];
-            bucket.hashes.push(hash);
-            if self.track_arrivals {
-                bucket.arrivals.push(arrival);
-            }
-            bucket.vals.extend(row);
-            arrival += 1;
+        if n == 0 {
+            self.partition_s += thread_cpu_s() - t;
+            return Ok(());
         }
-        self.recount_pending();
-        self.arrival = arrival;
+        // Pass 1: validate every row (synchronous all-or-nothing
+        // rejection, before anything is mutated) and hash its key while
+        // the row is hot — the hash buffer is scratch, so an error here
+        // still leaves the engine untouched.
+        self.hash_scratch.clear();
+        self.hash_scratch.reserve(n);
+        for row in frag.rows() {
+            for (v, c) in row[self.base_width..].iter().zip(&self.checks) {
+                c.check(v)?;
+            }
+            self.hash_scratch.push(hash_key(row, &self.key_cols));
+        }
+        // Pass 2: route a locator per row to its shard's owner, straight
+        // off the precomputed hashes — no row memory is touched. The chunk
+        // itself is shared by reference; row values never move.
+        let chunk = Arc::new(frag);
+        let base_arrival = self.arrival;
+        for p in &mut self.pending {
+            p.chunk_slot = None;
+        }
+        for (i, &hash) in self.hash_scratch.iter().enumerate() {
+            let shard = (hash & self.shard_mask) as usize;
+            let p = &mut self.pending[self.owner_of[shard] as usize];
+            let slot = match p.chunk_slot {
+                Some(s) => s,
+                None => {
+                    let s = p.chunks.len() as u32;
+                    p.chunks.push(ChunkRef {
+                        rel: chunk.clone(),
+                        base_arrival,
+                    });
+                    p.chunk_slot = Some(s);
+                    s
+                }
+            };
+            let bucket = &mut p.buckets[self.local_of[shard] as usize];
+            bucket.hashes.push(hash);
+            bucket.locs.push((u64::from(slot) << 32) | i as u64);
+            p.rows += 1;
+        }
+        self.arrival += n as u64;
         self.rows_merged += n as u64;
-        self.partition_s += t.elapsed().as_secs_f64();
-        // Sends sit outside the timer: blocking here is backpressure (the
+        self.partition_s += thread_cpu_s() - t;
+        // Sends sit outside the timer: a full queue is backpressure (the
         // mergers are saturated), not router compute.
         for w in 0..self.workers {
-            if self.pending_rows[w] >= self.flush_rows {
+            if self.pending[w].rows >= self.pending[w].target {
                 self.flush_worker(w)?;
             }
         }
         Ok(())
     }
 
-    /// Recompute per-worker pending row counts from the shard buckets.
-    fn recount_pending(&mut self) {
-        self.pending_rows.iter_mut().for_each(|r| *r = 0);
-        for (s, bucket) in self.pending.iter().enumerate() {
-            self.pending_rows[s % self.workers] += bucket.len();
-        }
-    }
-
-    /// Push worker `w`'s accumulated shard buckets (in local-index order)
-    /// onto its queue.
+    /// Try to push worker `w`'s accumulated batch. A full queue grows the
+    /// adaptive target (the router keeps accumulating) until the ceiling,
+    /// past which the router blocks — the memory bound.
     fn flush_worker(&mut self, w: usize) -> Result<()> {
-        let full: RoutedBatch = (w..self.shards)
-            .step_by(self.workers)
-            .map(|s| std::mem::take(&mut self.pending[s]))
-            .collect();
-        self.pending_rows[w] = 0;
-        if self.txs[w].send(full).is_err() {
-            return Err(self.stored_error());
+        let batch = self.pending[w].take_batch();
+        if batch.rows == 0 {
+            return Ok(());
         }
-        Ok(())
+        let rows = batch.rows;
+        match self.txs[w].try_send(batch) {
+            Ok(()) => {
+                self.batches += 1;
+                // Queue had room: decay toward the floor so batch sizes
+                // track the mergers' actual drain rate.
+                let p = &mut self.pending[w];
+                p.target = (p.target * 3 / 4).max(self.flush_rows);
+                Ok(())
+            }
+            Err(TrySendError::Full(b)) => {
+                let p = &mut self.pending[w];
+                if rows < self.flush_rows_max {
+                    p.put_back(b);
+                    p.target = (p.target * 2).min(self.flush_rows_max);
+                    Ok(())
+                } else if self.txs[w].send(b).is_ok() {
+                    self.batches += 1;
+                    Ok(())
+                } else {
+                    Err(self.stored_error())
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.stored_error()),
+        }
     }
 
-    /// Close the queues, join the workers, and render the synchronized
-    /// relation in exactly the serial insertion order.
+    /// Close the queues, join the workers, and merge the per-worker
+    /// creation-ordered runs into the synchronized relation — exactly the
+    /// serial insertion order.
     pub fn finish(mut self) -> Result<(Relation, SyncStats)> {
         let t_drain = Instant::now();
         // Flush whatever the accumulators still hold, ignoring send errors
         // here — a dead worker's own error is picked up after the join.
         for w in 0..self.workers {
-            if self.pending_rows[w] > 0 {
-                let _ = self.flush_worker(w);
+            let batch = self.pending[w].take_batch();
+            if batch.rows > 0 && self.txs[w].send(batch).is_ok() {
+                self.batches += 1;
             }
         }
         self.txs.clear(); // closes every queue
@@ -489,16 +683,14 @@ impl ShardedSync {
             return Err(e);
         }
 
-        let t_order = Instant::now();
+        let t_order = thread_cpu_s();
         let groups: usize = outs.iter().map(|o| o.groups).sum();
-        let mut rendered: Vec<(u64, Row)> = Vec::with_capacity(groups);
-        for o in &mut outs {
-            rendered.append(&mut o.rendered);
-        }
-        // Creation arrival indices are globally unique; sorting by them
-        // reproduces the serial structure's insertion order bit-for-bit.
-        rendered.sort_unstable_by_key(|(created, _)| *created);
-        let rows: Vec<Row> = rendered.into_iter().map(|(_, row)| row).collect();
+        let worker_busy_s: Vec<f64> = outs.iter().map(|o| o.merge_busy_s).collect();
+        let runs: Vec<Vec<(u64, Row)>> = outs
+            .iter_mut()
+            .map(|o| std::mem::take(&mut o.rendered))
+            .collect();
+        let rows = merge_runs(runs, groups);
 
         let mut fields = self.base_schema.fields().to_vec();
         match &self.output {
@@ -520,17 +712,19 @@ impl ShardedSync {
         }
         let schema = Arc::new(Schema::new(fields)?);
         let rel = Relation::from_rows_unchecked(schema, rows);
-        let order_s = t_order.elapsed().as_secs_f64();
+        let order_s = thread_cpu_s() - t_order;
 
         let stats = SyncStats {
             partition_s: self.partition_s,
-            merge_busy_s: outs.iter().map(|o| o.merge_busy_s).sum(),
+            merge_busy_s: worker_busy_s.iter().sum(),
+            worker_busy_s,
             finalize_s: outs.iter().map(|o| o.finalize_s).fold(0.0, f64::max) + order_s,
             drain_s: t_drain.elapsed().as_secs_f64(),
             wall_s: self.started.elapsed().as_secs_f64(),
             workers: self.workers,
             shards: self.shards,
             groups,
+            batches: self.batches,
         };
         Ok((rel, stats))
     }
@@ -549,14 +743,44 @@ impl ShardedSync {
     }
 }
 
+/// Top level of the output merge tree: k-way merge of the per-worker
+/// creation-ordered runs (creation indices are globally unique).
+fn merge_runs(runs: Vec<Vec<(u64, Row)>>, total: usize) -> Vec<Row> {
+    let mut nonempty: Vec<Vec<(u64, Row)>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    if nonempty.len() <= 1 {
+        return nonempty
+            .pop()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect();
+    }
+    let mut iters: Vec<std::vec::IntoIter<(u64, Row)>> =
+        nonempty.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<Row>> = Vec::with_capacity(iters.len());
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        let (c, row) = it.next().expect("non-empty run");
+        heap.push(Reverse((c, i)));
+        heads.push(Some(row));
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        out.push(heads[i].take().expect("run head"));
+        if let Some((c, row)) = iters[i].next() {
+            heap.push(Reverse((c, i)));
+            heads[i] = Some(row);
+        }
+    }
+    out
+}
+
 struct WorkerCtx {
-    rx: Receiver<RoutedBatch>,
-    /// This worker's shards, at local index `shard_id / workers`.
+    rx: Receiver<WorkerBatch>,
+    /// This worker's owned shards, densely indexed by local shard index.
     shards: Vec<Shard>,
     base_width: usize,
-    /// Full fragment row width (`base + state`), the stride of
-    /// [`ShardBucket::vals`].
-    stride: usize,
+    state_width: usize,
     key_cols: Arc<Vec<usize>>,
     allow_new: bool,
     render_state: bool,
@@ -567,69 +791,137 @@ fn run_worker(ctx: WorkerCtx) -> Result<WorkerOut> {
         rx,
         mut shards,
         base_width,
-        stride,
+        state_width,
         key_cols,
         allow_new,
         render_state,
     } = ctx;
     let mut busy = 0.0f64;
+    let mut gids: Vec<u32> = Vec::new();
+    // One typed scratch per slot, with each slot's state offset within a
+    // fragment row: the resolve pass gathers every slot's lanes in its one
+    // pass over the (scattered) chunk rows, then the merge kernels sweep
+    // contiguous typed memory.
+    let (offs, mut scratches): (Vec<usize>, Vec<MergeScratch>) = {
+        let slots = &shards.first().expect("worker owns >= 1 shard").slots;
+        let mut offs = Vec::with_capacity(slots.len());
+        let mut off = base_width;
+        for slot in slots {
+            offs.push(off);
+            off += slot.state_width();
+        }
+        debug_assert_eq!(off, base_width + state_width);
+        (
+            offs,
+            slots.iter().map(|_| MergeScratch::default()).collect(),
+        )
+    };
     while let Ok(batch) = rx.recv() {
-        let t = Instant::now();
-        for (local, bucket) in batch.into_iter().enumerate() {
+        let t = thread_cpu_s();
+        for (local, bucket) in batch.buckets.iter().enumerate() {
+            if bucket.hashes.is_empty() {
+                continue;
+            }
             let shard = &mut shards[local];
-            let ShardBucket {
-                hashes,
-                arrivals,
-                vals,
-            } = bucket;
-            // `arrivals` is empty in seeded mode (no group is ever
-            // created, so the index is never read).
-            let mut off = 0;
-            for (i, &hash) in hashes.iter().enumerate() {
-                let arrival = arrivals.get(i).copied().unwrap_or(0);
-                shard.merge_row(
+            gids.clear();
+            scratches.iter_mut().for_each(MergeScratch::clear);
+            // Resolve + gather pass: probe/create each row's group
+            // (creation order is bucket order, which is arrival order) and
+            // columnarize its state while the row is hot.
+            #[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+            for (k, (&hash, &loc)) in bucket.hashes.iter().zip(&bucket.locs).enumerate() {
+                // The locators make the access pattern visible ahead of
+                // time: start pulling a future row's cache lines now so
+                // the scattered dereference below doesn't stall.
+                #[cfg(target_arch = "x86_64")]
+                if let Some(&loc) = bucket.locs.get(k + 8) {
+                    let chunk = &batch.chunks[(loc >> 32) as usize];
+                    let ri = (loc & 0xffff_ffff) as usize;
+                    let p = chunk.rel.rows()[ri].as_ptr();
+                    unsafe {
+                        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                        _mm_prefetch::<_MM_HINT_T0>(p.cast::<i8>());
+                    }
+                    shard.table.prefetch(bucket.hashes[k + 8]);
+                }
+                let chunk = &batch.chunks[(loc >> 32) as usize];
+                let ri = (loc & 0xffff_ffff) as usize;
+                let row: &[Value] = &chunk.rel.rows()[ri];
+                let g = shard.resolve(
                     hash,
-                    arrival,
-                    &vals[off..off + stride],
+                    chunk.base_arrival + ri as u64,
+                    row,
                     base_width,
                     &key_cols,
                     allow_new,
                 )?;
-                off += stride;
+                gids.push(g as u32);
+                for (j, slot) in shard.slots.iter().enumerate() {
+                    slot.gather_into(row, offs[j], &mut scratches[j]);
+                }
+            }
+            // Merge pass: whole-bucket lane kernels per slot.
+            for (slot, scratch) in shard.slots.iter_mut().zip(&scratches) {
+                slot.merge_gathered(&gids, scratch)?;
             }
         }
-        busy += t.elapsed().as_secs_f64();
+        busy += thread_cpu_s() - t;
     }
-    let t = Instant::now();
+    // Bottom level of the output merge tree: k-way merge of this worker's
+    // shards (each shard's `created` is sorted by construction), rendering
+    // output rows as they are emitted — one sorted run, no sort.
+    let t = thread_cpu_s();
     let groups: usize = shards.iter().map(|s| s.rows.len()).sum();
-    let mut rendered: Vec<(u64, Row)> = Vec::with_capacity(groups);
-    for shard in shards {
-        let Shard {
-            rows,
-            created,
-            slots,
-            ..
-        } = shard;
-        for (g, (mut row, c)) in rows.into_iter().zip(created).enumerate() {
-            if render_state {
-                for slot in &slots {
-                    slot.write_state(g, &mut row);
-                }
-            } else {
-                for slot in &slots {
-                    row.push(slot.finalize_value(g));
-                }
-            }
-            rendered.push((c, row));
+    let mut cursors: Vec<RenderCursor> = shards
+        .into_iter()
+        .map(|s| RenderCursor {
+            rows: s.rows.into_iter(),
+            created: s.created,
+            slots: s.slots,
+            g: 0,
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (i, c) in cursors.iter().enumerate() {
+        debug_assert!(c.created.windows(2).all(|w| w[0] < w[1]));
+        if !c.created.is_empty() {
+            heap.push(Reverse((c.created[0], i)));
         }
     }
-    rendered.sort_unstable_by_key(|(c, _)| *c);
+    let mut rendered: Vec<(u64, Row)> = Vec::with_capacity(groups);
+    while let Some(Reverse((created, i))) = heap.pop() {
+        let c = &mut cursors[i];
+        let mut row = c.rows.next().expect("render row");
+        let g = c.g;
+        c.g += 1;
+        if render_state {
+            for slot in &c.slots {
+                slot.write_state(g, &mut row);
+            }
+        } else {
+            for slot in &c.slots {
+                row.push(slot.finalize_value(g));
+            }
+        }
+        rendered.push((created, row));
+        if c.g < c.created.len() {
+            heap.push(Reverse((c.created[c.g], i)));
+        }
+    }
     Ok(WorkerOut {
         rendered,
         merge_busy_s: busy,
-        finalize_s: t.elapsed().as_secs_f64(),
+        finalize_s: thread_cpu_s() - t,
         groups,
     })
+}
+
+/// Render-time cursor over one shard's groups in creation order.
+struct RenderCursor {
+    rows: std::vec::IntoIter<Row>,
+    created: Vec<u64>,
+    slots: Vec<AggSlot>,
+    g: usize,
 }
 
 /// One hash partition of the group space: an open-addressing index over
@@ -642,7 +934,8 @@ struct Shard {
     /// of each group's key so probe compares stay inside one hot vector
     /// instead of chasing `rows[g]`'s heap pointer.
     keys: Vec<Value>,
-    /// Global arrival index at which each group was created.
+    /// Global arrival index at which each group was created (sorted:
+    /// arrivals only grow).
     created: Vec<u64>,
     slots: Vec<AggSlot>,
 }
@@ -680,9 +973,9 @@ impl Shard {
         self.table.insert(hash, g);
     }
 
-    /// Merge one routed fragment row (Theorem 1 super-aggregation). `row`
-    /// is a full-stride slice of a [`ShardBucket`]'s value buffer.
-    fn merge_row(
+    /// Resolve one routed fragment row to its dense group index, creating
+    /// the group at the identity state in Proposition 2 mode.
+    fn resolve(
         &mut self,
         hash: u64,
         arrival: u64,
@@ -690,43 +983,30 @@ impl Shard {
         base_width: usize,
         key_cols: &[usize],
         allow_new: bool,
-    ) -> Result<()> {
+    ) -> Result<usize> {
         let kw = key_cols.len();
         let keys = &self.keys;
-        let found = self
+        if let Some(g) = self
             .table
-            .find(hash, |g| keys_eq(&keys[g * kw..], row, key_cols));
-        match found {
-            Some(g) => {
-                let mut off = base_width;
-                for slot in &mut self.slots {
-                    let w = slot.state_width();
-                    slot.merge_into(g, &row[off..off + w])?;
-                    off += w;
-                }
-            }
-            None if allow_new => {
-                let g = self.rows.len();
-                self.keys.extend(key_cols.iter().map(|&c| row[c].clone()));
-                self.rows.push(row[..base_width].to_vec());
-                self.created.push(arrival);
-                self.table.insert(hash, g);
-                let mut off = base_width;
-                for slot in &mut self.slots {
-                    slot.push_identity();
-                    let w = slot.state_width();
-                    slot.merge_into(g, &row[off..off + w])?;
-                    off += w;
-                }
-            }
-            None => {
-                let key: Row = key_cols.iter().map(|&c| row[c].clone()).collect();
-                return Err(SkallaError::exec(format!(
-                    "fragment contains unknown group key {key:?}"
-                )));
-            }
+            .find(hash, |g| keys_eq(&keys[g * kw..], row, key_cols))
+        {
+            return Ok(g);
         }
-        Ok(())
+        if !allow_new {
+            let key: Row = key_cols.iter().map(|&c| row[c].clone()).collect();
+            return Err(SkallaError::exec(format!(
+                "fragment contains unknown group key {key:?}"
+            )));
+        }
+        let g = self.rows.len();
+        self.keys.extend(key_cols.iter().map(|&c| row[c].clone()));
+        self.rows.push(row[..base_width].to_vec());
+        self.created.push(arrival);
+        self.table.insert(hash, g);
+        for slot in &mut self.slots {
+            slot.push_identity();
+        }
+        Ok(g)
     }
 }
 
@@ -752,6 +1032,20 @@ impl GroupTable {
             mask: 15,
             slots: vec![EMPTY; 16].into_boxed_slice(),
             hashes: Vec::new(),
+        }
+    }
+
+    /// Hint the CPU to pull the first probe slot for `hash` into cache.
+    /// The table is large relative to L1/L2 at realistic group counts, so
+    /// issuing this a few rows ahead of [`GroupTable::find`] hides the
+    /// dependent-load stall of the open-addressing probe.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn prefetch(&self, hash: u64) {
+        let i = (hash as usize) & self.mask;
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(self.slots.as_ptr().add(i).cast::<i8>());
         }
     }
 
@@ -936,13 +1230,14 @@ mod tests {
         }
         let expect = serial.finalize().unwrap();
 
-        for (workers, shards) in [(1, 1), (2, 3), (4, 16)] {
+        for (workers, shards) in [(1, 1), (2, 4), (4, 16), (8, 4)] {
             let mut e = engine(
                 SyncOptions {
                     workers,
                     shards,
                     queue_batches: 2,
                     flush_rows: 8,
+                    flush_rows_max: 32,
                 },
                 false,
                 Some(&b),
@@ -953,9 +1248,34 @@ mod tests {
             let (got, stats) = e.finish().unwrap();
             rows_bits_eq(&expect, &got);
             assert_eq!(stats.groups, 10);
-            assert_eq!(stats.workers, workers);
+            // Workers are clamped to the shard count.
+            assert_eq!(stats.workers, workers.min(shards));
+            assert_eq!(stats.worker_busy_s.len(), stats.workers);
             assert!(stats.utilization() >= 0.0 && stats.utilization() <= 1.0);
+            assert!(stats.imbalance() >= 1.0 || stats.merge_busy_s == 0.0);
+            assert!(stats.batches > 0);
         }
+    }
+
+    #[test]
+    fn shards_round_up_to_power_of_two() {
+        let e = engine(
+            SyncOptions {
+                workers: 3,
+                shards: 7,
+                queue_batches: 2,
+                flush_rows: 8,
+                flush_rows_max: 32,
+            },
+            false,
+            Some(&base()),
+        );
+        assert_eq!(e.shards, 8);
+        assert_eq!(e.workers, 3);
+        // Contiguous ownership covering all shards.
+        assert_eq!(e.owner_of, vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        let (_, stats) = e.finish().unwrap();
+        assert_eq!(stats.shards, 8);
     }
 
     #[test]
@@ -1076,6 +1396,32 @@ mod tests {
         // Unlike the serial placeholder schema, state fields carry the
         // real declared types.
         assert_eq!(got.schema().fields()[2].dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn adaptive_flush_grows_under_backpressure() {
+        // A tiny queue with slow drain (single worker, many rows) must
+        // still deliver every row; batch growth is visible as fewer
+        // batches than rows/flush_rows would predict.
+        let b = base();
+        let mut e = engine(
+            SyncOptions {
+                workers: 1,
+                shards: 2,
+                queue_batches: 1,
+                flush_rows: 4,
+                flush_rows_max: 1024,
+            },
+            false,
+            Some(&b),
+        );
+        for site in 0..50 {
+            e.merge_chunk(site_frag(site)).unwrap();
+        }
+        let (got, stats) = e.finish().unwrap();
+        assert_eq!(got.len(), 10);
+        // 500 rows at a hard 4-row flush would be 125 batches.
+        assert!(stats.batches < 125, "batches = {}", stats.batches);
     }
 
     #[test]

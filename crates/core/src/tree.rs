@@ -461,6 +461,7 @@ impl MidState {
         let plan = self.plan.as_ref().expect("checked in segment_specs");
         let key = plan.expr.key.clone();
         let workers = plan.coord_parallelism;
+        let sync_shards = plan.sync_shards;
         let state_width: usize = specs.iter().map(AggSpec::state_width).sum();
 
         let mut x: Option<ClusterSync> = None;
@@ -526,7 +527,10 @@ impl MidState {
                                 allow_new: true,
                             },
                             None,
-                            SyncOptions::for_workers(workers),
+                            match sync_shards {
+                                Some(s) => SyncOptions::for_workers(workers).with_shards(s),
+                                None => SyncOptions::for_workers(workers),
+                            },
                         )?)
                     } else {
                         ClusterSync::Serial(BaseResult::empty(

@@ -40,6 +40,16 @@ enum Syncer {
     Sharded(ShardedSync),
 }
 
+/// The sync pipeline knobs a plan implies: `coord_parallelism` workers
+/// with the default shard fan-out unless the plan pins a shard count.
+fn sync_options_for(plan: &DistPlan) -> SyncOptions {
+    let opts = SyncOptions::for_workers(plan.coord_parallelism);
+    match plan.sync_shards {
+        Some(s) => opts.with_shards(s),
+        None => opts,
+    }
+}
+
 /// A running distributed data warehouse: `n` site threads plus this
 /// coordinator handle.
 pub struct DistributedWarehouse {
@@ -651,6 +661,7 @@ impl DistributedWarehouse {
             sync_workers: 0,
             sync_shards: 0,
             sync_utilization: 0.0,
+            sync_imbalance: 0.0,
         }
     }
 
@@ -1056,6 +1067,17 @@ impl<'a> QueryRun<'a> {
         self.plan_installed = false;
     }
 
+    /// Adjust the coordinator's synchronization worker count for rounds
+    /// that have not started yet. Safe at any step boundary: the sync
+    /// result is bit-for-bit invariant to the worker count (arrival-index
+    /// ordering), only the engine built at the *next* segment changes,
+    /// and the shipped plan is untouched — sites never read this knob.
+    /// The serving scheduler uses it to shrink per-query worker pools
+    /// when many queries interleave on one executor.
+    pub fn set_coord_parallelism(&mut self, workers: usize) {
+        self.plan.coord_parallelism = workers.max(1);
+    }
+
     /// Whether the run has finished (its result is ready).
     pub fn is_done(&self) -> bool {
         self.done
@@ -1264,7 +1286,7 @@ impl<'a> QueryRun<'a> {
                     allow_new: local_base,
                 },
                 seed,
-                SyncOptions::for_workers(plan.coord_parallelism),
+                sync_options_for(plan),
             )?)
         } else if local_base {
             let b0_schema = Arc::new(expr.base_schema(&default_schema)?);
@@ -1472,28 +1494,39 @@ impl<'a> QueryRun<'a> {
         )?;
         drop(fo_round);
         let t_final = Instant::now();
-        let (finalized, merge_s, finalize_s, workers, shards, utilization, sync_tail_s) = match x {
-            Syncer::Serial(b) => {
-                let rel = b.finalize()?;
-                let fin_s = t_final.elapsed().as_secs_f64();
-                (rel, coord_sync_s, fin_s, 1, 1, 0.0, coord_sync_s + fin_s)
-            }
-            Syncer::Sharded(s) => {
-                let (rel, stats) = s.finish()?;
-                (
-                    rel,
-                    stats.merge_busy_s,
-                    stats.finalize_s,
-                    stats.workers,
-                    stats.shards,
-                    stats.utilization(),
-                    // The serialized (non-overlapped) coordinator
-                    // cost: routing plus the drain after the last
-                    // chunk.
-                    coord_sync_s + stats.drain_s,
-                )
-            }
-        };
+        let (finalized, merge_s, finalize_s, workers, shards, utilization, imbalance, sync_tail_s) =
+            match x {
+                Syncer::Serial(b) => {
+                    let rel = b.finalize()?;
+                    let fin_s = t_final.elapsed().as_secs_f64();
+                    (
+                        rel,
+                        coord_sync_s,
+                        fin_s,
+                        1,
+                        1,
+                        0.0,
+                        0.0,
+                        coord_sync_s + fin_s,
+                    )
+                }
+                Syncer::Sharded(s) => {
+                    let (rel, stats) = s.finish()?;
+                    (
+                        rel,
+                        stats.merge_busy_s,
+                        stats.finalize_s,
+                        stats.workers,
+                        stats.shards,
+                        stats.utilization(),
+                        stats.imbalance(),
+                        // The serialized (non-overlapped) coordinator
+                        // cost: routing plus the drain after the last
+                        // chunk.
+                        coord_sync_s + stats.drain_s,
+                    )
+                }
+            };
         let groups = finalized.len();
         let mut rm = wh.round_metrics_from(
             label,
@@ -1512,6 +1545,7 @@ impl<'a> QueryRun<'a> {
         rm.sync_workers = workers;
         rm.sync_shards = shards;
         rm.sync_utilization = utilization;
+        rm.sync_imbalance = imbalance;
         self.metrics.rounds.push(rm);
         self.current = Some(finalized);
         self.write_checkpoint(self.base_syncs + seg_idx as u32 + 1)

@@ -176,6 +176,80 @@ impl<T: Clone> Lanes<T> {
     }
 }
 
+impl<T> Default for Lanes<T> {
+    fn default() -> Lanes<T> {
+        Lanes {
+            vals: Vec::new(),
+            nulls: Vec::new(),
+            errs: Vec::new(),
+        }
+    }
+}
+
+/// Gather column `col` of a run of row slices into float lanes.
+///
+/// `Value::Float` fills `vals`, `Value::Null` sets the null mask, and any
+/// other variant sets the error mask (callers that pre-validate their rows
+/// never observe one). The output lanes are cleared and refilled, so a
+/// caller can reuse one scratch `Lanes` across batches.
+pub fn gather_f64_rows(rows: &[&[Value]], col: usize, out: &mut Lanes<f64>) {
+    out.vals.clear();
+    out.nulls.clear();
+    out.errs.clear();
+    out.vals.reserve(rows.len());
+    out.nulls.reserve(rows.len());
+    out.errs.reserve(rows.len());
+    for row in rows {
+        match &row[col] {
+            Value::Float(x) => {
+                out.vals.push(*x);
+                out.nulls.push(false);
+                out.errs.push(false);
+            }
+            Value::Null => {
+                out.vals.push(0.0);
+                out.nulls.push(true);
+                out.errs.push(false);
+            }
+            _ => {
+                out.vals.push(0.0);
+                out.nulls.push(false);
+                out.errs.push(true);
+            }
+        }
+    }
+}
+
+/// Gather column `col` of a run of row slices into integer lanes; the
+/// same masking contract as [`gather_f64_rows`], for `Value::Int`.
+pub fn gather_i64_rows(rows: &[&[Value]], col: usize, out: &mut Lanes<i64>) {
+    out.vals.clear();
+    out.nulls.clear();
+    out.errs.clear();
+    out.vals.reserve(rows.len());
+    out.nulls.reserve(rows.len());
+    out.errs.reserve(rows.len());
+    for row in rows {
+        match &row[col] {
+            Value::Int(x) => {
+                out.vals.push(*x);
+                out.nulls.push(false);
+                out.errs.push(false);
+            }
+            Value::Null => {
+                out.vals.push(0);
+                out.nulls.push(true);
+                out.errs.push(false);
+            }
+            _ => {
+                out.vals.push(0);
+                out.nulls.push(false);
+                out.errs.push(true);
+            }
+        }
+    }
+}
+
 /// Evaluation context: the current base tuple plus the detail batch.
 struct Ctx<'a, 'b> {
     base: &'a [Value],

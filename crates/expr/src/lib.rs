@@ -40,7 +40,8 @@ pub mod typecheck;
 pub use analysis::{base_cols_used, conjuncts, detail_cols_used, equality_pairs, EqualityPair};
 pub use builder::ExprBuilder;
 pub use compile::{
-    Batch, ColSlice, ColumnBatch, CompiledPred, CompiledScalar, Lanes, ScalarLanes, BATCH_ROWS,
+    gather_f64_rows, gather_i64_rows, Batch, ColSlice, ColumnBatch, CompiledPred, CompiledScalar,
+    Lanes, ScalarLanes, BATCH_ROWS,
 };
 pub use eval::{eval, eval_base, eval_detail, eval_predicate};
 pub use expr::{BinOp, Expr, UnOp};

@@ -48,5 +48,5 @@ pub use olap::{
     unpivot_expr,
 };
 pub use op::{BaseSpec, GmdjBlock, GmdjExpr, GmdjOp, MATCH_COUNT_COL};
-pub use slots::{slots_for_specs, AggSlot};
+pub use slots::{slots_for_specs, AggSlot, MergeScratch};
 pub use sql::to_sql;

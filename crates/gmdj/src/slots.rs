@@ -27,9 +27,90 @@
 //! (e.g. `MIN` over strings) fall back to a plain `Value` column with the
 //! reference comparison — still allocation-free on the lookup path.
 
+use skalla_expr::{gather_f64_rows, gather_i64_rows, Lanes};
 use skalla_types::{total_cmp_f64, DataType, Result, SkallaError, Value};
 
 use crate::agg::{AggFunc, AggSpec};
+
+/// Reusable typed lanes for [`AggSlot::merge_rows`] and the streaming
+/// [`AggSlot::gather_into`] / [`AggSlot::merge_gathered`] pair: one
+/// scratch set per slot per merge worker, cleared and refilled per batch
+/// so the hot loop never allocates.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Float state column lanes.
+    f: Lanes<f64>,
+    /// Integer state column lanes.
+    i: Lanes<i64>,
+    /// Second integer column for two-column states (`AVG` counts).
+    i2: Lanes<i64>,
+    /// Untyped fallback column ([`AggSlot::MinMaxV`]).
+    v: Vec<Value>,
+}
+
+impl MergeScratch {
+    /// Empty every lane; call once per batch before a
+    /// [`AggSlot::gather_into`] loop.
+    pub fn clear(&mut self) {
+        self.f.vals.clear();
+        self.f.nulls.clear();
+        self.f.errs.clear();
+        self.i.vals.clear();
+        self.i.nulls.clear();
+        self.i.errs.clear();
+        self.i2.vals.clear();
+        self.i2.nulls.clear();
+        self.i2.errs.clear();
+        self.v.clear();
+    }
+}
+
+/// Append one value to a float lane set, mirroring
+/// `skalla_expr::gather_f64_rows` exactly (matching variant → value,
+/// `NULL` → null mask, anything else → error mask).
+#[inline]
+fn push_f64(l: &mut Lanes<f64>, v: &Value) {
+    match v {
+        Value::Float(x) => {
+            l.vals.push(*x);
+            l.nulls.push(false);
+            l.errs.push(false);
+        }
+        Value::Null => {
+            l.vals.push(0.0);
+            l.nulls.push(true);
+            l.errs.push(false);
+        }
+        _ => {
+            l.vals.push(0.0);
+            l.nulls.push(false);
+            l.errs.push(true);
+        }
+    }
+}
+
+/// Append one value to an integer lane set, mirroring
+/// `skalla_expr::gather_i64_rows` exactly.
+#[inline]
+fn push_i64(l: &mut Lanes<i64>, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            l.vals.push(*x);
+            l.nulls.push(false);
+            l.errs.push(false);
+        }
+        Value::Null => {
+            l.vals.push(0);
+            l.nulls.push(true);
+            l.errs.push(false);
+        }
+        _ => {
+            l.vals.push(0);
+            l.nulls.push(false);
+            l.errs.push(true);
+        }
+    }
+}
 
 /// Typed per-group state for one aggregate; groups are dense indices
 /// assigned by the caller (`push_identity` appends group `len()`).
@@ -361,6 +442,230 @@ impl AggSlot {
                         || (!*is_min && *v > vals[g]))
                 {
                     vals[g] = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a batch of incoming state rows into their resolved groups,
+    /// lane-style: the relevant state columns are first gathered into
+    /// typed [`Lanes`] (one pass over the `Value` rows), then accumulated
+    /// with tight typed loops — the same shape as the compiled site
+    /// kernels in `skalla-expr::compile`.
+    ///
+    /// `gids[k]` is the group for row `rows[k]`; `off` is this slot's
+    /// first state column within each row. Rows must have passed
+    /// [`AggSlot::validate_incoming`]. Semantics are bit-for-bit
+    /// identical to calling [`AggSlot::merge_into`] once per row in
+    /// order, including −0.0/NaN copy behavior and the integer `SUM`
+    /// overflow error.
+    pub fn merge_rows(
+        &mut self,
+        gids: &[u32],
+        rows: &[&[Value]],
+        off: usize,
+        scratch: &mut MergeScratch,
+    ) -> Result<()> {
+        debug_assert_eq!(gids.len(), rows.len());
+        match self {
+            AggSlot::Count { .. } | AggSlot::SumI { .. } | AggSlot::MinMaxI { .. } => {
+                gather_i64_rows(rows, off, &mut scratch.i);
+            }
+            AggSlot::SumF { .. } | AggSlot::MinMaxF { .. } => {
+                gather_f64_rows(rows, off, &mut scratch.f);
+            }
+            AggSlot::AvgI { .. } => {
+                gather_i64_rows(rows, off, &mut scratch.i);
+                gather_i64_rows(rows, off + 1, &mut scratch.i2);
+            }
+            AggSlot::AvgF { .. } => {
+                gather_f64_rows(rows, off, &mut scratch.f);
+                gather_i64_rows(rows, off + 1, &mut scratch.i);
+            }
+            AggSlot::MinMaxV { .. } => {
+                scratch.v.clear();
+                scratch.v.extend(rows.iter().map(|r| r[off].clone()));
+            }
+        }
+        self.merge_gathered(gids, scratch)
+    }
+
+    /// Streaming half of the lane path: append `row`'s state columns for
+    /// this slot (starting at `off`) to `scratch`'s typed lanes. One call
+    /// per row, while the (possibly scattered) row is hot from the group
+    /// probe; [`AggSlot::merge_gathered`] then accumulates the whole
+    /// batch over contiguous lanes. Callers must
+    /// [`MergeScratch::clear`] the scratch before each batch.
+    #[inline]
+    pub fn gather_into(&self, row: &[Value], off: usize, scratch: &mut MergeScratch) {
+        match self {
+            AggSlot::Count { .. } | AggSlot::SumI { .. } | AggSlot::MinMaxI { .. } => {
+                push_i64(&mut scratch.i, &row[off]);
+            }
+            AggSlot::SumF { .. } | AggSlot::MinMaxF { .. } => {
+                push_f64(&mut scratch.f, &row[off]);
+            }
+            AggSlot::AvgI { .. } => {
+                push_i64(&mut scratch.i, &row[off]);
+                push_i64(&mut scratch.i2, &row[off + 1]);
+            }
+            AggSlot::AvgF { .. } => {
+                push_f64(&mut scratch.f, &row[off]);
+                push_i64(&mut scratch.i, &row[off + 1]);
+            }
+            AggSlot::MinMaxV { .. } => scratch.v.push(row[off].clone()),
+        }
+    }
+
+    /// Accumulate a gathered batch into its resolved groups with tight
+    /// typed loops. `gids[k]` is the group for lane `k` of `scratch`
+    /// (filled by [`AggSlot::gather_into`] row by row, or by
+    /// [`AggSlot::merge_rows`] columnar-style). Semantics are bit-for-bit
+    /// identical to calling [`AggSlot::merge_into`] once per row in
+    /// order, including −0.0/NaN copy behavior and the integer `SUM`
+    /// overflow error.
+    pub fn merge_gathered(&mut self, gids: &[u32], scratch: &MergeScratch) -> Result<()> {
+        match self {
+            AggSlot::Count { counts } => {
+                debug_assert_eq!(gids.len(), scratch.i.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    if !scratch.i.ok(k) {
+                        unreachable!("validated as Int");
+                    }
+                    // Reference COUNT merge is an unchecked add.
+                    counts[g as usize] += scratch.i.vals[k];
+                }
+            }
+            AggSlot::SumI { vals, null } => {
+                debug_assert_eq!(gids.len(), scratch.i.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    if scratch.i.ok(k) {
+                        let g = g as usize;
+                        let y = scratch.i.vals[k];
+                        if null[g] {
+                            vals[g] = y;
+                            null[g] = false;
+                        } else {
+                            vals[g] = vals[g]
+                                .checked_add(y)
+                                .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                        }
+                    }
+                }
+            }
+            AggSlot::SumF { vals, null } => {
+                debug_assert_eq!(gids.len(), scratch.f.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    if scratch.f.ok(k) {
+                        let g = g as usize;
+                        let y = scratch.f.vals[k];
+                        if null[g] {
+                            vals[g] = y; // copy, preserving -0.0 and NaN bits
+                            null[g] = false;
+                        } else {
+                            vals[g] += y;
+                        }
+                    }
+                }
+            }
+            AggSlot::AvgI {
+                sums,
+                snull,
+                counts,
+            } => {
+                debug_assert_eq!(gids.len(), scratch.i.vals.len());
+                debug_assert_eq!(gids.len(), scratch.i2.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    let g = g as usize;
+                    if scratch.i.ok(k) {
+                        let y = scratch.i.vals[k];
+                        if snull[g] {
+                            sums[g] = y;
+                            snull[g] = false;
+                        } else {
+                            sums[g] = sums[g]
+                                .checked_add(y)
+                                .ok_or_else(|| SkallaError::arithmetic("SUM overflow"))?;
+                        }
+                    }
+                    if !scratch.i2.ok(k) {
+                        unreachable!("validated as Int");
+                    }
+                    // Reference AVG adds the count even for a NULL sum.
+                    counts[g] += scratch.i2.vals[k];
+                }
+            }
+            AggSlot::AvgF {
+                sums,
+                snull,
+                counts,
+            } => {
+                debug_assert_eq!(gids.len(), scratch.f.vals.len());
+                debug_assert_eq!(gids.len(), scratch.i.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    let g = g as usize;
+                    if scratch.f.ok(k) {
+                        let y = scratch.f.vals[k];
+                        if snull[g] {
+                            sums[g] = y;
+                            snull[g] = false;
+                        } else {
+                            sums[g] += y;
+                        }
+                    }
+                    if !scratch.i.ok(k) {
+                        unreachable!("validated as Int");
+                    }
+                    counts[g] += scratch.i.vals[k];
+                }
+            }
+            AggSlot::MinMaxI { vals, null, is_min } => {
+                debug_assert_eq!(gids.len(), scratch.i.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    if scratch.i.ok(k) {
+                        let g = g as usize;
+                        let y = scratch.i.vals[k];
+                        if null[g] || (*is_min && y < vals[g]) || (!*is_min && y > vals[g]) {
+                            vals[g] = y;
+                            null[g] = false;
+                        }
+                    }
+                }
+            }
+            AggSlot::MinMaxF { vals, null, is_min } => {
+                debug_assert_eq!(gids.len(), scratch.f.vals.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    if scratch.f.ok(k) {
+                        let g = g as usize;
+                        let y = scratch.f.vals[k];
+                        let better = || {
+                            let ord = total_cmp_f64(y, vals[g]);
+                            if *is_min {
+                                ord.is_lt()
+                            } else {
+                                ord.is_gt()
+                            }
+                        };
+                        if null[g] || better() {
+                            vals[g] = y;
+                            null[g] = false;
+                        }
+                    }
+                }
+            }
+            AggSlot::MinMaxV { vals, is_min } => {
+                debug_assert_eq!(gids.len(), scratch.v.len());
+                for (k, &g) in gids.iter().enumerate() {
+                    let g = g as usize;
+                    let v = &scratch.v[k];
+                    if !v.is_null()
+                        && (vals[g].is_null()
+                            || (*is_min && *v < vals[g])
+                            || (!*is_min && *v > vals[g]))
+                    {
+                        vals[g] = v.clone();
+                    }
                 }
             }
         }
@@ -704,5 +1009,137 @@ mod tests {
         assert!(matches!(slots[1], AggSlot::AvgF { .. }));
         assert!(matches!(slots[2], AggSlot::MinMaxV { .. }));
         assert!(slots[2].is_empty());
+    }
+
+    /// `merge_rows` over a multi-group batch must be bit-for-bit the same
+    /// as `merge_into` row by row — including −0.0/NaN copies, NULL
+    /// skips, and the untyped fallback column.
+    #[test]
+    fn merge_rows_matches_merge_into() {
+        let cases: Vec<(AggSpec, Vec<DataType>, Vec<Vec<Value>>)> = vec![
+            (
+                AggSpec::count_star("c"),
+                vec![DataType::Int64],
+                vec![
+                    vec![Value::Int(3)],
+                    vec![Value::Int(0)],
+                    vec![Value::Int(7)],
+                ],
+            ),
+            (
+                AggSpec::sum(Expr::detail(0), "s").unwrap(),
+                vec![DataType::Int64],
+                vec![vec![Value::Int(4)], vec![Value::Null], vec![Value::Int(-9)]],
+            ),
+            (
+                AggSpec::sum(Expr::detail(0), "s").unwrap(),
+                vec![DataType::Float64],
+                vec![
+                    vec![Value::Float(-0.0)],
+                    vec![Value::Null],
+                    vec![Value::Float(f64::NAN)],
+                    vec![Value::Float(1.5)],
+                ],
+            ),
+            (
+                AggSpec::avg(Expr::detail(0), "a").unwrap(),
+                vec![DataType::Int64, DataType::Int64],
+                vec![
+                    vec![Value::Null, Value::Int(2)],
+                    vec![Value::Int(10), Value::Int(3)],
+                ],
+            ),
+            (
+                AggSpec::avg(Expr::detail(0), "a").unwrap(),
+                vec![DataType::Float64, DataType::Int64],
+                vec![
+                    vec![Value::Float(-0.0), Value::Int(1)],
+                    vec![Value::Float(2.5), Value::Int(4)],
+                ],
+            ),
+            (
+                AggSpec::min(Expr::detail(0), "m").unwrap(),
+                vec![DataType::Int64],
+                vec![vec![Value::Int(5)], vec![Value::Int(-5)], vec![Value::Null]],
+            ),
+            (
+                AggSpec::max(Expr::detail(0), "m").unwrap(),
+                vec![DataType::Float64],
+                vec![
+                    vec![Value::Float(f64::NAN)],
+                    vec![Value::Float(3.0)],
+                    vec![Value::Float(-0.0)],
+                ],
+            ),
+            (
+                AggSpec::min(Expr::detail(0), "m").unwrap(),
+                vec![DataType::Utf8],
+                vec![
+                    vec![Value::str("pear")],
+                    vec![Value::Null],
+                    vec![Value::str("apple")],
+                ],
+            ),
+        ];
+        for (spec, types, states) in &cases {
+            // Two groups; rows alternate between them so gather order and
+            // group resolution are both exercised.
+            let mut reference = AggSlot::for_spec(spec, types).unwrap();
+            reference.push_identity();
+            reference.push_identity();
+            let mut batched = AggSlot::for_spec(spec, types).unwrap();
+            batched.push_identity();
+            batched.push_identity();
+            let gids: Vec<u32> = (0..states.len() as u32).map(|k| k % 2).collect();
+            for (k, s) in states.iter().enumerate() {
+                reference.merge_into(gids[k] as usize, s).unwrap();
+            }
+            let rows: Vec<&[Value]> = states.iter().map(Vec::as_slice).collect();
+            let mut scratch = MergeScratch::default();
+            batched.merge_rows(&gids, &rows, 0, &mut scratch).unwrap();
+            // Streaming form: per-row gather_into, then one merge_gathered.
+            let mut streamed = AggSlot::for_spec(spec, types).unwrap();
+            streamed.push_identity();
+            streamed.push_identity();
+            scratch.clear();
+            for s in states {
+                streamed.gather_into(s, 0, &mut scratch);
+            }
+            streamed.merge_gathered(&gids, &scratch).unwrap();
+            for g in 0..2 {
+                let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+                reference.write_state(g, &mut a);
+                batched.write_state(g, &mut b);
+                streamed.write_state(g, &mut c);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(bits_eq(x, y), "{spec} g{g}: {x:?} != {y:?}");
+                }
+                for (x, y) in a.iter().zip(&c) {
+                    assert!(bits_eq(x, y), "{spec} g{g} streamed: {x:?} != {y:?}");
+                }
+                assert!(bits_eq(
+                    &reference.finalize_value(g),
+                    &batched.finalize_value(g)
+                ));
+                assert!(bits_eq(
+                    &reference.finalize_value(g),
+                    &streamed.finalize_value(g)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rows_reports_overflow() {
+        let spec = AggSpec::sum(Expr::detail(0), "s").unwrap();
+        let mut slot = AggSlot::for_spec(&spec, &[DataType::Int64]).unwrap();
+        slot.push_identity();
+        let states = [vec![Value::Int(i64::MAX)], vec![Value::Int(1)]];
+        let rows: Vec<&[Value]> = states.iter().map(Vec::as_slice).collect();
+        let mut scratch = MergeScratch::default();
+        let err = slot
+            .merge_rows(&[0, 0], &rows, 0, &mut scratch)
+            .unwrap_err();
+        assert!(err.to_string().contains("SUM overflow"));
     }
 }

@@ -152,6 +152,7 @@ pub fn plan_query(
         block_rows: None,
         site_parallelism: 1,
         coord_parallelism: 1,
+        sync_shards: None,
         retry: RetryPolicy::default(),
     };
     plan.validate()?;

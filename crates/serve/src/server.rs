@@ -58,6 +58,9 @@ pub struct ServeConfig {
     pub degraded: DegradedMode,
     /// Coordinator synchronization workers per query.
     pub coord_workers: usize,
+    /// Sharded-sync shard count override (rounded up to a power of two by
+    /// the engine); `None` keeps the default of 4 shards per worker.
+    pub sync_shards: Option<usize>,
     /// Admission queue bound; submissions beyond it answer `Busy`.
     pub queue_depth: usize,
     /// How many admitted queries the executor interleaves round-robin.
@@ -77,6 +80,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             degraded: DegradedMode::Fail,
             coord_workers: 1,
+            sync_shards: None,
             queue_depth: 64,
             max_interleave: 4,
             cache_entries: 128,
@@ -93,6 +97,7 @@ struct Planner {
     stats: TableStats,
     retry: RetryPolicy,
     coord_workers: usize,
+    sync_shards: Option<usize>,
 }
 
 impl Planner {
@@ -104,6 +109,7 @@ impl Planner {
             choose_plan(&expr, &self.dist, &self.stats, &CostModel::lan_2002())?;
         plan.retry = self.retry.clone();
         plan.coord_parallelism = self.coord_workers.max(1);
+        plan.sync_shards = self.sync_shards;
         Ok(plan)
     }
 }
@@ -381,6 +387,7 @@ fn build_engine(cfg: &ServeConfig) -> Result<(DistributedWarehouse, Planner)> {
             stats,
             retry,
             coord_workers: cfg.coord_workers,
+            sync_shards: cfg.sync_shards,
         },
     ))
 }

@@ -1,0 +1,105 @@
+//! Relative-link integrity for the markdown documentation set.
+//!
+//! CI runs this as the docs job: every `[text](target)` link in the
+//! repo-root and `docs/` markdown files whose target is a relative path
+//! must point at a file that exists in the repository. External links
+//! (`http://`, `https://`, `mailto:`) and in-page anchors (`#...`) are
+//! out of scope; fragments on relative links (`FILE.md#section`) are
+//! stripped before the existence check. Implemented with the standard
+//! library only — no markdown or regex dependencies.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files covered by the link check: everything at the repo root
+/// plus everything under `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.iter().any(|p| p.ends_with("README.md")),
+        "doc scan found no README.md — wrong root?"
+    );
+    files
+}
+
+/// Extract `](target)` link targets from one markdown file, skipping
+/// fenced code blocks (``` ... ```), where example snippets may contain
+/// link-shaped text that is not a real link.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            targets.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+
+    for file in doc_files(root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().unwrap();
+        for raw in link_targets(&text) {
+            let target = raw.trim();
+            if target.is_empty()
+                || target.starts_with('#')
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // `FILE.md#section` → `FILE.md`; keep pure-anchor links out
+            // (handled above).
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path_part).exists() {
+                broken.push(format!(
+                    "{} -> {target}",
+                    file.strip_prefix(root).unwrap_or(&file).display()
+                ));
+            }
+        }
+    }
+
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n  {}",
+        broken.join("\n  ")
+    );
+    // The doc set genuinely cross-links; a zero count means the parser
+    // silently stopped matching, not that the docs are link-free.
+    assert!(checked > 0, "link checker matched no relative links");
+}

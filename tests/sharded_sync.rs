@@ -159,8 +159,18 @@ fn arb_chunks(groups: i64) -> impl Strategy<Value = Vec<Vec<FragRow>>> {
 
 const GROUPS: i64 = 12;
 
-/// (workers, shards) pairs covering the shard counts {1, 2, 7, 16}.
-const LAYOUTS: [(usize, usize); 4] = [(1, 1), (2, 2), (3, 7), (4, 16)];
+/// (workers, shards) pairs covering worker counts {1, 2, 4, 8}, the
+/// single-shard layout, workers > shards (clamped to the shard count), and
+/// a non-power-of-two shard request (rounded up by the engine).
+const LAYOUTS: [(usize, usize); 7] = [(1, 1), (2, 2), (4, 4), (8, 16), (4, 1), (8, 2), (3, 7)];
+
+/// The engine rounds shard requests up to a power of two and clamps the
+/// worker count to the shard count; tests assert against these effective
+/// values, not the raw request.
+fn effective(workers: usize, shards: usize) -> (usize, usize) {
+    let s = shards.max(1).next_power_of_two();
+    (workers.max(1).min(s), s)
+}
 
 proptest! {
     /// Seeded (Theorem 1) mode: every chunk merges into known groups.
@@ -175,14 +185,21 @@ proptest! {
         let expected = serial.finalize().unwrap();
 
         for (workers, shards) in LAYOUTS {
-            let opts = SyncOptions { workers, shards, queue_batches: 2, flush_rows: 16 };
+            let opts = SyncOptions {
+                workers,
+                shards,
+                queue_batches: 2,
+                flush_rows: 16,
+                flush_rows_max: 64,
+            };
             let mut x = sharded(opts, false, Some(&b));
             for c in &chunks {
                 x.merge_chunk(frag(c)).unwrap();
             }
             let (got, stats) = x.finish().unwrap();
-            prop_assert_eq!(stats.workers, workers);
-            prop_assert_eq!(stats.shards, shards);
+            let (ew, es) = effective(workers, shards);
+            prop_assert_eq!(stats.workers, ew);
+            prop_assert_eq!(stats.shards, es);
             assert_rows_bits_eq(&got, &expected, &format!("{workers}w/{shards}s"));
         }
     }
@@ -199,7 +216,13 @@ proptest! {
         let expected = serial.finalize().unwrap();
 
         for (workers, shards) in LAYOUTS {
-            let opts = SyncOptions { workers, shards, queue_batches: 2, flush_rows: 16 };
+            let opts = SyncOptions {
+                workers,
+                shards,
+                queue_batches: 2,
+                flush_rows: 16,
+                flush_rows_max: 64,
+            };
             let mut x = sharded(opts, true, None);
             for c in &chunks {
                 x.merge_chunk(frag(c)).unwrap();
@@ -225,6 +248,69 @@ proptest! {
         }
         let (got, _) = x.finish().unwrap();
         assert_rows_bits_eq(&got, &expected, "row-at-a-time chunks");
+    }
+
+    /// Fault-injected rejection is differential: corrupt chunks (a
+    /// type-invalid state column mid-chunk) interleaved at arbitrary
+    /// positions are rejected all-or-nothing at every layout, so the final
+    /// result is bit-identical to a serial merge of only the good chunks.
+    #[test]
+    fn rejected_chunks_leave_no_trace(
+        chunks in arb_chunks(GROUPS),
+        bad_before in prop::collection::vec(any::<bool>(), 6..7),
+    ) {
+        let b = base(GROUPS);
+        let mut serial =
+            BaseResult::from_base(&b, &[0], specs(), output_fields()).unwrap();
+        for c in &chunks {
+            serial.merge_fragment(&frag(c), false).unwrap();
+        }
+        let expected = serial.finalize().unwrap();
+
+        // A chunk whose first row is valid but whose second has a
+        // non-numeric state column: the router must reject it without
+        // letting the valid first row through.
+        let corrupt = || {
+            Relation::new(
+                frag_schema(),
+                vec![
+                    vec![
+                        Value::Int(1),
+                        Value::Int(1),
+                        Value::Float(1.0),
+                        Value::Float(1.0),
+                        Value::Int(1),
+                    ],
+                    vec![
+                        Value::Int(2),
+                        Value::Str("oops".into()),
+                        Value::Null,
+                        Value::Float(0.0),
+                        Value::Int(1),
+                    ],
+                ],
+            )
+            .unwrap()
+        };
+
+        for (workers, shards) in LAYOUTS {
+            let opts = SyncOptions {
+                workers,
+                shards,
+                queue_batches: 2,
+                flush_rows: 16,
+                flush_rows_max: 64,
+            };
+            let mut x = sharded(opts, false, Some(&b));
+            for (i, c) in chunks.iter().enumerate() {
+                if bad_before.get(i).copied().unwrap_or(false) {
+                    prop_assert!(x.merge_chunk(corrupt()).is_err());
+                }
+                x.merge_chunk(frag(c)).unwrap();
+            }
+            let (got, _) = x.finish().unwrap();
+            assert_rows_bits_eq(&got, &expected, &format!("{workers}w/{shards}s bad chunks"));
+        }
     }
 }
 
