@@ -26,7 +26,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use skalla_core::{
-    CheckpointWal, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags, RetryPolicy,
+    CheckpointWal, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, OptFlags,
+    RetryPolicy, SkewPolicy,
 };
 use skalla_gmdj::to_sql;
 use skalla_net::{CostModel, FaultPlan};
@@ -78,6 +79,10 @@ pub struct Session {
     /// Sync shard-count override (None = one shard per worker, rounded to
     /// a power of two).
     coord_shards: Option<usize>,
+    /// Skew-policy override applied to every executed plan. `None` keeps
+    /// whatever the planner decided (Egil auto-enables on replicated,
+    /// imbalanced loads); `Some` forces the policy on or off.
+    skew: Option<SkewPolicy>,
     /// Metrics of the most recently executed query, for `\metrics`.
     last_metrics: Option<ExecMetrics>,
     buffer: String,
@@ -108,6 +113,7 @@ impl Session {
             checkpoint: None,
             coord_workers: 1,
             coord_shards: None,
+            skew: None,
             last_metrics: None,
             buffer: String::new(),
             max_rows: 20,
@@ -164,6 +170,7 @@ impl Session {
             "\\replicate" => self.cmd_replicate(&args),
             "\\failover" => self.cmd_failover(),
             "\\sync" => self.cmd_sync(&args),
+            "\\skew" => self.cmd_skew(&args),
             "\\metrics" => self.cmd_metrics(),
             other => Err(SkallaError::parse(format!(
                 "unknown command `{other}` (try \\help)"
@@ -222,6 +229,13 @@ impl Session {
     /// two by the engine; `None` restores the default of 4 shards/worker.
     pub fn set_sync_shards(&mut self, shards: Option<usize>) {
         self.coord_shards = shards.map(|s| s.max(1));
+    }
+
+    /// Override the skew policy applied to every executed plan (also used
+    /// by the `--skew` binary flag). `None` restores the planner's own
+    /// (auto) decision. Equivalent to `\skew on|off|auto`.
+    pub fn set_skew_policy(&mut self, skew: Option<SkewPolicy>) {
+        self.skew = skew;
     }
 
     /// Checkpoint every executed query to `wal`, round by round, and resume
@@ -422,6 +436,45 @@ impl Session {
         ))
     }
 
+    /// `\skew [auto | off | on [split_threshold [offload_factor]]]` —
+    /// skew-aware execution for every executed plan. `auto` (the default)
+    /// defers to the planner, which enables splitting and offload on
+    /// replicated warehouses whose learned partition loads are imbalanced;
+    /// `on` forces both hot-partition splitting (above the given imbalance
+    /// threshold) and mid-round straggler offload (past the given multiple
+    /// of the round's median site time); `off` forces the uniform path.
+    fn cmd_skew(&mut self, args: &[&str]) -> Result<String> {
+        let usage = || SkallaError::parse("usage: \\skew [auto | off | on [threshold [factor]]]");
+        match args.first() {
+            None => {}
+            Some(&"auto") => self.skew = None,
+            Some(&"off") => self.skew = Some(SkewPolicy::disabled()),
+            Some(&"on") => {
+                let mut p = SkewPolicy {
+                    split: true,
+                    offload: true,
+                    ..SkewPolicy::default()
+                };
+                if let Some(t) = args.get(1) {
+                    p.split_threshold = t.parse().map_err(|_| usage())?;
+                }
+                if let Some(f) = args.get(2) {
+                    p.offload_factor = f.parse().map_err(|_| usage())?;
+                }
+                self.skew = Some(p);
+            }
+            Some(_) => return Err(usage()),
+        }
+        Ok(match &self.skew {
+            None => "skew execution: auto (planner decides from learned loads)".to_string(),
+            Some(p) if p.is_disabled() => "skew execution: off (forced uniform)".to_string(),
+            Some(p) => format!(
+                "skew execution: on (split above {:.2}× imbalance, offload past {:.1}× median)",
+                p.split_threshold, p.offload_factor
+            ),
+        })
+    }
+
     /// `\metrics` — the full per-round cost table of the last query, with
     /// the synchronization breakdown (decode / merge / finalize and, for
     /// sharded rounds, worker/shard counts and utilization).
@@ -454,6 +507,25 @@ impl Session {
                 let _ = write!(out, " (serial)");
             }
             let _ = writeln!(out);
+        }
+        if m.rounds.iter().any(|r| r.sync_workers > 1) {
+            let _ = writeln!(
+                out,
+                "sync worker imbalance: {:.2}× (busiest/mean merge seconds)",
+                m.sync_imbalance()
+            );
+        }
+        if m.parts_split + m.offloads > 0 || m.skew_ratio > 0.0 {
+            let _ = writeln!(
+                out,
+                "skew: {:.2}× partition imbalance, top group share {:.0}%, \
+                 {} hot split(s), {} offload(s) ({} won by helpers)",
+                m.skew_ratio,
+                m.skew_top_share * 100.0,
+                m.parts_split,
+                m.offloads,
+                m.offload_wins
+            );
         }
         let _ = write!(out, "{}", m.summary());
         Ok(out)
@@ -648,6 +720,9 @@ impl Session {
         plan.retry.degraded = self.degraded;
         plan.coord_parallelism = self.coord_workers.max(1);
         plan.sync_shards = self.coord_shards;
+        if let Some(skew) = self.skew {
+            plan.skew = skew;
+        }
 
         let mut out = String::new();
         if self.explain {
@@ -706,7 +781,9 @@ commands:
                           r > 1 makes `\\degrade failover` give exact answers
   \\failover               replica placement + failover counters of the last query
   \\sync [workers [shards]] coordinator merge workers (>1 = sharded sync pipeline)
-  \\metrics                per-round cost table + sync breakdown of the last query
+  \\skew [mode]            skew-aware execution: auto (planner decides) | off |
+                          on [split_threshold [offload_factor]]
+  \\metrics                per-round cost table + sync/skew breakdown of the last query
   \\help                   this message
   \\q                      quit
 queries:
@@ -1051,6 +1128,60 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
         assert!(m.contains("(serial)"), "{m}");
         let table = |s: &str| s.split("--").next().unwrap().to_string();
         assert_eq!(table(&sharded), table(&serial));
+    }
+
+    #[test]
+    fn skew_command_round_trips_and_overrides_plans() {
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle_line("\\skew") else {
+            panic!()
+        };
+        assert!(out.contains("auto"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\skew on 1.25 2.5") else {
+            panic!()
+        };
+        assert!(out.contains("split above 1.25×"), "{out}");
+        assert!(out.contains("offload past 2.5× median"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\skew off") else {
+            panic!()
+        };
+        assert!(out.contains("forced uniform"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\skew auto") else {
+            panic!()
+        };
+        assert!(out.contains("auto"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\skew sideways") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+        let Outcome::Continue(out) = s.handle_line("\\skew on nope") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+
+        // A forced-on policy rides along on a replicated load and leaves a
+        // visible trail in \metrics (the sketches report partition loads
+        // even when nothing is hot enough to split).
+        s.handle_line("\\replicate 2");
+        s.handle_line("\\degrade failover");
+        s.handle_line("\\skew on 1.05");
+        s.load_tpcr(0.02, 2).unwrap();
+        let forced = s.run_query(QUERY).unwrap();
+        // Second run: the first run's sketches seed the load cache, so the
+        // split decision has data to act on. Results stay identical.
+        let again = s.run_query(QUERY).unwrap();
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&forced), table(&again));
+        let Outcome::Continue(m) = s.handle_line("\\metrics") else {
+            panic!()
+        };
+        assert!(m.contains("skew:"), "{m}");
+        assert!(m.contains("partition imbalance"), "{m}");
+
+        // And forcing it off matches the uniform path bit-for-bit.
+        s.handle_line("\\skew off");
+        let uniform = s.run_query(QUERY).unwrap();
+        assert_eq!(table(&forced), table(&uniform));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! skalla --fault-seed 7 --drop-rate 0.2 --load 0.05 4   # lossy network
 //! skalla --crash-site 2:5 --load 0.05 4   # site 2 dies after 5 messages
 //! skalla --replication 2 --load 0.05 4    # 2-way replicated partitions
+//! skalla --skew on --replication 2 --load 0.05 4   # force skew-aware execution
 //! skalla --checkpoint-dir /tmp/skalla --load 0.05 4   # round-granular WAL
 //! skalla serve --listen 127.0.0.1:7878 --scale 0.05 --sites 4   # TCP server
 //! skalla client --connect 127.0.0.1:7878  # remote shell over the server
@@ -297,6 +298,24 @@ fn main() {
     }
     if let Some(shards) = flag_parse::<usize>(&args, "--sync-shards") {
         session.set_sync_shards(Some(shards));
+    }
+
+    // --skew auto|off|on: skew-aware execution override, same knob as the
+    // in-shell `\skew` command.
+    if let Some(mode) = flag_value(&args, "--skew") {
+        match mode.as_str() {
+            "auto" => session.set_skew_policy(None),
+            "off" => session.set_skew_policy(Some(skalla_core::SkewPolicy::disabled())),
+            "on" => session.set_skew_policy(Some(skalla_core::SkewPolicy {
+                split: true,
+                offload: true,
+                ..skalla_core::SkewPolicy::default()
+            })),
+            other => {
+                eprintln!("error: --skew expects auto|off|on, got `{other}`");
+                std::process::exit(2);
+            }
+        }
     }
 
     // --checkpoint-dir <path>: round-granular checkpoint WAL; a restarted

@@ -62,7 +62,9 @@ pub use baseresult::BaseResult;
 pub use cache::{CacheStats, PlanKey, ResultCache};
 pub use checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
 pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
-pub use plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment};
+pub use plan::{
+    BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment, SkewPolicy,
+};
 pub use sched::{Admission, QueryScheduler, QueryTicket, SchedConfig, SchedStats};
 pub use sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};
 pub use tree::TieredWarehouse;

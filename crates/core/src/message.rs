@@ -16,9 +16,12 @@ use skalla_expr::{BinOp, Expr, UnOp};
 use skalla_gmdj::{AggFunc, AggSpec, BaseSpec, GmdjBlock, GmdjExpr, GmdjOp};
 use skalla_net::wire::{put_str, put_varint};
 use skalla_net::{WireDecode, WireEncode, WireReader};
+use skalla_storage::{PartFrag, PartSketch};
 use skalla_types::{Relation, Result, SkallaError, Value};
 
-use crate::plan::{BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec};
+use crate::plan::{
+    BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, SkewPolicy,
+};
 
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,12 +30,19 @@ pub enum Message {
     Plan(DistPlan),
     /// Ask a site to compute its local `B₀ᵢ` fragment.
     ComputeBase {
-        /// Which partitions of the detail relation to cover. `None` means
-        /// the site's own primary partition (the replication-unaware
-        /// protocol); `Some(ps)` restricts the computation to the named
-        /// replicated partitions — used by failover to re-request a dead
-        /// site's partitions from a surviving replica host.
-        parts: Option<Vec<u32>>,
+        /// Which partition fragments of the detail relation to cover.
+        /// `None` means the site's own primary partition (the
+        /// replication-unaware protocol); `Some(fs)` restricts the
+        /// computation to the named replicated partition fragments — used
+        /// by failover to re-request a dead site's partitions from a
+        /// surviving replica host, and by skew-aware splitting to hand out
+        /// row-range slices of a hot partition.
+        parts: Option<Vec<PartFrag>>,
+        /// Work-assignment id within `(epoch, round)`. The original
+        /// request is task 0; straggler-offload duplicates get fresh ids
+        /// so the coordinator can tell a helper's reply from the
+        /// laggard's. Sites echo it on every reply chunk.
+        task: u32,
     },
     /// A site's base fragment plus its measured compute time.
     BaseFragment {
@@ -40,6 +50,11 @@ pub enum Message {
         rel: Relation,
         /// Site compute seconds.
         compute_s: f64,
+        /// Echo of the request's task id.
+        task: u32,
+        /// Per-partition cardinality + heavy-hitter sketches gathered
+        /// during the scan, shipped so the coordinator can detect skew.
+        sketch: Vec<PartSketch>,
     },
     /// Evaluate operator `op_idx` against the shipped base (standard
     /// round).
@@ -48,9 +63,11 @@ pub enum Message {
         op_idx: u32,
         /// The base(-fragment) relation to aggregate against.
         base: Relation,
-        /// Detail partitions to aggregate over; `None` means the site's
-        /// primary partition (see [`Message::ComputeBase`]).
-        parts: Option<Vec<u32>>,
+        /// Detail partition fragments to aggregate over; `None` means the
+        /// site's primary partition (see [`Message::ComputeBase`]).
+        parts: Option<Vec<PartFrag>>,
+        /// Work-assignment id (see [`Message::ComputeBase`]).
+        task: u32,
     },
     /// A site's sub-aggregate relation `Hᵢ` for a standard round —
     /// possibly one of several row-blocked chunks.
@@ -74,6 +91,11 @@ pub enum Message {
         blocks_interpreted: u32,
         /// `false` while more chunks follow (row blocking).
         last: bool,
+        /// Echo of the request's task id.
+        task: u32,
+        /// Per-partition cardinality sketches (reported on the final
+        /// chunk; empty on earlier chunks).
+        sketch: Vec<PartSketch>,
     },
     /// Evaluate operators `start..=end` locally without intermediate
     /// synchronization (synchronization reduction).
@@ -85,9 +107,11 @@ pub enum Message {
         /// The base to start from; `None` means compute `B₀ᵢ` locally
         /// (Proposition 2).
         base: Option<Relation>,
-        /// Detail partitions to aggregate over; `None` means the site's
-        /// primary partition (see [`Message::ComputeBase`]).
-        parts: Option<Vec<u32>>,
+        /// Detail partition fragments to aggregate over; `None` means the
+        /// site's primary partition (see [`Message::ComputeBase`]).
+        parts: Option<Vec<PartFrag>>,
+        /// Work-assignment id (see [`Message::ComputeBase`]).
+        task: u32,
     },
     /// A site's combined sub-aggregate relation for a local run —
     /// possibly one of several row-blocked chunks.
@@ -109,6 +133,11 @@ pub enum Message {
         blocks_interpreted: u32,
         /// `false` while more chunks follow (row blocking).
         last: bool,
+        /// Echo of the request's task id.
+        task: u32,
+        /// Per-partition cardinality sketches (reported on the final
+        /// chunk; empty on earlier chunks).
+        sketch: Vec<PartSketch>,
     },
     /// Baseline only: ship the named raw detail table to the coordinator
     /// (what Skalla never does — used to demonstrate Theorem 2).
@@ -187,30 +216,127 @@ fn put_f64(buf: &mut BytesMut, v: f64) {
     buf.put_slice(&v.to_le_bytes());
 }
 
+/// Encode a partition-fragment reference (three varints).
+pub fn encode_part_frag(f: &PartFrag, buf: &mut BytesMut) {
+    put_varint(buf, u64::from(f.part));
+    put_varint(buf, u64::from(f.frag));
+    put_varint(buf, u64::from(f.of));
+}
+
+/// Decode a partition-fragment reference, rejecting degenerate splits.
+pub fn decode_part_frag(r: &mut WireReader<'_>) -> Result<PartFrag> {
+    let part = r.varint()? as u32;
+    let frag = r.varint()? as u32;
+    let of = r.varint()? as u32;
+    if of == 0 || frag >= of {
+        return Err(SkallaError::net(format!(
+            "invalid fragment {frag}/{of} of partition {part}"
+        )));
+    }
+    Ok(PartFrag { part, frag, of })
+}
+
+fn encode_opt_frags(parts: &Option<Vec<PartFrag>>, buf: &mut BytesMut) {
+    match parts {
+        None => buf.put_u8(0),
+        Some(fs) => {
+            buf.put_u8(1);
+            put_varint(buf, fs.len() as u64);
+            for f in fs {
+                encode_part_frag(f, buf);
+            }
+        }
+    }
+}
+
+fn decode_opt_frags(r: &mut WireReader<'_>) -> Result<Option<Vec<PartFrag>>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n = r.varint()? as usize;
+            let mut fs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                fs.push(decode_part_frag(r)?);
+            }
+            Ok(Some(fs))
+        }
+        other => Err(SkallaError::net(format!("invalid fragments byte {other}"))),
+    }
+}
+
+/// Encode a per-partition cardinality + heavy-hitter sketch.
+pub fn encode_part_sketch(s: &PartSketch, buf: &mut BytesMut) {
+    put_varint(buf, u64::from(s.part));
+    put_varint(buf, s.rows);
+    put_varint(buf, s.heavy.len() as u64);
+    for &(key, count) in &s.heavy {
+        put_varint(buf, key);
+        put_varint(buf, count);
+    }
+}
+
+/// Decode a per-partition sketch.
+pub fn decode_part_sketch(r: &mut WireReader<'_>) -> Result<PartSketch> {
+    let part = r.varint()? as u32;
+    let rows = r.varint()?;
+    let n = r.varint()? as usize;
+    let mut heavy = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        heavy.push((r.varint()?, r.varint()?));
+    }
+    Ok(PartSketch { part, rows, heavy })
+}
+
+fn encode_sketches(ss: &[PartSketch], buf: &mut BytesMut) {
+    put_varint(buf, ss.len() as u64);
+    for s in ss {
+        encode_part_sketch(s, buf);
+    }
+}
+
+fn decode_sketches(r: &mut WireReader<'_>) -> Result<Vec<PartSketch>> {
+    let n = r.varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(decode_part_sketch(r)?);
+    }
+    Ok(out)
+}
+
 fn encode_message(m: &Message, buf: &mut BytesMut) {
     match m {
         Message::Plan(p) => {
             buf.put_u8(0);
             encode_plan(p, buf);
         }
-        Message::ComputeBase { parts } => {
+        Message::ComputeBase { parts, task } => {
             buf.put_u8(1);
-            parts.encode(buf);
+            encode_opt_frags(parts, buf);
+            put_varint(buf, u64::from(*task));
         }
-        Message::BaseFragment { rel, compute_s } => {
+        Message::BaseFragment {
+            rel,
+            compute_s,
+            task,
+            sketch,
+        } => {
             buf.put_u8(2);
             rel.encode(buf);
             put_f64(buf, *compute_s);
+            put_varint(buf, u64::from(*task));
+            encode_sketches(sketch, buf);
         }
         Message::Round {
             op_idx,
             base,
             parts,
+            task,
         } => {
             buf.put_u8(3);
             put_varint(buf, u64::from(*op_idx));
             base.encode(buf);
-            parts.encode(buf);
+            encode_opt_frags(parts, buf);
+            put_varint(buf, u64::from(*task));
         }
         Message::RoundResult {
             op_idx,
@@ -220,6 +346,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             blocks_compiled,
             blocks_interpreted,
             last,
+            task,
+            sketch,
         } => {
             buf.put_u8(4);
             put_varint(buf, u64::from(*op_idx));
@@ -229,18 +357,22 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_varint(buf, u64::from(*blocks_compiled));
             put_varint(buf, u64::from(*blocks_interpreted));
             last.encode(buf);
+            put_varint(buf, u64::from(*task));
+            encode_sketches(sketch, buf);
         }
         Message::LocalRun {
             start,
             end,
             base,
             parts,
+            task,
         } => {
             buf.put_u8(5);
             put_varint(buf, u64::from(*start));
             put_varint(buf, u64::from(*end));
             base.encode(buf);
-            parts.encode(buf);
+            encode_opt_frags(parts, buf);
+            put_varint(buf, u64::from(*task));
         }
         Message::LocalRunResult {
             end,
@@ -250,6 +382,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             blocks_compiled,
             blocks_interpreted,
             last,
+            task,
+            sketch,
         } => {
             buf.put_u8(6);
             put_varint(buf, u64::from(*end));
@@ -259,6 +393,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_varint(buf, u64::from(*blocks_compiled));
             put_varint(buf, u64::from(*blocks_interpreted));
             last.encode(buf);
+            put_varint(buf, u64::from(*task));
+            encode_sketches(sketch, buf);
         }
         Message::ShipAllRequest { table } => {
             buf.put_u8(7);
@@ -281,16 +417,20 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
     match r.u8()? {
         0 => Ok(Message::Plan(decode_plan(r)?)),
         1 => Ok(Message::ComputeBase {
-            parts: Option::<Vec<u32>>::decode(r)?,
+            parts: decode_opt_frags(r)?,
+            task: r.varint()? as u32,
         }),
         2 => Ok(Message::BaseFragment {
             rel: Relation::decode(r)?,
             compute_s: r.f64()?,
+            task: r.varint()? as u32,
+            sketch: decode_sketches(r)?,
         }),
         3 => Ok(Message::Round {
             op_idx: r.varint()? as u32,
             base: Relation::decode(r)?,
-            parts: Option::<Vec<u32>>::decode(r)?,
+            parts: decode_opt_frags(r)?,
+            task: r.varint()? as u32,
         }),
         4 => Ok(Message::RoundResult {
             op_idx: r.varint()? as u32,
@@ -300,12 +440,15 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             blocks_compiled: r.varint()? as u32,
             blocks_interpreted: r.varint()? as u32,
             last: bool::decode(r)?,
+            task: r.varint()? as u32,
+            sketch: decode_sketches(r)?,
         }),
         5 => Ok(Message::LocalRun {
             start: r.varint()? as u32,
             end: r.varint()? as u32,
             base: Option::<Relation>::decode(r)?,
-            parts: Option::<Vec<u32>>::decode(r)?,
+            parts: decode_opt_frags(r)?,
+            task: r.varint()? as u32,
         }),
         6 => Ok(Message::LocalRunResult {
             end: r.varint()? as u32,
@@ -315,6 +458,8 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             blocks_compiled: r.varint()? as u32,
             blocks_interpreted: r.varint()? as u32,
             last: bool::decode(r)?,
+            task: r.varint()? as u32,
+            sketch: decode_sketches(r)?,
         }),
         7 => Ok(Message::ShipAllRequest { table: r.string()? }),
         8 => Ok(Message::ShipAllData {
@@ -643,6 +788,11 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
         DegradedMode::Partial => 1,
         DegradedMode::Failover => 2,
     });
+    p.skew.split.encode(buf);
+    put_f64(buf, p.skew.split_threshold);
+    put_varint(buf, p.skew.max_split as u64);
+    p.skew.offload.encode(buf);
+    put_f64(buf, p.skew.offload_factor);
 }
 
 fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
@@ -720,6 +870,23 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         backoff,
         degraded,
     };
+    let split = bool::decode(r)?;
+    let split_threshold = r.f64()?;
+    let max_split = r.varint()? as usize;
+    let offload = bool::decode(r)?;
+    let offload_factor = r.f64()?;
+    if !split_threshold.is_finite() || !offload_factor.is_finite() {
+        return Err(SkallaError::net(format!(
+            "invalid skew policy knobs {split_threshold}/{offload_factor}"
+        )));
+    }
+    let skew = SkewPolicy {
+        split,
+        split_threshold,
+        max_split,
+        offload,
+        offload_factor,
+    };
     Ok(DistPlan {
         expr,
         base_round,
@@ -730,6 +897,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         coord_parallelism,
         sync_shards,
         retry,
+        skew,
     })
 }
 
@@ -795,6 +963,13 @@ mod tests {
             backoff: 1.5,
             degraded: DegradedMode::Partial,
         };
+        plan.skew = SkewPolicy {
+            split: true,
+            split_threshold: 1.75,
+            max_split: 4,
+            offload: true,
+            offload_factor: 2.5,
+        };
         round_trip(&Message::Plan(plan));
     }
 
@@ -807,16 +982,20 @@ mod tests {
         round_trip(&Message::BaseFragment {
             rel: rel.clone(),
             compute_s: 0.125,
+            task: 0,
+            sketch: Vec::new(),
         });
         round_trip(&Message::Round {
             op_idx: 3,
             base: rel.clone(),
             parts: None,
+            task: 0,
         });
         round_trip(&Message::Round {
             op_idx: 3,
             base: rel.clone(),
-            parts: Some(vec![1, 3]),
+            parts: Some(vec![PartFrag::whole(1), PartFrag::whole(3)]),
+            task: 2,
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
@@ -826,6 +1005,12 @@ mod tests {
             blocks_compiled: 2,
             blocks_interpreted: 1,
             last: true,
+            task: 0,
+            sketch: vec![PartSketch {
+                part: 1,
+                rows: 99,
+                heavy: Vec::new(),
+            }],
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
@@ -835,18 +1020,22 @@ mod tests {
             blocks_compiled: 0,
             blocks_interpreted: 0,
             last: false,
+            task: 1,
+            sketch: Vec::new(),
         });
         round_trip(&Message::LocalRun {
             start: 0,
             end: 2,
             base: Some(rel.clone()),
             parts: None,
+            task: 0,
         });
         round_trip(&Message::LocalRun {
             start: 0,
             end: 0,
             base: None,
-            parts: Some(vec![0]),
+            parts: Some(vec![PartFrag::whole(0)]),
+            task: 0,
         });
         round_trip(&Message::LocalRunResult {
             end: 2,
@@ -856,6 +1045,8 @@ mod tests {
             blocks_compiled: 3,
             blocks_interpreted: 0,
             last: true,
+            task: 0,
+            sketch: Vec::new(),
         });
         round_trip(&Message::ShipAllRequest {
             table: "flow".into(),
@@ -864,12 +1055,77 @@ mod tests {
             rel,
             compute_s: 2.0,
         });
-        round_trip(&Message::ComputeBase { parts: None });
         round_trip(&Message::ComputeBase {
-            parts: Some(vec![2]),
+            parts: None,
+            task: 0,
+        });
+        round_trip(&Message::ComputeBase {
+            parts: Some(vec![PartFrag::whole(2)]),
+            task: 0,
         });
         round_trip(&Message::Shutdown);
         round_trip(&Message::Error { msg: "boom".into() });
+    }
+
+    #[test]
+    fn sketch_and_range_frames_round_trip() {
+        let schema = Schema::from_pairs([("k", DataType::Int64)])
+            .unwrap()
+            .into_arc();
+        let rel = Relation::new(schema, vec![vec![Value::Int(7)]]).unwrap();
+        // Row-range fragments of a split hot partition.
+        round_trip(&Message::ComputeBase {
+            parts: Some(vec![
+                PartFrag {
+                    part: 5,
+                    frag: 0,
+                    of: 4,
+                },
+                PartFrag {
+                    part: 5,
+                    frag: 3,
+                    of: 4,
+                },
+                PartFrag::whole(2),
+            ]),
+            task: 7,
+        });
+        // Heavy-hitter sketches on a base reply.
+        round_trip(&Message::BaseFragment {
+            rel,
+            compute_s: 0.5,
+            task: 3,
+            sketch: vec![
+                PartSketch {
+                    part: 0,
+                    rows: 1_000_000,
+                    heavy: vec![(0xdead_beef, 750_000), (17, 1_000)],
+                },
+                PartSketch {
+                    part: 9,
+                    rows: 42,
+                    heavy: Vec::new(),
+                },
+            ],
+        });
+        // Degenerate fragments are rejected at decode time.
+        for bad in [
+            PartFrag {
+                part: 1,
+                frag: 0,
+                of: 0,
+            },
+            PartFrag {
+                part: 1,
+                frag: 2,
+                of: 2,
+            },
+        ] {
+            let mut buf = BytesMut::new();
+            encode_part_frag(&bad, &mut buf);
+            let mut r = WireReader::new(&buf);
+            assert!(decode_part_frag(&mut r).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
@@ -923,7 +1179,10 @@ mod tests {
 
     #[test]
     fn frame_prefix_round_trips() {
-        let m = Message::ComputeBase { parts: None };
+        let m = Message::ComputeBase {
+            parts: None,
+            task: 0,
+        };
         let bytes = m.to_wire_framed(42, 7);
         let (e, round, back) = Message::from_wire_framed(&bytes).unwrap();
         assert_eq!(e, 42);
@@ -939,7 +1198,12 @@ mod tests {
         assert!(Message::from_wire(&[200]).is_err());
         assert!(Message::from_wire(&[]).is_err());
         // Valid message + trailing garbage.
-        let mut bytes = Message::ComputeBase { parts: None }.to_wire().to_vec();
+        let mut bytes = Message::ComputeBase {
+            parts: None,
+            task: 0,
+        }
+        .to_wire()
+        .to_vec();
         bytes.push(0);
         assert!(Message::from_wire(&bytes).is_err());
         // Truncated plan.

@@ -58,7 +58,10 @@ pub struct RoundMetrics {
     pub rows_up: u64,
     /// Messages exchanged.
     pub messages: u64,
-    /// Maximum per-site compute seconds (sites run in parallel).
+    /// Maximum per-site compute seconds (sites run in parallel) — the
+    /// round's critical path. Sites report thread-CPU seconds, so this
+    /// models sites that each own their cores even when the host
+    /// time-slices the site threads.
     pub site_compute_max_s: f64,
     /// Total site compute seconds (work performed).
     pub site_compute_total_s: f64,
@@ -138,6 +141,22 @@ pub struct ExecMetrics {
     /// Seconds spent re-planning waves after site loss (epoch bump,
     /// reassignment, re-sends).
     pub failover_s: f64,
+    /// Hot partitions split into row-range fragments across replicas by
+    /// the skew planner, summed over rounds (a partition split in every
+    /// round counts once per round).
+    pub parts_split: u64,
+    /// Straggler-offload offers issued: a laggard's residual work was
+    /// duplicated to an idle replica under a fresh task id.
+    pub offloads: u64,
+    /// Offload offers the helper won (its duplicate reply completed
+    /// before the laggard's original did).
+    pub offload_wins: u64,
+    /// Largest per-partition load imbalance (max/mean detail rows) the
+    /// sites' sketches reported, 0 when no sketches were shipped.
+    pub skew_ratio: f64,
+    /// Largest single-group share of any partition's rows reported by the
+    /// heavy-hitter sketches, 0 when none were shipped.
+    pub skew_top_share: f64,
     /// Round checkpoints appended to the write-ahead log.
     pub checkpoints: u32,
     /// Seconds spent serializing and writing round checkpoints.
@@ -389,6 +408,16 @@ impl ExecMetrics {
                 self.failovers, self.parts_reassigned, self.parts_lost, self.failover_s,
             ));
         }
+        if self.parts_split + self.offloads > 0 || self.skew_ratio > 0.0 {
+            s.push_str(&format!(
+                " | skew: {:.2}× imbalance, top share {:.0}%, {} split(s), {} offload(s) ({} won)",
+                self.skew_ratio,
+                self.skew_top_share * 100.0,
+                self.parts_split,
+                self.offloads,
+                self.offload_wins,
+            ));
+        }
         if self.checkpoints > 0 {
             s.push_str(&format!(
                 " | checkpoint: {} sync(s), {:.4}s",
@@ -556,5 +585,24 @@ mod tests {
         );
         assert!(s.contains("checkpoint: 3 sync(s)"), "{s}");
         assert!(s.contains("resumed: 2 sync(s) from checkpoint"), "{s}");
+    }
+
+    #[test]
+    fn skew_summary_line() {
+        let mut m = ExecMetrics::default();
+        assert!(!m.summary().contains("skew"), "{}", m.summary());
+
+        m.skew_ratio = 2.5;
+        m.skew_top_share = 0.4;
+        m.parts_split = 1;
+        m.offloads = 2;
+        m.offload_wins = 1;
+        let s = m.summary();
+        assert!(
+            s.contains(
+                "skew: 2.50\u{d7} imbalance, top share 40%, 1 split(s), 2 offload(s) (1 won)"
+            ),
+            "{s}"
+        );
     }
 }

@@ -103,6 +103,58 @@ impl RetryPolicy {
     }
 }
 
+/// Skew-aware execution knobs: hot-partition splitting and mid-round
+/// straggler offload. Both apply only under replicated placement with
+/// [`DegradedMode::Failover`] (they reuse the partition-explicit request
+/// and chunk-staging machinery), and both preserve bit-for-bit exactness —
+/// splitting addresses disjoint row ranges whose sub-aggregates merge
+/// additively, and offload races idempotent recomputation on a replica
+/// against the straggler with a first-complete-wins resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewPolicy {
+    /// Split hot partitions into row-range fragments across surviving ring
+    /// replicas, using the per-partition cardinalities learned from the
+    /// sites' round-reply sketches.
+    pub split: bool,
+    /// A partition is *hot* when its learned detail cardinality exceeds
+    /// `split_threshold ×` the mean over assigned partitions.
+    pub split_threshold: f64,
+    /// Cap on fragments per split partition (`0` = automatic: slices of
+    /// roughly a quarter of the mean load, at most 16).
+    pub max_split: usize,
+    /// Mid-round, offload a straggler's entire remaining work to an idle
+    /// replica and let the first complete reply win.
+    pub offload: bool,
+    /// A site is a straggler once the round has run longer than
+    /// `offload_factor ×` the median completion time of the sites that
+    /// already finished (and at least half have).
+    pub offload_factor: f64,
+}
+
+impl Default for SkewPolicy {
+    fn default() -> Self {
+        SkewPolicy {
+            split: false,
+            split_threshold: 1.5,
+            max_split: 0,
+            offload: false,
+            offload_factor: 3.0,
+        }
+    }
+}
+
+impl SkewPolicy {
+    /// Everything off (the static uniform layout).
+    pub fn disabled() -> SkewPolicy {
+        SkewPolicy::default()
+    }
+
+    /// `true` when neither mechanism is enabled.
+    pub fn is_disabled(&self) -> bool {
+        !self.split && !self.offload
+    }
+}
+
 /// How the initial base-values relation `B₀` is obtained and synchronized.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BaseRound {
@@ -194,6 +246,9 @@ pub struct DistPlan {
     /// Coordinator deadline/retry budget and degradation behavior for
     /// every synchronization round.
     pub retry: RetryPolicy,
+    /// Skew-aware execution: hot-partition splitting across replicas and
+    /// mid-round straggler offload. Disabled by default.
+    pub skew: SkewPolicy,
 }
 
 impl DistPlan {
@@ -215,6 +270,7 @@ impl DistPlan {
             coord_parallelism: 1,
             sync_shards: None,
             retry: RetryPolicy::default(),
+            skew: SkewPolicy::disabled(),
         }
     }
 
@@ -258,6 +314,36 @@ impl DistPlan {
         self
     }
 
+    /// Install a full skew policy.
+    pub fn with_skew(mut self, skew: SkewPolicy) -> DistPlan {
+        self.skew = skew;
+        self
+    }
+
+    /// Enable hot-partition splitting at the given imbalance threshold
+    /// (clamped to at least 1.0; splitting below the mean is meaningless).
+    pub fn with_skew_split(mut self, threshold: f64) -> DistPlan {
+        self.skew.split = true;
+        self.skew.split_threshold = if threshold.is_finite() {
+            threshold.max(1.0)
+        } else {
+            SkewPolicy::default().split_threshold
+        };
+        self
+    }
+
+    /// Enable mid-round straggler offload at the given lag factor over the
+    /// median completion time (clamped to at least 0.0).
+    pub fn with_skew_offload(mut self, factor: f64) -> DistPlan {
+        self.skew.offload = true;
+        self.skew.offload_factor = if factor.is_finite() {
+            factor.max(0.0)
+        } else {
+            SkewPolicy::default().offload_factor
+        };
+        self
+    }
+
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<()> {
         if self.rounds.len() != self.expr.ops.len() {
@@ -280,6 +366,22 @@ impl DistPlan {
             return Err(SkallaError::plan(
                 "LocalOnly base round requires a distinct-project base",
             ));
+        }
+        if self.skew.split
+            && !(self.skew.split_threshold.is_finite() && self.skew.split_threshold >= 1.0)
+        {
+            return Err(SkallaError::plan(format!(
+                "skew split threshold must be a finite ratio >= 1.0, got {}",
+                self.skew.split_threshold
+            )));
+        }
+        if self.skew.offload
+            && !(self.skew.offload_factor.is_finite() && self.skew.offload_factor >= 0.0)
+        {
+            return Err(SkallaError::plan(format!(
+                "skew offload factor must be finite and non-negative, got {}",
+                self.skew.offload_factor
+            )));
         }
         Ok(())
     }
@@ -474,5 +576,42 @@ mod tests {
         let all = OptFlags::all();
         assert!(all.coalesce && all.site_group_reduction);
         assert!(all.coord_group_reduction && all.sync_reduction);
+    }
+
+    #[test]
+    fn skew_policy_builders_and_validation() {
+        let p = DistPlan::unoptimized(expr(1));
+        assert!(p.skew.is_disabled());
+        assert!(p.validate().is_ok());
+
+        let p = p.with_skew_split(0.5).with_skew_offload(-3.0);
+        assert!(p.skew.split && p.skew.offload);
+        // Clamped into their valid ranges.
+        assert_eq!(p.skew.split_threshold, 1.0);
+        assert_eq!(p.skew.offload_factor, 0.0);
+        assert!(p.validate().is_ok());
+
+        // Non-finite knobs fall back to defaults rather than poisoning the plan.
+        let p = DistPlan::unoptimized(expr(1)).with_skew_split(f64::NAN);
+        assert_eq!(
+            p.skew.split_threshold,
+            SkewPolicy::default().split_threshold
+        );
+        assert!(p.validate().is_ok());
+
+        // A hand-built policy with bad values is rejected by validate().
+        let mut bad = DistPlan::unoptimized(expr(1));
+        bad.skew = SkewPolicy {
+            split: true,
+            split_threshold: f64::INFINITY,
+            ..SkewPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        bad.skew = SkewPolicy {
+            offload: true,
+            offload_factor: f64::NAN,
+            ..SkewPolicy::default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

@@ -6,17 +6,30 @@
 //! [`Message::Shutdown`]. Failures are reported back as [`Message::Error`]
 //! rather than crashing the fabric.
 
-use std::time::Instant;
+use std::hash::{Hash, Hasher};
 
 use skalla_gmdj::{
     eval_gmdj_dual, eval_gmdj_sub, BaseSpec, EvalOptions, GmdjExpr, MATCH_COUNT_COL,
 };
 use skalla_net::Endpoint;
-use skalla_storage::{partition_table_name, Catalog, Table, TableBuilder};
+use skalla_storage::{partition_table_name, Catalog, PartFrag, PartSketch, SpaceSaving, Table};
 use skalla_types::{Relation, Result, Schema, SkallaError, Value};
 
 use crate::message::Message;
 use crate::plan::DistPlan;
+
+/// The clock behind every `compute_s` a site reports: per-thread CPU
+/// seconds. Sites are threads of one process sharing the host's cores,
+/// but they model machines that each own theirs — a wall clock would
+/// charge a site for time the OS spent running its neighbours, which
+/// inverts every comparison that changes how much sites overlap (a
+/// skew-balanced layout looks *slower* than a stragglered one on a
+/// small host). Thread CPU time is what the modeled cluster would
+/// measure; `RoundMetrics::site_compute_max_s` stays the true parallel
+/// critical path at any host core count.
+fn site_clock_s() -> f64 {
+    crate::sync::thread_cpu_s()
+}
 
 /// Run the site worker loop until shutdown. Intended to be the body of a
 /// spawned thread; the coordinator is node 0.
@@ -30,14 +43,17 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
     let mut state = SiteState {
         catalog,
         plan: None,
+        frag_cache: std::cell::RefCell::new(None),
     };
-    // One-entry reply cache keyed by `(epoch, round)`. The coordinator
-    // re-sends a round request when its deadline expires; a site that
-    // already served that exact round replays its reply (the original may
-    // have been lost in transit) instead of recomputing. One entry
-    // suffices: the coordinator never moves to round r+1 before round r is
-    // settled, so a duplicate can only concern the latest round served.
-    let mut reply_cache: Option<(u64, u32, Vec<Message>)> = None;
+    // One-entry reply cache keyed by `(epoch, round, task)`. The
+    // coordinator re-sends a round request when its deadline expires; a
+    // site that already served that exact round replays its reply (the
+    // original may have been lost in transit) instead of recomputing. One
+    // entry suffices: the coordinator never moves to round r+1 before
+    // round r is settled, so a duplicate can only concern the latest round
+    // served — the task id keeps a straggler-offload assignment from
+    // replaying the site's reply for a different work set in that round.
+    let mut reply_cache: Option<(u64, u32, u32, Vec<Message>)> = None;
     loop {
         let env = match endpoint.recv() {
             Ok(e) => e,
@@ -66,8 +82,9 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
             state.plan = Some(p);
             continue;
         }
-        if let Some((ce, cr, cached)) = &reply_cache {
-            if *ce == epoch && *cr == round {
+        let task = request_task(&msg);
+        if let Some((ce, cr, ct, cached)) = &reply_cache {
+            if *ce == epoch && *cr == round && *ct == task {
                 for resp in cached.clone() {
                     if reply(&endpoint, parent, epoch, round, resp).is_err() {
                         return;
@@ -78,7 +95,7 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
         }
         match state.handle(msg) {
             Ok(responses) => {
-                reply_cache = Some((epoch, round, responses.clone()));
+                reply_cache = Some((epoch, round, task, responses.clone()));
                 for resp in responses {
                     if reply(&endpoint, parent, epoch, round, resp).is_err() {
                         return;
@@ -115,10 +132,31 @@ fn reply(
     endpoint.send(parent, msg.to_wire_framed(epoch, round))
 }
 
+/// The work-assignment id a request carries (0 for messages that predate
+/// the task protocol, e.g. `ShipAllRequest`).
+fn request_task(msg: &Message) -> u32 {
+    match msg {
+        Message::ComputeBase { task, .. }
+        | Message::Round { task, .. }
+        | Message::LocalRun { task, .. } => *task,
+        _ => 0,
+    }
+}
+
+/// A cached materialized detail table: (table name, fragment list) key
+/// plus the assembled rows.
+type FragCacheEntry = (String, Vec<PartFrag>, std::sync::Arc<Table>);
+
 /// Mutable per-site state.
 struct SiteState {
     catalog: Catalog,
     plan: Option<DistPlan>,
+    /// One-entry cache of the last materialized multi-fragment detail
+    /// table, keyed by (table name, fragment list). A query's rounds
+    /// name the same split layout once per synchronization; without the
+    /// cache each round would pay a fresh columnar copy of the site's
+    /// whole work list.
+    frag_cache: std::cell::RefCell<Option<FragCacheEntry>>,
 }
 
 impl SiteState {
@@ -128,25 +166,29 @@ impl SiteState {
                 self.plan = Some(p);
                 Ok(Vec::new())
             }
-            Message::ComputeBase { parts } => self.compute_base(parts.as_deref()).map(|m| vec![m]),
+            Message::ComputeBase { parts, task } => {
+                self.compute_base(parts.as_deref(), task).map(|m| vec![m])
+            }
             Message::Round {
                 op_idx,
                 base,
                 parts,
-            } => self.round(op_idx as usize, base, parts.as_deref()),
+                task,
+            } => self.round(op_idx as usize, base, parts.as_deref(), task),
             Message::LocalRun {
                 start,
                 end,
                 base,
                 parts,
-            } => self.local_run(start as usize, end as usize, base, parts.as_deref()),
+                task,
+            } => self.local_run(start as usize, end as usize, base, parts.as_deref(), task),
             Message::ShipAllRequest { table } => {
-                let started = Instant::now();
+                let started = site_clock_s();
                 let t = self.catalog.get(&table)?;
                 let rel = t.to_relation();
                 Ok(vec![Message::ShipAllData {
                     rel,
-                    compute_s: started.elapsed().as_secs_f64(),
+                    compute_s: site_clock_s() - started,
                 }])
             }
             other => Err(SkallaError::exec(format!(
@@ -167,45 +209,135 @@ impl SiteState {
 
     /// Resolve the detail relation a request aggregates over. `parts: None`
     /// is the replication-unaware protocol — the site's primary partition,
-    /// registered under the plain table name. `Some(ps)` names replicated
-    /// partitions (registered by `skalla-storage::replicate_catalogs` under
-    /// their mangled names) and unions them; failover uses this to hand a
-    /// dead site's partitions to a surviving replica host.
-    fn detail_table(&self, name: &str, parts: Option<&[u32]>) -> Result<std::sync::Arc<Table>> {
-        let Some(ps) = parts else {
+    /// registered under the plain table name. `Some(fs)` names replicated
+    /// partition fragments (tables registered by
+    /// `skalla-storage::replicate_catalogs` under their mangled names) and
+    /// unions them; failover uses this to hand a dead site's partitions to
+    /// a surviving replica host, and skew-aware splitting uses row-range
+    /// fragments to spread a hot partition over several hosts. Replicas
+    /// are bit-identical with identical row order, so a `PartFrag` row
+    /// range denotes the same rows on every host.
+    fn detail_table(
+        &self,
+        name: &str,
+        parts: Option<&[PartFrag]>,
+    ) -> Result<std::sync::Arc<Table>> {
+        let Some(fs) = parts else {
             return self.catalog.get(name);
         };
-        if ps.is_empty() {
-            return Err(SkallaError::exec("request names an empty partition list"));
+        if fs.is_empty() {
+            return Err(SkallaError::exec("request names an empty fragment list"));
         }
-        let tables: Vec<std::sync::Arc<Table>> = ps
-            .iter()
-            .map(|&p| self.catalog.get(&partition_table_name(name, p as usize)))
-            .collect::<Result<_>>()?;
-        if tables.len() == 1 {
-            return Ok(tables.into_iter().next().unwrap());
+        if fs.len() == 1 && fs[0].is_whole() {
+            return self
+                .catalog
+                .get(&partition_table_name(name, fs[0].part as usize));
         }
-        let mut b = TableBuilder::new(tables[0].schema().clone());
-        for t in &tables {
-            for row in t.iter_rows() {
-                b.push_row(&row)?;
+        if let Some((n, f, t)) = self.frag_cache.borrow().as_ref() {
+            if n == name && f == fs {
+                return Ok(t.clone());
             }
         }
-        Ok(std::sync::Arc::new(b.finish()))
+        // Columnar assembly: whole partitions and row-range slices are
+        // bulk typed-vector copies, never per-row pushes — fragment
+        // materialization must stay cheap relative to the scan it slices.
+        let mut pieces: Vec<Table> = Vec::with_capacity(fs.len());
+        for f in fs {
+            let t = self
+                .catalog
+                .get(&partition_table_name(name, f.part as usize))?;
+            if f.is_whole() {
+                pieces.push((*t).clone());
+            } else {
+                let (start, end) = f.row_bounds(t.len());
+                pieces.push(t.row_range(start, end)?);
+            }
+        }
+        let table = std::sync::Arc::new(Table::concat(&pieces)?);
+        *self.frag_cache.borrow_mut() = Some((name.to_string(), fs.to_vec(), table.clone()));
+        Ok(table)
+    }
+
+    /// Per-partition sketches for the partitions a request names. `rows`
+    /// is the *whole* partition's cardinality (the site hosts the full
+    /// replica even when asked for a fragment of it), so coordinator-side
+    /// load estimates are exact regardless of how the request was sliced.
+    /// When `heavy_cols` is given, a space-saving heavy-hitter sketch over
+    /// those columns is gathered from the requested row ranges.
+    fn part_sketches(
+        &self,
+        name: &str,
+        parts: Option<&[PartFrag]>,
+        heavy_cols: Option<&[usize]>,
+    ) -> Result<Vec<PartSketch>> {
+        // The replication-unaware protocol has no partition ids to report.
+        let Some(fs) = parts else {
+            return Ok(Vec::new());
+        };
+        let mut out: Vec<PartSketch> = Vec::new();
+        // One sketch per partition, accumulated across that partition's
+        // fragments (a split partition sends several row ranges to one
+        // site; its heavy hitters are a property of the partition, not of
+        // any single slice).
+        let mut sketches: Vec<SpaceSaving> = Vec::new();
+        for f in fs {
+            let t = self
+                .catalog
+                .get(&partition_table_name(name, f.part as usize))?;
+            if out.last().map(|s| s.part) != Some(f.part) {
+                out.push(PartSketch {
+                    part: f.part,
+                    rows: t.len() as u64,
+                    heavy: Vec::new(),
+                });
+                sketches.push(SpaceSaving::new(HEAVY_HITTER_CAP));
+            }
+            if let Some(cols) = heavy_cols {
+                let (start, end) = if f.is_whole() {
+                    (0, t.len())
+                } else {
+                    f.row_bounds(t.len())
+                };
+                // Columnar scan: hash only the group-key columns by index
+                // — no per-row materialization, and a fragment's nonzero
+                // start offset costs nothing (iterating rows and skipping
+                // the prefix would charge split fragments for rows they
+                // never compute on).
+                let key_cols: Vec<_> = cols
+                    .iter()
+                    .map(|&c| (c < t.schema().len()).then(|| t.column(c)))
+                    .collect();
+                let ss = sketches.last_mut().expect("just pushed");
+                for i in start..end {
+                    ss.offer(hash_group_cols(&key_cols, i));
+                }
+            }
+        }
+        for (sk, ss) in out.iter_mut().zip(&sketches) {
+            sk.heavy = ss.top();
+        }
+        Ok(out)
     }
 
     /// Compute the local `B₀ᵢ` fragment.
-    fn compute_base(&self, parts: Option<&[u32]>) -> Result<Message> {
-        let started = Instant::now();
+    fn compute_base(&self, parts: Option<&[PartFrag]>, task: u32) -> Result<Message> {
+        let started = site_clock_s();
         let expr = self.expr()?;
         let rel = self.local_base(expr, parts)?;
+        let heavy_cols = match &expr.base {
+            BaseSpec::DistinctProject { cols } => Some(cols.clone()),
+            BaseSpec::Relation(_) => None,
+        };
+        let sketch = self.part_sketches(&expr.detail_name, parts, heavy_cols.as_deref())?;
         Ok(Message::BaseFragment {
             rel,
-            compute_s: started.elapsed().as_secs_f64(),
+            compute_s: site_clock_s() - started,
+            task,
+            sketch,
         })
     }
 
-    fn local_base(&self, expr: &GmdjExpr, parts: Option<&[u32]>) -> Result<Relation> {
+    fn local_base(&self, expr: &GmdjExpr, parts: Option<&[PartFrag]>) -> Result<Relation> {
         match &expr.base {
             BaseSpec::DistinctProject { cols } => {
                 let detail = self.detail_table(&expr.detail_name, parts)?;
@@ -220,8 +352,14 @@ impl SiteState {
     /// One standard round: sub-aggregates for operator `op_idx` over the
     /// shipped base fragment. Row blocking (if enabled in the plan) splits
     /// the reply into chunks, all but the last flagged `last: false`.
-    fn round(&self, op_idx: usize, base: Relation, parts: Option<&[u32]>) -> Result<Vec<Message>> {
-        let started = Instant::now();
+    fn round(
+        &self,
+        op_idx: usize,
+        base: Relation,
+        parts: Option<&[PartFrag]>,
+        task: u32,
+    ) -> Result<Vec<Message>> {
+        let started = site_clock_s();
         let plan = self.plan()?;
         let op = plan
             .expr
@@ -239,7 +377,10 @@ impl SiteState {
         let blocks_compiled = stats.blocks_compiled;
         let blocks_interpreted = (stats.blocks_hashed + stats.blocks_nested) - blocks_compiled;
         let h = if reduce { strip_unmatched(h)? } else { h };
-        let compute_s = started.elapsed().as_secs_f64();
+        // Cardinality-only sketches (O(#parts)): the coordinator refreshes
+        // its load estimates from every reply, not just base rounds.
+        let sketch = self.part_sketches(plan.expr.detail_for_op(op_idx), parts, None)?;
+        let compute_s = site_clock_s() - started;
         Ok(chunk_relation(h, plan.block_rows)
             .into_iter()
             .enumerate()
@@ -251,6 +392,8 @@ impl SiteState {
                 blocks_compiled: if last { blocks_compiled } else { 0 },
                 blocks_interpreted: if last { blocks_interpreted } else { 0 },
                 last,
+                task,
+                sketch: if last { sketch.clone() } else { Vec::new() },
             })
             .collect())
     }
@@ -263,9 +406,10 @@ impl SiteState {
         start: usize,
         end: usize,
         base: Option<Relation>,
-        parts: Option<&[u32]>,
+        parts: Option<&[PartFrag]>,
+        task: u32,
     ) -> Result<Vec<Message>> {
-        let started = Instant::now();
+        let started = site_clock_s();
         let plan = self.plan()?;
         let expr = &plan.expr;
         if end >= expr.ops.len() || start > end {
@@ -332,7 +476,8 @@ impl SiteState {
             rows.push(row);
         }
         let ship = Relation::from_rows_unchecked(schema, rows);
-        let compute_s = started.elapsed().as_secs_f64();
+        let sketch = self.part_sketches(&expr.detail_name, parts, None)?;
+        let compute_s = site_clock_s() - started;
         Ok(chunk_relation(ship, plan.block_rows)
             .into_iter()
             .enumerate()
@@ -344,9 +489,47 @@ impl SiteState {
                 blocks_compiled: if last { blocks_compiled } else { 0 },
                 blocks_interpreted: if last { blocks_interpreted } else { 0 },
                 last,
+                task,
+                sketch: if last { sketch.clone() } else { Vec::new() },
             })
             .collect())
     }
+}
+
+/// Space-saving counter capacity for the heavy-hitter sketch shipped with
+/// base replies: enough to expose a handful of dominant groups without
+/// bloating the frame.
+const HEAVY_HITTER_CAP: usize = 8;
+
+/// Deterministic 64-bit hash of the group-key columns of a detail row.
+/// Only used for sketching — collisions merely blur the skew estimate.
+/// Hash row `i`'s group key straight off the columns (type-tagged, `Null`
+/// for out-of-range indices). Columnar so the sketch scan never
+/// materializes rows it only needs two columns of.
+fn hash_group_cols(cols: &[Option<&skalla_storage::Column>], i: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for c in cols {
+        match c.map(|c| c.get(i)) {
+            None | Some(Value::Null) => 0u8.hash(&mut h),
+            Some(Value::Int(v)) => {
+                1u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            Some(Value::Float(v)) => {
+                2u8.hash(&mut h);
+                v.to_bits().hash(&mut h);
+            }
+            Some(Value::Str(s)) => {
+                3u8.hash(&mut h);
+                s.as_bytes().hash(&mut h);
+            }
+            Some(Value::Bool(b)) => {
+                4u8.hash(&mut h);
+                b.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
 }
 
 /// Split a relation into `(chunk, is_last)` pieces of at most `block_rows`
@@ -424,9 +607,10 @@ mod tests {
         let state = SiteState {
             catalog: Catalog::new(),
             plan: None,
+            frag_cache: std::cell::RefCell::new(None),
         };
         assert!(state.plan().is_err());
-        let r = state.round(0, Relation::empty(Schema::empty().into_arc()), None);
+        let r = state.round(0, Relation::empty(Schema::empty().into_arc()), None, 0);
         assert!(r.is_err());
     }
 

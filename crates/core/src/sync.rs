@@ -67,7 +67,7 @@ use skalla_types::{exact_i64, DataType, Field, Relation, Result, Row, Schema, Sk
 /// per-thread wall clock and the stage timings become upper bounds under
 /// contention.
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-fn thread_cpu_s() -> f64 {
+pub(crate) fn thread_cpu_s() -> f64 {
     const SYS_CLOCK_GETTIME: u64 = 228;
     const CLOCK_THREAD_CPUTIME_ID: u64 = 3;
     let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
@@ -86,7 +86,7 @@ fn thread_cpu_s() -> f64 {
 }
 
 #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
-fn thread_cpu_s() -> f64 {
+pub(crate) fn thread_cpu_s() -> f64 {
     thread_local! {
         static ANCHOR: Instant = Instant::now();
     }
@@ -564,14 +564,36 @@ impl ShardedSync {
         // Pass 1: validate every row (synchronous all-or-nothing
         // rejection, before anything is mutated) and hash its key while
         // the row is hot — the hash buffer is scratch, so an error here
-        // still leaves the engine untouched.
+        // still leaves the engine untouched. On large chunks with idle
+        // merge capacity the pass splits across the chunk halves: the
+        // router keeps the lower half (its CPU stays in `partition_s`)
+        // while a scoped helper runs the upper half, and the lower half's
+        // error is reported first so the surfaced row matches a serial
+        // scan's earliest failure half.
         self.hash_scratch.clear();
-        self.hash_scratch.reserve(n);
-        for row in frag.rows() {
-            for (v, c) in row[self.base_width..].iter().zip(&self.checks) {
-                c.check(v)?;
-            }
-            self.hash_scratch.push(hash_key(row, &self.key_cols));
+        self.hash_scratch.resize(n, 0);
+        let rows = frag.rows();
+        if self.workers > 1 && n >= PAR_VALIDATE_MIN_ROWS {
+            let mid = n / 2;
+            let (lo_out, hi_out) = self.hash_scratch.split_at_mut(mid);
+            let (base_width, checks, key_cols) = (self.base_width, &self.checks, &*self.key_cols);
+            let (lo, hi) = std::thread::scope(|s| {
+                let hi = s.spawn(move || {
+                    validate_and_hash(&rows[mid..], base_width, checks, key_cols, hi_out)
+                });
+                let lo = validate_and_hash(&rows[..mid], base_width, checks, key_cols, lo_out);
+                (lo, hi.join().expect("validate half"))
+            });
+            lo?;
+            hi?;
+        } else {
+            validate_and_hash(
+                rows,
+                self.base_width,
+                &self.checks,
+                &self.key_cols,
+                &mut self.hash_scratch,
+            )?;
         }
         // Pass 2: route a locator per row to its shard's owner, straight
         // off the precomputed hashes — no row memory is touched. The chunk
@@ -741,6 +763,31 @@ impl ShardedSync {
             .take()
             .unwrap_or_else(|| SkallaError::exec("sync worker terminated"))
     }
+}
+
+/// Chunk-row floor below which splitting the validate+hash pass across
+/// threads costs more (thread hand-off, cache sharing) than it saves.
+const PAR_VALIDATE_MIN_ROWS: usize = 1024;
+
+/// The fused Pass-1 kernel of [`ShardedSync::merge_chunk`] over one slice
+/// of a chunk's rows: validate every state column and record each row's
+/// key hash in `out` (which must be `rows.len()` long). Runs on the router
+/// thread, and on a scoped helper for the upper half of large chunks.
+fn validate_and_hash(
+    rows: &[Row],
+    base_width: usize,
+    checks: &[ColCheck],
+    key_cols: &[usize],
+    out: &mut [u64],
+) -> Result<()> {
+    debug_assert_eq!(rows.len(), out.len());
+    for (row, h) in rows.iter().zip(out.iter_mut()) {
+        for (v, c) in row[base_width..].iter().zip(checks) {
+            c.check(v)?;
+        }
+        *h = hash_key(row, key_cols);
+    }
+    Ok(())
 }
 
 /// Top level of the output merge tree: k-way merge of the per-worker

@@ -129,6 +129,7 @@ impl TieredWarehouse {
             schemas,
             epoch: std::sync::atomic::AtomicU64::new(0),
             replicas: None,
+            skew_loads: parking_lot::Mutex::new(HashMap::new()),
         };
         Ok(TieredWarehouse {
             root,
@@ -260,22 +261,30 @@ impl MidState {
                 }
                 Ok(Vec::new())
             }
-            Message::ComputeBase { parts } => {
+            Message::ComputeBase { parts, task } => {
                 for &c in children {
                     ep.send(
                         c,
                         Message::ComputeBase {
                             parts: parts.clone(),
+                            task,
                         }
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
                 let mut combined: Option<Relation> = None;
                 let mut max_s: f64 = 0.0;
+                let mut sketches = Vec::new();
                 for _ in children {
                     match self.recv(ep)? {
-                        Message::BaseFragment { rel, compute_s } => {
+                        Message::BaseFragment {
+                            rel,
+                            compute_s,
+                            sketch,
+                            ..
+                        } => {
                             max_s = max_s.max(compute_s);
+                            sketches.extend(sketch);
                             match &mut combined {
                                 None => combined = Some(rel),
                                 Some(acc) => acc.union_all(rel)?,
@@ -294,12 +303,15 @@ impl MidState {
                 Ok(vec![Message::BaseFragment {
                     rel,
                     compute_s: max_s,
+                    task,
+                    sketch: sketches,
                 }])
             }
             Message::Round {
                 op_idx,
                 base,
                 parts,
+                task,
             } => {
                 let specs = self.segment_specs(op_idx as usize, op_idx as usize)?;
                 for &c in children {
@@ -309,11 +321,13 @@ impl MidState {
                             op_idx,
                             base: base.clone(),
                             parts: parts.clone(),
+                            task,
                         }
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s, bc, bi) = self.merge_cluster(ep, children.len(), specs)?;
+                let (merged, max_s, bc, bi, sketches) =
+                    self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::RoundResult {
                     op_idx,
                     seq: 0,
@@ -322,6 +336,8 @@ impl MidState {
                     blocks_compiled: bc,
                     blocks_interpreted: bi,
                     last: true,
+                    task,
+                    sketch: sketches,
                 }])
             }
             Message::LocalRun {
@@ -329,6 +345,7 @@ impl MidState {
                 end,
                 base,
                 parts,
+                task,
             } => {
                 let specs = self.segment_specs(start as usize, end as usize)?;
                 for &c in children {
@@ -339,11 +356,13 @@ impl MidState {
                             end,
                             base: base.clone(),
                             parts: parts.clone(),
+                            task,
                         }
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s, bc, bi) = self.merge_cluster(ep, children.len(), specs)?;
+                let (merged, max_s, bc, bi, sketches) =
+                    self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::LocalRunResult {
                     end,
                     seq: 0,
@@ -352,6 +371,8 @@ impl MidState {
                     blocks_compiled: bc,
                     blocks_interpreted: bi,
                     last: true,
+                    task,
+                    sketch: sketches,
                 }])
             }
             Message::ShipAllRequest { table } => {
@@ -450,14 +471,16 @@ impl MidState {
     }
 
     /// Pre-synchronize the cluster's fragments (handles row-blocked chunks)
-    /// and return the merged state relation, the slowest child time, and
-    /// the cluster's summed compiled/interpreted block counts.
+    /// and return the merged state relation, the slowest child time, the
+    /// cluster's summed compiled/interpreted block counts, and the
+    /// children's concatenated skew sketches (relayed upward so the root
+    /// still learns per-partition loads through the tree).
     fn merge_cluster(
         &self,
         ep: &Endpoint,
         num_children: usize,
         specs: Vec<AggSpec>,
-    ) -> Result<(Relation, f64, u32, u32)> {
+    ) -> Result<(Relation, f64, u32, u32, Vec<skalla_storage::PartSketch>)> {
         let plan = self.plan.as_ref().expect("checked in segment_specs");
         let key = plan.expr.key.clone();
         let workers = plan.coord_parallelism;
@@ -469,24 +492,41 @@ impl MidState {
         let mut max_s: f64 = 0.0;
         let mut total_bc = 0u32;
         let mut total_bi = 0u32;
+        let mut sketches = Vec::new();
         while pending > 0 {
-            let (h, compute_s, bc, bi, last) = match self.recv(ep)? {
+            let (h, compute_s, bc, bi, last, sketch) = match self.recv(ep)? {
                 Message::RoundResult {
                     h,
                     compute_s,
                     blocks_compiled,
                     blocks_interpreted,
                     last,
+                    sketch,
                     ..
-                } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
+                } => (
+                    h,
+                    compute_s,
+                    blocks_compiled,
+                    blocks_interpreted,
+                    last,
+                    sketch,
+                ),
                 Message::LocalRunResult {
                     ship,
                     compute_s,
                     blocks_compiled,
                     blocks_interpreted,
                     last,
+                    sketch,
                     ..
-                } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
+                } => (
+                    ship,
+                    compute_s,
+                    blocks_compiled,
+                    blocks_interpreted,
+                    last,
+                    sketch,
+                ),
                 other => {
                     return Err(SkallaError::exec(format!(
                         "mid-tier expected round result, got {other:?}"
@@ -497,6 +537,7 @@ impl MidState {
                 max_s = max_s.max(compute_s);
                 total_bc += bc;
                 total_bi += bi;
+                sketches.extend(sketch);
                 pending -= 1;
             }
             let x = match &mut x {
@@ -554,6 +595,6 @@ impl MidState {
             Some(ClusterSync::Sharded(s)) => s.finish()?.0,
             None => return Err(SkallaError::exec("mid-tier cluster produced no fragments")),
         };
-        Ok((merged, max_s, total_bc, total_bi))
+        Ok((merged, max_s, total_bc, total_bi, sketches))
     }
 }

@@ -16,12 +16,16 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use skalla_expr::{eval_base, Expr};
 use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
 use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork, TransferStats};
-use skalla_storage::{replicate_catalogs, Catalog, Partitioning, ReplicaMap};
+use skalla_storage::{
+    load_imbalance, plan_splits, replicate_catalogs, Catalog, PartFrag, PartSketch, Partitioning,
+    ReplicaMap,
+};
 use skalla_types::{DataType, Field, Relation, Result, Schema, SkallaError, Value};
 
 use crate::baseresult::BaseResult;
@@ -67,6 +71,11 @@ pub struct DistributedWarehouse {
     /// launched via [`DistributedWarehouse::launch_replicated`]. Required
     /// for [`DegradedMode::Failover`].
     pub(crate) replicas: Option<ReplicaMap>,
+    /// Per-table partition cardinalities learned from the sketches sites
+    /// ship with round replies. Persists across queries, so a warehouse
+    /// that has seen one query over a skewed table can split its hot
+    /// partitions from the very first round of the next query.
+    pub(crate) skew_loads: Mutex<HashMap<String, Vec<u64>>>,
 }
 
 impl DistributedWarehouse {
@@ -125,6 +134,7 @@ impl DistributedWarehouse {
             schemas,
             epoch: AtomicU64::new(0),
             replicas: None,
+            skew_loads: Mutex::new(HashMap::new()),
         })
     }
 
@@ -239,6 +249,7 @@ impl DistributedWarehouse {
         mut failover: Option<&mut FailoverRound<'_>>,
         sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
     ) -> Result<u64> {
+        let round_start = Instant::now();
         let mut st = RoundState {
             epoch,
             round,
@@ -249,6 +260,9 @@ impl DistributedWarehouse {
             reqs: requests.into_iter().collect(),
             staged: BTreeMap::new(),
         };
+        let offload_armed = failover
+            .as_deref()
+            .is_some_and(|fo| fo.offload_factor.is_some());
         let mut lost: Vec<NodeId> = Vec::new();
         for (site, req) in &st.reqs {
             *attempts.entry(*site).or_default() += 1;
@@ -278,9 +292,25 @@ impl DistributedWarehouse {
                 if remaining.is_zero() {
                     break;
                 }
-                let env = match self.coord.try_recv_for(remaining) {
+                // With offload armed, wake every couple of milliseconds to
+                // check for stragglers instead of blocking out the full
+                // attempt window.
+                let wait = if offload_armed {
+                    remaining.min(Duration::from_millis(2))
+                } else {
+                    remaining
+                };
+                let env = match self.coord.try_recv_for(wait) {
                     Ok(Some(env)) => env,
-                    Ok(None) => break, // attempt window expired
+                    Ok(None) => {
+                        if let (true, Some(fo)) = (offload_armed, failover.as_deref_mut()) {
+                            self.maybe_offload(&mut st, fo, dead, round_start, attempts);
+                            // Poll tick: the loop head breaks once the real
+                            // attempt window has expired.
+                            continue;
+                        }
+                        break; // attempt window expired
+                    }
                     Err(e) => {
                         // Every peer endpoint is gone: no reply can ever
                         // arrive for the remaining sites.
@@ -370,12 +400,16 @@ impl DistributedWarehouse {
                 };
                 {
                     let p = st.prog.get_mut(&src).expect("participant checked");
+                    if reply_task(&msg) != p.task {
+                        continue; // reply for a superseded assignment
+                    }
                     if seq != p.expected_seq {
                         continue; // duplicated or replayed chunk
                     }
                     p.expected_seq += 1;
                     if last {
                         p.done = true;
+                        p.done_at = Some(Instant::now());
                     }
                 }
                 match failover.as_deref_mut() {
@@ -391,6 +425,29 @@ impl DistributedWarehouse {
                             // The site's partitions are now served; a later
                             // failure of this site costs nothing this round.
                             fo.site_parts.remove(&src);
+                            // First complete side of an offload offer wins:
+                            // the loser's staged chunks are discarded whole
+                            // and it owes nothing further this round.
+                            if let Some(i) = fo
+                                .offers
+                                .iter()
+                                .position(|o| o.laggard == src || o.helper == src)
+                            {
+                                let o = fo.offers.swap_remove(i);
+                                let loser = if o.helper == src {
+                                    fo.events.offload_wins += 1;
+                                    // The helper just served the laggard's
+                                    // residual work.
+                                    fo.site_parts.remove(&o.laggard);
+                                    o.laggard
+                                } else {
+                                    o.helper
+                                };
+                                st.staged.remove(&loser);
+                                if let Some(p) = st.prog.get_mut(&loser) {
+                                    p.done = true;
+                                }
+                            }
                         }
                     }
                     None => sink(src, msg)?,
@@ -450,6 +507,111 @@ impl DistributedWarehouse {
         Ok(st.epoch)
     }
 
+    /// Mid-round straggler offload: once at least half the round's sites
+    /// have delivered their final chunk, a site lagging
+    /// `offload_factor ×` the median completion time has its residual
+    /// fragments duplicated to one idle replica host under a fresh task
+    /// id. Both sides keep computing; the first to finish wins and the
+    /// other's staged reply is discarded whole (see the acceptance path in
+    /// `collect_round`). A laggard gets at most one outstanding offer, and
+    /// the helper must host every owed fragment's partition — answers are
+    /// bit-for-bit unchanged because replicas are bit-identical and the
+    /// task-id check keeps the two assignments from ever mixing.
+    fn maybe_offload(
+        &self,
+        st: &mut RoundState,
+        fo: &mut FailoverRound<'_>,
+        dead: &HashSet<NodeId>,
+        round_start: Instant,
+        attempts: &mut BTreeMap<NodeId, u32>,
+    ) {
+        let Some(factor) = fo.offload_factor else {
+            return;
+        };
+        let mut done_times: Vec<f64> = st
+            .prog
+            .values()
+            .filter_map(|p| p.done_at)
+            .map(|t| t.duration_since(round_start).as_secs_f64())
+            .collect();
+        if done_times.len() * 2 < st.prog.len() {
+            return; // not enough finishers to estimate the round's pace
+        }
+        done_times.sort_by(f64::total_cmp);
+        let median = done_times[done_times.len() / 2];
+        if round_start.elapsed().as_secs_f64() < factor * median {
+            return;
+        }
+        let laggards: Vec<NodeId> = st
+            .prog
+            .iter()
+            .filter(|(s, p)| {
+                !p.done
+                    && !fo
+                        .offers
+                        .iter()
+                        .any(|o| o.laggard == **s || o.helper == **s)
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        for laggard in laggards {
+            let owed = match fo.site_parts.get(&laggard) {
+                Some(fs) if !fs.is_empty() => fs.clone(),
+                _ => continue,
+            };
+            // The idle site that finished earliest, hosts every owed
+            // fragment's partition, and is not already part of an offer.
+            let helper = st
+                .prog
+                .iter()
+                .filter(|(s, p)| {
+                    **s != laggard
+                        && p.done
+                        && p.done_at.is_some()
+                        && !dead.contains(s)
+                        && !fo
+                            .offers
+                            .iter()
+                            .any(|o| o.laggard == **s || o.helper == **s)
+                        && owed.iter().all(|f| {
+                            fo.replicas
+                                .hosts_of(f.part as usize)
+                                .contains(&(**s as usize - 1))
+                        })
+                })
+                .min_by_key(|(s, p)| (p.done_at.expect("filtered"), **s))
+                .map(|(s, _)| *s);
+            let Some(helper) = helper else {
+                continue;
+            };
+            let task = fo.next_task;
+            fo.next_task += 1;
+            let Ok(req) = (fo.mk_request)(&owed, task) else {
+                continue;
+            };
+            if self
+                .coord
+                .send(helper, req.to_wire_framed(st.epoch, st.round))
+                .is_err()
+            {
+                // The helper's channel is gone; the normal loss paths
+                // will detect and handle its death.
+                continue;
+            }
+            st.reqs.insert(helper, req);
+            st.prog.insert(
+                helper,
+                SiteProgress {
+                    task,
+                    ..SiteProgress::default()
+                },
+            );
+            *attempts.entry(helper).or_default() += 1;
+            fo.offers.push(OffloadOffer { laggard, helper });
+            fo.events.offloads += 1;
+        }
+    }
+
     /// Route sites that are gone for good either to the failover re-plan
     /// (when this round runs one) or to the degraded-mode ladder.
     #[allow(clippy::too_many_arguments)]
@@ -498,6 +660,16 @@ impl DistributedWarehouse {
         resend_plan: Option<&Message>,
     ) -> Result<()> {
         let t = Instant::now();
+        // Outstanding offload offers are void: the epoch bump below
+        // invalidates any in-flight offer replies, and restarts below are
+        // issued under task 0. Helpers not owing partitions of their own
+        // drop back to done.
+        for o in std::mem::take(&mut fo.offers) {
+            st.staged.remove(&o.helper);
+            if let Some(p) = st.prog.get_mut(&o.helper) {
+                p.done = true;
+            }
+        }
         let mut worklist = lost;
         let res = loop {
             for site in std::mem::take(&mut worklist) {
@@ -513,23 +685,39 @@ impl DistributedWarehouse {
                 if dead.len() == self.num_sites {
                     break;
                 }
-                for part in fo.site_parts.remove(&site).unwrap_or_default() {
+                // Fragment-granular re-plan: only the dead site's unserved
+                // fragments move, each to the next surviving host of its
+                // partition in ring order. A fragment with no surviving
+                // host is dropped; the partition-level fix-up below
+                // accounts the loss once per partition.
+                for frag in fo.site_parts.remove(&site).unwrap_or_default() {
                     let next = fo
                         .replicas
-                        .hosts_of(part as usize)
+                        .hosts_of(frag.part as usize)
                         .iter()
                         .map(|&h| (h + 1) as NodeId)
                         .find(|h| !dead.contains(h));
-                    match next {
-                        Some(h) => {
-                            fo.assignment[part as usize] = Some(h);
-                            fo.site_parts.entry(h).or_default().push(part);
-                            fo.events.parts_reassigned += 1;
-                        }
-                        None => {
-                            fo.assignment[part as usize] = None;
-                            fo.events.parts_lost += 1;
-                        }
+                    if let Some(h) = next {
+                        fo.site_parts.entry(h).or_default().push(frag);
+                        fo.events.parts_reassigned += 1;
+                    }
+                }
+                // Ownership fix-up: partitions assigned to the dead site
+                // move to their next surviving replica (feeding the next
+                // round's layout and the coverage report), or are lost.
+                for part in 0..fo.assignment.len() {
+                    if fo.assignment[part] != Some(site) {
+                        continue;
+                    }
+                    let next = fo
+                        .replicas
+                        .hosts_of(part)
+                        .iter()
+                        .map(|&h| (h + 1) as NodeId)
+                        .find(|h| !dead.contains(h));
+                    fo.assignment[part] = next;
+                    if next.is_none() {
+                        fo.events.parts_lost += 1;
                     }
                 }
             }
@@ -538,11 +726,12 @@ impl DistributedWarehouse {
             }
             // Everything computed so far under the old assignment is stale.
             st.epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-            // Restart every site that still owes partitions — including
+            // Restart every site that still owes fragments — including
             // previously-done sites that just inherited some (only the
-            // inherited partitions are requested; their own are already
-            // merged).
-            let restart: Vec<(NodeId, Vec<u32>)> = fo
+            // inherited fragments are requested; their own are already
+            // merged). Restarts are the round's authoritative wave again,
+            // so they run under task 0.
+            let restart: Vec<(NodeId, Vec<PartFrag>)> = fo
                 .site_parts
                 .iter()
                 .map(|(s, ps)| (*s, ps.clone()))
@@ -551,7 +740,7 @@ impl DistributedWarehouse {
                 parts.sort_unstable();
                 parts.dedup();
                 fo.site_parts.insert(site, parts.clone());
-                let req = (fo.mk_request)(&parts)?;
+                let req = (fo.mk_request)(&parts, 0)?;
                 st.staged.remove(&site);
                 st.prog.insert(site, SiteProgress::default());
                 st.reqs.insert(site, req);
@@ -1060,6 +1249,75 @@ impl<'a> QueryRun<'a> {
         }
     }
 
+    /// The per-site fragment layout for a failover round: the uniform
+    /// whole-partition assignment, unless the plan enables skew splitting
+    /// and the learned load sketch flags a hot partition — then the
+    /// balanced [`plan_splits`] layout, with hot partitions cut into row
+    /// ranges across their surviving ring replicas. Exactness is
+    /// unconditional: fragments are disjoint row ranges over bit-identical
+    /// replicas, so per-group sub-aggregates merge additively exactly as
+    /// cross-site fragments always have.
+    fn plan_site_frags(&mut self, replicas: &ReplicaMap) -> BTreeMap<NodeId, Vec<PartFrag>> {
+        let uniform = site_parts_from(&self.assignment);
+        if !self.plan.skew.split {
+            return uniform;
+        }
+        let loads = match self.wh.skew_loads.lock().get(&replicas.table) {
+            Some(l) => l.clone(),
+            None => return uniform, // no sketch yet: first round learns
+        };
+        let owners: Vec<Option<usize>> = self
+            .assignment
+            .iter()
+            .map(|a| a.map(|h| h as usize - 1))
+            .collect();
+        let alive: Vec<bool> = (0..self.wh.num_sites)
+            .map(|s| !self.dead.contains(&((s + 1) as NodeId)))
+            .collect();
+        match plan_splits(
+            &loads,
+            &owners,
+            replicas,
+            &alive,
+            self.plan.skew.split_threshold,
+            self.plan.skew.max_split,
+        ) {
+            Some((work, split)) => {
+                self.metrics.parts_split += split.len() as u64;
+                work.into_iter()
+                    .map(|(s, fs)| ((s + 1) as NodeId, fs))
+                    .collect()
+            }
+            None => uniform,
+        }
+    }
+
+    /// Fold the sketches piggybacked on a round's replies into the
+    /// warehouse's persistent per-table load cache (so the *next* round —
+    /// or the next query — can split hot partitions) and into this run's
+    /// skew metrics.
+    fn absorb_sketches(&mut self, table: &str, sketches: &[PartSketch]) {
+        if sketches.is_empty() {
+            return;
+        }
+        let mut cache = self.wh.skew_loads.lock();
+        let loads = cache.entry(table.to_string()).or_default();
+        for sk in sketches {
+            if loads.len() <= sk.part as usize {
+                loads.resize(sk.part as usize + 1, 0);
+            }
+            loads[sk.part as usize] = sk.rows;
+            let share = sk.top_share();
+            if share > self.metrics.skew_top_share {
+                self.metrics.skew_top_share = share;
+            }
+        }
+        let ratio = load_imbalance(loads);
+        if ratio > self.metrics.skew_ratio {
+            self.metrics.skew_ratio = ratio;
+        }
+    }
+
     /// Another query's rounds ran on the site engines since this run's
     /// last step: this run's plan must be re-installed before its next
     /// round. Called by the scheduler on every engine handover.
@@ -1140,13 +1398,14 @@ impl<'a> QueryRun<'a> {
     fn step_base(&mut self) -> Result<()> {
         let wh = self.wh;
         let replicas = self.replica_ctx();
+        let skew = self.plan.skew;
         self.round_no += 1;
         let round_no = self.round_no;
         let before = wh.net.stats();
-        let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        let mut site_parts: BTreeMap<NodeId, Vec<PartFrag>> = BTreeMap::new();
         let requests: Vec<(NodeId, Message)> = match replicas {
-            Some(_) => {
-                site_parts = site_parts_from(&self.assignment);
+            Some(r) => {
+                site_parts = self.plan_site_frags(r);
                 site_parts
                     .iter()
                     .map(|(s, ps)| {
@@ -1154,6 +1413,7 @@ impl<'a> QueryRun<'a> {
                             *s,
                             Message::ComputeBase {
                                 parts: Some(ps.clone()),
+                                task: 0,
                             },
                         )
                     })
@@ -1161,12 +1421,21 @@ impl<'a> QueryRun<'a> {
             }
             None => (1..=wh.num_sites as NodeId)
                 .filter(|s| !self.dead.contains(s))
-                .map(|s| (s, Message::ComputeBase { parts: None }))
+                .map(|s| {
+                    (
+                        s,
+                        Message::ComputeBase {
+                            parts: None,
+                            task: 0,
+                        },
+                    )
+                })
                 .collect(),
         };
-        let mk_base = |ps: &[u32]| -> Result<Message> {
+        let mk_base = |ps: &[PartFrag], task: u32| -> Result<Message> {
             Ok(Message::ComputeBase {
                 parts: Some(ps.to_vec()),
+                task,
             })
         };
         let mut fo_round = replicas.map(|r| FailoverRound {
@@ -1175,10 +1444,14 @@ impl<'a> QueryRun<'a> {
             site_parts,
             mk_request: &mk_base,
             events: &mut self.events,
+            offload_factor: skew.offload.then_some(skew.offload_factor),
+            next_task: 1,
+            offers: Vec::new(),
         });
         let mut site_times = Vec::with_capacity(requests.len());
         let mut rows_up = 0u64;
         let mut combined: Option<Relation> = None;
+        let mut sketches: Vec<PartSketch> = Vec::new();
         let mut coord_s = 0.0;
         let mut decode_s = 0.0;
         self.epoch = wh.collect_round(
@@ -1192,12 +1465,19 @@ impl<'a> QueryRun<'a> {
             &mut decode_s,
             fo_round.as_mut(),
             &mut |_src, msg| {
-                let Message::BaseFragment { rel, compute_s } = msg else {
+                let Message::BaseFragment {
+                    rel,
+                    compute_s,
+                    sketch,
+                    ..
+                } = msg
+                else {
                     return Err(SkallaError::exec("expected BaseFragment"));
                 };
                 let t = Instant::now();
                 site_times.push(compute_s);
                 rows_up += rel.len() as u64;
+                sketches.extend(sketch);
                 match &mut combined {
                     None => combined = Some(rel),
                     Some(acc) => acc.union_all(rel)?,
@@ -1207,6 +1487,10 @@ impl<'a> QueryRun<'a> {
             },
         )?;
         drop(fo_round);
+        if let Some(r) = replicas {
+            let table = r.table.clone();
+            self.absorb_sketches(&table, &sketches);
+        }
         let t = Instant::now();
         let b0 = combined
             .ok_or_else(|| SkallaError::exec("no base fragments received"))?
@@ -1232,14 +1516,23 @@ impl<'a> QueryRun<'a> {
     /// sub-aggregate fragments, synchronize, checkpoint.
     fn step_segment(&mut self, seg_idx: usize) -> Result<()> {
         let wh = self.wh;
-        let plan = &self.plan;
-        let expr = &plan.expr;
-        let default_schema = wh.table_schema(&expr.detail_name)?;
         let replicas = if self.use_replicas {
             wh.replicas.as_ref()
         } else {
             None
         };
+        // The fragment layout is planned up front (it needs `&mut self`
+        // for the split accounting) — uniform whole partitions, or the
+        // skew-balanced split when the load sketch flags a hot one.
+        let site_parts: BTreeMap<NodeId, Vec<PartFrag>> = match replicas {
+            Some(r) => self.plan_site_frags(r),
+            None => BTreeMap::new(),
+        };
+        let skew = self.plan.skew;
+        let skew_table = replicas.map(|r| r.table.clone());
+        let plan = &self.plan;
+        let expr = &plan.expr;
+        let default_schema = wh.table_schema(&expr.detail_name)?;
         let current = self.current.as_ref();
         let seg = self.segments[seg_idx].clone();
         let (start, end, label) = match seg {
@@ -1328,7 +1621,7 @@ impl<'a> QueryRun<'a> {
             })
         };
         let filters = filters.as_ref();
-        let mk_seg = |ps: &[u32]| -> Result<Message> {
+        let mk_seg = |fs_req: &[PartFrag], task: u32| -> Result<Message> {
             let base_for_site: Option<Relation> = if local_base {
                 None
             } else {
@@ -1339,8 +1632,13 @@ impl<'a> QueryRun<'a> {
                         // Partition p's group filter is its primary
                         // site's (1:1 placement); a multi-partition
                         // request ships the union of its parts' groups.
+                        // Fragments of the same partition share its
+                        // filter, so part ids are deduplicated first.
+                        let mut parts: Vec<u32> = fs_req.iter().map(|f| f.part).collect();
+                        parts.sort_unstable();
+                        parts.dedup();
                         let f = skalla_expr::simplify(&Expr::disjunction(
-                            ps.iter().map(|&p| fs[p as usize].clone()),
+                            parts.iter().map(|&p| fs[p as usize].clone()),
                         ));
                         filter_base(base, &f)?
                     }
@@ -1353,26 +1651,26 @@ impl<'a> QueryRun<'a> {
                     start: start as u32,
                     end: end as u32,
                     base: base_for_site,
-                    parts: Some(ps.to_vec()),
+                    parts: Some(fs_req.to_vec()),
+                    task,
                 }
             } else {
                 Message::Round {
                     op_idx: start as u32,
                     base: base_for_site.expect("standard round ships a base"),
-                    parts: Some(ps.to_vec()),
+                    parts: Some(fs_req.to_vec()),
+                    task,
                 }
             })
         };
         let mut requests: Vec<(NodeId, Message)> = Vec::with_capacity(wh.num_sites);
         let mut rows_down = 0u64;
-        let mut site_parts: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
         if replicas.is_some() {
-            // Failover rounds address partitions explicitly; the
+            // Failover rounds address fragments explicitly; the
             // empty-fragment skip below is disabled so every partition
             // is requested somewhere and coverage stays exact.
-            site_parts = site_parts_from(&self.assignment);
             for (site, ps) in &site_parts {
-                let msg = mk_seg(ps)?;
+                let msg = mk_seg(ps, 0)?;
                 rows_down += match &msg {
                     Message::LocalRun { base, .. } => base.as_ref().map_or(0, |b| b.len() as u64),
                     Message::Round { base, .. } => base.len() as u64,
@@ -1406,12 +1704,14 @@ impl<'a> QueryRun<'a> {
                         end: end as u32,
                         base: base_for_site,
                         parts: None,
+                        task: 0,
                     }
                 } else {
                     Message::Round {
                         op_idx: start as u32,
                         base: base_for_site.expect("standard round ships a base"),
                         parts: None,
+                        task: 0,
                     }
                 };
                 requests.push((site, msg));
@@ -1424,6 +1724,9 @@ impl<'a> QueryRun<'a> {
             site_parts,
             mk_request: &mk_seg,
             events: &mut self.events,
+            offload_factor: skew.offload.then_some(skew.offload_factor),
+            next_task: 1,
+            offers: Vec::new(),
         });
 
         // Collect and synchronize. Fragments merge as they arrive —
@@ -1439,6 +1742,7 @@ impl<'a> QueryRun<'a> {
         let mut rows_up = 0u64;
         let mut blocks_compiled = 0u64;
         let mut blocks_interpreted = 0u64;
+        let mut sketches: Vec<PartSketch> = Vec::new();
         self.epoch = wh.collect_round(
             self.epoch,
             round_no,
@@ -1450,23 +1754,39 @@ impl<'a> QueryRun<'a> {
             &mut decode_s,
             fo_round.as_mut(),
             &mut |src, msg| {
-                let (h, compute_s, bc, bi, last) = match msg {
+                let (h, compute_s, bc, bi, last, sketch) = match msg {
                     Message::RoundResult {
                         h,
                         compute_s,
                         blocks_compiled,
                         blocks_interpreted,
                         last,
+                        sketch,
                         ..
-                    } => (h, compute_s, blocks_compiled, blocks_interpreted, last),
+                    } => (
+                        h,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                    ),
                     Message::LocalRunResult {
                         ship,
                         compute_s,
                         blocks_compiled,
                         blocks_interpreted,
                         last,
+                        sketch,
                         ..
-                    } => (ship, compute_s, blocks_compiled, blocks_interpreted, last),
+                    } => (
+                        ship,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                    ),
                     other => {
                         return Err(SkallaError::exec(format!(
                             "site {src}: expected round result, got {other:?}"
@@ -1477,6 +1797,7 @@ impl<'a> QueryRun<'a> {
                 blocks_interpreted += u64::from(bi);
                 let t = Instant::now();
                 rows_up += h.len() as u64;
+                sketches.extend(sketch);
                 match &mut x {
                     // Serial: the closure time IS the merge time.
                     Syncer::Serial(b) => b.merge_fragment(&h, local_base)?,
@@ -1493,6 +1814,9 @@ impl<'a> QueryRun<'a> {
             },
         )?;
         drop(fo_round);
+        if let Some(table) = &skew_table {
+            self.absorb_sketches(table, &sketches);
+        }
         let t_final = Instant::now();
         let (finalized, merge_s, finalize_s, workers, shards, utilization, imbalance, sync_tail_s) =
             match x {
@@ -1580,6 +1904,8 @@ impl<'a> QueryRun<'a> {
         self.metrics.parts_reassigned = self.events.parts_reassigned;
         self.metrics.parts_lost = self.events.parts_lost;
         self.metrics.failover_s = self.events.failover_s;
+        self.metrics.offloads = self.events.offloads;
+        self.metrics.offload_wins = self.events.offload_wins;
         self.metrics.coverage = Some(match self.replica_ctx() {
             // Under failover, coverage counts partitions: a dead site's
             // partitions stay in the answer as long as a replica survives.
@@ -1635,6 +1961,15 @@ struct SiteProgress {
     expected_seq: u32,
     /// How many `Error` replies this site has been retried for.
     error_retries: u32,
+    /// Work-assignment id the coordinator expects this site's replies to
+    /// echo. The original wave is task 0; straggler-offload duplicates
+    /// carry fresh ids, so a reply cached or in flight for a site's
+    /// *earlier* assignment in the same round can never be merged against
+    /// a newer one.
+    task: u32,
+    /// When the site's final chunk was accepted; feeds the offload
+    /// policy's round-median completion time.
+    done_at: Option<Instant>,
 }
 
 /// Mutable state of one collection round, shared between the retry loop
@@ -1653,7 +1988,7 @@ struct RoundState {
     staged: BTreeMap<NodeId, Vec<Message>>,
 }
 
-/// Failover accounting across a query's rounds, folded into
+/// Failover and skew accounting across a query's rounds, folded into
 /// [`ExecMetrics`] at the end of execution.
 #[derive(Default)]
 struct FailoverEvents {
@@ -1661,6 +1996,17 @@ struct FailoverEvents {
     parts_reassigned: u64,
     parts_lost: u64,
     failover_s: f64,
+    offloads: u64,
+    offload_wins: u64,
+}
+
+/// An in-flight straggler-offload offer: `helper` was asked to duplicate
+/// `laggard`'s remaining work under a fresh task id; the first of the two
+/// to deliver its final chunk wins and the other side's reply is
+/// discarded whole.
+struct OffloadOffer {
+    laggard: NodeId,
+    helper: NodeId,
 }
 
 /// Per-round failover context handed to `collect_round` when the Failover
@@ -1670,22 +2016,34 @@ struct FailoverRound<'a> {
     /// Live partition→site assignment; `None` marks a partition with no
     /// surviving replica. Persists across rounds.
     assignment: &'a mut Vec<Option<NodeId>>,
-    /// Partitions each site still owes *this* round; entries drain as
-    /// sites deliver their final chunk, so a site that dies later never
-    /// triggers re-requests for partitions already merged.
-    site_parts: BTreeMap<NodeId, Vec<u32>>,
-    /// Rebuild a round request covering exactly the given partitions
-    /// (used when a failover re-plans the wave).
-    mk_request: &'a dyn Fn(&[u32]) -> Result<Message>,
+    /// Partition fragments each site still owes *this* round; entries
+    /// drain as sites deliver their final chunk, so a site that dies
+    /// later never triggers re-requests for fragments already merged.
+    site_parts: BTreeMap<NodeId, Vec<PartFrag>>,
+    /// Rebuild a round request covering exactly the given fragments under
+    /// the given task id (used when a failover re-plans the wave and when
+    /// a straggler's residual work is offloaded).
+    mk_request: &'a dyn Fn(&[PartFrag], u32) -> Result<Message>,
     events: &'a mut FailoverEvents,
+    /// `Some(factor)` arms mid-round straggler offload: once half the
+    /// round's sites are done, a site lagging `factor ×` the median
+    /// completion time has its residual work duplicated to an idle
+    /// replica host.
+    offload_factor: Option<f64>,
+    /// Next work-assignment id for offload duplicates (the original wave
+    /// is task 0).
+    next_task: u32,
+    /// Offers outstanding this round.
+    offers: Vec<OffloadOffer>,
 }
 
-/// Group a partition→site assignment by hosting site.
-fn site_parts_from(assignment: &[Option<NodeId>]) -> BTreeMap<NodeId, Vec<u32>> {
-    let mut m: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+/// Group a partition→site assignment by hosting site, as whole-partition
+/// fragments.
+fn site_parts_from(assignment: &[Option<NodeId>]) -> BTreeMap<NodeId, Vec<PartFrag>> {
+    let mut m: BTreeMap<NodeId, Vec<PartFrag>> = BTreeMap::new();
     for (part, host) in assignment.iter().enumerate() {
         if let Some(h) = host {
-            m.entry(*h).or_default().push(part as u32);
+            m.entry(*h).or_default().push(PartFrag::whole(part as u32));
         }
     }
     m
@@ -1706,6 +2064,17 @@ fn reply_seq_last(msg: &Message) -> Option<(u32, bool)> {
         Message::RoundResult { seq, last, .. } => Some((*seq, *last)),
         Message::LocalRunResult { seq, last, .. } => Some((*seq, *last)),
         _ => None,
+    }
+}
+
+/// The work-assignment id a reply echoes (0 for replies that predate the
+/// task protocol, e.g. `ShipAllData`).
+fn reply_task(msg: &Message) -> u32 {
+    match msg {
+        Message::BaseFragment { task, .. }
+        | Message::RoundResult { task, .. }
+        | Message::LocalRunResult { task, .. } => *task,
+        _ => 0,
     }
 }
 

@@ -5,7 +5,7 @@
 //! then synchronization reduction (Proposition 2 for the base, Corollary 1
 //! between rounds), then the two group reductions per round.
 
-use skalla_core::{BaseRound, DistPlan, OptFlags, RetryPolicy, RoundSpec};
+use skalla_core::{BaseRound, DistPlan, OptFlags, RetryPolicy, RoundSpec, SkewPolicy};
 use skalla_expr::{analysis, derive_group_filter, ColumnConstraint, Expr, SiteConstraint};
 use skalla_gmdj::{coalesce_chain, BaseSpec, GmdjExpr, GmdjOp};
 use skalla_types::{Result, SkallaError};
@@ -29,6 +29,13 @@ pub struct PlanReport {
     pub site_reduced_rounds: Vec<usize>,
     /// Synchronizations in the final plan (the quantity §4.3 minimizes).
     pub num_synchronizations: usize,
+    /// Skew-aware execution enabled: the partition load statistics showed
+    /// imbalance past the split threshold and replication permits splitting
+    /// hot partitions across replicas (plus straggler offload).
+    pub skew_enabled: bool,
+    /// The load imbalance (max/mean partition rows) that drove the skew
+    /// decision, 0.0 when no statistics were available.
+    pub skew_imbalance: f64,
 }
 
 impl PlanReport {
@@ -56,8 +63,17 @@ impl PlanReport {
             self.site_reduced_rounds
         ));
         out.push_str(&format!(
-            "synchronizations:        {}",
+            "synchronizations:        {}\n",
             self.num_synchronizations
+        ));
+        out.push_str(&format!(
+            "skew-aware execution:    {}{}",
+            self.skew_enabled,
+            if self.skew_imbalance > 0.0 {
+                format!(" ({:.2}\u{d7} imbalance)", self.skew_imbalance)
+            } else {
+                String::new()
+            }
         ));
         out
     }
@@ -144,6 +160,26 @@ pub fn plan_query(
         }
     }
 
+    // 4. Skew-aware execution: when the distribution catalog carries
+    // partition load statistics showing imbalance past the default split
+    // threshold AND replication gives hot partitions a second host,
+    // enable hot-partition splitting and straggler offload. Both are
+    // exactness-preserving (row-range fragments over bit-identical
+    // replicas), so this is purely a performance decision.
+    let mut skew = SkewPolicy::disabled();
+    if dist.replication > 1 {
+        if let Some(pi) = &dist.partition_info {
+            let imbalance = pi.imbalance();
+            report.skew_imbalance = imbalance;
+            if imbalance > SkewPolicy::default().split_threshold {
+                skew = SkewPolicy::default();
+                skew.split = true;
+                skew.offload = true;
+                report.skew_enabled = true;
+            }
+        }
+    }
+
     let plan = DistPlan {
         expr,
         base_round,
@@ -154,6 +190,7 @@ pub fn plan_query(
         coord_parallelism: 1,
         sync_shards: None,
         retry: RetryPolicy::default(),
+        skew,
     };
     plan.validate()?;
     report.num_synchronizations = plan.num_synchronizations();
@@ -485,6 +522,43 @@ mod tests {
         assert_eq!(report.coalesce_steps, 1);
         assert_eq!(plan.expr.ops.len(), 1);
         assert_eq!(report.num_synchronizations, 2); // base + one round
+    }
+
+    #[test]
+    fn skew_enabled_only_with_replication_and_imbalance() {
+        use crate::info::PartitionInfo;
+        let skewed = PartitionInfo {
+            rows: vec![400, 100, 100, 100],
+            top_share: 0.5,
+        };
+        let uniform = PartitionInfo {
+            rows: vec![100, 100, 100, 100],
+            top_share: 0.0,
+        };
+
+        // Imbalance + replication → skew-aware plan.
+        let dist = DistributionInfo::unknown(4)
+            .with_replication(2)
+            .with_partition_info(skewed.clone());
+        let (plan, report) = plan_query(&example1(), &dist, OptFlags::none()).unwrap();
+        assert!(report.skew_enabled);
+        assert!(report.skew_imbalance > 1.5, "{}", report.skew_imbalance);
+        assert!(plan.skew.split && plan.skew.offload);
+        assert!(report.render().contains("skew-aware execution:    true"));
+
+        // No replication: nowhere to split to.
+        let dist = DistributionInfo::unknown(4).with_partition_info(skewed);
+        let (plan, report) = plan_query(&example1(), &dist, OptFlags::none()).unwrap();
+        assert!(!report.skew_enabled);
+        assert!(plan.skew.is_disabled());
+
+        // Uniform load: nothing to split.
+        let dist = DistributionInfo::unknown(4)
+            .with_replication(2)
+            .with_partition_info(uniform);
+        let (plan, report) = plan_query(&example1(), &dist, OptFlags::none()).unwrap();
+        assert!(!report.skew_enabled);
+        assert!(plan.skew.is_disabled());
     }
 
     #[test]

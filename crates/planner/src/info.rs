@@ -6,8 +6,43 @@
 //! the partition attribute (paper Definition 2).
 
 use skalla_expr::SiteConstraint;
-use skalla_storage::Partitioning;
+use skalla_storage::{load_imbalance, Partitioning};
 use skalla_types::{Result, SkallaError};
+
+/// Per-partition load statistics the coordinator has learned (from the
+/// skew sketches sites piggyback on round replies, or from a deployment's
+/// catalog statistics). Input to the skew-aware planning decision.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionInfo {
+    /// Detail rows per partition (0 = unknown).
+    pub rows: Vec<u64>,
+    /// Largest single-group share of any partition's rows reported by the
+    /// heavy-hitter sketches (0.0 = unknown).
+    pub top_share: f64,
+}
+
+impl PartitionInfo {
+    /// Load imbalance across the known partitions: `max / mean` over the
+    /// non-zero entries (1.0 when uniform or unknown).
+    pub fn imbalance(&self) -> f64 {
+        load_imbalance(&self.rows)
+    }
+
+    /// Partitions whose load exceeds `threshold ×` the mean of the known
+    /// loads, heaviest first.
+    pub fn hot_parts(&self, threshold: f64) -> Vec<usize> {
+        let known: Vec<u64> = self.rows.iter().copied().filter(|&r| r > 0).collect();
+        if known.len() < 2 || !(threshold.is_finite() && threshold > 0.0) {
+            return Vec::new();
+        }
+        let mean = known.iter().sum::<u64>() as f64 / known.len() as f64;
+        let mut hot: Vec<usize> = (0..self.rows.len())
+            .filter(|&p| self.rows[p] as f64 > threshold * mean)
+            .collect();
+        hot.sort_by(|&a, &b| self.rows[b].cmp(&self.rows[a]).then(a.cmp(&b)));
+        hot
+    }
+}
 
 /// Knowledge about the distribution of the (default) detail relation.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +62,10 @@ pub struct DistributionInfo {
     /// addressed by partition, not by plain table name — but `> 1` is what
     /// makes the Failover degraded mode effective at runtime.
     pub replication: usize,
+    /// Per-partition load statistics, when known. With `replication > 1`
+    /// an imbalanced load profile makes Egil enable skew-aware execution
+    /// (hot-partition splitting and straggler offload) on the plan.
+    pub partition_info: Option<PartitionInfo>,
 }
 
 impl DistributionInfo {
@@ -47,6 +86,13 @@ impl DistributionInfo {
         self
     }
 
+    /// Attach per-partition load statistics (learned from runtime sketches
+    /// or catalog statistics).
+    pub fn with_partition_info(mut self, info: PartitionInfo) -> DistributionInfo {
+        self.partition_info = Some(info);
+        self
+    }
+
     /// Extract full knowledge from a concrete [`Partitioning`] (what a
     /// deployment would keep in its distribution catalog).
     pub fn from_partitioning(p: &Partitioning) -> DistributionInfo {
@@ -56,6 +102,7 @@ impl DistributionInfo {
             is_partition_attribute: p.is_partition_attribute(),
             site_constraints: Some(p.site_constraints()),
             replication: 1,
+            partition_info: None,
         }
     }
 
@@ -68,6 +115,7 @@ impl DistributionInfo {
             is_partition_attribute: p.is_partition_attribute(),
             site_constraints: Some(p.site_range_constraints()?),
             replication: 1,
+            partition_info: None,
         })
     }
 
@@ -91,6 +139,7 @@ impl DistributionInfo {
             is_partition_attribute,
             site_constraints: Some(site_constraints),
             replication: 1,
+            partition_info: None,
         })
     }
 }
@@ -139,6 +188,24 @@ mod tests {
         assert!(d.partition_col.is_none());
         assert!(!d.is_partition_attribute);
         assert!(d.site_constraints.is_none());
+    }
+
+    #[test]
+    fn partition_info_imbalance_and_hot_parts() {
+        let pi = PartitionInfo {
+            rows: vec![400, 100, 0, 100],
+            top_share: 0.4,
+        };
+        // Unknown (zero) entries are excluded from the mean.
+        assert!(pi.imbalance() > 1.9, "{}", pi.imbalance());
+        assert_eq!(pi.hot_parts(1.5), vec![0]);
+        assert!(pi.hot_parts(f64::NAN).is_empty());
+        let uniform = PartitionInfo {
+            rows: vec![10, 10],
+            top_share: 0.0,
+        };
+        assert_eq!(uniform.imbalance(), 1.0);
+        assert!(uniform.hot_parts(1.5).is_empty());
     }
 
     #[test]

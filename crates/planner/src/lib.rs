@@ -30,5 +30,5 @@ pub mod parser;
 
 pub use cost::{choose_plan, estimate_plan, CostEstimate};
 pub use egil::{plan_query, PlanReport};
-pub use info::DistributionInfo;
+pub use info::{DistributionInfo, PartitionInfo};
 pub use parser::parse_query;

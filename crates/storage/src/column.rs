@@ -195,6 +195,59 @@ impl Column {
         }
     }
 
+    /// A new column containing the contiguous rows `start..end` (cheap
+    /// typed-vector slice copies; no per-value dispatch).
+    pub fn slice_rows(&self, start: usize, end: usize) -> Column {
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v[start..end].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[start..end].to_vec()),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[start..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        };
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|n| n[start..end].to_vec())
+            .filter(|n| n.iter().any(|&b| b));
+        Column { data, nulls }
+    }
+
+    /// Append the contiguous rows `start..end` of `other`, which must
+    /// have the same type (typed-vector bulk copies; no per-value
+    /// dispatch).
+    pub fn append_range(&mut self, other: &Column, start: usize, end: usize) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(SkallaError::schema("append of mismatched column types"));
+        }
+        if start > end || end > other.len() {
+            return Err(SkallaError::exec(format!(
+                "append range {start}..{end} out of bounds for column of {} rows",
+                other.len()
+            )));
+        }
+        let old_len = self.len();
+        let added = end - start;
+        let other_has_nulls = other
+            .nulls
+            .as_ref()
+            .is_some_and(|n| n[start..end].iter().any(|&b| b));
+        if self.nulls.is_some() || other_has_nulls {
+            let nulls = self.nulls.get_or_insert_with(|| vec![false; old_len]);
+            match &other.nulls {
+                Some(n) => nulls.extend_from_slice(&n[start..end]),
+                None => nulls.resize(old_len + added, false),
+            }
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(&b[start..end]),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(&b[start..end]),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend_from_slice(&b[start..end]),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(&b[start..end]),
+            _ => unreachable!("types checked above"),
+        }
+        Ok(())
+    }
+
     /// A new column containing the rows at `indices`.
     pub fn take(&self, indices: &[u32]) -> Column {
         let mut out = Column::with_capacity(self.data_type(), indices.len());

@@ -18,11 +18,15 @@
 //!   constraints (the `φᵢ` fed to the group-reduction analysis).
 //! * [`index`] — hash indexes on key columns.
 //! * [`catalog`] — a name → table map per site.
+//! * [`sketch`] — per-partition cardinality + space-saving heavy-hitter
+//!   sketches and the hot-partition fragment planner behind skew-aware
+//!   round execution.
 
 pub mod catalog;
 pub mod column;
 pub mod index;
 pub mod partition;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 
@@ -31,7 +35,8 @@ pub use column::Column;
 pub use index::HashIndex;
 pub use partition::{
     partition_by_hash, partition_by_ranges, partition_by_values, partition_table_name,
-    replicate_catalogs, Partitioning, ReplicaMap,
+    replicate_catalogs, PartFrag, Partitioning, ReplicaMap,
 };
+pub use sketch::{load_imbalance, plan_splits, PartSketch, SpaceSaving};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Table, TableBuilder};

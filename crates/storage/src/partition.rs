@@ -203,6 +203,53 @@ impl ReplicaMap {
     }
 }
 
+/// A range-addressed fragment of one partition: slice `frag` of `of` equal
+/// row ranges of partition `part`'s detail table.
+///
+/// Replicas are bit-identical copies of the partition table (same rows in
+/// the same order — see [`replicate_catalogs`]), so a fragment denotes
+/// exactly the same detail rows on every host of `part`. `of == 1` is the
+/// whole partition; the degenerate form every pre-skew request reduces to.
+/// Fragments are what let the coordinator split a *hot* partition's scan
+/// across its ring replicas while keeping answers bit-for-bit exact: the
+/// row ranges are disjoint and cover the partition, so per-group
+/// sub-aggregate states merge additively, exactly like cross-site merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartFrag {
+    /// Partition index.
+    pub part: u32,
+    /// Fragment index, `0 ≤ frag < of`.
+    pub frag: u32,
+    /// Total fragments the partition is split into (`1` = whole).
+    pub of: u32,
+}
+
+impl PartFrag {
+    /// The whole of partition `part` (the unsplit work item).
+    pub fn whole(part: u32) -> PartFrag {
+        PartFrag {
+            part,
+            frag: 0,
+            of: 1,
+        }
+    }
+
+    /// `true` when this fragment covers the entire partition.
+    pub fn is_whole(&self) -> bool {
+        self.of <= 1
+    }
+
+    /// The `[start, end)` row range this fragment denotes in a partition
+    /// table of `len` rows. Ranges of the `of` fragments are disjoint and
+    /// cover `0..len` exactly.
+    pub fn row_bounds(&self, len: usize) -> (usize, usize) {
+        let of = u64::from(self.of.max(1));
+        let start = (len as u64) * u64::from(self.frag) / of;
+        let end = (len as u64) * (u64::from(self.frag) + 1) / of;
+        (start as usize, end as usize)
+    }
+}
+
 /// Build per-site catalogs carrying an r-way replicated copy of `parts`.
 ///
 /// Site `i`'s catalog registers its primary partition under the plain
@@ -313,6 +360,25 @@ pub fn partition_by_values(
 mod tests {
     use super::*;
     use skalla_types::{DataType, Schema};
+
+    #[test]
+    fn frag_bounds_are_disjoint_and_cover() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for of in 1u32..=5 {
+                let mut next = 0usize;
+                for frag in 0..of {
+                    let f = PartFrag { part: 0, frag, of };
+                    let (s, e) = f.row_bounds(len);
+                    assert_eq!(s, next, "len {len} of {of} frag {frag}");
+                    assert!(e >= s);
+                    next = e;
+                }
+                assert_eq!(next, len, "len {len} of {of}");
+            }
+        }
+        assert!(PartFrag::whole(3).is_whole());
+        assert_eq!(PartFrag::whole(3).row_bounds(10), (0, 10));
+    }
 
     fn table() -> Table {
         let schema = Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Int64)])

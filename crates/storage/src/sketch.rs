@@ -1,0 +1,362 @@
+//! Skew sketches: per-partition cardinality + space-saving heavy hitters,
+//! and the fragment planner that turns them into a balanced work layout.
+//!
+//! The distributed GMDJ rounds are barrier-synchronous — a round ends when
+//! the *slowest* site finishes — so one hot partition bounds the whole
+//! system. Sites piggyback a [`PartSketch`] on their round replies: the
+//! exact detail cardinality of each partition they computed plus a
+//! [`SpaceSaving`] heavy-hitter summary of its group keys (Metwally et al.;
+//! the sketch PAPERS.md's *Skew in Parallel Query Processing* assumes for
+//! heavy-hitter-aware shuffles). The coordinator feeds the learned
+//! cardinalities to [`plan_splits`], which splits hot partitions into
+//! [`PartFrag`] row ranges across their surviving ring replicas.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::partition::{PartFrag, ReplicaMap};
+
+/// A space-saving heavy-hitter sketch over `u64` keys (hashed group keys).
+///
+/// Holds at most `cap` counters. `offer`ing a tracked key increments it;
+/// an untracked key evicts the minimum counter and inherits its count as
+/// overestimation error. Guarantees: every key with true frequency
+/// `> n/cap` is tracked, and each reported count overestimates the true
+/// frequency by at most its recorded error.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    cap: usize,
+    /// key → (count, error). Small (`cap` ≤ tens), so a plain map.
+    counters: HashMap<u64, (u64, u64)>,
+}
+
+impl SpaceSaving {
+    /// An empty sketch holding at most `cap` counters (min 1).
+    pub fn new(cap: usize) -> SpaceSaving {
+        SpaceSaving {
+            cap: cap.max(1),
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn offer(&mut self, key: u64) {
+        if let Some((count, _)) = self.counters.get_mut(&key) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.cap {
+            self.counters.insert(key, (1, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // error (ties broken by key for determinism).
+        let (&victim, &(min, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(k, (c, _))| (*c, **k))
+            .expect("cap >= 1");
+        self.counters.remove(&victim);
+        self.counters.insert(key, (min + 1, min));
+    }
+
+    /// The tracked keys as `(key, estimated_count)`, heaviest first (ties
+    /// broken by key for determinism).
+    pub fn top(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.counters.iter().map(|(k, (c, _))| (*k, *c)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of keys observed minus error would need tracking; this is
+    /// simply how many counters are in use.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` if nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// A per-partition skew sketch shipped in round replies: the partition's
+/// exact detail cardinality (the site hosts the whole partition table, so
+/// this is a length lookup, not an estimate) plus the heavy-hitter summary
+/// of its group keys where a scan made one cheap to compute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartSketch {
+    /// Partition index.
+    pub part: u32,
+    /// Detail rows in the whole partition.
+    pub rows: u64,
+    /// `(hashed_group_key, estimated_count)` heavy hitters, heaviest first.
+    /// Empty when the reply's scan did not touch group keys.
+    pub heavy: Vec<(u64, u64)>,
+}
+
+impl PartSketch {
+    /// Share of the partition's rows held by its single heaviest group
+    /// (0.0 when unknown).
+    pub fn top_share(&self) -> f64 {
+        match (self.heavy.first(), self.rows) {
+            (Some(&(_, c)), rows) if rows > 0 => (c.min(rows)) as f64 / rows as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Imbalance of a per-partition load vector: `max / mean` over the loaded
+/// entries (1.0 when uniform or fewer than two partitions are loaded).
+pub fn load_imbalance(rows: &[u64]) -> f64 {
+    let loaded: Vec<u64> = rows.iter().copied().filter(|&r| r > 0).collect();
+    if loaded.len() < 2 {
+        return 1.0;
+    }
+    let max = *loaded.iter().max().expect("non-empty") as f64;
+    let mean = loaded.iter().sum::<u64>() as f64 / loaded.len() as f64;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// A planned skewed layout: per-site work lists (whole partitions plus
+/// row-range fragments) and the indices of the partitions that were split.
+pub type SplitPlan = (BTreeMap<usize, Vec<PartFrag>>, Vec<u32>);
+
+/// Split hot partitions into row-range fragments across their surviving
+/// ring replicas, greedily balancing estimated per-site load.
+///
+/// * `rows[p]` — learned detail cardinality of partition `p` (0 = unknown).
+/// * `owners[p]` — the site currently assigned partition `p` (`None` =
+///   lost; such partitions are left to the failover machinery).
+/// * `alive[s]` — `false` for sites known dead.
+/// * `threshold` — a partition is *hot* when `rows > threshold × mean`.
+/// * `max_split` — cap on fragments per partition (`0` = automatic:
+///   fragments sized at roughly a quarter of the mean load, at most 16).
+///
+/// Returns `None` when nothing qualifies (unknown loads, no hot partition,
+/// or no hot partition has a second live host) — callers keep the uniform
+/// whole-partition layout. Otherwise returns the per-site work lists
+/// (whole partitions plus fragments) and the indices of the partitions
+/// that were split. Fragments of a split partition go to the currently
+/// least-loaded live host of that partition, so several fragments may land
+/// on the same site — including the original owner.
+pub fn plan_splits(
+    rows: &[u64],
+    owners: &[Option<usize>],
+    map: &ReplicaMap,
+    alive: &[bool],
+    threshold: f64,
+    max_split: usize,
+) -> Option<SplitPlan> {
+    let n = rows.len().min(owners.len()).min(map.num_parts());
+    let owned: Vec<usize> = (0..n)
+        .filter(|&p| owners[p].is_some() && rows[p] > 0)
+        .collect();
+    if owned.len() < 2 || !(threshold.is_finite() && threshold > 0.0) {
+        return None;
+    }
+    let mean = owned.iter().map(|&p| rows[p]).sum::<u64>() as f64 / owned.len() as f64;
+    let live = |s: usize| alive.get(s).copied().unwrap_or(true);
+    let mut hot: Vec<usize> = owned
+        .iter()
+        .copied()
+        .filter(|&p| {
+            rows[p] as f64 > threshold * mean
+                && map.hosts_of(p).iter().filter(|&&h| live(h)).count() >= 2
+        })
+        .collect();
+    if hot.is_empty() {
+        return None;
+    }
+    // Heaviest first, so the worst partition balances against a still
+    // mostly-empty layout.
+    hot.sort_by(|&a, &b| rows[b].cmp(&rows[a]).then(a.cmp(&b)));
+
+    let hot_set: Vec<bool> = (0..n).map(|p| hot.contains(&p)).collect();
+    let mut work: BTreeMap<usize, Vec<PartFrag>> = BTreeMap::new();
+    let mut load: BTreeMap<usize, f64> = BTreeMap::new();
+    for &p in &owned {
+        let s = owners[p].expect("owned");
+        load.entry(s).or_insert(0.0);
+        if !hot_set[p] {
+            work.entry(s).or_default().push(PartFrag::whole(p as u32));
+            *load.get_mut(&s).expect("entry") += rows[p] as f64;
+        }
+    }
+    for &p in &hot {
+        let hosts: Vec<usize> = map
+            .hosts_of(p)
+            .iter()
+            .copied()
+            .filter(|&h| live(h))
+            .collect();
+        let of = if max_split > 0 {
+            max_split.max(2)
+        } else {
+            // Automatic: slices of ~mean/4 so the greedy fill can level
+            // loads finely, bounded to keep per-slice overhead sane.
+            ((4.0 * rows[p] as f64 / mean).ceil() as usize).clamp(2, 16)
+        } as u32;
+        let slice = rows[p] as f64 / f64::from(of);
+        for frag in 0..of {
+            let &target = hosts
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let (la, lb) = (
+                        load.get(&a).copied().unwrap_or(0.0),
+                        load.get(&b).copied().unwrap_or(0.0),
+                    );
+                    la.partial_cmp(&lb).expect("finite loads").then(a.cmp(&b))
+                })
+                .expect(">=2 live hosts");
+            work.entry(target).or_default().push(PartFrag {
+                part: p as u32,
+                frag,
+                of,
+            });
+            *load.entry(target).or_insert(0.0) += slice;
+        }
+    }
+    for frags in work.values_mut() {
+        frags.sort();
+    }
+    Some((work, hot.iter().map(|&p| p as u32).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_saving_tracks_heavy_hitters() {
+        let mut s = SpaceSaving::new(3);
+        for _ in 0..100 {
+            s.offer(7);
+        }
+        for _ in 0..50 {
+            s.offer(8);
+        }
+        for k in 0..40u64 {
+            s.offer(100 + k); // light noise
+        }
+        let top = s.top();
+        assert_eq!(top[0].0, 7);
+        assert!(top[0].1 >= 100, "{top:?}");
+        assert_eq!(top[1].0, 8);
+        assert!(top[1].1 >= 50, "{top:?}");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn space_saving_overestimates_bounded() {
+        // 190 total offers, cap 4: any count overestimates by at most the
+        // inherited minimum, and true-heavy keys survive.
+        let mut s = SpaceSaving::new(4);
+        for i in 0..190u64 {
+            s.offer(if i % 2 == 0 { 1 } else { i });
+        }
+        let top = s.top();
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 >= 95);
+    }
+
+    #[test]
+    fn sketch_top_share() {
+        let sk = PartSketch {
+            part: 0,
+            rows: 100,
+            heavy: vec![(9, 40), (3, 10)],
+        };
+        assert!((sk.top_share() - 0.4).abs() < 1e-12);
+        assert_eq!(PartSketch::default().top_share(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        assert_eq!(load_imbalance(&[10, 10, 10]), 1.0);
+        assert_eq!(load_imbalance(&[]), 1.0);
+        assert_eq!(load_imbalance(&[5]), 1.0);
+        assert!(load_imbalance(&[30, 10, 10, 10]) > 1.9);
+    }
+
+    #[test]
+    fn plan_splits_balances_hot_partition() {
+        // Partition 0 is 4x the mean; 4 sites, full replication.
+        let map = ReplicaMap::ring("t", 4, 4).unwrap();
+        let rows = vec![400u64, 100, 100, 100];
+        let owners = vec![Some(0), Some(1), Some(2), Some(3)];
+        let alive = vec![true; 4];
+        let (work, split) = plan_splits(&rows, &owners, &map, &alive, 1.5, 0).expect("splits");
+        assert_eq!(split, vec![0]);
+        // Every fragment of partition 0 appears exactly once across sites.
+        let mut frags: Vec<PartFrag> = work
+            .values()
+            .flatten()
+            .copied()
+            .filter(|f| f.part == 0)
+            .collect();
+        frags.sort();
+        let of = frags[0].of;
+        assert!(of >= 2);
+        assert_eq!(frags.len(), of as usize);
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(f.frag, i as u32);
+            assert_eq!(f.of, of);
+        }
+        // Cold partitions stay whole with their owners.
+        for p in 1..4u32 {
+            assert!(work[&(p as usize)].contains(&PartFrag::whole(p)));
+        }
+        // The greedy fill levels estimated load: no site ends above
+        // ~mean + one slice.
+        let mean = 700.0 / 4.0;
+        for frag_list in work.values() {
+            let load: f64 = frag_list
+                .iter()
+                .map(|f| rows[f.part as usize] as f64 / f64::from(f.of))
+                .sum();
+            assert!(load <= mean + 400.0 / f64::from(of) + 1.0, "{work:?}");
+        }
+    }
+
+    #[test]
+    fn plan_splits_requires_live_replica() {
+        // Replication 2: partition 0's hosts are {0, 1}; with site 1 dead
+        // there is no second live host, so nothing splits.
+        let map = ReplicaMap::ring("t", 3, 2).unwrap();
+        let rows = vec![400u64, 100, 100];
+        let owners = vec![Some(0), Some(1), Some(2)];
+        let alive = vec![true, false, true];
+        assert!(plan_splits(&rows, &owners, &map, &alive, 1.5, 0).is_none());
+    }
+
+    #[test]
+    fn plan_splits_uniform_load_declines() {
+        let map = ReplicaMap::ring("t", 3, 3).unwrap();
+        let rows = vec![100u64, 100, 100];
+        let owners = vec![Some(0), Some(1), Some(2)];
+        assert!(plan_splits(&rows, &owners, &map, &[true; 3], 1.5, 0).is_none());
+        // Unknown loads decline too.
+        assert!(plan_splits(&[0, 0, 0], &owners, &map, &[true; 3], 1.5, 0).is_none());
+    }
+
+    #[test]
+    fn plan_splits_respects_max_split() {
+        let map = ReplicaMap::ring("t", 2, 2).unwrap();
+        let rows = vec![1000u64, 10];
+        let owners = vec![Some(0), Some(1)];
+        let (work, _) = plan_splits(&rows, &owners, &map, &[true; 2], 1.2, 3).expect("splits");
+        let frags: Vec<PartFrag> = work
+            .values()
+            .flatten()
+            .copied()
+            .filter(|f| f.part == 0)
+            .collect();
+        assert_eq!(frags.len(), 3);
+        assert!(frags.iter().all(|f| f.of == 3));
+    }
+}

@@ -149,6 +149,29 @@ impl Table {
         }
     }
 
+    /// A new table with the contiguous rows `start..end` — the
+    /// materialization of a range-addressed partition fragment
+    /// ([`crate::partition::PartFrag`]). Column payloads are sliced as
+    /// typed vectors, so this is a straight memcpy per column.
+    pub fn row_range(&self, start: usize, end: usize) -> Result<Table> {
+        if start > end || end > self.len {
+            return Err(SkallaError::exec(format!(
+                "row range {start}..{end} out of bounds for table of {} rows",
+                self.len
+            )));
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.slice_rows(start, end))
+            .collect();
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            len: end - start,
+        })
+    }
+
     /// A new table with the rows satisfying the (detail-only) predicate.
     pub fn filter(&self, pred: &Expr) -> Result<Table> {
         Ok(self.take(&self.filter_indices(pred)?))
@@ -201,16 +224,25 @@ impl Table {
         let first = parts
             .first()
             .ok_or_else(|| SkallaError::schema("concat of zero tables"))?;
-        let mut b = TableBuilder::new(first.schema.clone());
+        let total: usize = parts.iter().map(|p| p.len).sum();
+        let mut columns: Vec<Column> = first
+            .columns
+            .iter()
+            .map(|c| Column::with_capacity(c.data_type(), total))
+            .collect();
         for p in parts {
             if *p.schema != *first.schema {
                 return Err(SkallaError::schema("concat of mismatched schemas"));
             }
-            for r in p.iter_rows() {
-                b.push_row(&r)?;
+            for (out, src) in columns.iter_mut().zip(&p.columns) {
+                out.append_range(src, 0, p.len)?;
             }
         }
-        Ok(b.finish())
+        Ok(Table {
+            schema: first.schema.clone(),
+            columns,
+            len: total,
+        })
     }
 }
 
@@ -291,6 +323,27 @@ impl TableBuilder {
 mod tests {
     use super::*;
     use skalla_types::DataType;
+
+    #[test]
+    fn row_range_slices_and_bounds_check() {
+        let t = flow_table();
+        let n = t.len();
+        let mid = t.row_range(1, n).unwrap();
+        assert_eq!(mid.len(), n - 1);
+        assert_eq!(mid.row(0), t.row(1));
+        let empty = t.row_range(2, 2).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.schema(), t.schema());
+        assert!(t.row_range(0, n + 1).is_err());
+        assert!(t.row_range(3, 2).is_err());
+        // Concatenating the fragment slices reproduces the table exactly.
+        let a = t.row_range(0, n / 2).unwrap();
+        let b = t.row_range(n / 2, n).unwrap();
+        let back = Table::concat(&[a, b]).unwrap();
+        for i in 0..n {
+            assert_eq!(back.row(i), t.row(i));
+        }
+    }
 
     fn flow_schema() -> Arc<Schema> {
         Schema::from_pairs([

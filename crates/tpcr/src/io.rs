@@ -74,6 +74,7 @@ mod tests {
             num_clerks: 5,
             num_cities: 25,
             seed: 11,
+            zipf_theta: 0.0,
         };
         let table = crate::generate(&cfg);
         let path = tmp("roundtrip");
@@ -102,6 +103,7 @@ mod tests {
             num_clerks: 3,
             num_cities: 25,
             seed: 12,
+            zipf_theta: 0.0,
         };
         let path = tmp("cache");
         std::fs::remove_file(&path).ok();

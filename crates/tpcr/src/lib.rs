@@ -96,6 +96,12 @@ pub struct TpcrConfig {
     pub num_cities: i64,
     /// RNG seed.
     pub seed: u64,
+    /// Zipfian skew exponent θ for the customer draw. `0.0` (the default)
+    /// keeps the original uniform generator bit-for-bit; `θ > 0` draws
+    /// `custkey` from a Zipf(θ) distribution over customer ranks (rank 0 =
+    /// customer 0), so nation 0 — and whichever site hosts it — becomes
+    /// hot. θ = 1.2 is the canonical heavy-skew setting of the skew bench.
+    pub zipf_theta: f64,
 }
 
 impl TpcrConfig {
@@ -113,12 +119,25 @@ impl TpcrConfig {
             num_clerks: ((30.0 * sf).round() as i64).max(1),
             num_cities,
             seed: 0x51a11a ^ 0x5EED,
+            zipf_theta: 0.0,
         }
     }
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> TpcrConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Draw customers from a Zipf(θ) distribution instead of uniformly
+    /// (θ ≤ 0 restores the uniform draw). Generation stays deterministic
+    /// in the seed: same seed and θ ⇒ bit-identical tables.
+    pub fn with_zipf(mut self, theta: f64) -> TpcrConfig {
+        self.zipf_theta = if theta.is_finite() {
+            theta.max(0.0)
+        } else {
+            0.0
+        };
         self
     }
 }
@@ -208,16 +227,45 @@ pub fn clerk_name(clerkkey: i64) -> String {
     format!("Clerk#{clerkkey:09}")
 }
 
+/// The cumulative Zipf(θ) distribution over `n` ranks: `cdf[k]` is the
+/// probability of drawing a rank `≤ k` (rank `r` has mass ∝ `1/(r+1)^θ`).
+/// A uniform `[0,1)` draw binary-searched into this vector yields a
+/// Zipf-distributed rank; the skew bench uses it to make customer 0 (and
+/// therefore nation 0 and its site) hot.
+pub fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n.max(1));
+    let mut acc = 0.0f64;
+    for r in 0..n.max(1) {
+        acc += ((r + 1) as f64).powf(-theta);
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
 /// Generate the denormalized fact relation.
 pub fn generate(config: &TpcrConfig) -> Table {
     let schema = tpcr_schema();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = TableBuilder::with_capacity(schema, config.num_rows);
+    // θ = 0 keeps the legacy uniform `gen_range` draw so pre-existing
+    // seeds reproduce bit-for-bit.
+    let zipf = (config.zipf_theta > 0.0)
+        .then(|| zipf_cdf(config.num_customers.max(1) as usize, config.zipf_theta));
 
     for i in 0..config.num_rows {
         let orderkey = (i / 4) as i64 + 1;
         let linenumber = (i % 4) as i64 + 1;
-        let custkey = rng.gen_range(0..config.num_customers);
+        let custkey = match &zipf {
+            None => rng.gen_range(0..config.num_customers),
+            Some(cdf) => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                cdf.partition_point(|&c| c <= u).min(cdf.len() - 1) as i64
+            }
+        };
         let nationkey = nation_of_customer(custkey);
         let regionkey = region_of_nation(nationkey);
         let clerkkey = rng.gen_range(0..config.num_clerks);
@@ -281,6 +329,7 @@ mod tests {
             num_clerks: 10,
             num_cities: 50,
             seed: 42,
+            zipf_theta: 0.0,
         }
     }
 
@@ -291,6 +340,56 @@ mod tests {
         assert_eq!(a, b);
         let c = generate(&small().with_seed(43));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic() {
+        let a = generate(&small().with_zipf(1.2));
+        let b = generate(&small().with_zipf(1.2));
+        assert_eq!(a, b);
+        // Different θ or different seed ⇒ different tables; θ = 0 is the
+        // legacy uniform generator exactly.
+        assert_ne!(a, generate(&small().with_zipf(0.8)));
+        assert_ne!(a, generate(&small().with_zipf(1.2).with_seed(43)));
+        assert_eq!(generate(&small().with_zipf(0.0)), generate(&small()));
+    }
+
+    #[test]
+    fn zipf_cdf_is_normalized_and_monotone() {
+        let cdf = zipf_cdf(100, 1.2);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf[99] - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        // Rank 0 holds the 1/H_n(θ) head mass; for n=100, θ=1.2 that is
+        // well above a uniform share.
+        assert!(cdf[0] > 0.15, "{}", cdf[0]);
+    }
+
+    #[test]
+    fn zipf_skews_customers_and_nations() {
+        let t = generate(&small().with_zipf(1.2));
+        let count_where = |col: usize, v: i64| -> usize {
+            (0..t.len())
+                .filter(|&i| t.column(col).get(i) == Value::Int(v))
+                .count()
+        };
+        // Customer 0 dominates, far beyond its uniform share of 1/100.
+        let c0 = count_where(CUSTKEY_COL, 0);
+        assert!(c0 > t.len() / 10, "customer 0 has {c0} of {} rows", t.len());
+        // And the skew carries to the partition attribute: nation 0 is hot.
+        let n0 = count_where(NATIONKEY_COL, 0);
+        assert!(n0 >= c0);
+        // Uniform share would be 1/25 = 4%; the Zipf head pushes nation 0
+        // several times past that.
+        assert!(n0 > 4 * t.len() / 25, "nation 0 has {n0} of {}", t.len());
+        // Functional dependencies are untouched by the skewed draw.
+        for i in 0..t.len() {
+            let custkey = t.column(CUSTKEY_COL).get(i).as_int().unwrap();
+            assert_eq!(
+                t.column(NATIONKEY_COL).get(i).as_int().unwrap(),
+                nation_of_customer(custkey)
+            );
+        }
     }
 
     #[test]

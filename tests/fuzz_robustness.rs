@@ -73,6 +73,8 @@ proptest! {
             blocks_compiled: 1,
             blocks_interpreted: 0,
             last: true,
+            task: 0,
+            sketch: Vec::new(),
         };
         let mut bytes = msg.to_wire_framed(3, 1).to_vec();
         let idx = pos % bytes.len();

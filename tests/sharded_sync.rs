@@ -363,6 +363,52 @@ fn rejected_chunk_is_all_or_nothing() {
     assert_rows_bits_eq(&got, &expected, "after rejected chunks");
 }
 
+/// Chunks large enough to take the split validate+hash pass (the router
+/// keeps the lower half, a scoped helper runs the upper half) behave
+/// exactly like small ones: a corrupt row hiding in the *second* half
+/// rejects the whole chunk all-or-nothing, and a clean large chunk merges
+/// bit-identically to the serial path.
+#[test]
+fn large_chunk_split_validation_is_all_or_nothing() {
+    const BIG: usize = 4096; // comfortably past the parallel-pass floor
+    let b = base(GROUPS);
+    let good: Vec<FragRow> = (0..BIG)
+        .map(|i: usize| {
+            let asum = if i.is_multiple_of(7) {
+                -0.0
+            } else {
+                i as f64 * 0.01
+            };
+            (i as i64 % GROUPS, 1, Some(i as f64 * 0.1 - 9.0), asum, 1)
+        })
+        .collect();
+
+    let mut serial = BaseResult::from_base(&b, &[0], specs(), output_fields()).unwrap();
+    serial.merge_fragment(&frag(&good), false).unwrap();
+    let expected = serial.finalize().unwrap();
+
+    let mut x = sharded(SyncOptions::for_workers(4), false, Some(&b));
+
+    // Corrupt a row deep in the upper half: the helper thread's error must
+    // reject the chunk without any lower-half row leaking through.
+    let mut rows: Vec<Vec<Value>> = frag(&good).rows().to_vec();
+    rows[BIG - 3][1] = Value::Str("oops".into());
+    let bad = Relation::new(frag_schema(), rows).unwrap();
+    assert!(x.merge_chunk(bad).is_err());
+
+    // Corrupt a row in the lower half too: same rejection, reported from
+    // the router's own half.
+    let mut rows: Vec<Vec<Value>> = frag(&good).rows().to_vec();
+    rows[5][1] = Value::Str("oops".into());
+    let bad = Relation::new(frag_schema(), rows).unwrap();
+    assert!(x.merge_chunk(bad).is_err());
+
+    // The engine is untouched: the clean large chunk merges bit-for-bit.
+    x.merge_chunk(frag(&good)).unwrap();
+    let (got, _) = x.finish().unwrap();
+    assert_rows_bits_eq(&got, &expected, "large split-validated chunk");
+}
+
 /// In seeded mode an unknown group key is a query-fatal error, same as the
 /// serial path — it surfaces at (or before) `finish`.
 #[test]

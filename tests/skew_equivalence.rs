@@ -1,0 +1,269 @@
+//! Differential equivalence for skew-aware execution.
+//!
+//! The skew contract: hot-partition splitting and mid-round straggler
+//! offload change *where* detail rows are aggregated, never the answer.
+//! Every test runs the same query over the same deliberately skewed
+//! fragmentation several ways — centralized serial, distributed under the
+//! static uniform placement, and distributed with the skew policy on — and
+//! requires exact agreement, including under message drop/duplication
+//! faults and site crashes with failover. All aggregates are
+//! integer-valued, so exactness is unconditional: there is no float
+//! rounding for a double-counted or lost tuple to hide behind.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use skalla::prelude::*;
+
+const SITES: usize = 4;
+
+fn flow_schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([("k", DataType::Int64), ("v", DataType::Int64)])
+        .unwrap()
+        .into_arc()
+}
+
+/// A deliberately skewed horizontal fragmentation: site 1 holds `hot` rows,
+/// every other site `cold`. The parts are disjoint row slices of one full
+/// table, so the centralized evaluation of that table is the ground truth
+/// for every distributed variant.
+fn skewed(hot: usize, cold: usize) -> (Table, Partitioning) {
+    let total = hot + cold * (SITES - 1);
+    let rows: Vec<Vec<Value>> = (0..total)
+        .map(|i| vec![Value::Int((i % 13) as i64), Value::Int(i as i64)])
+        .collect();
+    let full = Table::from_rows(flow_schema(), &rows).unwrap();
+    let mut parts = Vec::new();
+    let mut at = 0;
+    for s in 0..SITES {
+        let n = if s == 0 { hot } else { cold };
+        parts.push(Table::from_rows(flow_schema(), &rows[at..at + n]).unwrap());
+        at += n;
+    }
+    (
+        full,
+        Partitioning {
+            parts,
+            partition_col: None,
+        },
+    )
+}
+
+/// A two-operator query: base round plus two synchronized GMDJ rounds, so
+/// splits and offloads can engage in every round of the execution.
+fn query() -> GmdjExpr {
+    let schemas = HashMap::from([("flow".to_string(), flow_schema())]);
+    parse_query(
+        "BASE DISTINCT k FROM flow;
+         MD COUNT(*) AS c, SUM(v) AS s WHERE b.k = r.k;
+         MD COUNT(*) AS hi WHERE b.k = r.k AND r.v >= b.s / b.c;",
+        &schemas,
+    )
+    .unwrap()
+}
+
+fn truth(full: &Table) -> Relation {
+    let mut c = Catalog::new();
+    c.register("flow", full.clone());
+    eval_expr_centralized(&query(), &c).unwrap().sorted()
+}
+
+/// Fully replicated launch: every site holds a bit-identical copy of every
+/// partition, so splits and offload offers always have a live host.
+fn launch(parts: &Partitioning, faults: FaultPlan) -> DistributedWarehouse {
+    DistributedWarehouse::launch_replicated("flow", parts, SITES, CostModel::free(), faults)
+        .unwrap()
+}
+
+fn retry(deadline_ms: u64, max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        deadline: Duration::from_millis(deadline_ms),
+        max_retries,
+        backoff: 1.5,
+        degraded: DegradedMode::Failover,
+    }
+}
+
+/// The static uniform baseline: failover armed (the skew machinery's
+/// precondition, kept identical across variants) but no skew policy.
+fn uniform_plan(r: RetryPolicy) -> DistPlan {
+    DistPlan::unoptimized(query()).with_retry_policy(r)
+}
+
+#[test]
+fn forced_split_matches_uniform_and_centralized() {
+    let (full, parts) = skewed(4000, 400);
+    let expected = truth(&full);
+    let wh = launch(&parts, FaultPlan::none());
+    let uniform = uniform_plan(retry(500, 2));
+    let split = uniform.clone().with_skew_split(1.05);
+
+    // Warmup primes the coordinator's learned partition loads from the
+    // sites' round-reply sketches; it must already be exact.
+    let (warm, _) = wh.execute(&split).unwrap();
+    assert_eq!(warm.sorted(), expected);
+
+    let (u, mu) = wh.execute(&uniform).unwrap();
+    let (s, ms) = wh.execute(&split).unwrap();
+    wh.shutdown().unwrap();
+
+    assert_eq!(u.sorted(), expected, "uniform placement");
+    assert_eq!(s.sorted(), expected, "split execution");
+    assert_eq!(mu.parts_split, 0, "uniform plan must never split");
+    assert!(
+        ms.parts_split >= 1,
+        "a 3x-hot partition at threshold 1.05 was never split: {ms:?}"
+    );
+    assert!(
+        ms.skew_ratio > 1.0,
+        "sketches should have reported the imbalance: {}",
+        ms.skew_ratio
+    );
+}
+
+#[test]
+fn straggler_offload_matches_centralized() {
+    // One site owns a partition hundreds of times the others': the round's
+    // median completion time is tiny, the laggard is far beyond
+    // `factor x median`, and the offload machinery must race a replica
+    // against it without changing a single bit of the answer.
+    let (full, parts) = skewed(250_000, 400);
+    let expected = truth(&full);
+    let wh = launch(&parts, FaultPlan::none());
+    let plan = uniform_plan(retry(2000, 2)).with_skew_offload(1.1);
+    let (r, m) = wh.execute(&plan).unwrap();
+    wh.shutdown().unwrap();
+    assert_eq!(r.sorted(), expected);
+    assert!(
+        m.offloads >= 1,
+        "no offload offer was issued for a 600x straggler: {m:?}"
+    );
+    // Whoever won, exactly one side's reply was merged per offloaded round.
+    assert!(m.offload_wins <= m.offloads);
+}
+
+#[test]
+fn split_under_message_faults_stays_exact() {
+    // Drop, duplicate, and reorder messages while split execution runs:
+    // the idempotent retransmission and chunk-staging machinery must mask
+    // all of it and still agree with the uniform path bit for bit.
+    for (seed, drop, dup, delay) in [
+        (0xA11u64, 0.15, 0.20, 0.30),
+        (0x0D5E, 0.20, 0.0, 0.0),
+        (0xD0B1, 0.0, 0.40, 0.25),
+    ] {
+        let (full, parts) = skewed(3000, 300);
+        let expected = truth(&full);
+        let faults = FaultPlan::seeded(seed)
+            .with_drop_rate(drop)
+            .with_dup_rate(dup)
+            .with_delay_rate(delay);
+        let wh = launch(&parts, faults);
+        let uniform = uniform_plan(retry(250, 8));
+        let split = uniform.clone().with_skew_split(1.05);
+
+        let (warm, _) = wh.execute(&split).unwrap();
+        assert_eq!(warm.sorted(), expected, "seed {seed:#x}: warmup");
+        let (u, _) = wh.execute(&uniform).unwrap();
+        let (s, ms) = wh.execute(&split).unwrap();
+        wh.shutdown().unwrap();
+
+        assert_eq!(u.sorted(), expected, "seed {seed:#x}: uniform under faults");
+        assert_eq!(s.sorted(), expected, "seed {seed:#x}: split under faults");
+        assert!(
+            ms.parts_split >= 1,
+            "seed {seed:#x}: faults suppressed splitting: {ms:?}"
+        );
+    }
+}
+
+#[test]
+fn split_with_site_crash_fails_over_exactly() {
+    // A site dies while split execution is live — including the hot
+    // partition's owner (site 1). The epoch-bump failover re-plan and the
+    // skew split must compose: the answer stays exact and, once the loads
+    // are learned, the survivors still split the hot partition.
+    for victim in [1u32, 2] {
+        for after in [0u64, 3] {
+            let (full, parts) = skewed(3000, 300);
+            let expected = truth(&full);
+            let faults = FaultPlan::seeded(5).with_crash(victim, after);
+            let wh = launch(&parts, faults);
+            let plan = uniform_plan(retry(120, 1)).with_skew_split(1.05);
+
+            // First run learns the loads (and may already hit the crash);
+            // the second runs split execution against a dead site.
+            let (r1, m1) = wh.execute(&plan).unwrap();
+            let (r2, m2) = wh.execute(&plan).unwrap();
+            wh.shutdown().unwrap();
+
+            let ctx = format!("victim {victim} after {after}");
+            assert_eq!(r1.sorted(), expected, "{ctx}: first run");
+            assert_eq!(r2.sorted(), expected, "{ctx}: second run");
+            assert!(
+                m1.failovers + m2.failovers >= 1,
+                "{ctx}: the crash never triggered failover"
+            );
+            assert_eq!(m1.parts_lost + m2.parts_lost, 0, "{ctx}");
+            assert!(
+                m2.parts_split >= 1,
+                "{ctx}: survivors stopped splitting the hot partition: {m2:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_faulty_runs_are_deterministic() {
+    // Same fault seed, same policy, two independent warehouses: the skew
+    // path must reproduce the exact same relation both times.
+    let run = || {
+        let (_, parts) = skewed(3000, 300);
+        let wh = launch(
+            &parts,
+            FaultPlan::seeded(0xBEEF)
+                .with_drop_rate(0.15)
+                .with_dup_rate(0.2),
+        );
+        let plan = uniform_plan(retry(250, 8)).with_skew_split(1.05);
+        let (warm, _) = wh.execute(&plan).unwrap();
+        let (r, _) = wh.execute(&plan).unwrap();
+        wh.shutdown().unwrap();
+        (warm.sorted(), r.sorted())
+    };
+    assert_eq!(run(), run());
+}
+
+proptest! {
+    /// Randomized differential sweep: arbitrary fault seed, drop/dup rates,
+    /// and hot-partition size — the full skew policy (split + offload) must
+    /// agree with both the uniform distributed path and the centralized
+    /// serial evaluation on every case. Tables are kept small and the retry
+    /// deadline tight so the 48-case sweep stays fast even when drops stall
+    /// a round.
+    #[test]
+    fn skew_policy_never_changes_the_answer(
+        seed in any::<u64>(),
+        hot in 1200usize..2400,
+        drop in 0.0..0.10f64,
+        dup in 0.0..0.15f64,
+    ) {
+        let (full, parts) = skewed(hot, 200);
+        let expected = truth(&full);
+        let faults = FaultPlan::seeded(seed)
+            .with_drop_rate(drop)
+            .with_dup_rate(dup);
+        let wh = launch(&parts, faults);
+        let uniform = uniform_plan(retry(80, 8));
+        let skew = uniform.clone().with_skew_split(1.05).with_skew_offload(2.0);
+
+        let (warm, _) = wh.execute(&skew).unwrap();
+        prop_assert_eq!(warm.sorted(), expected.clone());
+        let (u, _) = wh.execute(&uniform).unwrap();
+        let (s, _) = wh.execute(&skew).unwrap();
+        wh.shutdown().unwrap();
+        prop_assert_eq!(u.sorted(), expected.clone());
+        prop_assert_eq!(s.sorted(), expected);
+    }
+}
