@@ -86,6 +86,39 @@ pub fn coalescible_query(
     )
 }
 
+/// A *selective* single-GMDJ query: `COUNT(*)`, `AVG(measure)` per group,
+/// restricted to detail tuples with `lo ≤ date_col < hi`.
+///
+/// The date bounds make `θ` refutable from segment zone maps: on
+/// time-ordered data every segment covers a narrow date window, so an
+/// out-of-core scan can prove most segments irrelevant from their footers
+/// alone and skip the decode — the workload of the zone-map pruning bench.
+pub fn date_range_query(
+    group_col: usize,
+    measure_col: usize,
+    date_col: usize,
+    lo: i64,
+    hi: i64,
+) -> Result<GmdjExpr> {
+    let md = GmdjOp::new(vec![GmdjBlock::new(
+        vec![
+            AggSpec::count_star("cnt"),
+            AggSpec::avg(Expr::detail(measure_col), "avg")?,
+        ],
+        key_theta(group_col)
+            .and(Expr::detail(date_col).ge(Expr::lit(lo)))
+            .and(Expr::detail(date_col).lt(Expr::lit(hi))),
+    )]);
+    GmdjExpr::new(
+        BaseSpec::DistinctProject {
+            cols: vec![group_col],
+        },
+        TPCR_TABLE,
+        vec![md],
+        vec![0],
+    )
+}
+
 /// A single-GMDJ query (`COUNT`, `AVG` per group) — the minimal workload,
 /// used by microbenches and the transfer-bound check.
 pub fn single_gmdj_query(group_col: usize, measure_col: usize) -> Result<GmdjExpr> {
@@ -122,6 +155,16 @@ mod tests {
             .unwrap()
             .validate(&schema)
             .unwrap();
+        date_range_query(
+            CUSTNAME_COL,
+            QUANTITY_COL,
+            skalla_tpcr::ORDERDATE_COL,
+            2400,
+            2557,
+        )
+        .unwrap()
+        .validate(&schema)
+        .unwrap();
         single_gmdj_query(CUSTNAME_COL, EXTENDEDPRICE_COL)
             .unwrap()
             .validate(&schema)

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use skalla_core::{
@@ -32,10 +33,10 @@ use skalla_core::{
 use skalla_gmdj::to_sql;
 use skalla_net::{CostModel, FaultPlan};
 use skalla_planner::{choose_plan, parse_query, plan_query, DistributionInfo};
-use skalla_storage::{Catalog, TableStats};
+use skalla_storage::{Catalog, SegmentFile, TableStats, DEFAULT_SEGMENT_ROWS};
 use skalla_tpcr::{
-    generate, partition_by_nation, TpcrConfig, CITYNAME_COL, CUSTKEY_COL, CUSTNAME_COL,
-    NATIONKEY_COL,
+    generate, generate_to_dir, partition_by_nation, tpcr_schema, TpcrConfig, CITYNAME_COL,
+    CUSTKEY_COL, CUSTNAME_COL, NATIONKEY_COL,
 };
 use skalla_types::{Relation, Result, Schema, SkallaError};
 
@@ -85,9 +86,28 @@ pub struct Session {
     skew: Option<SkewPolicy>,
     /// Metrics of the most recently executed query, for `\metrics`.
     last_metrics: Option<ExecMetrics>,
+    /// When set, `\load` generates straight to per-site segment files
+    /// under this directory and sites scan out-of-core instead of holding
+    /// their partition in memory.
+    data_dir: Option<PathBuf>,
+    /// Rows per segment for out-of-core loads.
+    segment_rows: usize,
+    /// Zone-map pruning override applied to every executed plan (`None`
+    /// keeps the plan default, which is on).
+    segment_prune: Option<bool>,
+    /// Per-site segment-file summaries of the current out-of-core load,
+    /// for `\segments`.
+    segments_info: Option<Vec<SegSiteInfo>>,
     buffer: String,
     /// Rows shown per result (keeps wide groups readable).
     pub max_rows: usize,
+}
+
+/// One site's segment file in an out-of-core load.
+struct SegSiteInfo {
+    path: String,
+    rows: usize,
+    segments: usize,
 }
 
 impl Default for Session {
@@ -115,6 +135,10 @@ impl Session {
             coord_shards: None,
             skew: None,
             last_metrics: None,
+            data_dir: None,
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+            segment_prune: None,
+            segments_info: None,
             buffer: String::new(),
             max_rows: 20,
         }
@@ -171,6 +195,7 @@ impl Session {
             "\\failover" => self.cmd_failover(),
             "\\sync" => self.cmd_sync(&args),
             "\\skew" => self.cmd_skew(&args),
+            "\\segments" => self.cmd_segments(&args),
             "\\metrics" => self.cmd_metrics(),
             other => Err(SkallaError::parse(format!(
                 "unknown command `{other}` (try \\help)"
@@ -216,6 +241,21 @@ impl Session {
     /// the `--replication` binary flag).
     pub fn set_replication(&mut self, replication: usize) {
         self.replication = replication.max(1);
+    }
+
+    /// Out-of-core mode for the next `\load`: generate straight to
+    /// per-site segment files under `dir` and have sites scan from disk
+    /// (also used by the `--data-dir` binary flag). `None` restores
+    /// in-memory loads.
+    pub fn set_data_dir(&mut self, dir: Option<PathBuf>) {
+        self.data_dir = dir;
+    }
+
+    /// Rows per segment for out-of-core loads (also used by the
+    /// `--segment-rows` binary flag). Smaller segments mean tighter zone
+    /// maps (more pruning) but more footer metadata and decode calls.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.segment_rows = rows.max(1);
     }
 
     /// Set the coordinator sync worker count for every executed plan (also
@@ -533,6 +573,10 @@ impl Session {
 
     /// Load a TPCR warehouse (also callable programmatically).
     pub fn load_tpcr(&mut self, scale: f64, sites: usize) -> Result<String> {
+        if let Some(dir) = self.data_dir.clone() {
+            return self.load_tpcr_out_of_core(scale, sites, &dir);
+        }
+        self.segments_info = None;
         let table = generate(&TpcrConfig::scale(scale));
         let rows = table.len();
         let parts = partition_by_nation(&table, sites)?;
@@ -587,6 +631,137 @@ impl Session {
         Ok(format!(
             "loaded tpcr: {rows} tuples across {sites} sites (partitioned on nationkey){replica_note}{fault_note}"
         ))
+    }
+
+    /// The `--data-dir` load path: the generator streams each site's
+    /// partition straight into a segment file, sites open the files and
+    /// scan them segment-at-a-time, and catalog statistics come from the
+    /// zone-map footers — the full relation is never materialized
+    /// anywhere, so scale is bounded by disk, not memory.
+    fn load_tpcr_out_of_core(
+        &mut self,
+        scale: f64,
+        sites: usize,
+        dir: &std::path::Path,
+    ) -> Result<String> {
+        if self.replication > 1 {
+            return Err(SkallaError::plan(
+                "replicated loads are in-memory only (unset --data-dir or \\replicate 1)",
+            ));
+        }
+        let cfg = TpcrConfig::scale(scale);
+        let paths = generate_to_dir(&cfg, sites, self.segment_rows, dir)?;
+        let mut catalogs = Vec::with_capacity(sites);
+        let mut stats: Option<TableStats> = None;
+        let mut info = Vec::with_capacity(sites);
+        for path in &paths {
+            let file = Arc::new(SegmentFile::open(path)?);
+            let site_stats = file.table_stats();
+            match &mut stats {
+                None => stats = Some(site_stats),
+                Some(acc) => acc.merge(&site_stats),
+            }
+            info.push(SegSiteInfo {
+                path: path.display().to_string(),
+                rows: file.total_rows(),
+                segments: file.num_segments(),
+            });
+            let mut c = Catalog::new();
+            c.register_segments("tpcr", file);
+            catalogs.push(c);
+        }
+        let rows: usize = info.iter().map(|s| s.rows).sum();
+        let nsegs: usize = info.iter().map(|s| s.segments).sum();
+        self.stats = stats;
+        // Partition knowledge without per-site value sets: deriving exact
+        // constraints would mean scanning the data this mode exists to
+        // avoid materializing. Nation partitioning is still declared, so
+        // Corollary-1 optimizations on nationkey apply.
+        self.dist = Some(DistributionInfo {
+            num_sites: sites,
+            partition_col: Some(NATIONKEY_COL),
+            is_partition_attribute: true,
+            site_constraints: None,
+            replication: 1,
+            partition_info: None,
+        });
+        self.schemas = HashMap::from([("tpcr".to_string(), tpcr_schema())]);
+        if let Some(old) = self.warehouse.take() {
+            old.shutdown()?;
+        }
+        self.warehouse = Some(DistributedWarehouse::launch_with_faults(
+            catalogs,
+            CostModel::lan_2002(),
+            self.faults.clone(),
+        )?);
+        self.segments_info = Some(info);
+        let fault_note = if self.faults.is_noop() {
+            String::new()
+        } else {
+            " [fault injection active]".to_string()
+        };
+        Ok(format!(
+            "loaded tpcr out-of-core: {rows} tuples across {sites} sites, {nsegs} segments of \
+             ≤{} rows under {} (partitioned on nationkey){fault_note}",
+            self.segment_rows,
+            dir.display()
+        ))
+    }
+
+    /// `\segments`: out-of-core storage status, pruning knob, and the last
+    /// query's zone-map pruning counters.
+    fn cmd_segments(&mut self, args: &[&str]) -> Result<String> {
+        match (args.first().copied(), args.get(1).copied()) {
+            (Some("prune"), Some(v @ ("on" | "off"))) => {
+                self.segment_prune = Some(v == "on");
+                return Ok(format!("segment pruning: {v}"));
+            }
+            (Some("prune"), Some("auto")) => {
+                self.segment_prune = None;
+                return Ok("segment pruning: auto (plan default: on)".to_string());
+            }
+            (None, None) => {}
+            _ => return Err(SkallaError::parse("usage: \\segments [prune on|off|auto]")),
+        }
+        let mut out = String::new();
+        match &self.segments_info {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "storage: in-memory (start with --data-dir <path> for out-of-core segments)"
+                );
+            }
+            Some(sites) => {
+                let _ = writeln!(
+                    out,
+                    "storage: out-of-core, ≤{} rows/segment",
+                    self.segment_rows
+                );
+                for (i, s) in sites.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  site {i}: {} rows in {} segment(s) — {}",
+                        s.rows, s.segments, s.path
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "pruning: {}",
+            match self.segment_prune {
+                None => "auto (on)",
+                Some(true) => "on",
+                Some(false) => "off",
+            }
+        );
+        if let Some(m) = &self.last_metrics {
+            let (sc, sp) = (m.total_segments_scanned(), m.total_segments_pruned());
+            if sc + sp > 0 {
+                let _ = writeln!(out, "last query: {sc} segment(s) decoded, {sp} pruned");
+            }
+        }
+        Ok(out.trim_end().to_string())
     }
 
     fn cmd_tables(&self) -> Result<String> {
@@ -723,6 +898,9 @@ impl Session {
         if let Some(skew) = self.skew {
             plan.skew = skew;
         }
+        if let Some(prune) = self.segment_prune {
+            plan = plan.with_segment_prune(prune);
+        }
 
         let mut out = String::new();
         if self.explain {
@@ -783,6 +961,8 @@ commands:
   \\sync [workers [shards]] coordinator merge workers (>1 = sharded sync pipeline)
   \\skew [mode]            skew-aware execution: auto (planner decides) | off |
                           on [split_threshold [offload_factor]]
+  \\segments [prune …]     out-of-core storage status + last query's zone-map pruning
+                          counters; `prune on|off|auto` overrides segment pruning
   \\metrics                per-round cost table + sync/skew breakdown of the last query
   \\help                   this message
   \\q                      quit
@@ -840,6 +1020,48 @@ MD COUNT(*) AS orders, AVG(extendedprice) AS avg_price
         assert!(
             matches!(s.handle_line("\\bogus"), Outcome::Continue(e) if e.contains("unknown command"))
         );
+    }
+
+    #[test]
+    fn out_of_core_load_matches_in_memory_and_reports_pruning() {
+        let mut mem = loaded();
+        let a = mem.run_query(QUERY).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("skalla-cli-ooc-{}", std::process::id()));
+        let mut ooc = Session::new();
+        ooc.set_data_dir(Some(dir.clone()));
+        ooc.set_segment_rows(64);
+        let msg = ooc.load_tpcr(0.02, 2).unwrap();
+        assert!(msg.contains("out-of-core"), "{msg}");
+        let b = ooc.run_query(QUERY).unwrap();
+
+        // Same rendered result table, whatever the storage mode.
+        let table = |s: &str| s.split("--").next().unwrap().to_string();
+        assert_eq!(table(&a), table(&b));
+
+        // \segments reports the storage layout and the scan counters.
+        let Outcome::Continue(seg) = ooc.handle_line("\\segments") else {
+            panic!("\\segments should answer");
+        };
+        assert!(seg.contains("out-of-core"), "{seg}");
+        assert!(seg.contains("site 0"), "{seg}");
+        assert!(seg.contains("decoded"), "{seg}");
+
+        // The pruning override round-trips and queries still agree.
+        assert!(matches!(
+            ooc.handle_line("\\segments prune off"),
+            Outcome::Continue(s) if s.contains("off")
+        ));
+        let c = ooc.run_query(QUERY).unwrap();
+        assert_eq!(table(&b), table(&c));
+
+        // In-memory sessions say so instead of pretending.
+        let Outcome::Continue(seg_mem) = mem.handle_line("\\segments") else {
+            panic!("\\segments should answer");
+        };
+        assert!(seg_mem.contains("in-memory"), "{seg_mem}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! skalla --replication 2 --load 0.05 4    # 2-way replicated partitions
 //! skalla --skew on --replication 2 --load 0.05 4   # force skew-aware execution
 //! skalla --checkpoint-dir /tmp/skalla --load 0.05 4   # round-granular WAL
+//! skalla --data-dir /tmp/skalla-data --load 10 8      # out-of-core segment store
 //! skalla serve --listen 127.0.0.1:7878 --scale 0.05 --sites 4   # TCP server
 //! skalla client --connect 127.0.0.1:7878  # remote shell over the server
 //! ```
@@ -331,6 +332,17 @@ fn main() {
             std::process::exit(2);
         }
         session.set_checkpoint_wal(CheckpointWal::new(dir.join("skalla.wal")));
+    }
+
+    // --data-dir <path>: out-of-core mode — \load generates straight to
+    // per-site segment files under the directory and sites scan from disk,
+    // so scale is bounded by disk, not memory. --segment-rows tunes the
+    // zone-map granularity.
+    if let Some(dir) = flag_value(&args, "--data-dir") {
+        session.set_data_dir(Some(PathBuf::from(dir)));
+    }
+    if let Some(rows) = flag_parse::<usize>(&args, "--segment-rows") {
+        session.set_segment_rows(rows);
     }
 
     // Optional --load <scale> <sites> preloads a warehouse.

@@ -96,6 +96,12 @@ pub enum Message {
         /// Per-partition cardinality sketches (reported on the final
         /// chunk; empty on earlier chunks).
         sketch: Vec<PartSketch>,
+        /// Out-of-core segments decoded during the scan (reported on the
+        /// final chunk; zero for in-memory details).
+        segments_scanned: u64,
+        /// Out-of-core segments skipped by zone-map pruning (reported on
+        /// the final chunk).
+        segments_pruned: u64,
     },
     /// Evaluate operators `start..=end` locally without intermediate
     /// synchronization (synchronization reduction).
@@ -138,6 +144,12 @@ pub enum Message {
         /// Per-partition cardinality sketches (reported on the final
         /// chunk; empty on earlier chunks).
         sketch: Vec<PartSketch>,
+        /// Out-of-core segments decoded across the run's operators
+        /// (reported on the final chunk; zero for in-memory details).
+        segments_scanned: u64,
+        /// Out-of-core segments skipped by zone-map pruning across the
+        /// run's operators (reported on the final chunk).
+        segments_pruned: u64,
     },
     /// Baseline only: ship the named raw detail table to the coordinator
     /// (what Skalla never does — used to demonstrate Theorem 2).
@@ -158,6 +170,24 @@ pub enum Message {
     Error {
         /// Human-readable description.
         msg: String,
+    },
+    /// Back `table` with the on-disk segment file at `path` (out-of-core
+    /// mode), replacing any previous catalog entry under that name. Sent
+    /// at load time and by live data reloads; a reload answers with
+    /// [`Message::SegmentsLoaded`] so the serving layer knows when to
+    /// invalidate its result cache.
+    LoadSegments {
+        /// Catalog name to (re)bind — the plain table name, or a mangled
+        /// partition name under replicated placement.
+        table: String,
+        /// Path of the segment file on the site's local disk.
+        path: String,
+    },
+    /// Acknowledge a [`Message::LoadSegments`]: the file was opened and
+    /// its footer validated.
+    SegmentsLoaded {
+        /// Total rows of the newly bound segment file.
+        rows: u64,
     },
 }
 
@@ -348,6 +378,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             last,
             task,
             sketch,
+            segments_scanned,
+            segments_pruned,
         } => {
             buf.put_u8(4);
             put_varint(buf, u64::from(*op_idx));
@@ -359,6 +391,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             last.encode(buf);
             put_varint(buf, u64::from(*task));
             encode_sketches(sketch, buf);
+            put_varint(buf, *segments_scanned);
+            put_varint(buf, *segments_pruned);
         }
         Message::LocalRun {
             start,
@@ -384,6 +418,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             last,
             task,
             sketch,
+            segments_scanned,
+            segments_pruned,
         } => {
             buf.put_u8(6);
             put_varint(buf, u64::from(*end));
@@ -395,6 +431,8 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             last.encode(buf);
             put_varint(buf, u64::from(*task));
             encode_sketches(sketch, buf);
+            put_varint(buf, *segments_scanned);
+            put_varint(buf, *segments_pruned);
         }
         Message::ShipAllRequest { table } => {
             buf.put_u8(7);
@@ -409,6 +447,15 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
         Message::Error { msg } => {
             buf.put_u8(10);
             put_str(buf, msg);
+        }
+        Message::LoadSegments { table, path } => {
+            buf.put_u8(11);
+            put_str(buf, table);
+            put_str(buf, path);
+        }
+        Message::SegmentsLoaded { rows } => {
+            buf.put_u8(12);
+            put_varint(buf, *rows);
         }
     }
 }
@@ -442,6 +489,8 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             last: bool::decode(r)?,
             task: r.varint()? as u32,
             sketch: decode_sketches(r)?,
+            segments_scanned: r.varint()?,
+            segments_pruned: r.varint()?,
         }),
         5 => Ok(Message::LocalRun {
             start: r.varint()? as u32,
@@ -460,6 +509,8 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             last: bool::decode(r)?,
             task: r.varint()? as u32,
             sketch: decode_sketches(r)?,
+            segments_scanned: r.varint()?,
+            segments_pruned: r.varint()?,
         }),
         7 => Ok(Message::ShipAllRequest { table: r.string()? }),
         8 => Ok(Message::ShipAllData {
@@ -468,6 +519,11 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
         }),
         9 => Ok(Message::Shutdown),
         10 => Ok(Message::Error { msg: r.string()? }),
+        11 => Ok(Message::LoadSegments {
+            table: r.string()?,
+            path: r.string()?,
+        }),
+        12 => Ok(Message::SegmentsLoaded { rows: r.varint()? }),
         other => Err(SkallaError::net(format!("invalid message tag {other}"))),
     }
 }
@@ -793,6 +849,7 @@ fn encode_plan(p: &DistPlan, buf: &mut BytesMut) {
     put_varint(buf, p.skew.max_split as u64);
     p.skew.offload.encode(buf);
     put_f64(buf, p.skew.offload_factor);
+    p.segment_prune.encode(buf);
 }
 
 fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
@@ -887,6 +944,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         offload,
         offload_factor,
     };
+    let segment_prune = bool::decode(r)?;
     Ok(DistPlan {
         expr,
         base_round,
@@ -898,6 +956,7 @@ fn decode_plan(r: &mut WireReader<'_>) -> Result<DistPlan> {
         sync_shards,
         retry,
         skew,
+        segment_prune,
     })
 }
 
@@ -970,6 +1029,7 @@ mod tests {
             offload: true,
             offload_factor: 2.5,
         };
+        plan.segment_prune = false;
         round_trip(&Message::Plan(plan));
     }
 
@@ -1011,6 +1071,8 @@ mod tests {
                 rows: 99,
                 heavy: Vec::new(),
             }],
+            segments_scanned: 5,
+            segments_pruned: 11,
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
@@ -1022,6 +1084,8 @@ mod tests {
             last: false,
             task: 1,
             sketch: Vec::new(),
+            segments_scanned: 0,
+            segments_pruned: 0,
         });
         round_trip(&Message::LocalRun {
             start: 0,
@@ -1047,10 +1111,17 @@ mod tests {
             last: true,
             task: 0,
             sketch: Vec::new(),
+            segments_scanned: 2,
+            segments_pruned: 6,
         });
         round_trip(&Message::ShipAllRequest {
             table: "flow".into(),
         });
+        round_trip(&Message::LoadSegments {
+            table: "flow__p3".into(),
+            path: "/data/site3/flow.seg".into(),
+        });
+        round_trip(&Message::SegmentsLoaded { rows: 123_456 });
         round_trip(&Message::ShipAllData {
             rel,
             compute_s: 2.0,

@@ -101,6 +101,12 @@ pub struct RoundMetrics {
     /// worker's busy seconds over the mean; 1.0 = perfectly balanced,
     /// 0 for the serial path).
     pub sync_imbalance: f64,
+    /// Out-of-core segments the sites decoded this round, summed across
+    /// sites (0 when every detail partition was in memory).
+    pub segments_scanned: u64,
+    /// Out-of-core segments the sites skipped via zone-map pruning this
+    /// round, summed across sites.
+    pub segments_pruned: u64,
 }
 
 impl RoundMetrics {
@@ -242,6 +248,16 @@ impl ExecMetrics {
         self.rounds.iter().map(|r| r.blocks_interpreted).sum()
     }
 
+    /// Total out-of-core segments decoded, across all rounds and sites.
+    pub fn total_segments_scanned(&self) -> u64 {
+        self.rounds.iter().map(|r| r.segments_scanned).sum()
+    }
+
+    /// Total out-of-core segments skipped via zone-map pruning.
+    pub fn total_segments_pruned(&self) -> u64 {
+        self.rounds.iter().map(|r| r.segments_pruned).sum()
+    }
+
     /// Summed fragment decode seconds across rounds.
     pub fn sync_decode_s(&self) -> f64 {
         self.rounds.iter().map(|r| r.sync_decode_s).sum()
@@ -380,6 +396,10 @@ impl ExecMetrics {
         if bc + bi > 0 {
             s.push_str(&format!(" | blocks: {bc} compiled, {bi} interpreted"));
         }
+        let (sc, sp) = (self.total_segments_scanned(), self.total_segments_pruned());
+        if sc + sp > 0 {
+            s.push_str(&format!(" | segments: {sc} scanned, {sp} pruned"));
+        }
         if self.rounds.iter().any(|r| r.sync_workers > 0) {
             s.push_str(&format!(
                 " | sync: decode {:.4}s, merge {:.4}s, finalize {:.4}s",
@@ -472,6 +492,8 @@ mod tests {
             sync_shards: 16,
             sync_utilization: 0.5,
             sync_imbalance: 1.25,
+            segments_scanned: 3,
+            segments_pruned: 5,
         }
     }
 
@@ -500,8 +522,11 @@ mod tests {
         assert!((m.comm_s() - 0.4).abs() < 1e-12);
         assert_eq!(m.total_blocks_compiled(), 4);
         assert_eq!(m.total_blocks_interpreted(), 2);
+        assert_eq!(m.total_segments_scanned(), 6);
+        assert_eq!(m.total_segments_pruned(), 10);
         assert!(m.summary().contains("2 rounds"));
         assert!(m.summary().contains("blocks: 4 compiled, 2 interpreted"));
+        assert!(m.summary().contains("segments: 6 scanned, 10 pruned"));
         assert!(m.summary().contains("sync: decode 0.0020s"));
         assert!(m
             .summary()

@@ -249,6 +249,12 @@ pub struct DistPlan {
     /// Skew-aware execution: hot-partition splitting across replicas and
     /// mid-round straggler offload. Disabled by default.
     pub skew: SkewPolicy,
+    /// Zone-map segment pruning for segment-backed (out-of-core) detail
+    /// partitions: a site skips decoding any segment whose footer zone
+    /// maps refute every block's condition. Pruning is sound — a skipped
+    /// segment provably contains no matching row — so it defaults to on;
+    /// turning it off forces full scans (the `BENCH_9` baseline).
+    pub segment_prune: bool,
 }
 
 impl DistPlan {
@@ -271,6 +277,7 @@ impl DistPlan {
             sync_shards: None,
             retry: RetryPolicy::default(),
             skew: SkewPolicy::disabled(),
+            segment_prune: true,
         }
     }
 
@@ -311,6 +318,12 @@ impl DistPlan {
     /// policy.
     pub fn with_degraded_mode(mut self, mode: DegradedMode) -> DistPlan {
         self.retry.degraded = mode;
+        self
+    }
+
+    /// Enable or disable zone-map segment pruning for out-of-core scans.
+    pub fn with_segment_prune(mut self, on: bool) -> DistPlan {
+        self.segment_prune = on;
         self
     }
 

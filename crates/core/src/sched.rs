@@ -130,6 +130,7 @@ struct Shared {
 /// thread — all methods take `&self`.
 pub struct QueryScheduler {
     shared: Arc<Shared>,
+    wh: Arc<DistributedWarehouse>,
     tx: Mutex<Option<Sender<Ticket>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
@@ -149,9 +150,11 @@ impl QueryScheduler {
         });
         let (tx, rx) = channel::<Ticket>();
         let sh = Arc::clone(&shared);
-        let worker = std::thread::spawn(move || worker_loop(&wh, rx, &sh, interleave));
+        let wh2 = Arc::clone(&wh);
+        let worker = std::thread::spawn(move || worker_loop(&wh2, rx, &sh, interleave));
         QueryScheduler {
             shared,
+            wh,
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
         }
@@ -215,6 +218,26 @@ impl QueryScheduler {
     /// changes — the cache key fingerprints the plan, not the data.
     pub fn invalidate_cache(&self) {
         self.shared.cache.lock().expect("cache lock").invalidate();
+    }
+
+    /// Replace `table` with fresh on-disk segment files at every site
+    /// (site *i* opens `paths[i-1]`) and drop every cached result, as one
+    /// atomic step from the queries' point of view: the call drains
+    /// in-flight queries first and holds new admissions out until both the
+    /// swap and the invalidation are done. A query admitted after this
+    /// returns can therefore neither scan half-swapped data nor be
+    /// answered from a result computed against the old data. Returns
+    /// per-site row counts of the new files.
+    pub fn reload_segments(&self, table: &str, paths: &[String]) -> Result<Vec<u64>> {
+        let admitted = self.shared.admitted.lock().expect("admission lock");
+        let _quiesced = self
+            .shared
+            .freed
+            .wait_while(admitted, |n| *n > 0)
+            .expect("admission lock");
+        let rows = self.wh.load_segments(table, paths)?;
+        self.shared.cache.lock().expect("cache lock").invalidate();
+        Ok(rows)
     }
 
     /// Result-cache counters.
@@ -527,6 +550,7 @@ mod tests {
         assert_eq!(s.completed, 8);
         assert_eq!(s.failed, 0);
         sched.shutdown().unwrap();
+        drop(sched);
         Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
     }
 
@@ -555,7 +579,58 @@ mod tests {
         assert_eq!(cs.hits, 1);
         assert_eq!(cs.invalidations, 1);
         sched.shutdown().unwrap();
+        drop(sched);
         Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
+    }
+
+    /// The stale-cache regression: once a table is reloaded from disk,
+    /// a result cached against the old data must never be served again.
+    #[test]
+    fn reload_segments_evicts_stale_cached_results() {
+        let (wh, _full) = warehouse(2, 120);
+        let sched = QueryScheduler::launch(Arc::clone(&wh), SchedConfig::default());
+        let plan = DistPlan::unoptimized(query(50));
+
+        let (r1, m1) = sched.submit(plan.clone()).unwrap().wait().unwrap();
+        assert_eq!(m1.cache_misses, 1);
+        let (_r2, m2) = sched.submit(plan.clone()).unwrap().wait().unwrap();
+        assert_eq!(m2.cache_hits, 1);
+
+        // The data changes: each site's partition is replaced by a
+        // segment file holding twice the rows. The cached answer for the
+        // same plan is now wrong.
+        let new = flow_table(240);
+        let parts = partition_by_hash(&new, 0, 2).unwrap();
+        let dir = std::env::temp_dir().join(format!("skalla-sched-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<String> = parts
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let path = dir.join(format!("flow-{i}.seg"));
+                skalla_storage::write_segments(&path, p, 64).unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect();
+        let per_site = sched.reload_segments("flow", &paths).unwrap();
+        assert_eq!(per_site.iter().sum::<u64>(), 240);
+
+        // Same plan again: must re-execute against the new data, not
+        // replay the stale cached relation.
+        let (r3, m3) = sched.submit(plan).unwrap().wait().unwrap();
+        assert_eq!(m3.cache_hits, 0);
+        assert_eq!(m3.cache_misses, 1);
+        let mut full = Catalog::new();
+        full.register("flow", new);
+        let cent = eval_expr_centralized(&query(50), &full).unwrap();
+        assert_eq!(r3.sorted(), cent.sorted());
+        assert_ne!(r1.sorted(), r3.sorted(), "stale answer served after reload");
+
+        sched.shutdown().unwrap();
+        drop(sched);
+        Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -587,6 +662,7 @@ mod tests {
         }
         assert_eq!(sched.stats().rejected, busy);
         sched.shutdown().unwrap();
+        drop(sched);
         Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
     }
 
@@ -600,6 +676,7 @@ mod tests {
         assert!(t1.wait().is_ok());
         assert!(t2.wait().is_ok());
         assert!(sched.submit(DistPlan::unoptimized(query(3))).is_err());
+        drop(sched);
         Arc::try_unwrap(wh).ok().unwrap().shutdown().unwrap();
     }
 }

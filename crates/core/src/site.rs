@@ -9,10 +9,13 @@
 use std::hash::{Hash, Hasher};
 
 use skalla_gmdj::{
-    eval_gmdj_dual, eval_gmdj_sub, BaseSpec, EvalOptions, GmdjExpr, MATCH_COUNT_COL,
+    eval_gmdj_dual, eval_gmdj_dual_segments, eval_gmdj_sub, eval_gmdj_sub_segments, BaseSpec,
+    EvalOptions, GmdjExpr, SegScanStats, MATCH_COUNT_COL,
 };
 use skalla_net::Endpoint;
-use skalla_storage::{partition_table_name, Catalog, PartFrag, PartSketch, SpaceSaving, Table};
+use skalla_storage::{
+    partition_table_name, Catalog, PartFrag, PartSketch, SegmentFile, SpaceSaving, Table,
+};
 use skalla_types::{Relation, Result, Schema, SkallaError, Value};
 
 use crate::message::Message;
@@ -147,6 +150,17 @@ fn request_task(msg: &Message) -> u32 {
 /// plus the assembled rows.
 type FragCacheEntry = (String, Vec<PartFrag>, std::sync::Arc<Table>);
 
+/// The detail relation a scan runs over: an in-memory table, or an
+/// on-disk segment file streamed one segment at a time (optionally
+/// windowed to a global row range for fragment addressing).
+enum LocalDetail {
+    /// Fully materialized rows.
+    Mem(std::sync::Arc<Table>),
+    /// Out-of-core segment store, with an optional `[start, end)` global
+    /// row window.
+    Seg(std::sync::Arc<SegmentFile>, Option<(usize, usize)>),
+}
+
 /// Mutable per-site state.
 struct SiteState {
     catalog: Catalog,
@@ -182,6 +196,14 @@ impl SiteState {
                 parts,
                 task,
             } => self.local_run(start as usize, end as usize, base, parts.as_deref(), task),
+            Message::LoadSegments { table, path } => {
+                let file = std::sync::Arc::new(SegmentFile::open(&path)?);
+                let rows = file.total_rows() as u64;
+                self.catalog.register_segments(table, file);
+                // Any materialized fragment union may now be stale.
+                *self.frag_cache.borrow_mut() = None;
+                Ok(vec![Message::SegmentsLoaded { rows }])
+            }
             Message::ShipAllRequest { table } => {
                 let started = site_clock_s();
                 let t = self.catalog.get(&table)?;
@@ -258,6 +280,32 @@ impl SiteState {
         Ok(table)
     }
 
+    /// [`SiteState::detail_table`] that keeps segment-backed partitions
+    /// out-of-core. A request resolving to exactly one segment-backed
+    /// partition (the common case — `parts: None`, or a single fragment)
+    /// streams from disk; a multi-fragment union over segment files falls
+    /// back to materialization via [`Catalog::get`], which stays correct
+    /// but pays the decode (failover hands a site at most a few extra
+    /// partitions, so the fallback is rare and bounded).
+    fn detail_source(&self, name: &str, parts: Option<&[PartFrag]>) -> Result<LocalDetail> {
+        match parts {
+            None => {
+                if let Some(f) = self.catalog.get_segments(name) {
+                    return Ok(LocalDetail::Seg(f, None));
+                }
+            }
+            Some([f]) => {
+                let pname = partition_table_name(name, f.part as usize);
+                if let Some(file) = self.catalog.get_segments(&pname) {
+                    let range = (!f.is_whole()).then(|| f.row_bounds(file.total_rows()));
+                    return Ok(LocalDetail::Seg(file, range));
+                }
+            }
+            Some(_) => {}
+        }
+        self.detail_table(name, parts).map(LocalDetail::Mem)
+    }
+
     /// Per-partition sketches for the partitions a request names. `rows`
     /// is the *whole* partition's cardinality (the site hosts the full
     /// replica even when asked for a fragment of it), so coordinator-side
@@ -281,35 +329,52 @@ impl SiteState {
         // any single slice).
         let mut sketches: Vec<SpaceSaving> = Vec::new();
         for f in fs {
-            let t = self
-                .catalog
-                .get(&partition_table_name(name, f.part as usize))?;
+            let pname = partition_table_name(name, f.part as usize);
+            // Segment-backed partitions report cardinality from footer
+            // metadata and sketch by streaming — never materialized whole.
+            let seg = self.catalog.get_segments(&pname);
+            let mem = match &seg {
+                Some(_) => None,
+                None => Some(self.catalog.get(&pname)?),
+            };
+            let total = match (&seg, &mem) {
+                (Some(file), _) => file.total_rows(),
+                (None, Some(t)) => t.len(),
+                (None, None) => unreachable!("resolved above"),
+            };
             if out.last().map(|s| s.part) != Some(f.part) {
                 out.push(PartSketch {
                     part: f.part,
-                    rows: t.len() as u64,
+                    rows: total as u64,
                     heavy: Vec::new(),
                 });
                 sketches.push(SpaceSaving::new(HEAVY_HITTER_CAP));
             }
             if let Some(cols) = heavy_cols {
                 let (start, end) = if f.is_whole() {
-                    (0, t.len())
+                    (0, total)
                 } else {
-                    f.row_bounds(t.len())
+                    f.row_bounds(total)
                 };
-                // Columnar scan: hash only the group-key columns by index
-                // — no per-row materialization, and a fragment's nonzero
-                // start offset costs nothing (iterating rows and skipping
-                // the prefix would charge split fragments for rows they
-                // never compute on).
-                let key_cols: Vec<_> = cols
-                    .iter()
-                    .map(|&c| (c < t.schema().len()).then(|| t.column(c)))
-                    .collect();
                 let ss = sketches.last_mut().expect("just pushed");
-                for i in start..end {
-                    ss.offer(hash_group_cols(&key_cols, i));
+                match (&seg, &mem) {
+                    (Some(file), _) => offer_segment_rows(file, cols, start, end, ss)?,
+                    (None, Some(t)) => {
+                        // Columnar scan: hash only the group-key columns by
+                        // index — no per-row materialization, and a
+                        // fragment's nonzero start offset costs nothing
+                        // (iterating rows and skipping the prefix would
+                        // charge split fragments for rows they never
+                        // compute on).
+                        let key_cols: Vec<_> = cols
+                            .iter()
+                            .map(|&c| (c < t.schema().len()).then(|| t.column(c)))
+                            .collect();
+                        for i in start..end {
+                            ss.offer(hash_group_cols(&key_cols, i));
+                        }
+                    }
+                    (None, None) => unreachable!("resolved above"),
                 }
             }
         }
@@ -340,8 +405,10 @@ impl SiteState {
     fn local_base(&self, expr: &GmdjExpr, parts: Option<&[PartFrag]>) -> Result<Relation> {
         match &expr.base {
             BaseSpec::DistinctProject { cols } => {
-                let detail = self.detail_table(&expr.detail_name, parts)?;
-                detail.distinct_project(cols)
+                match self.detail_source(&expr.detail_name, parts)? {
+                    LocalDetail::Mem(detail) => detail.distinct_project(cols),
+                    LocalDetail::Seg(file, range) => segmented_distinct_project(&file, cols, range),
+                }
             }
             BaseSpec::Relation(_) => Err(SkallaError::exec(
                 "coordinator asked a site to compute an explicit base relation",
@@ -367,13 +434,21 @@ impl SiteState {
             .get(op_idx)
             .ok_or_else(|| SkallaError::exec(format!("operator {op_idx} out of range")))?;
         let reduce = plan.rounds[op_idx].site_group_reduction;
-        let detail = self.detail_table(plan.expr.detail_for_op(op_idx), parts)?;
+        let source = self.detail_source(plan.expr.detail_for_op(op_idx), parts)?;
         let opts = EvalOptions {
             with_match_count: reduce,
             parallelism: plan.site_parallelism,
             ..Default::default()
         };
-        let (h, stats) = eval_gmdj_sub(&base, &*detail, detail.schema(), op, &opts)?;
+        let (h, stats, seg) = match &source {
+            LocalDetail::Mem(detail) => {
+                let (h, stats) = eval_gmdj_sub(&base, &**detail, detail.schema(), op, &opts)?;
+                (h, stats, SegScanStats::default())
+            }
+            LocalDetail::Seg(file, range) => {
+                eval_gmdj_sub_segments(&base, file, op, &opts, plan.segment_prune, *range)?
+            }
+        };
         let blocks_compiled = stats.blocks_compiled;
         let blocks_interpreted = (stats.blocks_hashed + stats.blocks_nested) - blocks_compiled;
         let h = if reduce { strip_unmatched(h)? } else { h };
@@ -394,6 +469,8 @@ impl SiteState {
                 last,
                 task,
                 sketch: if last { sketch.clone() } else { Vec::new() },
+                segments_scanned: if last { seg.scanned } else { 0 },
+                segments_pruned: if last { seg.pruned } else { 0 },
             })
             .collect())
     }
@@ -437,21 +514,28 @@ impl SiteState {
         let mut state_fields = Vec::new();
         let mut blocks_compiled = 0u32;
         let mut blocks_interpreted = 0u32;
+        let mut seg_total = SegScanStats::default();
 
         for k in start..=end {
             let op = &expr.ops[k];
-            let detail = self.detail_table(expr.detail_for_op(k), parts)?;
-            state_fields.extend(op.state_fields(detail.schema())?);
-            let dual = eval_gmdj_dual(
-                &current,
-                &*detail,
-                detail.schema(),
-                op,
-                &EvalOptions {
-                    parallelism: plan.site_parallelism,
-                    ..Default::default()
-                },
-            )?;
+            let source = self.detail_source(expr.detail_for_op(k), parts)?;
+            let opts = EvalOptions {
+                parallelism: plan.site_parallelism,
+                ..Default::default()
+            };
+            let (dual, seg) = match &source {
+                LocalDetail::Mem(detail) => {
+                    state_fields.extend(op.state_fields(detail.schema())?);
+                    let dual = eval_gmdj_dual(&current, &**detail, detail.schema(), op, &opts)?;
+                    (dual, SegScanStats::default())
+                }
+                LocalDetail::Seg(file, range) => {
+                    state_fields.extend(op.state_fields(file.schema())?);
+                    eval_gmdj_dual_segments(&current, file, op, &opts, plan.segment_prune, *range)?
+                }
+            };
+            seg_total.scanned += seg.scanned;
+            seg_total.pruned += seg.pruned;
             for (i, st) in dual.states.iter().enumerate() {
                 acc_states[i].extend(st.iter().cloned());
                 total_matches[i] += dual.match_counts[i];
@@ -491,6 +575,8 @@ impl SiteState {
                 last,
                 task,
                 sketch: if last { sketch.clone() } else { Vec::new() },
+                segments_scanned: if last { seg_total.scanned } else { 0 },
+                segments_pruned: if last { seg_total.pruned } else { 0 },
             })
             .collect())
     }
@@ -530,6 +616,79 @@ fn hash_group_cols(cols: &[Option<&skalla_storage::Column>], i: usize) -> u64 {
         }
     }
     h.finish()
+}
+
+/// Decode the segments of `file` overlapping the `[start, end)` global row
+/// window one at a time — trimmed to the window — and feed each to `f`.
+/// Segments arrive in global row order, so streaming consumers observe the
+/// same rows in the same order as a scan of the materialized table.
+fn for_each_segment_window(
+    file: &SegmentFile,
+    start: usize,
+    end: usize,
+    mut f: impl FnMut(Table) -> Result<()>,
+) -> Result<()> {
+    for i in 0..file.num_segments() {
+        let s = file.segment_row_start(i);
+        let e = s + file.meta(i).rows;
+        let (lo, hi) = (start.max(s), end.min(e));
+        if lo >= hi {
+            continue;
+        }
+        let mut t = file.read_segment(i)?;
+        if (lo, hi) != (s, e) {
+            t = t.row_range(lo - s, hi - s)?;
+        }
+        f(t)?;
+    }
+    Ok(())
+}
+
+/// Offer the group-key hash of every row in the `[start, end)` window of a
+/// segment file to the heavy-hitter sketch — the out-of-core counterpart of
+/// the columnar in-memory sketch scan, one decoded segment resident at a
+/// time.
+fn offer_segment_rows(
+    file: &SegmentFile,
+    cols: &[usize],
+    start: usize,
+    end: usize,
+    ss: &mut SpaceSaving,
+) -> Result<()> {
+    for_each_segment_window(file, start, end, |t| {
+        let key_cols: Vec<_> = cols
+            .iter()
+            .map(|&c| (c < t.schema().len()).then(|| t.column(c)))
+            .collect();
+        for i in 0..t.len() {
+            ss.offer(hash_group_cols(&key_cols, i));
+        }
+        Ok(())
+    })
+}
+
+/// `Table::distinct_project` over a segment file, one decoded segment
+/// resident at a time. Segments are visited in global row order, so the
+/// first-seen row ordering is bit-for-bit the in-memory scan's.
+fn segmented_distinct_project(
+    file: &SegmentFile,
+    cols: &[usize],
+    range: Option<(usize, usize)>,
+) -> Result<Relation> {
+    let schema = std::sync::Arc::new(file.schema().project(cols)?);
+    let (start, end) = range.unwrap_or((0, file.total_rows()));
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for_each_segment_window(file, start, end, |t| {
+        for i in 0..t.len() {
+            let key: Vec<Value> = cols.iter().map(|&c| t.column(c).get(i)).collect();
+            if seen.insert(key.clone()) {
+                rows.push(key);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(Relation::from_rows_unchecked(schema, rows))
 }
 
 /// Split a relation into `(chunk, is_last)` pieces of at most `block_rows`

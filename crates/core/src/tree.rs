@@ -326,7 +326,7 @@ impl MidState {
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s, bc, bi, sketches) =
+                let (merged, max_s, bc, bi, sketches, seg) =
                     self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::RoundResult {
                     op_idx,
@@ -338,6 +338,8 @@ impl MidState {
                     last: true,
                     task,
                     sketch: sketches,
+                    segments_scanned: seg.scanned,
+                    segments_pruned: seg.pruned,
                 }])
             }
             Message::LocalRun {
@@ -361,7 +363,7 @@ impl MidState {
                         .to_wire_framed(self.epoch, self.round),
                     )?;
                 }
-                let (merged, max_s, bc, bi, sketches) =
+                let (merged, max_s, bc, bi, sketches, seg) =
                     self.merge_cluster(ep, children.len(), specs)?;
                 Ok(vec![Message::LocalRunResult {
                     end,
@@ -373,6 +375,8 @@ impl MidState {
                     last: true,
                     task,
                     sketch: sketches,
+                    segments_scanned: seg.scanned,
+                    segments_pruned: seg.pruned,
                 }])
             }
             Message::ShipAllRequest { table } => {
@@ -472,15 +476,24 @@ impl MidState {
 
     /// Pre-synchronize the cluster's fragments (handles row-blocked chunks)
     /// and return the merged state relation, the slowest child time, the
-    /// cluster's summed compiled/interpreted block counts, and the
-    /// children's concatenated skew sketches (relayed upward so the root
-    /// still learns per-partition loads through the tree).
+    /// cluster's summed compiled/interpreted block counts, the children's
+    /// concatenated skew sketches (relayed upward so the root still learns
+    /// per-partition loads through the tree), and the cluster's summed
+    /// segment scan/prune counters.
+    #[allow(clippy::type_complexity)]
     fn merge_cluster(
         &self,
         ep: &Endpoint,
         num_children: usize,
         specs: Vec<AggSpec>,
-    ) -> Result<(Relation, f64, u32, u32, Vec<skalla_storage::PartSketch>)> {
+    ) -> Result<(
+        Relation,
+        f64,
+        u32,
+        u32,
+        Vec<skalla_storage::PartSketch>,
+        skalla_gmdj::SegScanStats,
+    )> {
         let plan = self.plan.as_ref().expect("checked in segment_specs");
         let key = plan.expr.key.clone();
         let workers = plan.coord_parallelism;
@@ -493,8 +506,9 @@ impl MidState {
         let mut total_bc = 0u32;
         let mut total_bi = 0u32;
         let mut sketches = Vec::new();
+        let mut seg = skalla_gmdj::SegScanStats::default();
         while pending > 0 {
-            let (h, compute_s, bc, bi, last, sketch) = match self.recv(ep)? {
+            let (h, compute_s, bc, bi, last, sketch, scanned, pruned) = match self.recv(ep)? {
                 Message::RoundResult {
                     h,
                     compute_s,
@@ -502,6 +516,8 @@ impl MidState {
                     blocks_interpreted,
                     last,
                     sketch,
+                    segments_scanned,
+                    segments_pruned,
                     ..
                 } => (
                     h,
@@ -510,6 +526,8 @@ impl MidState {
                     blocks_interpreted,
                     last,
                     sketch,
+                    segments_scanned,
+                    segments_pruned,
                 ),
                 Message::LocalRunResult {
                     ship,
@@ -518,6 +536,8 @@ impl MidState {
                     blocks_interpreted,
                     last,
                     sketch,
+                    segments_scanned,
+                    segments_pruned,
                     ..
                 } => (
                     ship,
@@ -526,6 +546,8 @@ impl MidState {
                     blocks_interpreted,
                     last,
                     sketch,
+                    segments_scanned,
+                    segments_pruned,
                 ),
                 other => {
                     return Err(SkallaError::exec(format!(
@@ -538,6 +560,8 @@ impl MidState {
                 total_bc += bc;
                 total_bi += bi;
                 sketches.extend(sketch);
+                seg.scanned += scanned;
+                seg.pruned += pruned;
                 pending -= 1;
             }
             let x = match &mut x {
@@ -595,6 +619,6 @@ impl MidState {
             Some(ClusterSync::Sharded(s)) => s.finish()?.0,
             None => return Err(SkallaError::exec("mid-tier cluster produced no fragments")),
         };
-        Ok((merged, max_s, total_bc, total_bi, sketches))
+        Ok((merged, max_s, total_bc, total_bi, sketches, seg))
     }
 }

@@ -101,12 +101,14 @@ impl DistributedWarehouse {
         let mut schemas: HashMap<String, Arc<Schema>> = HashMap::new();
         for c in &catalogs {
             for name in c.table_names() {
-                let t = c.get(name)?;
+                // schema_of reads footer metadata for segment-backed
+                // names — launch never materializes out-of-core tables.
+                let s = c.schema_of(name)?;
                 match schemas.get(name) {
                     None => {
-                        schemas.insert(name.to_string(), t.schema().clone());
+                        schemas.insert(name.to_string(), s);
                     }
-                    Some(existing) if **existing == **t.schema() => {}
+                    Some(existing) if **existing == *s => {}
                     Some(_) => {
                         return Err(SkallaError::schema(format!(
                             "table `{name}` has differing schemas across sites"
@@ -851,6 +853,8 @@ impl DistributedWarehouse {
             sync_shards: 0,
             sync_utilization: 0.0,
             sync_imbalance: 0.0,
+            segments_scanned: 0,
+            segments_pruned: 0,
         }
     }
 
@@ -1003,6 +1007,69 @@ impl DistributedWarehouse {
         metrics.rounds.push(rm);
         metrics.wall_s = wall_start.elapsed().as_secs_f64();
         Ok((result, metrics))
+    }
+
+    /// Rebind `table` at every site to a fresh on-disk segment file —
+    /// site *i* (1-based) opens `paths[i-1]` and registers it under the
+    /// plain table name, replacing whatever backed it before (in-memory
+    /// or an older segment file). The replacement must keep the table's
+    /// schema. Returns per-site row counts once every site has opened and
+    /// validated its file.
+    ///
+    /// Results cached from earlier queries over `table` are stale after
+    /// this returns; callers holding a result cache must invalidate it
+    /// (the serving layer's `QueryScheduler::reload_segments` does so).
+    pub fn load_segments(&self, table: &str, paths: &[String]) -> Result<Vec<u64>> {
+        if paths.len() != self.num_sites {
+            return Err(SkallaError::plan(format!(
+                "{} segment paths for {} sites",
+                paths.len(),
+                self.num_sites
+            )));
+        }
+        if !self.schemas.contains_key(table) {
+            return Err(SkallaError::not_found(format!("table `{table}`")));
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let retry = RetryPolicy::default();
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut decode_s = 0.0;
+        let requests: Vec<(NodeId, Message)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    i as NodeId + 1,
+                    Message::LoadSegments {
+                        table: table.to_string(),
+                        path: p.clone(),
+                    },
+                )
+            })
+            .collect();
+        let mut rows = vec![0u64; self.num_sites];
+        self.collect_round(
+            epoch,
+            0,
+            &retry,
+            None,
+            requests,
+            &mut dead,
+            &mut attempts,
+            &mut decode_s,
+            None,
+            &mut |src, msg| {
+                let Message::SegmentsLoaded { rows: r } = msg else {
+                    return Err(SkallaError::exec(format!(
+                        "site {src}: expected SegmentsLoaded, got {msg:?}"
+                    )));
+                };
+                rows[src as usize - 1] = r;
+                Ok(())
+            },
+        )?;
+        Ok(rows)
     }
 
     /// Shut down all site threads. Best-effort: the shutdown message is
@@ -1742,6 +1809,8 @@ impl<'a> QueryRun<'a> {
         let mut rows_up = 0u64;
         let mut blocks_compiled = 0u64;
         let mut blocks_interpreted = 0u64;
+        let mut segments_scanned = 0u64;
+        let mut segments_pruned = 0u64;
         let mut sketches: Vec<PartSketch> = Vec::new();
         self.epoch = wh.collect_round(
             self.epoch,
@@ -1754,7 +1823,7 @@ impl<'a> QueryRun<'a> {
             &mut decode_s,
             fo_round.as_mut(),
             &mut |src, msg| {
-                let (h, compute_s, bc, bi, last, sketch) = match msg {
+                let (h, compute_s, bc, bi, last, sketch, seg_sc, seg_pr) = match msg {
                     Message::RoundResult {
                         h,
                         compute_s,
@@ -1762,6 +1831,8 @@ impl<'a> QueryRun<'a> {
                         blocks_interpreted,
                         last,
                         sketch,
+                        segments_scanned,
+                        segments_pruned,
                         ..
                     } => (
                         h,
@@ -1770,6 +1841,8 @@ impl<'a> QueryRun<'a> {
                         blocks_interpreted,
                         last,
                         sketch,
+                        segments_scanned,
+                        segments_pruned,
                     ),
                     Message::LocalRunResult {
                         ship,
@@ -1778,6 +1851,8 @@ impl<'a> QueryRun<'a> {
                         blocks_interpreted,
                         last,
                         sketch,
+                        segments_scanned,
+                        segments_pruned,
                         ..
                     } => (
                         ship,
@@ -1786,6 +1861,8 @@ impl<'a> QueryRun<'a> {
                         blocks_interpreted,
                         last,
                         sketch,
+                        segments_scanned,
+                        segments_pruned,
                     ),
                     other => {
                         return Err(SkallaError::exec(format!(
@@ -1795,6 +1872,8 @@ impl<'a> QueryRun<'a> {
                 };
                 blocks_compiled += u64::from(bc);
                 blocks_interpreted += u64::from(bi);
+                segments_scanned += seg_sc;
+                segments_pruned += seg_pr;
                 let t = Instant::now();
                 rows_up += h.len() as u64;
                 sketches.extend(sketch);
@@ -1870,6 +1949,8 @@ impl<'a> QueryRun<'a> {
         rm.sync_shards = shards;
         rm.sync_utilization = utilization;
         rm.sync_imbalance = imbalance;
+        rm.segments_scanned = segments_scanned;
+        rm.segments_pruned = segments_pruned;
         self.metrics.rounds.push(rm);
         self.current = Some(finalized);
         self.write_checkpoint(self.base_syncs + seg_idx as u32 + 1)
@@ -2060,7 +2141,9 @@ fn pending_sites(prog: &BTreeMap<NodeId, SiteProgress>) -> Vec<NodeId> {
 /// Single-message replies are their own final chunk.
 fn reply_seq_last(msg: &Message) -> Option<(u32, bool)> {
     match msg {
-        Message::BaseFragment { .. } | Message::ShipAllData { .. } => Some((0, true)),
+        Message::BaseFragment { .. }
+        | Message::ShipAllData { .. }
+        | Message::SegmentsLoaded { .. } => Some((0, true)),
         Message::RoundResult { seq, last, .. } => Some((*seq, *last)),
         Message::LocalRunResult { seq, last, .. } => Some((*seq, *last)),
         _ => None,

@@ -10,8 +10,12 @@
 //!   Proposition 2).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use skalla_types::{cmp_int_float, Value};
 
 use crate::expr::{BinOp, Expr};
+use crate::interval::Interval;
 
 /// An equi-join conjunct `b.base_col = r.detail_col` appearing (top-level
 /// conjunctively) in a condition.
@@ -146,6 +150,143 @@ pub fn entails_key_equality(theta: &Expr, key: &[usize]) -> Option<Vec<usize>> {
         .collect()
 }
 
+/// Value bounds on detail columns implied by a condition, used for
+/// zone-map segment pruning: a detail row can only satisfy θ if every
+/// listed bound holds, so a segment whose zone map is disjoint from any
+/// bound can be skipped without decoding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DetailBounds {
+    /// Numeric constraints `(detail_col, interval)`: any matching row's
+    /// value in that column lies inside the interval (NULL never matches).
+    pub num: Vec<(usize, Interval)>,
+    /// String equality constraints `(detail_col, value)`.
+    pub str_eq: Vec<(usize, Arc<str>)>,
+}
+
+impl DetailBounds {
+    /// `true` when no bound could be extracted (nothing to prune on).
+    pub fn is_empty(&self) -> bool {
+        self.num.is_empty() && self.str_eq.is_empty()
+    }
+}
+
+/// Conservative `f64` lower bound ≤ `i` (an `as` cast may round up past
+/// 2^53; step one ulp down when it does).
+fn int_lo(i: i64) -> f64 {
+    let f = i as f64;
+    if cmp_int_float(i, f).is_lt() {
+        f64::from_bits(if f.to_bits() >> 63 == 0 {
+            f.to_bits() - 1
+        } else {
+            f.to_bits() + 1
+        })
+    } else {
+        f
+    }
+}
+
+/// Conservative `f64` upper bound ≥ `i`.
+fn int_hi(i: i64) -> f64 {
+    let f = i as f64;
+    if cmp_int_float(i, f).is_gt() {
+        f64::from_bits(if f.to_bits() >> 63 == 0 {
+            f.to_bits() + 1
+        } else {
+            f.to_bits() - 1
+        })
+    } else {
+        f
+    }
+}
+
+/// Conservative `(lo, hi)` enclosure of a numeric literal; `None` for
+/// non-numeric or NaN literals (never prune on those).
+fn lit_enclosure(v: &Value) -> Option<(f64, f64)> {
+    match v {
+        Value::Int(i) => Some((int_lo(*i), int_hi(*i))),
+        Value::Float(f) if !f.is_nan() => Some((*f, *f)),
+        _ => None,
+    }
+}
+
+/// The interval a detail value must lie in to satisfy `value <op> lit`,
+/// widened so integer-literal rounding can never exclude a real match.
+fn cmp_interval(op: BinOp, lit: &Value) -> Option<Interval> {
+    let (lo, hi) = lit_enclosure(lit)?;
+    Some(match op {
+        BinOp::Eq => Interval::closed(lo, hi),
+        BinOp::Lt => Interval::less_than(hi),
+        BinOp::Le => Interval::at_most(hi),
+        BinOp::Gt => Interval::greater_than(lo),
+        BinOp::Ge => Interval::at_least(lo),
+        _ => return None,
+    })
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Closed hull of a numeric `IN`-set; `None` when the set holds anything
+/// non-numeric (or NaN, which `Value` equality treats as equal to itself,
+/// so it cannot be dropped from an enclosure).
+fn set_hull(set: &BTreeSet<Value>) -> Option<Interval> {
+    let mut hull: Option<(f64, f64)> = None;
+    for v in set {
+        let (lo, hi) = lit_enclosure(v)?;
+        hull = Some(match hull {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+    hull.map(|(lo, hi)| Interval::closed(lo, hi))
+}
+
+/// Extract the per-detail-column value bounds implied by the **top-level
+/// conjunction** of `theta` (sound, incomplete: predicates under `OR`/`NOT`
+/// contribute nothing). Recognized shapes, in either orientation:
+/// `r.c <op> lit` for `=`, `<`, `<=`, `>`, `>=` with numeric literals,
+/// `r.c = 'str'`, and `r.c IN {numeric…}` (hulled). Integer literals beyond
+/// 2^53 are widened outward so `f64` rounding can never exclude a matching
+/// row — every returned bound is a necessary condition on matching rows.
+pub fn detail_bounds(theta: &Expr) -> DetailBounds {
+    let mut out = DetailBounds::default();
+    for c in conjuncts(theta) {
+        match c {
+            Expr::Binary { op, lhs, rhs } => {
+                let (d, lit, op) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::DetailCol(d), Expr::Lit(v)) => (*d, v, *op),
+                    (Expr::Lit(v), Expr::DetailCol(d)) => (*d, v, flip(*op)),
+                    _ => continue,
+                };
+                match lit {
+                    Value::Str(s) if op == BinOp::Eq => out.str_eq.push((d, s.clone())),
+                    _ => {
+                        if let Some(iv) = cmp_interval(op, lit) {
+                            out.num.push((d, iv));
+                        }
+                    }
+                }
+            }
+            Expr::InSet { expr, set } => {
+                if let Expr::DetailCol(d) = expr.as_ref() {
+                    if let Some(iv) = set_hull(set) {
+                        out.num.push((*d, iv));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Residual of `theta` after removing the equi-join conjuncts in `pairs`
 /// (used by the hash-based GMDJ evaluator: the hash lookup enforces the
 /// equalities, the residual is checked per candidate).
@@ -253,6 +394,46 @@ mod tests {
         assert_eq!(entails_key_equality(&t, &[1]), Some(vec![1]));
         assert_eq!(entails_key_equality(&t, &[0, 1, 2]), None); // b.2 only in >=
         assert_eq!(entails_key_equality(&t, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn detail_bounds_extraction() {
+        use skalla_types::Value;
+        // r.2 >= 5 AND r.3 < 2.5 AND r.4 = 'x' AND b.0 = r.0 AND (r.2 > 9 OR true)
+        let t = Expr::detail(2)
+            .ge(Expr::lit(5))
+            .and(Expr::lit(2.5).gt(Expr::detail(3)))
+            .and(Expr::detail(4).eq(Expr::lit("x")))
+            .and(Expr::base(0).eq(Expr::detail(0)))
+            .and(Expr::detail(2).gt(Expr::lit(9)).or(Expr::lit(true)));
+        let b = detail_bounds(&t);
+        assert_eq!(b.num.len(), 2);
+        assert_eq!(b.num[0], (2, Interval::at_least(5.0)));
+        assert_eq!(b.num[1], (3, Interval::less_than(2.5)));
+        assert_eq!(b.str_eq, vec![(4, std::sync::Arc::from("x"))]);
+        assert!(!b.is_empty());
+        // Nothing extractable: join conjunct + disjunction only.
+        let t = Expr::base(0).eq(Expr::detail(0));
+        assert!(detail_bounds(&t).is_empty());
+        // IN-set hull.
+        let t = Expr::detail(1).in_set([Value::Int(3), Value::Int(7), Value::Float(5.5)]);
+        let b = detail_bounds(&t);
+        assert_eq!(b.num, vec![(1, Interval::closed(3.0, 7.0))]);
+        // NaN and strings poison the hull / comparison.
+        let t = Expr::detail(1).in_set([Value::Int(3), Value::Float(f64::NAN)]);
+        assert!(detail_bounds(&t).is_empty());
+        let t = Expr::detail(1).lt(Expr::lit(f64::NAN));
+        assert!(detail_bounds(&t).is_empty());
+    }
+
+    #[test]
+    fn detail_bounds_widen_big_int_literals() {
+        let big = (1i64 << 60) + 1; // rounds down as f64
+        let b = detail_bounds(&Expr::detail(0).eq(Expr::lit(big)));
+        let (_, iv) = &b.num[0];
+        // The enclosure must contain the true value: [2^60, next_up(2^60)].
+        assert!(iv.contains(big as f64));
+        assert_ne!(*iv, Interval::singleton(big as f64));
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod reduction;
 pub mod simplify;
 pub mod typecheck;
 
-pub use analysis::{base_cols_used, conjuncts, detail_cols_used, equality_pairs, EqualityPair};
+pub use analysis::{
+    base_cols_used, conjuncts, detail_bounds, detail_cols_used, equality_pairs, DetailBounds,
+    EqualityPair,
+};
 pub use builder::ExprBuilder;
 pub use compile::{
     gather_f64_rows, gather_i64_rows, Batch, ColSlice, ColumnBatch, CompiledPred, CompiledScalar,

@@ -130,6 +130,63 @@ impl Acc {
         })
     }
 
+    /// Seed group `g`'s typed state from the interpreter `Value` cells at
+    /// `state[off..]` — the exact inverse of [`Acc::write_state`] (NULL ⇔
+    /// nothing folded yet). This lets a compiled run *resume* a fold begun
+    /// by an earlier run over a previous chunk of the same detail scan, so
+    /// chunked out-of-core scans reproduce the single-pass left-fold (and
+    /// its float rounding) bit for bit.
+    fn load_state(&mut self, g: usize, state: &[Value], off: usize) {
+        match self {
+            Acc::Count { counts, .. } => {
+                if let Value::Int(c) = state[off] {
+                    counts[g] = c;
+                }
+            }
+            Acc::SumI { sums, seen } => {
+                if let Value::Int(v) = state[off] {
+                    sums[g] = v;
+                    seen[g] = true;
+                }
+            }
+            Acc::SumF { sums, seen } => {
+                if let Value::Float(v) = state[off] {
+                    sums[g] = v;
+                    seen[g] = true;
+                }
+            }
+            Acc::AvgI { sums, counts } => {
+                if let (Value::Int(s), Value::Int(c)) = (&state[off], &state[off + 1]) {
+                    sums[g] = *s;
+                    counts[g] = *c;
+                }
+            }
+            Acc::AvgF { sums, counts } => {
+                if let (Value::Float(s), Value::Int(c)) = (&state[off], &state[off + 1]) {
+                    sums[g] = *s;
+                    counts[g] = *c;
+                }
+            }
+            Acc::MinMaxI { best, seen, .. } => {
+                if let Value::Int(v) = state[off] {
+                    best[g] = v;
+                    seen[g] = true;
+                }
+            }
+            Acc::MinMaxF { best, seen, .. } => {
+                if let Value::Float(v) = state[off] {
+                    best[g] = v;
+                    seen[g] = true;
+                }
+            }
+            Acc::MinMaxS { best, .. } => {
+                if let Value::Str(s) = &state[off] {
+                    best[g] = Some(s.clone());
+                }
+            }
+        }
+    }
+
     /// Fold the matched lane `i` of this batch into group `g`. Lanes must
     /// have had their error flags resolved already.
     fn accumulate(&mut self, g: usize, lanes: Option<&ScalarLanes>, i: usize) -> Result<()> {
@@ -346,11 +403,25 @@ pub(crate) fn run_block(
     stats: &mut EvalStats,
 ) -> Result<()> {
     let n_groups = base.len();
+    let mut offsets = Vec::with_capacity(block.aggs.len());
+    let mut off = block_off;
+    for spec in &block.aggs {
+        offsets.push(off);
+        off += spec.state_width();
+    }
     let mut accs: Vec<Acc> = Vec::with_capacity(block.aggs.len());
     for (spec, arg) in block.aggs.iter().zip(&cb.args) {
         let acc = Acc::new(spec, arg.as_ref().map(CompiledScalar::data_type), n_groups)
             .ok_or_else(|| SkallaError::exec("compiled block lost accumulator support"))?;
         accs.push(acc);
+    }
+    // Resume from whatever the caller already accumulated (identity on the
+    // first chunk): out-of-core scans feed a segment at a time through the
+    // same running state, which must continue the single-pass fold exactly.
+    for (g, state) in states.iter().enumerate() {
+        for (acc, &o) in accs.iter_mut().zip(&offsets) {
+            acc.load_state(g, state, o);
+        }
     }
 
     let index = match &cb.plan {
@@ -452,12 +523,6 @@ pub(crate) fn run_block(
     }
 
     // Convert typed state back into the interpreter's Value cells.
-    let mut offsets = Vec::with_capacity(block.aggs.len());
-    let mut off = block_off;
-    for spec in &block.aggs {
-        offsets.push(off);
-        off += spec.state_width();
-    }
     for (g, state) in states.iter_mut().enumerate() {
         for (acc, &o) in accs.iter().zip(&offsets) {
             acc.write_state(g, state, o);

@@ -22,8 +22,9 @@
 
 use std::sync::Arc;
 
-use skalla_expr::{analysis, eval_detail, eval_predicate, Expr};
-use skalla_storage::HashIndex;
+use skalla_expr::{analysis, eval_detail, eval_predicate, DetailBounds, Expr};
+use skalla_storage::segment::{zone_may_contain_str, zone_may_overlap, SegmentFile};
+use skalla_storage::{ColumnStats, HashIndex};
 use skalla_types::{DataType, Field, Relation, Result, Row, Schema, Value};
 
 use crate::op::{GmdjOp, MATCH_COUNT_COL};
@@ -142,7 +143,20 @@ pub fn eval_gmdj_sub<D: DetailSource>(
     opts: &EvalOptions,
 ) -> Result<(Relation, EvalStats)> {
     let (states, match_counts, stats) = accumulate(base, detail, op, opts)?;
+    let rel = shape_sub(base, detail_schema, op, opts, &states, &match_counts)?;
+    Ok((rel, stats))
+}
 
+/// Shape accumulated states as the sub-aggregate relation `Hᵢ`:
+/// base fields ++ state fields (++ `__rng_count`).
+fn shape_sub(
+    base: &Relation,
+    detail_schema: &Schema,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    states: &[Vec<Value>],
+    match_counts: &[u64],
+) -> Result<Relation> {
     let mut fields = base.schema().fields().to_vec();
     fields.extend(op.state_fields(detail_schema)?);
     if opts.with_match_count {
@@ -159,20 +173,17 @@ pub fn eval_gmdj_sub<D: DetailSource>(
         }
         rows.push(row);
     }
-    Ok((Relation::from_rows_unchecked(schema, rows), stats))
+    Ok(Relation::from_rows_unchecked(schema, rows))
 }
 
-/// Evaluate `op` over (`base`, `detail`) producing **finalized** output
-/// columns: schema = base fields ++ output fields.
-pub fn eval_gmdj_full<D: DetailSource>(
+/// Shape accumulated states as the finalized relation:
+/// base fields ++ output fields.
+fn shape_full(
     base: &Relation,
-    detail: &D,
     detail_schema: &Schema,
     op: &GmdjOp,
-    opts: &EvalOptions,
-) -> Result<(Relation, EvalStats)> {
-    let (states, _, stats) = accumulate(base, detail, op, opts)?;
-
+    states: &[Vec<Value>],
+) -> Result<Relation> {
     let mut fields = base.schema().fields().to_vec();
     fields.extend(op.output_fields(detail_schema)?);
     let schema = Arc::new(Schema::new(fields)?);
@@ -188,7 +199,21 @@ pub fn eval_gmdj_full<D: DetailSource>(
         }
         rows.push(row);
     }
-    Ok((Relation::from_rows_unchecked(schema, rows), stats))
+    Ok(Relation::from_rows_unchecked(schema, rows))
+}
+
+/// Evaluate `op` over (`base`, `detail`) producing **finalized** output
+/// columns: schema = base fields ++ output fields.
+pub fn eval_gmdj_full<D: DetailSource>(
+    base: &Relation,
+    detail: &D,
+    detail_schema: &Schema,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+) -> Result<(Relation, EvalStats)> {
+    let (states, _, stats) = accumulate(base, detail, op, opts)?;
+    let rel = shape_full(base, detail_schema, op, &states)?;
+    Ok((rel, stats))
 }
 
 /// Result of [`eval_gmdj_dual`]: both views of one accumulation pass.
@@ -218,24 +243,9 @@ pub fn eval_gmdj_dual<D: DetailSource>(
     opts: &EvalOptions,
 ) -> Result<DualResult> {
     let (states, match_counts, stats) = accumulate(base, detail, op, opts)?;
-
-    let mut fields = base.schema().fields().to_vec();
-    fields.extend(op.output_fields(detail_schema)?);
-    let schema = Arc::new(Schema::new(fields)?);
-
-    let mut rows = Vec::with_capacity(base.len());
-    for (i, b) in base.rows().iter().enumerate() {
-        let mut row = b.clone();
-        let mut offset = 0;
-        for spec in op.all_aggs() {
-            let w = spec.state_width();
-            row.push(spec.finalize(&states[i][offset..offset + w])?);
-            offset += w;
-        }
-        rows.push(row);
-    }
+    let full = shape_full(base, detail_schema, op, &states)?;
     Ok(DualResult {
-        full: Relation::from_rows_unchecked(schema, rows),
+        full,
         states,
         match_counts,
         stats,
@@ -319,20 +329,48 @@ fn accumulate<D: DetailSource>(
     let (mut states, mut match_counts, mut stats) = iter.next().expect("at least one worker")?;
     for partial in iter {
         let (pstates, pcounts, pstats) = partial?;
-        for (i, pstate) in pstates.into_iter().enumerate() {
-            let state = &mut states[i];
-            let mut off = 0;
-            for spec in op.all_aggs() {
-                let w = spec.state_width();
-                spec.merge(&mut state[off..off + w], &pstate[off..off + w])?;
-                off += w;
-            }
-            match_counts[i] += pcounts[i];
-        }
+        merge_partial_states(op, &mut states, &mut match_counts, pstates, &pcounts)?;
         stats.detail_rows_scanned += pstats.detail_rows_scanned;
         stats.matches += pstats.matches;
     }
     Ok((states, match_counts, stats))
+}
+
+/// Merge a partial accumulation into `states`/`match_counts` (Theorem 1:
+/// sub-aggregate state merging is associative, so partials from worker
+/// threads or disk segments combine in any grouping).
+fn merge_partial_states(
+    op: &GmdjOp,
+    states: &mut [Vec<Value>],
+    match_counts: &mut [u64],
+    pstates: Vec<Vec<Value>>,
+    pcounts: &[u64],
+) -> Result<()> {
+    for (i, pstate) in pstates.into_iter().enumerate() {
+        let state = &mut states[i];
+        let mut off = 0;
+        for spec in op.all_aggs() {
+            let w = spec.state_width();
+            spec.merge(&mut state[off..off + w], &pstate[off..off + w])?;
+            off += w;
+        }
+        match_counts[i] += pcounts[i];
+    }
+    Ok(())
+}
+
+/// Fresh per-base-row aggregate states (every aggregate at its identity).
+fn init_states(base: &Relation, op: &GmdjOp) -> Vec<Vec<Value>> {
+    let total_width = op.state_width();
+    (0..base.len())
+        .map(|_| {
+            let mut s = Vec::with_capacity(total_width);
+            for spec in op.all_aggs() {
+                s.extend(spec.init_state());
+            }
+            s
+        })
+        .collect()
 }
 
 /// Single-threaded accumulation over one detail source.
@@ -342,17 +380,28 @@ fn accumulate_serial<D: DetailSource>(
     op: &GmdjOp,
     opts: &EvalOptions,
 ) -> Result<Accumulated> {
-    let total_width = op.state_width();
-    let mut states: Vec<Vec<Value>> = Vec::with_capacity(base.len());
-    for _ in 0..base.len() {
-        let mut s = Vec::with_capacity(total_width);
-        for spec in op.all_aggs() {
-            s.extend(spec.init_state());
-        }
-        states.push(s);
-    }
-    let mut match_counts = vec![0u64; base.len()];
-    let mut stats = EvalStats::default();
+    let mut acc = (
+        init_states(base, op),
+        vec![0u64; base.len()],
+        EvalStats::default(),
+    );
+    accumulate_serial_into(base, detail, op, opts, &mut acc)?;
+    Ok(acc)
+}
+
+/// Single-threaded accumulation continuing from existing state. Feeding a
+/// detail scan through this in consecutive chunks is *bit-identical* to one
+/// [`accumulate_serial`] call over the concatenation — every row updates
+/// the same running state in the same order, so even non-associative float
+/// rounding agrees. The out-of-core segment scan depends on this.
+fn accumulate_serial_into<D: DetailSource>(
+    base: &Relation,
+    detail: &D,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    acc: &mut Accumulated,
+) -> Result<()> {
+    let (states, match_counts, stats) = acc;
 
     // State-column offset of each block's first aggregate.
     let mut block_offsets = Vec::with_capacity(op.blocks.len());
@@ -395,9 +444,9 @@ fn accumulate_serial<D: DetailSource>(
                         table,
                         t_start,
                         t_len,
-                        &mut states,
-                        &mut match_counts,
-                        &mut stats,
+                        states,
+                        match_counts,
+                        stats,
                     )?;
                     continue;
                 }
@@ -465,7 +514,188 @@ fn accumulate_serial<D: DetailSource>(
         }
     }
 
-    Ok((states, match_counts, stats))
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core segmented scans with zone-map pruning.
+
+/// Segment-level counters from one out-of-core scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegScanStats {
+    /// Segments decoded and evaluated.
+    pub scanned: u64,
+    /// Segments skipped because their zone maps refuted every block's θ.
+    pub pruned: u64,
+}
+
+/// `true` when the zone maps prove no row of the segment can satisfy the
+/// bounds (every bound is a *necessary* condition on matching rows, so one
+/// refuted bound refutes the whole conjunction).
+fn zones_refute(zones: &[ColumnStats], bounds: &DetailBounds) -> bool {
+    bounds
+        .num
+        .iter()
+        .any(|(c, iv)| zones.get(*c).is_some_and(|z| !zone_may_overlap(z, iv)))
+        || bounds
+            .str_eq
+            .iter()
+            .any(|(c, s)| zones.get(*c).is_some_and(|z| !zone_may_contain_str(z, s)))
+}
+
+/// Accumulate `op` over the segments of `file`, decoding one segment at a
+/// time (peak memory: one segment + the aggregate states) and skipping any
+/// segment whose zone maps refute every block's condition. `range` limits
+/// the scan to a global row window (fragment addressing for skew splits and
+/// failover); segments outside it are not visited and partially-covered
+/// segments are trimmed after decode.
+///
+/// Bit-for-bit with the in-memory scan: the window is cut into the same
+/// worker ranges [`accumulate`] would use (one range when the options are
+/// serial), each range's rows feed one *running* state via
+/// [`accumulate_serial_into`] in row order, and ranges merge in the same
+/// order the parallel dispatcher merges its workers. Non-associative float
+/// rounding therefore agrees exactly; pruned segments contribute identity,
+/// which is rounding-neutral.
+fn accumulate_segments(
+    base: &Relation,
+    file: &SegmentFile,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    prune: bool,
+    range: Option<(usize, usize)>,
+) -> Result<(Accumulated, SegScanStats)> {
+    let bounds: Vec<DetailBounds> = op
+        .blocks
+        .iter()
+        .map(|b| analysis::detail_bounds(&b.theta))
+        .collect();
+    let can_prune = prune && !bounds.is_empty();
+    let (lo, hi) = range.unwrap_or((0, file.total_rows()));
+    let n = hi.saturating_sub(lo);
+
+    // The same range boundaries accumulate() hands its workers.
+    let par = opts.parallelism.max(1);
+    let chunk = if par == 1 || n < PARALLEL_MIN_ROWS.max(2 * par) {
+        n.max(1)
+    } else {
+        n.div_ceil(par)
+    };
+    let mut accs: Vec<Option<Accumulated>> = std::iter::repeat_with(|| None)
+        .take(n.div_ceil(chunk.max(1)).max(1))
+        .collect();
+    let mut seg = SegScanStats::default();
+
+    for i in 0..file.num_segments() {
+        let meta = file.meta(i);
+        let start = file.segment_row_start(i);
+        let end = start + meta.rows;
+        let (wlo, whi) = (lo.max(start), hi.min(end));
+        if wlo >= whi {
+            continue; // outside the fragment window: not part of this scan
+        }
+        if can_prune && bounds.iter().all(|b| zones_refute(&meta.zones, b)) {
+            seg.pruned += 1;
+            continue;
+        }
+        seg.scanned += 1;
+        let table = file.read_segment(i)?;
+        // Feed each worker-range this segment intersects, in row order.
+        let mut pos = wlo;
+        while pos < whi {
+            let ci = (pos - lo) / chunk;
+            let piece_end = whi.min(lo + (ci + 1) * chunk);
+            let piece = table.row_range(pos - start, piece_end - start)?;
+            let acc = accs[ci].get_or_insert_with(|| {
+                (
+                    init_states(base, op),
+                    vec![0u64; base.len()],
+                    EvalStats::default(),
+                )
+            });
+            accumulate_serial_into(base, &piece, op, opts, acc)?;
+            pos = piece_end;
+        }
+    }
+
+    // Merge the ranges in worker order, exactly as accumulate() does. All
+    // segments pruned (or none in range): identity states, zero matches.
+    let mut iter = accs.into_iter().flatten();
+    let acc = match iter.next() {
+        None => (
+            init_states(base, op),
+            vec![0u64; base.len()],
+            EvalStats::default(),
+        ),
+        Some(mut a) => {
+            for (pstates, pcounts, pstats) in iter {
+                merge_partial_states(op, &mut a.0, &mut a.1, pstates, &pcounts)?;
+                a.2.detail_rows_scanned += pstats.detail_rows_scanned;
+                a.2.matches += pstats.matches;
+                a.2.blocks_hashed += pstats.blocks_hashed;
+                a.2.blocks_nested += pstats.blocks_nested;
+                a.2.blocks_compiled += pstats.blocks_compiled;
+            }
+            a
+        }
+    };
+    Ok((acc, seg))
+}
+
+/// Segment-backed [`eval_gmdj_sub`]: sub-aggregate state columns computed
+/// out-of-core, with zone-map pruning when `prune` is set. Pruned segments
+/// contribute no matches, so `__rng_count` semantics are unchanged.
+pub fn eval_gmdj_sub_segments(
+    base: &Relation,
+    file: &SegmentFile,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    prune: bool,
+    range: Option<(usize, usize)>,
+) -> Result<(Relation, EvalStats, SegScanStats)> {
+    let ((states, match_counts, stats), seg) =
+        accumulate_segments(base, file, op, opts, prune, range)?;
+    let rel = shape_sub(base, file.schema(), op, opts, &states, &match_counts)?;
+    Ok((rel, stats, seg))
+}
+
+/// Segment-backed [`eval_gmdj_full`]: finalized output columns computed
+/// out-of-core.
+pub fn eval_gmdj_full_segments(
+    base: &Relation,
+    file: &SegmentFile,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    prune: bool,
+    range: Option<(usize, usize)>,
+) -> Result<(Relation, EvalStats, SegScanStats)> {
+    let ((states, _, stats), seg) = accumulate_segments(base, file, op, opts, prune, range)?;
+    let rel = shape_full(base, file.schema(), op, &states)?;
+    Ok((rel, stats, seg))
+}
+
+/// Segment-backed [`eval_gmdj_dual`]: both views of one out-of-core pass,
+/// for synchronization-reduced local runs over disk-resident partitions.
+pub fn eval_gmdj_dual_segments(
+    base: &Relation,
+    file: &SegmentFile,
+    op: &GmdjOp,
+    opts: &EvalOptions,
+    prune: bool,
+    range: Option<(usize, usize)>,
+) -> Result<(DualResult, SegScanStats)> {
+    let ((states, match_counts, stats), seg) =
+        accumulate_segments(base, file, op, opts, prune, range)?;
+    let full = shape_full(base, file.schema(), op, &states)?;
+    Ok((
+        DualResult {
+            full,
+            states,
+            match_counts,
+            stats,
+        },
+        seg,
+    ))
 }
 
 fn accumulate_row(
@@ -1007,6 +1237,136 @@ mod tests {
             sorted.row(1),
             &vec![Value::Int(1), Value::Int(2), Value::Int(5)]
         );
+    }
+
+    fn write_flow_segments(name: &str, t: &Table, seg_rows: usize) -> SegmentFile {
+        let dir =
+            std::env::temp_dir().join(format!("skalla-gmdj-seg-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.seg");
+        skalla_storage::write_segments(&path, t, seg_rows).unwrap();
+        SegmentFile::open(&path).unwrap()
+    }
+
+    #[test]
+    fn segmented_eval_matches_in_memory() {
+        let schema = detail_schema();
+        let rows: Vec<Vec<Value>> = (0..5_000)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 13),
+                    Value::Int(i % 7),
+                    Value::Int(i), // monotone → prunable under range θ
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(schema.clone(), &rows).unwrap();
+        let b = t.distinct_project(&[0, 1]).unwrap();
+        let file = write_flow_segments("match", &t, 512);
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![
+                AggSpec::count_star("c"),
+                AggSpec::sum(Expr::detail(2), "s").unwrap(),
+            ],
+            Expr::base(0)
+                .eq(Expr::detail(0))
+                .and(Expr::base(1).eq(Expr::detail(1)))
+                .and(Expr::detail(2).lt(Expr::lit(1000))),
+        )]);
+        let opts = EvalOptions {
+            with_match_count: true,
+            ..Default::default()
+        };
+        let (mem, _) = eval_gmdj_sub(&b, &t, &schema, &op, &opts).unwrap();
+        let (seg, _, sc) = eval_gmdj_sub_segments(&b, &file, &op, &opts, true, None).unwrap();
+        assert_eq!(seg.sorted(), mem.sorted());
+        // nb < 1000 covers segments 0..2 (rows 0..1024): 2 scanned, 8 pruned.
+        assert_eq!(sc.scanned, 2);
+        assert_eq!(sc.pruned, 8);
+        // Pruning off scans everything and still agrees.
+        let (seg2, _, sc2) = eval_gmdj_sub_segments(&b, &file, &op, &opts, false, None).unwrap();
+        assert_eq!(seg2.sorted(), mem.sorted());
+        assert_eq!(sc2.scanned, 10);
+        assert_eq!(sc2.pruned, 0);
+    }
+
+    #[test]
+    fn segmented_range_matches_row_range() {
+        let schema = detail_schema();
+        let rows: Vec<Vec<Value>> = (0..3_000)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 5),
+                    Value::Int(i % 3),
+                    Value::Int(i * 7 % 999),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(schema.clone(), &rows).unwrap();
+        let b = t.distinct_project(&[0]).unwrap();
+        let file = write_flow_segments("range", &t, 256);
+        let op = GmdjOp::new(vec![GmdjBlock::new(
+            vec![AggSpec::sum(Expr::detail(2), "s").unwrap()],
+            Expr::base(0).eq(Expr::detail(0)),
+        )]);
+        let opts = EvalOptions::default();
+        // A window cutting through segment interiors (300..2050).
+        let window = t.row_range(300, 2050).unwrap();
+        let (mem, _) = eval_gmdj_full(&b, &window, &schema, &op, &opts).unwrap();
+        let (seg, _, sc) =
+            eval_gmdj_full_segments(&b, &file, &op, &opts, true, Some((300, 2050))).unwrap();
+        assert_eq!(seg.sorted(), mem.sorted());
+        // Rows 300..2050 touch segments 1..=8 of 12.
+        assert_eq!(sc.scanned + sc.pruned, 8);
+        // Dual agrees too.
+        let dual_mem = eval_gmdj_dual(&b, &window, &schema, &op, &opts).unwrap();
+        let (dual_seg, _) =
+            eval_gmdj_dual_segments(&b, &file, &op, &opts, true, Some((300, 2050))).unwrap();
+        assert_eq!(dual_seg.full.sorted(), dual_mem.full.sorted());
+        assert_eq!(dual_seg.states, dual_mem.states);
+        assert_eq!(dual_seg.match_counts, dual_mem.match_counts);
+    }
+
+    #[test]
+    fn segmented_pruning_never_drops_matches() {
+        // NaN/-0.0 payloads + a predicate riding the run boundary: the zone
+        // check must keep every segment that holds a matching row.
+        let schema = Schema::from_pairs([("g", DataType::Int64), ("x", DataType::Float64)])
+            .unwrap()
+            .into_arc();
+        let rows: Vec<Vec<Value>> = (0..2_000)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 4),
+                    if i % 41 == 0 {
+                        Value::Float(f64::NAN)
+                    } else if i % 29 == 0 {
+                        Value::Float(-0.0)
+                    } else if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float((i as f64) - 1000.0)
+                    },
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(schema.clone(), &rows).unwrap();
+        let b = t.distinct_project(&[0]).unwrap();
+        let file = write_flow_segments("nan", &t, 128);
+        for theta_extra in [
+            Expr::detail(1).ge(Expr::lit(0.0)),
+            Expr::detail(1).lt(Expr::lit(-500.0)),
+            Expr::detail(1).eq(Expr::lit(-0.0)),
+        ] {
+            let op = GmdjOp::new(vec![GmdjBlock::new(
+                vec![AggSpec::count_star("c")],
+                Expr::base(0).eq(Expr::detail(0)).and(theta_extra),
+            )]);
+            let opts = EvalOptions::default();
+            let (mem, _) = eval_gmdj_full(&b, &t, &schema, &op, &opts).unwrap();
+            let (seg, _, _) = eval_gmdj_full_segments(&b, &file, &op, &opts, true, None).unwrap();
+            assert_eq!(seg.sorted(), mem.sorted());
+        }
     }
 
     #[test]

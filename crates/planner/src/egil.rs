@@ -191,6 +191,7 @@ pub fn plan_query(
         sync_shards: None,
         retry: RetryPolicy::default(),
         skew,
+        segment_prune: true,
     };
     plan.validate()?;
     report.num_synchronizations = plan.num_synchronizations();

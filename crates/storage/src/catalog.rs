@@ -3,15 +3,19 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use skalla_types::{Result, SkallaError};
+use skalla_types::{Result, Schema, SkallaError};
 
+use crate::segment::SegmentFile;
 use crate::table::Table;
 
 /// A name → table map. Each Skalla site owns one catalog holding its local
-/// partitions of the warehouse's fact relations.
+/// partitions of the warehouse's fact relations. A name can additionally be
+/// backed by an on-disk [`SegmentFile`] (out-of-core mode): scans then
+/// stream segments from disk instead of touching an in-memory table.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    segments: HashMap<String, Arc<SegmentFile>>,
 }
 
 impl Catalog {
@@ -20,44 +24,87 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register a table under `name`, replacing any previous entry.
+    /// Register a table under `name`, replacing any previous entry
+    /// (including a segment-backed one).
     pub fn register(&mut self, name: impl Into<String>, table: Table) {
-        self.tables.insert(name.into(), Arc::new(table));
+        let name = name.into();
+        self.segments.remove(&name);
+        self.tables.insert(name, Arc::new(table));
     }
 
     /// Register an already-shared table.
     pub fn register_arc(&mut self, name: impl Into<String>, table: Arc<Table>) {
-        self.tables.insert(name.into(), table);
+        let name = name.into();
+        self.segments.remove(&name);
+        self.tables.insert(name, table);
     }
 
-    /// Look up a table by name.
+    /// Look up a table by name. A segment-backed name is materialized in
+    /// full — the compatibility fallback for callers that need the whole
+    /// table; scan paths should check [`Catalog::get_segments`] first and
+    /// stream instead.
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
-            .get(name)
-            .cloned()
-            .ok_or_else(|| SkallaError::not_found(format!("table `{name}`")))
+        if let Some(t) = self.tables.get(name) {
+            return Ok(t.clone());
+        }
+        if let Some(f) = self.segments.get(name) {
+            return Ok(Arc::new(f.read_all()?));
+        }
+        Err(SkallaError::not_found(format!("table `{name}`")))
     }
 
-    /// `true` if `name` is registered.
+    /// Schema of a registered name — from footer metadata for
+    /// segment-backed names, so out-of-core tables are never materialized
+    /// just to learn their shape.
+    pub fn schema_of(&self, name: &str) -> Result<Arc<Schema>> {
+        if let Some(t) = self.tables.get(name) {
+            return Ok(t.schema().clone());
+        }
+        if let Some(f) = self.segments.get(name) {
+            return Ok(f.schema().clone());
+        }
+        Err(SkallaError::not_found(format!("table `{name}`")))
+    }
+
+    /// Back `name` with an on-disk segment file. Any in-memory table under
+    /// the same name is dropped — the segment store is now authoritative,
+    /// so a stale copy cannot shadow it.
+    pub fn register_segments(&mut self, name: impl Into<String>, file: Arc<SegmentFile>) {
+        let name = name.into();
+        self.tables.remove(&name);
+        self.segments.insert(name, file);
+    }
+
+    /// The segment file backing `name`, if it is segment-backed.
+    pub fn get_segments(&self, name: &str) -> Option<Arc<SegmentFile>> {
+        self.segments.get(name).cloned()
+    }
+
+    /// `true` if `name` is registered (in-memory or segment-backed).
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(name)
+        self.tables.contains_key(name) || self.segments.contains_key(name)
     }
 
-    /// Names of all registered tables, sorted.
+    /// Names of all registered tables (in-memory and segment-backed), sorted.
     pub fn table_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self
+            .tables
+            .keys()
+            .chain(self.segments.keys())
+            .map(String::as_str)
+            .collect();
         names.sort_unstable();
         names
     }
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.tables.len() + self.segments.len()
     }
 
     /// `true` if no tables are registered.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.tables.is_empty() && self.segments.is_empty()
     }
 }
 

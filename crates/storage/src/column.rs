@@ -71,6 +71,15 @@ impl Column {
         }
     }
 
+    /// Build a Utf8 column from already-interned strings (no reallocation;
+    /// used by the segment decoder so dictionary entries stay shared).
+    pub fn from_arc_strs(values: Vec<Arc<str>>) -> Column {
+        Column {
+            data: ColumnData::Utf8(values),
+            nulls: None,
+        }
+    }
+
     /// Build a Bool column from values.
     pub fn from_bools(values: Vec<bool>) -> Column {
         Column {
@@ -176,6 +185,73 @@ impl Column {
             (ColumnData::Float64(v), None) => Some(v),
             _ => None,
         }
+    }
+
+    /// Raw Int64 storage including the default (`0`) slots that stand in
+    /// for NULL rows — pair with [`Column::null_mask`] to reconstruct the
+    /// column exactly. `None` on type mismatch only (unlike
+    /// [`Column::as_i64_slice`], nulls do not disable this accessor).
+    pub fn raw_i64s(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw Float64 storage including NULL default slots (`0.0`); see
+    /// [`Column::raw_i64s`].
+    pub fn raw_f64s(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw Utf8 storage including NULL default slots (`""`); see
+    /// [`Column::raw_i64s`].
+    pub fn raw_strs(&self) -> Option<&[Arc<str>]> {
+        match &self.data {
+            ColumnData::Utf8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw Bool storage including NULL default slots (`false`); see
+    /// [`Column::raw_i64s`].
+    pub fn raw_bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The null bitmap (`mask[i]` = row `i` is NULL), absent when the
+    /// column is null-free.
+    pub fn null_mask(&self) -> Option<&[bool]> {
+        self.nulls.as_deref()
+    }
+
+    /// Install a null bitmap over the existing raw storage (the inverse of
+    /// `raw_*` + [`Column::null_mask`], used by the segment decoder). The
+    /// mask must match the row count; an all-false mask is dropped so the
+    /// reconstructed column is bit-identical to a never-null original.
+    pub fn with_null_mask(mut self, mask: Option<Vec<bool>>) -> Result<Column> {
+        match mask {
+            None => {
+                self.nulls = None;
+            }
+            Some(m) => {
+                if m.len() != self.len() {
+                    return Err(SkallaError::schema(format!(
+                        "null mask of {} entries over column of {} rows",
+                        m.len(),
+                        self.len()
+                    )));
+                }
+                self.nulls = Some(m).filter(|m| m.iter().any(|&b| b));
+            }
+        }
+        Ok(self)
     }
 
     /// A zero-copy [`ColumnBatch`] view of rows `start..start + len`, for

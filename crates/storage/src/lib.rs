@@ -21,11 +21,16 @@
 //! * [`sketch`] — per-partition cardinality + space-saving heavy-hitter
 //!   sketches and the hot-partition fragment planner behind skew-aware
 //!   round execution.
+//! * [`segment`] — the persistent columnar segment store: compressed
+//!   fixed-row-count segments (RLE/dictionary/raw) with per-segment
+//!   zone-map footers, positioned-I/O readers, and the zone overlap
+//!   checks behind out-of-core segment pruning.
 
 pub mod catalog;
 pub mod column;
 pub mod index;
 pub mod partition;
+pub mod segment;
 pub mod sketch;
 pub mod stats;
 pub mod table;
@@ -36,6 +41,10 @@ pub use index::HashIndex;
 pub use partition::{
     partition_by_hash, partition_by_ranges, partition_by_values, partition_table_name,
     replicate_catalogs, PartFrag, Partitioning, ReplicaMap,
+};
+pub use segment::{
+    write_segments, zone_may_contain_str, zone_may_overlap, SegmentFile, SegmentMeta,
+    SegmentWriteSummary, SegmentWriter, DEFAULT_SEGMENT_ROWS,
 };
 pub use sketch::{load_imbalance, plan_splits, PartSketch, SpaceSaving};
 pub use stats::{ColumnStats, TableStats};

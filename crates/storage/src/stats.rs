@@ -7,8 +7,9 @@
 
 use std::collections::HashSet;
 
-use skalla_types::Value;
+use skalla_types::{total_cmp_f64, Value};
 
+use crate::column::Column;
 use crate::table::Table;
 
 /// Statistics for one column.
@@ -24,6 +25,154 @@ pub struct ColumnStats {
     pub null_count: usize,
 }
 
+impl ColumnStats {
+    /// Collect exact statistics for one column in a single typed pass.
+    ///
+    /// This is the zone-map builder used by the segment store: every type
+    /// is covered (strings and nullable columns included), and the min/max
+    /// semantics are exactly those of [`Value`]'s total order — floats use
+    /// `total_cmp_f64` (NaN equals itself and sorts last, `-0.0` is
+    /// identified with `0.0`), so `Value`-level code and raw-slice code
+    /// agree on which value is the extremum.
+    pub fn collect(col: &Column) -> ColumnStats {
+        let nulls = col.null_mask();
+        let is_null = |i: usize| nulls.is_some_and(|n| n[i]);
+        let null_count = nulls.map_or(0, |n| n.iter().filter(|&&b| b).count());
+
+        if let Some(vs) = col.raw_i64s() {
+            let mut distinct: HashSet<i64> = HashSet::new();
+            let mut min: Option<i64> = None;
+            let mut max: Option<i64> = None;
+            for (i, &v) in vs.iter().enumerate() {
+                if is_null(i) {
+                    continue;
+                }
+                if min.is_none_or(|m| v < m) {
+                    min = Some(v);
+                }
+                if max.is_none_or(|m| v > m) {
+                    max = Some(v);
+                }
+                distinct.insert(v);
+            }
+            return ColumnStats {
+                min: min.map(Value::Int),
+                max: max.map(Value::Int),
+                distinct: distinct.len(),
+                null_count,
+            };
+        }
+        if let Some(vs) = col.raw_f64s() {
+            // Distinct-value identity matches `Value`'s: all NaNs are one
+            // value, and -0.0 is the same value as 0.0.
+            let key = |v: f64| -> u64 {
+                if v == 0.0 {
+                    0.0f64.to_bits()
+                } else if v.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    v.to_bits()
+                }
+            };
+            let mut distinct: HashSet<u64> = HashSet::new();
+            let mut min: Option<f64> = None;
+            let mut max: Option<f64> = None;
+            for (i, &v) in vs.iter().enumerate() {
+                if is_null(i) {
+                    continue;
+                }
+                // Strict-less updates keep the first-seen of equal values,
+                // mirroring the Value-at-a-time collection path.
+                if min.is_none_or(|m| total_cmp_f64(v, m).is_lt()) {
+                    min = Some(v);
+                }
+                if max.is_none_or(|m| total_cmp_f64(v, m).is_gt()) {
+                    max = Some(v);
+                }
+                distinct.insert(key(v));
+            }
+            return ColumnStats {
+                min: min.map(Value::Float),
+                max: max.map(Value::Float),
+                distinct: distinct.len(),
+                null_count,
+            };
+        }
+        if let Some(vs) = col.raw_strs() {
+            let mut distinct: HashSet<&str> = HashSet::new();
+            let mut min: Option<&std::sync::Arc<str>> = None;
+            let mut max: Option<&std::sync::Arc<str>> = None;
+            for (i, v) in vs.iter().enumerate() {
+                if is_null(i) {
+                    continue;
+                }
+                if min.is_none_or(|m| **v < **m) {
+                    min = Some(v);
+                }
+                if max.is_none_or(|m| **v > **m) {
+                    max = Some(v);
+                }
+                distinct.insert(v);
+            }
+            return ColumnStats {
+                min: min.map(|s| Value::Str(s.clone())),
+                max: max.map(|s| Value::Str(s.clone())),
+                distinct: distinct.len(),
+                null_count,
+            };
+        }
+        let vs = col.raw_bools().expect("exhaustive column types");
+        let mut seen = [false, false];
+        for (i, &v) in vs.iter().enumerate() {
+            if !is_null(i) {
+                seen[usize::from(v)] = true;
+            }
+        }
+        let min = if seen[0] {
+            Some(Value::Bool(false))
+        } else if seen[1] {
+            Some(Value::Bool(true))
+        } else {
+            None
+        };
+        let max = if seen[1] {
+            Some(Value::Bool(true))
+        } else if seen[0] {
+            Some(Value::Bool(false))
+        } else {
+            None
+        };
+        ColumnStats {
+            min,
+            max,
+            distinct: usize::from(seen[0]) + usize::from(seen[1]),
+            null_count,
+        }
+    }
+}
+
+impl ColumnStats {
+    /// Merge statistics of the same column collected over disjoint row
+    /// chunks (e.g. the zone maps of a segment file). `min`, `max`, and
+    /// `null_count` merge exactly; `distinct` becomes an upper bound —
+    /// chunks may share values — so merged statistics are for estimation,
+    /// not for zone-map pruning.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.min = match (self.min.take(), &other.min) {
+            (None, m) => m.clone(),
+            (m, None) => m,
+            (Some(a), Some(b)) => Some(if *b < a { b.clone() } else { a }),
+        };
+        self.max = match (self.max.take(), &other.max) {
+            (None, m) => m.clone(),
+            (m, None) => m,
+            (Some(a), Some(b)) => Some(if *b > a { b.clone() } else { a }),
+        };
+        self.distinct = self.distinct.saturating_add(other.distinct);
+        self.null_count = self.null_count.saturating_add(other.null_count);
+    }
+}
+
 /// Statistics for a whole table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
@@ -34,42 +183,31 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Collect exact statistics with one pass per column.
+    /// Collect exact statistics with one typed pass per column (see
+    /// [`ColumnStats::collect`]).
     ///
     /// Distinct counts are exact (hash-set based); at warehouse-catalog
     /// build time this is a one-off O(rows × columns) scan.
     pub fn collect(table: &Table) -> TableStats {
-        let mut columns = Vec::with_capacity(table.schema().len());
-        for c in 0..table.schema().len() {
-            let col = table.column(c);
-            let mut distinct: HashSet<Value> = HashSet::new();
-            let mut min: Option<Value> = None;
-            let mut max: Option<Value> = None;
-            let mut null_count = 0usize;
-            for i in 0..table.len() {
-                let v = col.get(i);
-                if v.is_null() {
-                    null_count += 1;
-                    continue;
-                }
-                if min.as_ref().is_none_or(|m| v < *m) {
-                    min = Some(v.clone());
-                }
-                if max.as_ref().is_none_or(|m| v > *m) {
-                    max = Some(v.clone());
-                }
-                distinct.insert(v);
-            }
-            columns.push(ColumnStats {
-                min,
-                max,
-                distinct: distinct.len(),
-                null_count,
-            });
-        }
+        let columns = (0..table.schema().len())
+            .map(|c| ColumnStats::collect(table.column(c)))
+            .collect();
         TableStats {
             rows: table.len(),
             columns,
+        }
+    }
+
+    /// Merge statistics of a disjoint row chunk of the same table (same
+    /// caveats as [`ColumnStats::merge`]: `distinct` becomes an upper
+    /// bound, capped at the merged row count).
+    pub fn merge(&mut self, other: &TableStats) {
+        self.rows += other.rows;
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.merge(b);
+        }
+        for c in &mut self.columns {
+            c.distinct = c.distinct.min(self.rows);
         }
     }
 

@@ -75,6 +75,7 @@ mod tests {
             num_cities: 25,
             seed: 11,
             zipf_theta: 0.0,
+            time_ordered: false,
         };
         let table = crate::generate(&cfg);
         let path = tmp("roundtrip");
@@ -104,6 +105,7 @@ mod tests {
             num_cities: 25,
             seed: 12,
             zipf_theta: 0.0,
+            time_ordered: false,
         };
         let path = tmp("cache");
         std::fs::remove_file(&path).ok();

@@ -26,8 +26,9 @@ pub mod io;
 pub use io::{generate_cached, load_table, save_table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skalla_storage::{partition_by_values, Partitioning, Table, TableBuilder};
-use skalla_types::{DataType, Result, Schema, Value};
+use skalla_storage::{partition_by_values, Partitioning, SegmentWriter, Table, TableBuilder};
+use skalla_types::{DataType, Result, Schema, SkallaError, Value};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Number of nations (fixed, as in TPC-R).
@@ -102,6 +103,15 @@ pub struct TpcrConfig {
     /// customer 0), so nation 0 — and whichever site hosts it — becomes
     /// hot. θ = 1.2 is the canonical heavy-skew setting of the skew bench.
     pub zipf_theta: f64,
+    /// Draw `orderdate` along a monotone timeline instead of uniformly at
+    /// random. `false` (the default) keeps the original generator
+    /// bit-for-bit. When `true`, row *i*'s `orderdate` is
+    /// `i·2557/num_rows` plus a small random jitter — the natural shape of
+    /// a fact table appended in arrival order, where consecutive rows
+    /// share a narrow date window. Segment zone maps over such data are
+    /// tight, so date-range predicates can prune most segments; uniform
+    /// dates make every zone span the full 7 years and prune nothing.
+    pub time_ordered: bool,
 }
 
 impl TpcrConfig {
@@ -120,6 +130,7 @@ impl TpcrConfig {
             num_cities,
             seed: 0x51a11a ^ 0x5EED,
             zipf_theta: 0.0,
+            time_ordered: false,
         }
     }
 
@@ -138,6 +149,12 @@ impl TpcrConfig {
         } else {
             0.0
         };
+        self
+    }
+
+    /// Enable or disable [`TpcrConfig::time_ordered`] generation.
+    pub fn with_time_ordered(mut self, on: bool) -> TpcrConfig {
+        self.time_ordered = on;
         self
     }
 }
@@ -184,6 +201,10 @@ pub const CUSTKEY_COL: usize = 2;
 pub const CUSTNAME_COL: usize = 3;
 /// Column index of `clerk` (low-cardinality grouping attribute).
 pub const CLERK_COL: usize = 9;
+/// Column index of `orderdate` (days since the timeline start; monotone
+/// under [`TpcrConfig::time_ordered`], which makes segment zone maps on it
+/// tight).
+pub const ORDERDATE_COL: usize = 12;
 /// Column index of `quantity`.
 pub const QUANTITY_COL: usize = 14;
 /// Column index of `extendedprice` (the usual aggregation measure).
@@ -246,20 +267,42 @@ pub fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
     cdf
 }
 
-/// Generate the denormalized fact relation.
-pub fn generate(config: &TpcrConfig) -> Table {
-    let schema = tpcr_schema();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = TableBuilder::with_capacity(schema, config.num_rows);
-    // θ = 0 keeps the legacy uniform `gen_range` draw so pre-existing
-    // seeds reproduce bit-for-bit.
-    let zipf = (config.zipf_theta > 0.0)
-        .then(|| zipf_cdf(config.num_customers.max(1) as usize, config.zipf_theta));
+/// Number of days in the generated timeline (~7 years, as in dbgen).
+/// `orderdate` lies in `0..TIMELINE_DAYS`; benches use this to build
+/// selective date-range predicates with known selectivity.
+pub const TIMELINE_DAYS: i64 = 2557;
 
-    for i in 0..config.num_rows {
+/// One seeded generator stream, shared by [`generate`] (in-memory) and
+/// [`generate_to_dir`] (streamed to disk). Both paths call [`RowGen::row`]
+/// for `i = 0..num_rows` and therefore draw from the identical RNG
+/// sequence — the out-of-core data is bit-for-bit the in-memory data by
+/// construction, not by luck.
+struct RowGen {
+    config: TpcrConfig,
+    rng: StdRng,
+    zipf: Option<Vec<f64>>,
+}
+
+impl RowGen {
+    fn new(config: &TpcrConfig) -> RowGen {
+        RowGen {
+            config: *config,
+            rng: StdRng::seed_from_u64(config.seed),
+            // θ = 0 keeps the legacy uniform `gen_range` draw so
+            // pre-existing seeds reproduce bit-for-bit.
+            zipf: (config.zipf_theta > 0.0)
+                .then(|| zipf_cdf(config.num_customers.max(1) as usize, config.zipf_theta)),
+        }
+    }
+
+    /// Row `i` of the fact relation, in schema order. Must be called with
+    /// consecutive `i` starting at 0 (the RNG stream is positional).
+    fn row(&mut self, i: usize) -> Vec<Value> {
+        let config = &self.config;
+        let rng = &mut self.rng;
         let orderkey = (i / 4) as i64 + 1;
         let linenumber = (i % 4) as i64 + 1;
-        let custkey = match &zipf {
+        let custkey = match &self.zipf {
             None => rng.gen_range(0..config.num_customers),
             Some(cdf) => {
                 let u: f64 = rng.gen_range(0.0..1.0);
@@ -269,7 +312,14 @@ pub fn generate(config: &TpcrConfig) -> Table {
         let nationkey = nation_of_customer(custkey);
         let regionkey = region_of_nation(nationkey);
         let clerkkey = rng.gen_range(0..config.num_clerks);
-        let orderdate = rng.gen_range(0..2557); // ~7 years of days
+        let orderdate = if config.time_ordered {
+            // Arrival order: row i lands near day i·2557/n, jittered a few
+            // days. One draw either way, so the RNG stream stays aligned.
+            let base = (i as u64 * TIMELINE_DAYS as u64 / config.num_rows.max(1) as u64) as i64;
+            (base + rng.gen_range(0..8)).min(TIMELINE_DAYS - 1)
+        } else {
+            rng.gen_range(0..TIMELINE_DAYS) // ~7 years of days
+        };
         let shipdate = orderdate + rng.gen_range(1..122);
         let quantity = rng.gen_range(1..=50) as f64;
         let price_per_unit = rng.gen_range(900.0..=10_500.0f64);
@@ -278,7 +328,7 @@ pub fn generate(config: &TpcrConfig) -> Table {
         let tax = rng.gen_range(0..=8) as f64 / 100.0;
         let returnflag = RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())];
 
-        let row = vec![
+        vec![
             Value::Int(orderkey),
             Value::Int(linenumber),
             Value::Int(custkey),
@@ -301,10 +351,64 @@ pub fn generate(config: &TpcrConfig) -> Table {
             Value::Float(tax),
             Value::Int(city_of_customer(custkey, config.num_cities)),
             Value::str(city_name(city_of_customer(custkey, config.num_cities))),
-        ];
-        b.push_row(&row).expect("generated row matches schema");
+        ]
+    }
+}
+
+/// Generate the denormalized fact relation.
+pub fn generate(config: &TpcrConfig) -> Table {
+    let schema = tpcr_schema();
+    let mut g = RowGen::new(config);
+    let mut b = TableBuilder::with_capacity(schema, config.num_rows);
+    for i in 0..config.num_rows {
+        b.push_row(&g.row(i)).expect("generated row matches schema");
     }
     b.finish()
+}
+
+/// Stream the fact relation straight into per-site segment files under
+/// `dir` without ever materializing the full table: peak memory is
+/// `n_sites` write buffers of `segment_rows` rows, regardless of
+/// `num_rows`. Site `k`'s partition lands in `dir/tpcr-site<k>.seg`.
+///
+/// Row routing matches [`partition_by_nation`] (nation `k` → site
+/// `k mod n_sites`, generation order preserved within a site) and rows
+/// come from the same seeded stream as [`generate`], so reading site
+/// `k`'s file back yields a table bit-for-bit equal to
+/// `partition_by_nation(&generate(config), n_sites).parts[k]`. Returns
+/// the per-site paths, index = site.
+pub fn generate_to_dir(
+    config: &TpcrConfig,
+    n_sites: usize,
+    segment_rows: usize,
+    dir: impl AsRef<Path>,
+) -> Result<Vec<PathBuf>> {
+    if n_sites == 0 {
+        return Err(SkallaError::plan("generate_to_dir with zero sites"));
+    }
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SkallaError::exec(format!("creating {}: {e}", dir.display())))?;
+    let schema = tpcr_schema();
+    let paths: Vec<PathBuf> = (0..n_sites)
+        .map(|k| dir.join(format!("tpcr-site{k}.seg")))
+        .collect();
+    let mut writers = paths
+        .iter()
+        .map(|p| SegmentWriter::create(p, schema.clone(), segment_rows))
+        .collect::<Result<Vec<_>>>()?;
+    let mut g = RowGen::new(config);
+    for i in 0..config.num_rows {
+        let row = g.row(i);
+        let nation = row[NATIONKEY_COL]
+            .as_int()
+            .expect("nationkey is always an Int");
+        writers[(nation as usize) % n_sites].push_row(&row)?;
+    }
+    for w in writers {
+        w.finish()?;
+    }
+    Ok(paths)
 }
 
 /// Partition a generated table on `nationkey` round-robin across `n_sites`
@@ -330,6 +434,7 @@ mod tests {
             num_cities: 50,
             seed: 42,
             zipf_theta: 0.0,
+            time_ordered: false,
         }
     }
 
@@ -393,6 +498,64 @@ mod tests {
     }
 
     #[test]
+    fn time_ordered_dates_rise_monotonically_with_jitter() {
+        let t = generate(&small().with_time_ordered(true));
+        let dates: Vec<i64> = (0..t.len())
+            .map(|i| t.column(12).get(i).as_int().unwrap())
+            .collect();
+        // Each date sits within the 8-day jitter band above its base, so
+        // the sequence can only dip by the jitter width, never trend back.
+        for w in dates.windows(2) {
+            assert!(w[1] >= w[0] - 7, "dates regressed: {} then {}", w[0], w[1]);
+        }
+        // The timeline is actually traversed (not constant).
+        assert!(dates[dates.len() - 1] - dates[0] > 2000);
+        assert!(dates.iter().all(|&d| (0..2557).contains(&d)));
+        // shipdate still trails orderdate by 1..122 days.
+        for i in 0..t.len() {
+            let od = t.column(12).get(i).as_int().unwrap();
+            let sd = t.column(13).get(i).as_int().unwrap();
+            assert!(sd > od && sd <= od + 121);
+        }
+        // The flag defaults off and off means the legacy generator exactly.
+        assert_eq!(
+            generate(&small().with_time_ordered(false)),
+            generate(&small())
+        );
+        // Everything except the dates is untouched by the mode: the RNG
+        // stream stays aligned because both paths draw once per date.
+        let u = generate(&small());
+        for col in (0..u.schema().len()).filter(|&c| c != 12 && c != 13) {
+            for i in 0..u.len() {
+                assert_eq!(
+                    u.column(col).get(i),
+                    t.column(col).get(i),
+                    "col {col} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_to_dir_is_bit_identical_to_in_memory_partitioning() {
+        let cfg = small().with_time_ordered(true);
+        let n_sites = 3;
+        let dir = std::env::temp_dir().join(format!("skalla-tpcr-gtd-{}", std::process::id()));
+        let paths = generate_to_dir(&cfg, n_sites, 64, &dir).unwrap();
+        assert_eq!(paths.len(), n_sites);
+
+        let mem = partition_by_nation(&generate(&cfg), n_sites).unwrap();
+        for (k, path) in paths.iter().enumerate() {
+            let f = skalla_storage::SegmentFile::open(path).unwrap();
+            let disk = f.read_all().unwrap();
+            assert_eq!(disk, mem.parts[k], "site {k} diverges from in-memory");
+            // 64-row segments: the file really is chunked, not one blob.
+            assert!(f.num_segments() >= disk.len() / 64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn schema_and_row_count() {
         let t = generate(&small());
         assert_eq!(t.len(), 2000);
@@ -403,6 +566,7 @@ mod tests {
         assert_eq!(t.schema().index_of("custkey").unwrap(), CUSTKEY_COL);
         assert_eq!(t.schema().index_of("custname").unwrap(), CUSTNAME_COL);
         assert_eq!(t.schema().index_of("clerk").unwrap(), CLERK_COL);
+        assert_eq!(t.schema().index_of("orderdate").unwrap(), ORDERDATE_COL);
         assert_eq!(t.schema().index_of("quantity").unwrap(), QUANTITY_COL);
         assert_eq!(
             t.schema().index_of("extendedprice").unwrap(),

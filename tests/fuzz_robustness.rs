@@ -75,6 +75,8 @@ proptest! {
             last: true,
             task: 0,
             sketch: Vec::new(),
+            segments_scanned: 0,
+            segments_pruned: 0,
         };
         let mut bytes = msg.to_wire_framed(3, 1).to_vec();
         let idx = pos % bytes.len();
