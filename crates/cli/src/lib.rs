@@ -33,7 +33,9 @@ use skalla_core::{
 use skalla_gmdj::to_sql;
 use skalla_net::{CostModel, FaultPlan};
 use skalla_planner::{choose_plan, parse_query, plan_query, DistributionInfo};
-use skalla_storage::{Catalog, SegmentFile, TableStats, DEFAULT_SEGMENT_ROWS};
+use skalla_storage::{
+    Catalog, DiskFaultGuard, DiskFaultPlan, SegmentFile, TableStats, DEFAULT_SEGMENT_ROWS,
+};
 use skalla_tpcr::{
     generate, generate_to_dir, partition_by_nation, tpcr_schema, TpcrConfig, CITYNAME_COL,
     CUSTKEY_COL, CUSTNAME_COL, NATIONKEY_COL,
@@ -98,6 +100,13 @@ pub struct Session {
     /// Per-site segment-file summaries of the current out-of-core load,
     /// for `\segments`.
     segments_info: Option<Vec<SegSiteInfo>>,
+    /// Seeded disk-fault plan applied to the next out-of-core `\load`
+    /// (installed scoped to the data directory, so only warehouse segment
+    /// files are affected).
+    disk_faults: Option<DiskFaultPlan>,
+    /// Keeps the installed disk-fault scope alive for the lifetime of the
+    /// current out-of-core load.
+    disk_fault_guard: Option<DiskFaultGuard>,
     buffer: String,
     /// Rows shown per result (keeps wide groups readable).
     pub max_rows: usize,
@@ -139,6 +148,8 @@ impl Session {
             segment_rows: DEFAULT_SEGMENT_ROWS,
             segment_prune: None,
             segments_info: None,
+            disk_faults: None,
+            disk_fault_guard: None,
             buffer: String::new(),
             max_rows: 20,
         }
@@ -196,6 +207,7 @@ impl Session {
             "\\sync" => self.cmd_sync(&args),
             "\\skew" => self.cmd_skew(&args),
             "\\segments" => self.cmd_segments(&args),
+            "\\scrub" => self.cmd_scrub(),
             "\\metrics" => self.cmd_metrics(),
             other => Err(SkallaError::parse(format!(
                 "unknown command `{other}` (try \\help)"
@@ -241,6 +253,14 @@ impl Session {
     /// the `--replication` binary flag).
     pub fn set_replication(&mut self, replication: usize) {
         self.replication = replication.max(1);
+    }
+
+    /// Seeded disk-fault injection for the next out-of-core `\load`
+    /// (the `--disk-fault-seed`/`--bitflip-rate` binary flags). `None`
+    /// removes any previously configured plan; the scope installed by an
+    /// earlier load stays active until the next load replaces it.
+    pub fn set_disk_fault_plan(&mut self, plan: Option<DiskFaultPlan>) {
+        self.disk_faults = plan;
     }
 
     /// Out-of-core mode for the next `\load`: generate straight to
@@ -515,6 +535,19 @@ impl Session {
         })
     }
 
+    /// `\scrub` — walk every registered segment file at every site,
+    /// verifying checksums off the query path; corrupt files are
+    /// quarantined and, when replication permits, repaired from a
+    /// surviving replica.
+    fn cmd_scrub(&mut self) -> Result<String> {
+        let wh = self
+            .warehouse
+            .as_ref()
+            .ok_or_else(|| SkallaError::exec("no warehouse loaded (try \\load 0.05 4)"))?;
+        let summary = wh.scrub()?;
+        Ok(summary.summary())
+    }
+
     /// `\metrics` — the full per-round cost table of the last query, with
     /// the synchronization breakdown (decode / merge / finalize and, for
     /// sharded rounds, worker/shard counts and utilization).
@@ -649,6 +682,14 @@ impl Session {
                 "replicated loads are in-memory only (unset --data-dir or \\replicate 1)",
             ));
         }
+        // Install the disk-fault scope before generation so write-time
+        // faults (bit flips, torn writes) land in the files as durable
+        // corruption, exactly as a flaky disk would leave them.
+        self.disk_fault_guard = self
+            .disk_faults
+            .clone()
+            .filter(|p| !p.is_noop())
+            .map(|p| p.install(dir));
         let cfg = TpcrConfig::scale(scale);
         let paths = generate_to_dir(&cfg, sites, self.segment_rows, dir)?;
         let mut catalogs = Vec::with_capacity(sites);
@@ -700,9 +741,14 @@ impl Session {
         } else {
             " [fault injection active]".to_string()
         };
+        let disk_note = if self.disk_fault_guard.is_some() {
+            " [disk-fault injection active]"
+        } else {
+            ""
+        };
         Ok(format!(
             "loaded tpcr out-of-core: {rows} tuples across {sites} sites, {nsegs} segments of \
-             ≤{} rows under {} (partitioned on nationkey){fault_note}",
+             ≤{} rows under {} (partitioned on nationkey){fault_note}{disk_note}",
             self.segment_rows,
             dir.display()
         ))
@@ -963,6 +1009,8 @@ commands:
                           on [split_threshold [offload_factor]]
   \\segments [prune …]     out-of-core storage status + last query's zone-map pruning
                           counters; `prune on|off|auto` overrides segment pruning
+  \\scrub                  verify every segment file's checksums off the query path;
+                          quarantine corrupt files and repair from replicas
   \\metrics                per-round cost table + sync/skew breakdown of the last query
   \\help                   this message
   \\q                      quit

@@ -10,6 +10,7 @@
 //! skalla --skew on --replication 2 --load 0.05 4   # force skew-aware execution
 //! skalla --checkpoint-dir /tmp/skalla --load 0.05 4   # round-granular WAL
 //! skalla --data-dir /tmp/skalla-data --load 10 8      # out-of-core segment store
+//! skalla --data-dir /tmp/d --disk-fault-seed 7 --bitflip-rate 0.5 --load 0.05 4  # flaky disks
 //! skalla serve --listen 127.0.0.1:7878 --scale 0.05 --sites 4   # TCP server
 //! skalla client --connect 127.0.0.1:7878  # remote shell over the server
 //! ```
@@ -343,6 +344,33 @@ fn main() {
     }
     if let Some(rows) = flag_parse::<usize>(&args, "--segment-rows") {
         session.set_segment_rows(rows);
+    }
+
+    // --disk-fault-seed <n> [--bitflip-rate <r>] [--torn-write-rate <r>]
+    // [--short-read-rate <r>] [--stale-footer-rate <r>]: seeded disk-fault
+    // injection for out-of-core loads. Write-time faults (bit flips, torn
+    // writes) land in the generated segment files as durable corruption;
+    // read-time faults (short reads, stale footers) corrupt what sites
+    // see without touching the bytes on disk. Pair with `\scrub` and
+    // `\degrade failover` to exercise the integrity machinery.
+    if let Some(seed) = flag_parse::<u64>(&args, "--disk-fault-seed") {
+        let mut plan = skalla_storage::DiskFaultPlan::seeded(seed);
+        if let Some(r) = flag_parse::<f64>(&args, "--bitflip-rate") {
+            plan = plan.with_bitflip_rate(r);
+        }
+        if let Some(r) = flag_parse::<f64>(&args, "--torn-write-rate") {
+            plan = plan.with_torn_write_rate(r);
+        }
+        if let Some(r) = flag_parse::<f64>(&args, "--short-read-rate") {
+            plan = plan.with_short_read_rate(r);
+        }
+        if let Some(r) = flag_parse::<f64>(&args, "--stale-footer-rate") {
+            plan = plan.with_stale_footer_rate(r);
+        }
+        session.set_disk_fault_plan(Some(plan));
+    } else if flag_value(&args, "--bitflip-rate").is_some() {
+        eprintln!("error: --bitflip-rate needs --disk-fault-seed <n>");
+        std::process::exit(2);
     }
 
     // Optional --load <scale> <sites> preloads a warehouse.

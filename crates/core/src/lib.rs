@@ -61,6 +61,7 @@ pub mod warehouse;
 pub use baseresult::BaseResult;
 pub use cache::{CacheStats, PlanKey, ResultCache};
 pub use checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
+pub use message::ScrubEntry;
 pub use metrics::{Coverage, ExecMetrics, RoundMetrics};
 pub use plan::{
     BaseRound, DegradedMode, DistPlan, OptFlags, RetryPolicy, RoundSpec, Segment, SkewPolicy,
@@ -68,4 +69,4 @@ pub use plan::{
 pub use sched::{Admission, QueryScheduler, QueryTicket, SchedConfig, SchedStats};
 pub use sync::{ShardedSync, SyncOptions, SyncOutput, SyncSpec, SyncStats};
 pub use tree::TieredWarehouse;
-pub use warehouse::{DistributedWarehouse, QueryRun};
+pub use warehouse::{DistributedWarehouse, QueryRun, ScrubSummary};

@@ -102,6 +102,9 @@ pub enum Message {
         /// Out-of-core segments skipped by zone-map pruning (reported on
         /// the final chunk).
         segments_pruned: u64,
+        /// Column chunks whose CRC32C was verified during the scan
+        /// (reported on the final chunk).
+        blocks_verified: u64,
     },
     /// Evaluate operators `start..=end` locally without intermediate
     /// synchronization (synchronization reduction).
@@ -150,6 +153,9 @@ pub enum Message {
         /// Out-of-core segments skipped by zone-map pruning across the
         /// run's operators (reported on the final chunk).
         segments_pruned: u64,
+        /// Column chunks whose CRC32C was verified across the run's
+        /// operators (reported on the final chunk).
+        blocks_verified: u64,
     },
     /// Baseline only: ship the named raw detail table to the coordinator
     /// (what Skalla never does — used to demonstrate Theorem 2).
@@ -170,6 +176,11 @@ pub enum Message {
     Error {
         /// Human-readable description.
         msg: String,
+        /// `true` when the failure is a storage-integrity one
+        /// ([`skalla_types::SkallaError::SegmentCorrupt`]): deterministic,
+        /// so the coordinator skips retries and goes straight to the
+        /// degradation ladder.
+        corrupt: bool,
     },
     /// Back `table` with the on-disk segment file at `path` (out-of-core
     /// mode), replacing any previous catalog entry under that name. Sent
@@ -182,6 +193,11 @@ pub enum Message {
         table: String,
         /// Path of the segment file on the site's local disk.
         path: String,
+        /// Under replicated placement, the partition number the file
+        /// holds: the site co-registers the file under the mangled
+        /// `__part::<table>::<part>` alias, so partition-addressed scans
+        /// stream from disk exactly like plain-name scans do.
+        part: Option<u64>,
     },
     /// Acknowledge a [`Message::LoadSegments`]: the file was opened and
     /// its footer validated.
@@ -189,6 +205,31 @@ pub enum Message {
         /// Total rows of the newly bound segment file.
         rows: u64,
     },
+    /// Walk every segment-backed catalog entry, verify all block
+    /// checksums off the query path, and quarantine corrupt files
+    /// (rename to `<path>.quarantined` + unregister). Answered with
+    /// [`Message::ScrubReport`].
+    ScrubRequest,
+    /// A site's scrub findings, one entry per segment-backed table.
+    ScrubReport {
+        /// Per-table verification outcomes.
+        entries: Vec<ScrubEntry>,
+    },
+}
+
+/// One segment-backed catalog entry's scrub outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubEntry {
+    /// Catalog name the file backs (possibly a mangled partition name).
+    pub table: String,
+    /// On-disk path of the segment file.
+    pub path: String,
+    /// Column chunks whose CRC32C was verified (zero when the file was
+    /// found corrupt).
+    pub blocks: u64,
+    /// `None` if every checksum matched; `Some(description)` if the file
+    /// was found corrupt and quarantined.
+    pub error: Option<String>,
 }
 
 impl Message {
@@ -380,6 +421,7 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             sketch,
             segments_scanned,
             segments_pruned,
+            blocks_verified,
         } => {
             buf.put_u8(4);
             put_varint(buf, u64::from(*op_idx));
@@ -393,6 +435,7 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             encode_sketches(sketch, buf);
             put_varint(buf, *segments_scanned);
             put_varint(buf, *segments_pruned);
+            put_varint(buf, *blocks_verified);
         }
         Message::LocalRun {
             start,
@@ -420,6 +463,7 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             sketch,
             segments_scanned,
             segments_pruned,
+            blocks_verified,
         } => {
             buf.put_u8(6);
             put_varint(buf, u64::from(*end));
@@ -433,6 +477,7 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             encode_sketches(sketch, buf);
             put_varint(buf, *segments_scanned);
             put_varint(buf, *segments_pruned);
+            put_varint(buf, *blocks_verified);
         }
         Message::ShipAllRequest { table } => {
             buf.put_u8(7);
@@ -444,18 +489,38 @@ fn encode_message(m: &Message, buf: &mut BytesMut) {
             put_f64(buf, *compute_s);
         }
         Message::Shutdown => buf.put_u8(9),
-        Message::Error { msg } => {
+        Message::Error { msg, corrupt } => {
             buf.put_u8(10);
             put_str(buf, msg);
+            corrupt.encode(buf);
         }
-        Message::LoadSegments { table, path } => {
+        Message::LoadSegments { table, path, part } => {
             buf.put_u8(11);
             put_str(buf, table);
             put_str(buf, path);
+            // Biased varint: 0 is `None`, p + 1 is `Some(p)`.
+            put_varint(buf, part.map_or(0, |p| p + 1));
         }
         Message::SegmentsLoaded { rows } => {
             buf.put_u8(12);
             put_varint(buf, *rows);
+        }
+        Message::ScrubRequest => buf.put_u8(13),
+        Message::ScrubReport { entries } => {
+            buf.put_u8(14);
+            put_varint(buf, entries.len() as u64);
+            for e in entries {
+                put_str(buf, &e.table);
+                put_str(buf, &e.path);
+                put_varint(buf, e.blocks);
+                match &e.error {
+                    None => buf.put_u8(0),
+                    Some(msg) => {
+                        buf.put_u8(1);
+                        put_str(buf, msg);
+                    }
+                }
+            }
         }
     }
 }
@@ -491,6 +556,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             sketch: decode_sketches(r)?,
             segments_scanned: r.varint()?,
             segments_pruned: r.varint()?,
+            blocks_verified: r.varint()?,
         }),
         5 => Ok(Message::LocalRun {
             start: r.varint()? as u32,
@@ -511,6 +577,7 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             sketch: decode_sketches(r)?,
             segments_scanned: r.varint()?,
             segments_pruned: r.varint()?,
+            blocks_verified: r.varint()?,
         }),
         7 => Ok(Message::ShipAllRequest { table: r.string()? }),
         8 => Ok(Message::ShipAllData {
@@ -518,12 +585,45 @@ fn decode_message(r: &mut WireReader<'_>) -> Result<Message> {
             compute_s: r.f64()?,
         }),
         9 => Ok(Message::Shutdown),
-        10 => Ok(Message::Error { msg: r.string()? }),
+        10 => Ok(Message::Error {
+            msg: r.string()?,
+            corrupt: bool::decode(r)?,
+        }),
         11 => Ok(Message::LoadSegments {
             table: r.string()?,
             path: r.string()?,
+            part: match r.varint()? {
+                0 => None,
+                p => Some(p - 1),
+            },
         }),
         12 => Ok(Message::SegmentsLoaded { rows: r.varint()? }),
+        13 => Ok(Message::ScrubRequest),
+        14 => {
+            let n = r.varint()? as usize;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let table = r.string()?;
+                let path = r.string()?;
+                let blocks = r.varint()?;
+                let error = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.string()?),
+                    other => {
+                        return Err(SkallaError::net(format!(
+                            "invalid scrub-error byte {other}"
+                        )))
+                    }
+                };
+                entries.push(ScrubEntry {
+                    table,
+                    path,
+                    blocks,
+                    error,
+                });
+            }
+            Ok(Message::ScrubReport { entries })
+        }
         other => Err(SkallaError::net(format!("invalid message tag {other}"))),
     }
 }
@@ -1073,6 +1173,7 @@ mod tests {
             }],
             segments_scanned: 5,
             segments_pruned: 11,
+            blocks_verified: 35,
         });
         round_trip(&Message::RoundResult {
             op_idx: 3,
@@ -1086,6 +1187,7 @@ mod tests {
             sketch: Vec::new(),
             segments_scanned: 0,
             segments_pruned: 0,
+            blocks_verified: 0,
         });
         round_trip(&Message::LocalRun {
             start: 0,
@@ -1113,6 +1215,7 @@ mod tests {
             sketch: Vec::new(),
             segments_scanned: 2,
             segments_pruned: 6,
+            blocks_verified: 10,
         });
         round_trip(&Message::ShipAllRequest {
             table: "flow".into(),
@@ -1120,6 +1223,12 @@ mod tests {
         round_trip(&Message::LoadSegments {
             table: "flow__p3".into(),
             path: "/data/site3/flow.seg".into(),
+            part: None,
+        });
+        round_trip(&Message::LoadSegments {
+            table: "flow".into(),
+            path: "/data/site3/flow.seg".into(),
+            part: Some(2),
         });
         round_trip(&Message::SegmentsLoaded { rows: 123_456 });
         round_trip(&Message::ShipAllData {
@@ -1135,7 +1244,34 @@ mod tests {
             task: 0,
         });
         round_trip(&Message::Shutdown);
-        round_trip(&Message::Error { msg: "boom".into() });
+        round_trip(&Message::Error {
+            msg: "boom".into(),
+            corrupt: false,
+        });
+        round_trip(&Message::Error {
+            msg: "segment corrupt: bad crc".into(),
+            corrupt: true,
+        });
+        round_trip(&Message::ScrubRequest);
+        round_trip(&Message::ScrubReport {
+            entries: vec![
+                ScrubEntry {
+                    table: "flow__p0".into(),
+                    path: "/data/site0/flow.seg".into(),
+                    blocks: 40,
+                    error: None,
+                },
+                ScrubEntry {
+                    table: "flow__p1".into(),
+                    path: "/data/site0/flow1.seg".into(),
+                    blocks: 12,
+                    error: Some("chunk checksum mismatch".into()),
+                },
+            ],
+        });
+        round_trip(&Message::ScrubReport {
+            entries: Vec::new(),
+        });
     }
 
     #[test]

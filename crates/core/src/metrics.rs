@@ -107,6 +107,9 @@ pub struct RoundMetrics {
     /// Out-of-core segments the sites skipped via zone-map pruning this
     /// round, summed across sites.
     pub segments_pruned: u64,
+    /// Column chunks whose CRC32C the sites verified while decoding this
+    /// round, summed across sites.
+    pub blocks_verified: u64,
 }
 
 impl RoundMetrics {
@@ -178,6 +181,10 @@ pub struct ExecMetrics {
     /// execute. Set by the serving layer's scheduler; always 0 for direct
     /// execution.
     pub cache_misses: u64,
+    /// Segment checksum failures the sites reported during this execution.
+    /// Each one routed a partition to the degradation ladder (failover
+    /// re-plan, partial coverage, or a typed error) instead of retrying.
+    pub checksum_failures: u64,
 }
 
 impl ExecMetrics {
@@ -256,6 +263,11 @@ impl ExecMetrics {
     /// Total out-of-core segments skipped via zone-map pruning.
     pub fn total_segments_pruned(&self) -> u64 {
         self.rounds.iter().map(|r| r.segments_pruned).sum()
+    }
+
+    /// Total column chunks whose CRC32C the sites verified during decode.
+    pub fn total_blocks_verified(&self) -> u64 {
+        self.rounds.iter().map(|r| r.blocks_verified).sum()
     }
 
     /// Summed fragment decode seconds across rounds.
@@ -400,6 +412,13 @@ impl ExecMetrics {
         if sc + sp > 0 {
             s.push_str(&format!(" | segments: {sc} scanned, {sp} pruned"));
         }
+        let bv = self.total_blocks_verified();
+        if bv + self.checksum_failures > 0 {
+            s.push_str(&format!(
+                " | integrity: {bv} blocks verified, {} checksum failure(s)",
+                self.checksum_failures,
+            ));
+        }
         if self.rounds.iter().any(|r| r.sync_workers > 0) {
             s.push_str(&format!(
                 " | sync: decode {:.4}s, merge {:.4}s, finalize {:.4}s",
@@ -494,6 +513,7 @@ mod tests {
             sync_imbalance: 1.25,
             segments_scanned: 3,
             segments_pruned: 5,
+            blocks_verified: 9,
         }
     }
 
@@ -527,6 +547,10 @@ mod tests {
         assert!(m.summary().contains("2 rounds"));
         assert!(m.summary().contains("blocks: 4 compiled, 2 interpreted"));
         assert!(m.summary().contains("segments: 6 scanned, 10 pruned"));
+        assert_eq!(m.total_blocks_verified(), 18);
+        assert!(m
+            .summary()
+            .contains("integrity: 18 blocks verified, 0 checksum failure(s)"));
         assert!(m.summary().contains("sync: decode 0.0020s"));
         assert!(m
             .summary()

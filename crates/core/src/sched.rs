@@ -228,7 +228,18 @@ impl QueryScheduler {
     /// returns can therefore neither scan half-swapped data nor be
     /// answered from a result computed against the old data. Returns
     /// per-site row counts of the new files.
+    ///
+    /// Every incoming file's checksums (header, footer, and all column
+    /// blocks) are verified *before* any site swaps, so a corrupt
+    /// directory is refused whole: either all sites rebind to verified
+    /// files or the previous binding stays live everywhere.
     pub fn reload_segments(&self, table: &str, paths: &[String]) -> Result<Vec<u64>> {
+        for p in paths {
+            let f = skalla_storage::SegmentFile::open(p)?;
+            f.verify().map_err(|e| {
+                SkallaError::corrupt(format!("refusing reload: {e} (table `{table}`)"))
+            })?;
+        }
         let admitted = self.shared.admitted.lock().expect("admission lock");
         let _quiesced = self
             .shared

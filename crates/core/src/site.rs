@@ -18,7 +18,7 @@ use skalla_storage::{
 };
 use skalla_types::{Relation, Result, Schema, SkallaError, Value};
 
-use crate::message::Message;
+use crate::message::{Message, ScrubEntry};
 use crate::plan::DistPlan;
 
 /// The clock behind every `compute_s` a site reports: per-thread CPU
@@ -70,7 +70,10 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
                     parent,
                     0,
                     0,
-                    Message::Error { msg: e.to_string() },
+                    Message::Error {
+                        msg: e.to_string(),
+                        corrupt: false,
+                    },
                 );
                 continue;
             }
@@ -114,7 +117,10 @@ pub fn run_site_with_parent(endpoint: Endpoint, catalog: Catalog, parent: skalla
                     parent,
                     epoch,
                     round,
-                    Message::Error { msg: e.to_string() },
+                    Message::Error {
+                        msg: e.to_string(),
+                        corrupt: e.is_corrupt(),
+                    },
                 )
                 .is_err()
                 {
@@ -196,9 +202,17 @@ impl SiteState {
                 parts,
                 task,
             } => self.local_run(start as usize, end as usize, base, parts.as_deref(), task),
-            Message::LoadSegments { table, path } => {
+            Message::LoadSegments { table, path, part } => {
                 let file = std::sync::Arc::new(SegmentFile::open(&path)?);
                 let rows = file.total_rows() as u64;
+                // Under replicated placement the same rows are also the
+                // site's primary partition: bind the mangled alias to the
+                // same file, so partition-addressed scans stream from
+                // disk exactly like plain-name scans.
+                if let Some(p) = part {
+                    self.catalog
+                        .register_segments(partition_table_name(&table, p as usize), file.clone());
+                }
                 self.catalog.register_segments(table, file);
                 // Any materialized fragment union may now be stale.
                 *self.frag_cache.borrow_mut() = None;
@@ -213,10 +227,78 @@ impl SiteState {
                     compute_s: site_clock_s() - started,
                 }])
             }
+            Message::ScrubRequest => Ok(vec![self.scrub()]),
             other => Err(SkallaError::exec(format!(
                 "site received unexpected message {other:?}"
             ))),
         }
+    }
+
+    /// Verify every segment-backed catalog entry's checksums off the query
+    /// path. A corrupt file is quarantined — renamed to
+    /// `<path>.quarantined` and unregistered — so queries get a typed miss
+    /// instead of bad bytes until the coordinator repairs the partition
+    /// from a replica.
+    fn scrub(&mut self) -> Message {
+        let names: Vec<String> = self
+            .catalog
+            .table_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        // Group segment-backed entries by file: under replicated
+        // placement one file is registered under both the plain table
+        // name and the primary-partition alias — it is a single disk
+        // artifact, verified (and quarantined) once.
+        let mut files: Vec<(std::path::PathBuf, std::sync::Arc<SegmentFile>, Vec<String>)> =
+            Vec::new();
+        for name in names {
+            let Some(file) = self.catalog.get_segments(&name) else {
+                continue;
+            };
+            let path = file.path().to_path_buf();
+            match files.iter_mut().find(|(p, _, _)| *p == path) {
+                Some((_, _, ns)) => ns.push(name),
+                None => files.push((path, file, vec![name])),
+            }
+        }
+        let mut entries = Vec::new();
+        for (path, file, mut names) in files {
+            // Report under the plain name when both are bound — that is
+            // the name the coordinator's replica map addresses repairs
+            // by.
+            names.sort_by_key(|n| n.starts_with("__part::"));
+            let name = names[0].clone();
+            let entry = match file.verify() {
+                Ok(blocks) => ScrubEntry {
+                    table: name,
+                    path: path.display().to_string(),
+                    blocks,
+                    error: None,
+                },
+                Err(e) => {
+                    drop(file);
+                    let mut q = path.as_os_str().to_owned();
+                    q.push(".quarantined");
+                    let _ = std::fs::rename(&path, std::path::PathBuf::from(q));
+                    // Every name bound to the file must go: a surviving
+                    // alias would keep serving the quarantined bytes
+                    // through its still-open handle.
+                    for n in &names {
+                        self.catalog.unregister(n);
+                    }
+                    *self.frag_cache.borrow_mut() = None;
+                    ScrubEntry {
+                        table: name,
+                        path: path.display().to_string(),
+                        blocks: 0,
+                        error: Some(e.to_string()),
+                    }
+                }
+            };
+            entries.push(entry);
+        }
+        Message::ScrubReport { entries }
     }
 
     fn plan(&self) -> Result<&DistPlan> {
@@ -471,6 +553,7 @@ impl SiteState {
                 sketch: if last { sketch.clone() } else { Vec::new() },
                 segments_scanned: if last { seg.scanned } else { 0 },
                 segments_pruned: if last { seg.pruned } else { 0 },
+                blocks_verified: if last { seg.blocks_verified } else { 0 },
             })
             .collect())
     }
@@ -536,6 +619,7 @@ impl SiteState {
             };
             seg_total.scanned += seg.scanned;
             seg_total.pruned += seg.pruned;
+            seg_total.blocks_verified += seg.blocks_verified;
             for (i, st) in dual.states.iter().enumerate() {
                 acc_states[i].extend(st.iter().cloned());
                 total_matches[i] += dual.match_counts[i];
@@ -577,6 +661,7 @@ impl SiteState {
                 sketch: if last { sketch.clone() } else { Vec::new() },
                 segments_scanned: if last { seg_total.scanned } else { 0 },
                 segments_pruned: if last { seg_total.pruned } else { 0 },
+                blocks_verified: if last { seg_total.blocks_verified } else { 0 },
             })
             .collect())
     }

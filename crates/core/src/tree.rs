@@ -203,7 +203,11 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
             Err(e) => {
                 let _ = endpoint.send(
                     0,
-                    Message::Error { msg: e.to_string() }.to_wire_framed(0, 0),
+                    Message::Error {
+                        msg: e.to_string(),
+                        corrupt: false,
+                    }
+                    .to_wire_framed(0, 0),
                 );
                 continue;
             }
@@ -222,7 +226,11 @@ fn run_midtier(endpoint: Endpoint, children: Vec<NodeId>) {
             Err(e) => {
                 let _ = endpoint.send(
                     0,
-                    Message::Error { msg: e.to_string() }.to_wire_framed(epoch, round),
+                    Message::Error {
+                        msg: e.to_string(),
+                        corrupt: e.is_corrupt(),
+                    }
+                    .to_wire_framed(epoch, round),
                 );
             }
         }
@@ -340,6 +348,7 @@ impl MidState {
                     sketch: sketches,
                     segments_scanned: seg.scanned,
                     segments_pruned: seg.pruned,
+                    blocks_verified: seg.blocks_verified,
                 }])
             }
             Message::LocalRun {
@@ -377,7 +386,31 @@ impl MidState {
                     sketch: sketches,
                     segments_scanned: seg.scanned,
                     segments_pruned: seg.pruned,
+                    blocks_verified: seg.blocks_verified,
                 }])
+            }
+            Message::ScrubRequest => {
+                // Fan the scrub out and concatenate the cluster's reports:
+                // the root sees one flat entry list per mid-tier, exactly
+                // as if the leaves were its direct children.
+                for &c in children {
+                    ep.send(
+                        c,
+                        Message::ScrubRequest.to_wire_framed(self.epoch, self.round),
+                    )?;
+                }
+                let mut entries = Vec::new();
+                for _ in children {
+                    match self.recv(ep)? {
+                        Message::ScrubReport { entries: e } => entries.extend(e),
+                        other => {
+                            return Err(SkallaError::exec(format!(
+                                "mid-tier expected ScrubReport, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(vec![Message::ScrubReport { entries }])
             }
             Message::ShipAllRequest { table } => {
                 for &c in children {
@@ -439,8 +472,15 @@ impl MidState {
             if epoch != self.epoch || round != self.round {
                 continue; // straggler from an aborted query or earlier round
             }
-            if let Message::Error { msg } = msg {
-                return Err(SkallaError::exec(format!("site {}: {msg}", env.src)));
+            if let Message::Error { msg, corrupt } = msg {
+                let m = format!("site {}: {msg}", env.src);
+                // Keep the corruption marker as the error crosses the
+                // tier: the root skips its retry budget for it.
+                return Err(if corrupt {
+                    SkallaError::corrupt(m)
+                } else {
+                    SkallaError::exec(m)
+                });
             }
             return Ok(msg);
         }
@@ -508,53 +548,58 @@ impl MidState {
         let mut sketches = Vec::new();
         let mut seg = skalla_gmdj::SegScanStats::default();
         while pending > 0 {
-            let (h, compute_s, bc, bi, last, sketch, scanned, pruned) = match self.recv(ep)? {
-                Message::RoundResult {
-                    h,
-                    compute_s,
-                    blocks_compiled,
-                    blocks_interpreted,
-                    last,
-                    sketch,
-                    segments_scanned,
-                    segments_pruned,
-                    ..
-                } => (
-                    h,
-                    compute_s,
-                    blocks_compiled,
-                    blocks_interpreted,
-                    last,
-                    sketch,
-                    segments_scanned,
-                    segments_pruned,
-                ),
-                Message::LocalRunResult {
-                    ship,
-                    compute_s,
-                    blocks_compiled,
-                    blocks_interpreted,
-                    last,
-                    sketch,
-                    segments_scanned,
-                    segments_pruned,
-                    ..
-                } => (
-                    ship,
-                    compute_s,
-                    blocks_compiled,
-                    blocks_interpreted,
-                    last,
-                    sketch,
-                    segments_scanned,
-                    segments_pruned,
-                ),
-                other => {
-                    return Err(SkallaError::exec(format!(
-                        "mid-tier expected round result, got {other:?}"
-                    )))
-                }
-            };
+            let (h, compute_s, bc, bi, last, sketch, scanned, pruned, blk_v) =
+                match self.recv(ep)? {
+                    Message::RoundResult {
+                        h,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                        segments_scanned,
+                        segments_pruned,
+                        blocks_verified,
+                        ..
+                    } => (
+                        h,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                        segments_scanned,
+                        segments_pruned,
+                        blocks_verified,
+                    ),
+                    Message::LocalRunResult {
+                        ship,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                        segments_scanned,
+                        segments_pruned,
+                        blocks_verified,
+                        ..
+                    } => (
+                        ship,
+                        compute_s,
+                        blocks_compiled,
+                        blocks_interpreted,
+                        last,
+                        sketch,
+                        segments_scanned,
+                        segments_pruned,
+                        blocks_verified,
+                    ),
+                    other => {
+                        return Err(SkallaError::exec(format!(
+                            "mid-tier expected round result, got {other:?}"
+                        )))
+                    }
+                };
             if last {
                 max_s = max_s.max(compute_s);
                 total_bc += bc;
@@ -562,6 +607,7 @@ impl MidState {
                 sketches.extend(sketch);
                 seg.scanned += scanned;
                 seg.pruned += pruned;
+                seg.blocks_verified += blk_v;
                 pending -= 1;
             }
             let x = match &mut x {

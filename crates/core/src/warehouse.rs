@@ -23,14 +23,14 @@ use skalla_expr::{eval_base, Expr};
 use skalla_gmdj::{eval_expr_centralized, AggSpec, GmdjExpr};
 use skalla_net::{CostModel, Endpoint, FaultPlan, NodeId, SimNetwork, TransferStats};
 use skalla_storage::{
-    load_imbalance, plan_splits, replicate_catalogs, Catalog, PartFrag, PartSketch, Partitioning,
-    ReplicaMap,
+    load_imbalance, partition_table_name, plan_splits, replicate_catalogs, write_segments, Catalog,
+    PartFrag, PartSketch, Partitioning, ReplicaMap,
 };
 use skalla_types::{DataType, Field, Relation, Result, Schema, SkallaError, Value};
 
 use crate::baseresult::BaseResult;
 use crate::checkpoint::{plan_fingerprint, CheckpointRecord, CheckpointWal};
-use crate::message::Message;
+use crate::message::{Message, ScrubEntry};
 use crate::metrics::{Coverage, ExecMetrics, RoundMetrics};
 use crate::plan::{BaseRound, DegradedMode, DistPlan, RetryPolicy, Segment};
 use crate::site::run_site;
@@ -51,6 +51,46 @@ fn sync_options_for(plan: &DistPlan) -> SyncOptions {
     match plan.sync_shards {
         Some(s) => opts.with_shards(s),
         None => opts,
+    }
+}
+
+/// Rows per segment when a scrub repair rewrites a partition to a fresh
+/// segment file. Matches the default out-of-core generation granularity;
+/// repairs are correctness-critical, not layout-critical.
+const REPAIR_SEGMENT_ROWS: usize = 4096;
+
+/// What a [`DistributedWarehouse::scrub`] pass found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubSummary {
+    /// Segment-backed tables whose checksums were verified, across all
+    /// sites.
+    pub tables_scanned: u64,
+    /// Column blocks whose CRCs checked out.
+    pub blocks_verified: u64,
+    /// Corrupt segment files detected, renamed `*.quarantined`, and
+    /// unregistered at their site.
+    pub quarantined: u64,
+    /// Quarantined tables successfully rebuilt from a surviving replica
+    /// and rebound at the damaged site.
+    pub repaired: u64,
+    /// Human-readable reports for corruption that could *not* be
+    /// repaired (no replica map, no surviving replica, or the repair
+    /// round itself failed). Empty when every quarantine was repaired.
+    pub failures: Vec<String>,
+}
+
+impl ScrubSummary {
+    /// One-line operator summary, used by the CLI `\scrub` command.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "scrub: {} table(s), {} block(s) verified, {} quarantined, {} repaired",
+            self.tables_scanned, self.blocks_verified, self.quarantined, self.repaired
+        );
+        for f in &self.failures {
+            s.push_str("\n  !! ");
+            s.push_str(f);
+        }
+        s
     }
 }
 
@@ -248,6 +288,7 @@ impl DistributedWarehouse {
         dead: &mut HashSet<NodeId>,
         attempts: &mut BTreeMap<NodeId, u32>,
         decode_s: &mut f64,
+        checksum_failures: &mut u64,
         mut failover: Option<&mut FailoverRound<'_>>,
         sink: &mut dyn FnMut(NodeId, Message) -> Result<()>,
     ) -> Result<u64> {
@@ -348,8 +389,16 @@ impl DistributedWarehouse {
                     // Not a participant, or a duplicate after completion.
                     _ => continue,
                 }
-                if let Message::Error { msg } = msg {
-                    let exhausted = {
+                if let Message::Error { msg, corrupt } = msg {
+                    // A checksum failure is deterministic — re-reading the
+                    // same bytes fails the same way — so corrupt replies
+                    // skip the retry budget entirely and go straight to
+                    // failover (replicas are bit-identical) or the
+                    // degradation ladder.
+                    if corrupt {
+                        *checksum_failures += 1;
+                    }
+                    let exhausted = corrupt || {
                         let p = st.prog.get_mut(&src).expect("participant checked");
                         p.error_retries += 1;
                         p.error_retries > retry.max_retries
@@ -370,7 +419,12 @@ impl DistributedWarehouse {
                         }
                         match retry.degraded {
                             DegradedMode::Fail => {
-                                return Err(SkallaError::exec(format!("site {src}: {msg}")))
+                                let m = format!("site {src}: {msg}");
+                                return Err(if corrupt {
+                                    SkallaError::corrupt(m)
+                                } else {
+                                    SkallaError::exec(m)
+                                });
                             }
                             // A persistently erroring site (e.g. a mid-tier
                             // whose cluster lost a leaf) degrades like a
@@ -855,6 +909,7 @@ impl DistributedWarehouse {
             sync_imbalance: 0.0,
             segments_scanned: 0,
             segments_pruned: 0,
+            blocks_verified: 0,
         }
     }
 
@@ -937,6 +992,7 @@ impl DistributedWarehouse {
         let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut round_no: u32 = 0;
         let mut decode_s = 0.0;
+        let mut checksum_failures = 0u64;
         for name in names {
             round_no += 1;
             let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
@@ -960,6 +1016,7 @@ impl DistributedWarehouse {
                 &mut dead,
                 &mut attempts,
                 &mut decode_s,
+                &mut checksum_failures,
                 None,
                 &mut |src, msg| {
                     let Message::ShipAllData { rel, compute_s } = msg else {
@@ -992,6 +1049,7 @@ impl DistributedWarehouse {
                 total: self.num_sites,
             }),
             site_attempts: attempts,
+            checksum_failures,
             ..ExecMetrics::default()
         };
         let mut rm = self.round_metrics_from(
@@ -1035,6 +1093,13 @@ impl DistributedWarehouse {
         let mut dead: HashSet<NodeId> = HashSet::new();
         let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut decode_s = 0.0;
+        // Under replicated placement site i's file holds partition i - 1;
+        // naming it lets the site bind the partition alias to the same
+        // file, so partition-addressed scans stream from disk too.
+        let replicated = self
+            .replicas
+            .as_ref()
+            .is_some_and(|r| r.table == table && r.num_parts() == self.num_sites);
         let requests: Vec<(NodeId, Message)> = paths
             .iter()
             .enumerate()
@@ -1044,11 +1109,13 @@ impl DistributedWarehouse {
                     Message::LoadSegments {
                         table: table.to_string(),
                         path: p.clone(),
+                        part: replicated.then_some(i as u64),
                     },
                 )
             })
             .collect();
         let mut rows = vec![0u64; self.num_sites];
+        let mut checksum_failures = 0u64;
         self.collect_round(
             epoch,
             0,
@@ -1058,6 +1125,7 @@ impl DistributedWarehouse {
             &mut dead,
             &mut attempts,
             &mut decode_s,
+            &mut checksum_failures,
             None,
             &mut |src, msg| {
                 let Message::SegmentsLoaded { rows: r } = msg else {
@@ -1070,6 +1138,171 @@ impl DistributedWarehouse {
             },
         )?;
         Ok(rows)
+    }
+
+    /// Walk every registered segment file at every site, verifying block
+    /// checksums off the query path.
+    ///
+    /// Each site CRC-checks all of its segment-backed tables
+    /// ([`skalla_storage::SegmentFile::verify`] — no decode, no query
+    /// interference), quarantines corrupt files (renamed
+    /// `<path>.quarantined` and unregistered so no later query can read
+    /// them), and reports per-table results. The coordinator then repairs
+    /// each quarantined partition from a surviving replica: the
+    /// partition's rows are re-fetched from a ring replica host
+    /// (addressed by its partition-explicit catalog name), written to a
+    /// *fresh-generation* segment path, and rebound at the damaged site.
+    /// Repair requires a replicated launch whose replica map covers the
+    /// damaged table and a surviving replica for the partition; otherwise
+    /// the table stays quarantined and the failure is reported in
+    /// [`ScrubSummary::failures`].
+    pub fn scrub(&self) -> Result<ScrubSummary> {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let retry = RetryPolicy::default();
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut decode_s = 0.0;
+        let mut checksum_failures = 0u64;
+        let requests: Vec<(NodeId, Message)> = (1..=self.num_sites as NodeId)
+            .map(|s| (s, Message::ScrubRequest))
+            .collect();
+        let mut reports: Vec<(NodeId, ScrubEntry)> = Vec::new();
+        self.collect_round(
+            epoch,
+            0,
+            &retry,
+            None,
+            requests,
+            &mut dead,
+            &mut attempts,
+            &mut decode_s,
+            &mut checksum_failures,
+            None,
+            &mut |src, msg| {
+                let Message::ScrubReport { entries } = msg else {
+                    return Err(SkallaError::exec(format!(
+                        "site {src}: expected ScrubReport, got {msg:?}"
+                    )));
+                };
+                reports.extend(entries.into_iter().map(|e| (src, e)));
+                Ok(())
+            },
+        )?;
+        let mut summary = ScrubSummary::default();
+        for (site, e) in reports {
+            summary.tables_scanned += 1;
+            summary.blocks_verified += e.blocks;
+            let Some(err) = e.error else { continue };
+            summary.quarantined += 1;
+            match self.repair_partition(site, &e.table, &e.path) {
+                Ok(()) => summary.repaired += 1,
+                Err(re) => summary.failures.push(format!(
+                    "site {site} `{}`: {err}; not repaired: {re}",
+                    e.table
+                )),
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Repair one quarantined segment-backed table at `site`: re-fetch the
+    /// site's primary partition from a surviving ring replica, write it to
+    /// a fresh segment file, and rebind the table at the damaged site.
+    ///
+    /// The repair is written to a fresh-generation path
+    /// (`<old>.r<epoch>`), never the original: deterministic disk-fault
+    /// plans key their decisions on the file path, so re-using the
+    /// corrupted path could deterministically re-corrupt the repair.
+    fn repair_partition(&self, site: NodeId, table: &str, old_path: &str) -> Result<()> {
+        let r = self
+            .replicas
+            .as_ref()
+            .filter(|r| r.table == table && r.num_parts() == self.num_sites)
+            .ok_or_else(|| {
+                SkallaError::exec("no replica map covers the table; replication needed for repair")
+            })?;
+        let part = site as usize - 1;
+        let donor = r
+            .hosts_of(part)
+            .iter()
+            .map(|&h| (h + 1) as NodeId)
+            .find(|&h| h != site)
+            .ok_or_else(|| {
+                SkallaError::exec(format!("partition {part} has no surviving replica"))
+            })?;
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let retry = RetryPolicy::default();
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        let mut attempts: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut decode_s = 0.0;
+        let mut checksum_failures = 0u64;
+        let schema = self.table_schema(table)?;
+        let mut builder = skalla_storage::TableBuilder::new(schema);
+        self.collect_round(
+            epoch,
+            0,
+            &retry,
+            None,
+            vec![(
+                donor,
+                Message::ShipAllRequest {
+                    table: partition_table_name(table, part),
+                },
+            )],
+            &mut dead,
+            &mut attempts,
+            &mut decode_s,
+            &mut checksum_failures,
+            None,
+            &mut |_src, msg| {
+                let Message::ShipAllData { rel, .. } = msg else {
+                    return Err(SkallaError::exec("expected ShipAllData"));
+                };
+                for row in rel.rows() {
+                    builder.push_row(row)?;
+                }
+                Ok(())
+            },
+        )?;
+        let fresh = builder.finish();
+        let path = format!("{old_path}.r{epoch}");
+        write_segments(&path, &fresh, REPAIR_SEGMENT_ROWS)?;
+        let mut rows_loaded = 0u64;
+        self.collect_round(
+            epoch,
+            1,
+            &retry,
+            None,
+            vec![(
+                site,
+                Message::LoadSegments {
+                    table: table.to_string(),
+                    path: path.clone(),
+                    part: Some(part as u64),
+                },
+            )],
+            &mut dead,
+            &mut attempts,
+            &mut decode_s,
+            &mut checksum_failures,
+            None,
+            &mut |src, msg| {
+                let Message::SegmentsLoaded { rows } = msg else {
+                    return Err(SkallaError::exec(format!(
+                        "site {src}: expected SegmentsLoaded, got {msg:?}"
+                    )));
+                };
+                rows_loaded = rows;
+                Ok(())
+            },
+        )?;
+        if rows_loaded != fresh.len() as u64 {
+            return Err(SkallaError::exec(format!(
+                "repair of `{table}` at site {site} loaded {rows_loaded} rows, wrote {}",
+                fresh.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Shut down all site threads. Best-effort: the shutdown message is
@@ -1530,6 +1763,7 @@ impl<'a> QueryRun<'a> {
             &mut self.dead,
             &mut self.metrics.site_attempts,
             &mut decode_s,
+            &mut self.metrics.checksum_failures,
             fo_round.as_mut(),
             &mut |_src, msg| {
                 let Message::BaseFragment {
@@ -1811,6 +2045,7 @@ impl<'a> QueryRun<'a> {
         let mut blocks_interpreted = 0u64;
         let mut segments_scanned = 0u64;
         let mut segments_pruned = 0u64;
+        let mut blocks_verified = 0u64;
         let mut sketches: Vec<PartSketch> = Vec::new();
         self.epoch = wh.collect_round(
             self.epoch,
@@ -1821,9 +2056,10 @@ impl<'a> QueryRun<'a> {
             &mut self.dead,
             &mut self.metrics.site_attempts,
             &mut decode_s,
+            &mut self.metrics.checksum_failures,
             fo_round.as_mut(),
             &mut |src, msg| {
-                let (h, compute_s, bc, bi, last, sketch, seg_sc, seg_pr) = match msg {
+                let (h, compute_s, bc, bi, last, sketch, seg_sc, seg_pr, blk_v) = match msg {
                     Message::RoundResult {
                         h,
                         compute_s,
@@ -1833,6 +2069,7 @@ impl<'a> QueryRun<'a> {
                         sketch,
                         segments_scanned,
                         segments_pruned,
+                        blocks_verified,
                         ..
                     } => (
                         h,
@@ -1843,6 +2080,7 @@ impl<'a> QueryRun<'a> {
                         sketch,
                         segments_scanned,
                         segments_pruned,
+                        blocks_verified,
                     ),
                     Message::LocalRunResult {
                         ship,
@@ -1853,6 +2091,7 @@ impl<'a> QueryRun<'a> {
                         sketch,
                         segments_scanned,
                         segments_pruned,
+                        blocks_verified,
                         ..
                     } => (
                         ship,
@@ -1863,6 +2102,7 @@ impl<'a> QueryRun<'a> {
                         sketch,
                         segments_scanned,
                         segments_pruned,
+                        blocks_verified,
                     ),
                     other => {
                         return Err(SkallaError::exec(format!(
@@ -1874,6 +2114,7 @@ impl<'a> QueryRun<'a> {
                 blocks_interpreted += u64::from(bi);
                 segments_scanned += seg_sc;
                 segments_pruned += seg_pr;
+                blocks_verified += blk_v;
                 let t = Instant::now();
                 rows_up += h.len() as u64;
                 sketches.extend(sketch);
@@ -1951,6 +2192,7 @@ impl<'a> QueryRun<'a> {
         rm.sync_imbalance = imbalance;
         rm.segments_scanned = segments_scanned;
         rm.segments_pruned = segments_pruned;
+        rm.blocks_verified = blocks_verified;
         self.metrics.rounds.push(rm);
         self.current = Some(finalized);
         self.write_checkpoint(self.base_syncs + seg_idx as u32 + 1)
@@ -2143,7 +2385,8 @@ fn reply_seq_last(msg: &Message) -> Option<(u32, bool)> {
     match msg {
         Message::BaseFragment { .. }
         | Message::ShipAllData { .. }
-        | Message::SegmentsLoaded { .. } => Some((0, true)),
+        | Message::SegmentsLoaded { .. }
+        | Message::ScrubReport { .. } => Some((0, true)),
         Message::RoundResult { seq, last, .. } => Some((*seq, *last)),
         Message::LocalRunResult { seq, last, .. } => Some((*seq, *last)),
         _ => None,

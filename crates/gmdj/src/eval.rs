@@ -527,6 +527,9 @@ pub struct SegScanStats {
     pub scanned: u64,
     /// Segments skipped because their zone maps refuted every block's θ.
     pub pruned: u64,
+    /// Column chunks whose CRC32C was verified during decode (one per
+    /// column of each scanned segment).
+    pub blocks_verified: u64,
 }
 
 /// `true` when the zone maps prove no row of the segment can satisfy the
@@ -600,6 +603,8 @@ fn accumulate_segments(
         }
         seg.scanned += 1;
         let table = file.read_segment(i)?;
+        // Every decoded column chunk passed its CRC check to get here.
+        seg.blocks_verified += file.schema().len() as u64;
         // Feed each worker-range this segment intersects, in row order.
         let mut pos = wlo;
         while pos < whi {

@@ -22,6 +22,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use skalla_core::{
     Admission, DegradedMode, DistPlan, DistributedWarehouse, ExecMetrics, QueryScheduler,
@@ -67,6 +68,14 @@ pub struct ServeConfig {
     pub max_interleave: usize,
     /// Result-cache capacity in entries; `0` disables caching.
     pub cache_entries: usize,
+    /// Per-session socket read timeout: a client that connects and then
+    /// goes silent for this long is disconnected and its session thread
+    /// freed, so an idle or stalled client can never pin a session
+    /// thread (and its connection-registry slot) until server shutdown.
+    /// `None` waits forever. The timeout applies between requests, not
+    /// during query execution — a session blocked on its scheduler
+    /// ticket is working, not idle.
+    pub session_read_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +93,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             max_interleave: 4,
             cache_entries: 128,
+            session_read_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -236,6 +246,7 @@ impl Server {
         let accept = {
             let (ctx, stop, conns, workers) =
                 (ctx.clone(), stop.clone(), conns.clone(), workers.clone());
+            let read_timeout = cfg.session_read_timeout;
             thread::Builder::new()
                 .name("serve-accept".into())
                 .spawn(move || {
@@ -245,6 +256,10 @@ impl Server {
                         }
                         let Ok(stream) = incoming else { continue };
                         let _ = stream.set_nodelay(true);
+                        // An expired timeout surfaces as a read error in
+                        // `serve_session`'s loop: the session ends and the
+                        // stream closes — a clean disconnect, not a hang.
+                        let _ = stream.set_read_timeout(read_timeout);
                         ctx.sessions.fetch_add(1, Ordering::Relaxed);
                         if let Ok(clone) = stream.try_clone() {
                             conns.lock().expect("conn registry poisoned").push(clone);
@@ -325,7 +340,11 @@ impl Server {
 }
 
 /// One session: read a frame, handle it, write the response, repeat
-/// until the peer hangs up or the stream dies.
+/// until the peer hangs up, the stream dies, or the per-session read
+/// timeout expires. The final `shutdown` is load-bearing: the accept
+/// loop keeps an fd clone in the connection registry, so dropping our
+/// copy alone would leave the socket open and a timed-out client
+/// blocked forever waiting for a reply that will never come.
 fn serve_session(mut stream: TcpStream, ctx: &SessionCtx) {
     while let Ok(Some(frame)) = read_frame(&mut stream) {
         let resp = match Request::from_wire(&frame) {
@@ -338,6 +357,7 @@ fn serve_session(mut stream: TcpStream, ctx: &SessionCtx) {
             break;
         }
     }
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Build the TPCR engine exactly as the CLI's `\load` does: generate,

@@ -80,6 +80,14 @@ impl Catalog {
         self.segments.get(name).cloned()
     }
 
+    /// Drop `name` entirely (in-memory and/or segment-backed). Used by the
+    /// scrub path to quarantine a corrupt segment file: once unregistered,
+    /// queries fail with `NotFound` instead of re-reading bad bytes.
+    pub fn unregister(&mut self, name: &str) {
+        self.tables.remove(name);
+        self.segments.remove(name);
+    }
+
     /// `true` if `name` is registered (in-memory or segment-backed).
     pub fn contains(&self, name: &str) -> bool {
         self.tables.contains_key(name) || self.segments.contains_key(name)

@@ -1,0 +1,165 @@
+//! CRC32C (Castagnoli) — the block checksum of the segment store.
+//!
+//! Hand-rolled and std-only: the reflected Castagnoli polynomial
+//! `0x82F63B78`, the same polynomial iSCSI, ext4, and most columnar
+//! stores use for on-disk block integrity (its error-detection
+//! properties for short burst errors are why). On x86-64 with SSE 4.2
+//! the hardware `crc32` instruction does 8 bytes per cycle-ish; the
+//! portable fallback is slice-by-8 (eight 256-entry tables built at
+//! compile time, one table lookup per byte but eight bytes per
+//! iteration), so verification cost stays well under the decode cost of
+//! the chunk it guards on every target.
+
+/// Reflected CRC32C polynomial (Castagnoli).
+const POLY: u32 = 0x82F6_3B78;
+
+/// Eight slice-by-8 tables. `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[k][b]` is the CRC contribution of byte `b` seen `k`
+/// positions earlier in an 8-byte window.
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+/// CRC32C of `data` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard Castagnoli parameterization, so test vectors from other
+/// implementations match).
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continue a CRC32C over more data: `crc32c_append(crc32c(a), b)` equals
+/// `crc32c(a ‖ b)`.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: guarded by the runtime SSE 4.2 check above.
+        return unsafe { crc32c_hw(crc, data) };
+    }
+    crc32c_sw(crc, data)
+}
+
+/// Hardware path: the SSE 4.2 `crc32` instruction implements exactly the
+/// reflected-Castagnoli step, 8 input bytes at a time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_hw(crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut wide = u64::from(!crc);
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        wide = _mm_crc32_u64(wide, u64::from_le_bytes(ch.try_into().unwrap()));
+    }
+    let mut c = wide as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    !c
+}
+
+/// Portable path: slice-by-8 — fold one aligned 8-byte window per
+/// iteration through the eight precomputed tables.
+fn crc32c_sw(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        // 32 bytes of zeros (iSCSI test vector).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn software_path_matches_dispatch_at_every_length() {
+        // Exercises all remainder lengths 0..8 on both sides of the
+        // slice-by-8 window, and (on x86-64 hosts) pins the hardware
+        // path to the portable one.
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        for len in (0..64).chain([255, 256, 257, 1023, 1024]) {
+            assert_eq!(
+                crc32c_sw(0, &data[..len]),
+                crc32c(&data[..len]),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_composes() {
+        let whole = crc32c(b"hello, segment store");
+        let split = crc32c_append(crc32c(b"hello, seg"), b"ment store");
+        assert_eq!(whole, split);
+        // And through the software path explicitly.
+        let split_sw = crc32c_sw(crc32c_sw(0, b"hello, seg"), b"ment store");
+        assert_eq!(whole, split_sw);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let good = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&bad), good, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

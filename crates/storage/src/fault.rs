@@ -1,0 +1,328 @@
+//! Deterministic disk-fault injection for the segment store.
+//!
+//! A [`DiskFaultPlan`] mirrors `skalla-net`'s `FaultPlan`, one layer down:
+//! instead of dropping messages it corrupts segment files. Every decision
+//! is a pure function of `(seed, fault kind, path, segment index)`, so a
+//! run with the same plan and the same file paths is bit-for-bit
+//! reproducible — and a corruption, once decided, is *persistent*: every
+//! read of the same path sees the same damage, which is what lets `\scrub`
+//! find exactly what queries trip over. A repaired file is written to a
+//! fresh path (new generation suffix), so it rolls fresh fault dice — the
+//! same way a real re-write lands on different sectors.
+//!
+//! Fault kinds:
+//!
+//! * **bit-flip** (write path) — one bit of an encoded column chunk is
+//!   flipped before it reaches the disk; the chunk CRC catches it on read.
+//! * **torn write** (write path) — the footer's final bytes never make it
+//!   to disk, as if power was lost mid-`write`; the footer CRC or tail
+//!   frame catches it on open.
+//! * **short read** (read path) — a `pread` of a segment body comes back
+//!   zero-filled past a point, as if the kernel returned a short count;
+//!   the chunk CRC catches it.
+//! * **stale footer** (read path) — the footer read returns stale bytes
+//!   (a firmware cache serving an old version); the footer CRC catches it.
+//!
+//! The plan is consulted through a process-global registry
+//! ([`DiskFaultPlan::install`]) so the storage layer's writers and readers
+//! need no plumbing; each installed plan is *scoped* to a path prefix, so
+//! parallel tests with separate temp dirs never cross-contaminate.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A deterministic description of the disk faults the segment store
+/// injects. Rates are probabilities in `[0, 1]`; decisions are evaluated
+/// independently per (kind, path, segment) from the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability a written column chunk has one bit flipped (per
+    /// segment).
+    pub bitflip_rate: f64,
+    /// Probability a file's footer write is torn (per file).
+    pub torn_write_rate: f64,
+    /// Probability a segment-body read comes back short (per segment,
+    /// stable across reads of the same path).
+    pub short_read_rate: f64,
+    /// Probability a footer read returns stale bytes (per file, stable
+    /// across opens of the same path).
+    pub stale_footer_rate: f64,
+}
+
+impl Default for DiskFaultPlan {
+    fn default() -> Self {
+        DiskFaultPlan::none()
+    }
+}
+
+impl DiskFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed: 0,
+            bitflip_rate: 0.0,
+            torn_write_rate: 0.0,
+            short_read_rate: 0.0,
+            stale_footer_rate: 0.0,
+        }
+    }
+
+    /// A fault-free plan with the given decision seed (rates start at
+    /// zero; chain the `with_*` builders to enable faults).
+    pub fn seeded(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            ..DiskFaultPlan::none()
+        }
+    }
+
+    /// Set the per-segment write-path bit-flip probability.
+    pub fn with_bitflip_rate(mut self, rate: f64) -> DiskFaultPlan {
+        self.bitflip_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-file torn-footer-write probability.
+    pub fn with_torn_write_rate(mut self, rate: f64) -> DiskFaultPlan {
+        self.torn_write_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-segment short-read probability.
+    pub fn with_short_read_rate(mut self, rate: f64) -> DiskFaultPlan {
+        self.short_read_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-file stale-footer-read probability.
+    pub fn with_stale_footer_rate(mut self, rate: f64) -> DiskFaultPlan {
+        self.stale_footer_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// `true` when the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.bitflip_rate == 0.0
+            && self.torn_write_rate == 0.0
+            && self.short_read_rate == 0.0
+            && self.stale_footer_rate == 0.0
+    }
+
+    /// Should the chunk written for segment `seg` of `path` have a bit
+    /// flipped? Returns the bit index to flip within the segment body,
+    /// reduced modulo the body's bit length by the caller.
+    pub fn bitflip_for(&self, path: &Path, seg: usize) -> Option<u64> {
+        if self.decide(SALT_BITFLIP, path, seg as u64) < self.bitflip_rate {
+            Some(splitmix64(
+                self.seed ^ SALT_BITPOS ^ path_hash(path) ^ (seg as u64).wrapping_mul(0x9E37),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Should `path`'s footer write be torn? Returns how many tail bytes
+    /// to drop (1..=16).
+    pub fn torn_write_for(&self, path: &Path) -> Option<usize> {
+        if self.decide(SALT_TORN, path, 0) < self.torn_write_rate {
+            let k = splitmix64(self.seed ^ SALT_TORNLEN ^ path_hash(path)) % 16 + 1;
+            Some(k as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Should the body read of segment `seg` of `path` come back short?
+    /// Returns the fraction (per-mille) of the body that *does* arrive.
+    pub fn short_read_for(&self, path: &Path, seg: usize) -> Option<u64> {
+        if self.decide(SALT_SHORT, path, seg as u64) < self.short_read_rate {
+            Some(splitmix64(self.seed ^ SALT_SHORTLEN ^ path_hash(path) ^ seg as u64) % 1000)
+        } else {
+            None
+        }
+    }
+
+    /// Should `path`'s footer read return stale bytes?
+    pub fn stale_footer_for(&self, path: &Path) -> bool {
+        self.decide(SALT_STALE, path, 0) < self.stale_footer_rate
+    }
+
+    /// Uniform `[0, 1)` decision value for one (kind, path, segment)
+    /// triple — same derivation as `skalla-net`'s link-fault decisions.
+    fn decide(&self, salt: u64, path: &Path, seg: u64) -> f64 {
+        let mut h = self.seed ^ salt;
+        h = splitmix64(h ^ path_hash(path));
+        h = splitmix64(h ^ seg);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Install this plan for every segment file whose path starts with
+    /// `scope`. Returns a guard; the plan is removed when the guard drops,
+    /// so parallel tests each scoped to their own temp dir never see each
+    /// other's faults.
+    pub fn install(self, scope: impl Into<std::path::PathBuf>) -> DiskFaultGuard {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let entry = InstalledPlan {
+            id,
+            scope: scope.into(),
+            plan: Arc::new(self),
+        };
+        let mut reg = registry().write().expect("disk-fault registry poisoned");
+        reg.push(entry);
+        ANY_INSTALLED.store(true, Ordering::Release);
+        DiskFaultGuard { id }
+    }
+}
+
+/// FNV-1a over the path's bytes: stable within a run, independent of the
+/// segment index mixing.
+fn path_hash(path: &Path) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_os_str().as_encoded_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const SALT_BITFLIP: u64 = 0x0000_D15C_FA17_0001;
+const SALT_BITPOS: u64 = 0x0000_D15C_FA17_0002;
+const SALT_TORN: u64 = 0x0000_D15C_FA17_0003;
+const SALT_TORNLEN: u64 = 0x0000_D15C_FA17_0004;
+const SALT_SHORT: u64 = 0x0000_D15C_FA17_0005;
+const SALT_SHORTLEN: u64 = 0x0000_D15C_FA17_0006;
+const SALT_STALE: u64 = 0x0000_D15C_FA17_0007;
+
+/// SplitMix64 mixing step (same construction as `skalla-net::fault`).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Process-global scoped registry.
+
+struct InstalledPlan {
+    id: u64,
+    scope: std::path::PathBuf,
+    plan: Arc<DiskFaultPlan>,
+}
+
+static ANY_INSTALLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static REGISTRY: RwLock<Vec<InstalledPlan>> = RwLock::new(Vec::new());
+
+fn registry() -> &'static RwLock<Vec<InstalledPlan>> {
+    &REGISTRY
+}
+
+/// The installed plan governing `path`, if any. The common no-faults case
+/// is a single relaxed atomic load.
+pub fn disk_faults_for(path: &Path) -> Option<Arc<DiskFaultPlan>> {
+    if !ANY_INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let reg = registry().read().expect("disk-fault registry poisoned");
+    reg.iter()
+        .rev() // most recent install wins on nested scopes
+        .find(|e| path.starts_with(&e.scope))
+        .map(|e| e.plan.clone())
+}
+
+/// Removes its plan from the registry on drop.
+#[must_use = "dropping the guard immediately uninstalls the fault plan"]
+pub struct DiskFaultGuard {
+    id: u64,
+}
+
+impl Drop for DiskFaultGuard {
+    fn drop(&mut self) {
+        let mut reg = registry().write().expect("disk-fault registry poisoned");
+        reg.retain(|e| e.id != self.id);
+        if reg.is_empty() {
+            ANY_INSTALLED.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn decisions_are_deterministic_and_path_scoped() {
+        let a = DiskFaultPlan::seeded(7).with_bitflip_rate(0.5);
+        let b = DiskFaultPlan::seeded(7).with_bitflip_rate(0.5);
+        let p1 = PathBuf::from("/tmp/x/file1.seg");
+        let p2 = PathBuf::from("/tmp/x/file2.seg");
+        for seg in 0..64 {
+            assert_eq!(a.bitflip_for(&p1, seg), b.bitflip_for(&p1, seg));
+        }
+        // Different paths see different fault patterns.
+        let v1: Vec<bool> = (0..64).map(|s| a.bitflip_for(&p1, s).is_some()).collect();
+        let v2: Vec<bool> = (0..64).map(|s| a.bitflip_for(&p2, s).is_some()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_one_always_does() {
+        let silent = DiskFaultPlan::seeded(3);
+        let noisy = DiskFaultPlan::seeded(3)
+            .with_bitflip_rate(1.0)
+            .with_torn_write_rate(1.0)
+            .with_short_read_rate(1.0)
+            .with_stale_footer_rate(1.0);
+        let p = PathBuf::from("/tmp/f.seg");
+        for seg in 0..32 {
+            assert!(silent.bitflip_for(&p, seg).is_none());
+            assert!(silent.short_read_for(&p, seg).is_none());
+            assert!(noisy.bitflip_for(&p, seg).is_some());
+            assert!(noisy.short_read_for(&p, seg).is_some());
+        }
+        assert!(silent.torn_write_for(&p).is_none());
+        assert!(!silent.stale_footer_for(&p));
+        assert!(noisy.torn_write_for(&p).is_some());
+        assert!(noisy.stale_footer_for(&p));
+        assert!(silent.is_noop());
+        assert!(!noisy.is_noop());
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = DiskFaultPlan::seeded(11).with_short_read_rate(0.25);
+        let hits = (0..4000)
+            .filter(|&s| plan.short_read_for(Path::new("/tmp/r.seg"), s).is_some())
+            .count();
+        assert!((600..1400).contains(&hits), "hit {hits}/4000");
+    }
+
+    #[test]
+    fn registry_scoping_and_guard_removal() {
+        let scope_a = PathBuf::from("/tmp/disk-fault-test-scope-a");
+        let scope_b = PathBuf::from("/tmp/disk-fault-test-scope-b");
+        let guard_a = DiskFaultPlan::seeded(1)
+            .with_bitflip_rate(1.0)
+            .install(&scope_a);
+        {
+            let guard_b = DiskFaultPlan::seeded(2)
+                .with_bitflip_rate(1.0)
+                .install(&scope_b);
+            assert!(disk_faults_for(&scope_a.join("f.seg")).is_some());
+            assert!(disk_faults_for(&scope_b.join("f.seg")).is_some());
+            assert!(disk_faults_for(Path::new("/tmp/disk-fault-test-elsewhere/f.seg")).is_none());
+            let got_b = disk_faults_for(&scope_b.join("f.seg")).unwrap();
+            assert_eq!(got_b.seed, 2);
+            drop(guard_b);
+        }
+        assert!(disk_faults_for(&scope_b.join("f.seg")).is_none());
+        assert!(disk_faults_for(&scope_a.join("f.seg")).is_some());
+        drop(guard_a);
+        assert!(disk_faults_for(&scope_a.join("f.seg")).is_none());
+    }
+}

@@ -24,10 +24,18 @@
 //! * [`segment`] — the persistent columnar segment store: compressed
 //!   fixed-row-count segments (RLE/dictionary/raw) with per-segment
 //!   zone-map footers, positioned-I/O readers, and the zone overlap
-//!   checks behind out-of-core segment pruning.
+//!   checks behind out-of-core segment pruning. Every column chunk and
+//!   the footer are CRC32C-sealed, and files publish atomically
+//!   (tmp + fsync + rename).
+//! * [`crc`] — hand-rolled std-only CRC32C, the block checksum.
+//! * [`fault`] — seeded, deterministic disk-fault injection (bit-flips,
+//!   torn writes, short reads, stale footers), the storage twin of
+//!   `skalla-net::fault`.
 
 pub mod catalog;
 pub mod column;
+pub mod crc;
+pub mod fault;
 pub mod index;
 pub mod partition;
 pub mod segment;
@@ -37,6 +45,8 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use column::Column;
+pub use crc::{crc32c, crc32c_append};
+pub use fault::{disk_faults_for, DiskFaultGuard, DiskFaultPlan};
 pub use index::HashIndex;
 pub use partition::{
     partition_by_hash, partition_by_ranges, partition_by_values, partition_table_name,

@@ -10,28 +10,45 @@
 //! whole segments whose value ranges provably cannot satisfy a predicate,
 //! before a single byte of the body is decoded.
 //!
-//! File layout (all integers little-endian):
+//! File layout (format v2; all integers little-endian):
 //!
 //! ```text
-//! "SKSEG1\0\0"                                  header magic
+//! "SKSEG2\0\0"                                  header magic
 //! u64 ncols; per column: u16 name_len, name, u8 dtype
+//! u32 header_crc                                 CRC32C of all bytes above
 //! segment bodies, back to back
 //! footer: u64 total_rows, u64 nsegs,
 //!         per segment: u64 offset, u64 byte_len, u64 rows,
 //!                      per column: opt min, opt max, u64 distinct, u64 nulls
+//! u32 footer_crc                                 CRC32C of the footer bytes
 //! u64 footer_len                                 (bytes, footer only)
 //! "SKSEGEND"                                     tail magic
 //! ```
 //!
-//! Each segment body is one chunk per column: `u8` encoding tag, `u8`
-//! has-nulls flag (+ bit-packed null bitmap), then the payload. NULL rows
-//! keep their in-memory default slots (`0`/`0.0`/`""`/`false`) in the
-//! payload so decode reproduces the in-memory [`Column`] bit for bit.
+//! Each segment body is one *framed chunk* per column: `u64` chunk length,
+//! `u32` CRC32C of the chunk bytes, then the chunk (`u8` encoding tag, `u8`
+//! has-nulls flag + bit-packed null bitmap, payload). Every chunk's CRC is
+//! verified *before* its bytes are decoded, so a flipped bit or a short
+//! read surfaces as a typed [`SkallaError::SegmentCorrupt`] — never a panic
+//! or a silently wrong column. NULL rows keep their in-memory default slots
+//! (`0`/`0.0`/`""`/`false`) in the payload so decode reproduces the
+//! in-memory [`Column`] bit for bit.
+//!
+//! **Atomic publication:** the writer streams to `<path>.tmp` and
+//! [`SegmentWriter::finish`] fsyncs, renames over the final path, and
+//! fsyncs the parent directory — a crash mid-generation can leave a stale
+//! `.tmp` behind but never a torn file at the published name.
 //!
 //! Reads go through positioned I/O (`pread`): a [`SegmentFile`] is cheap to
-//! open (header + footer only) and can be shared across site threads behind
-//! an `Arc`; [`SegmentFile::read_segment`] materializes exactly one
-//! segment's rows as a [`Table`], which is the unit of out-of-core scanning.
+//! open (header + footer only, both CRC-verified) and can be shared across
+//! site threads behind an `Arc`; [`SegmentFile::read_segment`] materializes
+//! exactly one segment's rows as a [`Table`], which is the unit of
+//! out-of-core scanning. [`SegmentFile::verify`] checks every chunk CRC
+//! without materializing anything — the scrub path.
+//!
+//! Deterministic disk-fault injection (bit-flips, torn writes, short
+//! reads, stale footers) hooks into the write and read paths here; see
+//! [`crate::fault`].
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -44,6 +61,8 @@ use skalla_expr::Interval;
 use skalla_types::{cmp_int_float, DataType, Result, Schema, SkallaError, Value};
 
 use crate::column::Column;
+use crate::crc::crc32c;
+use crate::fault::disk_faults_for;
 use crate::stats::ColumnStats;
 use crate::table::Table;
 
@@ -52,8 +71,11 @@ use crate::table::Table;
 /// compiled 1024-row batch kernels amortize decode.
 pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
 
-const HEADER_MAGIC: &[u8; 8] = b"SKSEG1\0\0";
+const HEADER_MAGIC: &[u8; 8] = b"SKSEG2\0\0";
 const TAIL_MAGIC: &[u8; 8] = b"SKSEGEND";
+
+/// Tail frame: u32 footer CRC + u64 footer length + 8-byte magic.
+const TAIL_LEN: u64 = 4 + 8 + 8;
 
 const ENC_RAW: u8 = 0;
 const ENC_RLE: u8 = 1;
@@ -61,6 +83,13 @@ const ENC_DICT: u8 = 2;
 
 fn io_err(op: &str, path: &Path, e: std::io::Error) -> SkallaError {
     SkallaError::exec(format!("segment {op} {}: {e}", path.display()))
+}
+
+/// A read-path I/O failure: the file is unreadable or shorter than its own
+/// metadata claims — both are integrity failures, typed as such so the
+/// coordinator never wastes retries on them.
+fn read_err(path: &Path, e: std::io::Error) -> SkallaError {
+    SkallaError::corrupt(format!("segment read {}: {e}", path.display()))
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +121,7 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        let end = end.ok_or_else(|| SkallaError::exec("segment file truncated"))?;
+        let end = end.ok_or_else(|| SkallaError::corrupt("segment file truncated"))?;
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
@@ -119,7 +148,7 @@ impl<'a> ByteReader<'a> {
         usize::try_from(v)
             .ok()
             .filter(|&n| n <= self.buf.len())
-            .ok_or_else(|| SkallaError::exec(format!("segment {what} count {v} out of range")))
+            .ok_or_else(|| SkallaError::corrupt(format!("segment {what} count {v} out of range")))
     }
 }
 
@@ -154,7 +183,9 @@ fn tag_dtype(tag: u8) -> Result<DataType> {
         1 => Ok(DataType::Float64),
         2 => Ok(DataType::Utf8),
         3 => Ok(DataType::Bool),
-        t => Err(SkallaError::exec(format!("unknown segment dtype tag {t}"))),
+        t => Err(SkallaError::corrupt(format!(
+            "unknown segment dtype tag {t}"
+        ))),
     }
 }
 
@@ -192,11 +223,11 @@ fn get_opt_value(r: &mut ByteReader) -> Result<Option<Value>> {
             let n = r.get_u32()? as usize;
             let bytes = r.take(n)?;
             let s = std::str::from_utf8(bytes)
-                .map_err(|_| SkallaError::exec("segment zone map holds invalid utf8"))?;
+                .map_err(|_| SkallaError::corrupt("segment zone map holds invalid utf8"))?;
             Some(Value::str(s))
         }
         4 => Some(Value::Bool(r.get_u8()? != 0)),
-        t => return Err(SkallaError::exec(format!("unknown zone value tag {t}"))),
+        t => return Err(SkallaError::corrupt(format!("unknown zone value tag {t}"))),
     })
 }
 
@@ -366,7 +397,7 @@ fn decode_column(r: &mut ByteReader, dtype: DataType, rows: usize) -> Result<Col
         0 => None,
         _ => Some(unpack_bits(r.take(rows.div_ceil(8))?, rows)),
     };
-    let bad_enc = || SkallaError::exec(format!("invalid encoding {enc} for {dtype} chunk"));
+    let bad_enc = || SkallaError::corrupt(format!("invalid encoding {enc} for {dtype} chunk"));
     let col = match dtype {
         DataType::Int64 => {
             let mut vs: Vec<i64> = Vec::with_capacity(rows);
@@ -428,7 +459,7 @@ fn decode_column(r: &mut ByteReader, dtype: DataType, rows: usize) -> Result<Col
                         entries
                             .get(c as usize)
                             .cloned()
-                            .ok_or_else(|| SkallaError::exec("dictionary code out of range"))
+                            .ok_or_else(|| SkallaError::corrupt("dictionary code out of range"))
                     };
                     match r.get_u8()? {
                         ENC_RAW => {
@@ -481,14 +512,14 @@ fn read_str(r: &mut ByteReader) -> Result<Arc<str>> {
     let bytes = r.take(n)?;
     std::str::from_utf8(bytes)
         .map(Arc::from)
-        .map_err(|_| SkallaError::exec("segment chunk holds invalid utf8"))
+        .map_err(|_| SkallaError::corrupt("segment chunk holds invalid utf8"))
 }
 
 fn extend_run<T: Clone>(vs: &mut Vec<T>, v: T, count: u64, rows: usize) -> Result<()> {
     let count = usize::try_from(count)
         .ok()
         .filter(|&c| vs.len() + c <= rows)
-        .ok_or_else(|| SkallaError::exec("RLE run overflows segment row count"))?;
+        .ok_or_else(|| SkallaError::corrupt("RLE run overflows segment row count"))?;
     let new_len = vs.len() + count;
     vs.resize(new_len, v);
     Ok(())
@@ -498,10 +529,26 @@ fn check_rows(got: usize, want: usize) -> Result<()> {
     if got == want {
         Ok(())
     } else {
-        Err(SkallaError::exec(format!(
+        Err(SkallaError::corrupt(format!(
             "segment chunk decoded {got} rows, expected {want}"
         )))
     }
+}
+
+/// Read one framed column chunk (`u64` length, `u32` CRC32C, bytes) and
+/// verify its checksum. Returns the chunk bytes only if they are exactly
+/// what the writer sealed.
+fn read_chunk<'a>(r: &mut ByteReader<'a>, path: &Path) -> Result<&'a [u8]> {
+    let len = r.get_len("chunk byte")?;
+    let want = r.get_u32()?;
+    let chunk = r.take(len)?;
+    if crc32c(chunk) != want {
+        return Err(SkallaError::corrupt(format!(
+            "chunk checksum mismatch in {}",
+            path.display()
+        )));
+    }
+    Ok(chunk)
 }
 
 // ---------------------------------------------------------------------------
@@ -523,7 +570,10 @@ pub struct SegmentWriteSummary {
 /// of table size.
 pub struct SegmentWriter {
     file: BufWriter<File>,
-    path: PathBuf,
+    /// Where bytes actually go until `finish` renames them into place.
+    tmp_path: PathBuf,
+    /// The published name; also the key fault plans are matched against.
+    final_path: PathBuf,
     schema: Arc<Schema>,
     segment_rows: usize,
     buf: Vec<Column>,
@@ -531,6 +581,7 @@ pub struct SegmentWriter {
     offset: u64,
     total_rows: u64,
     segs: Vec<SegmentMeta>,
+    published: bool,
 }
 
 fn fresh_columns(schema: &Schema, cap: usize) -> Vec<Column> {
@@ -549,7 +600,7 @@ impl SegmentWriter {
         schema: Arc<Schema>,
         segment_rows: usize,
     ) -> Result<SegmentWriter> {
-        let path = path.as_ref().to_path_buf();
+        let final_path = path.as_ref().to_path_buf();
         if schema.is_empty() {
             return Err(SkallaError::schema(
                 "segment file needs at least one column",
@@ -558,7 +609,13 @@ impl SegmentWriter {
         if segment_rows == 0 {
             return Err(SkallaError::exec("segment_rows must be positive"));
         }
-        let file = File::create(&path).map_err(|e| io_err("create", &path, e))?;
+        let file_name = final_path
+            .file_name()
+            .ok_or_else(|| SkallaError::exec("segment path has no file name"))?
+            .to_string_lossy()
+            .into_owned();
+        let tmp_path = final_path.with_file_name(format!("{file_name}.tmp"));
+        let file = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
         let mut file = BufWriter::new(file);
         let mut header = Vec::new();
         header.extend_from_slice(HEADER_MAGIC);
@@ -568,12 +625,15 @@ impl SegmentWriter {
             header.extend_from_slice(f.name.as_bytes());
             header.push(dtype_tag(f.dtype));
         }
+        let header_crc = crc32c(&header);
+        put_u32(&mut header, header_crc);
         file.write_all(&header)
-            .map_err(|e| io_err("write", &path, e))?;
+            .map_err(|e| io_err("write", &tmp_path, e))?;
         let buf = fresh_columns(&schema, segment_rows);
         Ok(SegmentWriter {
             file,
-            path,
+            tmp_path,
+            final_path,
             schema,
             segment_rows,
             buf,
@@ -581,6 +641,7 @@ impl SegmentWriter {
             offset: header.len() as u64,
             total_rows: 0,
             segs: Vec::new(),
+            published: false,
         })
     }
 
@@ -636,12 +697,25 @@ impl SegmentWriter {
         // one typed pass, no second stats implementation.
         let zones: Vec<ColumnStats> = self.buf.iter().map(ColumnStats::collect).collect();
         let mut body = Vec::new();
+        let mut chunk = Vec::new();
         for col in &self.buf {
-            encode_column(col, &mut body);
+            chunk.clear();
+            encode_column(col, &mut chunk);
+            put_u64(&mut body, chunk.len() as u64);
+            put_u32(&mut body, crc32c(&chunk));
+            body.extend_from_slice(&chunk);
+        }
+        // Seeded write-time fault: a flipped bit that lands on disk and stays
+        // there, exactly like a firmware or cable error would leave it.
+        if let Some(plan) = disk_faults_for(&self.final_path) {
+            if let Some(pos) = plan.bitflip_for(&self.final_path, self.segs.len()) {
+                let bit = (pos % (body.len() as u64 * 8)) as usize;
+                body[bit >> 3] ^= 1 << (bit & 7);
+            }
         }
         self.file
             .write_all(&body)
-            .map_err(|e| io_err("write", &self.path, e))?;
+            .map_err(|e| io_err("write", &self.tmp_path, e))?;
         self.segs.push(SegmentMeta {
             offset: self.offset,
             byte_len: body.len() as u64,
@@ -655,7 +729,11 @@ impl SegmentWriter {
         Ok(())
     }
 
-    /// Flush the tail segment, write the zone-map footer, and close the file.
+    /// Flush the tail segment, write the CRC-sealed zone-map footer, then
+    /// publish atomically: fsync the tmp file, rename it over the final
+    /// path, and fsync the parent directory. A crash anywhere before the
+    /// rename leaves only a `.tmp` file — never a torn file at the
+    /// published name.
     pub fn finish(mut self) -> Result<SegmentWriteSummary> {
         self.flush_segment()?;
         let mut footer = Vec::new();
@@ -673,19 +751,58 @@ impl SegmentWriter {
             }
         }
         let footer_len = footer.len() as u64;
+        let footer_crc = crc32c(&footer);
+        put_u32(&mut footer, footer_crc);
         put_u64(&mut footer, footer_len);
         footer.extend_from_slice(TAIL_MAGIC);
+        // Seeded write-time fault: a torn write that loses the tail of the
+        // footer frame, as if power failed mid-write (the rename below
+        // still "succeeds" — that is the point: the checksum, not the
+        // publication protocol, must catch it).
+        if let Some(plan) = disk_faults_for(&self.final_path) {
+            if let Some(dropped) = plan.torn_write_for(&self.final_path) {
+                let keep = footer.len().saturating_sub(dropped);
+                footer.truncate(keep);
+            }
+        }
         self.file
             .write_all(&footer)
-            .map_err(|e| io_err("write", &self.path, e))?;
+            .map_err(|e| io_err("write", &self.tmp_path, e))?;
         self.file
             .flush()
-            .map_err(|e| io_err("flush", &self.path, e))?;
+            .map_err(|e| io_err("flush", &self.tmp_path, e))?;
+        self.file
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io_err("fsync", &self.tmp_path, e))?;
+        std::fs::rename(&self.tmp_path, &self.final_path)
+            .map_err(|e| io_err("publish", &self.final_path, e))?;
+        self.published = true;
+        let parent = match self.final_path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        // Make the rename itself durable. Best-effort: some filesystems
+        // refuse directory fsync, and the data is already safe in the file.
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
         Ok(SegmentWriteSummary {
             rows: self.total_rows as usize,
             segments: self.segs.len(),
             bytes: self.offset + footer.len() as u64,
         })
+    }
+}
+
+impl Drop for SegmentWriter {
+    fn drop(&mut self) {
+        // Abandoned writer (error path, panic, or caller never called
+        // `finish`): remove the tmp file so half-written bytes cannot be
+        // mistaken for a segment later.
+        if !self.published {
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
     }
 }
 
@@ -730,34 +847,53 @@ pub struct SegmentFile {
 }
 
 impl SegmentFile {
-    /// Open a segment file, reading only its header and footer.
+    /// Open a segment file, reading only its header and footer — both
+    /// CRC-verified before a single parsed value is trusted.
     pub fn open(path: impl AsRef<Path>) -> Result<SegmentFile> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path).map_err(|e| io_err("open", &path, e))?;
         let flen = file.metadata().map_err(|e| io_err("stat", &path, e))?.len();
-        let bad = |what: &str| SkallaError::exec(format!("{}: {what}", path.display()));
-        if flen < (HEADER_MAGIC.len() + 16 + TAIL_MAGIC.len()) as u64 {
+        let bad = |what: &str| SkallaError::corrupt(format!("{}: {what}", path.display()));
+        // Minimum: header magic + ncols + header crc, footer (two u64s for
+        // an empty file), tail frame.
+        if flen < (HEADER_MAGIC.len() + 8 + 4) as u64 + 16 + TAIL_LEN {
             return Err(bad("not a segment file (too short)"));
         }
-        let mut tail = [0u8; 16];
-        file.read_exact_at(&mut tail, flen - 16)
-            .map_err(|e| io_err("read", &path, e))?;
-        if &tail[8..] != TAIL_MAGIC {
+        let mut tail = [0u8; TAIL_LEN as usize];
+        file.read_exact_at(&mut tail, flen - TAIL_LEN)
+            .map_err(|e| read_err(&path, e))?;
+        if &tail[12..] != TAIL_MAGIC {
             return Err(bad("not a segment file (bad tail magic)"));
         }
-        let footer_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
-        if footer_len > flen - 16 {
+        let footer_crc = u32::from_le_bytes(tail[..4].try_into().unwrap());
+        let footer_len = u64::from_le_bytes(tail[4..12].try_into().unwrap());
+        if footer_len > flen - TAIL_LEN {
             return Err(bad("corrupt footer length"));
         }
         let mut footer = vec![0u8; footer_len as usize];
-        file.read_exact_at(&mut footer, flen - 16 - footer_len)
-            .map_err(|e| io_err("read", &path, e))?;
+        file.read_exact_at(&mut footer, flen - TAIL_LEN - footer_len)
+            .map_err(|e| read_err(&path, e))?;
+        // Seeded read-time fault: the device returns an old version of the
+        // footer block (lost-write / misdirected-read). Modeled by
+        // inverting its tail — unlike zeroing, that changes the bytes no
+        // matter what the footer held, so the recorded CRC cannot match.
+        if let Some(plan) = disk_faults_for(&path) {
+            if plan.stale_footer_for(&path) {
+                let n = footer.len();
+                for b in &mut footer[n.saturating_sub(8)..] {
+                    *b = !*b;
+                }
+            }
+        }
+        if crc32c(&footer) != footer_crc {
+            return Err(bad("footer checksum mismatch"));
+        }
 
-        // Header: magic + schema. The header is tiny; 64 KiB covers any
-        // real schema.
+        // Header: magic + schema + CRC. The header is tiny; 64 KiB covers
+        // any real schema.
         let mut head = vec![0u8; (flen.min(64 * 1024)) as usize];
         file.read_exact_at(&mut head, 0)
-            .map_err(|e| io_err("read", &path, e))?;
+            .map_err(|e| read_err(&path, e))?;
         let mut hr = ByteReader::new(&head);
         if hr.take(8)? != HEADER_MAGIC {
             return Err(bad("not a segment file (bad header magic)"));
@@ -771,6 +907,10 @@ impl SegmentFile {
                 .to_string();
             let dtype = tag_dtype(hr.get_u8()?)?;
             fields.push(skalla_types::Field::new(name, dtype));
+        }
+        let header_crc = crc32c(&head[..hr.pos]);
+        if hr.get_u32()? != header_crc {
+            return Err(bad("header checksum mismatch"));
         }
         let schema = Schema::new(fields)?.into_arc();
 
@@ -886,24 +1026,63 @@ impl SegmentFile {
         stats
     }
 
-    /// Decode segment `i` into an in-memory table (one positioned read).
-    pub fn read_segment(&self, i: usize) -> Result<Table> {
-        let meta = self
-            .segs
-            .get(i)
-            .ok_or_else(|| SkallaError::exec(format!("segment {i} out of range")))?;
+    /// Read segment `i`'s body bytes, applying any installed short-read
+    /// fault (the un-arrived suffix reads back as zeros, as a failed DMA
+    /// would leave it).
+    fn read_body(&self, i: usize) -> Result<Vec<u8>> {
+        let meta = &self.segs[i];
         let mut body = vec![0u8; meta.byte_len as usize];
         self.file
             .read_exact_at(&mut body, meta.offset)
-            .map_err(|e| io_err("read", &self.path, e))?;
+            .map_err(|e| read_err(&self.path, e))?;
+        if let Some(plan) = disk_faults_for(&self.path) {
+            if let Some(permille) = plan.short_read_for(&self.path, i) {
+                let keep = (body.len() as u64 * permille / 1000) as usize;
+                for b in &mut body[keep..] {
+                    *b = 0;
+                }
+            }
+        }
+        Ok(body)
+    }
+
+    /// Decode segment `i` into an in-memory table (one positioned read).
+    /// Every column chunk's CRC32C is verified before its bytes are
+    /// decoded.
+    pub fn read_segment(&self, i: usize) -> Result<Table> {
+        if i >= self.segs.len() {
+            return Err(SkallaError::exec(format!("segment {i} out of range")));
+        }
+        let rows = self.segs[i].rows;
+        let body = self.read_body(i)?;
         let mut r = ByteReader::new(&body);
         let cols = self
             .schema
             .fields()
             .iter()
-            .map(|f| decode_column(&mut r, f.dtype, meta.rows))
+            .map(|f| {
+                let chunk = read_chunk(&mut r, &self.path)?;
+                decode_column(&mut ByteReader::new(chunk), f.dtype, rows)
+            })
             .collect::<Result<Vec<_>>>()?;
         Table::from_columns(self.schema.clone(), cols)
+    }
+
+    /// Verify every column chunk's CRC in the whole file without decoding
+    /// or materializing anything — the scrub path. Returns the number of
+    /// blocks (column chunks) verified; any mismatch is a typed
+    /// [`SkallaError::SegmentCorrupt`].
+    pub fn verify(&self) -> Result<u64> {
+        let mut blocks = 0u64;
+        for i in 0..self.segs.len() {
+            let body = self.read_body(i)?;
+            let mut r = ByteReader::new(&body);
+            for _ in 0..self.schema.len() {
+                read_chunk(&mut r, &self.path)?;
+                blocks += 1;
+            }
+        }
+        Ok(blocks)
     }
 
     /// Decode the whole file into one in-memory table.
@@ -1170,14 +1349,158 @@ mod tests {
     fn rejects_corrupt_files() {
         let path = tmp("corrupt");
         std::fs::write(&path, b"definitely not a segment file").unwrap();
-        assert!(SegmentFile::open(&path).is_err());
+        assert!(SegmentFile::open(&path).unwrap_err().is_corrupt());
         let t = sample_table(100);
         write_segments(&path, &t, 32).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();
         bytes[n - 1] ^= 0xff; // break tail magic
         std::fs::write(&path, &bytes).unwrap();
-        assert!(SegmentFile::open(&path).is_err());
+        assert!(SegmentFile::open(&path).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn header_and_footer_checksums_catch_flips() {
+        let t = sample_table(100);
+        let path = tmp("hf-crc");
+        write_segments(&path, &t, 32).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        bad[10] ^= 0x40; // inside the header's column count
+        std::fs::write(&path, &bad).unwrap();
+        let e = SegmentFile::open(&path).unwrap_err();
+        assert!(e.is_corrupt(), "{e}");
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - TAIL_LEN as usize - 1] ^= 0x01; // last footer byte
+        std::fs::write(&path, &bad).unwrap();
+        let e = SegmentFile::open(&path).unwrap_err();
+        assert!(e.is_corrupt(), "{e}");
+    }
+
+    #[test]
+    fn chunk_checksum_catches_body_flips() {
+        let t = sample_table(100);
+        let path = tmp("body-crc");
+        write_segments(&path, &t, 100).unwrap();
+        let off = SegmentFile::open(&path).unwrap().meta(0).offset as usize;
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[off + 14] ^= 0x10; // inside the first chunk's sealed bytes
+        std::fs::write(&path, &bytes).unwrap();
+        // Header and footer are intact, so open still succeeds…
+        let f = SegmentFile::open(&path).unwrap();
+        // …but every decode path reports typed corruption, never bad data.
+        assert!(f.read_segment(0).unwrap_err().is_corrupt());
+        assert!(f.read_all().unwrap_err().is_corrupt());
+        assert!(f.verify().unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn verify_counts_all_blocks() {
+        let t = sample_table(300);
+        let path = tmp("verify");
+        write_segments(&path, &t, 100).unwrap();
+        let f = SegmentFile::open(&path).unwrap();
+        // 3 segments × 5 columns.
+        assert_eq!(f.verify().unwrap(), 15);
+    }
+
+    #[test]
+    fn abandoned_writer_leaves_nothing_published() {
+        let t = sample_table(50);
+        let path = tmp("abandon");
+        let tmp_path = path.with_file_name("t.seg.tmp");
+        {
+            let mut w = SegmentWriter::create(&path, t.schema().clone(), 16).unwrap();
+            w.write_table(&t).unwrap();
+            assert!(tmp_path.exists());
+            // Dropped without finish: simulated crash mid-generation.
+        }
+        assert!(!path.exists());
+        assert!(!tmp_path.exists());
+        write_segments(&path, &t, 16).unwrap();
+        assert!(path.exists());
+        assert!(!tmp_path.exists());
+        assert_eq!(SegmentFile::open(&path).unwrap().total_rows(), 50);
+    }
+
+    #[test]
+    fn injected_bitflip_is_caught_and_typed() {
+        let t = sample_table(200);
+        let path = tmp("bitflip-fault");
+        let _g = crate::fault::DiskFaultPlan::seeded(7)
+            .with_bitflip_rate(1.0)
+            .install(path.parent().unwrap());
+        write_segments(&path, &t, 64).unwrap();
+        let f = SegmentFile::open(&path).unwrap();
+        for i in 0..f.num_segments() {
+            assert!(f.read_segment(i).unwrap_err().is_corrupt(), "segment {i}");
+        }
+        assert!(f.verify().unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn injected_torn_write_is_caught_at_open() {
+        let t = sample_table(100);
+        let path = tmp("torn-fault");
+        let _g = crate::fault::DiskFaultPlan::seeded(3)
+            .with_torn_write_rate(1.0)
+            .install(path.parent().unwrap());
+        write_segments(&path, &t, 32).unwrap();
+        assert!(SegmentFile::open(&path).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn injected_stale_footer_is_caught_at_open() {
+        let t = sample_table(100);
+        let path = tmp("stale-fault");
+        write_segments(&path, &t, 32).unwrap();
+        // The file on disk is good; the fault is a read-time stale block.
+        let _g = crate::fault::DiskFaultPlan::seeded(5)
+            .with_stale_footer_rate(1.0)
+            .install(path.parent().unwrap());
+        assert!(SegmentFile::open(&path).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn injected_short_read_never_returns_wrong_data() {
+        let t = sample_table(200);
+        let path = tmp("short-fault");
+        write_segments(&path, &t, 64).unwrap();
+        let good = SegmentFile::open(&path).unwrap().read_all().unwrap();
+        let _g = crate::fault::DiskFaultPlan::seeded(11)
+            .with_short_read_rate(1.0)
+            .install(path.parent().unwrap());
+        let f = SegmentFile::open(&path).unwrap();
+        let mut failures = 0;
+        for i in 0..f.num_segments() {
+            match f.read_segment(i) {
+                // A short read that only lost already-zero padding decodes
+                // correctly; anything else must be typed corruption.
+                Ok(seg) => {
+                    let start = f.segment_row_start(i);
+                    for r in 0..seg.len() {
+                        for c in 0..seg.schema().len() {
+                            let (a, b) = (seg.column(c).get(r), good.column(c).get(start + r));
+                            match (&a, &b) {
+                                (Value::Float(x), Value::Float(y)) => {
+                                    assert_eq!(x.to_bits(), y.to_bits());
+                                }
+                                _ => assert_eq!(a, b),
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    assert!(e.is_corrupt(), "{e}");
+                    failures += 1;
+                }
+            }
+        }
+        assert!(
+            failures > 0,
+            "rate-1.0 short reads never tripped a checksum"
+        );
     }
 
     fn zi(min: i64, max: i64) -> ColumnStats {

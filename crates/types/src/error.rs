@@ -24,6 +24,11 @@ pub enum SkallaError {
     Arithmetic(String),
     /// Query-text parse error.
     Parse(String),
+    /// On-disk data failed an integrity check (checksum mismatch, torn
+    /// file, impossible frame). Distinct from [`SkallaError::Exec`] so the
+    /// coordinator can route it straight to the degradation ladder —
+    /// retrying the same corrupt bytes can never succeed.
+    SegmentCorrupt(String),
 }
 
 impl SkallaError {
@@ -66,6 +71,17 @@ impl SkallaError {
     pub fn parse(msg: impl Into<String>) -> Self {
         SkallaError::Parse(msg.into())
     }
+
+    /// Construct a [`SkallaError::SegmentCorrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        SkallaError::SegmentCorrupt(msg.into())
+    }
+
+    /// `true` for [`SkallaError::SegmentCorrupt`] — a deterministic
+    /// storage-integrity failure that no retry can fix.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, SkallaError::SegmentCorrupt(_))
+    }
 }
 
 impl fmt::Display for SkallaError {
@@ -79,6 +95,7 @@ impl fmt::Display for SkallaError {
             SkallaError::Exec(m) => write!(f, "execution error: {m}"),
             SkallaError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             SkallaError::Parse(m) => write!(f, "parse error: {m}"),
+            SkallaError::SegmentCorrupt(m) => write!(f, "segment corrupt: {m}"),
         }
     }
 }
@@ -105,6 +122,16 @@ mod tests {
             "arithmetic error: div"
         );
         assert_eq!(SkallaError::schema("s").to_string(), "schema error: s");
+        assert_eq!(
+            SkallaError::corrupt("bad crc").to_string(),
+            "segment corrupt: bad crc"
+        );
+    }
+
+    #[test]
+    fn corrupt_predicate() {
+        assert!(SkallaError::corrupt("x").is_corrupt());
+        assert!(!SkallaError::exec("x").is_corrupt());
     }
 
     #[test]

@@ -94,6 +94,49 @@ fn tcp_clients_match_serial_baseline() {
     server.shutdown().unwrap();
 }
 
+#[test]
+fn idle_session_is_disconnected_and_slot_freed() {
+    // An idle or stalled client must not pin its session thread forever:
+    // after `session_read_timeout` of silence between requests the server
+    // drops the connection, and a fresh client is still served normally.
+    let server = Server::start(ServeConfig {
+        scale: 0.01,
+        sites: 2,
+        session_read_timeout: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut idler = ServeClient::connect(addr).unwrap();
+    // The session works while the client is active...
+    match idler.query(&tpcr_query(0)).unwrap() {
+        QueryOutcome::Done(_) => {}
+        QueryOutcome::Busy => panic!("idle server answered Busy"),
+    }
+
+    // ...then goes silent past the timeout. The server must hang up, so
+    // the next request on this connection fails instead of being served.
+    thread::sleep(Duration::from_millis(800));
+    assert!(
+        idler.query(&tpcr_query(1)).is_err(),
+        "server kept serving a session that idled past the read timeout"
+    );
+
+    // The disconnect is clean: a new connection gets a fresh session and
+    // correct answers.
+    let mut fresh = ServeClient::connect(addr).unwrap();
+    match fresh.query(&tpcr_query(1)).unwrap() {
+        QueryOutcome::Done(_) => {}
+        QueryOutcome::Busy => panic!("idle server answered Busy"),
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.sessions, 2, "both connections opened sessions");
+    assert_eq!(stats.sched.failed, 0);
+    server.shutdown().unwrap();
+}
+
 // -------------------------------------------------------- scheduler path
 
 fn flow_schema() -> std::sync::Arc<Schema> {
